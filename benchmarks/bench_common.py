@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark is both a pytest-benchmark target (``pytest
+benchmarks/ --benchmark-only``) and a standalone script
+(``python benchmarks/bench_xxx.py``) that prints the table or series
+it regenerates.
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import BSMReport, make_adversary, run_bsm
+from repro.ids import left_side, right_side
+from repro.matching.generators import random_profile
+
+__all__ = ["run_setting", "worst_case_corruption", "print_table"]
+
+
+def worst_case_corruption(setting: Setting):
+    """The canonical full-budget corruption set for a setting."""
+    return tuple(left_side(setting.k)[: setting.tL]) + tuple(
+        right_side(setting.k)[: setting.tR]
+    )
+
+
+def run_setting(
+    topo: str,
+    auth: bool,
+    k: int,
+    tL: int,
+    tR: int,
+    *,
+    kind: str = "silent",
+    seed: int = 7,
+    recipe: str | None = None,
+) -> BSMReport:
+    """One end-to-end run with the worst-case corruption budget."""
+    setting = Setting(topo, auth, k, tL, tR)
+    instance = BSMInstance(setting, random_profile(k, seed))
+    corrupted = worst_case_corruption(setting)
+    adversary = (
+        make_adversary(instance, corrupted, kind=kind, recipe=recipe, seed=seed)
+        if corrupted
+        else None
+    )
+    return run_bsm(instance, adversary, recipe=recipe)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print an aligned plain-text table."""
+    widths = [len(h) for h in headers]
+    rendered = [[str(cell) for cell in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in rendered:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))

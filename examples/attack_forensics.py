@@ -1,0 +1,78 @@
+"""Forensics on a byzantine attack: traces, metrics, and JSON export.
+
+Runs the same bipartite-authenticated matching twice — once fault-free,
+once with a byzantine coalition — then dissects the difference with the
+library's analysis tools: message vocabulary, per-round load, and the
+almost-stability metrics from the related work ([11, 24]): how far did
+the byzantine influence push the outcome from the fault-free optimum?
+
+Run: ``python examples/attack_forensics.py``
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro import BSMInstance, PartyId, Setting, make_adversary, run_bsm
+from repro.analysis import messages_per_round, summarize_trace, tag_histogram
+from repro.io import dump_report
+from repro.matching.gale_shapley import gale_shapley
+from repro.matching.matching import Matching
+from repro.matching.metrics import divorce_distance, total_rank_cost
+from repro.matching.generators import random_profile
+
+K = 4
+BYZANTINE = [PartyId("R", 0), PartyId("R", 1)]
+
+
+def main() -> None:
+    setting = Setting("bipartite", True, K, 1, 2)
+    instance = BSMInstance(setting, random_profile(K, 21))
+
+    clean = run_bsm(instance, record_trace=True)
+    adversary = make_adversary(instance, BYZANTINE, kind="noise", seed=4)
+    attacked = run_bsm(instance, adversary, record_trace=True)
+    assert clean.ok and attacked.ok
+
+    print(f"setting: {setting.describe()} [{clean.verdict.recipe}]")
+    print("\n--- trace forensics (attacked run) ---")
+    print(summarize_trace(attacked.result.trace))
+
+    print("\nmessage kinds (attacked vs clean):")
+    attacked_tags = tag_histogram(attacked.result.trace)
+    clean_tags = tag_histogram(clean.result.trace)
+    for tag in sorted(set(attacked_tags) | set(clean_tags)):
+        print(f"  {tag:12s} attacked={attacked_tags.get(tag, 0):6d}  clean={clean_tags.get(tag, 0):6d}")
+
+    print("\nper-round load (attacked):")
+    for round_now, count in messages_per_round(attacked.result.trace).items():
+        print(f"  round {round_now:2d}: {'#' * min(count // 8, 60)} {count}")
+
+    # Outcome distance: how much did the byzantine pair move the matching?
+    ideal = gale_shapley(instance.profile).matching
+    attacked_matching = Matching.from_outputs(
+        {p: v for p, v in attacked.result.outputs.items()}
+    )
+    moved = divorce_distance(ideal, attacked_matching, K)
+    print("\n--- outcome forensics ---")
+    print(f"parties re-matched vs fault-free optimum : {moved} of {2 * K}")
+    print(f"total rank cost (fault-free)             : {total_rank_cost(ideal, instance.profile)}")
+    print(f"total rank cost (attacked)               : {total_rank_cost(attacked_matching, instance.profile)}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "attacked_run.json"
+        dump_report(attacked, path, include_trace=False)
+        size = path.stat().st_size
+        keys = list(json.loads(path.read_text()))
+        print(f"\nJSON archive written ({size} bytes, top-level keys: {keys})")
+
+    print(
+        "\nThe byzantine pair can reshape *which* stable matching is chosen\n"
+        "(their broadcast lists are inputs like any other) but cannot break\n"
+        "the honest parties' guarantees — every run above passed all four\n"
+        "bSM property checks."
+    )
+
+
+if __name__ == "__main__":
+    main()

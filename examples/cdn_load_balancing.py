@@ -1,0 +1,91 @@
+"""CDN global load balancing with a byzantine server cluster.
+
+The paper's motivating deployment (Maggs & Sitaraman [21]): a content
+delivery network maps *client groups* to *server clusters* via stable
+matching, and the original system handles crash faults with leader
+election — a single point of failure the paper's protocols remove.
+
+Here: client groups (side ``L``) and server clusters (side ``R``) are
+placed on a synthetic latency plane; preferences are
+latency-then-capacity induced.  One cluster is byzantine and lies
+arbitrarily.  We run bSM on a fully-connected authenticated control
+plane and compare the allocation against the fault-free optimum.
+
+Run: ``python examples/cdn_load_balancing.py``
+"""
+
+import random
+
+from repro import BSMInstance, PartyId, Setting, gale_shapley, make_adversary, run_bsm
+from repro.ids import all_parties, left_side, right_side
+from repro.matching.generators import latency_matrix, profile_from_scores
+
+K = 6  # six client groups, six server clusters
+BYZANTINE_CLUSTER = PartyId("R", 3)
+
+
+def build_preferences(seed: int = 7):
+    """Latency-induced preferences: lower round-trip time = more preferred.
+
+    Clusters additionally weigh client groups by expected revenue
+    (a per-pair jitter term), mimicking operator policy.
+    """
+    rng = random.Random(seed)
+    latency = latency_matrix(K, seed)
+    scores = {}
+    for group in left_side(K):
+        scores[group] = {c: -latency[group][c] for c in right_side(K)}
+    for cluster in right_side(K):
+        scores[cluster] = {
+            g: -latency[cluster][g] + rng.uniform(0, 10) for g in left_side(K)
+        }
+    return profile_from_scores(scores), latency
+
+
+def mean_latency(outputs, latency) -> float:
+    pairs = [
+        (group, partner)
+        for group, partner in outputs.items()
+        if group.is_left() and partner is not None
+    ]
+    if not pairs:
+        return float("nan")
+    return sum(latency[g][c] for g, c in pairs) / len(pairs)
+
+
+def main() -> None:
+    profile, latency = build_preferences()
+    setting = Setting("fully_connected", True, K, 0, 1)
+    instance = BSMInstance(setting, profile)
+
+    # Fault-free optimum for reference.
+    ideal = gale_shapley(profile).matching
+    ideal_latency = mean_latency(ideal.as_outputs(K), latency)
+
+    # The byzantine cluster babbles random garbage on the control plane.
+    adversary = make_adversary(instance, [BYZANTINE_CLUSTER], kind="noise", seed=1)
+    report = run_bsm(instance, adversary)
+    assert report.ok, report.report.violations
+
+    print(f"control plane : {setting.describe()} [{report.verdict.recipe}]")
+    print(f"bSM checks    : {report.report.summary()}")
+    print(f"rounds        : {report.result.rounds}, messages: {report.result.message_count}")
+    print(f"\nbyzantine cluster: {BYZANTINE_CLUSTER}")
+    print("\nclient-group -> cluster (byzantine run vs fault-free):")
+    for group in left_side(K):
+        got = report.result.outputs.get(group)
+        want = ideal.partner(group)
+        marker = "" if got == want else "   <- differs (byzantine influence)"
+        print(f"  {group}: {got}   (fault-free: {want}){marker}")
+
+    achieved = mean_latency(report.result.outputs, latency)
+    print(f"\nmean client latency: {achieved:.1f} (fault-free optimum {ideal_latency:.1f})")
+    print(
+        "\nNo client group is left hanging on the byzantine cluster's word:\n"
+        "the matching the honest parties agree on is stable among them, and\n"
+        "no two groups were tricked into the same cluster (non-competition)."
+    )
+
+
+if __name__ == "__main__":
+    main()

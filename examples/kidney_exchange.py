@@ -1,0 +1,89 @@
+"""Kidney-exchange pairing under the one-sided privacy topology.
+
+The paper motivates the one-sided network with kidney donation:
+"privacy constraints prevent recipients from directly interacting with
+each other" (Section 2).  Recipients are side ``L`` (mutually
+disconnected), transplant centers managing donors are side ``R``
+(interconnected).  Compatibility scores (blood type, HLA mismatch, age
+difference) induce the preferences.
+
+This example exercises the *strongest* corruption the paper allows
+here: every transplant center byzantine except one (``tR = k - 1``),
+with signatures available — Theorem 7's ``tR < k`` regime, solved by
+the signed relay (Lemma 8) plus Dolev-Strong.
+
+Run: ``python examples/kidney_exchange.py``
+"""
+
+import random
+
+from repro import BSMInstance, Setting, make_adversary, run_bsm
+from repro.ids import left_side, right_side
+from repro.matching.generators import profile_from_scores
+
+K = 4  # four recipients, four donor centers
+BLOOD_TYPES = ("O", "A", "B", "AB")
+COMPATIBLE = {
+    "O": {"O"},
+    "A": {"O", "A"},
+    "B": {"O", "B"},
+    "AB": {"O", "A", "B", "AB"},
+}
+
+
+def compatibility_profile(seed: int = 5):
+    rng = random.Random(seed)
+    recipient_type = {p: rng.choice(BLOOD_TYPES) for p in left_side(K)}
+    donor_type = {p: rng.choice(BLOOD_TYPES) for p in right_side(K)}
+    hla = {
+        (rec, don): rng.randint(0, 6)  # mismatched antigens, fewer is better
+        for rec in left_side(K)
+        for don in right_side(K)
+    }
+
+    def score(rec, don):
+        base = 100.0 if donor_type[don] in COMPATIBLE[recipient_type[rec]] else 0.0
+        return base - 5.0 * hla[(rec, don)] + rng.uniform(0, 1)
+
+    scores = {}
+    for rec in left_side(K):
+        scores[rec] = {don: score(rec, don) for don in right_side(K)}
+    for don in right_side(K):
+        scores[don] = {rec: score(rec, don) for rec in left_side(K)}
+    return profile_from_scores(scores), recipient_type, donor_type
+
+
+def main() -> None:
+    profile, recipient_type, donor_type = compatibility_profile()
+    setting = Setting("one_sided", True, K, 0, K - 1)
+    instance = BSMInstance(setting, profile)
+
+    byzantine = list(right_side(K)[: K - 1])  # all centers but one
+    adversary = make_adversary(instance, byzantine, kind="silent")
+    report = run_bsm(instance, adversary)
+    assert report.ok, report.report.violations
+
+    print(f"network   : {setting.describe()} [{report.verdict.recipe}]")
+    print(f"            ({report.verdict.reason})")
+    print(f"bSM checks: {report.report.summary()}")
+    print(f"byzantine : {', '.join(str(p) for p in byzantine)} (silent)")
+    print("\nrecipient -> donor center:")
+    for rec in left_side(K):
+        don = report.result.outputs.get(rec)
+        rec_t = recipient_type[rec]
+        if don is None:
+            print(f"  {rec} [{rec_t}]: no assignment")
+        else:
+            don_t = donor_type[don]
+            ok = "compatible" if don_t in COMPATIBLE[rec_t] else "INCOMPATIBLE"
+            print(f"  {rec} [{rec_t}] <- {don} [{don_t}] ({ok})")
+    print(
+        "\nWith a single honest center, the signed relay (Lemma 8) still\n"
+        "gives the recipients a virtual full mesh: matches are agreed,\n"
+        "stable among honest participants, and never collide — all without\n"
+        "recipients ever talking to each other."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Peer-to-peer backup pairing — the stable roommates extension.
+
+The paper's first future-work direction (Section 6) is the *stable
+roommate* variant: matching within a single set.  A natural deployment:
+nodes in a peer-to-peer network pair up as mutual backup partners
+(each stores the other's replica).  Preferences come from bandwidth and
+uptime compatibility; some nodes are byzantine.
+
+Unlike two-sided stable matching, a roommates instance may have **no
+stable solution** — the refined protocol (``repro.core.roommates_bsm``)
+broadcasts all rankings, runs Irving's algorithm locally, and has
+everyone output *nobody* on unsolvable instances; stability is
+guaranteed conditionally, exactly the refinement the paper calls for.
+
+Run: ``python examples/p2p_backup_pairing.py``
+"""
+
+import random
+
+from repro.adversary.adversary import BehaviorAdversary, SilentBehavior
+from repro.core.roommates_bsm import (
+    RoommatesInstance,
+    RoommatesSetting,
+    run_roommates,
+)
+from repro.ids import PartyId
+
+N = 8  # eight peers
+BYZANTINE = PartyId("R", 3)  # the last peer misbehaves
+
+
+def build_instance(seed: int = 13) -> RoommatesInstance:
+    """Rankings induced by pairwise link quality (bandwidth * uptime)."""
+    rng = random.Random(seed)
+    setting = RoommatesSetting(n=N, t=1, authenticated=True)
+    peers = setting.parties()
+    bandwidth = {p: rng.uniform(10, 100) for p in peers}
+    uptime = {p: rng.uniform(0.5, 1.0) for p in peers}
+
+    def link_quality(a, b):
+        return min(bandwidth[a], bandwidth[b]) * uptime[a] * uptime[b]
+
+    preferences = {}
+    for peer in peers:
+        others = [p for p in peers if p != peer]
+        others.sort(key=lambda other: (-link_quality(peer, other), other))
+        preferences[peer] = tuple(others)
+    return RoommatesInstance(setting, preferences)
+
+
+def main() -> None:
+    instance = build_instance()
+    adversary = BehaviorAdversary({BYZANTINE: SilentBehavior()})
+    report = run_roommates(instance, adversary)
+
+    print(f"setting   : {instance.setting.describe()}")
+    print(
+        "checks    : "
+        f"term={'ok' if report.verdict.termination else 'VIOLATED'} "
+        f"sym={'ok' if report.verdict.symmetry else 'VIOLATED'} "
+        f"nc={'ok' if report.verdict.non_competition else 'VIOLATED'} "
+        f"stab*={'ok' if report.verdict.conditional_stability else 'VIOLATED'}"
+    )
+    print(f"byzantine : {BYZANTINE} (silent; its ranking is replaced by the default)")
+    print(f"rounds    : {report.result.rounds}, messages: {report.result.message_count}")
+
+    print("\nbackup pairs (honest peers):")
+    seen = set()
+    for peer in sorted(report.honest):
+        partner = report.result.outputs.get(peer)
+        if peer in seen:
+            continue
+        if partner is None:
+            print(f"  {peer}: unpaired")
+        else:
+            seen.add(partner)
+            print(f"  {peer} <-> {partner}")
+    print(
+        "\nEvery honest peer agrees on the same pairing (or that no stable\n"
+        "pairing exists); no peer is promised to two partners, and the\n"
+        "byzantine node cannot split the network's view of the assignment."
+    )
+
+
+if __name__ == "__main__":
+    main()

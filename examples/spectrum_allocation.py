@@ -1,0 +1,90 @@
+"""Cognitive-radio spectrum pairing with byzantine secondary users.
+
+The wireless-networks motivation of the paper's introduction (refs
+[3, 7]): secondary users must be paired with primary users' channels;
+preferences come from SINR estimates.  Secondary users are mutually
+untrusted devices that cannot talk to each other directly — exactly the
+paper's *one-sided* topology (``L`` = secondary users, disconnected;
+``R`` = channel controllers, interconnected).
+
+We corrupt two channel controllers (``tR = 2 < k/2``) in the
+*unauthenticated* setting — no PKI on cheap radio hardware — which the
+oracle solves with the majority relay (Lemma 6) plus general-adversary
+broadcast (Lemma 4).
+
+Run: ``python examples/spectrum_allocation.py``
+"""
+
+import random
+
+from repro import BSMInstance, PartyId, Setting, make_adversary, run_bsm
+from repro.ids import left_side, right_side
+from repro.matching.generators import profile_from_scores
+
+K = 5  # five secondary users, five channels
+
+
+def sinr_preferences(seed: int = 3):
+    """Preferences induced by a synthetic SINR matrix.
+
+    Each (user, channel) pair gets a signal quality in dB; users prefer
+    high-SINR channels, channel controllers prefer low-interference users.
+    """
+    rng = random.Random(seed)
+    sinr = {
+        (u, c): rng.uniform(0.0, 30.0)
+        for u in left_side(K)
+        for c in right_side(K)
+    }
+    scores = {}
+    for user in left_side(K):
+        scores[user] = {c: sinr[(user, c)] for c in right_side(K)}
+    for channel in right_side(K):
+        # controllers dislike users that would interfere broadly
+        scores[channel] = {
+            u: sinr[(u, channel)] - 0.2 * sum(sinr[(u, c)] for c in right_side(K)) / K
+            for u in left_side(K)
+        }
+    return profile_from_scores(scores), sinr
+
+
+def main() -> None:
+    profile, sinr = sinr_preferences()
+    setting = Setting("one_sided", False, K, 1, 2)
+    instance = BSMInstance(setting, profile)
+
+    byzantine = [PartyId("L", 4), PartyId("R", 0), PartyId("R", 1)]
+    adversary = make_adversary(instance, byzantine, kind="noise", seed=11)
+    report = run_bsm(instance, adversary)
+    assert report.ok, report.report.violations
+
+    print(f"network   : {setting.describe()} [{report.verdict.recipe}]")
+    print(f"            ({report.verdict.reason})")
+    print(f"bSM checks: {report.report.summary()}")
+    print(f"byzantine : {', '.join(str(p) for p in byzantine)}")
+    print("\nspectrum assignment (honest parties):")
+    total = 0.0
+    assigned = 0
+    for user in left_side(K):
+        channel = report.result.outputs.get(user)
+        if user in byzantine:
+            continue
+        if channel is None:
+            print(f"  {user}: unassigned")
+            continue
+        quality = sinr[(user, channel)]
+        total += quality
+        assigned += 1
+        print(f"  {user} <- {channel}   SINR {quality:5.1f} dB")
+    if assigned:
+        print(f"\nmean assigned SINR: {total / assigned:.1f} dB")
+    print(
+        "\nDespite two byzantine channel controllers and one byzantine user —\n"
+        "and no cryptography at all — the honest assignment is stable and\n"
+        "collision-free: the majority relay (Lemma 6) reconstructs the\n"
+        "missing user-to-user channels through the controllers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Byzantine Stable Matching — a full reproduction of the PODC 2025 paper.
+
+Public API highlights:
+
+* :func:`repro.core.runner.run_bsm` — run a byzantine stable matching
+  protocol end to end in any of the paper's six settings;
+* :func:`repro.core.solvability.is_solvable` — the tight
+  characterization of Theorems 2-7;
+* :func:`repro.matching.gale_shapley.gale_shapley` — the deterministic
+  ``AG-S`` (Theorem 1);
+* :mod:`repro.adversary.attacks` — the executable impossibility
+  constructions of Lemmas 5, 7 and 13.
+"""
+
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import BSMReport, make_adversary, run_bsm
+from repro.core.solvability import SolvabilityVerdict, is_solvable
+from repro.core.verdict import PropertyReport, check_bsm, check_ssm
+from repro.ids import LEFT, RIGHT, PartyId, all_parties, left_party, right_party
+from repro.matching.gale_shapley import gale_shapley
+from repro.matching.generators import random_profile
+from repro.matching.matching import Matching
+from repro.matching.preferences import PreferenceProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PartyId",
+    "LEFT",
+    "RIGHT",
+    "left_party",
+    "right_party",
+    "all_parties",
+    "PreferenceProfile",
+    "Matching",
+    "gale_shapley",
+    "random_profile",
+    "Setting",
+    "BSMInstance",
+    "run_bsm",
+    "make_adversary",
+    "BSMReport",
+    "is_solvable",
+    "SolvabilityVerdict",
+    "check_bsm",
+    "check_ssm",
+    "PropertyReport",
+    "__version__",
+]

@@ -1,0 +1,53 @@
+"""Adversary framework.
+
+Models the paper's fault assumption: an adaptive adversary that may
+corrupt up to ``tL`` parties in ``L`` and ``tR`` in ``R`` (a *product
+threshold* adversary structure — a special case of the general
+adversaries of Fitzi-Maurer [9], see Appendix A.3).  Provides:
+
+* adversary structures with admissibility and Q3/Q2 predicates
+  (:mod:`repro.adversary.structures`);
+* a coordinated adversary base class plus canned byzantine behaviors —
+  crash, silence, equivocation, random noise
+  (:mod:`repro.adversary.adversary`);
+* the :class:`~repro.adversary.virtual.VirtualSystem` used to mount the
+  paper's simulation attacks, where byzantine parties internally run
+  honest protocol code on fictitious nodes
+  (:mod:`repro.adversary.attacks`).
+"""
+
+from repro.adversary.adversary import (
+    Adversary,
+    BehaviorAdversary,
+    Behavior,
+    CrashBehavior,
+    EquivocatingBehavior,
+    HonestBehavior,
+    RandomNoiseBehavior,
+    SilentBehavior,
+)
+from repro.adversary.structures import (
+    AdversaryStructure,
+    ExplicitStructure,
+    ProductThresholdStructure,
+    ThresholdStructure,
+    satisfies_q2,
+    satisfies_q3,
+)
+
+__all__ = [
+    "AdversaryStructure",
+    "ThresholdStructure",
+    "ProductThresholdStructure",
+    "ExplicitStructure",
+    "satisfies_q3",
+    "satisfies_q2",
+    "Adversary",
+    "BehaviorAdversary",
+    "Behavior",
+    "SilentBehavior",
+    "CrashBehavior",
+    "HonestBehavior",
+    "RandomNoiseBehavior",
+    "EquivocatingBehavior",
+]

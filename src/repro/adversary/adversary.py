@@ -1,0 +1,203 @@
+"""Coordinated adversaries and canned byzantine behaviors.
+
+The simulator hands the adversary a single
+:class:`~repro.net.simulator.AdversaryWorld` through which all
+corrupted parties act — the adversary is one entity, exactly as in the
+paper's proofs.  :class:`BehaviorAdversary` is the workhorse for tests
+and failure injection: it assigns an independent :class:`Behavior` to
+each corrupted party (crash, stay silent, babble, equivocate, or run
+the honest code with mutations).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.errors import AdversaryError
+from repro.ids import PartyId
+from repro.net.process import Context, Envelope, Process
+
+__all__ = [
+    "Adversary",
+    "Behavior",
+    "BehaviorAdversary",
+    "SilentBehavior",
+    "CrashBehavior",
+    "HonestBehavior",
+    "RandomNoiseBehavior",
+    "EquivocatingBehavior",
+]
+
+
+class Adversary(ABC):
+    """Base class for coordinated adversaries.
+
+    Subclasses receive the world at attach time and act once per round
+    via :meth:`step`, seeing the round's honest messages addressed to
+    corrupted parties (rushing) before emitting their own through
+    ``world.send``.
+    """
+
+    def __init__(self, corrupted: Iterable[PartyId]) -> None:
+        self.initial_corruptions = frozenset(corrupted)
+        self.world = None
+
+    def attach(self, world) -> None:
+        """Called by the simulator before round 0."""
+        self.world = world
+
+    @abstractmethod
+    def step(self, round_now: int, view: Sequence[Envelope]) -> None:
+        """Act for all corrupted parties in ``round_now``."""
+
+
+class Behavior(ABC):
+    """A per-party byzantine strategy used by :class:`BehaviorAdversary`."""
+
+    def attach(self, world, party: PartyId) -> None:
+        """Called once before round 0; default stores the bindings."""
+        self.world = world
+        self.party = party
+
+    @abstractmethod
+    def act(self, round_now: int, inbox: Sequence[Envelope]) -> None:
+        """Act for ``party`` in ``round_now`` given its deliveries."""
+
+
+class BehaviorAdversary(Adversary):
+    """Assigns one :class:`Behavior` to each corrupted party."""
+
+    def __init__(self, behaviors: Mapping[PartyId, Behavior]) -> None:
+        super().__init__(behaviors.keys())
+        self._behaviors = dict(behaviors)
+
+    def attach(self, world) -> None:
+        super().attach(world)
+        for party, behavior in sorted(self._behaviors.items()):
+            behavior.attach(world, party)
+
+    def step(self, round_now: int, view: Sequence[Envelope]) -> None:
+        by_party: dict[PartyId, list[Envelope]] = {p: [] for p in self._behaviors}
+        for envelope in view:
+            if envelope.dst in by_party:
+                by_party[envelope.dst].append(envelope)
+        for party in sorted(self._behaviors):
+            self._behaviors[party].act(round_now, tuple(by_party[party]))
+
+
+class SilentBehavior(Behavior):
+    """Never sends anything — the "chooses not to participate" byzantine party."""
+
+    def act(self, round_now: int, inbox: Sequence[Envelope]) -> None:
+        return None
+
+
+class HonestBehavior(Behavior):
+    """Runs the party's honest process (optionally mutating outgoing payloads).
+
+    The corrupted party is byzantine on paper but behaves correctly —
+    useful as a baseline and as the chassis for
+    :class:`EquivocatingBehavior` / :class:`CrashBehavior`.
+    """
+
+    def __init__(self, process: Process, topology, signer=None) -> None:
+        self._process = process
+        self._ctx = None
+        self._topology = topology
+        self._signer = signer
+
+    def attach(self, world, party: PartyId) -> None:
+        super().attach(world, party)
+        if self._signer is None and world.authenticated:
+            self._signer = world.signer_for(party)
+        self._ctx = Context(party, self._topology, self._signer)
+
+    def act(self, round_now: int, inbox: Sequence[Envelope]) -> None:
+        if self._ctx.halted:
+            return
+        self._ctx.round = round_now
+        self._process.on_round(self._ctx, tuple(inbox))
+        for dst, payload in self._ctx._drain_outbox():
+            mutated = self.mutate(round_now, dst, payload)
+            if mutated is not None:
+                self.world.send(self.party, dst, mutated)
+
+    def mutate(self, round_now: int, dst: PartyId, payload: object) -> object | None:
+        """Hook: transform (or drop, by returning None) an outgoing payload."""
+        return payload
+
+
+class CrashBehavior(HonestBehavior):
+    """Behaves honestly, then crashes (sends nothing) from ``crash_round`` on."""
+
+    def __init__(self, process: Process, topology, crash_round: int, signer=None) -> None:
+        super().__init__(process, topology, signer)
+        if crash_round < 0:
+            raise AdversaryError(f"crash_round must be >= 0, got {crash_round}")
+        self.crash_round = crash_round
+
+    def act(self, round_now: int, inbox: Sequence[Envelope]) -> None:
+        if round_now >= self.crash_round:
+            return None
+        super().act(round_now, inbox)
+
+
+class EquivocatingBehavior(HonestBehavior):
+    """Runs the honest process but rewrites payloads per recipient.
+
+    ``mutator(round, dst, payload)`` returns the payload to send (or
+    ``None`` to drop), letting tests mount targeted equivocation without
+    reimplementing the protocol.
+    """
+
+    def __init__(
+        self,
+        process: Process,
+        topology,
+        mutator: Callable[[int, PartyId, object], object | None],
+        signer=None,
+    ) -> None:
+        super().__init__(process, topology, signer)
+        self._mutator = mutator
+
+    def mutate(self, round_now: int, dst: PartyId, payload: object) -> object | None:
+        return self._mutator(round_now, dst, payload)
+
+
+class RandomNoiseBehavior(Behavior):
+    """Sends random garbage to random neighbors every round.
+
+    The noise is drawn from a seeded generator, so runs stay
+    reproducible.  Used for fuzz-style failure injection: correct
+    protocols must shrug this off.
+    """
+
+    def __init__(self, seed: int = 0, fanout: int = 3) -> None:
+        self._rng = random.Random(seed)
+        self._fanout = fanout
+
+    def act(self, round_now: int, inbox: Sequence[Envelope]) -> None:
+        neighbors = self.world.topology.neighbors(self.party)
+        honest_neighbors = [n for n in neighbors if n not in self.world.corrupted]
+        if not honest_neighbors:
+            return
+        for _ in range(min(self._fanout, len(honest_neighbors))):
+            dst = self._rng.choice(honest_neighbors)
+            payload = self._random_payload()
+            self.world.send(self.party, dst, payload)
+
+    def _random_payload(self) -> object:
+        choice = self._rng.randrange(4)
+        if choice == 0:
+            return self._rng.randrange(1 << 30)
+        if choice == 1:
+            return ("junk", self._rng.randrange(100), str(self._rng.random()))
+        if choice == 2:
+            return (
+                "mux",
+                self._rng.randrange(10),
+                ("value", self._rng.randrange(5)),
+            )
+        return None

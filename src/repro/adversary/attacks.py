@@ -1,0 +1,476 @@
+"""Executable impossibility constructions (Lemmas 5, 7 and 13).
+
+Each of the paper's impossibility proofs builds a *twisted system*: a
+covering graph of the real network in which every party appears in one
+or two copies, some copies are played by real honest parties, and the
+rest are simulated (honestly!) by the byzantine parties.  Because the
+protocols are deterministic, the indistinguishability arguments become
+*literal equalities* here: an honest party's view — and therefore its
+output — in the attack scenario is bit-for-bit the view it has in some
+benign scenario where the protocol is expected to work.
+
+The generic machinery (:class:`TwistedSpec`, :func:`run_twisted_scenario`,
+:func:`run_attack`) takes any protocol recipe; the three concrete
+constructors reproduce the paper's figures:
+
+* :func:`lemma5_spec` — Fig. 2: fully-connected unauthenticated,
+  ``k = 3``, ``tL = tR = 1``; the 12-node duplicated system;
+* :func:`lemma7_spec` — Fig. 3: bipartite unauthenticated, ``k = 2``,
+  ``tL = 0``, ``tR = 1``; the 8-cycle;
+* :func:`lemma13_spec` — Fig. 4: one-sided authenticated, ``k = 3``,
+  ``tR = k``, ``tL = 1``; two disconnected simulated halves.
+
+Every attack ends with at least one sSM property violated in at least
+one scenario — that is the theorem, and the benchmarks assert it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.adversary.adversary import Adversary
+from repro.adversary.virtual import Route, VirtualSystem
+from repro.core.problem import Setting
+from repro.core.runner import build_party_with_list, recommended_max_rounds
+from repro.core.simplified import favorite_first_list
+from repro.core.verdict import PropertyReport, check_ssm
+from repro.crypto.signatures import KeyRing
+from repro.errors import AdversaryError
+from repro.ids import PartyId, all_parties
+from repro.net.process import Envelope, NullProcess, Process
+from repro.net.simulator import RunResult, SyncNetwork
+
+__all__ = [
+    "Label",
+    "TwistedSpec",
+    "ScenarioOutcome",
+    "AttackReport",
+    "run_twisted_scenario",
+    "run_attack",
+    "lemma5_spec",
+    "lemma7_spec",
+    "lemma13_spec",
+]
+
+#: A copy of a party in the twisted system: ``(party, copy_index)``.
+Label = tuple[PartyId, int]
+
+
+@dataclass(frozen=True)
+class TwistedSpec:
+    """One impossibility construction, ready to run against any recipe.
+
+    Attributes:
+        name: short identifier (``"lemma5"`` ...).
+        setting: the setting the attacked protocol is configured for.
+        recipe: which protocol recipe to attack.
+        labels: all copies in the twisted system.
+        edges: the twisted graph (frozensets of two labels); must be a
+            covering graph — each label has exactly one copy of each of
+            its party's base-topology neighbors, or none (dropped arc).
+        favorites: the sSM input (a party on the opposite side) of every
+            copy.
+        scenarios: per scenario name, which real party plays which copy;
+            real parties without a role are the byzantine simulators.
+        absent: per scenario name, copies that are *not* simulated
+            (crashed parties in the benign scenarios; copies the
+            adversary could not sign for in authenticated attacks).
+        indistinguishable: triples ``(scenario_a, scenario_b, party)``
+            whose outputs must coincide — the executable form of the
+            proof's "cannot distinguish" steps.
+    """
+
+    name: str
+    setting: Setting
+    recipe: str
+    labels: tuple[Label, ...]
+    edges: frozenset
+    favorites: Mapping[Label, PartyId]
+    scenarios: Mapping[str, Mapping[PartyId, Label]]
+    absent: Mapping[str, tuple[Label, ...]] = field(default_factory=dict)
+    indistinguishable: tuple[tuple[str, str, PartyId], ...] = ()
+
+    def neighbor_copy(self, label: Label, party: PartyId) -> Label | None:
+        """The unique copy of ``party`` adjacent to ``label``, if any."""
+        matches = [
+            other
+            for edge in self.edges
+            if label in edge
+            for other in edge
+            if other != label and other[0] == party
+        ]
+        if len(matches) > 1:
+            raise AdversaryError(
+                f"{self.name}: {label} has multiple copies of {party} as neighbors"
+            )
+        return matches[0] if matches else None
+
+
+@dataclass
+class ScenarioOutcome:
+    """The result of running one scenario of a twisted construction."""
+
+    scenario: str
+    corrupted: frozenset
+    outputs: dict
+    virtual_outputs: dict
+    report: PropertyReport
+    result: RunResult
+
+
+@dataclass
+class AttackReport:
+    """All scenarios of one construction, plus the derived verdicts."""
+
+    spec: TwistedSpec
+    outcomes: dict = field(default_factory=dict)
+
+    @property
+    def any_violation(self) -> bool:
+        """True when some scenario violates an sSM property — the theorem."""
+        return any(not outcome.report.all_ok for outcome in self.outcomes.values())
+
+    def indistinguishability_holds(self) -> dict:
+        """Check every declared view-equality on the actual outputs."""
+        checks: dict[tuple[str, str, PartyId], bool] = {}
+        for scenario_a, scenario_b, party in self.spec.indistinguishable:
+            out_a = self.outcomes[scenario_a].outputs.get(party, "<no output>")
+            out_b = self.outcomes[scenario_b].outputs.get(party, "<no output>")
+            checks[(scenario_a, scenario_b, party)] = out_a == out_b
+        return checks
+
+    def summary(self) -> str:
+        lines = [
+            f"attack {self.spec.name} on {self.spec.setting.describe()} [{self.spec.recipe}]"
+        ]
+        for name, outcome in self.outcomes.items():
+            outs = ", ".join(f"{p}->{v}" for p, v in sorted(outcome.outputs.items()))
+            lines.append(f"  scenario {name}: {outcome.report.summary()}  ({outs})")
+        lines.append(f"  property violated somewhere: {self.any_violation}")
+        for key, ok in self.indistinguishability_holds().items():
+            lines.append(f"  views match {key[0]}~{key[1]} at {key[2]}: {ok}")
+        return "\n".join(lines)
+
+
+class TwistedAdversary(Adversary):
+    """Drives the virtual system built from a spec scenario."""
+
+    def __init__(self, corrupted, builder: Callable[[object], VirtualSystem]) -> None:
+        super().__init__(corrupted)
+        self._builder = builder
+        self.system: VirtualSystem | None = None
+
+    def attach(self, world) -> None:
+        super().attach(world)
+        self.system = self._builder(world)
+
+    def step(self, round_now: int, view: Sequence[Envelope]) -> None:
+        self.system.step(round_now, view)
+
+
+def _party_factory(spec: TwistedSpec) -> Callable[[PartyId, PartyId], Process]:
+    setting = spec.setting
+
+    def factory(party: PartyId, favorite: PartyId) -> Process:
+        lst = favorite_first_list(party, favorite, setting.k)
+        return build_party_with_list(party, setting, lst, spec.recipe, force=True)
+
+    return factory
+
+
+def run_twisted_scenario(spec: TwistedSpec, scenario: str) -> ScenarioOutcome:
+    """Execute one scenario of a twisted construction."""
+    roles = dict(spec.scenarios[scenario])
+    setting = spec.setting
+    topology = setting.topology()
+    everyone = all_parties(setting.k)
+    corrupted = frozenset(everyone) - frozenset(roles)
+    absent = set(spec.absent.get(scenario, ()))
+    simulated = [
+        label
+        for label in spec.labels
+        if label not in roles.values() and label not in absent
+    ]
+    factory = _party_factory(spec)
+
+    # Sanity: every simulated neighbor of an honest role must have a
+    # byzantine identity (only byzantine parties can speak for copies).
+    for real, label in roles.items():
+        if label[0] != real:
+            raise AdversaryError(f"{real} cannot play a copy of {label[0]}")
+        for neighbor in topology.neighbors(real):
+            copy = spec.neighbor_copy(label, neighbor)
+            if copy is None or copy in absent:
+                continue
+            if copy not in roles.values() and copy[0] not in corrupted:
+                raise AdversaryError(
+                    f"{spec.name}/{scenario}: simulated {copy} adjacent to honest "
+                    f"{label} has an honest identity — construction broken"
+                )
+
+    processes: dict[PartyId, Process] = {}
+    for party in everyone:
+        if party in roles:
+            processes[party] = factory(party, spec.favorites[roles[party]])
+        else:
+            processes[party] = NullProcess()
+
+    label_player = {label: real for real, label in roles.items()}
+
+    def build_virtual(world) -> VirtualSystem:
+        system = VirtualSystem(world)
+        for label in simulated:
+            system.add_node(label, label[0], factory(label[0], spec.favorites[label]))
+        for label in simulated:
+            for neighbor in topology.neighbors(label[0]):
+                copy = spec.neighbor_copy(label, neighbor)
+                if copy is None or copy in absent:
+                    system.set_route(label, neighbor, Route.drop())
+                elif copy in label_player:
+                    system.set_route(
+                        label, neighbor, Route.to_real(label_player[copy], via=label[0])
+                    )
+                else:
+                    system.set_route(label, neighbor, Route.to_node(copy))
+        for real, label in roles.items():
+            for neighbor in topology.neighbors(real):
+                if neighbor not in corrupted:
+                    continue
+                copy = spec.neighbor_copy(label, neighbor)
+                if copy is not None and copy not in label_player and copy not in absent:
+                    system.bind_inbound(real, neighbor, copy)
+        return system
+
+    adversary = TwistedAdversary(corrupted, build_virtual)
+    keyring = KeyRing(everyone) if setting.authenticated else None
+    network = SyncNetwork(
+        topology,
+        processes,
+        adversary=adversary,
+        keyring=keyring,
+        structure=setting.structure(),
+        max_rounds=recommended_max_rounds(setting),
+    )
+    result = network.run()
+
+    honest = frozenset(roles)
+    favorites = {real: spec.favorites[label] for real, label in roles.items()}
+    report = check_ssm(result, favorites, honest)
+    return ScenarioOutcome(
+        scenario=scenario,
+        corrupted=corrupted,
+        outputs={p: result.outputs.get(p) for p in sorted(honest)},
+        virtual_outputs=dict(adversary.system.outputs()) if adversary.system else {},
+        report=report,
+        result=result,
+    )
+
+
+def run_attack(spec: TwistedSpec) -> AttackReport:
+    """Run every scenario of a construction and aggregate."""
+    report = AttackReport(spec=spec)
+    for scenario in spec.scenarios:
+        report.outcomes[scenario] = run_twisted_scenario(spec, scenario)
+    return report
+
+
+# -- concrete constructions -------------------------------------------------------------
+
+
+def _edge(a: Label, b: Label) -> frozenset:
+    return frozenset((a, b))
+
+
+def _duplicate_edges(pairs: Sequence[tuple[PartyId, PartyId, bool]]) -> frozenset:
+    """Duplicate base edges: ``straight`` keeps copies aligned, else crossed."""
+    edges = set()
+    for u, v, straight in pairs:
+        if straight:
+            edges.add(_edge((u, 1), (v, 1)))
+            edges.add(_edge((u, 2), (v, 2)))
+        else:
+            edges.add(_edge((u, 1), (v, 2)))
+            edges.add(_edge((u, 2), (v, 1)))
+    return frozenset(edges)
+
+
+def lemma5_spec() -> TwistedSpec:
+    """Fig. 2: the 12-node duplicated system for ``k = 3``, ``tL = tR = 1``.
+
+    Inputs: ``c1`` and ``v1`` are mutual favorites, ``a2`` and ``v2``
+    are mutual favorites.  Expected violation: in the third scenario
+    both honest ``a`` and honest ``c`` decide to match ``v`` —
+    non-competition breaks (or the protocol already failed in one of
+    the two benign scenarios).
+    """
+    a, b, c = PartyId("L", 0), PartyId("L", 1), PartyId("L", 2)
+    u, v, w = PartyId("R", 0), PartyId("R", 1), PartyId("R", 2)
+    # Edge twisting chosen so each scenario's honest quadruple mirrors a
+    # clique of the real network and every simulated neighbor of an
+    # honest copy carries a byzantine identity (see the figure).
+    edges = _duplicate_edges(
+        [
+            # cross-side
+            (a, u, True),
+            (a, v, True),
+            (a, w, False),
+            (b, u, True),
+            (b, v, True),
+            (b, w, True),
+            (c, u, False),
+            (c, v, True),
+            (c, w, True),
+            # same-side
+            (a, b, True),
+            (a, c, False),
+            (b, c, True),
+            (u, v, True),
+            (u, w, False),
+            (v, w, True),
+        ]
+    )
+    labels = tuple((p, i) for p in (a, b, c, u, v, w) for i in (1, 2))
+    favorites: dict[Label, PartyId] = {}
+    for party, copy in labels:
+        favorites[(party, copy)] = u if party.is_left() else a
+    favorites[(c, 1)] = v
+    favorites[(v, 1)] = c
+    favorites[(a, 2)] = v
+    favorites[(v, 2)] = a
+
+    scenarios = {
+        "honest_a2_side": {a: (a, 2), b: (b, 2), u: (u, 2), v: (v, 2)},
+        "honest_c1_side": {b: (b, 1), c: (c, 1), v: (v, 1), w: (w, 1)},
+        "attack": {c: (c, 1), a: (a, 2), u: (u, 2), w: (w, 1)},
+    }
+    return TwistedSpec(
+        name="lemma5",
+        setting=Setting("fully_connected", False, 3, 1, 1),
+        recipe="bb_direct",
+        labels=labels,
+        edges=edges,
+        favorites=favorites,
+        scenarios=scenarios,
+        indistinguishable=(
+            ("honest_a2_side", "attack", a),
+            ("honest_c1_side", "attack", c),
+        ),
+    )
+
+
+def lemma7_spec() -> TwistedSpec:
+    """Fig. 3: the 8-cycle for bipartite ``k = 2``, ``tL = 0``, ``tR = 1``.
+
+    The bipartite network on ``{a, b} x {c, d}`` is the 4-cycle
+    ``a-c-b-d``; duplication yields the 8-cycle
+    ``a1-c1-b1-d1-a2-c2-b2-d2-a1``.  Inputs: ``a1``/``c1`` mutual
+    favorites, ``b2``/``c2`` mutual favorites.  Expected violation: in
+    the attack scenario honest ``a`` and honest ``b`` both match ``c``.
+    """
+    a, b = PartyId("L", 0), PartyId("L", 1)
+    c, d = PartyId("R", 0), PartyId("R", 1)
+    cycle = [(a, 1), (c, 1), (b, 1), (d, 1), (a, 2), (c, 2), (b, 2), (d, 2)]
+    edges = frozenset(
+        _edge(cycle[i], cycle[(i + 1) % len(cycle)]) for i in range(len(cycle))
+    )
+    favorites: dict[Label, PartyId] = {
+        (a, 1): c,
+        (c, 1): a,
+        (b, 2): c,
+        (c, 2): b,
+        (a, 2): d,
+        (b, 1): d,
+        (d, 1): a,
+        (d, 2): b,
+    }
+    scenarios = {
+        "honest_copy1": {a: (a, 1), c: (c, 1), b: (b, 1)},
+        "honest_copy2": {a: (a, 2), c: (c, 2), b: (b, 2)},
+        "attack": {a: (a, 1), b: (b, 2), d: (d, 2)},
+    }
+    return TwistedSpec(
+        name="lemma7",
+        setting=Setting("bipartite", False, 2, 0, 1),
+        recipe="bb_majority_relay",
+        labels=tuple(cycle),
+        edges=edges,
+        favorites=favorites,
+        scenarios=scenarios,
+        indistinguishable=(
+            ("honest_copy1", "attack", a),
+            ("honest_copy2", "attack", b),
+        ),
+    )
+
+
+def lemma13_spec() -> TwistedSpec:
+    """Fig. 4: one-sided authenticated, ``tR = k = 3``, ``tL = 1``.
+
+    The byzantine parties ``{b, u, v, w}`` split into two groups, each
+    simulating one copy of themselves: group 1 interacts with honest
+    ``a``, group 2 with honest ``c``.  Favorites: ``a`` and ``c`` both
+    favor ``v``; ``v1`` favors ``a`` and ``v2`` favors ``c`` (the paper
+    writes "v2's favorite is b", a typo — simplified stability needs
+    the mutual pair ``(c, v2)``; see EXPERIMENTS.md).  Expected
+    violation: honest ``a`` and ``c`` both match ``v``.
+    """
+    a, b, c = PartyId("L", 0), PartyId("L", 1), PartyId("L", 2)
+    u, v, w = PartyId("R", 0), PartyId("R", 1), PartyId("R", 2)
+    labels = tuple((p, g) for p in (a, b, c, u, v, w) for g in (1, 2))
+    # Group g is a full copy of the one-sided network; the two groups are
+    # disconnected.  (a, 2) and (c, 1) exist as labels but only play in
+    # the benign scenarios, never as simulated nodes next to honest ones.
+    edges = set()
+    for g in (1, 2):
+        members = [(a, g), (b, g), (c, g), (u, g), (v, g), (w, g)]
+        for i, first in enumerate(members):
+            for second in members[i + 1 :]:
+                if first[0].is_left() and second[0].is_left():
+                    continue  # one-sided: no L-L channels
+                edges.add(_edge(first, second))
+    favorites: dict[Label, PartyId] = {}
+    for party, g in labels:
+        favorites[(party, g)] = v if party.is_left() else a
+    favorites[(a, 1)] = v
+    favorites[(c, 2)] = v
+    favorites[(v, 1)] = a
+    favorites[(v, 2)] = c
+    favorites[(u, 1)] = b
+    favorites[(u, 2)] = b
+    favorites[(w, 1)] = b
+    favorites[(w, 2)] = b
+    favorites[(b, 1)] = u
+    favorites[(b, 2)] = u
+
+    group1 = tuple((p, 1) for p in (a, b, c, u, v, w))
+    group2 = tuple((p, 2) for p in (a, b, c, u, v, w))
+    scenarios = {
+        # a's benign view: everyone honest except c, which crashed.
+        "honest_group1": {a: (a, 1), b: (b, 1), u: (u, 1), v: (v, 1), w: (w, 1)},
+        # c's benign view: everyone honest except a, which crashed.
+        "honest_group2": {b: (b, 2), c: (c, 2), u: (u, 2), v: (v, 2), w: (w, 2)},
+        # The attack: b, u, v, w simulate both groups; the honest copies
+        # of c (group 1) and a (group 2) do not exist — the adversary
+        # could not sign for them anyway.
+        "attack": {a: (a, 1), c: (c, 2)},
+    }
+    absent = {
+        "honest_group1": ((c, 1),) + group2,
+        "honest_group2": ((a, 2),) + group1,
+        "attack": ((c, 1), (a, 2)),
+    }
+    return TwistedSpec(
+        name="lemma13",
+        setting=Setting("one_sided", True, 3, 1, 3),
+        recipe="bb_signed_relay",
+        labels=labels,
+        edges=frozenset(edges),
+        favorites=favorites,
+        scenarios=scenarios,
+        absent=absent,
+        indistinguishable=(
+            ("honest_group1", "attack", a),
+            ("honest_group2", "attack", c),
+        ),
+    )

@@ -1,0 +1,214 @@
+"""Adversary structures: who can be corrupted together.
+
+The paper's adversary corrupts up to ``tL`` parties in ``L`` and up to
+``tR`` in ``R`` — the *product* of two threshold structures, written
+``Z* = {SL u SR : SL <= L, SR <= R, |SL| <= tL, |SR| <= tR}`` in
+Appendix A.3.  General adversary structures (Fitzi-Maurer [9]) are any
+subset-closed family of corruptible sets.
+
+Two predicates drive everything:
+
+* **Q3** — no three admissible sets cover all parties.  By [9, Thm 2]
+  this is exactly when unauthenticated BB is solvable; for the product
+  structure it reduces analytically to ``tL < k/3 or tR < k/3``
+  (Lemma 4), which the tests cross-check by brute force.
+* **Q2** — no two admissible sets cover all parties (an honest majority
+  in the generalized sense).
+
+``king_set`` returns a smallest *non-admissible* party set: at least
+one of them must stay honest, which is what the phase-king protocol
+needs from its king sequence.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import combinations
+from typing import FrozenSet, Iterable, Iterator
+
+from repro.errors import AdversaryError
+from repro.ids import PartyId, all_parties, left_side, right_side
+
+__all__ = [
+    "AdversaryStructure",
+    "ThresholdStructure",
+    "ProductThresholdStructure",
+    "ExplicitStructure",
+    "satisfies_q3",
+    "satisfies_q2",
+]
+
+PartySet = FrozenSet[PartyId]
+
+
+class AdversaryStructure(ABC):
+    """A subset-closed family of corruptible party sets."""
+
+    #: The universe of parties the structure speaks about.
+    parties: tuple[PartyId, ...]
+
+    @abstractmethod
+    def permits(self, corrupt: Iterable[PartyId]) -> bool:
+        """True when the adversary may corrupt exactly the set ``corrupt``."""
+
+    @abstractmethod
+    def maximal_sets(self) -> Iterator[PartySet]:
+        """Iterate over the maximal admissible sets (may be combinatorial)."""
+
+    def king_set(self) -> tuple[PartyId, ...]:
+        """A smallest party set that is *not* admissible (>= 1 member honest).
+
+        Default implementation: brute-force over subset sizes.  Subclasses
+        override with analytic choices.  Raises when every subset is
+        admissible (the adversary can corrupt everyone — no king sequence
+        exists).
+        """
+        universe = sorted(self.parties)
+        for size in range(1, len(universe) + 1):
+            for candidate in combinations(universe, size):
+                if not self.permits(candidate):
+                    return tuple(candidate)
+        raise AdversaryError("structure admits corrupting all parties; no king set exists")
+
+
+class ThresholdStructure(AdversaryStructure):
+    """The classic ``t``-of-``n`` threshold adversary."""
+
+    def __init__(self, parties: Iterable[PartyId], t: int) -> None:
+        self.parties = tuple(sorted(parties))
+        if not self.parties:
+            raise AdversaryError("threshold structure needs a non-empty party set")
+        if t < 0 or t > len(self.parties):
+            raise AdversaryError(f"t must lie in [0, {len(self.parties)}], got {t}")
+        self.t = t
+
+    def permits(self, corrupt: Iterable[PartyId]) -> bool:
+        corrupt_set = frozenset(corrupt)
+        return corrupt_set <= frozenset(self.parties) and len(corrupt_set) <= self.t
+
+    def maximal_sets(self) -> Iterator[PartySet]:
+        for combo in combinations(self.parties, self.t):
+            yield frozenset(combo)
+
+    def king_set(self) -> tuple[PartyId, ...]:
+        if self.t >= len(self.parties):
+            raise AdversaryError("structure admits corrupting all parties; no king set exists")
+        return tuple(self.parties[: self.t + 1])
+
+    def __repr__(self) -> str:
+        return f"ThresholdStructure(n={len(self.parties)}, t={self.t})"
+
+
+class ProductThresholdStructure(AdversaryStructure):
+    """The paper's adversary: up to ``tL`` corruptions in L, ``tR`` in R."""
+
+    def __init__(self, k: int, tL: int, tR: int) -> None:
+        if k <= 0:
+            raise AdversaryError(f"k must be positive, got {k}")
+        if not (0 <= tL <= k and 0 <= tR <= k):
+            raise AdversaryError(f"thresholds must lie in [0, k={k}], got tL={tL}, tR={tR}")
+        self.k = k
+        self.tL = tL
+        self.tR = tR
+        self.parties = all_parties(k)
+
+    def permits(self, corrupt: Iterable[PartyId]) -> bool:
+        corrupt_set = frozenset(corrupt)
+        if not corrupt_set <= frozenset(self.parties):
+            return False
+        left = sum(1 for p in corrupt_set if p.is_left())
+        right = len(corrupt_set) - left
+        return left <= self.tL and right <= self.tR
+
+    def maximal_sets(self) -> Iterator[PartySet]:
+        for left in combinations(left_side(self.k), self.tL):
+            for right in combinations(right_side(self.k), self.tR):
+                yield frozenset(left) | frozenset(right)
+
+    def king_set(self) -> tuple[PartyId, ...]:
+        """Smallest non-admissible set: ``min(tL, tR) + 1`` parties of one side.
+
+        Exists unless ``tL = tR = k`` (everyone corruptible).
+        """
+        options: list[tuple[PartyId, ...]] = []
+        if self.tL < self.k:
+            options.append(left_side(self.k)[: self.tL + 1])
+        if self.tR < self.k:
+            options.append(right_side(self.k)[: self.tR + 1])
+        if not options:
+            raise AdversaryError("structure admits corrupting all parties; no king set exists")
+        return min(options, key=len)
+
+    def satisfies_q3(self) -> bool:
+        """Analytic Q3: ``tL < k/3 or tR < k/3`` (Lemma 4 / proof in A.3)."""
+        return 3 * self.tL < self.k or 3 * self.tR < self.k
+
+    def satisfies_q2(self) -> bool:
+        """Analytic Q2: no two admissible sets cover P <=> tL < k/2 or tR < k/2."""
+        return 2 * self.tL < self.k or 2 * self.tR < self.k
+
+    def __repr__(self) -> str:
+        return f"ProductThresholdStructure(k={self.k}, tL={self.tL}, tR={self.tR})"
+
+
+class ExplicitStructure(AdversaryStructure):
+    """A structure given by an explicit list of maximal admissible sets."""
+
+    def __init__(self, parties: Iterable[PartyId], maximal: Iterable[Iterable[PartyId]]) -> None:
+        self.parties = tuple(sorted(parties))
+        universe = frozenset(self.parties)
+        self._maximal: tuple[PartySet, ...] = tuple(
+            frozenset(s) for s in maximal
+        )
+        for candidate in self._maximal:
+            if not candidate <= universe:
+                raise AdversaryError(f"admissible set {sorted(map(str, candidate))} leaves the universe")
+        if not self._maximal:
+            self._maximal = (frozenset(),)
+
+    def permits(self, corrupt: Iterable[PartyId]) -> bool:
+        corrupt_set = frozenset(corrupt)
+        return any(corrupt_set <= candidate for candidate in self._maximal)
+
+    def maximal_sets(self) -> Iterator[PartySet]:
+        yield from self._maximal
+
+    def __repr__(self) -> str:
+        sets = [sorted(map(str, s)) for s in self._maximal]
+        return f"ExplicitStructure({sets})"
+
+
+def satisfies_q3(structure: AdversaryStructure) -> bool:
+    """Brute-force Q3 check: no three admissible sets cover all parties.
+
+    Uses the analytic shortcut when the structure provides one; the tests
+    exercise both paths against each other on small instances.
+    """
+    analytic = getattr(structure, "satisfies_q3", None)
+    if callable(analytic) and not isinstance(structure, ExplicitStructure):
+        return bool(analytic())
+    return _q_by_enumeration(structure, 3)
+
+
+def satisfies_q2(structure: AdversaryStructure) -> bool:
+    """Brute-force Q2 check: no two admissible sets cover all parties."""
+    analytic = getattr(structure, "satisfies_q2", None)
+    if callable(analytic) and not isinstance(structure, ExplicitStructure):
+        return bool(analytic())
+    return _q_by_enumeration(structure, 2)
+
+
+def _q_by_enumeration(structure: AdversaryStructure, arity: int) -> bool:
+    universe = frozenset(structure.parties)
+    maximal = list(structure.maximal_sets())
+    if not maximal:
+        return True
+
+    def cover(depth: int, covered: PartySet) -> bool:
+        if covered == universe:
+            return True
+        if depth == 0:
+            return False
+        return any(cover(depth - 1, covered | candidate) for candidate in maximal)
+
+    return not cover(arity, frozenset())

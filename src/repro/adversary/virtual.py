@@ -1,0 +1,223 @@
+"""Adversary-internal simulation of honest protocol code.
+
+Every impossibility proof in the paper has byzantine parties
+"internally simulate" honest instances — duplicated copies of the
+system (Lemma 5, Lemma 7) or two disconnected halves (Lemma 13).  This
+module makes that strategy executable:
+
+* a :class:`VirtualNode` is a fictitious party: a label, the party
+  identity whose honest code it runs, a process, and a context;
+* a :class:`VirtualSystem` steps all nodes in lock-step with the real
+  network and routes their messages according to an explicit routing
+  table: to another virtual node, out to a real honest party through a
+  corrupted party's genuine channel, or into the void.
+
+Because routing out to a real party uses ``world.send`` with a
+*corrupted* source, the construction can never forge an honest
+identity — which is exactly why the paper's twisted graphs only ever
+attach simulated nodes with byzantine identities to real honest
+parties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import AdversaryError
+from repro.ids import PartyId
+from repro.net.process import Context, Envelope, Process
+from repro.net.topology import Topology
+
+__all__ = ["Route", "VirtualNode", "VirtualSystem"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """Where one (virtual sender, addressed party) combination goes.
+
+    Exactly one of the fields is set:
+
+    * ``node`` — deliver internally to another virtual node;
+    * ``real`` — emit on the real network as ``via -> real`` (``via``
+      must be a corrupted party, normally the sender's identity);
+    * neither — drop (the paper's "never received" arcs).
+    """
+
+    node: object | None = None
+    real: PartyId | None = None
+    via: PartyId | None = None
+
+    def __post_init__(self) -> None:
+        if self.node is not None and self.real is not None:
+            raise AdversaryError("a route is either internal or external, not both")
+        if (self.real is None) != (self.via is None):
+            raise AdversaryError("external routes need both 'real' and 'via'")
+
+    @classmethod
+    def to_node(cls, label: object) -> "Route":
+        return cls(node=label)
+
+    @classmethod
+    def to_real(cls, real: PartyId, via: PartyId) -> "Route":
+        return cls(real=real, via=via)
+
+    @classmethod
+    def drop(cls) -> "Route":
+        return cls()
+
+
+class VirtualNode:
+    """One fictitious party run by the adversary."""
+
+    def __init__(
+        self,
+        label: object,
+        identity: PartyId,
+        process: Process,
+        topology: Topology,
+        signer=None,
+    ) -> None:
+        self.label = label
+        self.identity = identity
+        self.process = process
+        self.ctx = Context(identity, topology, signer)
+
+    @property
+    def output(self) -> object:
+        """The node's declared output (raises before declaration)."""
+        return self.ctx.current_output
+
+    @property
+    def has_output(self) -> bool:
+        return self.ctx.has_output
+
+
+class VirtualSystem:
+    """Runs virtual nodes in lock-step with the real network.
+
+    Usage (from inside an adversary):
+
+    1. :meth:`add_node` for every fictitious party;
+    2. :meth:`set_route` for every (node, addressed party) the node's
+       code will talk to;
+    3. :meth:`bind_inbound` for every (honest real sender, corrupted
+       receiver) channel that should feed a node;
+    4. call :meth:`step` once per adversary round with the rushing view.
+
+    Timing matches the real network exactly: a message seen (or sent)
+    in round ``r`` is delivered to its virtual recipient in round
+    ``r + 1``.
+    """
+
+    def __init__(self, world) -> None:
+        self._world = world
+        self._nodes: dict[object, VirtualNode] = {}
+        self._routes: dict[tuple[object, PartyId], Route] = {}
+        self._inbound: dict[tuple[PartyId, PartyId], object] = {}
+        self._pending: list[tuple[object, Envelope]] = []
+        self._next_pending: list[tuple[object, Envelope]] = []
+
+    # -- wiring ------------------------------------------------------------------
+
+    def add_node(self, label: object, identity: PartyId, process: Process) -> VirtualNode:
+        """Create a fictitious party ``label`` running ``identity``'s code."""
+        if label in self._nodes:
+            raise AdversaryError(f"virtual node {label!r} registered twice")
+        signer = None
+        if self._world.authenticated and identity in self._world.corrupted:
+            signer = self._world.signer_for(identity)
+        node = VirtualNode(label, identity, process, self._world.topology, signer)
+        self._nodes[label] = node
+        return node
+
+    def set_route(self, label: object, addressed: PartyId, route: Route) -> None:
+        """Declare where ``label``'s messages to party ``addressed`` go."""
+        if label not in self._nodes:
+            raise AdversaryError(f"unknown virtual node {label!r}")
+        if route.node is not None and route.node not in self._nodes:
+            raise AdversaryError(f"route target node {route.node!r} does not exist")
+        self._routes[(label, addressed)] = route
+
+    def bind_inbound(self, real_src: PartyId, corrupted_dst: PartyId, label: object) -> None:
+        """Feed honest ``real_src``'s messages to ``corrupted_dst`` into ``label``."""
+        if label not in self._nodes:
+            raise AdversaryError(f"unknown virtual node {label!r}")
+        self._inbound[(real_src, corrupted_dst)] = label
+
+    # -- inspection ----------------------------------------------------------------
+
+    def node(self, label: object) -> VirtualNode:
+        """The registered node for ``label``."""
+        return self._nodes[label]
+
+    def labels(self) -> tuple:
+        return tuple(self._nodes)
+
+    def outputs(self) -> dict:
+        """Outputs of all virtual nodes that declared one."""
+        return {
+            label: node.ctx.current_output
+            for label, node in self._nodes.items()
+            if node.ctx.has_output
+        }
+
+    # -- execution -----------------------------------------------------------------
+
+    def step(self, round_now: int, view: Sequence[Envelope]) -> None:
+        """Run one lock-step round of all virtual nodes."""
+        # 1. Bridge in: real honest messages seen this round arrive at the
+        #    mapped virtual node next round (same latency as a real channel).
+        for envelope in view:
+            label = self._inbound.get((envelope.src, envelope.dst))
+            if label is None:
+                continue
+            self._next_pending.append(
+                (
+                    label,
+                    Envelope(
+                        src=envelope.src,
+                        dst=self._nodes[label].identity,
+                        sent_round=round_now,
+                        payload=envelope.payload,
+                    ),
+                )
+            )
+
+        # 2. Deliver this round's virtual inboxes and run every node.
+        inboxes: dict[object, list[Envelope]] = {label: [] for label in self._nodes}
+        for label, envelope in self._pending:
+            inboxes[label].append(envelope)
+        self._pending = []
+
+        for label in self._nodes:
+            node = self._nodes[label]
+            if node.ctx.halted:
+                continue
+            node.ctx.round = round_now
+            node.process.on_round(node.ctx, tuple(inboxes[label]))
+            for addressed, payload in node.ctx._drain_outbox():
+                self._route(round_now, label, addressed, payload)
+
+        # 3. Advance virtual time.
+        self._pending, self._next_pending = self._next_pending, []
+
+    def _route(self, round_now: int, label: object, addressed: PartyId, payload: object) -> None:
+        route = self._routes.get((label, addressed))
+        if route is None or (route.node is None and route.real is None):
+            return
+        if route.node is not None:
+            target = self._nodes[route.node]
+            self._next_pending.append(
+                (
+                    route.node,
+                    Envelope(
+                        src=self._nodes[label].identity,
+                        dst=target.identity,
+                        sent_round=round_now,
+                        payload=payload,
+                    ),
+                )
+            )
+            return
+        self._world.send(route.via, route.real, payload)

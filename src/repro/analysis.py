@@ -1,0 +1,121 @@
+"""Trace analysis: understanding where a protocol's traffic goes.
+
+Runs executed with ``record_trace=True`` carry the full message
+history.  These helpers turn it into the aggregates the benchmarks and
+examples report: per-round load, per-channel traffic, and a histogram
+over protocol message kinds (mux instances unwrapped, relay envelopes
+classified).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.crypto.encoding import encoded_size
+from repro.errors import ProtocolError
+from repro.ids import PartyId
+from repro.net.process import Envelope
+
+__all__ = [
+    "messages_per_round",
+    "bytes_per_round",
+    "traffic_matrix",
+    "tag_histogram",
+    "cross_side_fraction",
+    "summarize_trace",
+]
+
+
+def _payload_size(payload: object) -> int:
+    try:
+        return encoded_size(payload)
+    except ProtocolError:
+        return len(repr(payload).encode("utf-8"))
+
+
+def messages_per_round(trace: Sequence[Envelope]) -> dict[int, int]:
+    """Message count per send round."""
+    counts: Counter = Counter()
+    for envelope in trace:
+        counts[envelope.sent_round] += 1
+    return dict(sorted(counts.items()))
+
+
+def bytes_per_round(trace: Sequence[Envelope]) -> dict[int, int]:
+    """Encoded payload bytes per send round."""
+    totals: Counter = Counter()
+    for envelope in trace:
+        totals[envelope.sent_round] += _payload_size(envelope.payload)
+    return dict(sorted(totals.items()))
+
+
+def traffic_matrix(trace: Sequence[Envelope]) -> dict[tuple[PartyId, PartyId], int]:
+    """Messages per directed channel ``(src, dst)``."""
+    counts: Counter = Counter()
+    for envelope in trace:
+        counts[(envelope.src, envelope.dst)] += 1
+    return dict(sorted(counts.items()))
+
+
+def _classify(payload: object) -> str:
+    """A stable label for a payload's protocol role.
+
+    Transparent wrappers (mux instances, direct-link envelopes) are
+    unwrapped so the label reflects the inner protocol vocabulary.
+    """
+    for _ in range(16):  # wrappers never nest deeper in practice
+        if isinstance(payload, tuple) and len(payload) == 3 and payload[0] == "mux":
+            payload = payload[2]
+            continue
+        if (
+            isinstance(payload, tuple)
+            and len(payload) == 2
+            and payload[0] in ("lnk.direct", "rl.direct")
+        ):
+            payload = payload[1]
+            continue
+        break
+    if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
+        return payload[0]
+    return type(payload).__name__
+
+
+def tag_histogram(trace: Sequence[Envelope]) -> dict[str, int]:
+    """Histogram over protocol message kinds.
+
+    Mux wrappers are unwrapped, so the counts reflect the inner
+    protocol vocabulary: ``val``/``prop``/``king``/``echo`` (phase
+    king), ``ds`` (Dolev-Strong), ``bbin``, ``rl.req``/``rl.fwd``/
+    ``rl.direct`` (relays), ``trl.req``/``trl.fwd`` (timed relay),
+    ``prefs``/``suggest`` (PiBSM), ...
+    """
+    counts: Counter = Counter()
+    for envelope in trace:
+        counts[_classify(envelope.payload)] += 1
+    return dict(sorted(counts.items(), key=lambda item: (-item[1], item[0])))
+
+
+def cross_side_fraction(trace: Sequence[Envelope]) -> float:
+    """Fraction of messages crossing between L and R (vs same-side)."""
+    if not trace:
+        return 0.0
+    crossing = sum(1 for e in trace if e.src.side != e.dst.side)
+    return crossing / len(trace)
+
+
+def summarize_trace(trace: Sequence[Envelope], *, top: int = 6) -> str:
+    """A compact multi-line textual summary of a trace."""
+    if not trace:
+        return "empty trace"
+    per_round = messages_per_round(trace)
+    histogram = tag_histogram(trace)
+    peak_round = max(per_round, key=per_round.get)
+    lines = [
+        f"messages: {len(trace)} over rounds {min(per_round)}..{max(per_round)}",
+        f"peak round: {peak_round} ({per_round[peak_round]} messages)",
+        f"cross-side traffic: {cross_side_fraction(trace):.0%}",
+        "top message kinds: "
+        + ", ".join(f"{tag} x{count}" for tag, count in list(histogram.items())[:top]),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``solve`` — query the solvability oracle for one setting;
+* ``run`` — execute a bSM protocol end to end and print the verdict;
+* ``attack`` — run one of the paper's impossibility constructions;
+* ``table`` — print the full characterization table for a given ``k``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import make_adversary, run_bsm
+from repro.core.solvability import is_solvable
+from repro.ids import parse_party
+from repro.matching.generators import random_profile
+from repro.net.topology import TOPOLOGY_NAMES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Byzantine Stable Matching (PODC 2025) — protocols and attacks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_setting_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--topology", choices=TOPOLOGY_NAMES, required=True)
+        p.add_argument("--auth", action="store_true", help="assume a PKI (signatures)")
+        p.add_argument("--k", type=int, required=True, help="side size")
+        p.add_argument("--tl", type=int, required=True, help="corruption budget in L")
+        p.add_argument("--tr", type=int, required=True, help="corruption budget in R")
+
+    solve = sub.add_parser("solve", help="query the characterization oracle")
+    add_setting_args(solve)
+
+    run = sub.add_parser("run", help="execute a bSM protocol end to end")
+    add_setting_args(run)
+    run.add_argument("--seed", type=int, default=0, help="preference profile seed")
+    run.add_argument(
+        "--adversary",
+        choices=["none", "silent", "noise", "crash", "honest"],
+        default="none",
+    )
+    run.add_argument(
+        "--corrupt",
+        nargs="*",
+        default=[],
+        metavar="PARTY",
+        help="parties to corrupt, e.g. L0 R2",
+    )
+    run.add_argument("--recipe", default=None, help="force a protocol recipe")
+    run.add_argument("--json", default=None, metavar="PATH", help="dump the report as JSON")
+
+    attack = sub.add_parser("attack", help="run an impossibility construction")
+    attack.add_argument("lemma", choices=["lemma5", "lemma7", "lemma13"])
+
+    table = sub.add_parser("table", help="print the characterization table")
+    table.add_argument("--k", type=int, default=3)
+
+    sub.add_parser("paper", help="print the paper-to-code map")
+
+    return parser
+
+
+def _cmd_solve(args) -> int:
+    setting = Setting(args.topology, args.auth, args.k, args.tl, args.tr)
+    verdict = is_solvable(setting)
+    print(f"setting : {setting.describe()}")
+    print(f"solvable: {verdict.solvable}")
+    print(f"theorem : {verdict.theorem}")
+    print(f"reason  : {verdict.reason}")
+    if verdict.recipe:
+        print(f"recipe  : {verdict.recipe}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    setting = Setting(args.topology, args.auth, args.k, args.tl, args.tr)
+    instance = BSMInstance(setting, random_profile(args.k, args.seed))
+    adversary = None
+    if args.adversary != "none":
+        corrupted = [parse_party(text) for text in args.corrupt]
+        if not corrupted:
+            print("error: --adversary requires --corrupt PARTY [PARTY ...]", file=sys.stderr)
+            return 2
+        adversary = make_adversary(
+            instance, corrupted, kind=args.adversary, recipe=args.recipe, seed=args.seed
+        )
+    report = run_bsm(instance, adversary, recipe=args.recipe)
+    print(report.summary())
+    print("outputs:")
+    for party in sorted(report.result.outputs):
+        partner = report.result.outputs[party]
+        print(f"  {party} -> {partner if partner is not None else 'nobody'}")
+    if not report.ok:
+        print("VIOLATIONS:")
+        for violation in report.report.violations:
+            print(f"  {violation}")
+    if args.json:
+        from repro.io import dump_report
+
+        dump_report(report, args.json)
+        print(f"report written to {args.json}")
+    return 0 if report.ok else 1
+
+
+def _cmd_attack(args) -> int:
+    from repro.adversary.attacks import (
+        lemma13_spec,
+        lemma5_spec,
+        lemma7_spec,
+        run_attack,
+    )
+
+    specs = {"lemma5": lemma5_spec, "lemma7": lemma7_spec, "lemma13": lemma13_spec}
+    report = run_attack(specs[args.lemma]())
+    print(report.summary())
+    return 0 if report.any_violation else 1
+
+
+def _cmd_table(args) -> int:
+    k = args.k
+    print(f"bSM solvability for k={k} ('#' solvable, '.' not; rows tL=0..{k}, cols tR=0..{k})")
+    for topology in TOPOLOGY_NAMES:
+        for auth in (False, True):
+            crypto = "auth  " if auth else "unauth"
+            print(f"\n{topology} / {crypto}")
+            header = "     " + " ".join(f"tR={tR}" for tR in range(k + 1))
+            print(header)
+            for tL in range(k + 1):
+                cells = []
+                for tR in range(k + 1):
+                    verdict = is_solvable(Setting(topology, auth, k, tL, tR))
+                    cells.append("  # " if verdict.solvable else "  . ")
+                print(f"tL={tL}" + " ".join(cells))
+    return 0
+
+
+def _cmd_paper(args) -> int:
+    from repro.paper import render_map
+
+    print(render_map())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "run": _cmd_run,
+        "attack": _cmd_attack,
+        "table": _cmd_table,
+        "paper": _cmd_paper,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Consensus substrates used by the paper's feasibility protocols.
+
+* :mod:`repro.consensus.dolev_strong` — authenticated Byzantine
+  Broadcast for any ``t < n`` [Dolev-Strong 83], the engine behind
+  Theorem 5.
+* :mod:`repro.consensus.phase_king` — the Berman-Garay-Perry king
+  protocol ``PiKing`` and the paper's omission-tolerant wrapper
+  ``PiBA`` (Theorem 8, Appendix A.6).
+* :mod:`repro.consensus.omission_bb` — ``PiBB`` (Theorem 9), the
+  one-round reduction of BB to ``PiBA``.
+* :mod:`repro.consensus.general_adversary` — phase-king BA/BB
+  generalized to Q3 adversary structures (Lemma 4, via the
+  Fitzi-Maurer acceptance conditions).
+
+All protocols are written against delay-1 virtual contexts and run
+unchanged over the relayed transports of :mod:`repro.core.relays`.
+"""
+
+from repro.consensus.base import (
+    BOT,
+    delta_ba,
+    delta_bb,
+    delta_dolev_strong,
+    delta_king,
+)
+from repro.consensus.dolev_strong import DolevStrongBB
+from repro.consensus.general_adversary import GeneralAdversaryBA, GeneralAdversaryBB
+from repro.consensus.omission_bb import PiBB
+from repro.consensus.phase_king import PiBA, PiKing
+
+__all__ = [
+    "BOT",
+    "delta_king",
+    "delta_ba",
+    "delta_bb",
+    "delta_dolev_strong",
+    "DolevStrongBB",
+    "PiKing",
+    "PiBA",
+    "PiBB",
+    "GeneralAdversaryBA",
+    "GeneralAdversaryBB",
+]

@@ -1,0 +1,59 @@
+"""Shared definitions for the consensus protocols.
+
+Timing functions mirror the paper's ``Delta``-algebra: all protocols
+are written for virtual delay-1 rounds, and running them over a
+relayed transport (2 real rounds per virtual round) multiplies every
+bound by the transport's ``delta`` — exactly the paper's
+``Delta_BA(2 * Delta)`` notation.
+
+``BOT`` is the distinguished "no value" output (the paper's ``bot``):
+protocols may output it under omissions, and the weak agreement
+property only constrains non-``BOT`` outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ProtocolError
+from repro.ids import PartyId
+
+__all__ = [
+    "BOT",
+    "delta_king",
+    "delta_ba",
+    "delta_bb",
+    "delta_dolev_strong",
+    "validate_group",
+]
+
+#: The paper's ``bot``: "no consistent value obtained".
+BOT = None
+
+
+def delta_king(t: int) -> int:
+    """Rounds until ``PiKing`` outputs: ``3 * (t + 1)`` (Theorem 11)."""
+    return 3 * (t + 1)
+
+
+def delta_ba(t: int) -> int:
+    """Rounds until ``PiBA`` outputs: ``Delta_King + 1`` echo round (Theorem 8)."""
+    return delta_king(t) + 1
+
+
+def delta_bb(t: int) -> int:
+    """Rounds until ``PiBB`` outputs: one sender round + ``Delta_BA`` (Theorem 9)."""
+    return 1 + delta_ba(t)
+
+
+def delta_dolev_strong(t: int) -> int:
+    """Rounds until Dolev-Strong outputs: ``t + 2`` (send + t+1 relay rounds)."""
+    return t + 2
+
+
+def validate_group(group: Iterable[PartyId], minimum: int = 1) -> tuple[PartyId, ...]:
+    """Normalize a participant group: sorted, distinct, non-empty."""
+    members = tuple(sorted(set(group)))
+    if len(members) < minimum:
+        raise ProtocolError(f"protocol group needs >= {minimum} parties, got {len(members)}")
+    return members

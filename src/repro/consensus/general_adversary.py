@@ -1,0 +1,179 @@
+"""Phase-king BA/BB for general (Q3) adversary structures — Lemma 4.
+
+The paper's fully-connected unauthenticated feasibility (Theorem 2)
+rests on [9, Theorem 2]: BB is solvable against any adversary structure
+``Z`` in which no three admissible sets cover the party set.  The
+constructive protocol is the phase-king engine with the counting
+thresholds replaced by structure predicates:
+
+* *strong quorum* for value ``v``: the non-senders form an admissible
+  set (every honest party may be among the senders) — generalizes
+  ``|senders| >= k - t``;
+* *honest witness*: the senders do **not** form an admissible set (at
+  least one is honest) — generalizes ``|senders| > t``;
+* king sequence: a smallest non-admissible party set (for the paper's
+  product structure with ``tL < k/3``: any ``tL + 1`` parties of ``L``),
+  so at least one king phase has an honest king.
+
+Safety of the generalized conditions is exactly the Q3 argument: if two
+honest parties saw strong quorums for different values, the two
+complement sets plus the real corruption set would be three admissible
+sets covering everything.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.adversary.structures import AdversaryStructure
+from repro.consensus.base import validate_group
+from repro.consensus.phase_king import PhaseKingEngine, _hashable
+from repro.errors import ProtocolError
+from repro.ids import PartyId
+from repro.net.process import Envelope, Process
+
+__all__ = ["GeneralAdversaryBA", "GeneralAdversaryBB"]
+
+
+class GeneralAdversaryBA(PhaseKingEngine):
+    """Byzantine Agreement under a Q3 adversary structure.
+
+    Includes the paper's echo round (as in ``PiBA``), so the omission
+    guarantees of Theorem 8 carry over: termination always, and weak
+    agreement when omissions occur.
+    """
+
+    def __init__(
+        self,
+        group: Sequence[PartyId],
+        structure: AdversaryStructure,
+        value: object,
+        kings: Sequence[PartyId] | None = None,
+    ) -> None:
+        members = validate_group(group, minimum=1)
+        member_set = frozenset(members)
+        self.structure = structure
+
+        def strong_quorum(senders: frozenset) -> bool:
+            return structure.permits(member_set - senders)
+
+        def honest_witness(senders: frozenset) -> bool:
+            return bool(senders) and not structure.permits(senders)
+
+        king_sequence = tuple(kings) if kings is not None else structure.king_set()
+        for king in king_sequence:
+            if king not in member_set:
+                raise ProtocolError(f"king {king} is not in the group")
+        super().__init__(
+            group=members,
+            kings=king_sequence,
+            value=value,
+            strong_quorum=strong_quorum,
+            honest_witness=honest_witness,
+        )
+
+    @property
+    def output_round(self) -> int:
+        """Round at which BA outputs: king schedule plus one echo round."""
+        return self.decision_round + 1
+
+    def on_round(self, ctx, inbox: Sequence[Envelope]) -> None:
+        round_now = ctx.round
+        king_done = self.decision_round
+        if round_now < king_done:
+            super().on_round(ctx, inbox)
+            return
+        if round_now == king_done:
+            self._absorb_king(ctx, inbox, self.phases - 1)
+            self._echo_value = self.v
+            for dst in self._others(ctx.me):
+                ctx.send(dst, ("echo", self._echo_value))
+            return
+        if round_now == king_done + 1:
+            counts: dict[object, set[PartyId]] = {}
+            counts.setdefault(self._echo_value, set()).add(ctx.me)
+            for envelope in inbox:
+                payload = envelope.payload
+                if (
+                    isinstance(payload, tuple)
+                    and len(payload) == 2
+                    and payload[0] == "echo"
+                    and envelope.src in self.group
+                    and _hashable(payload[1])
+                ):
+                    counts.setdefault(payload[1], set()).add(envelope.src)
+            member_set = frozenset(self.group)
+            decided: object = None
+            for value in self._ordered({v: frozenset(s) for v, s in counts.items()}):
+                if self.structure.permits(member_set - frozenset(counts[value])):
+                    decided = value
+                    break
+            ctx.output(decided)
+            ctx.halt()
+
+    def _on_decided(self, ctx, value: object) -> None:
+        raise ProtocolError("GeneralAdversaryBA handles its own decision schedule")
+
+
+class GeneralAdversaryBB(Process):
+    """Byzantine Broadcast under a Q3 structure: sender round + BA.
+
+    Validity: an honest sender's value reaches every honest party, all
+    of whom join BA with the same input; BA validity does the rest.
+    """
+
+    def __init__(
+        self,
+        sender: PartyId,
+        group: Sequence[PartyId],
+        structure: AdversaryStructure,
+        value: object = None,
+        default: object = None,
+        kings: Sequence[PartyId] | None = None,
+    ) -> None:
+        self.group = validate_group(group, minimum=1)
+        if sender not in self.group:
+            raise ProtocolError(f"sender {sender} is not in the group")
+        self.sender = sender
+        self.structure = structure
+        self.value = value
+        self.default = default
+        self._kings = kings
+        self._ba: GeneralAdversaryBA | None = None
+
+    @property
+    def output_round(self) -> int:
+        """Round at which BB outputs: one sender round + the BA schedule."""
+        probe = GeneralAdversaryBA(self.group, self.structure, None, kings=self._kings)
+        return 1 + probe.output_round
+
+    def on_round(self, ctx, inbox: Sequence[Envelope]) -> None:
+        round_now = ctx.round
+        if round_now == 0:
+            if ctx.me == self.sender:
+                for dst in (p for p in self.group if p != ctx.me):
+                    ctx.send(dst, ("bbin", self.value))
+            return
+        if round_now == 1:
+            received = self.default
+            if ctx.me == self.sender:
+                received = self.value
+            else:
+                for envelope in inbox:
+                    payload = envelope.payload
+                    if (
+                        envelope.src == self.sender
+                        and isinstance(payload, tuple)
+                        and len(payload) == 2
+                        and payload[0] == "bbin"
+                        and _hashable(payload[1])
+                    ):
+                        received = payload[1]
+                        break
+            self._ba = GeneralAdversaryBA(
+                self.group, self.structure, received, kings=self._kings
+            )
+        if self._ba is not None and not ctx.halted:
+            from repro.consensus.omission_bb import ShiftedContext
+
+            self._ba.on_round(ShiftedContext(ctx, 1), inbox if round_now > 1 else ())

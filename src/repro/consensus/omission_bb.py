@@ -1,0 +1,96 @@
+"""``PiBB`` (Theorem 9): Byzantine Broadcast from ``PiBA``.
+
+The paper's reduction, verbatim: the sender sends its value to all
+parties; a party that receives nothing within ``Delta`` substitutes the
+default value (the default preference list, in ``PiBSM``); everyone
+then joins ``PiBA`` on the received value.  Under omissions the BA's
+termination and weak agreement carry over, which is all ``PiBSM``
+needs from its broadcasts when the right side is fully byzantine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.consensus.base import delta_bb, validate_group
+from repro.consensus.phase_king import PiBA, _hashable
+from repro.errors import ProtocolError
+from repro.ids import PartyId
+from repro.net.process import Envelope, Process
+from repro.net.shift import ShiftedContext
+
+__all__ = ["PiBB", "ShiftedContext"]
+
+
+class PiBB(Process):
+    """One ``PiBB`` broadcast instance over a group with ``t < k/3``.
+
+    Args:
+        sender: the designated broadcaster.
+        group: all participants.
+        t: corruption bound within the group.
+        value: sender input (ignored for non-senders).
+        default: substituted when the sender stays silent (the paper's
+            "default preference list").
+        validator: optional predicate; received values failing it are
+            replaced by the default before entering BA.
+    """
+
+    def __init__(
+        self,
+        sender: PartyId,
+        group: Sequence[PartyId],
+        t: int,
+        value: object = None,
+        default: object = None,
+        validator: Callable[[object], bool] | None = None,
+    ) -> None:
+        self.group = validate_group(group, minimum=1)
+        if sender not in self.group:
+            raise ProtocolError(f"sender {sender} is not in the group")
+        if t < 0 or 3 * t >= len(self.group):
+            raise ProtocolError(f"PiBB needs 0 <= t < k/3, got t={t}, k={len(self.group)}")
+        self.sender = sender
+        self.t = t
+        self.value = value
+        self.default = default
+        self.validator = validator
+        self._ba: PiBA | None = None
+
+    @property
+    def output_round(self) -> int:
+        """Round at which this instance outputs: ``delta_bb(t)``."""
+        return delta_bb(self.t)
+
+    def on_round(self, ctx, inbox: Sequence[Envelope]) -> None:
+        round_now = ctx.round
+        if round_now == 0:
+            if ctx.me == self.sender:
+                for dst in (p for p in self.group if p != ctx.me):
+                    ctx.send(dst, ("bbin", self.value))
+            return
+        if round_now == 1:
+            received: object = None
+            got = False
+            if ctx.me == self.sender:
+                received, got = self.value, True
+            else:
+                for envelope in inbox:
+                    payload = envelope.payload
+                    if (
+                        envelope.src == self.sender
+                        and isinstance(payload, tuple)
+                        and len(payload) == 2
+                        and payload[0] == "bbin"
+                        and _hashable(payload[1])
+                    ):
+                        received, got = payload[1], True
+                        break
+            if not got:
+                received = self.default
+            elif self.validator is not None and not self.validator(received):
+                received = self.default
+            self._ba = PiBA(self.group, self.t, received)
+        if self._ba is not None and not ctx.halted:
+            shifted = ShiftedContext(ctx, 1)
+            self._ba.on_round(shifted, inbox if round_now > 1 else ())

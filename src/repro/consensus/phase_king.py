@@ -1,0 +1,276 @@
+"""``PiKing`` and ``PiBA`` (paper Appendix A.6, Theorems 8 and 11).
+
+``PiKing`` is the Berman-Garay-Perry king protocol exactly as the
+paper presents it: ``t + 1`` phases of three rounds (value / propose /
+king), deciding after ``3 (t + 1)`` rounds.  ``PiBA`` adds the paper's
+one echo round on top: a party outputs ``z`` only after seeing the same
+``z`` from ``k - t`` parties, and outputs ``BOT`` otherwise — this is
+what turns plain BA into BA-with-weak-agreement-under-omissions
+(Theorem 8), the property ``PiBSM`` needs when the whole right side is
+byzantine.
+
+The engine is written with *acceptance predicates* instead of literal
+counts so the general-adversary variant (Lemma 4) reuses it with
+structure-based conditions; the threshold predicates here are verbatim
+translations of the pseudocode's ``k - tL`` / ``> tL`` conditions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.consensus.base import BOT, delta_ba, delta_king, validate_group
+from repro.errors import ProtocolError
+from repro.ids import PartyId
+from repro.net.process import Envelope, Process
+
+__all__ = ["PhaseKingEngine", "PiKing", "PiBA"]
+
+
+def _hashable(value: object) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+class PhaseKingEngine(Process):
+    """Shared state machine for threshold and general-adversary phase king.
+
+    Subclasses (or callers) provide:
+
+    * ``kings`` — the king sequence; one phase per king; at least one
+      king must stay honest for agreement;
+    * ``strong_quorum(senders)`` — "every honest party may be among the
+      senders" (threshold form: ``|senders| >= k - t``);
+    * ``honest_witness(senders)`` — "at least one sender is honest"
+      (threshold form: ``|senders| > t``).
+    """
+
+    def __init__(
+        self,
+        group: Sequence[PartyId],
+        kings: Sequence[PartyId],
+        value: object,
+        strong_quorum: Callable[[frozenset], bool],
+        honest_witness: Callable[[frozenset], bool],
+    ) -> None:
+        self.group = validate_group(group, minimum=1)
+        self.kings = tuple(kings)
+        if not self.kings:
+            raise ProtocolError("phase king needs a non-empty king sequence")
+        for king in self.kings:
+            if king not in self.group:
+                raise ProtocolError(f"king {king} is not in the group")
+        self._strong_quorum = strong_quorum
+        self._honest_witness = honest_witness
+        self.v = value
+        self._weak_support = False
+        self._king_candidate: object = BOT
+        self._king_candidate_seen = False
+
+    # -- schedule ------------------------------------------------------------------
+
+    @property
+    def phases(self) -> int:
+        return len(self.kings)
+
+    @property
+    def decision_round(self) -> int:
+        """The virtual round at which the engine decides: ``3 * phases``."""
+        return 3 * self.phases
+
+    def _others(self, me: PartyId) -> tuple[PartyId, ...]:
+        return tuple(p for p in self.group if p != me)
+
+    # -- the rounds -----------------------------------------------------------------
+
+    def on_round(self, ctx, inbox: Sequence[Envelope]) -> None:
+        round_now = ctx.round
+        if round_now > self.decision_round:
+            return
+        phase, step = divmod(round_now, 3)
+
+        if step == 0:
+            # Close the previous phase: adopt the king's value when this
+            # party saw no strong proposal support (pseudocode lines 15-16).
+            if phase > 0:
+                self._absorb_king(ctx, inbox, phase - 1)
+            if round_now == self.decision_round:
+                self._on_decided(ctx, self.v)
+                return
+            # Pseudocode round 1: send (value, v) to all.  A party counts
+            # its own value toward quorums (it "sends to itself").
+            self._sent_value = self.v
+            for dst in self._others(ctx.me):
+                ctx.send(dst, ("val", phase, self.v))
+            return
+
+        if step == 1:
+            # Pseudocode round 2: propose any value with a strong quorum.
+            votes = self._tally(inbox, "val", phase, own=(ctx.me, self._sent_value))
+            self._sent_proposal = None
+            for candidate in self._ordered(votes):
+                if self._strong_quorum(votes[candidate]):
+                    self._sent_proposal = candidate
+                    for dst in self._others(ctx.me):
+                        ctx.send(dst, ("prop", phase, candidate))
+                    break
+            return
+
+        # step == 2 — pseudocode round 3: absorb proposals, king speaks.
+        own_proposal = None
+        if getattr(self, "_sent_proposal", None) is not None:
+            own_proposal = (ctx.me, self._sent_proposal)
+        proposals = self._tally(inbox, "prop", phase, own=own_proposal)
+        for candidate in self._ordered(proposals):
+            if self._honest_witness(proposals[candidate]):
+                self.v = candidate
+                break
+        self._weak_support = not any(
+            self._strong_quorum(senders) for senders in proposals.values()
+        )
+        king = self.kings[phase]
+        self._king_candidate_seen = False
+        self._king_candidate = BOT
+        if ctx.me == king:
+            for dst in self._others(ctx.me):
+                ctx.send(dst, ("king", phase, self.v))
+            # The king "receives" its own broadcast.
+            self._king_candidate = self.v
+            self._king_candidate_seen = True
+
+    def _absorb_king(self, ctx, inbox: Sequence[Envelope], phase: int) -> None:
+        king = self.kings[phase]
+        if not self._king_candidate_seen:
+            for envelope in inbox:
+                payload = envelope.payload
+                if (
+                    envelope.src == king
+                    and isinstance(payload, tuple)
+                    and len(payload) == 3
+                    and payload[0] == "king"
+                    and payload[1] == phase
+                    and _hashable(payload[2])
+                ):
+                    self._king_candidate = payload[2]
+                    self._king_candidate_seen = True
+                    break
+        if self._weak_support and self._king_candidate_seen:
+            self.v = self._king_candidate
+
+    def _tally(
+        self,
+        inbox: Sequence[Envelope],
+        tag: str,
+        phase: int,
+        own: tuple[PartyId, object] | None = None,
+    ) -> dict[object, frozenset]:
+        votes: dict[object, set[PartyId]] = {}
+        if own is not None and _hashable(own[1]):
+            votes.setdefault(own[1], set()).add(own[0])
+        for envelope in inbox:
+            payload = envelope.payload
+            if not (
+                isinstance(payload, tuple)
+                and len(payload) == 3
+                and payload[0] == tag
+                and payload[1] == phase
+            ):
+                continue
+            if envelope.src not in self.group or not _hashable(payload[2]):
+                continue
+            votes.setdefault(payload[2], set()).add(envelope.src)
+        return {value: frozenset(senders) for value, senders in votes.items()}
+
+    def _ordered(self, votes: dict[object, frozenset]) -> list:
+        """Candidates by (support size desc, stable repr) — deterministic."""
+        return sorted(votes, key=lambda value: (-len(votes[value]), repr(value)))
+
+    def _on_decided(self, ctx, value: object) -> None:
+        """Terminal hook; plain King outputs and halts."""
+        ctx.output(value)
+        ctx.halt()
+
+
+class PiKing(PhaseKingEngine):
+    """The paper's ``PiKing``: threshold phase king for ``t < k/3``.
+
+    Decides within ``3 (t + 1)`` rounds (Theorem 11); under omissions it
+    still terminates on schedule (Remark 1) but may decide inconsistently —
+    use :class:`PiBA` for the weak-agreement guarantee.
+    """
+
+    def __init__(
+        self,
+        group: Sequence[PartyId],
+        t: int,
+        value: object,
+        kings: Sequence[PartyId] | None = None,
+    ) -> None:
+        members = validate_group(group, minimum=1)
+        if t < 0 or 3 * t >= len(members):
+            raise ProtocolError(
+                f"PiKing needs 0 <= t < k/3, got t={t} for k={len(members)}"
+            )
+        size = len(members)
+        super().__init__(
+            group=members,
+            kings=tuple(kings) if kings is not None else members[: t + 1],
+            value=value,
+            strong_quorum=lambda senders: len(senders) >= size - t,
+            honest_witness=lambda senders: len(senders) > t,
+        )
+        self.t = t
+
+
+class PiBA(PiKing):
+    """``PiBA`` (Theorem 8): ``PiKing`` plus one echo round.
+
+    After King decides ``y``, everyone sends ``y``; a party outputs
+    ``z`` only on receiving the same ``z`` from ``k - t`` parties
+    (counting itself), and ``BOT`` otherwise.  Under omissions this
+    yields termination plus weak agreement: two honest non-``BOT``
+    outputs are equal.
+    """
+
+    def on_round(self, ctx, inbox: Sequence[Envelope]) -> None:
+        round_now = ctx.round
+        king_done = self.decision_round
+        if round_now < king_done:
+            super().on_round(ctx, inbox)
+            return
+        if round_now == king_done:
+            # Finish King (absorb the final king message), then echo y.
+            phase = self.phases - 1
+            self._absorb_king(ctx, inbox, phase)
+            self._echo_value = self.v
+            for dst in self._others(ctx.me):
+                ctx.send(dst, ("echo", self._echo_value))
+            return
+        if round_now == king_done + 1:
+            counts: dict[object, set[PartyId]] = {}
+            counts.setdefault(self._echo_value, set()).add(ctx.me)
+            for envelope in inbox:
+                payload = envelope.payload
+                if (
+                    isinstance(payload, tuple)
+                    and len(payload) == 2
+                    and payload[0] == "echo"
+                    and envelope.src in self.group
+                    and _hashable(payload[1])
+                ):
+                    counts.setdefault(payload[1], set()).add(envelope.src)
+            threshold = len(self.group) - self.t
+            decided: object = BOT
+            for value in self._ordered({v: frozenset(s) for v, s in counts.items()}):
+                if len(counts[value]) >= threshold:
+                    decided = value
+                    break
+            ctx.output(decided)
+            ctx.halt()
+
+    def _on_decided(self, ctx, value: object) -> None:
+        # Never reached: PiBA intercepts the decision round above.
+        raise ProtocolError("PiBA handles its own decision schedule")

@@ -1,0 +1,30 @@
+"""The paper's contribution: byzantine stable matching protocols.
+
+* :mod:`repro.core.problem` — settings and instances (``bSM`` / ``sSM``);
+* :mod:`repro.core.verdict` — machine-checked bSM properties;
+* :mod:`repro.core.relays` — the channel-simulation lemmas (6, 8, 10);
+* :mod:`repro.core.bb_based` — the generic BB-then-local-Gale-Shapley
+  protocol (Lemma 1);
+* :mod:`repro.core.bipartite_auth` — ``PiBSM`` (Section 5.2);
+* :mod:`repro.core.simplified` — sSM wrappers and reductions (Lemmas 2, 3);
+* :mod:`repro.core.solvability` — the characterization oracle
+  (Theorems 2-7);
+* :mod:`repro.core.runner` — end-to-end harness.
+"""
+
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import BSMReport, run_bsm
+from repro.core.solvability import SolvabilityVerdict, is_solvable
+from repro.core.verdict import PropertyReport, check_bsm, check_ssm
+
+__all__ = [
+    "Setting",
+    "BSMInstance",
+    "PropertyReport",
+    "check_bsm",
+    "check_ssm",
+    "SolvabilityVerdict",
+    "is_solvable",
+    "run_bsm",
+    "BSMReport",
+]

@@ -1,0 +1,153 @@
+"""The generic BB-based bSM protocol (Lemma 1).
+
+"A BB protocol allows the sender to disseminate its preferences so
+that all parties obtain identical views of them. ... This enables them
+to run AG-S offline and obtain the same stable matching, thereby
+solving bSM."
+
+Every party broadcasts its preference list (one BB instance per party,
+all ``2k`` in parallel), substitutes the default list for any party
+whose broadcast did not yield a valid list, runs the deterministic
+``AG-S`` locally, and outputs its own match.
+
+The BB engine and the transport vary by setting:
+
+* authenticated — Dolev-Strong (``t < n``), Theorem 5;
+* unauthenticated — general-adversary phase king (Q3), Lemma 4;
+* fully-connected — direct links; one-sided / bipartite — the majority
+  (Lemma 6) or signed (Lemma 8) relays at ``delta = 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.consensus.dolev_strong import DolevStrongBB
+from repro.consensus.general_adversary import GeneralAdversaryBB
+from repro.core.problem import Setting
+from repro.core.relays import MajorityRelayLink, SignedRelayLink
+from repro.errors import SolvabilityError
+from repro.ids import LEFT, PartyId, all_parties
+from repro.matching.gale_shapley import gale_shapley
+from repro.matching.preferences import (
+    PreferenceList,
+    PreferenceProfile,
+    default_list,
+    is_valid_list,
+)
+from repro.net.mux import Mux
+from repro.net.process import Envelope, Process
+from repro.net.topology import Topology
+from repro.net.transports import DirectLink, TransportProcess
+
+__all__ = ["BBCollectionProtocol", "make_bb_based_party", "bb_engine_for"]
+
+
+class BBCollectionProtocol(Process):
+    """Upper half of Lemma 1: broadcast, collect, match, decide.
+
+    Runs over a (possibly relayed) virtual fully-connected network.
+    """
+
+    def __init__(
+        self,
+        me: PartyId,
+        k: int,
+        my_list: PreferenceList,
+        bb_factory: Callable[[PartyId, object], Process],
+    ) -> None:
+        self.me = me
+        self.k = k
+        self.my_list = tuple(my_list)
+        self.bb_factory = bb_factory
+        self.mux = Mux()
+        self._started = False
+
+    def on_round(self, ctx, inbox: Sequence[Envelope]) -> None:
+        if not self._started:
+            self._started = True
+            for sender in all_parties(self.k):
+                value = self.my_list if sender == self.me else None
+                self.mux.add(("bb", sender), self.bb_factory(sender, value))
+        self.mux.step(ctx, inbox)
+        if self.mux.all_done() and not ctx.has_output:
+            self._decide(ctx)
+
+    def _decide(self, ctx) -> None:
+        lists: dict[PartyId, PreferenceList] = {}
+        for sender in all_parties(self.k):
+            value = self.mux.output_of(("bb", sender))
+            if is_valid_list(sender, value, self.k):
+                lists[sender] = tuple(value)
+            else:
+                # The sender is necessarily byzantine: substitute the
+                # canonical default list (Lemma 1).
+                lists[sender] = default_list(sender, self.k)
+        profile = PreferenceProfile(k=self.k, lists=lists)
+        matching = gale_shapley(profile, proposer_side=LEFT).matching
+        ctx.output(matching.partner(self.me))
+        ctx.halt()
+
+
+def bb_engine_for(
+    setting: Setting, force: bool = False
+) -> Callable[[PartyId, PartyId, object], Process]:
+    """The BB instance factory for a setting: ``(me, sender, value) -> Process``.
+
+    Authenticated settings use Dolev-Strong with ``t = tL + tR`` (capped
+    at ``n - 1``); unauthenticated settings use the general-adversary
+    phase king over the product structure, which requires Q3 — pass
+    ``force=True`` to build the protocol outside its domain (attack
+    demonstrations run exactly such configurations).
+    """
+    group = all_parties(setting.k)
+    if setting.authenticated:
+        t = min(setting.tL + setting.tR, len(group) - 1)
+
+        def make_auth(me: PartyId, sender: PartyId, value: object) -> Process:
+            return DolevStrongBB(sender=sender, group=group, t=t, value=value)
+
+        return make_auth
+
+    structure = setting.structure()
+    if not structure.satisfies_q3() and not force:
+        raise SolvabilityError(
+            f"unauthenticated BB needs Q3 (tL < k/3 or tR < k/3); {setting.describe()}"
+        )
+
+    def make_unauth(me: PartyId, sender: PartyId, value: object) -> Process:
+        return GeneralAdversaryBB(sender=sender, group=group, structure=structure, value=value)
+
+    return make_unauth
+
+
+def make_bb_based_party(
+    me: PartyId,
+    setting: Setting,
+    my_list: PreferenceList,
+    topology: Topology | None = None,
+    force: bool = False,
+) -> Process:
+    """Assemble the full Lemma 1 party process for ``me`` in ``setting``.
+
+    Picks the transport (direct / majority relay / signed relay) and the
+    BB engine mandated by the setting's theorem.  ``force=True`` builds
+    the protocol even outside its solvability conditions (attack demos).
+    """
+    topo = topology if topology is not None else setting.topology()
+    group = all_parties(setting.k)
+
+    if setting.topology_name == "fully_connected":
+        link = DirectLink(me, group)
+    elif setting.authenticated:
+        link = SignedRelayLink(me, topo, group)
+    else:
+        link = MajorityRelayLink(me, topo, group)
+
+    engine = bb_engine_for(setting, force=force)
+
+    def bb_factory(sender: PartyId, value: object) -> Process:
+        return engine(me, sender, value)
+
+    upper = BBCollectionProtocol(me, setting.k, my_list, bb_factory)
+    return TransportProcess(link, upper)

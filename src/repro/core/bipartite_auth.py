@@ -1,0 +1,256 @@
+"""``PiBSM`` — the flagship protocol of Section 5.2.
+
+Bipartite authenticated network, ``tL < k/3`` and ``tR`` up to ``k``
+(the whole right side may be byzantine).  The paper's code, round by
+round:
+
+* Parties in ``R``: (1) forward properly signed relay messages between
+  parties in ``L`` (Lemma 10); (2) send their preference list to every
+  party in ``L``; (3) at the deadline, match according to the most
+  common suggestion received from ``L``.
+* Parties in ``L``: communicate among themselves through the timed
+  signed relay (a fully-connected network with ``2 Delta`` delay where
+  omissions require all of ``R`` byzantine); broadcast their lists via
+  ``PiBB``; agree on every ``R``-party's list via ``PiBA`` (default
+  list when nothing arrived); if any agreed value is ``bot``, match
+  nobody; otherwise run ``AG-S`` locally, tell each ``R``-party its
+  match, and output their own.
+
+Schedule (real rounds; one virtual round = 2 real rounds):
+
+* real 0 — ``R`` sends preference lists; ``L`` starts the ``PiBB``s;
+* real 1 — ``L`` receives ``R``'s lists ("wait Delta time");
+* real 2 — ``L`` starts the ``PiBA``s (virtual round 1);
+* both batches finish at virtual round ``3 tL + 5``
+  (``= max(Delta_BA(2 Delta) + Delta, Delta_BB(2 Delta))``), i.e. real
+  round ``2 (3 tL + 5)``, when ``L`` decides and sends suggestions;
+* real ``2 (3 tL + 5) + 1`` — ``R`` decides on the majority suggestion.
+
+The implementation is side-generic: ``computing_side="R"`` yields the
+mirrored protocol used when ``tR < k/3`` and ``tL`` may reach ``k``
+(Theorem 6's symmetric case).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.consensus.omission_bb import PiBB
+from repro.consensus.phase_king import PiBA
+from repro.core.relays import TimedSignedRelayLink, timed_forward_duty
+from repro.errors import ProtocolError
+from repro.ids import LEFT, PartyId, left_side, right_side
+from repro.matching.gale_shapley import gale_shapley
+from repro.matching.preferences import (
+    PreferenceList,
+    PreferenceProfile,
+    default_list,
+    is_valid_list,
+)
+from repro.net.mux import Mux
+from repro.net.process import Envelope, Process
+from repro.net.shift import LazyShiftedProcess
+from repro.net.transports import VirtualContext
+
+__all__ = ["PiBSMComputing", "PiBSMResponding", "pibsm_decision_rounds"]
+
+
+def _side_parties(side: str, k: int) -> tuple[PartyId, ...]:
+    return left_side(k) if side == "L" else right_side(k)
+
+
+def pibsm_decision_rounds(k: int, t_computing: int) -> tuple[int, int]:
+    """(computing-side decision round, responding-side deadline) in real rounds.
+
+    Both ``PiBB`` (virtual ``3t + 5``) and the shifted ``PiBA``
+    (``1 + (3t + 4)``) finish at virtual round ``3t + 5``.
+    """
+    virtual_done = 3 * t_computing + 5
+    computing = 2 * virtual_done
+    responding = computing + 1
+    return computing, responding
+
+
+class PiBSMComputing(Process):
+    """``PiBSM`` code for a party on the computing side (``L`` in the paper)."""
+
+    def __init__(
+        self,
+        me: PartyId,
+        k: int,
+        t: int,
+        my_list: PreferenceList,
+        computing_side: str = "L",
+    ) -> None:
+        if me.side != computing_side:
+            raise ProtocolError(f"{me} is not on computing side {computing_side}")
+        if t < 0 or 3 * t >= k:
+            raise ProtocolError(f"PiBSM needs t < k/3 on the computing side, got t={t}, k={k}")
+        self.me = me
+        self.k = k
+        self.t = t
+        self.my_list = tuple(my_list)
+        self.side = computing_side
+        self.other_side = "R" if computing_side == "L" else "L"
+        self.link = TimedSignedRelayLink(me, k, side=computing_side)
+        self.mux = Mux()
+        self._vctx: VirtualContext | None = None
+        self._other_prefs: dict[PartyId, PreferenceList] = {}
+        self._started = False
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def _group(self) -> tuple[PartyId, ...]:
+        return _side_parties(self.side, self.k)
+
+    def _others_side(self) -> tuple[PartyId, ...]:
+        return _side_parties(self.other_side, self.k)
+
+    def _start_instances(self) -> None:
+        group = self._group()
+        for sender in group:
+            value = self.my_list if sender == self.me else None
+            self.mux.add(
+                ("bb", sender),
+                PiBB(
+                    sender=sender,
+                    group=group,
+                    t=self.t,
+                    value=value,
+                    default=default_list(sender, self.k),
+                    validator=lambda v, s=sender: is_valid_list(s, v, self.k),
+                ),
+            )
+        for responder in self._others_side():
+            self.mux.add(
+                ("ba", responder),
+                LazyShiftedProcess(
+                    factory=lambda r=responder: PiBA(
+                        group=group, t=self.t, value=self._pref_or_default(r)
+                    ),
+                    shift=1,
+                ),
+            )
+
+    def _pref_or_default(self, responder: PartyId) -> PreferenceList:
+        return self._other_prefs.get(responder, default_list(responder, self.k))
+
+    # -- rounds ----------------------------------------------------------------------
+
+    def on_round(self, ctx, inbox: Sequence[Envelope]) -> None:
+        leftover = self.link.ingest(ctx, inbox)
+
+        # "Wait Delta time to receive preference lists from parties in R."
+        if ctx.round == 1:
+            for envelope in leftover:
+                payload = envelope.payload
+                if (
+                    envelope.src.side == self.other_side
+                    and isinstance(payload, tuple)
+                    and len(payload) == 2
+                    and payload[0] == "prefs"
+                    and envelope.src not in self._other_prefs
+                    and is_valid_list(envelope.src, payload[1], self.k)
+                ):
+                    self._other_prefs[envelope.src] = tuple(payload[1])
+
+        if ctx.round % self.link.delta != 0 or ctx.halted:
+            return
+        if self._vctx is None:
+            self._vctx = VirtualContext(ctx, self.link)
+        if not self._started:
+            self._started = True
+            self._start_instances()
+        vinbox = tuple(self.link.collect())
+        self.mux.step(self._vctx, vinbox)
+        if self.mux.all_done() and not ctx.has_output:
+            self._decide(ctx)
+
+    def _decide(self, ctx) -> None:
+        values: dict[PartyId, object] = {}
+        for sender in self._group():
+            values[sender] = self.mux.output_of(("bb", sender))
+        for responder in self._others_side():
+            values[responder] = self.mux.output_of(("ba", responder))
+
+        # Line 6: any bot => match with nobody and terminate (only possible
+        # when the entire responding side is byzantine — Lemma 11).
+        if any(value is None for value in values.values()):
+            ctx.output(None)
+            ctx.halt()
+            return
+
+        lists: dict[PartyId, PreferenceList] = {}
+        for party, value in values.items():
+            if is_valid_list(party, value, self.k):
+                lists[party] = tuple(value)
+            else:
+                lists[party] = default_list(party, self.k)
+        profile = PreferenceProfile(k=self.k, lists=lists)
+        matching = gale_shapley(profile, proposer_side=LEFT).matching
+
+        for responder in self._others_side():
+            ctx.send(responder, ("suggest", matching.partner(responder)))
+        ctx.output(matching.partner(self.me))
+        ctx.halt()
+
+
+class PiBSMResponding(Process):
+    """``PiBSM`` code for a party on the responding side (``R`` in the paper)."""
+
+    def __init__(
+        self,
+        me: PartyId,
+        k: int,
+        t_computing: int,
+        my_list: PreferenceList,
+        computing_side: str = "L",
+    ) -> None:
+        if me.side == computing_side:
+            raise ProtocolError(f"{me} is on the computing side {computing_side}")
+        self.me = me
+        self.k = k
+        self.t = t_computing
+        self.my_list = tuple(my_list)
+        self.computing_side = computing_side
+        _, self.deadline = pibsm_decision_rounds(k, t_computing)
+        self._suggestions: dict[PartyId, object] = {}
+
+    def on_round(self, ctx, inbox: Sequence[Envelope]) -> None:
+        computing = _side_parties(self.computing_side, self.k)
+
+        # Line 2: send the preference list to every party on the other side.
+        if ctx.round == 0:
+            for dst in computing:
+                ctx.send(dst, ("prefs", self.my_list))
+
+        for envelope in inbox:
+            # Line 1: forwarding duty for the timed signed relay.
+            if timed_forward_duty(ctx, envelope, self.k, self.computing_side):
+                continue
+            payload = envelope.payload
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == "suggest"
+                and envelope.src.side == self.computing_side
+                and envelope.src not in self._suggestions
+            ):
+                self._suggestions[envelope.src] = payload[1]
+
+        # Lines 3-5: decide on the most common suggestion at the deadline.
+        if ctx.round >= self.deadline and not ctx.has_output:
+            counts: dict[PartyId, int] = {}
+            for value in self._suggestions.values():
+                if (
+                    isinstance(value, PartyId)
+                    and value.side == self.computing_side
+                    and value.index < self.k
+                ):
+                    counts[value] = counts.get(value, 0) + 1
+            if counts:
+                best = min(counts, key=lambda party: (-counts[party], party))
+                ctx.output(best)
+            else:
+                ctx.output(None)
+            ctx.halt()

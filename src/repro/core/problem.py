@@ -1,0 +1,97 @@
+"""Problem definitions: settings and instances of bSM / sSM.
+
+A :class:`Setting` pins down everything Definition 1 quantifies over:
+the topology (Fig. 1), the crypto assumption, the side size ``k``, and
+the corruption budgets ``tL`` / ``tR``.  A :class:`BSMInstance` adds
+the honest inputs (a full preference profile); an :class:`SSMInstance`
+adds favorites only (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.adversary.structures import ProductThresholdStructure
+from repro.errors import SolvabilityError
+from repro.ids import PartyId, all_parties
+from repro.matching.preferences import PreferenceProfile
+from repro.net.topology import TOPOLOGY_NAMES, Topology, topology_by_name
+
+__all__ = ["Setting", "BSMInstance", "SSMInstance"]
+
+
+@dataclass(frozen=True)
+class Setting:
+    """One point of the paper's characterization grid."""
+
+    topology_name: str
+    authenticated: bool
+    k: int
+    tL: int
+    tR: int
+
+    def __post_init__(self) -> None:
+        if self.topology_name not in TOPOLOGY_NAMES:
+            raise SolvabilityError(
+                f"unknown topology {self.topology_name!r}; expected one of {TOPOLOGY_NAMES}"
+            )
+        if self.k <= 0:
+            raise SolvabilityError(f"k must be positive, got {self.k}")
+        if not (0 <= self.tL <= self.k and 0 <= self.tR <= self.k):
+            raise SolvabilityError(
+                f"corruption budgets must lie in [0, k={self.k}], got tL={self.tL}, tR={self.tR}"
+            )
+
+    def topology(self) -> Topology:
+        """Instantiate the topology object."""
+        return topology_by_name(self.topology_name, self.k)
+
+    def structure(self) -> ProductThresholdStructure:
+        """The adversary structure ``Z*`` of this setting."""
+        return ProductThresholdStructure(self.k, self.tL, self.tR)
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        crypto = "auth" if self.authenticated else "unauth"
+        return (
+            f"{self.topology_name}/{crypto} k={self.k} tL={self.tL} tR={self.tR}"
+        )
+
+
+@dataclass(frozen=True)
+class BSMInstance:
+    """A bSM run: a setting plus everyone's true preference lists.
+
+    The profile covers all ``2k`` parties; byzantine parties' entries
+    are their *nominal* inputs (used when a behavior plays them
+    honestly) and are ignored by verdicts.
+    """
+
+    setting: Setting
+    profile: PreferenceProfile
+
+    def __post_init__(self) -> None:
+        if self.profile.k != self.setting.k:
+            raise SolvabilityError(
+                f"profile k={self.profile.k} does not match setting k={self.setting.k}"
+            )
+
+
+@dataclass(frozen=True)
+class SSMInstance:
+    """An sSM run: a setting plus one favorite per party (Section 3)."""
+
+    setting: Setting
+    favorites: Mapping[PartyId, PartyId]
+
+    def __post_init__(self) -> None:
+        expected = set(all_parties(self.setting.k))
+        if set(self.favorites) != expected:
+            raise SolvabilityError("favorites must cover exactly the 2k parties")
+        for party, favorite in self.favorites.items():
+            if favorite.side == party.side:
+                raise SolvabilityError(
+                    f"{party}'s favorite must be on the opposite side, got {favorite}"
+                )
+        object.__setattr__(self, "favorites", dict(self.favorites))

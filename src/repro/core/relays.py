@@ -1,0 +1,368 @@
+"""The paper's channel-simulation lemmas as link layers.
+
+* :class:`MajorityRelayLink` — Lemma 6: a disconnected side tunnels
+  through the opposite side; the receiver accepts a message echoed by a
+  strict majority (``> k/2``) of the forwarding side.  Sound whenever
+  the forwarding side has an honest majority.
+* :class:`SignedRelayLink` — Lemma 8: with a PKI one honest forwarder
+  suffices; the receiver accepts any correctly signed copy.  Sound
+  whenever the forwarding side has at least one honest party.
+* :class:`TimedSignedRelayLink` — Lemma 10: the ``PiBSM`` variant with
+  timestamps and message identifiers; a message is accepted only within
+  ``2 * Delta`` of its claimed send time, so the only possible failure
+  mode is a clean *omission*, and omissions require the entire
+  forwarding side to be byzantine.
+
+All three present a virtual fully-connected network with a uniform
+virtual delay of one virtual round = two real rounds (``delta = 2``);
+pairs that already share a physical channel go direct but are buffered
+to the same cadence, matching the paper's ``Delta_BA(2 * Delta)``
+timing algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.crypto.encoding import encode
+from repro.errors import ProtocolError
+from repro.ids import PartyId, left_side, right_side
+from repro.net.process import Context, Envelope
+from repro.net.topology import Topology
+from repro.net.transports import LinkLayer
+
+__all__ = [
+    "MajorityRelayLink",
+    "SignedRelayLink",
+    "TimedSignedRelayLink",
+    "timed_forward_duty",
+]
+
+
+def _hashable(value: object) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+def _stable_key(payload: object) -> bytes:
+    """A deterministic key for payload comparison (tolerates junk)."""
+    try:
+        return encode(payload)
+    except ProtocolError:
+        return repr(payload).encode("utf-8", "replace")
+
+
+class _RelayLinkBase(LinkLayer):
+    """Shared plumbing for the Lemma 6 / Lemma 8 relays."""
+
+    #: Subclasses set: "majority" or "signed".
+    mode = ""
+
+    def __init__(self, me: PartyId, topology: Topology, group: Iterable[PartyId]) -> None:
+        self.delta = 2
+        self.me = me
+        self.topology = topology
+        self.group = tuple(sorted(group))
+        self._next_id = 0
+        self._ready: list[Envelope] = []
+        self._accepted: set[tuple] = set()
+        # (src, id) -> payload-key -> (payload, set of forwarders); majority mode.
+        self._votes: dict[tuple, dict[bytes, tuple[object, set[PartyId]]]] = {}
+
+    # -- sending -------------------------------------------------------------------
+
+    def virtual_send(self, ctx: Context, dst: PartyId, payload: object) -> None:
+        self.check_group_member(dst)
+        if dst == self.me:
+            raise ProtocolError(f"{self.me} cannot send to itself")
+        if self.topology.allows(self.me, dst):
+            ctx.send(dst, ("rl.direct", payload))
+            return
+        msg_id = self._next_id
+        self._next_id += 1
+        request = self._make_request(ctx, dst, msg_id, payload)
+        forwarders = [
+            p
+            for p in self.topology.neighbors(self.me)
+            if p != dst and self.topology.allows(p, dst)
+        ]
+        for forwarder in forwarders:
+            ctx.send(forwarder, request)
+
+    def _make_request(self, ctx: Context, dst: PartyId, msg_id: int, payload: object) -> tuple:
+        raise NotImplementedError
+
+    # -- receiving / forwarding -------------------------------------------------------
+
+    def ingest(self, ctx: Context, inbox: Sequence[Envelope]) -> list[Envelope]:
+        leftover: list[Envelope] = []
+        touched: set[tuple] = set()
+        for envelope in inbox:
+            handled = self._handle(ctx, envelope, touched)
+            if not handled:
+                leftover.append(envelope)
+        self._evaluate(touched)
+        return leftover
+
+    def _handle(self, ctx: Context, envelope: Envelope, touched: set[tuple]) -> bool:
+        payload = envelope.payload
+        if not isinstance(payload, tuple) or not payload:
+            return False
+        tag = payload[0]
+        if tag == "rl.direct" and len(payload) == 2:
+            if envelope.src in self.group:
+                self._ready.append(
+                    Envelope(envelope.src, self.me, envelope.sent_round, payload[1])
+                )
+                return True
+            return False
+        if tag == "rl.req":
+            return self._forward(ctx, envelope)
+        if tag == "rl.fwd":
+            return self._receive_forwarded(ctx, envelope, touched)
+        return False
+
+    def _forward(self, ctx: Context, envelope: Envelope) -> bool:
+        fields = self._parse_request(ctx, envelope)
+        if fields is None:
+            return True  # recognized but malformed/bogus: swallow it
+        src, dst, msg_id, payload, proof = fields
+        if envelope.src != src or dst == self.me or src == self.me:
+            return True
+        if not self.topology.allows(self.me, dst):
+            return True
+        forwarded = ("rl.fwd",) + tuple(envelope.payload[1:])
+        ctx.send(dst, forwarded)
+        return True
+
+    def _receive_forwarded(self, ctx: Context, envelope: Envelope, touched: set[tuple]) -> bool:
+        fields = self._parse_request(ctx, envelope)
+        if fields is None:
+            return True
+        src, dst, msg_id, payload, proof = fields
+        if dst != self.me or src not in self.group or src == self.me:
+            return True
+        if not _hashable(msg_id):
+            return True
+        # Forwarders must sit on the opposite side of the sender —
+        # they are the only parties a disconnected sender can reach.
+        if envelope.src.side == src.side:
+            return True
+        key = (src, msg_id)
+        if key in self._accepted:
+            return True
+        if self.mode == "signed":
+            if self._verify(ctx, src, dst, msg_id, payload, proof):
+                self._accepted.add(key)
+                self._ready.append(Envelope(src, self.me, envelope.sent_round, payload))
+            return True
+        bucket = self._votes.setdefault(key, {})
+        payload_key = _stable_key(payload)
+        stored = bucket.setdefault(payload_key, (payload, set()))
+        stored[1].add(envelope.src)
+        touched.add(key)
+        return True
+
+    def _evaluate(self, touched: set[tuple]) -> None:
+        if self.mode != "majority":
+            return
+        threshold = self.topology.k / 2
+        for key in sorted(touched, key=lambda item: (item[0], repr(item[1]))):
+            if key in self._accepted:
+                continue
+            bucket = self._votes.get(key, {})
+            winners = [
+                (len(forwarders), payload_key)
+                for payload_key, (payload, forwarders) in bucket.items()
+                if len(forwarders) > threshold
+            ]
+            if not winners:
+                continue
+            winners.sort(key=lambda item: (-item[0], item[1]))
+            payload = bucket[winners[0][1]][0]
+            self._accepted.add(key)
+            src = key[0]
+            self._ready.append(Envelope(src, self.me, 0, payload))
+            self._votes.pop(key, None)
+
+    def collect(self) -> list[Envelope]:
+        ready, self._ready = self._ready, []
+        return ready
+
+    # -- per-mode hooks -----------------------------------------------------------------
+
+    def _parse_request(self, ctx: Context, envelope: Envelope):
+        raise NotImplementedError
+
+    def _verify(self, ctx, src, dst, msg_id, payload, proof) -> bool:
+        raise NotImplementedError
+
+
+class MajorityRelayLink(_RelayLinkBase):
+    """Lemma 6: unauthenticated relay, accepted on a strict majority echo."""
+
+    mode = "majority"
+
+    def _make_request(self, ctx: Context, dst: PartyId, msg_id: int, payload: object) -> tuple:
+        return ("rl.req", self.me, dst, msg_id, payload)
+
+    def _parse_request(self, ctx: Context, envelope: Envelope):
+        payload = envelope.payload
+        if len(payload) != 5:
+            return None
+        _, src, dst, msg_id, inner = payload
+        if not isinstance(src, PartyId) or not isinstance(dst, PartyId):
+            return None
+        return src, dst, msg_id, inner, None
+
+
+class SignedRelayLink(_RelayLinkBase):
+    """Lemma 8: authenticated relay, accepted on any valid signed copy."""
+
+    mode = "signed"
+
+    @staticmethod
+    def signed_body(src: PartyId, dst: PartyId, msg_id: int, payload: object) -> tuple:
+        return ("rl", src, dst, msg_id, payload)
+
+    def _make_request(self, ctx: Context, dst: PartyId, msg_id: int, payload: object) -> tuple:
+        signature = ctx.sign(self.signed_body(self.me, dst, msg_id, payload))
+        return ("rl.req", self.me, dst, msg_id, payload, signature)
+
+    def _parse_request(self, ctx: Context, envelope: Envelope):
+        payload = envelope.payload
+        if len(payload) != 6:
+            return None
+        _, src, dst, msg_id, inner, signature = payload
+        if not isinstance(src, PartyId) or not isinstance(dst, PartyId):
+            return None
+        return src, dst, msg_id, inner, signature
+
+    def _forward(self, ctx: Context, envelope: Envelope) -> bool:
+        # Forwarders verify before relaying ("receives a message with a
+        # valid signature from u, it forwards it") — Lemma 8.
+        fields = self._parse_request(ctx, envelope)
+        if fields is None:
+            return True
+        src, dst, msg_id, payload, proof = fields
+        if not self._verify(ctx, src, dst, msg_id, payload, proof):
+            return True
+        return super()._forward(ctx, envelope)
+
+    def _verify(self, ctx, src, dst, msg_id, payload, proof) -> bool:
+        try:
+            return ctx.verify(src, self.signed_body(src, dst, msg_id, payload), proof)
+        except ProtocolError:
+            return False
+
+
+class TimedSignedRelayLink(LinkLayer):
+    """Lemma 10: the ``PiBSM`` relay among ``L`` with omission semantics.
+
+    Senders stamp ``(P -> P', tau, id, m)``, sign it, and hand it to the
+    whole right side; the recipient accepts only a validly signed, fresh
+    message within ``2 * Delta`` of ``tau``.  If at least one party in
+    ``R`` is honest every message arrives exactly ``2`` rounds after
+    ``tau``; if all of ``R`` is byzantine the message may be omitted —
+    never altered, never delayed beyond the window.
+    """
+
+    def __init__(self, me: PartyId, k: int, side: str = "L") -> None:
+        self.delta = 2
+        self.me = me
+        self.k = k
+        self.side = side
+        self.group = left_side(k) if side == "L" else right_side(k)
+        self._forwarders = right_side(k) if side == "L" else left_side(k)
+        if me not in self.group:
+            raise ProtocolError(f"TimedSignedRelayLink({side}): {me} is on the wrong side")
+        self._next_id = 0
+        self._ready: list[Envelope] = []
+        self._seen: set[tuple] = set()
+
+    @staticmethod
+    def signed_body(src: PartyId, dst: PartyId, tau: int, msg_id: int, payload: object) -> tuple:
+        return ("trl", src, dst, tau, msg_id, payload)
+
+    def virtual_send(self, ctx: Context, dst: PartyId, payload: object) -> None:
+        self.check_group_member(dst)
+        if dst == self.me:
+            raise ProtocolError(f"{self.me} cannot send to itself")
+        tau = ctx.round
+        msg_id = self._next_id
+        self._next_id += 1
+        signature = ctx.sign(self.signed_body(self.me, dst, tau, msg_id, payload))
+        request = ("trl.req", self.me, dst, tau, msg_id, payload, signature)
+        for forwarder in self._forwarders:
+            ctx.send(forwarder, request)
+
+    def ingest(self, ctx: Context, inbox: Sequence[Envelope]) -> list[Envelope]:
+        leftover: list[Envelope] = []
+        for envelope in inbox:
+            payload = envelope.payload
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 7
+                and payload[0] == "trl.fwd"
+            ):
+                self._receive(ctx, envelope)
+            else:
+                leftover.append(envelope)
+        return leftover
+
+    def _receive(self, ctx: Context, envelope: Envelope) -> None:
+        _, src, dst, tau, msg_id, payload, signature = envelope.payload
+        if not isinstance(src, PartyId) or src not in self.group or src == self.me:
+            return
+        if dst != self.me or not isinstance(tau, int) or not _hashable(msg_id):
+            return
+        if envelope.src.side == self.side:
+            return
+        if ctx.round > tau + 2:
+            return  # stale: outside the 2*Delta acceptance window
+        key = (src, msg_id)
+        if key in self._seen:
+            return
+        try:
+            valid = ctx.verify(src, self.signed_body(src, dst, tau, msg_id, payload), signature)
+        except ProtocolError:
+            valid = False
+        if not valid:
+            return
+        self._seen.add(key)
+        self._ready.append(Envelope(src, self.me, tau, payload))
+
+    def collect(self) -> list[Envelope]:
+        ready, self._ready = self._ready, []
+        return ready
+
+
+def timed_forward_duty(ctx: Context, envelope: Envelope, k: int, computing_side: str = "L") -> bool:
+    """The forwarding rule of ``PiBSM`` (step 1 of the responding side's code).
+
+    Returns True when the envelope was a (well- or mal-formed) relay
+    request; forwards it when the signature checks out.
+    """
+    payload = envelope.payload
+    if not (isinstance(payload, tuple) and len(payload) == 7 and payload[0] == "trl.req"):
+        return False
+    _, src, dst, tau, msg_id, inner, signature = payload
+    if not isinstance(src, PartyId) or not isinstance(dst, PartyId):
+        return True
+    if envelope.src != src or src.side != computing_side or dst.side != computing_side:
+        return True
+    if src == dst or dst.index >= k:
+        return True
+    try:
+        valid = ctx.verify(
+            src, TimedSignedRelayLink.signed_body(src, dst, tau, msg_id, inner), signature
+        )
+    except ProtocolError:
+        valid = False
+    if not valid:
+        return True
+    ctx.send(dst, ("trl.fwd", src, dst, tau, msg_id, inner, signature))
+    return True

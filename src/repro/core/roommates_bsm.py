@@ -1,0 +1,341 @@
+"""Byzantine stable roommates — the paper's first future-work direction.
+
+Section 6: "A first direction could be generalizing our results to the
+stable roommate problem. ... the stable matching problem comes with the
+guarantee that a stable matching always exists, while the stable
+roommate problem does not. Hence, definitions and properties need to be
+refined to account for this."
+
+This module carries out that refinement and builds the corresponding
+protocol on the substrates already in the library:
+
+**Problem (bSRM).**  ``n`` parties in one set, each ranking all the
+others; up to ``t`` byzantine.  A protocol achieves byzantine stable
+roommates when, for honest parties:
+
+* *termination* — every honest party outputs a party or nobody;
+* *symmetry* — mutual among honest outputs;
+* *non-competition* — no two honest parties output the same party;
+* *conditional stability* — whenever the **agreed profile** (everyone's
+  broadcast list, defaults substituted for invalid ones) admits a
+  stable matching, there is no blocking pair of honest parties.
+
+The conditional qualifier is the refinement the paper calls for: on
+unsolvable instances *any* all-nobody outcome leaves mutually-preferring
+honest pairs, so unconditional stability is unachievable even without
+faults.
+
+**Protocol.**  The Lemma 1 blueprint carries over verbatim: broadcast
+every list (Dolev-Strong when authenticated, threshold phase king when
+not), substitute the canonical default list for invalid broadcasts, run
+Irving's algorithm locally, output the own match — or nobody when
+Irving reports the agreed instance unsolvable.  Consistency of BB makes
+all honest parties agree on solvability, so the outcome is symmetric
+and non-competing by construction.
+
+**Impossibility inheritance.**  The paper notes its necessary conditions
+apply to the roommates variant as well (there is no longer a left/right
+distinction, so the product structure degenerates to a threshold one);
+``tests/test_roommates_bsm.py`` exercises the ``t < n/3`` boundary for
+the unauthenticated engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.adversary.structures import ThresholdStructure
+from repro.consensus.dolev_strong import DolevStrongBB
+from repro.consensus.general_adversary import GeneralAdversaryBB
+from repro.crypto.signatures import KeyRing
+from repro.errors import PreferenceError, SolvabilityError
+from repro.ids import PartyId, all_parties
+from repro.matching.roommates import stable_roommates
+from repro.net.mux import Mux
+from repro.net.process import Envelope, Process
+from repro.net.simulator import RunResult, SyncNetwork
+from repro.net.topology import FullyConnected
+
+__all__ = [
+    "RoommatesSetting",
+    "RoommatesInstance",
+    "default_roommates_list",
+    "is_valid_roommates_list",
+    "RoommatesParty",
+    "RoommatesReport",
+    "check_roommates",
+    "run_roommates",
+]
+
+
+@dataclass(frozen=True)
+class RoommatesSetting:
+    """One byzantine-stable-roommates configuration.
+
+    ``n`` parties (even, mapped onto the library's ``2k`` identifier
+    space), up to ``t`` byzantine, with or without signatures.
+    """
+
+    n: int
+    t: int
+    authenticated: bool
+
+    def __post_init__(self) -> None:
+        if self.n < 2 or self.n % 2 != 0:
+            raise SolvabilityError(f"roommates needs an even n >= 2, got {self.n}")
+        if not 0 <= self.t < self.n:
+            raise SolvabilityError(f"t must lie in [0, n), got {self.t}")
+        if not self.authenticated and 3 * self.t >= self.n:
+            raise SolvabilityError(
+                "unauthenticated roommates BB needs t < n/3 "
+                f"(got t={self.t}, n={self.n})"
+            )
+
+    @property
+    def k(self) -> int:
+        return self.n // 2
+
+    def parties(self) -> tuple[PartyId, ...]:
+        return all_parties(self.k)
+
+    def describe(self) -> str:
+        crypto = "auth" if self.authenticated else "unauth"
+        return f"roommates/{crypto} n={self.n} t={self.t}"
+
+
+def default_roommates_list(party: PartyId, parties: Sequence[PartyId]) -> tuple[PartyId, ...]:
+    """The canonical default ranking: everyone else in id order."""
+    return tuple(p for p in sorted(parties) if p != party)
+
+
+def is_valid_roommates_list(party: PartyId, value: object, parties: Sequence[PartyId]) -> bool:
+    """True when ``value`` ranks every other party exactly once."""
+    if not isinstance(value, (tuple, list)):
+        return False
+    expected = set(parties) - {party}
+    entries = list(value)
+    return len(entries) == len(expected) and set(entries) == expected and all(
+        isinstance(e, PartyId) for e in entries
+    )
+
+
+@dataclass(frozen=True)
+class RoommatesInstance:
+    """Setting plus everyone's true single-set rankings."""
+
+    setting: RoommatesSetting
+    preferences: Mapping[PartyId, tuple[PartyId, ...]]
+
+    def __post_init__(self) -> None:
+        parties = self.setting.parties()
+        if set(self.preferences) != set(parties):
+            raise PreferenceError("preferences must cover exactly the n parties")
+        for party, ranking in self.preferences.items():
+            if not is_valid_roommates_list(party, ranking, parties):
+                raise PreferenceError(f"{party}: invalid roommates ranking")
+        object.__setattr__(
+            self,
+            "preferences",
+            {party: tuple(ranking) for party, ranking in self.preferences.items()},
+        )
+
+
+class RoommatesParty(Process):
+    """One party of the byzantine stable roommates protocol."""
+
+    def __init__(self, me: PartyId, setting: RoommatesSetting, my_list: Sequence[PartyId]) -> None:
+        self.me = me
+        self.setting = setting
+        self.my_list = tuple(my_list)
+        self.mux = Mux()
+        self._started = False
+
+    def _bb_factory(self, sender: PartyId, value: object) -> Process:
+        group = self.setting.parties()
+        if self.setting.authenticated:
+            return DolevStrongBB(sender=sender, group=group, t=self.setting.t, value=value)
+        structure = ThresholdStructure(group, self.setting.t)
+        return GeneralAdversaryBB(
+            sender=sender, group=group, structure=structure, value=value
+        )
+
+    def on_round(self, ctx, inbox: Sequence[Envelope]) -> None:
+        if not self._started:
+            self._started = True
+            for sender in self.setting.parties():
+                value = self.my_list if sender == self.me else None
+                self.mux.add(("bb", sender), self._bb_factory(sender, value))
+        self.mux.step(ctx, inbox)
+        if self.mux.all_done() and not ctx.has_output:
+            self._decide(ctx)
+
+    def _decide(self, ctx) -> None:
+        parties = self.setting.parties()
+        agreed: dict[PartyId, tuple[PartyId, ...]] = {}
+        for sender in parties:
+            value = self.mux.output_of(("bb", sender))
+            if is_valid_roommates_list(sender, value, parties):
+                agreed[sender] = tuple(value)
+            else:
+                agreed[sender] = default_roommates_list(sender, parties)
+        result = stable_roommates(agreed)
+        if result.solvable:
+            ctx.output(result.matching[self.me])
+        else:
+            ctx.output(None)
+        ctx.halt()
+
+
+@dataclass(frozen=True)
+class RoommatesVerdict:
+    """Machine-checked bSRM properties."""
+
+    termination: bool
+    symmetry: bool
+    non_competition: bool
+    conditional_stability: bool
+    violations: tuple[str, ...]
+
+    @property
+    def all_ok(self) -> bool:
+        return (
+            self.termination
+            and self.symmetry
+            and self.non_competition
+            and self.conditional_stability
+        )
+
+
+@dataclass
+class RoommatesReport:
+    """Result of one run: outputs, verdict, run statistics."""
+
+    setting: RoommatesSetting
+    result: RunResult
+    verdict: RoommatesVerdict
+    honest: frozenset
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict.all_ok
+
+
+def check_roommates(
+    result: RunResult,
+    instance: RoommatesInstance,
+    honest,
+    *,
+    reference_solvable: bool | None = None,
+) -> RoommatesVerdict:
+    """Judge a run against the refined bSRM properties.
+
+    ``reference_solvable`` overrides the solvability of the *agreed*
+    profile when the caller knows what byzantine parties broadcast; by
+    default the true profile decides (correct for fault-free and
+    honest-behavior adversaries).
+    """
+    honest_set = frozenset(honest)
+    violations: list[str] = []
+    parties = instance.setting.parties()
+
+    outputs: dict[PartyId, PartyId | None] = {}
+    termination = True
+    for party in sorted(honest_set):
+        if party not in result.outputs or party not in result.halted:
+            termination = False
+            violations.append(f"termination: {party} never decided")
+            continue
+        value = result.outputs[party]
+        if value is not None and (not isinstance(value, PartyId) or value == party or value not in parties):
+            termination = False
+            violations.append(f"termination: {party} decided invalid {value!r}")
+            continue
+        outputs[party] = value
+
+    symmetry = True
+    for party, value in sorted(outputs.items()):
+        if isinstance(value, PartyId) and value in honest_set:
+            if outputs.get(value) != party:
+                symmetry = False
+                violations.append(f"symmetry: {party} -> {value} -> {outputs.get(value)}")
+
+    non_competition = True
+    holders: dict[PartyId, PartyId] = {}
+    for party, value in sorted(outputs.items()):
+        if not isinstance(value, PartyId):
+            continue
+        if value in holders:
+            non_competition = False
+            violations.append(
+                f"non-competition: {holders[value]} and {party} both output {value}"
+            )
+        else:
+            holders[value] = party
+
+    if reference_solvable is None:
+        reference_solvable = stable_roommates(dict(instance.preferences)).solvable
+    conditional_stability = True
+    if reference_solvable:
+        rank = {
+            party: {other: i for i, other in enumerate(instance.preferences[party])}
+            for party in honest_set
+        }
+        ordered = sorted(honest_set)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1 :]:
+                if outputs.get(a) == b:
+                    continue
+                a_current = outputs.get(a)
+                b_current = outputs.get(b)
+                a_better = a_current is None or rank[a].get(b, 10**9) < rank[a].get(
+                    a_current, 10**9
+                )
+                b_better = b_current is None or rank[b].get(a, 10**9) < rank[b].get(
+                    b_current, 10**9
+                )
+                if a_better and b_better:
+                    conditional_stability = False
+                    violations.append(f"stability: honest blocking pair ({a}, {b})")
+
+    return RoommatesVerdict(
+        termination=termination,
+        symmetry=symmetry,
+        non_competition=non_competition,
+        conditional_stability=conditional_stability,
+        violations=tuple(violations),
+    )
+
+
+def run_roommates(
+    instance: RoommatesInstance,
+    adversary=None,
+    *,
+    max_rounds: int = 400,
+    reference_solvable: bool | None = None,
+) -> RoommatesReport:
+    """Run the byzantine stable roommates protocol end to end."""
+    setting = instance.setting
+    parties = setting.parties()
+    processes = {
+        party: RoommatesParty(party, setting, instance.preferences[party])
+        for party in parties
+    }
+    corrupted = (
+        frozenset(adversary.initial_corruptions) if adversary is not None else frozenset()
+    )
+    keyring = KeyRing(parties) if setting.authenticated else None
+    network = SyncNetwork(
+        FullyConnected(k=setting.k),
+        processes,
+        adversary=adversary,
+        keyring=keyring,
+        structure=ThresholdStructure(parties, setting.t),
+        max_rounds=max_rounds,
+    )
+    result = network.run()
+    honest = frozenset(parties) - corrupted
+    verdict = check_roommates(
+        result, instance, honest, reference_solvable=reference_solvable
+    )
+    return RoommatesReport(setting=setting, result=result, verdict=verdict, honest=honest)

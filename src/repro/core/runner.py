@@ -1,0 +1,224 @@
+"""End-to-end harness: build, run, and judge a bSM execution.
+
+``run_bsm`` assembles the protocol the solvability oracle prescribes
+for the setting (or a caller-forced recipe, to run protocols *outside*
+their conditions for attack demos), wires the adversary, executes the
+synchronous network, and checks Definition 1's properties.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.adversary.adversary import (
+    Adversary,
+    BehaviorAdversary,
+    CrashBehavior,
+    EquivocatingBehavior,
+    HonestBehavior,
+    RandomNoiseBehavior,
+    SilentBehavior,
+)
+from repro.core.bb_based import make_bb_based_party
+from repro.core.bipartite_auth import (
+    PiBSMComputing,
+    PiBSMResponding,
+    pibsm_decision_rounds,
+)
+from repro.core.problem import BSMInstance, Setting
+from repro.core.solvability import SolvabilityVerdict, is_solvable
+from repro.core.verdict import PropertyReport, check_bsm
+from repro.crypto.signatures import KeyRing
+from repro.errors import SolvabilityError
+from repro.ids import PartyId, all_parties
+from repro.net.process import Process
+from repro.net.simulator import RunResult, SyncNetwork
+
+__all__ = [
+    "BSMReport",
+    "build_party",
+    "build_party_with_list",
+    "build_processes",
+    "make_adversary",
+    "recommended_max_rounds",
+    "run_bsm",
+]
+
+
+@dataclass
+class BSMReport:
+    """Everything a benchmark or test wants to know about one run."""
+
+    setting: Setting
+    verdict: SolvabilityVerdict
+    result: RunResult
+    report: PropertyReport
+    honest: frozenset[PartyId]
+
+    @property
+    def ok(self) -> bool:
+        """True when all four bSM properties held."""
+        return self.report.all_ok
+
+    def summary(self) -> str:
+        return (
+            f"{self.setting.describe()} [{self.verdict.recipe}] "
+            f"rounds={self.result.rounds} msgs={self.result.message_count} "
+            f"{self.report.summary()}"
+        )
+
+
+def build_party_with_list(
+    me: PartyId,
+    setting: Setting,
+    my_list,
+    recipe: str,
+    force: bool = False,
+) -> Process:
+    """The party process for ``me`` given only its own preference list.
+
+    ``force=True`` assembles the protocol even when the setting violates
+    its conditions — the attack demonstrations rely on this.
+    """
+    if recipe in ("bb_direct", "bb_majority_relay", "bb_signed_relay"):
+        return make_bb_based_party(me, setting, my_list, force=force)
+    if recipe in ("pi_bsm", "pi_bsm_mirrored"):
+        side = "L" if recipe == "pi_bsm" else "R"
+        t = setting.tL if side == "L" else setting.tR
+        if me.side == side:
+            return PiBSMComputing(me, setting.k, t, my_list, computing_side=side)
+        return PiBSMResponding(me, setting.k, t, my_list, computing_side=side)
+    raise SolvabilityError(f"unknown recipe {recipe!r}")
+
+
+def build_party(
+    me: PartyId,
+    instance: BSMInstance,
+    recipe: str,
+) -> Process:
+    """The party process for ``me`` under a recipe (see ``solvability.RECIPES``)."""
+    return build_party_with_list(
+        me, instance.setting, instance.profile.list_of(me), recipe
+    )
+
+
+def build_processes(instance: BSMInstance, recipe: str) -> dict[PartyId, Process]:
+    """Party processes for all ``2k`` parties."""
+    return {
+        party: build_party(party, instance, recipe)
+        for party in all_parties(instance.setting.k)
+    }
+
+
+def recommended_max_rounds(setting: Setting) -> int:
+    """A generous round budget covering every recipe's schedule."""
+    k, tL, tR = setting.k, setting.tL, setting.tR
+    dolev = 2 * (tL + tR + 3)
+    king = 2 * (3 * (min(tL, tR) + 3) + 4)
+    pibsm = pibsm_decision_rounds(k, max(0, min(tL, tR)))[1] + 2
+    return 4 * max(dolev, king, pibsm, 10)
+
+
+def make_adversary(
+    instance: BSMInstance,
+    corrupted: Iterable[PartyId],
+    kind: str = "silent",
+    recipe: str | None = None,
+    seed: int = 0,
+    crash_round: int = 2,
+    mutator: Callable[[int, PartyId, object], object | None] | None = None,
+) -> Adversary:
+    """A canned adversary corrupting ``corrupted`` with a uniform behavior.
+
+    Kinds: ``"silent"`` (send nothing), ``"noise"`` (random garbage),
+    ``"crash"`` (honest until ``crash_round``), ``"honest"`` (run the
+    real protocol — byzantine in name only), ``"equivocate"`` (honest
+    process with per-recipient payload mutation via ``mutator``).
+    """
+    setting = instance.setting
+    topology = setting.topology()
+    chosen = recipe
+    if chosen is None:
+        verdict = is_solvable(setting)
+        chosen = verdict.recipe or "bb_direct"
+    behaviors = {}
+    rng = random.Random(seed)
+    for party in sorted(set(corrupted)):
+        if kind == "silent":
+            behaviors[party] = SilentBehavior()
+        elif kind == "noise":
+            behaviors[party] = RandomNoiseBehavior(seed=rng.randrange(1 << 30))
+        elif kind == "crash":
+            behaviors[party] = CrashBehavior(
+                build_party(party, instance, chosen), topology, crash_round
+            )
+        elif kind == "honest":
+            behaviors[party] = HonestBehavior(build_party(party, instance, chosen), topology)
+        elif kind == "equivocate":
+            if mutator is None:
+                raise SolvabilityError("equivocate adversary needs a mutator")
+            behaviors[party] = EquivocatingBehavior(
+                build_party(party, instance, chosen), topology, mutator
+            )
+        else:
+            raise SolvabilityError(f"unknown adversary kind {kind!r}")
+    return BehaviorAdversary(behaviors)
+
+
+def run_bsm(
+    instance: BSMInstance,
+    adversary: Adversary | None = None,
+    *,
+    recipe: str | None = None,
+    max_rounds: int | None = None,
+    enforce_structure: bool = True,
+    record_trace: bool = False,
+) -> BSMReport:
+    """Run one bSM execution end to end.
+
+    Args:
+        instance: setting + true preference profile.
+        adversary: optional adversary (its corruptions define honesty).
+        recipe: protocol recipe override; defaults to the oracle's choice
+            (raises for unsolvable settings unless forced).
+        max_rounds: round budget (default: schedule-derived).
+        enforce_structure: reject corruption sets beyond ``Z*``.
+        record_trace: keep the full message trace on the result.
+    """
+    setting = instance.setting
+    verdict = is_solvable(setting)
+    chosen = recipe if recipe is not None else verdict.recipe
+    if chosen is None:
+        raise SolvabilityError(
+            f"{setting.describe()} is unsolvable ({verdict.reason}); "
+            "pass an explicit recipe to run a protocol out of its domain"
+        )
+
+    processes = build_processes(instance, chosen)
+    corrupted = frozenset(adversary.initial_corruptions) if adversary is not None else frozenset()
+    honest = frozenset(all_parties(setting.k)) - corrupted
+
+    keyring = None
+    if setting.authenticated:
+        keyring = KeyRing(all_parties(setting.k))
+
+    network = SyncNetwork(
+        setting.topology(),
+        processes,
+        adversary=adversary,
+        keyring=keyring,
+        structure=setting.structure() if enforce_structure else None,
+        max_rounds=max_rounds if max_rounds is not None else recommended_max_rounds(setting),
+        record_trace=record_trace,
+    )
+    result = network.run()
+    report = check_bsm(result, instance.profile, honest)
+    return BSMReport(
+        setting=setting,
+        verdict=verdict,
+        result=result,
+        report=report,
+        honest=honest,
+    )

@@ -1,0 +1,235 @@
+"""Simplified stable matching (Section 3) and its reductions.
+
+* **Lemma 2 (sSM -> bSM)** — an sSM protocol from any bSM protocol:
+  each party builds an arbitrary complete list with its favorite ranked
+  first and joins the bSM protocol (:func:`favorite_first_list`,
+  :func:`ssm_profile_from_favorites`).
+* **Lemma 3 (party splitting)** — from a protocol for ``2k`` parties,
+  a protocol for ``2d`` parties in which every small-system party
+  *simulates* a block of large-system parties and only its block's
+  representative's match counts (:class:`SimulatingParty`,
+  :func:`split_instance`).  Executable, so the tests can check that the
+  reduction preserves the sSM properties.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ProtocolError, SolvabilityError
+from repro.ids import PartyId, all_parties
+from repro.matching.preferences import PreferenceList, PreferenceProfile, default_list
+from repro.net.process import Context, Envelope, Process
+from repro.net.topology import Topology
+
+__all__ = [
+    "favorite_first_list",
+    "ssm_profile_from_favorites",
+    "block_partition",
+    "split_instance",
+    "SimulatingParty",
+    "run_ssm",
+]
+
+
+def favorite_first_list(party: PartyId, favorite: PartyId, k: int) -> PreferenceList:
+    """An arbitrary complete list with ``favorite`` ranked first (Lemma 2)."""
+    if favorite.side == party.side:
+        raise SolvabilityError(f"{party}'s favorite must be on the opposite side")
+    rest = tuple(p for p in default_list(party, k) if p != favorite)
+    return (favorite,) + rest
+
+
+def ssm_profile_from_favorites(
+    favorites: Mapping[PartyId, PartyId], k: int
+) -> PreferenceProfile:
+    """Lift an sSM input (favorites) to a full bSM profile (Lemma 2)."""
+    lists = {
+        party: favorite_first_list(party, favorites[party], k)
+        for party in all_parties(k)
+    }
+    return PreferenceProfile(k=k, lists=lists)
+
+
+# -- Lemma 3: party splitting -------------------------------------------------------
+
+
+def block_partition(k: int, d: int) -> dict[PartyId, tuple[PartyId, ...]]:
+    """Partition each side of a ``2k``-party system into ``d`` blocks.
+
+    Returns a map from small-system party (``2d`` universe) to its block
+    of large-system parties (``2k`` universe).  Block ``i`` holds the
+    contiguous index range; the *representative* of a block is its
+    first member.
+    """
+    if not 0 < d <= k:
+        raise SolvabilityError(f"need 0 < d <= k, got d={d}, k={k}")
+    blocks: dict[PartyId, tuple[PartyId, ...]] = {}
+    base, extra = divmod(k, d)
+    for side in ("L", "R"):
+        start = 0
+        for i in range(d):
+            size = base + (1 if i < extra else 0)
+            members = tuple(PartyId(side, start + j) for j in range(size))
+            blocks[PartyId(side, i)] = members
+            start += size
+    return blocks
+
+
+def split_instance(
+    favorites_small: Mapping[PartyId, PartyId],
+    k: int,
+    d: int,
+) -> tuple[dict[PartyId, tuple[PartyId, ...]], dict[PartyId, PartyId]]:
+    """Lemma 3's input assignment: representatives inherit the small inputs.
+
+    Returns ``(blocks, favorites_large)``: if small party ``l'_i`` has
+    favorite ``r'_j``, the representative of block ``i`` gets the
+    representative of block ``j`` as its favorite; non-representatives
+    get arbitrary (default) favorites.
+    """
+    blocks = block_partition(k, d)
+    representatives = {small: members[0] for small, members in blocks.items()}
+    favorites_large: dict[PartyId, PartyId] = {}
+    for party in all_parties(k):
+        favorites_large[party] = default_list(party, k)[0]
+    for small, favorite_small in favorites_small.items():
+        favorites_large[representatives[small]] = representatives[favorite_small]
+    return blocks, favorites_large
+
+
+class SimulatingParty(Process):
+    """One small-system party running a block of large-system parties.
+
+    Large-system messages between blocks travel over the small system's
+    channels tagged ``("sim", src, dst, payload)``; messages within the
+    block are delivered locally with the same one-round latency.  An
+    honest host only accepts a tagged message when the *claimed*
+    large-system sender is actually hosted by the physical sender — so
+    byzantine hosts can only lie in the name of parties they host,
+    matching Lemma 3's corruption accounting.
+
+    The host's output follows the lemma: if the block's representative
+    matches another block's representative, output that block's
+    small-system party; otherwise output nobody.
+    """
+
+    def __init__(
+        self,
+        me_small: PartyId,
+        blocks: Mapping[PartyId, tuple[PartyId, ...]],
+        process_factory: Callable[[PartyId], Process],
+        big_topology: Topology,
+        signers: Mapping[PartyId, object] | None = None,
+    ) -> None:
+        self.me_small = me_small
+        self.blocks = {small: tuple(members) for small, members in blocks.items()}
+        self.my_block = self.blocks[me_small]
+        self.big_topology = big_topology
+        self._host_of: dict[PartyId, PartyId] = {}
+        for small, members in self.blocks.items():
+            for member in members:
+                self._host_of[member] = small
+        signers = signers or {}
+        self._processes: dict[PartyId, Process] = {}
+        self._contexts: dict[PartyId, Context] = {}
+        for member in self.my_block:
+            self._processes[member] = process_factory(member)
+            self._contexts[member] = Context(member, big_topology, signers.get(member))
+        self._pending: list[Envelope] = []
+        self._next_pending: list[Envelope] = []
+
+    def on_round(self, ctx, inbox: Sequence[Envelope]) -> None:
+        # 1. Unpack inter-block messages (authenticity: claimed sender
+        #    must be hosted by the physical sender).
+        for envelope in inbox:
+            payload = envelope.payload
+            if not (
+                isinstance(payload, tuple)
+                and len(payload) == 4
+                and payload[0] == "sim"
+                and isinstance(payload[1], PartyId)
+                and isinstance(payload[2], PartyId)
+            ):
+                continue
+            src_big, dst_big, inner = payload[1], payload[2], payload[3]
+            if self._host_of.get(src_big) != envelope.src:
+                continue
+            if self._host_of.get(dst_big) != self.me_small:
+                continue
+            self._pending.append(Envelope(src_big, dst_big, envelope.sent_round, inner))
+
+        # 2. Deliver and run each hosted party.
+        inboxes: dict[PartyId, list[Envelope]] = {member: [] for member in self.my_block}
+        for envelope in self._pending:
+            inboxes[envelope.dst].append(envelope)
+        self._pending = []
+
+        for member in self.my_block:
+            member_ctx = self._contexts[member]
+            if member_ctx.halted:
+                continue
+            member_ctx.round = ctx.round
+            self._processes[member].on_round(member_ctx, tuple(inboxes[member]))
+            for dst_big, payload in member_ctx._drain_outbox():
+                self._route(ctx, member, dst_big, payload)
+
+        # 3. Local deliveries mature next round (uniform latency).
+        self._pending, self._next_pending = self._next_pending, []
+
+        # 4. Decide when every hosted party has halted.
+        if not ctx.has_output and all(c.halted for c in self._contexts.values()):
+            self._decide(ctx)
+
+    def _route(self, ctx, src_big: PartyId, dst_big: PartyId, payload: object) -> None:
+        host = self._host_of.get(dst_big)
+        if host is None:
+            raise ProtocolError(f"simulated {src_big} addressed unknown party {dst_big}")
+        if host == self.me_small:
+            self._next_pending.append(Envelope(src_big, dst_big, ctx.round, payload))
+            return
+        ctx.send(host, ("sim", src_big, dst_big, payload))
+
+    def _decide(self, ctx) -> None:
+        representative = self.my_block[0]
+        rep_ctx = self._contexts[representative]
+        partner = rep_ctx.current_output if rep_ctx.has_output else None
+        small_output: PartyId | None = None
+        if isinstance(partner, PartyId):
+            host = self._host_of.get(partner)
+            if host is not None and self.blocks[host][0] == partner:
+                small_output = host
+        ctx.output(small_output)
+        ctx.halt()
+
+
+def run_ssm(instance, adversary=None, *, recipe=None, max_rounds=None):
+    """Run the sSM protocol of Lemma 2 end to end and check sSM properties.
+
+    Each party lifts its favorite to a favorite-first complete list and
+    joins the bSM protocol prescribed for the setting; the verdict then
+    checks termination, symmetry, non-competition and *simplified*
+    stability against the favorites.
+
+    Args:
+        instance: an :class:`~repro.core.problem.SSMInstance`.
+        adversary: optional adversary (defines the honest set).
+        recipe: protocol recipe override (defaults to the oracle's pick).
+        max_rounds: round budget override.
+
+    Returns:
+        ``(result, report)``: the raw :class:`~repro.net.simulator.RunResult`
+        and the :class:`~repro.core.verdict.PropertyReport` for sSM.
+    """
+    from repro.core.problem import BSMInstance
+    from repro.core.runner import run_bsm
+    from repro.core.verdict import check_ssm
+
+    profile = ssm_profile_from_favorites(instance.favorites, instance.setting.k)
+    bsm_instance = BSMInstance(instance.setting, profile)
+    bsm_report = run_bsm(
+        bsm_instance, adversary, recipe=recipe, max_rounds=max_rounds
+    )
+    honest = bsm_report.honest
+    report = check_ssm(bsm_report.result, instance.favorites, honest)
+    return bsm_report.result, report

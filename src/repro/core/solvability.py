@@ -1,0 +1,156 @@
+"""The paper's characterization, as an executable oracle (Theorems 2-7).
+
+``is_solvable(setting)`` returns whether bSM is solvable in the
+setting, which theorem says so, why, and — when solvable — which of the
+library's protocol recipes realizes it:
+
+* ``"bb_direct"`` — Lemma 1 over direct links (Theorems 2, 5);
+* ``"bb_majority_relay"`` — Lemma 1 over the Lemma 6 relay
+  (Theorems 3, 4);
+* ``"bb_signed_relay"`` — Lemma 1 over the Lemma 8 relay
+  (Theorems 6(i), 7);
+* ``"pi_bsm"`` / ``"pi_bsm_mirrored"`` — Section 5.2's ``PiBSM`` with
+  the computing side ``L`` resp. ``R`` (Theorem 6(ii), Lemma 9).
+
+All threshold comparisons are the paper's strict fractions, evaluated
+exactly over integers (``tL < k/3`` is ``3*tL < k``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import Setting
+
+__all__ = ["SolvabilityVerdict", "is_solvable", "RECIPES"]
+
+RECIPES = (
+    "bb_direct",
+    "bb_majority_relay",
+    "bb_signed_relay",
+    "pi_bsm",
+    "pi_bsm_mirrored",
+)
+
+
+@dataclass(frozen=True)
+class SolvabilityVerdict:
+    """The oracle's answer for one setting."""
+
+    solvable: bool
+    theorem: str
+    reason: str
+    recipe: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.solvable and self.recipe not in RECIPES:
+            raise ValueError(f"solvable verdicts need a recipe, got {self.recipe!r}")
+        if not self.solvable and self.recipe is not None:
+            raise ValueError("unsolvable verdicts carry no recipe")
+
+
+def _q3(k: int, tL: int, tR: int) -> bool:
+    return 3 * tL < k or 3 * tR < k
+
+
+def is_solvable(setting: Setting) -> SolvabilityVerdict:
+    """Decide the setting per the paper's tight conditions."""
+    k, tL, tR = setting.k, setting.tL, setting.tR
+    topology = setting.topology_name
+
+    if setting.authenticated:
+        if topology == "fully_connected":
+            return SolvabilityVerdict(
+                solvable=True,
+                theorem="Theorem 5",
+                reason="authenticated fully-connected: Dolev-Strong BB for any t < n",
+                recipe="bb_direct",
+            )
+        if topology == "one_sided":
+            if tR < k:
+                return SolvabilityVerdict(
+                    solvable=True,
+                    theorem="Theorem 7",
+                    reason="tR < k: signed relay (Corollary 3) reduces to Theorem 5",
+                    recipe="bb_signed_relay",
+                )
+            if 3 * tL < k:
+                return SolvabilityVerdict(
+                    solvable=True,
+                    theorem="Theorem 7",
+                    reason="tR = k but tL < k/3: PiBSM (one-sided is stronger than bipartite)",
+                    recipe="pi_bsm",
+                )
+            return SolvabilityVerdict(
+                solvable=False,
+                theorem="Theorem 7 / Lemma 13",
+                reason="tR = k and tL >= k/3: the two-group simulation attack applies",
+            )
+        # bipartite authenticated
+        if tL < k and tR < k:
+            return SolvabilityVerdict(
+                solvable=True,
+                theorem="Theorem 6",
+                reason="tL, tR < k: signed relays both ways (Corollary 4) reduce to Theorem 5",
+                recipe="bb_signed_relay",
+            )
+        if 3 * tL < k:
+            return SolvabilityVerdict(
+                solvable=True,
+                theorem="Theorem 6 / Lemma 9",
+                reason="tL < k/3 (R may be fully byzantine): PiBSM",
+                recipe="pi_bsm",
+            )
+        if 3 * tR < k:
+            return SolvabilityVerdict(
+                solvable=True,
+                theorem="Theorem 6 / Lemma 9",
+                reason="tR < k/3 (L may be fully byzantine): mirrored PiBSM",
+                recipe="pi_bsm_mirrored",
+            )
+        return SolvabilityVerdict(
+            solvable=False,
+            theorem="Theorem 6 / Corollary 5",
+            reason="one side fully corruptible and the other >= k/3",
+        )
+
+    # Unauthenticated settings.
+    if not _q3(k, tL, tR):
+        return SolvabilityVerdict(
+            solvable=False,
+            theorem="Theorem 2 / Lemma 5",
+            reason="tL >= k/3 and tR >= k/3: Q3 fails, the duplication attack applies",
+        )
+    if topology == "fully_connected":
+        return SolvabilityVerdict(
+            solvable=True,
+            theorem="Theorem 2",
+            reason="Q3 holds: general-adversary BB (Lemma 4) + Lemma 1",
+            recipe="bb_direct",
+        )
+    if topology == "one_sided":
+        if 2 * tR < k:
+            return SolvabilityVerdict(
+                solvable=True,
+                theorem="Theorem 4",
+                reason="tR < k/2: majority relay for L (Corollary 1) reduces to Theorem 2",
+                recipe="bb_majority_relay",
+            )
+        return SolvabilityVerdict(
+            solvable=False,
+            theorem="Theorem 4 / Lemma 7",
+            reason="tR >= k/2: the cycle-duplication attack applies",
+        )
+    # bipartite unauthenticated
+    if 2 * tL < k and 2 * tR < k:
+        return SolvabilityVerdict(
+            solvable=True,
+            theorem="Theorem 3",
+            reason="tL, tR < k/2: majority relays both ways (Corollary 2) reduce to Theorem 2",
+            recipe="bb_majority_relay",
+        )
+    return SolvabilityVerdict(
+        solvable=False,
+        theorem="Theorem 3 / Lemma 7",
+        reason="a side with >= k/2 corruptions cuts the majority relay",
+    )

@@ -1,0 +1,179 @@
+"""Machine-checked bSM / sSM properties over run results.
+
+Definition 1's four properties, restated operationally over a
+:class:`~repro.net.simulator.RunResult`:
+
+* **termination** — every honest party halted with a declared output
+  that is either ``None`` (nobody) or a party on its opposite side;
+* **symmetry** — if honest ``u`` outputs honest ``v``, then ``v``
+  outputs ``u``;
+* **stability** — no blocking pair of honest parties (against their
+  true preference lists);
+* **non-competition** — no two honest parties output the same party.
+
+For sSM, stability is replaced by **simplified stability**: two honest
+mutual favorites must output each other (Section 3).
+
+Each check reports independently, and violations carry human-readable
+evidence — the attack benchmarks print exactly which property broke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.ids import PartyId
+from repro.matching.preferences import PreferenceProfile
+from repro.matching.stability import restricted_blocking_pairs
+from repro.net.simulator import RunResult
+
+__all__ = ["PropertyReport", "check_bsm", "check_ssm"]
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Outcome of checking one run against the bSM/sSM properties."""
+
+    termination: bool
+    symmetry: bool
+    stability: bool
+    non_competition: bool
+    violations: tuple[str, ...]
+
+    @property
+    def all_ok(self) -> bool:
+        """True when every property holds."""
+        return self.termination and self.symmetry and self.stability and self.non_competition
+
+    def summary(self) -> str:
+        """Compact pass/fail line, e.g. ``term=ok sym=ok stab=VIOLATED nc=ok``."""
+
+        def flag(ok: bool) -> str:
+            return "ok" if ok else "VIOLATED"
+
+        return (
+            f"term={flag(self.termination)} sym={flag(self.symmetry)} "
+            f"stab={flag(self.stability)} nc={flag(self.non_competition)}"
+        )
+
+
+def _valid_output(party: PartyId, value: object) -> bool:
+    if value is None:
+        return True
+    return isinstance(value, PartyId) and value.side == party.opposite_side
+
+
+def _base_checks(
+    result: RunResult,
+    honest: frozenset[PartyId],
+) -> tuple[bool, bool, bool, list[str], dict[PartyId, object]]:
+    violations: list[str] = []
+
+    outputs: dict[PartyId, object] = {}
+    termination = True
+    for party in sorted(honest):
+        if party not in result.outputs or party not in result.halted:
+            termination = False
+            violations.append(f"termination: {party} never decided")
+            continue
+        value = result.outputs[party]
+        if not _valid_output(party, value):
+            termination = False
+            violations.append(
+                f"termination: {party} decided on invalid value {value!r}"
+            )
+            continue
+        outputs[party] = value
+
+    symmetry = True
+    for party, value in sorted(outputs.items()):
+        if isinstance(value, PartyId) and value in honest:
+            back = outputs.get(value)
+            if back != party:
+                symmetry = False
+                violations.append(
+                    f"symmetry: {party} -> {value} but {value} -> {back}"
+                )
+
+    non_competition = True
+    holders: dict[PartyId, PartyId] = {}
+    for party, value in sorted(outputs.items()):
+        if not isinstance(value, PartyId):
+            continue
+        if value in holders:
+            non_competition = False
+            violations.append(
+                f"non-competition: {holders[value]} and {party} both output {value}"
+            )
+        else:
+            holders[value] = party
+
+    return termination, symmetry, non_competition, violations, outputs
+
+
+def check_bsm(
+    result: RunResult,
+    profile: PreferenceProfile,
+    honest: Iterable[PartyId],
+) -> PropertyReport:
+    """Check the four bSM properties of Definition 1.
+
+    Args:
+        result: the finished run.
+        profile: everyone's *true* preference lists (honest entries used).
+        honest: the honest parties.
+    """
+    honest_set = frozenset(honest)
+    termination, symmetry, non_competition, violations, outputs = _base_checks(
+        result, honest_set
+    )
+
+    lists = {party: profile.list_of(party) for party in honest_set}
+    blocking = restricted_blocking_pairs(outputs, lists, honest_set)
+    stability = not blocking
+    for u, v in blocking:
+        violations.append(f"stability: honest blocking pair ({u}, {v})")
+
+    return PropertyReport(
+        termination=termination,
+        symmetry=symmetry,
+        stability=stability,
+        non_competition=non_competition,
+        violations=tuple(violations),
+    )
+
+
+def check_ssm(
+    result: RunResult,
+    favorites: Mapping[PartyId, PartyId],
+    honest: Iterable[PartyId],
+) -> PropertyReport:
+    """Check the sSM properties (simplified stability instead of stability)."""
+    honest_set = frozenset(honest)
+    termination, symmetry, non_competition, violations, outputs = _base_checks(
+        result, honest_set
+    )
+
+    simplified = True
+    for party in sorted(honest_set):
+        favorite = favorites.get(party)
+        if favorite is None or favorite not in honest_set:
+            continue
+        if favorites.get(favorite) != party:
+            continue
+        if party < favorite:  # evaluate each mutual pair once
+            if outputs.get(party) != favorite or outputs.get(favorite) != party:
+                simplified = False
+                violations.append(
+                    f"simplified-stability: mutual favorites ({party}, {favorite}) "
+                    f"output ({outputs.get(party)}, {outputs.get(favorite)})"
+                )
+
+    return PropertyReport(
+        termination=termination,
+        symmetry=symmetry,
+        stability=simplified,
+        non_competition=non_competition,
+        violations=tuple(violations),
+    )

@@ -1,0 +1,16 @@
+"""Cryptographic substrate: canonical encoding and digital signatures.
+
+The paper's authenticated setting assumes a PKI and unforgeable
+signatures.  We realize this with HMAC-SHA256 over a canonical payload
+encoding, with per-party secret keys held by a simulator-owned
+:class:`~repro.crypto.signatures.KeyRing`.  Parties only ever receive a
+:class:`~repro.crypto.signatures.SigningHandle` that signs as
+themselves, so byzantine parties can sign arbitrary messages in their
+own name but cannot forge honest parties' signatures — exactly the
+idealization the paper works with.
+"""
+
+from repro.crypto.encoding import encode, encoded_size
+from repro.crypto.signatures import KeyRing, Signature, SigningHandle
+
+__all__ = ["encode", "encoded_size", "KeyRing", "Signature", "SigningHandle"]

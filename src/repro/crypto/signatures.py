@@ -1,0 +1,106 @@
+"""Digital signatures with simulator-enforced unforgeability.
+
+The paper assumes "for simplicity of presentation ... that signatures
+are unforgeable".  We realize that assumption with HMAC-SHA256:
+
+* the :class:`KeyRing` generates one secret key per party and never
+  exposes it;
+* each party receives a :class:`SigningHandle` bound to its own
+  identity — the only object able to produce its signatures;
+* anyone can verify via the key ring (modelling the PKI).
+
+A byzantine party holds a perfectly good handle for *itself* and can
+sign any message it likes in its own name, but it can neither read nor
+use another party's key — forging is impossible by construction, not
+merely computationally hard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from repro.crypto.encoding import encode
+from repro.errors import SignatureError
+from repro.ids import PartyId
+
+__all__ = ["Signature", "KeyRing", "SigningHandle"]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A signature: the claimed signer and an HMAC tag over the payload."""
+
+    signer: PartyId
+    tag: bytes
+
+    def __repr__(self) -> str:
+        return f"Signature({self.signer}, {self.tag.hex()[:12]}...)"
+
+
+class KeyRing:
+    """Holds every party's secret key; models the PKI.
+
+    The simulator owns the ring.  Parties interact with it only through
+    :meth:`handle_for` (signing as themselves) and :meth:`verify`
+    (public verification).
+    """
+
+    def __init__(self, parties, *, seed: int = 0) -> None:
+        self._keys: dict[PartyId, bytes] = {}
+        for party in sorted(parties):
+            material = f"repro-key/{seed}/{party}".encode("utf-8")
+            self._keys[party] = hashlib.sha256(material).digest()
+
+    @property
+    def parties(self) -> tuple[PartyId, ...]:
+        """All parties with registered keys."""
+        return tuple(sorted(self._keys))
+
+    def _sign_as(self, signer: PartyId, payload: object) -> Signature:
+        try:
+            key = self._keys[signer]
+        except KeyError as exc:
+            raise SignatureError(f"no key registered for {signer}") from exc
+        tag = hmac.new(key, encode(payload), hashlib.sha256).digest()
+        return Signature(signer=signer, tag=tag)
+
+    def handle_for(self, party: PartyId) -> "SigningHandle":
+        """The signing handle for ``party`` (given to that party only)."""
+        if party not in self._keys:
+            raise SignatureError(f"no key registered for {party}")
+        return SigningHandle(self, party)
+
+    def verify(self, signer: PartyId, payload: object, signature: object) -> bool:
+        """Public verification; tolerant of garbage ``signature`` objects."""
+        if not isinstance(signature, Signature):
+            return False
+        if signature.signer != signer:
+            return False
+        key = self._keys.get(signer)
+        if key is None:
+            return False
+        expected = hmac.new(key, encode(payload), hashlib.sha256).digest()
+        return hmac.compare_digest(expected, signature.tag)
+
+
+class SigningHandle:
+    """A capability to sign as one fixed party.
+
+    This is what a party's process actually receives: it cannot be used
+    to sign as anyone else, which is what makes byzantine forgery
+    impossible inside the simulation.
+    """
+
+    def __init__(self, ring: KeyRing, owner: PartyId) -> None:
+        self._ring = ring
+        self.owner = owner
+
+    def sign(self, payload: object) -> Signature:
+        """Sign ``payload`` as the owning party."""
+        return self._ring._sign_as(self.owner, payload)
+
+    def verify(self, signer: PartyId, payload: object, signature: object) -> bool:
+        """Verify any party's signature (PKI lookup)."""
+        return self._ring.verify(signer, payload, signature)

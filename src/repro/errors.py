@@ -1,0 +1,56 @@
+"""Exception hierarchy for the whole library.
+
+Every error raised by ``repro`` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing categories when they need to.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PreferenceError",
+    "MatchingError",
+    "TopologyError",
+    "SimulationError",
+    "ProtocolError",
+    "SignatureError",
+    "AdversaryError",
+    "SolvabilityError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class PreferenceError(ReproError):
+    """A preference list or profile is malformed for the given sides."""
+
+
+class MatchingError(ReproError):
+    """A matching violates structural constraints (duplicates, wrong side)."""
+
+
+class TopologyError(ReproError):
+    """A message was sent along a channel the topology does not provide."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an inconsistent state."""
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation broke one of its own invariants."""
+
+
+class SignatureError(ReproError):
+    """Signing/verification misuse (unknown signer, foreign key access)."""
+
+
+class AdversaryError(ReproError):
+    """An adversary configuration is inconsistent with the run setting."""
+
+
+class SolvabilityError(ReproError):
+    """A setting was queried or executed outside its meaningful domain."""

@@ -1,0 +1,139 @@
+"""Party identifiers and side helpers.
+
+The paper works with ``n = 2k`` parties split into two disjoint sides
+``L`` and ``R`` of size ``k`` each.  Everything in this library addresses
+parties through :class:`PartyId`, a small immutable value object that
+encodes the side and an index within the side.
+
+``PartyId`` is hashable and totally ordered (side first, ``L`` before
+``R``, then index), which gives every module a canonical, deterministic
+iteration order — determinism of the whole simulator rests on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Iterable, Iterator
+
+__all__ = [
+    "LEFT",
+    "RIGHT",
+    "PartyId",
+    "left_party",
+    "right_party",
+    "left_side",
+    "right_side",
+    "all_parties",
+    "opposite",
+    "parse_party",
+]
+
+#: Side label for the left set (men / students / producers in the paper).
+LEFT = "L"
+#: Side label for the right set (women / universities / consumers).
+RIGHT = "R"
+
+_VALID_SIDES = (LEFT, RIGHT)
+
+
+@total_ordering
+@dataclass(frozen=True)
+class PartyId:
+    """Identity of one party: a side (``"L"`` or ``"R"``) and an index.
+
+    Instances print as ``L0``, ``R3``, ... and sort deterministically:
+    all of ``L`` before all of ``R``, each side by index.
+    """
+
+    side: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.side not in _VALID_SIDES:
+            raise ValueError(f"side must be 'L' or 'R', got {self.side!r}")
+        if not isinstance(self.index, int) or isinstance(self.index, bool):
+            raise TypeError(f"index must be an int, got {type(self.index).__name__}")
+        if self.index < 0:
+            raise ValueError(f"index must be non-negative, got {self.index}")
+
+    @property
+    def opposite_side(self) -> str:
+        """The label of the other side."""
+        return RIGHT if self.side == LEFT else LEFT
+
+    def is_left(self) -> bool:
+        """True when this party belongs to side ``L``."""
+        return self.side == LEFT
+
+    def is_right(self) -> bool:
+        """True when this party belongs to side ``R``."""
+        return self.side == RIGHT
+
+    def __str__(self) -> str:
+        return f"{self.side}{self.index}"
+
+    def __repr__(self) -> str:
+        return f"PartyId({self.side!r}, {self.index})"
+
+    def __lt__(self, other: "PartyId") -> bool:
+        if not isinstance(other, PartyId):
+            return NotImplemented
+        return (self.side, self.index) < (other.side, other.index)
+
+
+def left_party(index: int) -> PartyId:
+    """Shorthand for ``PartyId("L", index)``."""
+    return PartyId(LEFT, index)
+
+
+def right_party(index: int) -> PartyId:
+    """Shorthand for ``PartyId("R", index)``."""
+    return PartyId(RIGHT, index)
+
+
+def left_side(k: int) -> tuple[PartyId, ...]:
+    """The canonical left side ``(L0, ..., L{k-1})``."""
+    return tuple(left_party(i) for i in range(k))
+
+
+def right_side(k: int) -> tuple[PartyId, ...]:
+    """The canonical right side ``(R0, ..., R{k-1})``."""
+    return tuple(right_party(i) for i in range(k))
+
+
+def all_parties(k: int) -> tuple[PartyId, ...]:
+    """All ``2k`` parties in canonical order: ``L0..L{k-1}, R0..R{k-1}``."""
+    return left_side(k) + right_side(k)
+
+
+def opposite(parties: Iterable[PartyId], k: int) -> tuple[PartyId, ...]:
+    """The full side opposite to the (single-side) collection ``parties``.
+
+    Raises ``ValueError`` when ``parties`` is empty or mixes sides.
+    """
+    sides = {p.side for p in parties}
+    if len(sides) != 1:
+        raise ValueError(f"expected parties from exactly one side, got sides {sorted(sides)}")
+    (side,) = sides
+    return right_side(k) if side == LEFT else left_side(k)
+
+
+def parse_party(text: str) -> PartyId:
+    """Parse ``"L3"`` / ``"R0"`` back into a :class:`PartyId`."""
+    if len(text) < 2 or text[0] not in _VALID_SIDES:
+        raise ValueError(f"cannot parse party id from {text!r}")
+    try:
+        index = int(text[1:])
+    except ValueError as exc:
+        raise ValueError(f"cannot parse party id from {text!r}") from exc
+    return PartyId(text[0], index)
+
+
+def sides_of(parties: Iterable[PartyId]) -> Iterator[str]:
+    """Yield the distinct sides present in ``parties`` (deterministic order)."""
+    seen: set[str] = set()
+    for party in sorted(parties):
+        if party.side not in seen:
+            seen.add(party.side)
+            yield party.side

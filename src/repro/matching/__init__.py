@@ -1,0 +1,29 @@
+"""Stable matching substrate.
+
+Implements the offline machinery the paper builds on: preference
+profiles, matchings, the deterministic Gale-Shapley algorithm ``AG-S``
+(Theorem 1), stability checking, brute-force enumeration of all stable
+matchings (test oracle), Irving's stable-roommates algorithm (the
+paper's future-work direction), and preference generators used by the
+examples and benchmarks.
+"""
+
+from repro.matching.gale_shapley import GaleShapleyResult, gale_shapley
+from repro.matching.matching import Matching
+from repro.matching.preferences import PreferenceProfile, default_list
+from repro.matching.stability import (
+    blocking_pairs,
+    is_stable,
+    restricted_blocking_pairs,
+)
+
+__all__ = [
+    "PreferenceProfile",
+    "default_list",
+    "Matching",
+    "gale_shapley",
+    "GaleShapleyResult",
+    "blocking_pairs",
+    "is_stable",
+    "restricted_blocking_pairs",
+]

@@ -1,0 +1,158 @@
+"""Preference profile generators.
+
+Workload generators for the tests, benchmarks, and example
+applications:
+
+* uniformly random profiles (the default correctness workload);
+* correlated profiles with a tunable similarity knob — the regime
+  studied by Khanchandani & Wattenhofer [17], cited in the paper's
+  related work;
+* score/latency-induced profiles for the CDN and radio-spectrum
+  examples (preferences derived from a quality matrix, as in the
+  Maggs-Sitaraman motivation [21]);
+* master-list profiles (everyone on a side agrees), the maximally
+  contended workload;
+* single-set rankings for the stable-roommates extension.
+
+All generators take a seeded :class:`random.Random` (or a seed) and are
+fully deterministic given it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from repro.errors import PreferenceError
+from repro.ids import LEFT, RIGHT, PartyId, all_parties, left_side, right_side
+from repro.matching.preferences import PreferenceProfile, default_list
+
+__all__ = [
+    "resolve_rng",
+    "random_profile",
+    "correlated_profile",
+    "master_list_profile",
+    "profile_from_scores",
+    "latency_matrix",
+    "random_roommates_preferences",
+]
+
+
+def resolve_rng(rng_or_seed: random.Random | int | None) -> random.Random:
+    """Accept either a ``Random`` instance or a seed and return a ``Random``."""
+    if isinstance(rng_or_seed, random.Random):
+        return rng_or_seed
+    return random.Random(rng_or_seed if rng_or_seed is not None else 0)
+
+
+def random_profile(k: int, rng_or_seed: random.Random | int | None = None) -> PreferenceProfile:
+    """A uniformly random complete preference profile of size ``k``."""
+    rng = resolve_rng(rng_or_seed)
+    lists: dict[PartyId, tuple[PartyId, ...]] = {}
+    for party in all_parties(k):
+        candidates = list(default_list(party, k))
+        rng.shuffle(candidates)
+        lists[party] = tuple(candidates)
+    return PreferenceProfile(k=k, lists=lists)
+
+
+def correlated_profile(
+    k: int,
+    similarity: float,
+    rng_or_seed: random.Random | int | None = None,
+) -> PreferenceProfile:
+    """A profile where lists on each side are perturbations of a master list.
+
+    ``similarity = 1`` yields identical lists per side (a master-list
+    instance); ``similarity = 0`` yields independent uniform lists.  The
+    perturbation performs ``round((1 - similarity) * k * k)`` random
+    adjacent transpositions per list, so disagreement grows smoothly.
+    """
+    if not 0.0 <= similarity <= 1.0:
+        raise PreferenceError(f"similarity must lie in [0, 1], got {similarity}")
+    rng = resolve_rng(rng_or_seed)
+    masters = {
+        LEFT: _shuffled(list(right_side(k)), rng),
+        RIGHT: _shuffled(list(left_side(k)), rng),
+    }
+    swaps = round((1.0 - similarity) * k * k)
+    lists: dict[PartyId, tuple[PartyId, ...]] = {}
+    for party in all_parties(k):
+        ranking = list(masters[party.side])
+        for _ in range(swaps):
+            if k < 2:
+                break
+            i = rng.randrange(k - 1)
+            ranking[i], ranking[i + 1] = ranking[i + 1], ranking[i]
+        lists[party] = tuple(ranking)
+    return PreferenceProfile(k=k, lists=lists)
+
+
+def master_list_profile(k: int, rng_or_seed: random.Random | int | None = None) -> PreferenceProfile:
+    """Everyone on a side holds the same (random) list — maximal contention."""
+    return correlated_profile(k, similarity=1.0, rng_or_seed=rng_or_seed)
+
+
+def profile_from_scores(scores: Mapping[PartyId, Mapping[PartyId, float]]) -> PreferenceProfile:
+    """Derive a profile from per-party scores over the opposite side.
+
+    Higher score = more preferred; ties break by candidate id so the
+    result is deterministic.  Used by the CDN / spectrum / kidney
+    examples, where scores come from latency, SINR, or compatibility.
+    """
+    if not scores or len(scores) % 2 != 0:
+        raise PreferenceError(f"scores must cover 2k parties, got {len(scores)}")
+    lists: dict[PartyId, tuple[PartyId, ...]] = {}
+    for party, row in scores.items():
+        ordered = sorted(row, key=lambda candidate: (-row[candidate], candidate))
+        lists[party] = tuple(ordered)
+    return PreferenceProfile.from_dict(lists)
+
+
+def latency_matrix(
+    k: int,
+    rng_or_seed: random.Random | int | None = None,
+    *,
+    spread: float = 100.0,
+) -> dict[PartyId, dict[PartyId, float]]:
+    """A symmetric synthetic latency matrix between the two sides.
+
+    Each party is dropped uniformly on a ``spread x spread`` plane and
+    latency is Euclidean distance plus jitter.  ``profile_from_scores``
+    of the *negated* latencies yields a proximity-preference profile.
+    """
+    rng = resolve_rng(rng_or_seed)
+    position = {
+        party: (rng.uniform(0, spread), rng.uniform(0, spread))
+        for party in all_parties(k)
+    }
+    matrix: dict[PartyId, dict[PartyId, float]] = {}
+    for party in all_parties(k):
+        others = right_side(k) if party.is_left() else left_side(k)
+        row: dict[PartyId, float] = {}
+        for other in others:
+            dx = position[party][0] - position[other][0]
+            dy = position[party][1] - position[other][1]
+            row[other] = (dx * dx + dy * dy) ** 0.5 + rng.uniform(0, 1)
+        matrix[party] = row
+    return matrix
+
+
+def random_roommates_preferences(
+    agents: Sequence[str],
+    rng_or_seed: random.Random | int | None = None,
+) -> dict[str, tuple[str, ...]]:
+    """Uniformly random complete single-set rankings for stable roommates."""
+    rng = resolve_rng(rng_or_seed)
+    preferences: dict[str, tuple[str, ...]] = {}
+    for agent in agents:
+        others = [a for a in agents if a != agent]
+        rng.shuffle(others)
+        preferences[agent] = tuple(others)
+    return preferences
+
+
+def _shuffled(items: list, rng: random.Random) -> list:
+    copy = list(items)
+    rng.shuffle(copy)
+    return copy

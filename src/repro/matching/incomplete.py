@@ -1,0 +1,180 @@
+"""Stable matching with incomplete preference lists.
+
+The paper's introduction cites Gusfield & Irving [13] for the variant
+"where the individuals only provide partial preferences": each party
+ranks only the opposite-side parties it finds *acceptable*, a stable
+matching always exists, but some individuals may stay unmatched.  This
+module implements that variant as additional substrate:
+
+* deferred acceptance over incomplete lists
+  (:func:`gale_shapley_incomplete`);
+* the adapted blocking-pair notion (only mutually acceptable pairs can
+  block; an unmatched party blocks with any acceptable partner that
+  prefers it);
+* the classic Gale-Sotomayor invariant — the *set* of matched parties
+  is the same in every stable matching — which the tests verify by
+  enumeration.
+
+Matching and party identities reuse the main library's types, so
+byzantine variants over incomplete lists can be layered on the same
+protocols (invalid broadcasts simply become empty lists: "finds nobody
+acceptable").
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import PreferenceError
+from repro.ids import LEFT, RIGHT, PartyId, all_parties, left_side, right_side
+from repro.matching.matching import Matching
+
+__all__ = [
+    "IncompleteProfile",
+    "gale_shapley_incomplete",
+    "incomplete_blocking_pairs",
+    "is_stable_incomplete",
+]
+
+
+@dataclass(frozen=True)
+class IncompleteProfile:
+    """Per-party acceptability rankings (possibly empty, never ragged).
+
+    ``lists[p]`` ranks a subset of the opposite side; parties absent
+    from the list are unacceptable to ``p``.  All ``2k`` parties must
+    appear as keys.
+    """
+
+    k: int
+    lists: Mapping[PartyId, tuple[PartyId, ...]]
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise PreferenceError(f"k must be positive, got {self.k}")
+        expected = set(all_parties(self.k))
+        if set(self.lists) != expected:
+            raise PreferenceError("incomplete profile must cover exactly the 2k parties")
+        frozen: dict[PartyId, tuple[PartyId, ...]] = {}
+        for party, ranking in self.lists.items():
+            entries = tuple(ranking)
+            seen: set[PartyId] = set()
+            for entry in entries:
+                if (
+                    not isinstance(entry, PartyId)
+                    or entry.side == party.side
+                    or entry.index >= self.k
+                    or entry in seen
+                ):
+                    raise PreferenceError(f"{party}: invalid incomplete list {entries}")
+                seen.add(entry)
+            frozen[party] = entries
+        object.__setattr__(self, "lists", frozen)
+
+    @classmethod
+    def from_dict(cls, lists: Mapping[PartyId, Sequence[PartyId]]) -> "IncompleteProfile":
+        if not lists or len(lists) % 2 != 0:
+            raise PreferenceError(f"profile needs 2k parties, got {len(lists)}")
+        return cls(k=len(lists) // 2, lists={p: tuple(v) for p, v in lists.items()})
+
+    def accepts(self, party: PartyId, candidate: PartyId) -> bool:
+        """True when ``candidate`` appears on ``party``'s list."""
+        return candidate in self.lists[party]
+
+    def rank(self, party: PartyId, candidate: PartyId) -> int:
+        """Rank of an acceptable candidate (0 = best)."""
+        try:
+            return self.lists[party].index(candidate)
+        except ValueError as exc:
+            raise PreferenceError(f"{candidate} is unacceptable to {party}") from exc
+
+    def prefers(self, party: PartyId, a: PartyId | None, b: PartyId | None) -> bool:
+        """Strict preference; unacceptable/None are equally worst."""
+        a_rank = self.rank(party, a) if a is not None and self.accepts(party, a) else None
+        b_rank = self.rank(party, b) if b is not None and self.accepts(party, b) else None
+        if a_rank is None:
+            return False
+        if b_rank is None:
+            return True
+        return a_rank < b_rank
+
+
+def gale_shapley_incomplete(
+    profile: IncompleteProfile, proposer_side: str = LEFT
+) -> Matching:
+    """Deferred acceptance over incomplete lists.
+
+    Proposers exhaust their acceptable candidates and may end up
+    unmatched; responders only hold proposers they themselves accept.
+    The result is stable (no mutually-acceptable blocking pair) and the
+    matched set is invariant across all stable matchings [13].
+    """
+    if proposer_side not in (LEFT, RIGHT):
+        raise PreferenceError(f"proposer_side must be 'L' or 'R', got {proposer_side!r}")
+    k = profile.k
+    proposers = left_side(k) if proposer_side == LEFT else right_side(k)
+
+    next_choice = {p: 0 for p in proposers}
+    engaged_to: dict[PartyId, PartyId] = {}
+    free = list(proposers)
+    heapq.heapify(free)
+
+    while free:
+        proposer = heapq.heappop(free)
+        ranking = profile.lists[proposer]
+        matched = False
+        while next_choice[proposer] < len(ranking):
+            candidate = ranking[next_choice[proposer]]
+            next_choice[proposer] += 1
+            if not profile.accepts(candidate, proposer):
+                continue
+            incumbent = engaged_to.get(candidate)
+            if incumbent is None:
+                engaged_to[candidate] = proposer
+                matched = True
+                break
+            if profile.prefers(candidate, proposer, incumbent):
+                engaged_to[candidate] = proposer
+                heapq.heappush(free, incumbent)
+                matched = True
+                break
+        if not matched:
+            pass  # proposer stays single: exhausted its acceptable list
+
+    return Matching.from_pairs(
+        (proposer, responder) if proposer.is_left() else (responder, proposer)
+        for responder, proposer in engaged_to.items()
+    )
+
+
+def incomplete_blocking_pairs(
+    matching: Matching, profile: IncompleteProfile
+) -> tuple[tuple[PartyId, PartyId], ...]:
+    """Blocking pairs under incomplete lists: mutual acceptability required."""
+    found: list[tuple[PartyId, PartyId]] = []
+    for u in left_side(profile.k):
+        for v in right_side(profile.k):
+            if matching.partner(u) == v:
+                continue
+            if not (profile.accepts(u, v) and profile.accepts(v, u)):
+                continue
+            if profile.prefers(u, v, matching.partner(u)) and profile.prefers(
+                v, u, matching.partner(v)
+            ):
+                found.append((u, v))
+    return tuple(found)
+
+
+def is_stable_incomplete(matching: Matching, profile: IncompleteProfile) -> bool:
+    """True when no mutually acceptable pair blocks ``matching``.
+
+    Also requires individual rationality: nobody is matched to an
+    unacceptable partner.
+    """
+    for party in all_parties(profile.k):
+        partner = matching.partner(party)
+        if partner is not None and not profile.accepts(party, partner):
+            return False
+    return not incomplete_blocking_pairs(matching, profile)

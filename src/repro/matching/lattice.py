@@ -1,0 +1,64 @@
+"""The lattice of stable matchings (Conway; Gusfield & Irving [13]).
+
+For any two stable matchings of the same instance, giving every
+``L``-party the *better* of its two partners yields another stable
+matching (the join, from ``L``'s perspective), and so does giving every
+``L``-party the worse one (the meet).  Under these operations the set
+of all stable matchings forms a distributive lattice whose extremes are
+the two proposer-optimal Gale-Shapley outcomes.
+
+These operations matter to the byzantine setting for a quiet reason:
+Lemma 1's protocols are deterministic exactly so that all honest
+parties land on the *same* lattice element; the tests here double-check
+the lattice structure the determinism relies on.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MatchingError
+from repro.ids import LEFT, PartyId, left_side, right_side
+from repro.matching.matching import Matching
+from repro.matching.preferences import PreferenceProfile
+from repro.matching.stability import is_stable
+
+__all__ = ["lattice_join", "lattice_meet", "is_comparable", "dominates"]
+
+
+def _pointwise(
+    a: Matching, b: Matching, profile: PreferenceProfile, *, best: bool
+) -> Matching:
+    """The L-pointwise best/worst combination of two perfect stable matchings."""
+    for matching in (a, b):
+        if not matching.is_perfect(profile.k):
+            raise MatchingError("lattice operations need perfect matchings")
+    pairs = []
+    for u in left_side(profile.k):
+        pa, pb = a.partner(u), b.partner(u)
+        prefers_a = profile.prefers(u, pa, pb) or pa == pb
+        take_a = prefers_a if best else not prefers_a or pa == pb
+        pairs.append((u, pa if take_a else pb))
+    return Matching.from_pairs(pairs)
+
+
+def lattice_join(a: Matching, b: Matching, profile: PreferenceProfile) -> Matching:
+    """Every L-party gets the partner it prefers — stable again (lattice join)."""
+    return _pointwise(a, b, profile, best=True)
+
+
+def lattice_meet(a: Matching, b: Matching, profile: PreferenceProfile) -> Matching:
+    """Every L-party gets the partner it likes less — also stable (lattice meet)."""
+    return _pointwise(a, b, profile, best=False)
+
+
+def dominates(a: Matching, b: Matching, profile: PreferenceProfile) -> bool:
+    """True when every L-party weakly prefers its partner in ``a`` over ``b``."""
+    for u in left_side(profile.k):
+        pa, pb = a.partner(u), b.partner(u)
+        if pa != pb and not profile.prefers(u, pa, pb):
+            return False
+    return True
+
+
+def is_comparable(a: Matching, b: Matching, profile: PreferenceProfile) -> bool:
+    """True when one matching L-dominates the other."""
+    return dominates(a, b, profile) or dominates(b, a, profile)

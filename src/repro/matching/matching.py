@@ -1,0 +1,152 @@
+"""Matchings between the two sides.
+
+A :class:`Matching` is a partial, symmetric pairing between ``L`` and
+``R``: every matched party has exactly one partner on the opposite
+side.  Partial matchings matter in the byzantine setting — honest
+parties may legitimately output "nobody" when the other side is fully
+byzantine (Theorem 6 discussion, Lemma 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import MatchingError
+from repro.ids import PartyId, all_parties
+
+__all__ = ["Matching"]
+
+
+@dataclass(frozen=True)
+class Matching:
+    """An immutable partial matching between sides.
+
+    ``pairs`` maps each matched party to its partner, in *both*
+    directions (if ``u -> v`` then ``v -> u``).  Construct via
+    :meth:`from_pairs` or :meth:`from_outputs`.
+    """
+
+    pairs: Mapping[PartyId, PartyId]
+
+    def __post_init__(self) -> None:
+        frozen = dict(self.pairs)
+        for party, partner in frozen.items():
+            if party.side == partner.side:
+                raise MatchingError(f"{party} matched within its own side to {partner}")
+            if frozen.get(partner) != party:
+                raise MatchingError(
+                    f"asymmetric matching: {party} -> {partner} but {partner} -> "
+                    f"{frozen.get(partner)}"
+                )
+        object.__setattr__(self, "pairs", frozen)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[PartyId, PartyId]]) -> "Matching":
+        """Build from ``(left, right)`` pairs; symmetry is filled in automatically."""
+        table: dict[PartyId, PartyId] = {}
+        for u, v in pairs:
+            if u.side == v.side:
+                raise MatchingError(f"cannot match {u} with {v}: same side")
+            for party in (u, v):
+                if party in table:
+                    raise MatchingError(f"{party} appears in more than one pair")
+            table[u] = v
+            table[v] = u
+        return cls(pairs=table)
+
+    @classmethod
+    def from_outputs(cls, outputs: Mapping[PartyId, PartyId | None]) -> "Matching":
+        """Build from per-party outputs, requiring symmetry.
+
+        ``outputs`` maps parties to their declared partner (or ``None``).
+        Raises :class:`MatchingError` on asymmetric or same-side declarations —
+        use the verdict module for tolerant, property-by-property checks.
+        """
+        table: dict[PartyId, PartyId] = {}
+        for party, partner in outputs.items():
+            if partner is None:
+                continue
+            if party.side == partner.side:
+                raise MatchingError(f"{party} declared a same-side partner {partner}")
+            declared_back = outputs.get(partner)
+            if declared_back is not None and declared_back != party:
+                raise MatchingError(
+                    f"asymmetric outputs: {party} -> {partner}, {partner} -> {declared_back}"
+                )
+            table[party] = partner
+        # Keep only mutually-declared pairs so the result is a valid matching.
+        mutual = {
+            party: partner
+            for party, partner in table.items()
+            if table.get(partner) == party
+        }
+        return cls(pairs=mutual)
+
+    @classmethod
+    def empty(cls) -> "Matching":
+        """The matching in which nobody is matched."""
+        return cls(pairs={})
+
+    # -- queries ---------------------------------------------------------------
+
+    def partner(self, party: PartyId) -> PartyId | None:
+        """``party``'s partner, or ``None`` when unmatched."""
+        return self.pairs.get(party)
+
+    def is_matched(self, party: PartyId) -> bool:
+        """True when ``party`` has a partner."""
+        return party in self.pairs
+
+    def matched_pairs(self) -> tuple[tuple[PartyId, PartyId], ...]:
+        """All pairs as ``(left, right)`` tuples in canonical order."""
+        return tuple(
+            sorted(
+                (party, partner)
+                for party, partner in self.pairs.items()
+                if party.is_left()
+            )
+        )
+
+    def is_perfect(self, k: int) -> bool:
+        """True when all ``2k`` parties are matched."""
+        return set(self.pairs) == set(all_parties(k))
+
+    def size(self) -> int:
+        """Number of matched pairs."""
+        return len(self.pairs) // 2
+
+    def as_outputs(self, k: int) -> dict[PartyId, PartyId | None]:
+        """Per-party outputs (``None`` for unmatched) over all ``2k`` parties."""
+        return {party: self.pairs.get(party) for party in all_parties(k)}
+
+    def restricted(self, parties: Iterable[PartyId]) -> "Matching":
+        """The sub-matching of pairs whose *both* endpoints lie in ``parties``."""
+        keep = set(parties)
+        return Matching(
+            pairs={
+                party: partner
+                for party, partner in self.pairs.items()
+                if party in keep and partner in keep
+            }
+        )
+
+    def __iter__(self) -> Iterator[tuple[PartyId, PartyId]]:
+        return iter(self.matched_pairs())
+
+    def __len__(self) -> int:
+        return self.size()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Matching):
+            return NotImplemented
+        return dict(self.pairs) == dict(other.pairs)
+
+    def __hash__(self) -> int:
+        return hash(self.matched_pairs())
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{u}-{v}" for u, v in self.matched_pairs())
+        return f"Matching({body})"

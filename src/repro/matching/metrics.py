@@ -1,0 +1,90 @@
+"""Matching quality metrics.
+
+The related work the paper builds on measures *almost*-stable matchings
+by their blocking structure — the number of blocking pairs [24], the
+number of matches that would have to be broken [11], or how blocking
+each pair is [18].  These metrics quantify, for instance, how far a
+byzantine-influenced outcome sits from the fault-free optimum in the
+examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MatchingError
+from repro.ids import PartyId, all_parties, left_side
+from repro.matching.matching import Matching
+from repro.matching.preferences import PreferenceProfile
+from repro.matching.stability import blocking_pairs
+
+__all__ = [
+    "blocking_pair_count",
+    "instability_fraction",
+    "divorce_distance",
+    "total_rank_cost",
+    "side_rank_costs",
+    "max_blocking_regret",
+]
+
+
+def blocking_pair_count(matching: Matching, profile: PreferenceProfile) -> int:
+    """Number of blocking pairs — the [24] almost-stability metric."""
+    return len(blocking_pairs(matching, profile))
+
+
+def instability_fraction(matching: Matching, profile: PreferenceProfile) -> float:
+    """Blocking pairs normalized by all ``k^2`` cross pairs (in ``[0, 1]``)."""
+    return blocking_pair_count(matching, profile) / (profile.k * profile.k)
+
+
+def divorce_distance(a: Matching, b: Matching, k: int) -> int:
+    """Parties whose partner differs between two matchings — the [11] metric.
+
+    Counts each affected party once (so a swapped pair costs 4).
+    """
+    return sum(1 for party in all_parties(k) if a.partner(party) != b.partner(party))
+
+
+def total_rank_cost(matching: Matching, profile: PreferenceProfile) -> int:
+    """Sum over matched parties of the rank they assign their partner.
+
+    Unmatched parties cost ``k`` each (worse than any listed partner).
+    """
+    total = 0
+    for party in all_parties(profile.k):
+        partner = matching.partner(party)
+        if partner is None:
+            total += profile.k
+        else:
+            total += profile.rank(party, partner)
+    return total
+
+
+def side_rank_costs(matching: Matching, profile: PreferenceProfile) -> tuple[int, int]:
+    """(L-side cost, R-side cost) — exposes the proposer-optimality skew."""
+    left_cost = 0
+    right_cost = 0
+    for party in all_parties(profile.k):
+        partner = matching.partner(party)
+        cost = profile.k if partner is None else profile.rank(party, partner)
+        if party.is_left():
+            left_cost += cost
+        else:
+            right_cost += cost
+    return left_cost, right_cost
+
+
+def max_blocking_regret(matching: Matching, profile: PreferenceProfile) -> int:
+    """How blocking the worst pair is — the [18] flavor.
+
+    For each blocking pair, the regret is the smaller of the two rank
+    improvements its members would gain by eloping; the metric is the
+    maximum over all blocking pairs (0 when stable).
+    """
+    worst = 0
+    for u, v in blocking_pairs(matching, profile):
+        u_current = matching.partner(u)
+        v_current = matching.partner(v)
+        u_gain = (profile.k if u_current is None else profile.rank(u, u_current)) - profile.rank(u, v)
+        v_gain = (profile.k if v_current is None else profile.rank(v, v_current)) - profile.rank(v, u)
+        worst = max(worst, min(u_gain, v_gain))
+    return worst

@@ -1,0 +1,222 @@
+"""Preference lists and profiles.
+
+In the paper every party ``u`` on side ``L`` (resp. ``R``) holds as
+input a *preference list*: a permutation ``pi_u`` of the opposite side.
+``u`` prefers ``v`` over ``w`` when ``v`` appears before ``w`` in
+``pi_u``, and prefers any listed party over being alone.
+
+:class:`PreferenceProfile` stores one list per party for a complete
+two-sided instance of size ``k``, validates permutations, and exposes
+the rank/comparison queries that both the offline algorithms and the
+distributed protocols need.
+
+The *default list* (``default_list``) is the canonical opposite-side
+order ``X0 < X1 < ...``.  The paper's protocols substitute it whenever a
+(necessarily byzantine) party fails to distribute a valid list — see
+Lemma 1 and step 4 of ``PiBSM``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import PreferenceError
+from repro.ids import LEFT, PartyId, all_parties, left_side, right_side
+
+__all__ = [
+    "PreferenceList",
+    "default_list",
+    "is_valid_list",
+    "PreferenceProfile",
+]
+
+#: A preference list is an ordered tuple of opposite-side parties,
+#: most-preferred first.
+PreferenceList = tuple[PartyId, ...]
+
+
+def default_list(party: PartyId, k: int) -> PreferenceList:
+    """The canonical default list for ``party``: the opposite side in index order.
+
+    Used for byzantine parties that do not distribute a valid list
+    (Lemma 1, ``PiBSM`` step 4, ``PiBB`` default value).
+    """
+    return right_side(k) if party.side == LEFT else left_side(k)
+
+
+def is_valid_list(party: PartyId, candidates: object, k: int) -> bool:
+    """True when ``candidates`` is a complete permutation of ``party``'s opposite side."""
+    if not isinstance(candidates, (tuple, list)):
+        return False
+    expected = set(default_list(party, k))
+    if len(candidates) != k:
+        return False
+    seen: set[PartyId] = set()
+    for entry in candidates:
+        if not isinstance(entry, PartyId) or entry not in expected or entry in seen:
+            return False
+        seen.add(entry)
+    return True
+
+
+def _validated_list(party: PartyId, candidates: Sequence[PartyId], k: int) -> PreferenceList:
+    entries = tuple(candidates)
+    if not is_valid_list(party, entries, k):
+        raise PreferenceError(
+            f"{party}: preference list must be a permutation of the opposite side "
+            f"(k={k}), got {[str(c) for c in candidates]}"
+        )
+    return entries
+
+
+@dataclass(frozen=True)
+class PreferenceProfile:
+    """A complete preference profile for a two-sided instance of size ``k``.
+
+    Immutable.  ``lists`` maps every one of the ``2k`` parties to a full
+    permutation of the opposite side.
+    """
+
+    k: int
+    lists: Mapping[PartyId, PreferenceList]
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise PreferenceError(f"k must be positive, got {self.k}")
+        expected = set(all_parties(self.k))
+        got = set(self.lists)
+        if got != expected:
+            missing = sorted(expected - got)
+            extra = sorted(got - expected)
+            raise PreferenceError(
+                f"profile must cover exactly the 2k parties; "
+                f"missing={[str(p) for p in missing]} extra={[str(p) for p in extra]}"
+            )
+        frozen = {
+            party: _validated_list(party, candidates, self.k)
+            for party, candidates in self.lists.items()
+        }
+        object.__setattr__(self, "lists", frozen)
+        ranks = {
+            party: {candidate: position for position, candidate in enumerate(candidates)}
+            for party, candidates in frozen.items()
+        }
+        object.__setattr__(self, "_ranks", ranks)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, lists: Mapping[PartyId, Sequence[PartyId]]) -> "PreferenceProfile":
+        """Build a profile from any mapping; ``k`` is inferred from the mapping size."""
+        if not lists or len(lists) % 2 != 0:
+            raise PreferenceError(f"profile needs 2k parties, got {len(lists)}")
+        k = len(lists) // 2
+        return cls(k=k, lists={party: tuple(candidates) for party, candidates in lists.items()})
+
+    @classmethod
+    def from_index_lists(
+        cls,
+        left_lists: Sequence[Sequence[int]],
+        right_lists: Sequence[Sequence[int]],
+    ) -> "PreferenceProfile":
+        """Build a profile from index-based lists.
+
+        ``left_lists[i]`` are the indices (into ``R``) preferred by ``Li``,
+        most-preferred first; symmetrically for ``right_lists``.
+        """
+        if len(left_lists) != len(right_lists):
+            raise PreferenceError(
+                f"sides must have equal size, got {len(left_lists)} and {len(right_lists)}"
+            )
+        k = len(left_lists)
+        lists: dict[PartyId, PreferenceList] = {}
+        for i, indices in enumerate(left_lists):
+            lists[PartyId("L", i)] = tuple(PartyId("R", j) for j in indices)
+        for i, indices in enumerate(right_lists):
+            lists[PartyId("R", i)] = tuple(PartyId("L", j) for j in indices)
+        return cls(k=k, lists=lists)
+
+    @classmethod
+    def uniform(cls, k: int) -> "PreferenceProfile":
+        """The all-default profile: every party holds the canonical default list."""
+        return cls(k=k, lists={party: default_list(party, k) for party in all_parties(k)})
+
+    def with_list(self, party: PartyId, candidates: Sequence[PartyId]) -> "PreferenceProfile":
+        """A copy of this profile with ``party``'s list replaced."""
+        updated = dict(self.lists)
+        if party not in updated:
+            raise PreferenceError(f"{party} is not a party of this k={self.k} profile")
+        updated[party] = tuple(candidates)
+        return PreferenceProfile(k=self.k, lists=updated)
+
+    def with_favorite_first(self, party: PartyId, favorite: PartyId) -> "PreferenceProfile":
+        """A copy where ``party``'s list is rotated so ``favorite`` is ranked first.
+
+        This is the list construction in the sSM -> bSM reduction
+        (Lemma 2): an arbitrary complete list with the favorite on top.
+        """
+        current = self.lists[party]
+        if favorite not in current:
+            raise PreferenceError(f"{favorite} is not on {party}'s side-opposite list")
+        reordered = (favorite,) + tuple(c for c in current if c != favorite)
+        return self.with_list(party, reordered)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def parties(self) -> tuple[PartyId, ...]:
+        """All ``2k`` parties in canonical order."""
+        return all_parties(self.k)
+
+    def list_of(self, party: PartyId) -> PreferenceList:
+        """``party``'s full preference list, most-preferred first."""
+        try:
+            return self.lists[party]
+        except KeyError as exc:
+            raise PreferenceError(f"{party} is not a party of this k={self.k} profile") from exc
+
+    def favorite(self, party: PartyId) -> PartyId:
+        """``party``'s top choice (the sSM input derived from this profile)."""
+        return self.list_of(party)[0]
+
+    def rank(self, party: PartyId, candidate: PartyId) -> int:
+        """Position of ``candidate`` in ``party``'s list (0 = most preferred)."""
+        ranks: Mapping[PartyId, int] = self._ranks[party]  # type: ignore[attr-defined]
+        try:
+            return ranks[candidate]
+        except KeyError as exc:
+            raise PreferenceError(f"{candidate} does not appear in {party}'s list") from exc
+
+    def prefers(self, party: PartyId, a: PartyId | None, b: PartyId | None) -> bool:
+        """True when ``party`` strictly prefers ``a`` over ``b``.
+
+        ``None`` stands for being alone; every listed party beats it and
+        it never beats anything (parties always prefer being matched).
+        """
+        if a is None:
+            return False
+        if b is None:
+            return True
+        return self.rank(party, a) < self.rank(party, b)
+
+    def restricted_to_parties(self, parties: Iterable[PartyId]) -> dict[PartyId, PreferenceList]:
+        """The sub-mapping of lists for ``parties`` (helper for verdicts/attacks)."""
+        return {party: self.list_of(party) for party in parties}
+
+    def __iter__(self) -> Iterator[PartyId]:
+        return iter(self.parties)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PreferenceProfile):
+            return NotImplemented
+        return self.k == other.k and dict(self.lists) == dict(other.lists)
+
+    def __hash__(self) -> int:
+        return hash((self.k, tuple(sorted((p, self.lists[p]) for p in self.lists))))
+
+    def __repr__(self) -> str:
+        rows = ", ".join(
+            f"{party}:[{' '.join(str(c) for c in self.lists[party])}]" for party in self.parties
+        )
+        return f"PreferenceProfile(k={self.k}, {rows})"

@@ -1,0 +1,112 @@
+"""Blocking pairs and stability checks.
+
+A pair ``(u, v) in L x R`` is *blocking* for a matching ``M`` when both
+prefer each other over their current situation (being alone counts as
+the worst outcome).  Two unmatched parties on opposite sides always
+block — that is what makes a fault-free stable matching perfect.
+
+The byzantine setting restricts the check to honest parties
+(``restricted_blocking_pairs``): the paper's stability property only
+forbids blocking pairs *made of honest parties*, and only honest
+outputs are meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.ids import PartyId, all_parties, left_side, right_side
+from repro.matching.matching import Matching
+from repro.matching.preferences import PreferenceList, PreferenceProfile
+
+__all__ = [
+    "blocking_pairs",
+    "is_stable",
+    "restricted_blocking_pairs",
+    "is_honest_stable",
+]
+
+
+def _pair_blocks(
+    u: PartyId,
+    v: PartyId,
+    partner_of_u: PartyId | None,
+    partner_of_v: PartyId | None,
+    lists: Mapping[PartyId, PreferenceList],
+) -> bool:
+    """True when ``u`` and ``v`` strictly prefer each other to their partners."""
+    u_list = lists[u]
+    v_list = lists[v]
+    if v not in u_list or u not in v_list:
+        return False
+
+    def prefers(mine: PreferenceList, a: PartyId, b: PartyId | None) -> bool:
+        if b is None:
+            return True
+        if b not in mine:
+            # A partner not even on the list is worse than any listed party.
+            return True
+        return mine.index(a) < mine.index(b)
+
+    return prefers(u_list, v, partner_of_u) and prefers(v_list, u, partner_of_v)
+
+
+def blocking_pairs(matching: Matching, profile: PreferenceProfile) -> tuple[tuple[PartyId, PartyId], ...]:
+    """All blocking pairs ``(u, v) in L x R`` for ``matching`` under ``profile``."""
+    lists = {party: profile.list_of(party) for party in profile.parties}
+    found: list[tuple[PartyId, PartyId]] = []
+    for u in left_side(profile.k):
+        for v in right_side(profile.k):
+            if matching.partner(u) == v:
+                continue
+            if _pair_blocks(u, v, matching.partner(u), matching.partner(v), lists):
+                found.append((u, v))
+    return tuple(found)
+
+
+def is_stable(matching: Matching, profile: PreferenceProfile) -> bool:
+    """True when ``matching`` has no blocking pair under ``profile``.
+
+    For complete profiles this implies the matching is perfect (two
+    unmatched opposite-side parties always block).
+    """
+    return not blocking_pairs(matching, profile)
+
+
+def restricted_blocking_pairs(
+    outputs: Mapping[PartyId, PartyId | None],
+    lists: Mapping[PartyId, PreferenceList],
+    honest: Iterable[PartyId],
+) -> tuple[tuple[PartyId, PartyId], ...]:
+    """Blocking pairs made of two *honest* parties, given raw per-party outputs.
+
+    This is the paper's refined stability property: only pairs of honest
+    parties count, each compared against its own declared output (which
+    may be ``None`` or even a byzantine party).
+
+    Args:
+        outputs: declared partner per honest party (missing parties are
+            treated as byzantine).
+        lists: true preference lists of the honest parties.
+        honest: the set of honest parties.
+    """
+    honest_set = set(honest)
+    found: list[tuple[PartyId, PartyId]] = []
+    honest_left = sorted(p for p in honest_set if p.is_left())
+    honest_right = sorted(p for p in honest_set if p.is_right())
+    for u in honest_left:
+        for v in honest_right:
+            if outputs.get(u) == v and outputs.get(v) == u:
+                continue
+            if _pair_blocks(u, v, outputs.get(u), outputs.get(v), lists):
+                found.append((u, v))
+    return tuple(found)
+
+
+def is_honest_stable(
+    outputs: Mapping[PartyId, PartyId | None],
+    lists: Mapping[PartyId, PreferenceList],
+    honest: Iterable[PartyId],
+) -> bool:
+    """True when no two honest parties form a blocking pair."""
+    return not restricted_blocking_pairs(outputs, lists, honest)

@@ -1,0 +1,33 @@
+"""Synchronous message-passing network substrate.
+
+A deterministic, round-based simulator of the paper's model: ``n = 2k``
+parties with synchronized clocks, bidirectional authenticated channels
+along a topology (fully-connected / one-sided / bipartite, Fig. 1), and
+every message sent in round ``r`` delivered in round ``r + 1`` (one
+round = one ``Delta``).  The adversary is *rushing*: corrupted parties
+observe the honest messages addressed to them in the current round
+before choosing their own.
+"""
+
+from repro.net.process import Context, Envelope, Process
+from repro.net.simulator import RunResult, SyncNetwork
+from repro.net.topology import (
+    Bipartite,
+    FullyConnected,
+    OneSided,
+    Topology,
+    topology_by_name,
+)
+
+__all__ = [
+    "Topology",
+    "FullyConnected",
+    "OneSided",
+    "Bipartite",
+    "topology_by_name",
+    "Process",
+    "Context",
+    "Envelope",
+    "SyncNetwork",
+    "RunResult",
+]

@@ -1,0 +1,80 @@
+"""Fault-injection links: omissions as a first-class testing tool.
+
+The paper's Appendix A.6 analyzes protocols in "a fully-connected
+synchronous network with omissions": a message either arrives within
+``Delta`` or never.  :class:`LossyLink` realizes exactly that — a
+direct link whose deliveries are filtered by a predicate — so omission
+guarantees (Theorems 8/9: termination + weak agreement) can be tested
+against arbitrary loss patterns, deterministic or seeded.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable
+
+from repro.ids import PartyId
+from repro.net.process import Envelope
+from repro.net.transports import DirectLink
+
+__all__ = ["LossyLink", "random_drop", "partition_drop", "after_round_drop"]
+
+#: ``drop(src, dst, sent_round) -> bool`` — True suppresses the delivery.
+DropRule = Callable[[PartyId, PartyId, int], bool]
+
+
+class LossyLink(DirectLink):
+    """A direct link that drops messages according to a rule.
+
+    Messages are dropped at the *receiving* link, modelling an
+    adversary that controls delivery; the sender cannot tell.
+    """
+
+    def __init__(self, me: PartyId, group: Iterable[PartyId], drop: DropRule) -> None:
+        super().__init__(me, group)
+        self._drop = drop
+        self.dropped = 0
+
+    def ingest(self, ctx, inbox):
+        kept = []
+        for envelope in inbox:
+            if self._drop(envelope.src, envelope.dst, envelope.sent_round):
+                self.dropped += 1
+            else:
+                kept.append(envelope)
+        return super().ingest(ctx, kept)
+
+
+def random_drop(probability: float, seed: int = 0) -> DropRule:
+    """Drop each message independently with the given probability (seeded).
+
+    The rule is deterministic per ``(src, dst, round)`` so all links in
+    a run observing the same triple agree — loss looks like a property
+    of the channel, not of the observer.
+    """
+
+    def rule(src: PartyId, dst: PartyId, sent_round: int) -> bool:
+        rng = random.Random((seed, str(src), str(dst), sent_round).__repr__())
+        return rng.random() < probability
+
+    return rule
+
+
+def partition_drop(side_a: Iterable[PartyId], side_b: Iterable[PartyId]) -> DropRule:
+    """Drop everything crossing between two party groups (a partition)."""
+    group_a = frozenset(side_a)
+    group_b = frozenset(side_b)
+
+    def rule(src: PartyId, dst: PartyId, sent_round: int) -> bool:
+        return (src in group_a and dst in group_b) or (src in group_b and dst in group_a)
+
+    return rule
+
+
+def after_round_drop(cutoff: int) -> DropRule:
+    """Deliver normally until ``cutoff``; drop everything sent later."""
+
+    def rule(src: PartyId, dst: PartyId, sent_round: int) -> bool:
+        return sent_round >= cutoff
+
+    return rule

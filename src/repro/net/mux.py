@@ -1,0 +1,173 @@
+"""Multiplexing many subprotocol instances inside one party.
+
+The paper's protocols run many broadcasts in parallel — e.g. in
+``PiBSM`` every party in ``L`` runs one ``PiBB`` invocation per
+``L``-party and one ``PiBA`` invocation per ``R``-party, all in
+lock-step.  :class:`Mux` hosts any number of named sub-processes inside
+a single :class:`~repro.net.process.Process`, tagging outgoing payloads
+with the instance name and routing incoming ones accordingly.
+
+Sub-process outputs are collected per name instead of becoming the
+party's global output; the hosting process combines them (e.g. feeds
+all broadcast results into a local Gale-Shapley run).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ProtocolError
+from repro.ids import PartyId
+from repro.net.process import Context, Envelope, Process
+
+__all__ = ["Mux", "SubContext"]
+
+_NO_OUTPUT = object()
+
+#: Wire tag marking multiplexed payloads: ("mux", instance_name, inner_payload).
+MUX_TAG = "mux"
+
+
+class SubContext:
+    """A context facade handed to a sub-process: tags sends, captures output."""
+
+    def __init__(self, parent: Context, name: object) -> None:
+        self._parent = parent
+        self._name = name
+        self._output: object = _NO_OUTPUT
+        self._halted = False
+
+    # Mirror the Context surface sub-protocols rely on.
+
+    @property
+    def me(self) -> PartyId:
+        return self._parent.me
+
+    @property
+    def k(self) -> int:
+        return self._parent.k
+
+    @property
+    def round(self) -> int:
+        return self._parent.round
+
+    @property
+    def neighbors(self) -> tuple[PartyId, ...]:
+        return self._parent.neighbors
+
+    @property
+    def authenticated(self) -> bool:
+        return self._parent.authenticated
+
+    def send(self, dst: PartyId, payload: object) -> None:
+        self._parent.send(dst, (MUX_TAG, self._name, payload))
+
+    def send_many(self, dsts, payload: object) -> None:
+        for dst in dsts:
+            self.send(dst, payload)
+
+    def broadcast(self, payload: object) -> None:
+        self.send_many(self.neighbors, payload)
+
+    def sign(self, payload: object):
+        return self._parent.sign(payload)
+
+    def verify(self, signer: PartyId, payload: object, signature: object) -> bool:
+        return self._parent.verify(signer, payload, signature)
+
+    def output(self, value: object) -> None:
+        if self._output is not _NO_OUTPUT:
+            raise ProtocolError(f"{self.me}/mux[{self._name!r}]: output declared twice")
+        self._output = value
+
+    @property
+    def has_output(self) -> bool:
+        return self._output is not _NO_OUTPUT
+
+    @property
+    def current_output(self) -> object:
+        if self._output is _NO_OUTPUT:
+            raise ProtocolError(f"{self.me}/mux[{self._name!r}]: no output yet")
+        return self._output
+
+    def halt(self) -> None:
+        self._halted = True
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+
+class Mux:
+    """Hosts named sub-processes and routes multiplexed messages to them."""
+
+    def __init__(self) -> None:
+        self._subs: dict[object, Process] = {}
+        self._contexts: dict[object, SubContext] = {}
+
+    def add(self, name: object, process: Process) -> None:
+        """Register a sub-process under ``name`` (any hashable wire-encodable id)."""
+        if name in self._subs:
+            raise ProtocolError(f"mux instance {name!r} registered twice")
+        self._subs[name] = process
+
+    def names(self) -> tuple:
+        """All registered instance names, in insertion order."""
+        return tuple(self._subs)
+
+    def step(self, ctx: Context, inbox: Sequence[Envelope]) -> list[Envelope]:
+        """Run one round of every live sub-process.
+
+        Routes multiplexed envelopes to their instances and returns the
+        envelopes that were *not* multiplexed (host-level traffic).
+        """
+        routed: dict[object, list[Envelope]] = {name: [] for name in self._subs}
+        unrouted: list[Envelope] = []
+        for envelope in inbox:
+            payload = envelope.payload
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 3
+                and payload[0] == MUX_TAG
+                and payload[1] in routed
+            ):
+                routed[payload[1]].append(
+                    Envelope(
+                        src=envelope.src,
+                        dst=envelope.dst,
+                        sent_round=envelope.sent_round,
+                        payload=payload[2],
+                    )
+                )
+            else:
+                unrouted.append(envelope)
+
+        for name, process in self._subs.items():
+            sub_ctx = self._contexts.get(name)
+            if sub_ctx is None:
+                sub_ctx = SubContext(ctx, name)
+                self._contexts[name] = sub_ctx
+            if sub_ctx.halted:
+                continue
+            process.on_round(sub_ctx, tuple(routed[name]))
+        return unrouted
+
+    def output_of(self, name: object) -> object:
+        """The output of instance ``name`` (raises if not yet declared)."""
+        sub_ctx = self._contexts.get(name)
+        if sub_ctx is None or not sub_ctx.has_output:
+            raise ProtocolError(f"mux instance {name!r} has no output yet")
+        return sub_ctx.current_output
+
+    def has_output(self, name: object) -> bool:
+        """True when instance ``name`` declared its output."""
+        sub_ctx = self._contexts.get(name)
+        return sub_ctx is not None and sub_ctx.has_output
+
+    def all_done(self) -> bool:
+        """True when every registered instance has declared an output."""
+        return all(self.has_output(name) for name in self._subs)
+
+    def outputs(self) -> dict:
+        """Mapping of instance name to output for all finished instances."""
+        return {name: self.output_of(name) for name in self._subs if self.has_output(name)}

@@ -1,0 +1,167 @@
+"""The process model: what a party's protocol code sees.
+
+A party is a :class:`Process`: every round the simulator calls
+``on_round(ctx, inbox)`` with the messages delivered this round (those
+sent in the previous round).  The :class:`Context` is the party's whole
+world: identity, current round, neighbors, sending, signing, and
+declaring an output.
+
+Outputs are write-once — the paper's parties "decide" exactly once —
+and ``halt()`` tells the simulator the party is done (a halted party
+neither sends nor receives).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ProtocolError
+from repro.ids import PartyId
+from repro.net.topology import Topology
+
+__all__ = ["Envelope", "Context", "Process", "NullProcess"]
+
+#: Sentinel distinguishing "no output yet" from an output of ``None``
+#: (matching *nobody* is a legitimate bSM output).
+_NO_OUTPUT = object()
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One delivered message: sender, recipient, send round, payload."""
+
+    src: PartyId
+    dst: PartyId
+    sent_round: int
+    payload: object
+
+    def __repr__(self) -> str:
+        return f"Envelope({self.src}->{self.dst} @r{self.sent_round}: {self.payload!r})"
+
+
+class Context:
+    """Per-party interface to the synchronous network.
+
+    Created by the simulator; the same instance is reused across rounds
+    (``round`` advances).  Protocol code must only use the public
+    methods below.
+    """
+
+    def __init__(self, me: PartyId, topology: Topology, signer=None) -> None:
+        self.me = me
+        self.round = 0
+        self._topology = topology
+        self._signer = signer
+        self._outbox: list[tuple[PartyId, object]] = []
+        self._output: object = _NO_OUTPUT
+        self._halted = False
+        self._neighbors = topology.neighbors(me)
+
+    # -- network ---------------------------------------------------------------
+
+    @property
+    def k(self) -> int:
+        """Side size of the network."""
+        return self._topology.k
+
+    @property
+    def neighbors(self) -> tuple[PartyId, ...]:
+        """Parties this one shares a channel with."""
+        return self._neighbors
+
+    def send(self, dst: PartyId, payload: object) -> None:
+        """Send ``payload`` to ``dst``; delivered next round.
+
+        Raises :class:`~repro.errors.TopologyError` when no channel
+        exists — honest code must respect the topology, and the
+        simulator enforces the same restriction on the adversary.
+        """
+        self._topology.check_edge(self.me, dst)
+        self._outbox.append((dst, payload))
+
+    def send_many(self, dsts: Iterable[PartyId], payload: object) -> None:
+        """Send the same payload to several parties."""
+        for dst in dsts:
+            self.send(dst, payload)
+
+    def broadcast(self, payload: object) -> None:
+        """Send ``payload`` to every neighbor."""
+        self.send_many(self._neighbors, payload)
+
+    # -- signatures --------------------------------------------------------------
+
+    @property
+    def authenticated(self) -> bool:
+        """True when the run provides signatures (a PKI is set up)."""
+        return self._signer is not None
+
+    def sign(self, payload: object):
+        """Sign ``payload`` as this party (authenticated settings only)."""
+        if self._signer is None:
+            raise ProtocolError(f"{self.me}: signing requested in an unauthenticated run")
+        return self._signer.sign(payload)
+
+    def verify(self, signer: PartyId, payload: object, signature: object) -> bool:
+        """Verify a signature against the PKI."""
+        if self._signer is None:
+            raise ProtocolError(f"{self.me}: verification requested in an unauthenticated run")
+        return self._signer.verify(signer, payload, signature)
+
+    # -- decisions ---------------------------------------------------------------
+
+    def output(self, value: object) -> None:
+        """Declare this party's (write-once) output."""
+        if self._output is not _NO_OUTPUT:
+            raise ProtocolError(f"{self.me}: output declared twice")
+        self._output = value
+
+    @property
+    def has_output(self) -> bool:
+        """True once :meth:`output` has been called."""
+        return self._output is not _NO_OUTPUT
+
+    @property
+    def current_output(self) -> object:
+        """The declared output (raises before any declaration)."""
+        if self._output is not _NO_OUTPUT:
+            return self._output
+        raise ProtocolError(f"{self.me}: no output declared yet")
+
+    def halt(self) -> None:
+        """Stop participating; the simulator will not call this party again."""
+        self._halted = True
+
+    @property
+    def halted(self) -> bool:
+        """True once :meth:`halt` has been called."""
+        return self._halted
+
+    # -- simulator side (internal) -------------------------------------------------
+
+    def _drain_outbox(self) -> list[tuple[PartyId, object]]:
+        sends, self._outbox = self._outbox, []
+        return sends
+
+
+class Process(ABC):
+    """A party's protocol code.
+
+    ``on_round`` is called once per round, starting at round 0 with an
+    empty inbox, until the process halts or the simulator's round limit
+    is reached.
+    """
+
+    @abstractmethod
+    def on_round(self, ctx: Context, inbox: Sequence[Envelope]) -> None:
+        """Handle this round's deliveries and queue this round's sends."""
+
+
+class NullProcess(Process):
+    """A process that outputs ``None`` immediately and halts (a no-op party)."""
+
+    def on_round(self, ctx: Context, inbox: Sequence[Envelope]) -> None:
+        if not ctx.has_output:
+            ctx.output(None)
+        ctx.halt()

@@ -1,0 +1,68 @@
+"""Clock-shift adapters.
+
+Protocols in this library do explicit round arithmetic starting at
+round 0.  When a sub-protocol joins late (e.g. the ``PiBA`` invocations
+inside ``PiBSM`` start one virtual round after the ``PiBB`` ones —
+"Wait Delta time to receive preference lists"), wrapping it in
+:class:`ShiftedProcess` lets it keep its own arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.net.process import Envelope, Process
+
+__all__ = ["ShiftedContext", "ShiftedProcess", "LazyShiftedProcess"]
+
+
+class ShiftedContext:
+    """A context whose clock reads ``shift`` rounds earlier than the real one."""
+
+    def __init__(self, real, shift: int) -> None:
+        self._real = real
+        self._shift = shift
+
+    @property
+    def round(self) -> int:
+        return self._real.round - self._shift
+
+    def __getattr__(self, name: str):
+        return getattr(self._real, name)
+
+
+class ShiftedProcess(Process):
+    """Runs ``inner`` with its clock shifted back by ``shift`` rounds.
+
+    Rounds before ``shift`` are silently skipped.
+    """
+
+    def __init__(self, inner: Process, shift: int) -> None:
+        self.inner = inner
+        self.shift = shift
+
+    def on_round(self, ctx, inbox: Sequence[Envelope]) -> None:
+        if ctx.round < self.shift:
+            return
+        self.inner.on_round(ShiftedContext(ctx, self.shift), inbox)
+
+
+class LazyShiftedProcess(Process):
+    """Like :class:`ShiftedProcess`, but the inner process is built on demand.
+
+    The factory runs at the first shifted round, so it can close over
+    state that only becomes available mid-protocol (e.g. preference
+    lists received one round earlier).
+    """
+
+    def __init__(self, factory: Callable[[], Process], shift: int) -> None:
+        self.factory = factory
+        self.shift = shift
+        self.inner: Process | None = None
+
+    def on_round(self, ctx, inbox: Sequence[Envelope]) -> None:
+        if ctx.round < self.shift:
+            return
+        if self.inner is None:
+            self.inner = self.factory()
+        self.inner.on_round(ShiftedContext(ctx, self.shift), inbox)

@@ -1,0 +1,140 @@
+"""Network topologies (paper Fig. 1).
+
+Three models, each strictly stronger than the previous:
+
+* :class:`Bipartite` — only ``L x R`` channels (international job
+  applicants: you can only talk to potential matches);
+* :class:`OneSided` — bipartite plus full connectivity inside ``R``
+  (kidney donation: recipients cannot talk to each other);
+* :class:`FullyConnected` — everyone talks to everyone.
+
+Topologies are pure edge predicates; the simulator enforces them on
+*every* send, including the adversary's — byzantine parties cannot
+conjure channels that do not exist.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.ids import PartyId, all_parties
+
+__all__ = [
+    "Topology",
+    "FullyConnected",
+    "OneSided",
+    "Bipartite",
+    "topology_by_name",
+    "TOPOLOGY_NAMES",
+]
+
+
+@dataclass(frozen=True)
+class Topology(ABC):
+    """An undirected communication graph over the ``2k`` parties."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise TopologyError(f"k must be positive, got {self.k}")
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Stable lowercase identifier (``"fully_connected"`` etc.)."""
+
+    @abstractmethod
+    def allows(self, src: PartyId, dst: PartyId) -> bool:
+        """True when a channel exists between ``src`` and ``dst``."""
+
+    def parties(self) -> tuple[PartyId, ...]:
+        """All ``2k`` parties in canonical order."""
+        return all_parties(self.k)
+
+    def neighbors(self, party: PartyId) -> tuple[PartyId, ...]:
+        """All parties ``party`` shares a channel with, in canonical order."""
+        self._check_member(party)
+        return tuple(
+            other for other in self.parties() if other != party and self.allows(party, other)
+        )
+
+    def check_edge(self, src: PartyId, dst: PartyId) -> None:
+        """Raise :class:`TopologyError` unless ``src``-``dst`` is a channel."""
+        self._check_member(src)
+        self._check_member(dst)
+        if src == dst:
+            raise TopologyError(f"{src} cannot send to itself")
+        if not self.allows(src, dst):
+            raise TopologyError(f"no channel {src} -> {dst} in {self.name} (k={self.k})")
+
+    def edge_count(self) -> int:
+        """Number of undirected channels."""
+        parties = self.parties()
+        return sum(
+            1
+            for i, u in enumerate(parties)
+            for v in parties[i + 1 :]
+            if self.allows(u, v)
+        )
+
+    def _check_member(self, party: PartyId) -> None:
+        if party.index >= self.k:
+            raise TopologyError(f"{party} is not a party of a k={self.k} network")
+
+
+@dataclass(frozen=True)
+class FullyConnected(Topology):
+    """Every pair of distinct parties shares a channel."""
+
+    @property
+    def name(self) -> str:
+        return "fully_connected"
+
+    def allows(self, src: PartyId, dst: PartyId) -> bool:
+        return src != dst
+
+
+@dataclass(frozen=True)
+class OneSided(Topology):
+    """All channels except inside ``L``: parties in ``L`` cannot talk directly."""
+
+    @property
+    def name(self) -> str:
+        return "one_sided"
+
+    def allows(self, src: PartyId, dst: PartyId) -> bool:
+        if src == dst:
+            return False
+        return not (src.is_left() and dst.is_left())
+
+
+@dataclass(frozen=True)
+class Bipartite(Topology):
+    """Only cross-side channels exist."""
+
+    @property
+    def name(self) -> str:
+        return "bipartite"
+
+    def allows(self, src: PartyId, dst: PartyId) -> bool:
+        return src.side != dst.side
+
+
+TOPOLOGY_NAMES = ("fully_connected", "one_sided", "bipartite")
+
+
+def topology_by_name(name: str, k: int) -> Topology:
+    """Instantiate a topology from its stable name."""
+    table = {
+        "fully_connected": FullyConnected,
+        "one_sided": OneSided,
+        "bipartite": Bipartite,
+    }
+    try:
+        cls = table[name]
+    except KeyError as exc:
+        raise TopologyError(f"unknown topology {name!r}; expected one of {TOPOLOGY_NAMES}") from exc
+    return cls(k=k)

@@ -1,0 +1,201 @@
+"""Virtual links: running protocols written for delay-1 networks at any cadence.
+
+The paper repeatedly "assumes" a fully-connected network that is really
+simulated over a weaker topology at twice the delay (Lemmas 6, 8, 10 —
+``Delta_BA(2*Delta)`` etc.).  We capture that pattern once:
+
+* a :class:`LinkLayer` turns raw per-round traffic into *virtual*
+  deliveries among a ``group`` of parties with a uniform virtual delay
+  of one virtual round = ``delta`` real rounds;
+* a :class:`VirtualContext` presents the virtual network to protocol
+  code, so every consensus protocol in :mod:`repro.consensus` is
+  written once against delay-1 semantics and runs unchanged over
+  relayed links;
+* a :class:`TransportProcess` hosts an upper protocol over a link.
+
+:class:`DirectLink` is the trivial delta-1 link; the paper's relay
+constructions live in :mod:`repro.core.relays`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+from repro.errors import ProtocolError, TopologyError
+from repro.ids import PartyId
+from repro.net.process import Context, Envelope, Process
+
+__all__ = ["LinkLayer", "DirectLink", "VirtualContext", "TransportProcess"]
+
+
+class LinkLayer(ABC):
+    """A virtual fully-connected network among ``group`` with delay ``delta``.
+
+    Subclasses implement how virtual sends map to raw messages and how
+    raw deliveries are turned back into virtual ones.  The contract:
+
+    * a virtual message sent at virtual round ``v`` by an honest party
+      is collected by an honest recipient at virtual round ``v + 1``
+      (unless the link's documented omission conditions apply);
+    * ``ingest`` is called every *real* round and returns the raw
+      envelopes that do not belong to the link;
+    * ``collect`` is called at virtual round boundaries and drains the
+      deliveries that are due.
+    """
+
+    #: Real rounds per virtual round.
+    delta: int = 1
+    #: The parties connected by this virtual network.
+    group: tuple[PartyId, ...] = ()
+
+    @abstractmethod
+    def virtual_send(self, ctx: Context, dst: PartyId, payload: object) -> None:
+        """Emit the raw messages realizing a virtual send to ``dst``."""
+
+    @abstractmethod
+    def ingest(self, ctx: Context, inbox: Sequence[Envelope]) -> list[Envelope]:
+        """Process one real round of raw deliveries; return non-link envelopes."""
+
+    @abstractmethod
+    def collect(self) -> list[Envelope]:
+        """Drain virtual deliveries due at the current virtual round."""
+
+    def check_group_member(self, dst: PartyId) -> None:
+        """Raise unless ``dst`` belongs to the virtual group."""
+        if dst not in self.group:
+            raise TopologyError(f"{dst} is not part of this virtual link's group")
+
+
+class DirectLink(LinkLayer):
+    """The identity link: group members already share physical channels."""
+
+    def __init__(self, me: PartyId, group: Iterable[PartyId]) -> None:
+        self.delta = 1
+        self.me = me
+        self.group = tuple(sorted(group))
+        self._ready: list[Envelope] = []
+
+    def virtual_send(self, ctx: Context, dst: PartyId, payload: object) -> None:
+        self.check_group_member(dst)
+        ctx.send(dst, ("lnk.direct", payload))
+
+    def ingest(self, ctx: Context, inbox: Sequence[Envelope]) -> list[Envelope]:
+        leftover: list[Envelope] = []
+        for envelope in inbox:
+            payload = envelope.payload
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == "lnk.direct"
+                and envelope.src in self.group
+            ):
+                self._ready.append(
+                    Envelope(envelope.src, envelope.dst, envelope.sent_round, payload[1])
+                )
+            else:
+                leftover.append(envelope)
+        return leftover
+
+    def collect(self) -> list[Envelope]:
+        ready, self._ready = self._ready, []
+        return ready
+
+
+class VirtualContext:
+    """The context a protocol sees when running over a :class:`LinkLayer`.
+
+    Rounds are virtual (``real // delta``), neighbors are the link
+    group, sends go through the link.  Output/halt pass through to the
+    real context by default; hosts that multiplex several protocols
+    hand sub-contexts out via :class:`~repro.net.mux.Mux` instead.
+    """
+
+    def __init__(self, real: Context, link: LinkLayer) -> None:
+        self._real = real
+        self._link = link
+
+    @property
+    def me(self) -> PartyId:
+        return self._real.me
+
+    @property
+    def k(self) -> int:
+        return self._real.k
+
+    @property
+    def round(self) -> int:
+        return self._real.round // self._link.delta
+
+    @property
+    def neighbors(self) -> tuple[PartyId, ...]:
+        return tuple(p for p in self._link.group if p != self._real.me)
+
+    @property
+    def authenticated(self) -> bool:
+        return self._real.authenticated
+
+    def send(self, dst: PartyId, payload: object) -> None:
+        if dst == self._real.me:
+            raise ProtocolError(f"{dst} cannot send to itself")
+        self._link.virtual_send(self._real, dst, payload)
+
+    def send_many(self, dsts: Iterable[PartyId], payload: object) -> None:
+        for dst in dsts:
+            self.send(dst, payload)
+
+    def broadcast(self, payload: object) -> None:
+        self.send_many(self.neighbors, payload)
+
+    def sign(self, payload: object):
+        return self._real.sign(payload)
+
+    def verify(self, signer: PartyId, payload: object, signature: object) -> bool:
+        return self._real.verify(signer, payload, signature)
+
+    def output(self, value: object) -> None:
+        self._real.output(value)
+
+    @property
+    def has_output(self) -> bool:
+        return self._real.has_output
+
+    @property
+    def current_output(self) -> object:
+        return self._real.current_output
+
+    def halt(self) -> None:
+        self._real.halt()
+
+    @property
+    def halted(self) -> bool:
+        return self._real.halted
+
+
+class TransportProcess(Process):
+    """Hosts one upper protocol over a link layer.
+
+    Every real round the link ingests raw traffic; at virtual round
+    boundaries the upper protocol takes a step with the virtual inbox.
+    Raw envelopes the link does not recognize are handed to
+    :meth:`on_unrouted` (no-op by default).
+    """
+
+    def __init__(self, link: LinkLayer, upper: Process) -> None:
+        self.link = link
+        self.upper = upper
+        self._vctx: VirtualContext | None = None
+
+    def on_round(self, ctx: Context, inbox: Sequence[Envelope]) -> None:
+        leftover = self.link.ingest(ctx, inbox)
+        if leftover:
+            self.on_unrouted(ctx, leftover)
+        if ctx.round % self.link.delta == 0:
+            if self._vctx is None:
+                self._vctx = VirtualContext(ctx, self.link)
+            vinbox = tuple(self.link.collect())
+            if not ctx.halted:
+                self.upper.on_round(self._vctx, vinbox)
+
+    def on_unrouted(self, ctx: Context, envelopes: list[Envelope]) -> None:
+        """Hook for non-link traffic; default drops it."""

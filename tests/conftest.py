@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.problem import BSMInstance, Setting
+from repro.ids import PartyId, left_party, right_party
+from repro.matching.generators import random_profile
+
+
+def L(i: int) -> PartyId:
+    return left_party(i)
+
+
+def R(i: int) -> PartyId:
+    return right_party(i)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def make_instance(
+    topology: str, authenticated: bool, k: int, tL: int, tR: int, seed: int = 7
+) -> BSMInstance:
+    setting = Setting(topology, authenticated, k, tL, tR)
+    return BSMInstance(setting, random_profile(k, seed))

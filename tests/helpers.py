@@ -1,0 +1,69 @@
+"""Shared test helpers: running consensus protocols standalone."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.adversary.adversary import Adversary
+from repro.crypto.signatures import KeyRing
+from repro.ids import PartyId, all_parties
+from repro.net.faults import LossyLink
+from repro.net.process import NullProcess, Process
+from repro.net.simulator import RunResult, SyncNetwork
+from repro.net.topology import FullyConnected
+from repro.net.transports import DirectLink, LinkLayer, TransportProcess
+
+
+def run_consensus(
+    k: int,
+    make_process: Callable[[PartyId], Process | None],
+    *,
+    adversary: Adversary | None = None,
+    authenticated: bool = False,
+    max_rounds: int = 200,
+) -> RunResult:
+    """Run one protocol instance over a fully-connected network of ``2k`` parties.
+
+    ``make_process(party)`` returns the party's process (``None`` for a
+    placeholder NullProcess — e.g. corrupted slots).
+    """
+    topology = FullyConnected(k=k)
+    processes: dict[PartyId, Process] = {}
+    for party in all_parties(k):
+        proc = make_process(party)
+        processes[party] = proc if proc is not None else NullProcess()
+    keyring = KeyRing(all_parties(k)) if authenticated else None
+    network = SyncNetwork(
+        topology,
+        processes,
+        adversary=adversary,
+        keyring=keyring,
+        max_rounds=max_rounds,
+    )
+    return network.run()
+
+
+def run_with_omissions(
+    k: int,
+    make_process: Callable[[PartyId], Process],
+    drop: Callable[[PartyId, PartyId, int], bool],
+    *,
+    max_rounds: int = 200,
+    authenticated: bool = False,
+) -> RunResult:
+    """Run a protocol with message omissions injected at the link layer."""
+    group = all_parties(k)
+
+    def wrapped(party: PartyId) -> Process:
+        return TransportProcess(LossyLink(party, group, drop), make_process(party))
+
+    return run_consensus(
+        k, wrapped, max_rounds=max_rounds, authenticated=authenticated
+    )
+
+
+def agreeing_value(result: RunResult, parties: Sequence[PartyId]) -> object:
+    """Assert all ``parties`` output the same value and return it."""
+    values = {result.outputs[p] for p in parties}
+    assert len(values) == 1, f"outputs diverge: { {str(p): result.outputs[p] for p in parties} }"
+    return values.pop()

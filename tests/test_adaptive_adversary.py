@@ -1,0 +1,114 @@
+"""Adaptive corruption during protocol execution.
+
+The paper: "Our protocols will assume that the adversary is adaptive:
+it may choose to corrupt parties at any point of the protocol's
+execution."  These tests corrupt parties mid-run — after they have
+already participated honestly — and check that every bSM property
+still holds for the remaining honest parties.
+"""
+
+import pytest
+
+from repro.adversary.adversary import Adversary
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import run_bsm
+from repro.core.verdict import check_bsm
+from repro.ids import all_parties, left_party as l, right_party as r
+from repro.matching.generators import random_profile
+
+
+class MidRunCorruptor(Adversary):
+    """Corrupts ``victims`` at their scheduled rounds, then goes silent."""
+
+    def __init__(self, schedule):
+        # schedule: dict round -> list of parties to corrupt then
+        super().__init__([])
+        self.schedule = dict(schedule)
+        self.seized = {}
+
+    def step(self, round_now, view):
+        for party in self.schedule.get(round_now, ()):
+            if party not in self.world.corrupted:
+                self.seized[party] = self.world.corrupt(party)
+
+
+class MidRunCorruptAndLie(MidRunCorruptor):
+    """After corrupting, babbles signed-looking junk from the victims."""
+
+    def step(self, round_now, view):
+        super().step(round_now, view)
+        for party in self.seized:
+            for dst in self.world.topology.neighbors(party):
+                if dst in self.world.corrupted:
+                    continue
+                self.world.send(party, dst, ("mux", ("bb", party), ("junk", round_now)))
+
+
+def run_with_adaptive(setting, adversary, seed=5):
+    instance = BSMInstance(setting, random_profile(setting.k, seed))
+    return run_bsm(instance, adversary), instance
+
+
+class TestAdaptiveCorruption:
+    @pytest.mark.parametrize("corrupt_round", [0, 1, 2, 3])
+    def test_fully_connected_auth(self, corrupt_round):
+        setting = Setting("fully_connected", True, 3, 1, 1)
+        adversary = MidRunCorruptor({corrupt_round: [l(0)]})
+        report, instance = run_with_adaptive(setting, adversary)
+        # The verdict must be computed against the final honest set.
+        honest = frozenset(all_parties(3)) - report.result.corrupted
+        verdict = check_bsm(report.result, instance.profile, honest)
+        assert verdict.all_ok, verdict.violations
+
+    @pytest.mark.parametrize("corrupt_round", [1, 4, 8])
+    def test_pibsm_l_party_corrupted_mid_run(self, corrupt_round):
+        setting = Setting("bipartite", True, 4, 1, 4)
+        adversary = MidRunCorruptAndLie({corrupt_round: [l(2)]})
+        instance = BSMInstance(setting, random_profile(4, 7))
+        report = run_bsm(instance, adversary, recipe="pi_bsm")
+        honest = frozenset(all_parties(4)) - report.result.corrupted
+        verdict = check_bsm(report.result, instance.profile, honest)
+        assert verdict.all_ok, (corrupt_round, verdict.violations)
+
+    def test_staggered_corruptions(self):
+        """One corruption per phase, up to the structure's budget."""
+        setting = Setting("fully_connected", True, 3, 1, 1)
+        adversary = MidRunCorruptAndLie({0: [r(1)], 2: [l(1)]})
+        report, instance = run_with_adaptive(setting, adversary)
+        honest = frozenset(all_parties(3)) - report.result.corrupted
+        assert report.result.corrupted == frozenset({r(1), l(1)})
+        verdict = check_bsm(report.result, instance.profile, honest)
+        assert verdict.all_ok, verdict.violations
+
+    def test_budget_still_enforced_adaptively(self):
+        from repro.errors import AdversaryError
+
+        setting = Setting("fully_connected", True, 3, 1, 0)
+
+        class Greedy(Adversary):
+            def __init__(self):
+                super().__init__([])
+                self.refused = False
+
+            def step(self, round_now, view):
+                if round_now == 0:
+                    self.world.corrupt(l(0))
+                    try:
+                        self.world.corrupt(l(1))  # second L exceeds tL = 1
+                    except AdversaryError:
+                        self.refused = True
+
+        adversary = Greedy()
+        report, _ = run_with_adaptive(setting, adversary)
+        assert adversary.refused
+        assert report.result.corrupted == frozenset({l(0)})
+
+    def test_seized_state_visible_to_adversary(self):
+        """Adaptive corruption hands over the victim's process object."""
+        setting = Setting("fully_connected", True, 2, 1, 0)
+        adversary = MidRunCorruptor({1: [l(0)]})
+        report, _ = run_with_adaptive(setting, adversary)
+        assert l(0) in adversary.seized
+        from repro.net.transports import TransportProcess
+
+        assert isinstance(adversary.seized[l(0)], TransportProcess)

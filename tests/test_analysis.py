@@ -1,0 +1,88 @@
+"""Tests for the trace-analysis helpers."""
+
+import pytest
+
+from repro.analysis import (
+    bytes_per_round,
+    cross_side_fraction,
+    messages_per_round,
+    summarize_trace,
+    tag_histogram,
+    traffic_matrix,
+)
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import run_bsm
+from repro.ids import left_party as l, right_party as r
+from repro.matching.generators import random_profile
+from repro.net.process import Envelope
+
+
+def env(src, dst, round_sent, payload):
+    return Envelope(src=src, dst=dst, sent_round=round_sent, payload=payload)
+
+
+@pytest.fixture
+def small_trace():
+    return (
+        env(l(0), r(0), 0, ("val", 0, "x")),
+        env(l(0), r(1), 0, ("val", 0, "x")),
+        env(r(0), l(0), 1, ("prop", 0, "x")),
+        env(l(0), l(1), 1, ("mux", ("bb", l(0)), ("bbin", "y"))),
+        env(l(1), l(0), 2, "bare-string"),
+    )
+
+
+class TestAggregates:
+    def test_messages_per_round(self, small_trace):
+        assert messages_per_round(small_trace) == {0: 2, 1: 2, 2: 1}
+
+    def test_bytes_per_round_positive(self, small_trace):
+        per_round = bytes_per_round(small_trace)
+        assert set(per_round) == {0, 1, 2}
+        assert all(v > 0 for v in per_round.values())
+
+    def test_traffic_matrix(self, small_trace):
+        matrix = traffic_matrix(small_trace)
+        assert matrix[(l(0), r(0))] == 1
+        assert matrix[(l(0), l(1))] == 1
+
+    def test_tag_histogram_unwraps_mux(self, small_trace):
+        histogram = tag_histogram(small_trace)
+        assert histogram["val"] == 2
+        assert histogram["bbin"] == 1  # unwrapped from the mux envelope
+        assert histogram["str"] == 1
+
+    def test_cross_side_fraction(self, small_trace):
+        assert cross_side_fraction(small_trace) == pytest.approx(3 / 5)
+
+    def test_empty_trace(self):
+        assert messages_per_round(()) == {}
+        assert cross_side_fraction(()) == 0.0
+        assert summarize_trace(()) == "empty trace"
+
+
+class TestOnRealRuns:
+    def test_dolev_strong_trace_vocabulary(self):
+        setting = Setting("fully_connected", True, 2, 0, 0)
+        instance = BSMInstance(setting, random_profile(2, 1))
+        report = run_bsm(instance, record_trace=True)
+        histogram = tag_histogram(report.result.trace)
+        assert "ds" in histogram
+        assert sum(histogram.values()) == report.result.message_count
+
+    def test_pibsm_trace_vocabulary(self):
+        setting = Setting("bipartite", True, 4, 1, 4)
+        instance = BSMInstance(setting, random_profile(4, 1))
+        report = run_bsm(instance, recipe="pi_bsm", record_trace=True)
+        histogram = tag_histogram(report.result.trace)
+        assert "trl.req" in histogram and "trl.fwd" in histogram
+        assert "prefs" in histogram and "suggest" in histogram
+        # Bipartite topology: every physical message crosses sides.
+        assert cross_side_fraction(report.result.trace) == 1.0
+
+    def test_summary_mentions_peak(self):
+        setting = Setting("fully_connected", False, 4, 1, 1)
+        instance = BSMInstance(setting, random_profile(4, 1))
+        report = run_bsm(instance, record_trace=True)
+        text = summarize_trace(report.result.trace)
+        assert "peak round" in text and "messages:" in text

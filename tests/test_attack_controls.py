@@ -1,0 +1,96 @@
+"""Control experiments for the attacks: where the paper says *solvable*,
+the same constructions must fail to hurt the protocol.
+
+These negative controls pin down exactly which assumption each attack
+exploits:
+
+* Lemma 5's duplication needs the adversary to run honest parties'
+  code under their identities — with a PKI it cannot sign for them, so
+  the construction is unmountable (Theorem 5: authenticated
+  fully-connected is always solvable).
+* Lemma 7's cycle needs ``tR >= k/2``; at ``k = 3`` with the same
+  single corruption the majority relay survives and the protocol
+  satisfies sSM in every scenario the adversary can still stage.
+* Lemma 13's two-world split needs the *whole* right side; leave one
+  honest forwarder and the timed relay delivers, PiBSM succeeds.
+"""
+
+import pytest
+
+from repro.adversary.attacks import lemma5_spec, run_twisted_scenario
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import make_adversary, run_bsm
+from repro.core.solvability import is_solvable
+from repro.errors import ReproError
+from repro.ids import left_party as l, right_party as r, right_side
+from repro.matching.generators import random_profile
+
+
+class TestLemma5AuthControl:
+    """Signatures make the duplication attack unmountable."""
+
+    def test_attack_cannot_run_with_pki(self):
+        spec = lemma5_spec()
+        auth_spec = type(spec)(
+            name="lemma5-auth-control",
+            setting=Setting("fully_connected", True, 3, 1, 1),
+            recipe="bb_direct",
+            labels=spec.labels,
+            edges=spec.edges,
+            favorites=spec.favorites,
+            scenarios=spec.scenarios,
+            indistinguishable=spec.indistinguishable,
+        )
+        # The simulated copies include honest identities (a1 while a is
+        # honest); with a PKI the adversary holds no keys for them, so
+        # running their code fails at the first signature — the attack
+        # cannot be staged, which is the *point* of Theorem 5.
+        with pytest.raises(ReproError):
+            run_twisted_scenario(auth_spec, "attack")
+
+    def test_same_setting_is_solvable_with_pki(self):
+        setting = Setting("fully_connected", True, 3, 1, 1)
+        assert is_solvable(setting).solvable
+        instance = BSMInstance(setting, random_profile(3, 1))
+        adv = make_adversary(instance, [l(1), r(1)], kind="noise")
+        report = run_bsm(instance, adv)
+        assert report.ok
+
+
+class TestLemma7Control:
+    """One corruption at k = 3 (< k/2): the majority relay survives."""
+
+    def test_bipartite_k3_single_byzantine_succeeds(self):
+        setting = Setting("bipartite", False, 3, 0, 1)
+        assert is_solvable(setting).solvable
+        instance = BSMInstance(setting, random_profile(3, 2))
+        adv = make_adversary(instance, [r(1)], kind="noise")
+        report = run_bsm(instance, adv)
+        assert report.ok, report.report.violations
+
+
+class TestLemma13Control:
+    """One honest forwarder left in R: PiBSM delivers a full matching."""
+
+    def test_one_honest_right_party_restores_bsm(self):
+        setting = Setting("one_sided", True, 3, 1, 2)
+        assert is_solvable(setting).solvable
+        instance = BSMInstance(setting, random_profile(3, 3))
+        adv = make_adversary(instance, [l(1), r(0), r(2)], kind="noise")
+        report = run_bsm(instance, adv)
+        assert report.ok, report.report.violations
+
+    def test_pibsm_with_one_honest_forwarder(self):
+        setting = Setting("bipartite", True, 4, 1, 3)
+        instance = BSMInstance(setting, random_profile(4, 4))
+        adv = make_adversary(
+            instance, list(right_side(4)[:3]), kind="silent", recipe="pi_bsm"
+        )
+        report = run_bsm(instance, adv, recipe="pi_bsm")
+        assert report.ok, report.report.violations
+        # With an honest forwarder there are no omissions: every honest
+        # L party obtains a full matching (silent R parties get default
+        # lists), so nobody outputs 'nobody'.
+        for i in range(4):
+            if l(i) in report.honest:
+                assert report.result.outputs[l(i)] is not None

@@ -1,0 +1,129 @@
+"""Integration tests for the executable impossibility constructions."""
+
+import pytest
+
+from repro.adversary.attacks import (
+    lemma5_spec,
+    lemma7_spec,
+    lemma13_spec,
+    run_attack,
+    run_twisted_scenario,
+)
+from repro.core.solvability import is_solvable
+from repro.ids import left_party as l, right_party as r
+
+
+@pytest.fixture(scope="module")
+def lemma5():
+    return run_attack(lemma5_spec())
+
+
+@pytest.fixture(scope="module")
+def lemma7():
+    return run_attack(lemma7_spec())
+
+
+@pytest.fixture(scope="module")
+def lemma13():
+    return run_attack(lemma13_spec())
+
+
+class TestLemma5:
+    """Fig. 2: fully-connected unauthenticated, k=3, tL=tR=1."""
+
+    def test_some_property_violated(self, lemma5):
+        assert lemma5.any_violation
+
+    def test_views_indistinguishable(self, lemma5):
+        assert all(lemma5.indistinguishability_holds().values())
+
+    def test_non_competition_breaks_in_attack(self, lemma5):
+        attack = lemma5.outcomes["attack"]
+        # Both honest a (L0) and honest c (L2) match v (R1), as the proof says.
+        assert attack.outputs[l(0)] == r(1)
+        assert attack.outputs[l(2)] == r(1)
+        assert not attack.report.non_competition
+
+    def test_benign_scenarios_satisfy_ssm(self, lemma5):
+        # For THIS protocol the benign scenarios happen to succeed; the
+        # violation is then forced into the attack scenario.
+        assert lemma5.outcomes["honest_a2_side"].report.all_ok
+        assert lemma5.outcomes["honest_c1_side"].report.all_ok
+
+    def test_all_runs_terminate(self, lemma5):
+        for outcome in lemma5.outcomes.values():
+            assert outcome.report.termination
+
+
+class TestLemma7:
+    """Fig. 3: bipartite unauthenticated, k=2, tL=0, tR=1."""
+
+    def test_some_property_violated(self, lemma7):
+        assert lemma7.any_violation
+
+    def test_views_indistinguishable(self, lemma7):
+        assert all(lemma7.indistinguishability_holds().values())
+
+    def test_setting_is_unsolvable(self, lemma7):
+        assert not is_solvable(lemma7.spec.setting).solvable
+
+
+class TestLemma13:
+    """Fig. 4: one-sided authenticated, tR=k=3, tL=1."""
+
+    def test_some_property_violated(self, lemma13):
+        assert lemma13.any_violation
+
+    def test_views_indistinguishable(self, lemma13):
+        assert all(lemma13.indistinguishability_holds().values())
+
+    def test_benign_group1_matches_favorites(self, lemma13):
+        benign = lemma13.outcomes["honest_group1"]
+        assert benign.report.all_ok
+        assert benign.outputs[l(0)] == r(1)  # a matches v
+
+    def test_benign_group2_matches_favorites(self, lemma13):
+        benign = lemma13.outcomes["honest_group2"]
+        assert benign.report.all_ok
+        assert benign.outputs[l(2)] == r(1)  # c matches v
+
+    def test_attack_breaks_non_competition_exactly_as_paper(self, lemma13):
+        attack = lemma13.outcomes["attack"]
+        assert attack.outputs[l(0)] == r(1)
+        assert attack.outputs[l(2)] == r(1)
+        assert not attack.report.non_competition
+        assert attack.report.termination  # the protocol does terminate
+
+    def test_corrupted_sets(self, lemma13):
+        assert lemma13.outcomes["attack"].corrupted == frozenset(
+            {l(1), r(0), r(1), r(2)}
+        )
+        assert lemma13.outcomes["honest_group1"].corrupted == frozenset({l(2)})
+
+
+class TestSpecSanity:
+    def test_lemma5_covering_graph(self):
+        spec = lemma5_spec()
+        topology = spec.setting.topology()
+        for label in spec.labels:
+            for neighbor in topology.neighbors(label[0]):
+                # covering: at most one copy of each base neighbor
+                spec.neighbor_copy(label, neighbor)
+
+    def test_lemma7_cycle_degree(self):
+        spec = lemma7_spec()
+        for label in spec.labels:
+            degree = sum(1 for edge in spec.edges if label in edge)
+            assert degree == 2  # it is a cycle
+
+    def test_scenarios_run_individually(self):
+        spec = lemma7_spec()
+        outcome = run_twisted_scenario(spec, "honest_copy1")
+        assert outcome.scenario == "honest_copy1"
+        assert set(outcome.outputs) == {l(0), l(1), r(0)}
+
+    def test_determinism_of_attack_runs(self):
+        a = run_attack(lemma13_spec())
+        b = run_attack(lemma13_spec())
+        for name in a.outcomes:
+            assert a.outcomes[name].outputs == b.outcomes[name].outputs

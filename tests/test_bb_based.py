@@ -1,0 +1,146 @@
+"""Integration tests for the generic BB-based bSM protocol (Lemma 1)."""
+
+import pytest
+
+from repro.adversary.adversary import Adversary
+from repro.core.bb_based import bb_engine_for
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import make_adversary, run_bsm
+from repro.errors import SolvabilityError
+from repro.ids import all_parties, left_party as l, right_party as r
+from repro.matching.gale_shapley import gale_shapley
+from repro.matching.generators import random_profile
+
+from tests.conftest import make_instance
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize(
+        "topo,auth",
+        [
+            ("fully_connected", True),
+            ("fully_connected", False),
+            ("one_sided", True),
+            ("one_sided", False),
+            ("bipartite", True),
+            ("bipartite", False),
+        ],
+    )
+    def test_all_settings_reproduce_gale_shapley(self, topo, auth):
+        instance = make_instance(topo, auth, 3, 1 if auth else 0, 1)
+        report = run_bsm(instance)
+        assert report.ok, report.report.violations
+        expected = gale_shapley(instance.profile).matching
+        for party in all_parties(3):
+            assert report.result.outputs[party] == expected.partner(party)
+
+    def test_k1_minimal_network(self):
+        instance = make_instance("fully_connected", True, 1, 0, 0)
+        report = run_bsm(instance)
+        assert report.ok
+        assert report.result.outputs[l(0)] == r(0)
+
+
+class TestByzantineSenders:
+    def test_garbage_preferences_replaced_by_default(self):
+        """A byzantine party broadcasting garbage gets the default list."""
+
+        class GarbageSender(Adversary):
+            def step(self, round_now, view):
+                # Feed inconsistent garbage into every BB instance's window.
+                if round_now > 4:
+                    return
+                for dst in all_parties(3):
+                    if dst in self.world.corrupted:
+                        continue
+                    self.world.send(r(2), dst, ("mux", ("bb", r(2)), ("bbin", "junk")))
+
+        instance = make_instance("fully_connected", False, 3, 0, 1)
+        report = run_bsm(instance, GarbageSender([r(2)]))
+        assert report.ok, report.report.violations
+        # The honest outputs correspond to AG-S on the profile with r2's
+        # list replaced by the default.
+        from repro.matching.preferences import default_list
+
+        adjusted = instance.profile.with_list(r(2), default_list(r(2), 3))
+        expected = gale_shapley(adjusted).matching
+        for party in all_parties(3):
+            if party == r(2):
+                continue
+            assert report.result.outputs[party] == expected.partner(party)
+
+    @pytest.mark.parametrize("kind", ["silent", "noise", "crash", "honest"])
+    def test_canned_adversaries_fully_connected_auth(self, kind):
+        instance = make_instance("fully_connected", True, 3, 1, 1)
+        adv = make_adversary(instance, [l(0), r(0)], kind=kind)
+        report = run_bsm(instance, adv)
+        assert report.ok, (kind, report.report.violations)
+
+    @pytest.mark.parametrize("kind", ["silent", "noise", "honest"])
+    def test_canned_adversaries_bipartite_unauth(self, kind):
+        instance = make_instance("bipartite", False, 4, 1, 1)
+        adv = make_adversary(instance, [l(0), r(0)], kind=kind)
+        report = run_bsm(instance, adv)
+        assert report.ok, (kind, report.report.violations)
+
+    def test_honest_byzantine_matches_fault_free_run(self):
+        """A byzantine party that runs the protocol honestly changes nothing."""
+        instance = make_instance("fully_connected", True, 3, 1, 0)
+        clean = run_bsm(instance)
+        adv = make_adversary(instance, [l(1)], kind="honest")
+        dirty = run_bsm(instance, adv)
+        for party in all_parties(3):
+            if party == l(1):
+                continue
+            assert clean.result.outputs[party] == dirty.result.outputs[party]
+
+
+class TestEngineSelection:
+    def test_unauth_without_q3_rejected(self):
+        setting = Setting("fully_connected", False, 3, 1, 1)
+        with pytest.raises(SolvabilityError):
+            bb_engine_for(setting)
+
+    def test_unauth_without_q3_forced(self):
+        setting = Setting("fully_connected", False, 3, 1, 1)
+        engine = bb_engine_for(setting, force=True)
+        assert engine is not None
+
+    def test_auth_engine_is_dolev_strong(self):
+        from repro.consensus.dolev_strong import DolevStrongBB
+
+        setting = Setting("fully_connected", True, 2, 2, 2)
+        engine = bb_engine_for(setting)
+        proc = engine(l(0), l(1), None)
+        assert isinstance(proc, DolevStrongBB)
+        assert proc.t == 3  # capped at n - 1
+
+    def test_unauth_engine_is_general_adversary(self):
+        from repro.consensus.general_adversary import GeneralAdversaryBB
+
+        setting = Setting("fully_connected", False, 3, 0, 3)
+        engine = bb_engine_for(setting)
+        proc = engine(l(0), l(1), None)
+        assert isinstance(proc, GeneralAdversaryBB)
+
+
+class TestRunnerGuards:
+    def test_unsolvable_setting_needs_forced_recipe(self):
+        instance = make_instance("one_sided", True, 3, 1, 3)
+        with pytest.raises(SolvabilityError):
+            run_bsm(instance)
+
+    def test_unknown_recipe(self):
+        instance = make_instance("fully_connected", True, 2, 0, 0)
+        with pytest.raises(SolvabilityError):
+            run_bsm(instance, recipe="teleportation")
+
+    def test_equivocate_without_mutator(self):
+        instance = make_instance("fully_connected", True, 2, 1, 0)
+        with pytest.raises(SolvabilityError):
+            make_adversary(instance, [l(0)], kind="equivocate")
+
+    def test_unknown_adversary_kind(self):
+        instance = make_instance("fully_connected", True, 2, 1, 0)
+        with pytest.raises(SolvabilityError):
+            make_adversary(instance, [l(0)], kind="psychic")

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSolve:
+    def test_solvable(self, capsys):
+        code = main(
+            ["solve", "--topology", "fully_connected", "--auth", "--k", "3", "--tl", "3", "--tr", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solvable: True" in out
+        assert "Theorem 5" in out
+
+    def test_unsolvable(self, capsys):
+        code = main(
+            ["solve", "--topology", "one_sided", "--auth", "--k", "3", "--tl", "1", "--tr", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "solvable: False" in out
+        assert "Lemma 13" in out
+
+
+class TestRun:
+    def test_fault_free_run(self, capsys):
+        code = main(
+            ["run", "--topology", "fully_connected", "--auth", "--k", "2", "--tl", "0", "--tr", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "term=ok" in out
+        assert "L0 ->" in out
+
+    def test_run_with_adversary(self, capsys):
+        code = main(
+            [
+                "run",
+                "--topology", "bipartite",
+                "--auth",
+                "--k", "4",
+                "--tl", "1",
+                "--tr", "4",
+                "--adversary", "silent",
+                "--corrupt", "R0", "R1", "R2", "R3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pi_bsm" in out
+        assert "nobody" in out
+
+    def test_adversary_without_corrupt_errors(self, capsys):
+        code = main(
+            [
+                "run",
+                "--topology", "fully_connected",
+                "--auth",
+                "--k", "2",
+                "--tl", "1",
+                "--tr", "0",
+                "--adversary", "silent",
+            ]
+        )
+        assert code == 2
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--topology", "ring", "--k", "2", "--tl", "0", "--tr", "0"])
+
+
+class TestAttack:
+    @pytest.mark.parametrize("lemma", ["lemma5", "lemma7", "lemma13"])
+    def test_attacks_report_violation(self, capsys, lemma):
+        code = main(["attack", lemma])
+        out = capsys.readouterr().out
+        assert code == 0  # 0 = violation demonstrated (the expected outcome)
+        assert "property violated somewhere: True" in out
+
+
+class TestTable:
+    def test_table_renders(self, capsys):
+        code = main(["table", "--k", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fully_connected / auth" in out
+        assert "#" in out and "." in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,186 @@
+"""Adversarial stress tests for the consensus substrates.
+
+Scripted worst-case strategies beyond the generic behaviors: byzantine
+kings equivocating across phases, explicit (non-threshold) general
+adversary structures, and many parallel broadcast instances sharing a
+network through the mux.
+"""
+
+import pytest
+
+from repro.adversary.adversary import Adversary, BehaviorAdversary, SilentBehavior
+from repro.adversary.structures import ExplicitStructure, ProductThresholdStructure
+from repro.consensus.dolev_strong import DolevStrongBB
+from repro.consensus.general_adversary import GeneralAdversaryBA
+from repro.consensus.phase_king import PiKing
+from repro.ids import all_parties, left_party as l, right_party as r
+from repro.net.mux import Mux
+from repro.net.process import Process
+from repro.net.simulator import SyncNetwork
+from repro.net.topology import FullyConnected
+
+from tests.helpers import agreeing_value, run_consensus
+
+
+class TestScriptedKingAttacks:
+    def test_all_phase_kings_equivocate_in_turn(self):
+        """Every byzantine king splits the network; the honest king heals it.
+
+        k=8 parties, t=2: kings are the first 3 parties; corrupt the
+        first two and have each send conflicting king values.
+        """
+
+        class SerialSplitter(Adversary):
+            def step(self, round_now, view):
+                phase, step = divmod(round_now, 3)
+                if step != 2 or phase > 1:
+                    return
+                king = (l(0), l(1))[phase]
+                others = [p for p in all_parties(4) if p not in self.world.corrupted]
+                for i, dst in enumerate(others):
+                    value = "X" if i % 2 == 0 else "Y"
+                    self.world.send(king, dst, ("king", phase, value))
+
+        inputs = {p: ("X" if p.index % 2 else "Y") for p in all_parties(4)}
+
+        def make(party):
+            return PiKing(all_parties(4), 2, inputs[party])
+
+        result = run_consensus(4, make, adversary=SerialSplitter([l(0), l(1)]))
+        honest = [p for p in all_parties(4) if p not in (l(0), l(1))]
+        agreeing_value(result, honest)
+
+    def test_king_replay_across_phases_ignored(self):
+        """A byzantine party replays phase-0 king messages in phase 1."""
+
+        class Replayer(Adversary):
+            def step(self, round_now, view):
+                if round_now != 5:  # phase 1, step 2
+                    return
+                for dst in all_parties(4):
+                    if dst in self.world.corrupted:
+                        continue
+                    # Claims to be the phase-0 king speaking again.
+                    self.world.send(l(0), dst, ("king", 0, "STALE"))
+
+        inputs = {p: "good" for p in all_parties(4)}
+
+        def make(party):
+            return PiKing(all_parties(4), 2, inputs[party])
+
+        result = run_consensus(4, make, adversary=Replayer([l(0)]))
+        honest = [p for p in all_parties(4) if p != l(0)]
+        assert agreeing_value(result, honest) == "good"
+
+
+class TestExplicitGeneralAdversary:
+    """BA under a genuinely non-threshold structure."""
+
+    def make_structure(self):
+        # 6 parties; the adversary may corrupt {L0, L1} together or {R0}
+        # alone — not expressible as (product-)thresholds.
+        parties = all_parties(3)
+        return ExplicitStructure(parties, [[l(0), l(1)], [r(0)]])
+
+    def test_structure_q3(self):
+        from repro.adversary.structures import satisfies_q3
+
+        assert satisfies_q3(self.make_structure())
+
+    def test_agreement_under_block_corruption(self):
+        structure = self.make_structure()
+        inputs = {p: "V" for p in all_parties(3)}
+
+        def make(party):
+            return GeneralAdversaryBA(all_parties(3), structure, inputs[party])
+
+        adv = BehaviorAdversary({l(0): SilentBehavior(), l(1): SilentBehavior()})
+        result = run_consensus(3, make, adversary=adv)
+        honest = [p for p in all_parties(3) if p not in (l(0), l(1))]
+        assert agreeing_value(result, honest) == "V"
+
+    def test_king_set_spans_both_blocks(self):
+        structure = self.make_structure()
+        kings = structure.king_set()
+        # Any single party from {L0,L1} or {R0} may be corrupted, so a
+        # valid king set cannot be inside one admissible set.
+        assert not structure.permits(kings)
+
+
+class TestParallelBroadcasts:
+    def test_forty_eight_concurrent_dolev_strong_instances(self):
+        """Every party broadcasts 8 values at once through one mux."""
+        k = 3
+        group = all_parties(k)
+        topic_count = 8
+
+        class MultiBB(Process):
+            def __init__(self, me):
+                self.me = me
+                self.mux = Mux()
+                for sender in group:
+                    for topic in range(topic_count):
+                        value = (str(sender), topic) if sender == me else None
+                        self.mux.add(
+                            ("bb", sender, topic),
+                            DolevStrongBB(sender, group, 1, value=value),
+                        )
+
+            def on_round(self, ctx, inbox):
+                self.mux.step(ctx, inbox)
+                if self.mux.all_done() and not ctx.has_output:
+                    ctx.output(tuple(sorted(self.mux.outputs().items(), key=repr)))
+                    ctx.halt()
+
+        processes = {p: MultiBB(p) for p in group}
+        from repro.crypto.signatures import KeyRing
+
+        result = SyncNetwork(
+            FullyConnected(k=k),
+            processes,
+            keyring=KeyRing(group),
+            max_rounds=60,
+        ).run()
+        outputs = {result.outputs[p] for p in group}
+        assert len(outputs) == 1  # identical across all parties
+        (combined,) = outputs
+        assert len(combined) == len(group) * topic_count
+        for (tag, sender, topic), value in combined:
+            assert value == (str(sender), topic)
+
+
+class TestDolevStrongLateJoins:
+    def test_value_injected_in_last_round_stays_consistent(self):
+        """A byzantine relay reveals a second signed value only at round t+1."""
+
+        class LastMinute(Adversary):
+            def __init__(self):
+                super().__init__([l(0), r(0)])
+                self.sig = None
+
+            def step(self, round_now, view):
+                signer = self.world.signer_for(l(0))
+                if round_now == 0:
+                    # Sender (corrupted) sends "A" to everyone honestly.
+                    sig_a = signer.sign(("ds", l(0), "A"))
+                    for dst in all_parties(3):
+                        if dst not in self.world.corrupted:
+                            self.world.send(l(0), dst, ("ds", "A", (sig_a,)))
+                if round_now == 2:
+                    # At the deadline, a second value with a 2-chain
+                    # appears via the byzantine relay (l0 + r0 signatures).
+                    sig_b = signer.sign(("ds", l(0), "B"))
+                    sig_b2 = self.world.signer_for(r(0)).sign(("ds", l(0), "B"))
+                    self.world.send(r(0), l(1), ("ds", "B", (sig_b, sig_b2)))
+
+        group = all_parties(3)
+
+        def make(party):
+            return DolevStrongBB(l(0), group, 2, value=None, default="DEF")
+
+        result = run_consensus(3, make, adversary=LastMinute(), authenticated=True)
+        honest = [p for p in group if p not in (l(0), r(0))]
+        # l(1) extracts B at round 3 (chain length 2 < 3): rejected, so
+        # everyone keeps exactly {A} and outputs A.  The acceptance rule
+        # "chain length >= arrival round" is what kills the attack.
+        assert agreeing_value(result, honest) == "A"

@@ -1,0 +1,79 @@
+"""Tests for the shared consensus definitions and timing algebra."""
+
+import pytest
+
+from repro.consensus.base import (
+    BOT,
+    delta_ba,
+    delta_bb,
+    delta_dolev_strong,
+    delta_king,
+    validate_group,
+)
+from repro.errors import ProtocolError
+from repro.ids import all_parties, left_party as l
+
+
+class TestTimingAlgebra:
+    def test_king_schedule(self):
+        assert delta_king(0) == 3
+        assert delta_king(1) == 6
+        assert delta_king(2) == 9
+
+    def test_ba_adds_echo_round(self):
+        for t in range(4):
+            assert delta_ba(t) == delta_king(t) + 1
+
+    def test_bb_adds_sender_round(self):
+        for t in range(4):
+            assert delta_bb(t) == delta_ba(t) + 1
+
+    def test_dolev_strong_schedule(self):
+        assert delta_dolev_strong(0) == 2
+        assert delta_dolev_strong(3) == 5
+
+    def test_paper_delta_algebra_doubles_over_relays(self):
+        """Delta_BA(2 Delta) in real rounds = 2 * delta_ba(t)."""
+        t = 1
+        virtual = delta_ba(t)
+        real_over_relay = 2 * virtual
+        from repro.core.bipartite_auth import pibsm_decision_rounds
+
+        computing, _ = pibsm_decision_rounds(4, t)
+        # PiBSM decides when the slower of BB (3t+5 virtual) completes;
+        # which equals 1 + delta_ba(t) virtual rounds = delta_bb(t).
+        assert computing == 2 * delta_bb(t)
+
+
+class TestValidateGroup:
+    def test_sorted_distinct(self):
+        group = validate_group([l(2), l(0), l(2), l(1)])
+        assert group == (l(0), l(1), l(2))
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ProtocolError):
+            validate_group([l(0)], minimum=2)
+
+    def test_bot_is_none(self):
+        assert BOT is None
+
+
+class TestCrossProtocolConsistency:
+    def test_engine_schedules_match_constants(self):
+        """The protocol objects' internal schedules equal the base formulas."""
+        from repro.consensus.omission_bb import PiBB
+        from repro.consensus.phase_king import PiKing
+
+        group = all_parties(2)
+        king = PiKing(group, 1, value=0)
+        assert king.decision_round == delta_king(1)
+        bb = PiBB(sender=l(0), group=group, t=1)
+        assert bb.output_round == delta_bb(1)
+
+    def test_general_adversary_schedule_uses_king_count(self):
+        from repro.adversary.structures import ProductThresholdStructure
+        from repro.consensus.general_adversary import GeneralAdversaryBA
+
+        structure = ProductThresholdStructure(4, 1, 4)
+        ba = GeneralAdversaryBA(all_parties(4), structure, 0)
+        assert ba.output_round == 3 * len(ba.kings) + 1

@@ -1,0 +1,147 @@
+"""Unit tests for Dolev-Strong authenticated Byzantine Broadcast."""
+
+import pytest
+
+from repro.adversary.adversary import Adversary, BehaviorAdversary, SilentBehavior
+from repro.consensus.dolev_strong import DolevStrongBB
+from repro.errors import ProtocolError
+from repro.ids import all_parties, left_party as l, right_party as r
+
+from tests.helpers import agreeing_value, run_consensus
+
+
+def ds_factory(sender, k, t, value, default="DEFAULT"):
+    group = all_parties(k)
+
+    def make(party):
+        return DolevStrongBB(
+            sender=sender,
+            group=group,
+            t=t,
+            value=value if party == sender else None,
+            default=default,
+        )
+
+    return make
+
+
+class TestHonestSender:
+    @pytest.mark.parametrize("t", [0, 1, 3])
+    def test_validity(self, t):
+        result = run_consensus(2, ds_factory(l(0), 2, t, "v"), authenticated=True)
+        honest = all_parties(2)
+        assert agreeing_value(result, honest) == "v"
+
+    def test_terminates_on_schedule(self):
+        result = run_consensus(2, ds_factory(l(0), 2, 1, "v"), authenticated=True)
+        assert result.terminated
+        assert result.rounds <= 1 + 2 + 2  # t + 2 plus slack
+
+    def test_structured_value(self):
+        value = ("prefs", (r(0), r(1)))
+        result = run_consensus(2, ds_factory(l(0), 2, 1, value), authenticated=True)
+        assert agreeing_value(result, all_parties(2)) == value
+
+    def test_tolerates_maximum_threshold(self):
+        # t = n - 1 = 3: still consistent with everyone honest.
+        result = run_consensus(2, ds_factory(l(0), 2, 3, 42), authenticated=True)
+        assert agreeing_value(result, all_parties(2)) == 42
+
+
+class TestFaultySender:
+    def test_silent_sender_yields_default(self):
+        adv = BehaviorAdversary({l(0): SilentBehavior()})
+        result = run_consensus(
+            2, ds_factory(l(0), 2, 1, "ignored"), adversary=adv, authenticated=True
+        )
+        honest = [p for p in all_parties(2) if p != l(0)]
+        assert agreeing_value(result, honest) == "DEFAULT"
+
+    def test_equivocating_sender_consistency(self):
+        """A corrupted sender signs two values; honest parties still agree."""
+
+        class Equivocator(Adversary):
+            def step(self, round_now, view):
+                if round_now != 0:
+                    return
+                signer = self.world.signer_for(l(0))
+                for dst, value in ((l(1), "A"), (r(0), "B"), (r(1), "B")):
+                    sig = signer.sign(("ds", l(0), value))
+                    self.world.send(l(0), dst, ("ds", value, (sig,)))
+
+        adv = Equivocator([l(0)])
+        result = run_consensus(
+            2, ds_factory(l(0), 2, 1, None), adversary=adv, authenticated=True
+        )
+        honest = [p for p in all_parties(2) if p != l(0)]
+        # Relaying exposes both values; everyone falls back to the default.
+        assert agreeing_value(result, honest) == "DEFAULT"
+
+    def test_sender_equivocation_to_single_party(self):
+        """Sending 'A' to one party only: it relays, so all agree on 'A'."""
+
+        class Whisperer(Adversary):
+            def step(self, round_now, view):
+                if round_now != 0:
+                    return
+                signer = self.world.signer_for(l(0))
+                sig = signer.sign(("ds", l(0), "A"))
+                self.world.send(l(0), l(1), ("ds", "A", (sig,)))
+
+        adv = Whisperer([l(0)])
+        result = run_consensus(
+            2, ds_factory(l(0), 2, 1, None), adversary=adv, authenticated=True
+        )
+        honest = [p for p in all_parties(2) if p != l(0)]
+        assert agreeing_value(result, honest) == "A"
+
+
+class TestForgeryResistance:
+    def test_byzantine_relay_cannot_inject_value(self):
+        """A corrupted non-sender cannot forge the sender's signature."""
+
+        class Forger(Adversary):
+            def step(self, round_now, view):
+                if round_now != 1:
+                    return
+                signer = self.world.signer_for(r(1))
+                bogus = signer.sign(("ds", l(0), "FORGED"))  # signed by r1, not l0
+                for dst in (l(0), l(1), r(0)):
+                    self.world.send(r(1), dst, ("ds", "FORGED", (bogus,)))
+
+        adv = Forger([r(1)])
+        result = run_consensus(
+            2, ds_factory(l(0), 2, 1, "real"), adversary=adv, authenticated=True
+        )
+        honest = [p for p in all_parties(2) if p != r(1)]
+        assert agreeing_value(result, honest) == "real"
+
+    def test_duplicate_signers_in_chain_rejected(self):
+        class Staller(Adversary):
+            def step(self, round_now, view):
+                if round_now != 1:
+                    return
+                signer = self.world.signer_for(r(1))
+                sig = signer.sign(("ds", l(0), "X"))
+                # chain of length 2 but the same signer twice, first not sender
+                for dst in (l(1), r(0)):
+                    self.world.send(r(1), dst, ("ds", "X", (sig, sig)))
+
+        adv = Staller([r(1)])
+        result = run_consensus(
+            2, ds_factory(l(0), 2, 1, "real"), adversary=adv, authenticated=True
+        )
+        honest = [p for p in all_parties(2) if p != r(1)]
+        assert agreeing_value(result, honest) == "real"
+
+
+class TestValidation:
+    def test_sender_must_be_in_group(self):
+        with pytest.raises(ProtocolError):
+            DolevStrongBB(sender=l(5), group=all_parties(2), t=1)
+
+    def test_t_bounds(self):
+        with pytest.raises(ProtocolError):
+            DolevStrongBB(sender=l(0), group=all_parties(2), t=4)
+        with pytest.raises(ProtocolError):
+            DolevStrongBB(sender=l(0), group=all_parties(2), t=-1)

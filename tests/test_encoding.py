@@ -1,0 +1,102 @@
+"""Unit tests for the canonical payload encoding."""
+
+import pytest
+
+from repro.crypto.encoding import encode, encoded_size
+from repro.errors import ProtocolError
+from repro.ids import PartyId
+
+
+class TestBasicTypes:
+    def test_none(self):
+        assert encode(None) == b"N"
+
+    def test_booleans_distinct_from_ints(self):
+        assert encode(True) != encode(1)
+        assert encode(False) != encode(0)
+
+    def test_ints(self):
+        assert encode(0) != encode(1)
+        assert encode(-5) != encode(5)
+        assert encode(10**30) != encode(10**30 + 1)
+
+    def test_strings_and_bytes_distinct(self):
+        assert encode("ab") != encode(b"ab")
+
+    def test_string_utf8(self):
+        assert encode("héllo") != encode("hello")
+
+    def test_floats(self):
+        assert encode(1.5) != encode(1.25)
+
+    def test_party_ids(self):
+        assert encode(PartyId("L", 0)) != encode(PartyId("R", 0))
+        assert encode(PartyId("L", 0)) != encode("L0")
+
+
+class TestContainers:
+    def test_tuple_vs_elements(self):
+        assert encode((1, 2)) != encode((12,))
+        assert encode((1, (2,))) != encode((1, 2))
+
+    def test_tuple_and_list_equivalent(self):
+        assert encode([1, 2, 3]) == encode((1, 2, 3))
+
+    def test_nesting_boundaries_unambiguous(self):
+        assert encode((("a", "b"), "c")) != encode(("a", ("b", "c")))
+
+    def test_empty_containers(self):
+        assert encode(()) != encode(frozenset())
+        assert encode(()) != encode({})
+
+    def test_set_order_independent(self):
+        assert encode({1, 2, 3}) == encode({3, 1, 2})
+        assert encode(frozenset([1, 2])) == encode({2, 1})
+
+    def test_dict_order_independent(self):
+        assert encode({"a": 1, "b": 2}) == encode({"b": 2, "a": 1})
+
+    def test_dict_vs_tuple_of_pairs(self):
+        assert encode({"a": 1}) != encode((("a", 1),))
+
+    def test_deep_mixed_structure_deterministic(self):
+        payload = ("val", 3, (PartyId("L", 1), PartyId("R", 0)), {"x": (1, 2)})
+        assert encode(payload) == encode(payload)
+
+
+class TestErrorsAndSizes:
+    def test_unknown_type_rejected(self):
+        class Alien:
+            pass
+
+        with pytest.raises(ProtocolError):
+            encode(Alien())
+
+    def test_unknown_nested_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode((1, object()))
+
+    def test_encoded_size_matches_length(self):
+        payload = ("prefs", tuple(PartyId("R", i) for i in range(5)))
+        assert encoded_size(payload) == len(encode(payload))
+
+    def test_size_grows_with_content(self):
+        small = encoded_size(("m", 1))
+        large = encoded_size(("m", tuple(range(100))))
+        assert large > small
+
+
+class TestSignatureDuckTyping:
+    def test_signature_like_object_encodes(self):
+        from repro.crypto.signatures import Signature
+
+        sig = Signature(signer=PartyId("L", 0), tag=b"\x01" * 32)
+        assert encode(sig) != encode(Signature(signer=PartyId("L", 1), tag=b"\x01" * 32))
+        assert encode(sig) != encode(Signature(signer=PartyId("L", 0), tag=b"\x02" * 32))
+
+    def test_payload_with_signature_inside_tuple(self):
+        from repro.crypto.signatures import Signature
+
+        sig = Signature(signer=PartyId("R", 2), tag=b"t" * 32)
+        payload = ("ds", "value", (sig,))
+        assert encode(payload) == encode(payload)

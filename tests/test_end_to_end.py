@@ -1,0 +1,126 @@
+"""End-to-end sweeps: every solvable setting, many adversaries, all properties."""
+
+import pytest
+
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import make_adversary, run_bsm
+from repro.core.solvability import is_solvable
+from repro.ids import all_parties, left_party as l, left_side, right_party as r, right_side
+from repro.matching.generators import correlated_profile, random_profile
+
+TOPOLOGIES = ("fully_connected", "one_sided", "bipartite")
+
+
+def max_corruption_sets(setting):
+    """A canonical worst-case corruption set for the setting: the first
+    tL parties of L and first tR of R."""
+    return tuple(left_side(setting.k)[: setting.tL]) + tuple(
+        right_side(setting.k)[: setting.tR]
+    )
+
+
+class TestSolvableGridWithWorstCaseBudgets:
+    """For each solvable grid point (small k), run with a full-budget
+    silent adversary and check all four properties."""
+
+    @pytest.mark.parametrize("topo", TOPOLOGIES)
+    @pytest.mark.parametrize("auth", [False, True])
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_grid(self, topo, auth, k):
+        for tL in range(k + 1):
+            for tR in range(k + 1):
+                setting = Setting(topo, auth, k, tL, tR)
+                verdict = is_solvable(setting)
+                if not verdict.solvable:
+                    continue
+                instance = BSMInstance(setting, random_profile(k, 5))
+                corrupted = max_corruption_sets(setting)
+                adv = (
+                    make_adversary(instance, corrupted, kind="silent")
+                    if corrupted
+                    else None
+                )
+                report = run_bsm(instance, adv)
+                assert report.ok, (
+                    setting.describe(),
+                    verdict.recipe,
+                    report.report.violations,
+                )
+
+
+class TestAdversaryKindsAtBoundary:
+    """The tightest interesting points, against every canned behavior."""
+
+    BOUNDARY = [
+        ("fully_connected", False, 4, 1, 4),   # Q3 via tL, R fully byzantine
+        ("one_sided", False, 5, 5, 1),          # L fully byzantine, Q3 via tR
+        ("bipartite", False, 5, 1, 2),          # tR just under k/2, Q3 via tL
+        ("fully_connected", True, 3, 3, 3),     # everything corruptible
+        ("one_sided", True, 3, 3, 2),           # tR just under k
+        ("bipartite", True, 4, 1, 4),           # PiBSM territory
+        ("bipartite", True, 4, 4, 1),           # mirrored PiBSM
+    ]
+
+    @pytest.mark.parametrize("topo,auth,k,tL,tR", BOUNDARY)
+    @pytest.mark.parametrize("kind", ["silent", "noise", "crash", "honest"])
+    def test_boundary_settings(self, topo, auth, k, tL, tR, kind):
+        setting = Setting(topo, auth, k, tL, tR)
+        assert is_solvable(setting).solvable
+        instance = BSMInstance(setting, random_profile(k, 11))
+        corrupted = max_corruption_sets(setting)
+        adv = make_adversary(instance, corrupted, kind=kind, crash_round=3)
+        report = run_bsm(instance, adv)
+        assert report.ok, (setting.describe(), kind, report.report.violations)
+
+
+class TestWorkloadVariety:
+    @pytest.mark.parametrize("similarity", [0.0, 0.5, 1.0])
+    def test_correlated_preferences(self, similarity):
+        setting = Setting("fully_connected", True, 4, 1, 1)
+        instance = BSMInstance(setting, correlated_profile(4, similarity, 3))
+        adv = make_adversary(instance, [l(0), r(0)], kind="noise")
+        report = run_bsm(instance, adv)
+        assert report.ok, report.report.violations
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_profile_seeds(self, seed):
+        setting = Setting("bipartite", False, 4, 1, 1)
+        instance = BSMInstance(setting, random_profile(4, seed))
+        adv = make_adversary(instance, [l(0), r(0)], kind="silent")
+        report = run_bsm(instance, adv)
+        assert report.ok
+
+
+class TestDeterminismEndToEnd:
+    def test_full_run_reproducible(self):
+        setting = Setting("bipartite", True, 4, 1, 4)
+        instance = BSMInstance(setting, random_profile(4, 2))
+
+        def once():
+            adv = make_adversary(instance, right_side(4), kind="noise", seed=9)
+            return run_bsm(instance, adv)
+
+        a, b = once(), once()
+        assert a.result.outputs == b.result.outputs
+        assert a.result.message_count == b.result.message_count
+        assert a.result.rounds == b.result.rounds
+
+
+class TestReporting:
+    def test_report_summary_contains_setting_and_recipe(self):
+        setting = Setting("fully_connected", True, 2, 0, 0)
+        instance = BSMInstance(setting, random_profile(2, 1))
+        report = run_bsm(instance)
+        assert "fully_connected/auth" in report.summary()
+        assert "bb_direct" in report.summary()
+
+    def test_structure_enforcement_toggle(self):
+        setting = Setting("fully_connected", True, 2, 0, 0)
+        instance = BSMInstance(setting, random_profile(2, 1))
+        adv = make_adversary(instance, [l(0)], kind="silent")
+        # tL=0 forbids corrupting l(0)...
+        with pytest.raises(Exception):
+            run_bsm(instance, adv)
+        # ...unless enforcement is disabled (out-of-model experiments).
+        report = run_bsm(instance, adv, enforce_structure=False)
+        assert report.result.corrupted == frozenset({l(0)})

@@ -1,0 +1,76 @@
+"""Unit tests for the brute-force stable-matching oracle."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.ids import left_party as l, right_party as r
+from repro.matching.enumerate_stable import (
+    all_perfect_matchings,
+    all_stable_matchings,
+    side_optimal,
+)
+from repro.matching.gale_shapley import gale_shapley
+from repro.matching.generators import random_profile
+from repro.matching.preferences import PreferenceProfile
+from repro.matching.stability import is_stable
+
+
+class TestEnumeration:
+    def test_perfect_matching_count_is_factorial(self):
+        assert len(all_perfect_matchings(1)) == 1
+        assert len(all_perfect_matchings(3)) == 6
+        assert len(all_perfect_matchings(4)) == 24
+
+    def test_enumeration_guard(self):
+        with pytest.raises(MatchingError):
+            all_perfect_matchings(9)
+
+    def test_all_stable_are_stable(self):
+        profile = random_profile(4, 2)
+        for m in all_stable_matchings(profile):
+            assert is_stable(m, profile)
+
+    def test_at_least_one_stable_matching_always(self):
+        for seed in range(20):
+            profile = random_profile(3, seed)
+            assert len(all_stable_matchings(profile)) >= 1
+
+    def test_instance_with_multiple_stable_matchings(self):
+        # Cyclic preferences: both the identity and the swap are stable.
+        profile = PreferenceProfile.from_index_lists(
+            [[0, 1], [1, 0]],
+            [[1, 0], [0, 1]],
+        )
+        stable = all_stable_matchings(profile)
+        assert len(stable) == 2
+
+    def test_gs_output_among_enumerated(self):
+        for seed in range(10):
+            profile = random_profile(4, seed)
+            assert gale_shapley(profile).matching in all_stable_matchings(profile)
+
+
+class TestSideOptimal:
+    def test_optimal_extremes_on_contested_instance(self):
+        profile = PreferenceProfile.from_index_lists(
+            [[0, 1], [1, 0]],
+            [[1, 0], [0, 1]],
+        )
+        left_best = side_optimal(profile, "L")
+        right_best = side_optimal(profile, "R")
+        assert left_best != right_best
+        assert left_best.partner(l(0)) == r(0)
+        assert right_best.partner(r(0)) == l(1)
+
+    def test_lattice_opposition(self):
+        """The L-optimal matching is R-pessimal and vice versa."""
+        for seed in range(8):
+            profile = random_profile(3, seed)
+            stable = all_stable_matchings(profile)
+            l_best = side_optimal(profile, "L")
+            for m in stable:
+                for i in range(3):
+                    # every right party weakly prefers any stable m over l_best
+                    assert profile.rank(r(i), m.partner(r(i))) <= profile.rank(
+                        r(i), l_best.partner(r(i))
+                    )

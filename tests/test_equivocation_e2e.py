@@ -1,0 +1,112 @@
+"""End-to-end equivocation: byzantine parties running the real protocol
+but lying differently to different recipients.
+
+This is the classic attack the broadcast layers exist to stop: in
+Dolev-Strong the signature chains expose the lie; in the phase king the
+quorum intersection does.  Each test uses `EquivocatingBehavior` to
+mutate outgoing payloads per recipient and checks all bSM properties.
+"""
+
+import pytest
+
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import make_adversary, run_bsm
+from repro.ids import left_party as l, left_side, right_party as r
+from repro.matching.generators import random_profile
+
+
+def flip_lists_mutator(k, liar_side="R"):
+    """Reverse any preference list sent to parties with even index."""
+
+    def mutate(round_now, dst, payload):
+        if dst.index % 2 == 0 and isinstance(payload, tuple):
+            return _reverse_lists(payload)
+        return payload
+
+    return mutate
+
+
+def _reverse_lists(payload):
+    # Reverse any tuple-of-PartyId found inside (cheap structural lie).
+    from repro.ids import PartyId
+
+    if isinstance(payload, tuple):
+        if payload and all(isinstance(x, PartyId) for x in payload):
+            return tuple(reversed(payload))
+        return tuple(_reverse_lists(x) for x in payload)
+    return payload
+
+
+class TestEquivocationAgainstBroadcast:
+    @pytest.mark.parametrize(
+        "topo,auth,k,tL,tR",
+        [
+            ("fully_connected", True, 3, 1, 1),
+            ("fully_connected", False, 4, 1, 1),
+            ("bipartite", True, 3, 1, 1),
+            ("one_sided", False, 4, 1, 1),
+        ],
+    )
+    def test_split_preferences_cannot_split_honest_views(self, topo, auth, k, tL, tR):
+        setting = Setting(topo, auth, k, tL, tR)
+        instance = BSMInstance(setting, random_profile(k, 3))
+        adv = make_adversary(
+            instance,
+            [r(0)],
+            kind="equivocate",
+            mutator=flip_lists_mutator(k),
+        )
+        report = run_bsm(instance, adv)
+        assert report.ok, (setting.describe(), report.report.violations)
+        # All honest parties agree on one matching: outputs form a
+        # symmetric partial matching without collisions (checked by ok),
+        # and in particular the liar has at most one honest partner.
+        partners_of_liar = [
+            p for p, v in report.result.outputs.items() if v == r(0)
+        ]
+        assert len(partners_of_liar) <= 1
+
+    def test_equivocation_in_pibsm_suggestions(self):
+        """A byzantine L party suggests different matches to different R."""
+        setting = Setting("bipartite", True, 4, 1, 1)
+        instance = BSMInstance(setting, random_profile(4, 5))
+
+        def mutate(round_now, dst, payload):
+            if (
+                isinstance(payload, tuple)
+                and len(payload) == 2
+                and payload[0] == "suggest"
+            ):
+                return ("suggest", l(0))  # tell everyone to match me
+            return payload
+
+        adv = make_adversary(
+            instance, [l(0)], kind="equivocate", mutator=mutate, recipe="pi_bsm"
+        )
+        report = run_bsm(instance, adv, recipe="pi_bsm")
+        assert report.ok, report.report.violations
+        # The honest majority of L outvotes the liar at every R party.
+        r_outputs = [report.result.outputs[r(i)] for i in range(4)]
+        non_none = [v for v in r_outputs if v is not None]
+        assert len(non_none) == len(set(non_none))
+
+    def test_equivocating_relay_requests(self):
+        """A byzantine L party feeds different relay payloads to different
+        forwarders; the majority rule must deliver one value or none."""
+        setting = Setting("bipartite", False, 5, 1, 1)
+        instance = BSMInstance(setting, random_profile(5, 6))
+
+        def mutate(round_now, dst, payload):
+            if (
+                isinstance(payload, tuple)
+                and len(payload) >= 5
+                and payload[0] == "rl.req"
+                and dst.index < 2
+            ):
+                # Corrupt the inner payload for the first two forwarders.
+                return payload[:4] + ("equivocated!",) + payload[5:]
+            return payload
+
+        adv = make_adversary(instance, [l(0)], kind="equivocate", mutator=mutate)
+        report = run_bsm(instance, adv)
+        assert report.ok, report.report.violations

@@ -1,0 +1,27 @@
+"""Every example script must run cleanly (the doc-as-test principle)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+
+
+def test_examples_directory_has_at_least_five():
+    assert len(EXAMPLES) >= 5
+
+
+def test_quickstart_reports_all_properties(capsys):
+    quickstart = Path(__file__).parent.parent / "examples" / "quickstart.py"
+    runpy.run_path(str(quickstart), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "term=ok sym=ok stab=ok nc=ok" in out

@@ -1,0 +1,93 @@
+"""Tests for the fault-injection links and omission guarantees."""
+
+import pytest
+
+from repro.consensus.base import BOT
+from repro.consensus.phase_king import PiBA
+from repro.ids import all_parties, left_party as l, left_side, right_party as r, right_side
+from repro.net.faults import LossyLink, after_round_drop, partition_drop, random_drop
+from repro.net.process import Process
+from repro.net.simulator import SyncNetwork
+from repro.net.topology import FullyConnected
+from repro.net.transports import TransportProcess
+
+
+def run_ba_with(drop, k=3, inputs=None):
+    group = all_parties(k)
+    values = inputs or {p: "v" for p in group}
+    processes = {
+        p: TransportProcess(LossyLink(p, group, drop), PiBA(group, 1, values[p]))
+        for p in group
+    }
+    return SyncNetwork(FullyConnected(k=k), processes, max_rounds=100).run()
+
+
+class TestDropRules:
+    def test_partition_drop(self):
+        rule = partition_drop(left_side(2), right_side(2))
+        assert rule(l(0), r(0), 5)
+        assert rule(r(1), l(1), 5)
+        assert not rule(l(0), l(1), 5)
+
+    def test_after_round_drop(self):
+        rule = after_round_drop(3)
+        assert not rule(l(0), r(0), 2)
+        assert rule(l(0), r(0), 3)
+
+    def test_random_drop_symmetric_view(self):
+        """The same (src, dst, round) triple always gets the same fate."""
+        rule = random_drop(0.5, seed=1)
+        fates = {rule(l(0), r(0), i) for i in range(1)}
+        assert rule(l(0), r(0), 0) == rule(l(0), r(0), 0)
+
+    def test_random_drop_rate_reasonable(self):
+        rule = random_drop(0.3, seed=2)
+        drops = sum(
+            1
+            for i in range(300)
+            if rule(l(0), r(0), i)
+        )
+        assert 40 <= drops <= 150
+
+
+class TestOmissionGuarantees:
+    @pytest.mark.parametrize("probability", [0.1, 0.3, 0.6])
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_weak_agreement_any_loss_rate(self, probability, seed):
+        result = run_ba_with(
+            random_drop(probability, seed),
+            inputs={p: ("a" if p.is_left() else "b") for p in all_parties(3)},
+        )
+        assert result.terminated
+        non_bot = {v for v in result.outputs.values() if v is not BOT}
+        assert len(non_bot) <= 1
+
+    def test_partitioned_sides_weak_agreement(self):
+        result = run_ba_with(partition_drop(left_side(3), right_side(3)))
+        assert result.terminated
+        non_bot = {v for v in result.outputs.values() if v is not BOT}
+        assert non_bot <= {"v"}
+
+    def test_late_blackout_preserves_earlier_agreement(self):
+        # Loss only after the king phases completed: everyone still echoes.
+        result = run_ba_with(after_round_drop(6))
+        non_bot = {v for v in result.outputs.values() if v is not BOT}
+        assert len(non_bot) <= 1
+
+    def test_drop_counter(self):
+        group = all_parties(2)
+        link = LossyLink(l(0), group, lambda s, d, r_: True)
+
+        class Feeder(Process):
+            def on_round(self, ctx, inbox):
+                ctx.output(None)
+                ctx.halt()
+
+        procs = {p: TransportProcess(LossyLink(p, group, lambda s, d, r_: True), Feeder()) for p in group}
+        # direct check of the counter on a hand-fed link:
+        from repro.net.process import Context, Envelope
+
+        ctx = Context(l(0), FullyConnected(k=2))
+        link.ingest(ctx, [Envelope(r(0), l(0), 0, ("lnk.direct", "x"))])
+        assert link.dropped == 1
+        assert link.collect() == []

@@ -1,0 +1,131 @@
+"""Structured fuzzing: random payload mutations against every recipe.
+
+Byzantine parties run the honest protocol but pass every outgoing
+payload through a seeded random mutator that may drop it, retag it,
+shuffle tuple fields, replace values, or duplicate structure.  This
+explores far more of the message-handling surface than pure noise —
+malformed-but-plausible messages hit the parsers' deep branches — and
+every solvable setting must shrug it off.
+"""
+
+import random
+
+import pytest
+
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import make_adversary, run_bsm
+from repro.core.solvability import is_solvable
+from repro.ids import PartyId, left_party as l, left_side, right_party as r, right_side
+from repro.matching.generators import random_profile
+
+
+def chaos_mutator(seed: int, aggressiveness: float = 0.4):
+    """A seeded structural payload mutator."""
+    rng = random.Random(seed)
+
+    def mutate_value(value, depth=0):
+        roll = rng.random()
+        if roll < 0.25:
+            return rng.randrange(100)
+        if roll < 0.45:
+            return "fuzz"
+        if roll < 0.6:
+            return None
+        if roll < 0.8 and isinstance(value, tuple) and value:
+            items = list(value)
+            rng.shuffle(items)
+            return tuple(items)
+        if isinstance(value, tuple) and depth < 3:
+            return tuple(mutate_value(item, depth + 1) for item in value)
+        return value
+
+    def mutate(round_now, dst, payload):
+        roll = rng.random()
+        if roll > aggressiveness:
+            return payload  # pass through: stay plausible most of the time
+        if roll < aggressiveness * 0.2:
+            return None  # drop
+        return mutate_value(payload)
+
+    return mutate
+
+
+FUZZ_SETTINGS = [
+    ("fully_connected", True, 3, 1, 1, [l(0), r(2)]),
+    ("fully_connected", False, 4, 1, 2, [l(0), r(0), r(1)]),
+    ("one_sided", False, 4, 1, 1, [l(3), r(3)]),
+    ("bipartite", False, 4, 1, 1, [l(1), r(1)]),
+    ("bipartite", True, 3, 2, 2, [l(0), l(1), r(0), r(1)]),
+    ("bipartite", True, 4, 1, 4, [r(0), r(1), r(2), r(3)]),
+    ("one_sided", True, 3, 1, 2, [l(2), r(0), r(1)]),
+]
+
+
+class TestChaosMutations:
+    @pytest.mark.parametrize(
+        "topo,auth,k,tL,tR,corrupted",
+        FUZZ_SETTINGS,
+        ids=[f"{c[0]}-{'auth' if c[1] else 'unauth'}-{c[2]}{c[3]}{c[4]}" for c in FUZZ_SETTINGS],
+    )
+    @pytest.mark.parametrize("seed", range(3))
+    def test_protocols_survive_structural_chaos(self, topo, auth, k, tL, tR, corrupted, seed):
+        setting = Setting(topo, auth, k, tL, tR)
+        assert is_solvable(setting).solvable
+        instance = BSMInstance(setting, random_profile(k, seed))
+        adv = make_adversary(
+            instance,
+            corrupted,
+            kind="equivocate",
+            mutator=chaos_mutator(seed * 1009 + 17),
+        )
+        report = run_bsm(instance, adv)
+        assert report.ok, (setting.describe(), seed, report.report.violations)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_aggressive_chaos_on_pibsm(self, seed):
+        """Full-aggression mutation of the entire right side under PiBSM."""
+        setting = Setting("bipartite", True, 4, 1, 4)
+        instance = BSMInstance(setting, random_profile(4, seed))
+        adv = make_adversary(
+            instance,
+            list(right_side(4)),
+            kind="equivocate",
+            mutator=chaos_mutator(seed, aggressiveness=1.0),
+        )
+        report = run_bsm(instance, adv)
+        assert report.ok, (seed, report.report.violations)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_chaos_on_roommates(self, seed):
+        from repro.adversary.adversary import BehaviorAdversary, EquivocatingBehavior
+        from repro.core.roommates_bsm import (
+            RoommatesInstance,
+            RoommatesParty,
+            RoommatesSetting,
+            run_roommates,
+        )
+        from repro.net.topology import FullyConnected
+
+        setting = RoommatesSetting(n=6, t=1, authenticated=True)
+        rng = random.Random(seed)
+        parties = setting.parties()
+        preferences = {}
+        for party in parties:
+            others = [p for p in parties if p != party]
+            rng.shuffle(others)
+            preferences[party] = tuple(others)
+        instance = RoommatesInstance(setting, preferences)
+        liar = parties[-1]
+        adv = BehaviorAdversary(
+            {
+                liar: EquivocatingBehavior(
+                    RoommatesParty(liar, setting, preferences[liar]),
+                    FullyConnected(k=setting.k),
+                    chaos_mutator(seed + 99),
+                )
+            }
+        )
+        report = run_roommates(instance, adv, reference_solvable=False)
+        assert report.verdict.termination, report.verdict.violations
+        assert report.verdict.symmetry
+        assert report.verdict.non_competition

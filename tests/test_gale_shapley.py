@@ -1,0 +1,158 @@
+"""Unit tests for the deterministic Gale-Shapley algorithm (Theorem 1)."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.ids import left_party as l, right_party as r
+from repro.matching.enumerate_stable import all_stable_matchings, side_optimal
+from repro.matching.gale_shapley import gale_shapley
+from repro.matching.generators import random_profile
+from repro.matching.preferences import PreferenceProfile
+from repro.matching.stability import is_stable
+
+
+class TestCorrectness:
+    def test_textbook_instance(self):
+        # Classic 3x3 instance with a unique stable matching.
+        profile = PreferenceProfile.from_index_lists(
+            [[0, 1, 2], [1, 0, 2], [0, 1, 2]],
+            [[1, 0, 2], [0, 1, 2], [0, 1, 2]],
+        )
+        result = gale_shapley(profile)
+        assert is_stable(result.matching, profile)
+        assert result.matching.is_perfect(3)
+
+    def test_k1_trivial(self):
+        profile = PreferenceProfile.uniform(1)
+        result = gale_shapley(profile)
+        assert result.matching.partner(l(0)) == r(0)
+        assert result.proposals == 1
+
+    def test_identity_preferences_match_by_index(self):
+        profile = PreferenceProfile.uniform(4)
+        result = gale_shapley(profile)
+        for i in range(4):
+            assert result.matching.partner(l(i)) == r(i)
+
+    @pytest.mark.parametrize("seed", range(15))
+    @pytest.mark.parametrize("k", [2, 3, 5, 8])
+    def test_random_profiles_stable_and_perfect(self, k, seed):
+        profile = random_profile(k, seed)
+        result = gale_shapley(profile)
+        assert result.matching.is_perfect(k)
+        assert is_stable(result.matching, profile)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_right_proposing_also_stable(self, seed):
+        profile = random_profile(4, seed)
+        result = gale_shapley(profile, proposer_side="R")
+        assert is_stable(result.matching, profile)
+
+    def test_invalid_proposer_side(self):
+        with pytest.raises(MatchingError):
+            gale_shapley(PreferenceProfile.uniform(2), proposer_side="Z")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_repeat_runs_identical(self, seed):
+        profile = random_profile(5, seed)
+        a = gale_shapley(profile)
+        b = gale_shapley(profile)
+        assert a.matching == b.matching
+        assert a.proposals == b.proposals
+
+    def test_dict_order_irrelevant(self):
+        profile = random_profile(4, 3)
+        reordered = PreferenceProfile(
+            k=4, lists=dict(reversed(list(profile.lists.items())))
+        )
+        assert gale_shapley(profile).matching == gale_shapley(reordered).matching
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_left_run_is_left_optimal(self, seed):
+        profile = random_profile(4, seed)
+        gs = gale_shapley(profile, proposer_side="L").matching
+        assert gs == side_optimal(profile, "L")
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_right_run_is_right_optimal(self, seed):
+        profile = random_profile(4, seed)
+        gs = gale_shapley(profile, proposer_side="R").matching
+        assert gs == side_optimal(profile, "R")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_proposer_pointwise_weakly_better(self, seed):
+        """Every proposer weakly prefers the L-run over any stable matching."""
+        profile = random_profile(4, seed)
+        gs = gale_shapley(profile, proposer_side="L").matching
+        for stable in all_stable_matchings(profile):
+            for i in range(4):
+                mine = gs.partner(l(i))
+                other = stable.partner(l(i))
+                assert profile.rank(l(i), mine) <= profile.rank(l(i), other)
+
+
+class TestStatistics:
+    def test_proposal_counts_bounded(self):
+        for seed in range(5):
+            k = 6
+            profile = random_profile(k, seed)
+            result = gale_shapley(profile)
+            assert k <= result.proposals <= k * k
+            assert result.rejections == result.proposals - k
+
+    def test_master_list_worst_case_heavier_than_identity(self):
+        from repro.matching.generators import master_list_profile
+
+        identity = gale_shapley(PreferenceProfile.uniform(8)).proposals
+        contested = gale_shapley(master_list_profile(8, 1)).proposals
+        assert contested >= identity
+
+    def test_proposer_side_recorded(self):
+        profile = random_profile(3, 0)
+        assert gale_shapley(profile, "R").proposer_side == "R"
+
+
+class TestTruthfulness:
+    """Roth [26]: responders can gain by lying; GS is truthful for proposers."""
+
+    def test_proposers_cannot_gain_by_lying(self):
+        # Exhaustive check on a small instance: no unilateral proposer
+        # misreport yields a strictly better partner under L-proposing GS.
+        from itertools import permutations
+
+        profile = random_profile(3, 11)
+        truth = gale_shapley(profile).matching
+        for i in range(3):
+            me = l(i)
+            honest_rank = profile.rank(me, truth.partner(me))
+            for lie in permutations(profile.list_of(me)):
+                lied = gale_shapley(profile.with_list(me, lie)).matching
+                lied_rank = profile.rank(me, lied.partner(me))
+                assert lied_rank >= honest_rank
+
+    def test_some_responder_can_gain_by_lying_somewhere(self):
+        # The classic non-truthfulness phenomenon: search small instances
+        # for a responder with a profitable misreport (must exist).
+        from itertools import permutations
+
+        found = False
+        for seed in range(40):
+            profile = random_profile(3, seed)
+            truth = gale_shapley(profile).matching
+            for i in range(3):
+                me = r(i)
+                honest_rank = profile.rank(me, truth.partner(me))
+                for lie in permutations(profile.list_of(me)):
+                    lied = gale_shapley(profile.with_list(me, lie)).matching
+                    if profile.rank(me, lied.partner(me)) < honest_rank:
+                        found = True
+                        break
+                if found:
+                    break
+            if found:
+                break
+        assert found, "expected a profitable responder lie on some small instance"

@@ -1,0 +1,131 @@
+"""Unit tests for the general-adversary phase king (Lemma 4)."""
+
+import pytest
+
+from repro.adversary.adversary import BehaviorAdversary, RandomNoiseBehavior, SilentBehavior
+from repro.adversary.structures import ProductThresholdStructure
+from repro.consensus.general_adversary import GeneralAdversaryBA, GeneralAdversaryBB
+from repro.errors import ProtocolError
+from repro.ids import all_parties, left_party as l, right_party as r
+
+from tests.helpers import agreeing_value, run_consensus
+
+
+def ba_factory(k, structure, inputs):
+    group = all_parties(k)
+
+    def make(party):
+        return GeneralAdversaryBA(group, structure, inputs.get(party, 0))
+
+    return make
+
+
+def bb_factory(k, structure, sender, value, default="DEF"):
+    group = all_parties(k)
+
+    def make(party):
+        return GeneralAdversaryBB(
+            sender=sender,
+            group=group,
+            structure=structure,
+            value=value if party == sender else None,
+            default=default,
+        )
+
+    return make
+
+
+class TestBeyondGlobalThird:
+    """The whole point of Lemma 4: tolerate > n/3 total corruptions when
+    one side keeps tS < k/3."""
+
+    def test_majority_of_parties_corrupted_silent(self):
+        k = 3
+        structure = ProductThresholdStructure(k, 0, 3)  # up to ALL of R
+        corrupted = [r(0), r(1), r(2)]  # 3 of 6 parties: 50 % corrupted
+        inputs = {p: "V" for p in all_parties(k)}
+        adv = BehaviorAdversary({p: SilentBehavior() for p in corrupted})
+        result = run_consensus(k, ba_factory(k, structure, inputs), adversary=adv)
+        honest = [p for p in all_parties(k) if p not in corrupted]
+        assert agreeing_value(result, honest) == "V"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_majority_corrupted_noisy(self, seed):
+        k = 4
+        structure = ProductThresholdStructure(k, 1, 4)
+        corrupted = [l(0), r(0), r(1), r(2), r(3)]  # 5 of 8 parties
+        inputs = {p: ("A" if p.is_left() else "A") for p in all_parties(k)}
+        adv = BehaviorAdversary(
+            {p: RandomNoiseBehavior(seed=seed * 13 + i) for i, p in enumerate(corrupted)}
+        )
+        result = run_consensus(
+            k, ba_factory(k, structure, inputs), adversary=adv, max_rounds=400
+        )
+        honest = [p for p in all_parties(k) if p not in corrupted]
+        assert agreeing_value(result, honest) == "A"
+
+    def test_king_sequence_avoids_corruptible_side(self):
+        structure = ProductThresholdStructure(4, 1, 4)
+        ba = GeneralAdversaryBA(all_parties(4), structure, 0)
+        assert all(p.is_left() for p in ba.kings)
+        assert len(ba.kings) == 2  # tL + 1
+
+
+class TestAgreementAndValidity:
+    def test_validity_unanimous(self):
+        structure = ProductThresholdStructure(2, 0, 1)
+        inputs = {p: 7 for p in all_parties(2)}
+        result = run_consensus(2, ba_factory(2, structure, inputs))
+        assert agreeing_value(result, all_parties(2)) == 7
+
+    def test_agreement_mixed(self):
+        structure = ProductThresholdStructure(3, 0, 2)
+        inputs = {p: i for i, p in enumerate(all_parties(3))}
+        result = run_consensus(3, ba_factory(3, structure, inputs))
+        value = agreeing_value(result, all_parties(3))
+        assert value in set(range(6))
+
+    def test_foreign_king_rejected(self):
+        structure = ProductThresholdStructure(2, 0, 1)
+        with pytest.raises(ProtocolError):
+            GeneralAdversaryBA(all_parties(2), structure, 0, kings=[l(9)])
+
+
+class TestGeneralBB:
+    def test_honest_sender_validity(self):
+        structure = ProductThresholdStructure(2, 0, 1)
+        result = run_consensus(2, bb_factory(2, structure, l(0), ("the", "value")))
+        assert agreeing_value(result, all_parties(2)) == ("the", "value")
+
+    def test_silent_sender_default(self):
+        structure = ProductThresholdStructure(2, 0, 1)
+        adv = BehaviorAdversary({r(0): SilentBehavior()})
+        result = run_consensus(
+            2, bb_factory(2, structure, r(0), "ignored"), adversary=adv
+        )
+        honest = [p for p in all_parties(2) if p != r(0)]
+        assert agreeing_value(result, honest) == "DEF"
+
+    def test_sender_on_fully_corruptible_side(self):
+        """A corrupted sender on the fully-byzantine side: consistency only."""
+        structure = ProductThresholdStructure(3, 0, 3)
+        corrupted = [r(0), r(1), r(2)]
+        adv = BehaviorAdversary(
+            {p: RandomNoiseBehavior(seed=i) for i, p in enumerate(corrupted)}
+        )
+        result = run_consensus(
+            3, bb_factory(3, structure, r(0), None), adversary=adv, max_rounds=400
+        )
+        honest = [p for p in all_parties(3) if p not in corrupted]
+        agreeing_value(result, honest)  # consistency; value unconstrained
+
+    def test_output_round_schedule(self):
+        structure = ProductThresholdStructure(2, 0, 1)
+        bb = GeneralAdversaryBB(l(0), all_parties(2), structure, "v")
+        # kings = tL + 1 = 1 phase: 1 (send) + 3 (king) + 1 (echo) = 5
+        assert bb.output_round == 1 + 3 * 1 + 1
+
+    def test_equal_thresholds_pick_minimum_kings(self):
+        structure = ProductThresholdStructure(4, 1, 1)
+        ba = GeneralAdversaryBA(all_parties(4), structure, 0)
+        assert len(ba.kings) == 2

@@ -1,0 +1,126 @@
+"""Unit tests for the preference generators."""
+
+import random
+
+import pytest
+
+from repro.errors import PreferenceError
+from repro.ids import all_parties, left_party as l, right_party as r
+from repro.matching.generators import (
+    correlated_profile,
+    latency_matrix,
+    master_list_profile,
+    profile_from_scores,
+    random_profile,
+    random_roommates_preferences,
+    resolve_rng,
+)
+
+
+class TestRandomProfile:
+    @pytest.mark.parametrize("k", [1, 2, 5, 10])
+    def test_valid_profile(self, k):
+        profile = random_profile(k, 1)
+        assert profile.k == k  # validation happens in the constructor
+
+    def test_seed_determinism(self):
+        assert random_profile(5, 9) == random_profile(5, 9)
+
+    def test_different_seeds_differ(self):
+        assert random_profile(5, 1) != random_profile(5, 2)
+
+    def test_accepts_rng_instance(self):
+        rng = random.Random(3)
+        profile = random_profile(4, rng)
+        assert profile.k == 4
+
+    def test_resolve_rng(self):
+        rng = random.Random(1)
+        assert resolve_rng(rng) is rng
+        assert isinstance(resolve_rng(5), random.Random)
+        assert isinstance(resolve_rng(None), random.Random)
+
+
+class TestCorrelated:
+    def test_full_similarity_is_master_list(self):
+        profile = correlated_profile(5, 1.0, 3)
+        left_lists = {profile.list_of(l(i)) for i in range(5)}
+        right_lists = {profile.list_of(r(i)) for i in range(5)}
+        assert len(left_lists) == 1
+        assert len(right_lists) == 1
+
+    def test_zero_similarity_diverse(self):
+        profile = correlated_profile(8, 0.0, 3)
+        left_lists = {profile.list_of(l(i)) for i in range(8)}
+        assert len(left_lists) > 1
+
+    def test_similarity_out_of_range(self):
+        with pytest.raises(PreferenceError):
+            correlated_profile(3, 1.5)
+        with pytest.raises(PreferenceError):
+            correlated_profile(3, -0.1)
+
+    def test_master_list_alias(self):
+        assert master_list_profile(4, 5) == correlated_profile(4, 1.0, 5)
+
+    def test_deterministic(self):
+        assert correlated_profile(4, 0.5, 2) == correlated_profile(4, 0.5, 2)
+
+
+class TestScores:
+    def test_profile_from_scores_orders_descending(self):
+        scores = {
+            l(0): {r(0): 1.0, r(1): 3.0},
+            l(1): {r(0): 2.0, r(1): 1.0},
+            r(0): {l(0): 1.0, l(1): 2.0},
+            r(1): {l(0): 5.0, l(1): 1.0},
+        }
+        profile = profile_from_scores(scores)
+        assert profile.list_of(l(0)) == (r(1), r(0))
+        assert profile.list_of(r(0)) == (l(1), l(0))
+
+    def test_ties_break_by_id(self):
+        scores = {
+            l(0): {r(0): 1.0, r(1): 1.0},
+            l(1): {r(0): 1.0, r(1): 1.0},
+            r(0): {l(0): 1.0, l(1): 1.0},
+            r(1): {l(0): 1.0, l(1): 1.0},
+        }
+        profile = profile_from_scores(scores)
+        assert profile.list_of(l(0)) == (r(0), r(1))
+
+    def test_odd_party_count_rejected(self):
+        with pytest.raises(PreferenceError):
+            profile_from_scores({l(0): {r(0): 1.0}})
+
+    def test_latency_matrix_yields_valid_profile(self):
+        matrix = latency_matrix(4, 1)
+        negated = {
+            party: {other: -value for other, value in row.items()}
+            for party, row in matrix.items()
+        }
+        profile = profile_from_scores(negated)
+        assert profile.k == 4
+
+    def test_latency_matrix_deterministic(self):
+        assert latency_matrix(3, 2) == latency_matrix(3, 2)
+
+    def test_latency_covers_all_parties(self):
+        matrix = latency_matrix(3, 0)
+        assert set(matrix) == set(all_parties(3))
+        for party, row in matrix.items():
+            assert len(row) == 3
+
+
+class TestRoommatesGenerator:
+    def test_complete_rankings(self):
+        agents = ["a", "b", "c", "d"]
+        prefs = random_roommates_preferences(agents, 1)
+        for agent in agents:
+            assert set(prefs[agent]) == set(agents) - {agent}
+
+    def test_deterministic(self):
+        agents = ["a", "b", "c", "d"]
+        assert random_roommates_preferences(agents, 3) == random_roommates_preferences(
+            agents, 3
+        )

@@ -1,0 +1,114 @@
+"""Unit tests for party identifiers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.ids import (
+    LEFT,
+    RIGHT,
+    PartyId,
+    all_parties,
+    left_party,
+    left_side,
+    opposite,
+    parse_party,
+    right_party,
+    right_side,
+    sides_of,
+)
+
+
+class TestPartyId:
+    def test_construction_and_str(self):
+        assert str(PartyId("L", 0)) == "L0"
+        assert str(PartyId("R", 12)) == "R12"
+
+    def test_repr_round_trip(self):
+        p = PartyId("L", 3)
+        assert eval(repr(p)) == p
+
+    def test_invalid_side_rejected(self):
+        with pytest.raises(ValueError):
+            PartyId("X", 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            PartyId("L", -1)
+
+    def test_non_int_index_rejected(self):
+        with pytest.raises(TypeError):
+            PartyId("L", "0")
+
+    def test_bool_index_rejected(self):
+        with pytest.raises(TypeError):
+            PartyId("L", True)
+
+    def test_equality_and_hash(self):
+        assert PartyId("L", 1) == PartyId("L", 1)
+        assert PartyId("L", 1) != PartyId("R", 1)
+        assert len({PartyId("L", 1), PartyId("L", 1), PartyId("R", 1)}) == 2
+
+    def test_total_order_left_before_right(self):
+        assert PartyId("L", 99) < PartyId("R", 0)
+
+    def test_total_order_by_index_within_side(self):
+        assert PartyId("L", 0) < PartyId("L", 1) < PartyId("L", 2)
+
+    def test_sorted_is_canonical(self):
+        parties = [PartyId("R", 1), PartyId("L", 2), PartyId("L", 0), PartyId("R", 0)]
+        assert sorted(parties) == [
+            PartyId("L", 0),
+            PartyId("L", 2),
+            PartyId("R", 0),
+            PartyId("R", 1),
+        ]
+
+    def test_opposite_side(self):
+        assert PartyId("L", 0).opposite_side == RIGHT
+        assert PartyId("R", 0).opposite_side == LEFT
+
+    def test_side_predicates(self):
+        assert left_party(0).is_left() and not left_party(0).is_right()
+        assert right_party(0).is_right() and not right_party(0).is_left()
+
+
+class TestSideHelpers:
+    def test_left_side(self):
+        assert left_side(3) == (left_party(0), left_party(1), left_party(2))
+
+    def test_right_side(self):
+        assert right_side(2) == (right_party(0), right_party(1))
+
+    def test_all_parties_order_and_size(self):
+        parties = all_parties(2)
+        assert len(parties) == 4
+        assert parties == (left_party(0), left_party(1), right_party(0), right_party(1))
+
+    def test_opposite_of_left_group(self):
+        assert opposite([left_party(0), left_party(1)], 2) == right_side(2)
+
+    def test_opposite_of_right_group(self):
+        assert opposite([right_party(1)], 3) == left_side(3)
+
+    def test_opposite_mixed_sides_rejected(self):
+        with pytest.raises(ValueError):
+            opposite([left_party(0), right_party(0)], 2)
+
+    def test_opposite_empty_rejected(self):
+        with pytest.raises(ValueError):
+            opposite([], 2)
+
+    def test_sides_of(self):
+        assert list(sides_of([right_party(0), left_party(1)])) == ["L", "R"]
+        assert list(sides_of([right_party(0)])) == ["R"]
+
+
+class TestParse:
+    def test_parse_round_trip(self):
+        for party in all_parties(5):
+            assert parse_party(str(party)) == party
+
+    def test_parse_garbage_rejected(self):
+        for text in ("", "L", "X3", "Lx", "3L"):
+            with pytest.raises(ValueError):
+                parse_party(text)

@@ -1,0 +1,162 @@
+"""Tests for stable matching with incomplete preference lists ([13] variant)."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.errors import PreferenceError
+from repro.ids import all_parties, left_party as l, left_side, right_party as r, right_side
+from repro.matching.incomplete import (
+    IncompleteProfile,
+    gale_shapley_incomplete,
+    incomplete_blocking_pairs,
+    is_stable_incomplete,
+)
+from repro.matching.matching import Matching
+
+
+def brute_force_stable(profile):
+    """All stable matchings by enumeration over partial injections."""
+    k = profile.k
+    lefts = list(left_side(k))
+    rights = list(right_side(k))
+    results = []
+
+    def extend(index, used, pairs):
+        if index == len(lefts):
+            matching = Matching.from_pairs(pairs)
+            if is_stable_incomplete(matching, profile):
+                results.append(matching)
+            return
+        u = lefts[index]
+        extend(index + 1, used, pairs)  # u unmatched
+        for v in rights:
+            if v in used:
+                continue
+            if profile.accepts(u, v) and profile.accepts(v, u):
+                extend(index + 1, used | {v}, pairs + [(u, v)])
+
+    extend(0, set(), [])
+    return results
+
+
+@pytest.fixture
+def partial_profile():
+    # l0 accepts only r0; l1 accepts both; r0 accepts both; r1 accepts only l1.
+    return IncompleteProfile.from_dict(
+        {
+            l(0): (r(0),),
+            l(1): (r(0), r(1)),
+            r(0): (l(0), l(1)),
+            r(1): (l(1),),
+        }
+    )
+
+
+class TestValidation:
+    def test_empty_lists_allowed(self):
+        profile = IncompleteProfile.from_dict(
+            {l(0): (), l(1): (), r(0): (), r(1): ()}
+        )
+        matching = gale_shapley_incomplete(profile)
+        assert matching.size() == 0
+
+    def test_same_side_entry_rejected(self):
+        with pytest.raises(PreferenceError):
+            IncompleteProfile.from_dict(
+                {l(0): (l(1),), l(1): (), r(0): (), r(1): ()}
+            )
+
+    def test_duplicate_entry_rejected(self):
+        with pytest.raises(PreferenceError):
+            IncompleteProfile.from_dict(
+                {l(0): (r(0), r(0)), l(1): (), r(0): (), r(1): ()}
+            )
+
+    def test_missing_party_rejected(self):
+        with pytest.raises(PreferenceError):
+            IncompleteProfile.from_dict({l(0): ()})
+
+
+class TestDeferredAcceptance:
+    def test_respects_acceptability(self, partial_profile):
+        matching = gale_shapley_incomplete(partial_profile)
+        assert is_stable_incomplete(matching, partial_profile)
+        assert matching.partner(l(0)) == r(0)
+        assert matching.partner(l(1)) == r(1)
+
+    def test_unmatched_when_unacceptable(self):
+        profile = IncompleteProfile.from_dict(
+            {
+                l(0): (r(0),),
+                l(1): (r(0),),  # both want only r0
+                r(0): (l(0),),  # r0 accepts only l0
+                r(1): (),
+            }
+        )
+        matching = gale_shapley_incomplete(profile)
+        assert matching.partner(l(0)) == r(0)
+        assert matching.partner(l(1)) is None
+        assert is_stable_incomplete(matching, profile)
+
+    def test_one_sided_acceptance_is_not_a_match(self):
+        profile = IncompleteProfile.from_dict(
+            {l(0): (r(0),), l(1): (), r(0): (), r(1): ()}  # r0 rejects everyone
+        )
+        matching = gale_shapley_incomplete(profile)
+        assert matching.size() == 0
+        assert is_stable_incomplete(matching, profile)
+
+    @pytest.mark.parametrize("proposer", ["L", "R"])
+    def test_both_proposer_sides_stable(self, partial_profile, proposer):
+        matching = gale_shapley_incomplete(partial_profile, proposer_side=proposer)
+        assert is_stable_incomplete(matching, partial_profile)
+
+
+def random_incomplete(k, seed, density=0.6):
+    import random
+
+    rng = random.Random(seed)
+    lists = {}
+    for party in all_parties(k):
+        others = list(right_side(k) if party.is_left() else left_side(k))
+        rng.shuffle(others)
+        keep = [o for o in others if rng.random() < density]
+        lists[party] = tuple(keep)
+    return IncompleteProfile(k=k, lists=lists)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_gs_output_is_stable_and_enumerated(self, seed):
+        profile = random_incomplete(3, seed)
+        matching = gale_shapley_incomplete(profile)
+        assert is_stable_incomplete(matching, profile)
+        assert matching in brute_force_stable(profile)
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matched_set_invariant(self, seed):
+        """Gale-Sotomayor: the same parties are matched in every stable matching."""
+        profile = random_incomplete(3, seed)
+        stable = brute_force_stable(profile)
+        assert stable  # always at least one
+        matched_sets = {frozenset(m.pairs.keys()) for m in stable}
+        assert len(matched_sets) == 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_blocking_pair_reporting(self, seed):
+        profile = random_incomplete(3, seed)
+        empty = Matching.empty()
+        pairs = incomplete_blocking_pairs(empty, profile)
+        for u, v in pairs:
+            assert profile.accepts(u, v) and profile.accepts(v, u)
+
+
+class TestPreferenceQueries:
+    def test_prefers_unacceptable_never_wins(self, partial_profile):
+        assert not partial_profile.prefers(l(0), r(1), r(0))  # r1 unacceptable to l0
+        assert partial_profile.prefers(l(0), r(0), r(1))
+
+    def test_rank_unacceptable_raises(self, partial_profile):
+        with pytest.raises(PreferenceError):
+            partial_profile.rank(l(0), r(1))

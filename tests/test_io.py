@@ -1,0 +1,72 @@
+"""Tests for JSON export/import of runs."""
+
+import json
+
+import pytest
+
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import make_adversary, run_bsm
+from repro.io import (
+    dump_report,
+    load_result,
+    report_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.ids import left_party as l, right_party as r
+from repro.matching.generators import random_profile
+
+
+@pytest.fixture
+def report():
+    setting = Setting("fully_connected", True, 3, 1, 1)
+    instance = BSMInstance(setting, random_profile(3, 8))
+    adv = make_adversary(instance, [l(0), r(0)], kind="silent")
+    return run_bsm(instance, adv, record_trace=True)
+
+
+class TestResultRoundTrip:
+    def test_outputs_round_trip(self, report):
+        data = result_to_dict(report.result)
+        rebuilt = result_from_dict(data)
+        assert rebuilt.outputs == report.result.outputs
+        assert rebuilt.halted == report.result.halted
+        assert rebuilt.corrupted == report.result.corrupted
+        assert rebuilt.rounds == report.result.rounds
+        assert rebuilt.terminated == report.result.terminated
+        assert rebuilt.message_count == report.result.message_count
+
+    def test_json_serializable(self, report):
+        text = json.dumps(result_to_dict(report.result, include_trace=True))
+        assert "outputs" in text and "trace" in text
+
+    def test_none_outputs_preserved(self):
+        setting = Setting("bipartite", True, 4, 1, 4)
+        instance = BSMInstance(setting, random_profile(4, 1))
+        adv = make_adversary(
+            instance, [r(i) for i in range(4)], kind="silent"
+        )
+        run = run_bsm(instance, adv)
+        rebuilt = result_from_dict(result_to_dict(run.result))
+        assert all(v is None for v in rebuilt.outputs.values())
+
+
+class TestReportExport:
+    def test_report_fields(self, report):
+        data = report_to_dict(report)
+        assert data["setting"]["topology"] == "fully_connected"
+        assert data["verdict"]["recipe"] == "bb_direct"
+        assert data["properties"]["termination"] is True
+        assert "L1" in data["honest"]
+
+    def test_trace_inclusion_toggle(self, report):
+        without = report_to_dict(report)
+        with_trace = report_to_dict(report, include_trace=True)
+        assert "trace" not in without["result"]
+        assert len(with_trace["result"]["trace"]) == report.result.message_count
+
+    def test_dump_and_load(self, report, tmp_path):
+        path = tmp_path / "run.json"
+        dump_report(report, path)
+        rebuilt = load_result(path)
+        assert rebuilt.outputs == report.result.outputs

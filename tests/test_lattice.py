@@ -1,0 +1,96 @@
+"""Tests for the stable-matching lattice operations."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.ids import left_party as l, right_party as r
+from repro.matching.enumerate_stable import all_stable_matchings
+from repro.matching.gale_shapley import gale_shapley
+from repro.matching.generators import random_profile
+from repro.matching.lattice import dominates, is_comparable, lattice_join, lattice_meet
+from repro.matching.matching import Matching
+from repro.matching.preferences import PreferenceProfile
+from repro.matching.stability import is_stable
+
+
+@pytest.fixture
+def contested():
+    """Two stable matchings: identity and full swap."""
+    return PreferenceProfile.from_index_lists(
+        [[0, 1], [1, 0]],
+        [[1, 0], [0, 1]],
+    )
+
+
+class TestJoinMeet:
+    def test_join_and_meet_recover_extremes(self, contested):
+        stable = all_stable_matchings(contested)
+        assert len(stable) == 2
+        a, b = stable
+        join = lattice_join(a, b, contested)
+        meet = lattice_meet(a, b, contested)
+        l_opt = gale_shapley(contested, "L").matching
+        r_opt = gale_shapley(contested, "R").matching
+        assert join == l_opt
+        assert meet == r_opt
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_join_meet_closed_under_stability(self, seed):
+        """The lattice theorem: join and meet of stable matchings are stable."""
+        profile = random_profile(4, seed)
+        stable = all_stable_matchings(profile)
+        for i, a in enumerate(stable):
+            for b in stable[i:]:
+                assert is_stable(lattice_join(a, b, profile), profile)
+                assert is_stable(lattice_meet(a, b, profile), profile)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_gs_outputs_are_lattice_extremes(self, seed):
+        profile = random_profile(4, seed)
+        stable = all_stable_matchings(profile)
+        l_opt = gale_shapley(profile, "L").matching
+        r_opt = gale_shapley(profile, "R").matching
+        for m in stable:
+            assert dominates(l_opt, m, profile)
+            assert dominates(m, r_opt, profile)
+
+    def test_idempotent(self, contested):
+        m = gale_shapley(contested).matching
+        assert lattice_join(m, m, contested) == m
+        assert lattice_meet(m, m, contested) == m
+
+    def test_requires_perfect_matchings(self, contested):
+        partial = Matching.from_pairs([(l(0), r(0))])
+        full = gale_shapley(contested).matching
+        with pytest.raises(MatchingError):
+            lattice_join(partial, full, contested)
+
+
+class TestComparability:
+    def test_extremes_comparable(self, contested):
+        a = gale_shapley(contested, "L").matching
+        b = gale_shapley(contested, "R").matching
+        assert is_comparable(a, b, contested)
+        assert dominates(a, b, contested)
+        assert not dominates(b, a, contested)
+
+    def test_incomparable_pair_exists_somewhere(self):
+        """Some instance has stable matchings that are L-incomparable."""
+        found = False
+        for seed in range(60):
+            profile = random_profile(4, seed)
+            stable = all_stable_matchings(profile)
+            for i, a in enumerate(stable):
+                for b in stable[i + 1 :]:
+                    if not is_comparable(a, b, profile):
+                        found = True
+                        # join must strictly dominate both
+                        join = lattice_join(a, b, profile)
+                        assert dominates(join, a, profile)
+                        assert dominates(join, b, profile)
+                        break
+                if found:
+                    break
+            if found:
+                break
+        assert found, "expected an incomparable stable pair on some instance"

@@ -1,0 +1,92 @@
+"""Unit tests for the Matching data structure."""
+
+import pytest
+
+from repro.errors import MatchingError
+from repro.ids import left_party as l, right_party as r
+from repro.matching.matching import Matching
+
+
+class TestConstruction:
+    def test_from_pairs(self):
+        m = Matching.from_pairs([(l(0), r(1)), (l(1), r(0))])
+        assert m.partner(l(0)) == r(1)
+        assert m.partner(r(1)) == l(0)
+        assert m.size() == 2
+
+    def test_empty(self):
+        m = Matching.empty()
+        assert m.size() == 0
+        assert m.partner(l(0)) is None
+
+    def test_same_side_pair_rejected(self):
+        with pytest.raises(MatchingError):
+            Matching.from_pairs([(l(0), l(1))])
+
+    def test_duplicate_party_rejected(self):
+        with pytest.raises(MatchingError):
+            Matching.from_pairs([(l(0), r(0)), (l(0), r(1))])
+
+    def test_duplicate_partner_rejected(self):
+        with pytest.raises(MatchingError):
+            Matching.from_pairs([(l(0), r(0)), (l(1), r(0))])
+
+    def test_asymmetric_raw_pairs_rejected(self):
+        with pytest.raises(MatchingError):
+            Matching(pairs={l(0): r(0)})  # missing the back edge
+
+
+class TestFromOutputs:
+    def test_symmetric_outputs(self):
+        outputs = {l(0): r(0), r(0): l(0), l(1): None, r(1): None}
+        m = Matching.from_outputs(outputs)
+        assert m.partner(l(0)) == r(0)
+        assert not m.is_matched(l(1))
+
+    def test_asymmetric_outputs_rejected(self):
+        with pytest.raises(MatchingError):
+            Matching.from_outputs({l(0): r(0), r(0): l(1), l(1): None, r(1): None})
+
+    def test_one_sided_declaration_dropped(self):
+        # r(0) silent (byzantine): the declared pair is not mutual.
+        m = Matching.from_outputs({l(0): r(0)})
+        assert not m.is_matched(l(0))
+
+    def test_same_side_output_rejected(self):
+        with pytest.raises(MatchingError):
+            Matching.from_outputs({l(0): l(1)})
+
+
+class TestQueries:
+    @pytest.fixture
+    def matching(self):
+        return Matching.from_pairs([(l(0), r(2)), (l(1), r(0))])
+
+    def test_matched_pairs_canonical(self, matching):
+        assert matching.matched_pairs() == ((l(0), r(2)), (l(1), r(0)))
+
+    def test_is_perfect(self, matching):
+        assert not matching.is_perfect(3)
+        full = Matching.from_pairs([(l(i), r(i)) for i in range(3)])
+        assert full.is_perfect(3)
+
+    def test_as_outputs(self, matching):
+        outputs = matching.as_outputs(3)
+        assert outputs[l(2)] is None
+        assert outputs[r(2)] == l(0)
+        assert len(outputs) == 6
+
+    def test_restricted(self, matching):
+        sub = matching.restricted([l(0), r(2), l(1)])
+        assert sub.partner(l(0)) == r(2)
+        assert sub.partner(l(1)) is None  # r(0) excluded
+
+    def test_iteration_and_len(self, matching):
+        assert list(matching) == [(l(0), r(2)), (l(1), r(0))]
+        assert len(matching) == 2
+
+    def test_equality_and_hash(self, matching):
+        same = Matching.from_pairs([(l(1), r(0)), (l(0), r(2))])
+        assert matching == same
+        assert hash(matching) == hash(same)
+        assert matching != Matching.empty()

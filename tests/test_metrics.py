@@ -1,0 +1,93 @@
+"""Tests for the matching-quality metrics."""
+
+import pytest
+
+from repro.ids import left_party as l, right_party as r
+from repro.matching.enumerate_stable import all_stable_matchings
+from repro.matching.gale_shapley import gale_shapley
+from repro.matching.generators import random_profile
+from repro.matching.matching import Matching
+from repro.matching.metrics import (
+    blocking_pair_count,
+    divorce_distance,
+    instability_fraction,
+    max_blocking_regret,
+    side_rank_costs,
+    total_rank_cost,
+)
+from repro.matching.preferences import PreferenceProfile
+
+
+@pytest.fixture
+def profile():
+    # Everyone agrees: r0 > r1 and l0 > l1.
+    return PreferenceProfile.from_index_lists(
+        [[0, 1], [0, 1]],
+        [[0, 1], [0, 1]],
+    )
+
+
+class TestBlockingMetrics:
+    def test_stable_matching_scores_zero(self, profile):
+        stable = gale_shapley(profile).matching
+        assert blocking_pair_count(stable, profile) == 0
+        assert instability_fraction(stable, profile) == 0.0
+        assert max_blocking_regret(stable, profile) == 0
+
+    def test_swap_scores_one_pair(self, profile):
+        swapped = Matching.from_pairs([(l(0), r(1)), (l(1), r(0))])
+        assert blocking_pair_count(swapped, profile) == 1
+        assert instability_fraction(swapped, profile) == 0.25
+        assert max_blocking_regret(swapped, profile) == 1
+
+    def test_empty_matching_fully_unstable(self, profile):
+        empty = Matching.empty()
+        assert blocking_pair_count(empty, profile) == 4
+        # Everyone would jump from 'unmatched' (cost k=2) to some rank.
+        assert max_blocking_regret(empty, profile) >= 1
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_stable_always_zero_on_random_profiles(self, seed):
+        profile = random_profile(4, seed)
+        for matching in all_stable_matchings(profile):
+            assert blocking_pair_count(matching, profile) == 0
+
+
+class TestDistanceMetrics:
+    def test_divorce_distance_zero_on_equal(self, profile):
+        m = gale_shapley(profile).matching
+        assert divorce_distance(m, m, 2) == 0
+
+    def test_divorce_distance_counts_each_party(self, profile):
+        a = Matching.from_pairs([(l(0), r(0)), (l(1), r(1))])
+        b = Matching.from_pairs([(l(0), r(1)), (l(1), r(0))])
+        assert divorce_distance(a, b, 2) == 4
+
+    def test_divorce_distance_partial(self, profile):
+        a = Matching.from_pairs([(l(0), r(0)), (l(1), r(1))])
+        b = Matching.from_pairs([(l(0), r(0))])
+        assert divorce_distance(a, b, 2) == 2  # l1 and r1 lost partners
+
+
+class TestRankCosts:
+    def test_total_rank_cost_identity(self, profile):
+        best = Matching.from_pairs([(l(0), r(0)), (l(1), r(1))])
+        # l0+r0 get rank 0, l1+r1 get rank 1 each.
+        assert total_rank_cost(best, profile) == 2
+
+    def test_unmatched_costs_k(self, profile):
+        partial = Matching.from_pairs([(l(0), r(0))])
+        assert total_rank_cost(partial, profile) == 0 + 0 + 2 + 2
+
+    def test_side_costs_expose_proposer_advantage(self):
+        # Contested instance: L-proposing favors L.
+        profile = PreferenceProfile.from_index_lists(
+            [[0, 1], [1, 0]],
+            [[1, 0], [0, 1]],
+        )
+        l_run = gale_shapley(profile, "L").matching
+        r_run = gale_shapley(profile, "R").matching
+        l_cost_lrun, r_cost_lrun = side_rank_costs(l_run, profile)
+        l_cost_rrun, r_cost_rrun = side_rank_costs(r_run, profile)
+        assert l_cost_lrun <= l_cost_rrun
+        assert r_cost_rrun <= r_cost_lrun

@@ -1,0 +1,120 @@
+"""Unit tests for sub-protocol multiplexing."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.ids import all_parties, left_party as l, right_party as r
+from repro.net.mux import Mux
+from repro.net.process import Process
+from repro.net.simulator import SyncNetwork
+from repro.net.topology import FullyConnected
+
+
+class PingPong(Process):
+    """Sub-protocol: l0 pings, r0 answers, both output the peer's payload."""
+
+    def __init__(self, token: str) -> None:
+        self.token = token
+
+    def on_round(self, ctx, inbox):
+        if ctx.round == 0 and ctx.me == l(0):
+            ctx.send(r(0), ("ping", self.token))
+        for e in inbox:
+            tag, token = e.payload
+            if tag == "ping":
+                ctx.send(e.src, ("pong", token))
+            if tag == "pong" or ctx.me == r(0):
+                ctx.output(token)
+                ctx.halt()
+
+
+class Host(Process):
+    """Hosts two independent PingPong instances and combines their outputs."""
+
+    def __init__(self):
+        self.mux = Mux()
+        self.mux.add("alpha", PingPong("A"))
+        self.mux.add("beta", PingPong("B"))
+
+    def on_round(self, ctx, inbox):
+        self.mux.step(ctx, inbox)
+        if self.mux.all_done() and not ctx.has_output:
+            ctx.output((self.mux.output_of("alpha"), self.mux.output_of("beta")))
+            ctx.halt()
+
+
+class TestMuxRouting:
+    def test_instances_isolated_and_complete(self):
+        procs = {p: Host() for p in all_parties(1)}
+        result = SyncNetwork(FullyConnected(k=1), procs).run()
+        assert result.outputs[l(0)] == ("A", "B")
+        assert result.outputs[r(0)] == ("A", "B")
+
+    def test_duplicate_name_rejected(self):
+        mux = Mux()
+        mux.add("x", PingPong("A"))
+        with pytest.raises(ProtocolError):
+            mux.add("x", PingPong("B"))
+
+    def test_output_before_done_rejected(self):
+        mux = Mux()
+        mux.add("x", PingPong("A"))
+        with pytest.raises(ProtocolError):
+            mux.output_of("x")
+
+    def test_names_listing(self):
+        mux = Mux()
+        mux.add("x", PingPong("A"))
+        mux.add(("bb", l(0)), PingPong("B"))
+        assert mux.names() == ("x", ("bb", l(0)))
+
+    def test_unrouted_messages_returned(self):
+        class HostWithLeftover(Process):
+            def __init__(self):
+                self.mux = Mux()
+                self.mux.add("only", PingPong("A"))
+                self.leftovers = []
+
+            def on_round(self, ctx, inbox):
+                self.leftovers.extend(self.mux.step(ctx, inbox))
+                if ctx.round == 0 and ctx.me == l(0):
+                    ctx.send(r(0), "bare message")
+                if ctx.round >= 3 and not ctx.has_output:
+                    ctx.output(None)
+                    ctx.halt()
+
+        procs = {p: HostWithLeftover() for p in all_parties(1)}
+        SyncNetwork(FullyConnected(k=1), procs).run()
+        bare = [e for e in procs[r(0)].leftovers if e.payload == "bare message"]
+        assert len(bare) == 1
+
+    def test_unknown_instance_tag_is_unrouted(self):
+        class Prankster(Process):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 0:
+                    ctx.send(r(0), ("mux", "ghost", "boo"))
+                ctx.output(None)
+                ctx.halt()
+
+        class Receiver(Process):
+            def __init__(self):
+                self.mux = Mux()
+                self.mux.add("real", PingPong("A"))
+                self.unrouted = []
+
+            def on_round(self, ctx, inbox):
+                self.unrouted.extend(self.mux.step(ctx, inbox))
+                if ctx.round >= 2:
+                    ctx.output(None)
+                    ctx.halt()
+
+        receiver = Receiver()
+        procs = {l(0): Prankster(), r(0): receiver}
+        SyncNetwork(FullyConnected(k=1), procs).run()
+        assert any(e.payload == ("mux", "ghost", "boo") for e in receiver.unrouted)
+
+    def test_outputs_snapshot(self):
+        mux = Mux()
+        mux.add("x", PingPong("A"))
+        assert mux.outputs() == {}
+        assert not mux.all_done()

@@ -1,0 +1,120 @@
+"""Unit tests for PiBB (Theorem 9) including omission behavior."""
+
+import random
+
+import pytest
+
+from repro.adversary.adversary import BehaviorAdversary, SilentBehavior
+from repro.consensus.base import BOT, delta_bb
+from repro.consensus.omission_bb import PiBB
+from repro.errors import ProtocolError
+from repro.ids import all_parties, left_party as l, right_party as r
+
+from tests.helpers import agreeing_value, run_consensus, run_with_omissions
+
+
+def bb_factory(k, t, sender, value, default="DEF", validator=None):
+    group = all_parties(k)
+
+    def make(party):
+        return PiBB(
+            sender=sender,
+            group=group,
+            t=t,
+            value=value if party == sender else None,
+            default=default,
+            validator=validator,
+        )
+
+    return make
+
+
+class TestFaultFree:
+    def test_validity(self):
+        result = run_consensus(2, bb_factory(2, 1, l(0), "payload"))
+        assert agreeing_value(result, all_parties(2)) == "payload"
+
+    def test_schedule(self):
+        result = run_consensus(2, bb_factory(2, 1, l(0), "payload"))
+        assert result.rounds <= delta_bb(1) + 2
+
+    def test_sender_uses_own_value_directly(self):
+        result = run_consensus(2, bb_factory(2, 1, r(1), ("a", 1)))
+        assert result.outputs[r(1)] == ("a", 1)
+
+
+class TestFaultySender:
+    def test_silent_sender_default(self):
+        adv = BehaviorAdversary({l(0): SilentBehavior()})
+        result = run_consensus(2, bb_factory(2, 1, l(0), "x"), adversary=adv)
+        honest = [p for p in all_parties(2) if p != l(0)]
+        assert agreeing_value(result, honest) == "DEF"
+
+    def test_validator_replaces_bad_value(self):
+        validator = lambda v: isinstance(v, tuple)
+        result = run_consensus(
+            2, bb_factory(2, 1, l(0), "not a tuple", validator=validator)
+        )
+        honest = [p for p in all_parties(2) if p != l(0)]
+        # Non-sender parties validate the received value and substitute.
+        assert agreeing_value(result, honest) == "DEF"
+
+    def test_validator_passes_good_value(self):
+        validator = lambda v: isinstance(v, tuple)
+        result = run_consensus(
+            2, bb_factory(2, 1, l(0), ("fine",), validator=validator)
+        )
+        honest = [p for p in all_parties(2) if p != l(0)]
+        assert agreeing_value(result, honest) == ("fine",)
+
+
+class TestOmissions:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_weak_agreement_under_omissions(self, seed):
+        rng = random.Random(seed)
+
+        def drop(src, dst, sent_round):
+            return rng.random() < 0.3
+
+        def make(party):
+            return PiBB(
+                sender=l(0),
+                group=all_parties(3),
+                t=1,
+                value="V" if party == l(0) else None,
+                default="DEF",
+            )
+
+        result = run_with_omissions(3, make, drop)
+        assert result.terminated
+        non_bot = {v for v in result.outputs.values() if v is not BOT}
+        assert len(non_bot) <= 1
+
+    def test_sender_cut_off_gives_default_everywhere(self):
+        def drop(src, dst, sent_round):
+            return src == l(0) and sent_round == 0
+
+        def make(party):
+            return PiBB(
+                sender=l(0),
+                group=all_parties(2),
+                t=1,
+                value="V" if party == l(0) else None,
+                default="DEF",
+            )
+
+        result = run_with_omissions(2, make, drop)
+        # The 3 non-senders enter BA with DEF against the sender's V;
+        # with k - t = 3 the DEF quorum prevails for everyone.
+        non_bot = {v for v in result.outputs.values() if v is not BOT}
+        assert non_bot == {"DEF"}
+
+
+class TestValidation:
+    def test_sender_in_group(self):
+        with pytest.raises(ProtocolError):
+            PiBB(sender=l(9), group=all_parties(2), t=1)
+
+    def test_threshold_bound(self):
+        with pytest.raises(ProtocolError):
+            PiBB(sender=l(0), group=all_parties(2), t=2)  # 3*2 >= 4

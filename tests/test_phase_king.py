@@ -1,0 +1,209 @@
+"""Unit tests for PiKing and PiBA (paper Appendix A.6, Theorems 8/11)."""
+
+import random
+
+import pytest
+
+from repro.adversary.adversary import (
+    Adversary,
+    BehaviorAdversary,
+    RandomNoiseBehavior,
+    SilentBehavior,
+)
+from repro.consensus.base import BOT, delta_ba, delta_king
+from repro.consensus.phase_king import PiBA, PiKing
+from repro.errors import ProtocolError
+from repro.ids import all_parties, left_party as l, left_side, right_party as r
+
+from tests.helpers import agreeing_value, run_consensus, run_with_omissions
+
+
+def king_factory(k, t, inputs, cls=PiKing):
+    group = all_parties(k)
+
+    def make(party):
+        return cls(group, t, inputs.get(party, 0))
+
+    return make
+
+
+class TestPiKingFaultFree:
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_validity_same_inputs(self, k):
+        inputs = {p: "v" for p in all_parties(k)}
+        result = run_consensus(k, king_factory(k, (2 * k - 1) // 3, inputs))
+        assert agreeing_value(result, all_parties(k)) == "v"
+
+    def test_agreement_mixed_inputs(self):
+        parties = all_parties(2)
+        inputs = {p: i % 2 for i, p in enumerate(parties)}
+        result = run_consensus(2, king_factory(2, 1, inputs))
+        value = agreeing_value(result, parties)
+        assert value in (0, 1)
+
+    def test_terminates_on_schedule(self):
+        inputs = {p: 1 for p in all_parties(2)}
+        result = run_consensus(2, king_factory(2, 1, inputs))
+        assert result.rounds <= delta_king(1) + 2
+
+    def test_single_party_group(self):
+        king = PiKing(group=[l(0)], t=0, value="mine")
+        # Directly exercise the degenerate schedule through the simulator.
+        result = run_consensus(
+            1, lambda p: king if p == l(0) else PiKing([r(0)], 0, "other")
+        )
+        assert result.outputs[l(0)] == "mine"
+        assert result.outputs[r(0)] == "other"
+
+
+class TestPiKingByzantine:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_noise_adversary(self, seed):
+        k, t = 4, 2  # group of 8, t=2 < 8/3
+        parties = all_parties(k)
+        corrupted = [l(0), r(0)]
+        inputs = {p: "target" for p in parties}
+        adv = BehaviorAdversary(
+            {p: RandomNoiseBehavior(seed=seed * 7 + i) for i, p in enumerate(corrupted)}
+        )
+        result = run_consensus(k, king_factory(k, t, inputs), adversary=adv)
+        honest = [p for p in parties if p not in corrupted]
+        assert agreeing_value(result, honest) == "target"
+
+    def test_silent_byzantine_kings(self):
+        """The king sequence is the first t+1 parties; silence them all but one."""
+        k, t = 4, 2
+        parties = all_parties(k)
+        corrupted = [l(0), l(1)]  # two of the three kings
+        inputs = {p: ("x" if p.index % 2 else "y") for p in parties}
+        adv = BehaviorAdversary({p: SilentBehavior() for p in corrupted})
+        result = run_consensus(k, king_factory(k, t, inputs), adversary=adv)
+        honest = [p for p in parties if p not in corrupted]
+        agreeing_value(result, honest)
+
+    def test_split_king_attack_still_agrees(self):
+        """A byzantine king sends different king values to the two halves;
+        the later honest king restores agreement."""
+
+        class SplitKing(Adversary):
+            def step(self, round_now, view):
+                if round_now != 2:  # round 3 of phase 1 (king = l(0))
+                    return
+                parties = [p for p in all_parties(4) if p != l(0)]
+                for i, dst in enumerate(parties):
+                    self.world.send(l(0), dst, ("king", 0, "A" if i % 2 else "B"))
+
+        k, t = 4, 2
+        inputs = {p: ("A" if p.is_left() else "B") for p in all_parties(k)}
+        adv = SplitKing([l(0)])
+        result = run_consensus(k, king_factory(k, t, inputs), adversary=adv)
+        honest = [p for p in all_parties(k) if p != l(0)]
+        agreeing_value(result, honest)
+
+    def test_validity_not_broken_by_value_injection(self):
+        """Byzantine parties flood a foreign value; honest unanimity wins."""
+
+        class Flooder(Adversary):
+            def step(self, round_now, view):
+                phase, step = divmod(round_now, 3)
+                for src in self.world.corrupted:
+                    for dst in all_parties(4):
+                        if dst in self.world.corrupted:
+                            continue
+                        if step == 0:
+                            self.world.send(src, dst, ("val", phase, "EVIL"))
+                        elif step == 1:
+                            self.world.send(src, dst, ("prop", phase, "EVIL"))
+
+        k, t = 4, 2
+        inputs = {p: "good" for p in all_parties(k)}
+        adv = Flooder([l(0), r(0)])
+        result = run_consensus(k, king_factory(k, t, inputs), adversary=adv)
+        honest = [p for p in all_parties(k) if p not in (l(0), r(0))]
+        assert agreeing_value(result, honest) == "good"
+
+
+class TestPiKingValidation:
+    def test_threshold_bound(self):
+        with pytest.raises(ProtocolError):
+            PiKing(group=left_side(3), t=1, value=0)  # 3*1 >= 3
+
+    def test_negative_threshold(self):
+        with pytest.raises(ProtocolError):
+            PiKing(group=left_side(4), t=-1, value=0)
+
+    def test_king_outside_group(self):
+        with pytest.raises(ProtocolError):
+            PiKing(group=left_side(4), t=1, value=0, kings=[r(0), r(1)])
+
+
+class TestPiBA:
+    def test_ba_without_omissions(self):
+        inputs = {p: "z" for p in all_parties(2)}
+        result = run_consensus(2, king_factory(2, 1, inputs, cls=PiBA))
+        assert agreeing_value(result, all_parties(2)) == "z"
+
+    def test_schedule(self):
+        inputs = {p: "z" for p in all_parties(2)}
+        result = run_consensus(2, king_factory(2, 1, inputs, cls=PiBA))
+        assert result.rounds <= delta_ba(1) + 2
+
+    def test_disagreeing_inputs_agree_nonbot(self):
+        parties = all_parties(4)
+        inputs = {p: i % 3 for i, p in enumerate(parties)}
+        result = run_consensus(4, king_factory(4, 2, inputs, cls=PiBA))
+        value = agreeing_value(result, parties)
+        assert value is not BOT
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_weak_agreement_under_random_omissions(self, seed):
+        """Theorem 8: under omissions PiBA still terminates and any two
+        non-bot outputs coincide."""
+        rng = random.Random(seed)
+        k, t = 4, 1
+        group = left_side(k) + tuple()  # run among 4 parties of L plus R fills
+
+        def drop(src, dst, sent_round):
+            return rng.random() < 0.35
+
+        inputs = {p: ("v" if p.index % 2 else "w") for p in all_parties(k)}
+
+        def make(party):
+            return PiBA(all_parties(k), t, inputs[party])
+
+        result = run_with_omissions(k, make, drop)
+        assert result.terminated
+        non_bot = {v for v in result.outputs.values() if v is not BOT}
+        assert len(non_bot) <= 1
+
+    def test_total_omission_gives_bot(self):
+        def drop(src, dst, sent_round):
+            return True  # nothing is ever delivered
+
+        inputs = {p: p.index for p in all_parties(2)}
+
+        def make(party):
+            return PiBA(all_parties(2), 1, inputs[party])
+
+        result = run_with_omissions(2, make, drop)
+        assert result.terminated
+        # With all messages lost, no one can reach the k - t echo quorum
+        # for a foreign value; parties output their own echo only if the
+        # quorum is 1 — with k=4, t=1 the quorum is 3, so all get BOT.
+        assert set(result.outputs.values()) == {BOT}
+
+    def test_one_way_partition_weak_agreement(self):
+        """Drop all messages from L to R only."""
+
+        def drop(src, dst, sent_round):
+            return src.is_left() and dst.is_right()
+
+        inputs = {p: "common" for p in all_parties(3)}
+
+        def make(party):
+            return PiBA(all_parties(3), 1, inputs[party])
+
+        result = run_with_omissions(3, make, drop)
+        assert result.terminated
+        non_bot = {v for v in result.outputs.values() if v is not BOT}
+        assert non_bot <= {"common"}

@@ -1,0 +1,156 @@
+"""Integration tests for PiBSM (Section 5.2) — the flagship protocol."""
+
+import pytest
+
+from repro.core.bipartite_auth import (
+    PiBSMComputing,
+    PiBSMResponding,
+    pibsm_decision_rounds,
+)
+from repro.core.runner import make_adversary, run_bsm
+from repro.errors import ProtocolError
+from repro.ids import all_parties, left_party as l, left_side, right_party as r, right_side
+from repro.matching.gale_shapley import gale_shapley
+from repro.matching.preferences import default_list
+
+from tests.conftest import make_instance
+
+
+class TestFaultFree:
+    def test_matches_gale_shapley(self):
+        instance = make_instance("bipartite", True, 4, 1, 4)
+        report = run_bsm(instance, recipe="pi_bsm")
+        assert report.ok, report.report.violations
+        expected = gale_shapley(instance.profile).matching
+        for party in all_parties(4):
+            assert report.result.outputs[party] == expected.partner(party)
+
+    def test_schedule_bound(self):
+        instance = make_instance("bipartite", True, 4, 1, 4)
+        report = run_bsm(instance, recipe="pi_bsm")
+        computing, responding = pibsm_decision_rounds(4, 1)
+        assert report.result.rounds <= responding + 2
+
+    def test_works_on_one_sided_topology(self):
+        # Theorem 7's tR = k case: PiBSM over one-sided (R-R edges unused).
+        instance = make_instance("one_sided", True, 4, 1, 4)
+        report = run_bsm(instance, recipe="pi_bsm")
+        assert report.ok, report.report.violations
+
+    def test_tl_zero(self):
+        instance = make_instance("bipartite", True, 2, 0, 2)
+        report = run_bsm(instance, recipe="pi_bsm")
+        assert report.ok, report.report.violations
+
+
+class TestFullRightSideByzantine:
+    """Lemma 11: every party in R byzantine."""
+
+    def test_all_r_silent_everyone_matches_nobody(self):
+        instance = make_instance("bipartite", True, 4, 1, 4)
+        adv = make_adversary(instance, right_side(4), kind="silent")
+        report = run_bsm(instance, adv)
+        assert report.ok
+        for party in left_side(4):
+            assert report.result.outputs[party] is None
+
+    def test_all_r_noise_properties_hold(self):
+        instance = make_instance("bipartite", True, 4, 1, 4)
+        adv = make_adversary(instance, right_side(4), kind="noise", seed=3)
+        report = run_bsm(instance, adv)
+        assert report.ok, report.report.violations
+
+    def test_all_r_honest_behavior_full_matching(self):
+        instance = make_instance("bipartite", True, 4, 1, 4)
+        adv = make_adversary(instance, right_side(4), kind="honest")
+        report = run_bsm(instance, adv)
+        assert report.ok
+        expected = gale_shapley(instance.profile).matching
+        for party in left_side(4):
+            assert report.result.outputs[party] == expected.partner(party)
+
+    def test_all_r_crash_after_prefs_nondegenerate(self):
+        # R sends preferences then crashes: forwarding stops -> omissions.
+        instance = make_instance("bipartite", True, 4, 1, 4)
+        adv = make_adversary(instance, right_side(4), kind="crash", crash_round=3)
+        report = run_bsm(instance, adv)
+        assert report.ok, report.report.violations
+
+    @pytest.mark.parametrize("crash_round", [0, 1, 2, 5, 9])
+    def test_partial_forwarding_crash_sweep(self, crash_round):
+        """Omissions beginning at various times never break the properties."""
+        instance = make_instance("bipartite", True, 3, 0, 3)
+        adv = make_adversary(
+            instance, right_side(3), kind="crash", crash_round=crash_round
+        )
+        report = run_bsm(instance, adv)
+        assert report.ok, (crash_round, report.report.violations)
+
+
+class TestMixedCorruption:
+    def test_byzantine_l_below_third(self):
+        instance = make_instance("bipartite", True, 4, 1, 4)
+        adv = make_adversary(instance, [l(0), r(1), r(2)], kind="noise")
+        report = run_bsm(instance, adv)
+        assert report.ok, report.report.violations
+
+    def test_byzantine_l_crash(self):
+        instance = make_instance("bipartite", True, 4, 1, 4)
+        adv = make_adversary(instance, [l(3)], kind="crash", crash_round=4)
+        report = run_bsm(instance, adv)
+        assert report.ok, report.report.violations
+
+    def test_r_majority_suggestion_resists_lying_l(self):
+        """A byzantine L party sending false suggestions cannot sway R."""
+        instance = make_instance("bipartite", True, 4, 1, 0)
+
+        from repro.adversary.adversary import Adversary
+
+        class SuggestionLiar(Adversary):
+            def step(self, round_now, view):
+                for dst in right_side(4):
+                    self.world.send(l(0), dst, ("suggest", l(0)))
+
+        report = run_bsm(instance, SuggestionLiar([l(0)]), recipe="pi_bsm")
+        assert report.ok, report.report.violations
+        # No two honest R parties follow the liar into competition.
+        outputs = [report.result.outputs[p] for p in right_side(4)]
+        non_none = [o for o in outputs if o is not None]
+        assert len(non_none) == len(set(non_none))
+
+
+class TestMirrored:
+    def test_mirrored_full_left_byzantine(self):
+        instance = make_instance("bipartite", True, 4, 4, 1)
+        adv = make_adversary(instance, left_side(4), kind="silent")
+        report = run_bsm(instance, adv)
+        assert report.ok
+        for party in right_side(4):
+            assert report.result.outputs[party] is None
+
+    def test_mirrored_fault_free(self):
+        instance = make_instance("bipartite", True, 4, 4, 1)
+        report = run_bsm(instance, recipe="pi_bsm_mirrored")
+        assert report.ok, report.report.violations
+        expected = gale_shapley(instance.profile).matching
+        for party in all_parties(4):
+            assert report.result.outputs[party] == expected.partner(party)
+
+
+class TestValidation:
+    def test_computing_side_membership(self):
+        with pytest.raises(ProtocolError):
+            PiBSMComputing(r(0), 4, 1, default_list(r(0), 4), computing_side="L")
+
+    def test_responding_side_membership(self):
+        with pytest.raises(ProtocolError):
+            PiBSMResponding(l(0), 4, 1, default_list(l(0), 4), computing_side="L")
+
+    def test_threshold_bound(self):
+        with pytest.raises(ProtocolError):
+            PiBSMComputing(l(0), 3, 1, default_list(l(0), 3))
+
+    def test_decision_rounds_formula(self):
+        computing, responding = pibsm_decision_rounds(4, 1)
+        assert computing == 2 * (3 * 1 + 5)
+        assert responding == computing + 1

@@ -1,0 +1,129 @@
+"""White-box tests for PiBSM internals: schedule, validation, decision paths."""
+
+import pytest
+
+from repro.adversary.adversary import Adversary
+from repro.core.bipartite_auth import (
+    PiBSMComputing,
+    PiBSMResponding,
+    pibsm_decision_rounds,
+)
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import run_bsm
+from repro.ids import left_party as l, left_side, right_party as r, right_side
+from repro.matching.generators import random_profile
+from repro.matching.preferences import default_list
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("t", [0, 1, 2])
+    def test_decision_rounds_scale_with_t_not_k(self, t):
+        for k in (3 * t + 1, 3 * t + 3, 3 * t + 5):
+            computing, responding = pibsm_decision_rounds(k, t)
+            assert computing == 2 * (3 * t + 5)
+            assert responding == computing + 1
+
+    def test_observed_decision_round_exact(self):
+        setting = Setting("bipartite", True, 4, 1, 4)
+        instance = BSMInstance(setting, random_profile(4, 1))
+        report = run_bsm(instance, recipe="pi_bsm", record_trace=True)
+        computing, responding = pibsm_decision_rounds(4, 1)
+        # L's suggestion messages are sent exactly at the computing-side
+        # decision round.
+        suggest_rounds = {
+            e.sent_round
+            for e in report.result.trace
+            if isinstance(e.payload, tuple) and e.payload[:1] == ("suggest",)
+        }
+        assert suggest_rounds == {computing}
+
+
+class TestPreferenceWindow:
+    def test_late_preferences_are_ignored(self):
+        """R preferences arriving after round 1 don't count ('wait Delta')."""
+
+        class LateSender(Adversary):
+            def step(self, round_now, view):
+                if round_now == 4:  # far past the window
+                    prefs = tuple(left_side(4))
+                    for dst in left_side(4):
+                        self.world.send(r(0), dst, ("prefs", prefs))
+
+        setting = Setting("bipartite", True, 4, 1, 4)
+        instance = BSMInstance(setting, random_profile(4, 2))
+        report = run_bsm(instance, LateSender([r(0)]), recipe="pi_bsm")
+        assert report.ok
+        # r(0) was silent in the window -> treated as default list; the
+        # run must equal one where r(0)'s list IS the default.
+        adjusted = instance.profile.with_list(r(0), default_list(r(0), 4))
+        from repro.matching.gale_shapley import gale_shapley
+
+        expected = gale_shapley(adjusted).matching
+        for party in left_side(4):
+            assert report.result.outputs[party] == expected.partner(party)
+
+    def test_invalid_preferences_get_default(self):
+        class GarbagePrefs(Adversary):
+            def step(self, round_now, view):
+                if round_now == 0:
+                    for dst in left_side(4):
+                        self.world.send(r(1), dst, ("prefs", "not-a-list"))
+
+        setting = Setting("bipartite", True, 4, 1, 4)
+        instance = BSMInstance(setting, random_profile(4, 3))
+        report = run_bsm(instance, GarbagePrefs([r(1)]), recipe="pi_bsm")
+        assert report.ok
+
+    def test_duplicate_preferences_first_wins(self):
+        """An equivocating R sending two lists in the window: the first
+        valid one is recorded; the run stays property-clean."""
+
+        class DoubleSender(Adversary):
+            def step(self, round_now, view):
+                if round_now != 0:
+                    return
+                list_a = tuple(left_side(4))
+                list_b = tuple(reversed(left_side(4)))
+                for dst in left_side(4):
+                    self.world.send(r(2), dst, ("prefs", list_a))
+                    self.world.send(r(2), dst, ("prefs", list_b))
+
+        setting = Setting("bipartite", True, 4, 1, 4)
+        instance = BSMInstance(setting, random_profile(4, 4))
+        report = run_bsm(instance, DoubleSender([r(2)]), recipe="pi_bsm")
+        assert report.ok, report.report.violations
+
+
+class TestRespondingSide:
+    def test_ignores_suggestions_from_wrong_side(self):
+        """'suggest' messages can only come from the computing side; a
+        byzantine R cannot plant them."""
+
+        class FakeSuggester(Adversary):
+            def step(self, round_now, view):
+                # R parties cannot reach other R parties in a bipartite
+                # network at all — verify the topology stops even the try.
+                from repro.errors import TopologyError
+
+                if round_now == 0:
+                    with pytest.raises(TopologyError):
+                        self.world.send(r(0), r(1), ("suggest", l(0)))
+
+        setting = Setting("bipartite", True, 4, 1, 4)
+        instance = BSMInstance(setting, random_profile(4, 5))
+        report = run_bsm(instance, FakeSuggester([r(0)]), recipe="pi_bsm")
+        assert report.ok
+
+    def test_no_suggestions_means_nobody(self):
+        """An R party that hears nothing decides nobody at its deadline."""
+        proc = PiBSMResponding(r(0), 4, 1, default_list(r(0), 4))
+        from repro.net.process import Context
+        from repro.net.topology import Bipartite
+
+        ctx = Context(r(0), Bipartite(k=4))
+        _, deadline = pibsm_decision_rounds(4, 1)
+        for round_now in range(deadline + 1):
+            ctx.round = round_now
+            proc.on_round(ctx, ())
+        assert ctx.current_output is None
+        assert ctx.halted

@@ -1,0 +1,153 @@
+"""Unit tests for preference lists and profiles."""
+
+import pytest
+
+from repro.errors import PreferenceError
+from repro.ids import PartyId, left_party, right_party
+from repro.matching.preferences import (
+    PreferenceProfile,
+    default_list,
+    is_valid_list,
+)
+
+
+def l(i):
+    return left_party(i)
+
+
+def r(i):
+    return right_party(i)
+
+
+class TestDefaultList:
+    def test_left_default_is_right_side(self):
+        assert default_list(l(0), 3) == (r(0), r(1), r(2))
+
+    def test_right_default_is_left_side(self):
+        assert default_list(r(2), 2) == (l(0), l(1))
+
+
+class TestValidation:
+    def test_valid_list(self):
+        assert is_valid_list(l(0), (r(1), r(0)), 2)
+
+    def test_list_type_accepted(self):
+        assert is_valid_list(l(0), [r(1), r(0)], 2)
+
+    def test_wrong_length_rejected(self):
+        assert not is_valid_list(l(0), (r(0),), 2)
+
+    def test_duplicates_rejected(self):
+        assert not is_valid_list(l(0), (r(0), r(0)), 2)
+
+    def test_same_side_entries_rejected(self):
+        assert not is_valid_list(l(0), (l(1), r(0)), 2)
+
+    def test_out_of_range_rejected(self):
+        assert not is_valid_list(l(0), (r(0), r(5)), 2)
+
+    def test_non_sequence_rejected(self):
+        assert not is_valid_list(l(0), "garbage", 2)
+        assert not is_valid_list(l(0), None, 2)
+        assert not is_valid_list(l(0), 42, 2)
+
+
+class TestProfileConstruction:
+    def test_uniform_profile(self):
+        profile = PreferenceProfile.uniform(2)
+        assert profile.list_of(l(0)) == (r(0), r(1))
+        assert profile.list_of(r(1)) == (l(0), l(1))
+
+    def test_from_index_lists(self):
+        profile = PreferenceProfile.from_index_lists(
+            [[1, 0], [0, 1]],
+            [[0, 1], [1, 0]],
+        )
+        assert profile.list_of(l(0)) == (r(1), r(0))
+        assert profile.list_of(r(1)) == (l(1), l(0))
+
+    def test_from_index_lists_unequal_sides_rejected(self):
+        with pytest.raises(PreferenceError):
+            PreferenceProfile.from_index_lists([[0]], [[0], [0]])
+
+    def test_missing_party_rejected(self):
+        lists = {l(0): (r(0),), r(0): (l(0),), l(1): (r(0),)}
+        with pytest.raises(PreferenceError):
+            PreferenceProfile.from_dict(lists)
+
+    def test_incomplete_list_rejected(self):
+        profile = PreferenceProfile.uniform(2)
+        with pytest.raises(PreferenceError):
+            profile.with_list(l(0), (r(0),))
+
+    def test_zero_k_rejected(self):
+        with pytest.raises(PreferenceError):
+            PreferenceProfile(k=0, lists={})
+
+
+class TestQueries:
+    @pytest.fixture
+    def profile(self):
+        return PreferenceProfile.from_index_lists(
+            [[2, 0, 1], [0, 1, 2], [1, 2, 0]],
+            [[0, 1, 2], [2, 1, 0], [1, 0, 2]],
+        )
+
+    def test_rank(self, profile):
+        assert profile.rank(l(0), r(2)) == 0
+        assert profile.rank(l(0), r(1)) == 2
+
+    def test_rank_unknown_candidate(self, profile):
+        with pytest.raises(PreferenceError):
+            profile.rank(l(0), r(9))
+
+    def test_prefers_strict(self, profile):
+        assert profile.prefers(l(0), r(2), r(0))
+        assert not profile.prefers(l(0), r(0), r(2))
+        assert not profile.prefers(l(0), r(0), r(0))
+
+    def test_prefers_none_is_worst(self, profile):
+        assert profile.prefers(l(0), r(1), None)
+        assert not profile.prefers(l(0), None, r(1))
+
+    def test_favorite(self, profile):
+        assert profile.favorite(l(0)) == r(2)
+        assert profile.favorite(r(1)) == l(2)
+
+    def test_parties_iteration(self, profile):
+        assert len(list(profile)) == 6
+
+    def test_unknown_party(self, profile):
+        with pytest.raises(PreferenceError):
+            profile.list_of(PartyId("L", 7))
+
+
+class TestModification:
+    def test_with_list_replaces(self):
+        profile = PreferenceProfile.uniform(2)
+        updated = profile.with_list(l(0), (r(1), r(0)))
+        assert updated.list_of(l(0)) == (r(1), r(0))
+        assert profile.list_of(l(0)) == (r(0), r(1))  # original untouched
+
+    def test_with_favorite_first(self):
+        profile = PreferenceProfile.uniform(3)
+        updated = profile.with_favorite_first(l(0), r(2))
+        assert updated.list_of(l(0))[0] == r(2)
+        assert set(updated.list_of(l(0))) == set(profile.list_of(l(0)))
+
+    def test_with_favorite_first_wrong_side(self):
+        profile = PreferenceProfile.uniform(2)
+        with pytest.raises(PreferenceError):
+            profile.with_favorite_first(l(0), l(1))
+
+    def test_equality_and_hash(self):
+        a = PreferenceProfile.uniform(2)
+        b = PreferenceProfile.uniform(2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != a.with_list(l(0), (r(1), r(0)))
+
+    def test_restricted_to_parties(self):
+        profile = PreferenceProfile.uniform(2)
+        sub = profile.restricted_to_parties([l(0), r(1)])
+        assert set(sub) == {l(0), r(1)}

@@ -1,0 +1,202 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.structures import (
+    ExplicitStructure,
+    ProductThresholdStructure,
+    satisfies_q2,
+    satisfies_q3,
+)
+from repro.crypto.encoding import encode
+from repro.ids import PartyId, all_parties
+from repro.matching.enumerate_stable import all_stable_matchings
+from repro.matching.gale_shapley import gale_shapley
+from repro.matching.generators import random_profile, random_roommates_preferences
+from repro.matching.roommates import roommates_blocking_pairs, stable_roommates
+from repro.matching.stability import blocking_pairs, is_stable
+
+# -- strategies ----------------------------------------------------------------------
+
+party_ids = st.builds(
+    PartyId,
+    side=st.sampled_from(["L", "R"]),
+    index=st.integers(min_value=0, max_value=10),
+)
+
+payloads = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.text(max_size=8),
+        st.binary(max_size=8),
+        party_ids,
+    ),
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.lists(children, max_size=3).map(tuple),
+        st.dictionaries(st.text(max_size=4), children, max_size=3),
+        st.frozensets(st.integers(min_value=0, max_value=9), max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+# -- encoding ------------------------------------------------------------------------
+
+
+class TestEncodingProperties:
+    @given(payloads)
+    @settings(max_examples=200)
+    def test_deterministic(self, payload):
+        assert encode(payload) == encode(payload)
+
+    @given(payloads, payloads)
+    @settings(max_examples=300)
+    def test_injective_up_to_canonical_equivalence(self, a, b):
+        # tuple/list and set/frozenset are canonically identified; other
+        # distinct values must encode distinctly.
+        def canon(x):
+            if isinstance(x, (tuple, list)):
+                return ("T", tuple(canon(i) for i in x))
+            if isinstance(x, (set, frozenset)):
+                return ("S", frozenset(canon(i) for i in x))
+            if isinstance(x, dict):
+                return ("D", frozenset((canon(k), canon(v)) for k, v in x.items()))
+            if isinstance(x, bool):
+                return ("B", x)
+            return (type(x).__name__, x)
+
+        if canon(a) != canon(b):
+            assert encode(a) != encode(b)
+        else:
+            assert encode(a) == encode(b)
+
+
+# -- stable matching -----------------------------------------------------------------
+
+
+class TestGaleShapleyProperties:
+    @given(st.integers(min_value=1, max_value=7), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow])
+    def test_output_always_stable_and_perfect(self, k, seed):
+        profile = random_profile(k, seed)
+        result = gale_shapley(profile)
+        assert result.matching.is_perfect(k)
+        assert not blocking_pairs(result.matching, profile)
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_gs_in_enumerated_stable_set(self, k, seed):
+        profile = random_profile(k, seed)
+        stable_set = all_stable_matchings(profile)
+        assert gale_shapley(profile).matching in stable_set
+        assert gale_shapley(profile, "R").matching in stable_set
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=50, suppress_health_check=[HealthCheck.too_slow])
+    def test_proposals_bounded_by_k_squared(self, k, seed):
+        result = gale_shapley(random_profile(k, seed))
+        assert k <= result.proposals <= k * k
+
+
+class TestRoommatesProperties:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_solution_never_has_blocking_pairs(self, seed):
+        agents = [f"a{i}" for i in range(6)]
+        prefs = random_roommates_preferences(agents, seed)
+        result = stable_roommates(prefs)
+        if result.solvable:
+            assert not roommates_blocking_pairs(result.matching, prefs)
+            assert all(result.matching[result.matching[a]] == a for a in agents)
+
+
+# -- adversary structures -------------------------------------------------------------
+
+
+class TestStructureProperties:
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_q3_q2_analytic_equals_brute_force(self, k, tL, tR):
+        tL, tR = min(tL, k), min(tR, k)
+        s = ProductThresholdStructure(k, tL, tR)
+        explicit = ExplicitStructure(s.parties, s.maximal_sets())
+        assert s.satisfies_q3() == satisfies_q3(explicit)
+        assert s.satisfies_q2() == satisfies_q2(explicit)
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=80)
+    def test_permits_is_monotone_downward(self, k, tL, tR, seed):
+        tL, tR = min(tL, k), min(tR, k)
+        s = ProductThresholdStructure(k, tL, tR)
+        rng = random.Random(seed)
+        parties = list(all_parties(k))
+        sample = frozenset(rng.sample(parties, rng.randrange(len(parties) + 1)))
+        if s.permits(sample):
+            for drop in sample:
+                assert s.permits(sample - {drop})
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=60)
+    def test_king_set_never_fully_corruptible(self, k, tL, tR):
+        tL, tR = min(tL, k), min(tR, k)
+        s = ProductThresholdStructure(k, tL, tR)
+        if tL == k and tR == k:
+            return
+        kings = s.king_set()
+        assert not s.permits(kings)
+        # minimality: dropping any king makes the set corruptible
+        for drop in kings:
+            assert s.permits(set(kings) - {drop})
+
+
+# -- full protocol runs ----------------------------------------------------------------
+
+
+class TestProtocolProperties:
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.sampled_from(["fully_connected", "one_sided", "bipartite"]),
+        st.booleans(),
+    )
+    @settings(max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_noise_never_breaks_solvable_setting(self, seed, topo, auth):
+        from repro.core.problem import BSMInstance, Setting
+        from repro.core.runner import make_adversary, run_bsm
+        from repro.core.solvability import is_solvable
+        from repro.ids import left_side, right_side
+
+        rng = random.Random(seed)
+        k = rng.choice([2, 3])
+        tL = rng.randrange(k + 1)
+        tR = rng.randrange(k + 1)
+        setting = Setting(topo, auth, k, tL, tR)
+        if not is_solvable(setting).solvable:
+            return
+        instance = BSMInstance(setting, random_profile(k, seed))
+        corrupted = list(left_side(k)[:tL]) + list(right_side(k)[:tR])
+        adv = (
+            make_adversary(instance, corrupted, kind="noise", seed=seed)
+            if corrupted
+            else None
+        )
+        report = run_bsm(instance, adv)
+        assert report.ok, (setting.describe(), report.report.violations)

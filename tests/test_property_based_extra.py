@@ -1,0 +1,154 @@
+"""Second wave of property-based tests: incomplete lists, lattice, verdicts."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.verdict import check_bsm
+from repro.ids import all_parties, left_side, right_side
+from repro.matching.enumerate_stable import all_stable_matchings
+from repro.matching.gale_shapley import gale_shapley
+from repro.matching.generators import random_profile
+from repro.matching.incomplete import (
+    IncompleteProfile,
+    gale_shapley_incomplete,
+    is_stable_incomplete,
+)
+from repro.matching.lattice import dominates, lattice_join, lattice_meet
+from repro.matching.metrics import blocking_pair_count, divorce_distance
+from repro.net.simulator import RunResult
+
+
+def make_incomplete(k: int, seed: int, density: float) -> IncompleteProfile:
+    rng = random.Random(seed)
+    lists = {}
+    for party in all_parties(k):
+        others = list(right_side(k) if party.is_left() else left_side(k))
+        rng.shuffle(others)
+        lists[party] = tuple(o for o in others if rng.random() < density)
+    return IncompleteProfile(k=k, lists=lists)
+
+
+class TestIncompleteProperties:
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=10**6),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow])
+    def test_always_stable_and_individually_rational(self, k, seed, density):
+        profile = make_incomplete(k, seed, density)
+        matching = gale_shapley_incomplete(profile)
+        assert is_stable_incomplete(matching, profile)
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_both_proposer_sides_match_same_party_set(self, k, seed):
+        """The matched set is invariant (Gale-Sotomayor), so both runs agree."""
+        profile = make_incomplete(k, seed, 0.7)
+        l_run = gale_shapley_incomplete(profile, "L")
+        r_run = gale_shapley_incomplete(profile, "R")
+        assert set(l_run.pairs) == set(r_run.pairs)
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_full_density_reduces_to_complete_case(self, k, seed):
+        profile = make_incomplete(k, seed, 1.0)
+        matching = gale_shapley_incomplete(profile)
+        assert matching.is_perfect(k)
+
+
+class TestLatticeProperties:
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_join_meet_laws(self, k, seed):
+        profile = random_profile(k, seed)
+        stable = all_stable_matchings(profile)
+        for a in stable:
+            for b in stable:
+                join = lattice_join(a, b, profile)
+                meet = lattice_meet(a, b, profile)
+                # commutativity
+                assert join == lattice_join(b, a, profile)
+                assert meet == lattice_meet(b, a, profile)
+                # domination structure
+                assert dominates(join, a, profile) and dominates(join, b, profile)
+                assert dominates(a, meet, profile) and dominates(b, meet, profile)
+                # absorption
+                assert lattice_join(a, meet, profile) == a
+                assert lattice_meet(a, join, profile) == a
+
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_metrics_consistency(self, k, seed):
+        profile = random_profile(k, seed)
+        gs = gale_shapley(profile).matching
+        assert blocking_pair_count(gs, profile) == 0
+        assert divorce_distance(gs, gs, k) == 0
+
+
+class TestVerdictProperties:
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_stable_matching_outputs_always_pass(self, k, seed):
+        """Any stable matching presented as outputs passes all four checks."""
+        profile = random_profile(k, seed)
+        matching = gale_shapley(profile).matching
+        outputs = matching.as_outputs(k)
+        result = RunResult(
+            outputs=dict(outputs),
+            halted=frozenset(all_parties(k)),
+            corrupted=frozenset(),
+            rounds=1,
+            terminated=True,
+            message_count=0,
+            byte_count=0,
+        )
+        report = check_bsm(result, profile, all_parties(k))
+        assert report.all_ok
+
+    @given(
+        st.integers(min_value=2, max_value=4),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+    def test_random_unstable_outputs_are_flagged(self, k, profile_seed, shuffle_seed):
+        """A random non-stable perfect matching must trip the stability check."""
+        profile = random_profile(k, profile_seed)
+        rng = random.Random(shuffle_seed)
+        rights = list(right_side(k))
+        rng.shuffle(rights)
+        from repro.matching.matching import Matching
+
+        candidate = Matching.from_pairs(zip(left_side(k), rights))
+        outputs = candidate.as_outputs(k)
+        result = RunResult(
+            outputs=dict(outputs),
+            halted=frozenset(all_parties(k)),
+            corrupted=frozenset(),
+            rounds=1,
+            terminated=True,
+            message_count=0,
+            byte_count=0,
+        )
+        report = check_bsm(result, profile, all_parties(k))
+        is_actually_stable = blocking_pair_count(candidate, profile) == 0
+        assert report.stability == is_actually_stable
+        assert report.termination and report.symmetry and report.non_competition

@@ -1,0 +1,110 @@
+"""The public API surface: exports exist, are documented, and stay stable."""
+
+import inspect
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize("name", [n for n in dir(repro) if not n.startswith("_")])
+    def test_public_attributes_documented(self, name):
+        obj = getattr(repro, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"repro.{name} lacks a docstring"
+
+
+class TestModuleDocstrings:
+    MODULES = [
+        "repro",
+        "repro.ids",
+        "repro.errors",
+        "repro.analysis",
+        "repro.io",
+        "repro.paper",
+        "repro.cli",
+        "repro.matching",
+        "repro.matching.preferences",
+        "repro.matching.matching",
+        "repro.matching.gale_shapley",
+        "repro.matching.stability",
+        "repro.matching.enumerate_stable",
+        "repro.matching.incomplete",
+        "repro.matching.lattice",
+        "repro.matching.metrics",
+        "repro.matching.roommates",
+        "repro.matching.generators",
+        "repro.net",
+        "repro.net.topology",
+        "repro.net.process",
+        "repro.net.simulator",
+        "repro.net.async_runtime",
+        "repro.net.mux",
+        "repro.net.transports",
+        "repro.net.shift",
+        "repro.net.faults",
+        "repro.crypto",
+        "repro.crypto.encoding",
+        "repro.crypto.signatures",
+        "repro.adversary",
+        "repro.adversary.structures",
+        "repro.adversary.adversary",
+        "repro.adversary.virtual",
+        "repro.adversary.attacks",
+        "repro.consensus",
+        "repro.consensus.base",
+        "repro.consensus.dolev_strong",
+        "repro.consensus.phase_king",
+        "repro.consensus.omission_bb",
+        "repro.consensus.general_adversary",
+        "repro.core",
+        "repro.core.problem",
+        "repro.core.verdict",
+        "repro.core.relays",
+        "repro.core.bb_based",
+        "repro.core.bipartite_auth",
+        "repro.core.simplified",
+        "repro.core.solvability",
+        "repro.core.roommates_bsm",
+        "repro.core.runner",
+    ]
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_module_has_docstring(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20, module_name
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_module_all_entries_exist(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", ()):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_catchable_in_one_clause(self):
+        from repro.errors import ReproError, SolvabilityError
+
+        try:
+            raise SolvabilityError("x")
+        except ReproError as exc:
+            assert "x" in str(exc)

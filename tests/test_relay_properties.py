@@ -1,0 +1,136 @@
+"""Property-based tests for the relay layers (hypothesis)."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.adversary import Adversary
+from repro.core.relays import MajorityRelayLink, TimedSignedRelayLink
+from repro.crypto.signatures import KeyRing
+from repro.ids import all_parties, left_party as l, left_side, right_party as r, right_side
+from repro.net.process import NullProcess, Process
+from repro.net.simulator import SyncNetwork
+from repro.net.topology import Bipartite
+from repro.net.transports import TransportProcess
+from tests.test_relays import Forwarder, VirtualGreeter
+
+
+class SelectiveForwarding(Adversary):
+    """Byzantine forwarders that forward or drop per a seeded coin."""
+
+    def __init__(self, corrupted, seed, forward_probability):
+        super().__init__(corrupted)
+        self._rng = random.Random(seed)
+        self._p = forward_probability
+
+    def step(self, round_now, view):
+        for envelope in view:
+            payload = envelope.payload
+            if not (isinstance(payload, tuple) and payload and payload[0] == "trl.req"):
+                continue
+            if self._rng.random() >= self._p:
+                continue
+            _, src, dst, tau, mid, inner, sig = payload
+            self.world.send(envelope.dst, dst, ("trl.fwd", src, dst, tau, mid, inner, sig))
+
+
+class TestTimedRelayProperties:
+    @given(
+        corrupted_mask=st.integers(min_value=0, max_value=7),
+        seed=st.integers(min_value=0, max_value=10**6),
+        forward_probability=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_delivery_never_corrupted_and_honest_forwarder_suffices(
+        self, corrupted_mask, seed, forward_probability
+    ):
+        """Whatever subset of R is byzantine and however it forwards:
+        the receiver either gets the exact sent payload or nothing, and
+        with >= 1 honest forwarder it always gets it on time."""
+        k = 3
+        corrupted = [r(i) for i in range(k) if corrupted_mask & (1 << i)]
+        topology = Bipartite(k=k)
+        keyring = KeyRing(all_parties(k))
+        receiver_upper = VirtualGreeter(rounds=10)
+        processes = {}
+        for party in left_side(k):
+            upper = receiver_upper if party == l(1) else VirtualGreeter(rounds=10)
+            processes[party] = TransportProcess(
+                TimedSignedRelayLink(party, k), upper
+            )
+        for i in range(k):
+            processes[r(i)] = Forwarder(k)
+        adversary = (
+            SelectiveForwarding(corrupted, seed, forward_probability)
+            if corrupted
+            else None
+        )
+        result = SyncNetwork(
+            topology, processes, adversary=adversary, keyring=keyring, max_rounds=40
+        ).run()
+
+        outcome = result.outputs[l(1)]
+        honest_forwarders = k - len(corrupted)
+        if outcome is not None:
+            src, payload, vround = outcome
+            assert src == "L0"
+            assert payload == "hello-over-relay"  # integrity always
+            assert vround == 1  # freshness window: never late
+        if honest_forwarders >= 1:
+            assert outcome is not None  # liveness with one honest forwarder
+
+
+class TestMajorityRelayProperties:
+    @given(
+        corrupted_mask=st.integers(min_value=0, max_value=31),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_honest_majority_guarantees_integrity(self, corrupted_mask, seed):
+        """With < k/2 byzantine forwarders sending arbitrary forwards,
+        the receiver gets exactly the honest payload."""
+        k = 5
+        corrupted = [r(i) for i in range(k) if corrupted_mask & (1 << i)]
+        if len(corrupted) >= (k + 1) // 2:
+            corrupted = corrupted[: (k - 1) // 2]
+
+        class ForgingForwarders(Adversary):
+            def __init__(self, parties):
+                super().__init__(parties)
+                self._rng = random.Random(seed)
+
+            def step(self, round_now, view):
+                for party in sorted(self.initial_corruptions):
+                    if self._rng.random() < 0.7:
+                        self.world.send(
+                            party,
+                            l(1),
+                            ("rl.fwd", l(0), l(1), 0, f"forged-{self._rng.random()}"),
+                        )
+
+        topology = Bipartite(k=k)
+        group = all_parties(k)
+        receiver = VirtualGreeter(rounds=10)
+        processes = {}
+        for party in left_side(k):
+            upper = receiver if party == l(1) else VirtualGreeter(rounds=10)
+            processes[party] = TransportProcess(
+                MajorityRelayLink(party, topology, group), upper
+            )
+        for i in range(k):
+            processes[r(i)] = (
+                NullProcess()
+                if r(i) in corrupted
+                else TransportProcess(
+                    MajorityRelayLink(r(i), topology, group), VirtualGreeter(rounds=10)
+                )
+            )
+        adversary = ForgingForwarders(corrupted) if corrupted else None
+        result = SyncNetwork(
+            topology, processes, adversary=adversary, max_rounds=40
+        ).run()
+        outcome = result.outputs[l(1)]
+        assert outcome is not None
+        src, payload, _ = outcome
+        assert (src, payload) == ("L0", "hello-over-relay")

@@ -1,0 +1,287 @@
+"""Unit tests for the channel-simulation relays (Lemmas 6, 8, 10)."""
+
+import pytest
+
+from repro.adversary.adversary import Adversary, BehaviorAdversary, SilentBehavior
+from repro.core.relays import (
+    MajorityRelayLink,
+    SignedRelayLink,
+    TimedSignedRelayLink,
+    timed_forward_duty,
+)
+from repro.crypto.signatures import KeyRing
+from repro.ids import all_parties, left_party as l, left_side, right_party as r
+from repro.net.process import NullProcess, Process
+from repro.net.simulator import SyncNetwork
+from repro.net.topology import Bipartite, OneSided
+from repro.net.transports import TransportProcess
+
+
+class VirtualGreeter(Process):
+    """Upper protocol over a link: L0 greets L1; L1 outputs what it heard."""
+
+    def __init__(self, payload="hello-over-relay", rounds=8):
+        self.payload = payload
+        self.rounds = rounds
+
+    def on_round(self, ctx, inbox):
+        if ctx.round == 0 and ctx.me == l(0):
+            ctx.send(l(1), self.payload)
+        for e in inbox:
+            if ctx.me == l(1) and not ctx.has_output:
+                ctx.output((str(e.src), e.payload, ctx.round))
+        if ctx.round >= self.rounds and not ctx.has_output:
+            ctx.output(None)
+        if ctx.round >= self.rounds:
+            ctx.halt()
+
+
+class Forwarder(Process):
+    """An R party that performs the timed forwarding duty only."""
+
+    def __init__(self, k, rounds=20):
+        self.k = k
+        self.rounds = rounds
+
+    def on_round(self, ctx, inbox):
+        for e in inbox:
+            timed_forward_duty(ctx, e, self.k)
+        if ctx.round >= self.rounds:
+            ctx.output(None)
+            ctx.halt()
+
+
+def relay_net(k, link_cls, topology, *, adversary=None, authenticated=False, payload="hello-over-relay"):
+    group = all_parties(k)
+    keyring = KeyRing(group) if authenticated else None
+    processes = {}
+    for party in group:
+        link = link_cls(party, topology, group)
+        processes[party] = TransportProcess(link, VirtualGreeter(payload))
+    net = SyncNetwork(
+        topology, processes, adversary=adversary, keyring=keyring, max_rounds=40
+    )
+    return net.run()
+
+
+class TestMajorityRelay:
+    def test_delivers_same_side_message(self):
+        result = relay_net(3, MajorityRelayLink, Bipartite(k=3))
+        src, payload, vround = result.outputs[l(1)]
+        assert (src, payload) == ("L0", "hello-over-relay")
+        assert vround == 1  # one virtual round = two real rounds
+
+    def test_majority_filters_minority_corruption(self):
+        # tR = 1 < k/2: one silent forwarder cannot block delivery.
+        adv = BehaviorAdversary({r(0): SilentBehavior()})
+        result = relay_net(3, MajorityRelayLink, Bipartite(k=3), adversary=adv)
+        assert result.outputs[l(1)] is not None
+
+    def test_relay_fails_at_half_corruption(self):
+        # tR = 1 = k/2 for k=2: the honest forwarder alone is not a majority.
+        adv = BehaviorAdversary({r(0): SilentBehavior()})
+        result = relay_net(2, MajorityRelayLink, Bipartite(k=2), adversary=adv)
+        assert result.outputs[l(1)] is None  # Lemma 6's bound is tight
+
+    def test_forged_source_rejected(self):
+        """A byzantine forwarder cannot fabricate a majority for a fake message."""
+
+        class Fabricator(Adversary):
+            def step(self, round_now, view):
+                if round_now != 0:
+                    return
+                fake = ("rl.fwd", l(0), l(1), 99, "FORGED")
+                self.world.send(r(0), l(1), fake)
+
+        result = relay_net(3, MajorityRelayLink, Bipartite(k=3), adversary=Fabricator([r(0)]))
+        src, payload, _ = result.outputs[l(1)]
+        assert payload == "hello-over-relay"  # the real one; forgery ignored
+
+    def test_spoofed_relay_request_rejected(self):
+        """A byzantine same-side party cannot claim another sender's identity."""
+
+        class Spoofer(Adversary):
+            def step(self, round_now, view):
+                if round_now != 0:
+                    return
+                for fwd in (r(0), r(1), r(2)):
+                    self.world.send(l(2), fwd, ("rl.req", l(0), l(1), 77, "SPOOF"))
+
+        result = relay_net(3, MajorityRelayLink, Bipartite(k=3), adversary=Spoofer([l(2)]))
+        src, payload, _ = result.outputs[l(1)]
+        assert payload == "hello-over-relay"
+
+    def test_direct_pairs_still_work_in_one_sided(self):
+        # R-R pairs have direct channels in a one-sided network.
+        class RGreeter(Process):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 0 and ctx.me == r(0):
+                    ctx.send(r(1), "direct")
+                for e in inbox:
+                    if ctx.me == r(1) and not ctx.has_output:
+                        ctx.output(e.payload)
+                if ctx.round >= 6:
+                    if not ctx.has_output:
+                        ctx.output(None)
+                    ctx.halt()
+
+        topo = OneSided(k=2)
+        group = all_parties(2)
+        procs = {
+            p: TransportProcess(MajorityRelayLink(p, topo, group), RGreeter())
+            for p in group
+        }
+        result = SyncNetwork(topo, procs, max_rounds=20).run()
+        assert result.outputs[r(1)] == "direct"
+
+
+class TestSignedRelay:
+    def test_delivers_with_single_honest_forwarder(self):
+        # tR = k - 1 = 2: far beyond the majority bound, fine with signatures.
+        adv = BehaviorAdversary({r(0): SilentBehavior(), r(1): SilentBehavior()})
+        result = relay_net(
+            3, SignedRelayLink, Bipartite(k=3), adversary=adv, authenticated=True
+        )
+        src, payload, vround = result.outputs[l(1)]
+        assert (src, payload) == ("L0", "hello-over-relay")
+
+    def test_forgery_rejected(self):
+        class Forger(Adversary):
+            def step(self, round_now, view):
+                if round_now != 1:
+                    return
+                signer = self.world.signer_for(r(0))
+                body = ("rl", l(0), l(1), 5, "FORGED")
+                sig = signer.sign(body)  # signed by r0, not by l0
+                self.world.send(r(0), l(1), ("rl.fwd", l(0), l(1), 5, "FORGED", sig))
+
+        result = relay_net(
+            3, SignedRelayLink, Bipartite(k=3), adversary=Forger([r(0)]), authenticated=True
+        )
+        src, payload, _ = result.outputs[l(1)]
+        assert payload == "hello-over-relay"
+
+    def test_duplicate_forwards_deduplicated(self):
+        # All three forwarders forward; the recipient must deliver once.
+        class Counter(Process):
+            def __init__(self):
+                self.got = []
+
+            def on_round(self, ctx, inbox):
+                self.got.extend(inbox)
+                if ctx.round == 0 and ctx.me == l(0):
+                    ctx.send(l(1), "once")
+                if ctx.round >= 8:
+                    ctx.output(len(self.got) if ctx.me == l(1) else None)
+                    ctx.halt()
+
+        topo = Bipartite(k=3)
+        group = all_parties(3)
+        keyring = KeyRing(group)
+        counters = {}
+        procs = {}
+        for p in group:
+            counters[p] = Counter()
+            procs[p] = TransportProcess(SignedRelayLink(p, topo, group), counters[p])
+        result = SyncNetwork(topo, procs, keyring=keyring, max_rounds=30).run()
+        assert result.outputs[l(1)] == 1
+
+
+class TestTimedSignedRelay:
+    def timed_net(self, k, adversary=None, r_process=None):
+        topo = Bipartite(k=k)
+        group = all_parties(k)
+        keyring = KeyRing(group)
+        procs = {}
+        for p in left_side(k):
+            link = TimedSignedRelayLink(p, k)
+            procs[p] = TransportProcess(link, VirtualGreeter(rounds=10))
+        for i in range(k):
+            procs[r(i)] = r_process(i) if r_process else Forwarder(k)
+        return SyncNetwork(
+            topo, procs, adversary=adversary, keyring=keyring, max_rounds=40
+        ).run()
+
+    def test_delivery_with_honest_forwarders(self):
+        result = self.timed_net(2)
+        src, payload, vround = result.outputs[l(1)]
+        assert (src, payload, vround) == ("L0", "hello-over-relay", 1)
+
+    def test_omission_when_all_r_silent(self):
+        adv = BehaviorAdversary({r(0): SilentBehavior(), r(1): SilentBehavior()})
+        result = self.timed_net(2, adversary=adv)
+        assert result.outputs[l(1)] is None  # clean omission, no corruption
+
+    def test_delayed_replay_rejected(self):
+        """A byzantine forwarder holding a message past 2*Delta gets it dropped."""
+
+        class DelayingForwarder(Adversary):
+            def __init__(self):
+                super().__init__([r(0), r(1)])
+                self.held = []
+
+            def step(self, round_now, view):
+                for e in view:
+                    if isinstance(e.payload, tuple) and e.payload[0] == "trl.req":
+                        self.held.append(e.payload)
+                if round_now == 6:  # far past tau + 2
+                    for payload in self.held:
+                        _, src, dst, tau, mid, inner, sig = payload
+                        self.world.send(
+                            r(0), dst, ("trl.fwd", src, dst, tau, mid, inner, sig)
+                        )
+
+        result = self.timed_net(2, adversary=DelayingForwarder())
+        assert result.outputs[l(1)] is None  # late delivery refused
+
+    def test_tampered_forward_rejected(self):
+        class Tamperer(Adversary):
+            def step(self, round_now, view):
+                for e in view:
+                    payload = e.payload
+                    if isinstance(payload, tuple) and payload[0] == "trl.req":
+                        _, src, dst, tau, mid, inner, sig = payload
+                        self.world.send(
+                            e.dst, dst, ("trl.fwd", src, dst, tau, mid, "EVIL", sig)
+                        )
+
+        adv = Tamperer([r(0), r(1)])
+        result = self.timed_net(2, adversary=adv)
+        assert result.outputs[l(1)] is None  # signature breaks, nothing arrives
+
+    def test_replayed_id_delivered_once(self):
+        """Honest forwarders plus a duplicate-happy byzantine one: one delivery."""
+
+        class Duplicator(Adversary):
+            def step(self, round_now, view):
+                for e in view:
+                    payload = e.payload
+                    if isinstance(payload, tuple) and payload[0] == "trl.req":
+                        _, src, dst, tau, mid, inner, sig = payload
+                        fwd = ("trl.fwd", src, dst, tau, mid, inner, sig)
+                        self.world.send(r(0), dst, fwd)
+                        self.world.send(r(0), dst, fwd)
+
+        class CountingUpper(Process):
+            def __init__(self):
+                self.count = 0
+
+            def on_round(self, ctx, inbox):
+                self.count += len(inbox)
+                if ctx.round == 0 and ctx.me == l(0):
+                    ctx.send(l(1), "m")
+                if ctx.round >= 5:
+                    ctx.output(self.count if ctx.me == l(1) else None)
+                    ctx.halt()
+
+        topo = Bipartite(k=2)
+        group = all_parties(2)
+        keyring = KeyRing(group)
+        procs = {}
+        for p in left_side(2):
+            procs[p] = TransportProcess(TimedSignedRelayLink(p, 2), CountingUpper())
+        procs[r(0)] = NullProcess()
+        procs[r(1)] = Forwarder(2)
+        adv = Duplicator([r(0)])
+        result = SyncNetwork(topo, procs, adversary=adv, keyring=keyring, max_rounds=40).run()
+        assert result.outputs[l(1)] == 1

@@ -1,0 +1,136 @@
+"""Unit tests for Irving's stable-roommates algorithm (paper future work)."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.errors import PreferenceError
+from repro.matching.generators import random_roommates_preferences
+from repro.matching.roommates import (
+    roommates_blocking_pairs,
+    stable_roommates,
+)
+
+
+def brute_force_roommates(preferences):
+    """Test oracle: enumerate all perfect matchings on the agent set."""
+    agents = sorted(preferences)
+
+    def matchings(remaining):
+        if not remaining:
+            yield {}
+            return
+        first, rest = remaining[0], remaining[1:]
+        for partner in rest:
+            others = [a for a in rest if a != partner]
+            for sub in matchings(others):
+                combined = dict(sub)
+                combined[first] = partner
+                combined[partner] = first
+                yield combined
+
+    stable = []
+    for m in matchings(agents):
+        if not roommates_blocking_pairs(m, preferences):
+            stable.append(m)
+    return stable
+
+
+class TestKnownInstances:
+    def test_classic_solvable_instance(self):
+        # Gusfield & Irving's 6-agent example (has a stable matching).
+        prefs = {
+            1: (4, 6, 2, 5, 3),
+            2: (6, 3, 5, 1, 4),
+            3: (4, 5, 1, 6, 2),
+            4: (2, 6, 5, 1, 3),
+            5: (4, 2, 3, 6, 1),
+            6: (5, 1, 4, 2, 3),
+        }
+        result = stable_roommates(prefs)
+        assert result.solvable
+        assert not roommates_blocking_pairs(result.matching, prefs)
+
+    def test_classic_unsolvable_instance(self):
+        # The standard 4-agent no-solution instance: agents 1-3 form a
+        # cyclic preference and everyone ranks 4 last.
+        prefs = {
+            1: (2, 3, 4),
+            2: (3, 1, 4),
+            3: (1, 2, 4),
+            4: (1, 2, 3),
+        }
+        result = stable_roommates(prefs)
+        assert not result.solvable
+        assert brute_force_roommates(prefs) == []
+
+    def test_two_agents(self):
+        prefs = {"a": ("b",), "b": ("a",)}
+        result = stable_roommates(prefs)
+        assert result.matching == {"a": "b", "b": "a"}
+
+    def test_four_agents_simple(self):
+        prefs = {
+            "a": ("b", "c", "d"),
+            "b": ("a", "c", "d"),
+            "c": ("d", "a", "b"),
+            "d": ("c", "a", "b"),
+        }
+        result = stable_roommates(prefs)
+        assert result.matching == {"a": "b", "b": "a", "c": "d", "d": "c"}
+
+
+class TestValidation:
+    def test_odd_agent_count_rejected(self):
+        with pytest.raises(PreferenceError):
+            stable_roommates({1: (2, 3), 2: (1, 3), 3: (1, 2)})
+
+    def test_single_agent_rejected(self):
+        with pytest.raises(PreferenceError):
+            stable_roommates({1: ()})
+
+    def test_incomplete_ranking_rejected(self):
+        with pytest.raises(PreferenceError):
+            stable_roommates({1: (2,), 2: (1,), 3: (1,), 4: (1, 2, 3)})
+
+    def test_self_ranking_rejected(self):
+        with pytest.raises(PreferenceError):
+            stable_roommates({1: (1, 2, 3), 2: (1, 3, 4), 3: (1, 2, 4), 4: (1, 2, 3)})
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_matches_oracle_on_random_instances(self, seed):
+        agents = ["p0", "p1", "p2", "p3"]
+        prefs = random_roommates_preferences(agents, seed)
+        result = stable_roommates(prefs)
+        oracle = brute_force_roommates(prefs)
+        if result.solvable:
+            assert not roommates_blocking_pairs(result.matching, prefs)
+            assert result.matching in oracle
+        else:
+            assert oracle == []
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_six_agents_against_oracle(self, seed):
+        agents = [f"p{i}" for i in range(6)]
+        prefs = random_roommates_preferences(agents, seed)
+        result = stable_roommates(prefs)
+        oracle = brute_force_roommates(prefs)
+        assert result.solvable == bool(oracle)
+        if result.solvable:
+            assert result.matching in oracle
+
+    def test_exhaustive_three_pair_cycles(self):
+        """All cyclic 4-agent structures agree with the oracle."""
+        for p1 in permutations((2, 3, 4)):
+            for p2 in permutations((1, 3, 4)):
+                prefs = {
+                    1: p1,
+                    2: p2,
+                    3: (1, 2, 4),
+                    4: (1, 2, 3),
+                }
+                result = stable_roommates(prefs)
+                oracle = brute_force_roommates(prefs)
+                assert result.solvable == bool(oracle), prefs

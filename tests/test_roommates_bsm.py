@@ -1,0 +1,215 @@
+"""Tests for the byzantine stable roommates extension (paper §6 future work)."""
+
+import pytest
+
+from repro.adversary.adversary import (
+    BehaviorAdversary,
+    HonestBehavior,
+    RandomNoiseBehavior,
+    SilentBehavior,
+)
+from repro.core.roommates_bsm import (
+    RoommatesInstance,
+    RoommatesParty,
+    RoommatesSetting,
+    check_roommates,
+    default_roommates_list,
+    is_valid_roommates_list,
+    run_roommates,
+)
+from repro.errors import PreferenceError, SolvabilityError
+from repro.ids import all_parties, left_party as l, right_party as r
+from repro.matching.generators import resolve_rng
+from repro.matching.roommates import stable_roommates
+from repro.net.topology import FullyConnected
+
+
+def random_instance(n: int, t: int, authenticated: bool, seed: int) -> RoommatesInstance:
+    setting = RoommatesSetting(n=n, t=t, authenticated=authenticated)
+    rng = resolve_rng(seed)
+    parties = setting.parties()
+    preferences = {}
+    for party in parties:
+        others = [p for p in parties if p != party]
+        rng.shuffle(others)
+        preferences[party] = tuple(others)
+    return RoommatesInstance(setting, preferences)
+
+
+def solvable_instance(n: int, t: int, authenticated: bool) -> RoommatesInstance:
+    """A deterministic instance that Irving solves (identity-friendly)."""
+    setting = RoommatesSetting(n=n, t=t, authenticated=authenticated)
+    parties = setting.parties()
+    preferences = {
+        party: default_roommates_list(party, parties) for party in parties
+    }
+    return RoommatesInstance(setting, preferences)
+
+
+class TestSettingValidation:
+    def test_odd_n_rejected(self):
+        with pytest.raises(SolvabilityError):
+            RoommatesSetting(n=5, t=0, authenticated=True)
+
+    def test_t_bounds(self):
+        with pytest.raises(SolvabilityError):
+            RoommatesSetting(n=4, t=4, authenticated=True)
+
+    def test_unauth_needs_third(self):
+        with pytest.raises(SolvabilityError):
+            RoommatesSetting(n=6, t=2, authenticated=False)
+        RoommatesSetting(n=6, t=1, authenticated=False)  # fine
+
+    def test_invalid_preferences_rejected(self):
+        setting = RoommatesSetting(n=4, t=0, authenticated=True)
+        prefs = {p: tuple() for p in setting.parties()}
+        with pytest.raises(PreferenceError):
+            RoommatesInstance(setting, prefs)
+
+
+class TestListHelpers:
+    def test_default_list_excludes_self(self):
+        parties = all_parties(2)
+        lst = default_roommates_list(l(0), parties)
+        assert l(0) not in lst
+        assert len(lst) == 3
+
+    def test_validity(self):
+        parties = all_parties(2)
+        assert is_valid_roommates_list(l(0), (l(1), r(0), r(1)), parties)
+        assert not is_valid_roommates_list(l(0), (l(0), r(0), r(1)), parties)
+        assert not is_valid_roommates_list(l(0), (l(1), r(0)), parties)
+        assert not is_valid_roommates_list(l(0), "garbage", parties)
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize("auth", [True, False])
+    def test_matches_local_irving(self, auth):
+        instance = solvable_instance(6, 1, auth)
+        report = run_roommates(instance)
+        assert report.ok, report.verdict.violations
+        local = stable_roommates(dict(instance.preferences))
+        assert local.solvable
+        for party in instance.setting.parties():
+            assert report.result.outputs[party] == local.matching[party]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances_consistent(self, seed):
+        instance = random_instance(6, 1, True, seed)
+        report = run_roommates(instance)
+        assert report.ok, report.verdict.violations
+        local = stable_roommates(dict(instance.preferences))
+        if local.solvable:
+            for party in instance.setting.parties():
+                assert report.result.outputs[party] == local.matching[party]
+        else:
+            assert all(v is None for v in report.result.outputs.values())
+
+    def test_unsolvable_instance_outputs_nobody(self):
+        # The classic unsolvable structure lifted onto PartyIds:
+        # three parties in a cyclic triangle, the fourth ranked last.
+        setting = RoommatesSetting(n=4, t=0, authenticated=True)
+        a, b, c, d = setting.parties()
+        preferences = {
+            a: (b, c, d),
+            b: (c, a, d),
+            c: (a, b, d),
+            d: (a, b, c),
+        }
+        instance = RoommatesInstance(setting, preferences)
+        assert not stable_roommates(dict(preferences)).solvable
+        report = run_roommates(instance)
+        assert report.ok  # conditional stability: vacuous on unsolvable input
+        assert all(v is None for v in report.result.outputs.values())
+
+
+class TestByzantine:
+    def test_silent_byzantine_gets_default_list(self):
+        instance = solvable_instance(6, 1, True)
+        adv = BehaviorAdversary({l(0): SilentBehavior()})
+        report = run_roommates(instance, adv, reference_solvable=None)
+        # Silent party's list is replaced by the default; since the true
+        # instance is the all-default one, outputs match local Irving.
+        local = stable_roommates(dict(instance.preferences))
+        assert report.ok, report.verdict.violations
+        for party in report.honest:
+            assert report.result.outputs[party] == local.matching[party]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_noise_byzantine_auth(self, seed):
+        instance = random_instance(6, 1, True, seed)
+        adv = BehaviorAdversary({r(2): RandomNoiseBehavior(seed=seed)})
+        # Byzantine may change the agreed profile: judge only the
+        # unconditional properties plus consistency.
+        report = run_roommates(instance, adv, reference_solvable=False)
+        assert report.verdict.termination, report.verdict.violations
+        assert report.verdict.symmetry
+        assert report.verdict.non_competition
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_noise_byzantine_unauth(self, seed):
+        instance = random_instance(8, 1, False, seed)
+        adv = BehaviorAdversary({r(3): RandomNoiseBehavior(seed=seed)})
+        report = run_roommates(instance, adv, reference_solvable=False)
+        assert report.verdict.termination, report.verdict.violations
+        assert report.verdict.symmetry
+        assert report.verdict.non_competition
+
+    def test_honest_behavior_byzantine_full_check(self):
+        instance = solvable_instance(6, 1, True)
+        setting = instance.setting
+        topo = FullyConnected(k=setting.k)
+        adv = BehaviorAdversary(
+            {
+                l(0): HonestBehavior(
+                    RoommatesParty(l(0), setting, instance.preferences[l(0)]), topo
+                )
+            }
+        )
+        report = run_roommates(instance, adv)
+        assert report.ok, report.verdict.violations
+
+    def test_two_byzantine_auth(self):
+        instance = solvable_instance(8, 2, True)
+        adv = BehaviorAdversary({l(0): SilentBehavior(), r(0): SilentBehavior()})
+        report = run_roommates(instance, adv)
+        assert report.verdict.termination
+        assert report.verdict.symmetry
+        assert report.verdict.non_competition
+
+
+class TestVerdictEdges:
+    def test_competition_detected(self):
+        instance = solvable_instance(4, 0, True)
+        from repro.net.simulator import RunResult
+
+        outputs = {p: l(0) for p in instance.setting.parties() if p != l(0)}
+        outputs[l(0)] = l(1)
+        result = RunResult(
+            outputs=outputs,
+            halted=frozenset(instance.setting.parties()),
+            corrupted=frozenset(),
+            rounds=1,
+            terminated=True,
+            message_count=0,
+            byte_count=0,
+        )
+        verdict = check_roommates(result, instance, instance.setting.parties())
+        assert not verdict.non_competition
+
+    def test_self_output_invalid(self):
+        instance = solvable_instance(4, 0, True)
+        from repro.net.simulator import RunResult
+
+        outputs = {p: p for p in instance.setting.parties()}
+        result = RunResult(
+            outputs=outputs,
+            halted=frozenset(instance.setting.parties()),
+            corrupted=frozenset(),
+            rounds=1,
+            terminated=True,
+            message_count=0,
+            byte_count=0,
+        )
+        verdict = check_roommates(result, instance, instance.setting.parties())
+        assert not verdict.termination

@@ -1,0 +1,86 @@
+"""Tests for the end-to-end sSM harness (Lemma 2 in motion)."""
+
+import pytest
+
+from repro.core.problem import SSMInstance, Setting
+from repro.core.runner import make_adversary
+from repro.core.problem import BSMInstance
+from repro.core.simplified import run_ssm, ssm_profile_from_favorites
+from repro.errors import SolvabilityError
+from repro.ids import all_parties, left_party as l, right_party as r
+
+
+def cyclic_favorites(k: int):
+    favorites = {}
+    for i in range(k):
+        favorites[l(i)] = r((i + 1) % k)
+        favorites[r(i)] = l((i - 1) % k)
+    return favorites
+
+
+def mutual_favorites(k: int):
+    favorites = {}
+    for i in range(k):
+        favorites[l(i)] = r(i)
+        favorites[r(i)] = l(i)
+    return favorites
+
+
+class TestInstanceValidation:
+    def test_same_side_favorite_rejected(self):
+        setting = Setting("fully_connected", True, 2, 0, 0)
+        with pytest.raises(SolvabilityError):
+            SSMInstance(setting, {l(0): l(1), l(1): l(0), r(0): l(0), r(1): l(1)})
+
+    def test_missing_party_rejected(self):
+        setting = Setting("fully_connected", True, 2, 0, 0)
+        with pytest.raises(SolvabilityError):
+            SSMInstance(setting, {l(0): r(0)})
+
+
+class TestFaultFree:
+    @pytest.mark.parametrize(
+        "topo,auth",
+        [("fully_connected", True), ("fully_connected", False), ("bipartite", True)],
+    )
+    def test_mutual_favorites_all_matched(self, topo, auth):
+        setting = Setting(topo, auth, 3, 0, 0)
+        instance = SSMInstance(setting, mutual_favorites(3))
+        result, report = run_ssm(instance)
+        assert report.all_ok, report.violations
+        for i in range(3):
+            assert result.outputs[l(i)] == r(i)
+            assert result.outputs[r(i)] == l(i)
+
+    def test_cyclic_favorites_consistent(self):
+        setting = Setting("fully_connected", True, 3, 0, 0)
+        instance = SSMInstance(setting, cyclic_favorites(3))
+        result, report = run_ssm(instance)
+        assert report.all_ok, report.violations
+
+
+class TestByzantine:
+    def test_silent_byzantine_mutual_pair_still_matched(self):
+        setting = Setting("fully_connected", True, 3, 1, 1)
+        favorites = mutual_favorites(3)
+        instance = SSMInstance(setting, favorites)
+        bsm_instance = BSMInstance(
+            setting, ssm_profile_from_favorites(favorites, 3)
+        )
+        adv = make_adversary(bsm_instance, [l(2), r(1)], kind="silent")
+        result, report = run_ssm(instance, adv)
+        assert report.all_ok, report.violations
+        # The honest mutual pair (l0, r0) must be matched together.
+        assert result.outputs[l(0)] == r(0)
+        assert result.outputs[r(0)] == l(0)
+
+    def test_noise_byzantine_one_sided(self):
+        setting = Setting("one_sided", False, 4, 1, 1)
+        favorites = mutual_favorites(4)
+        instance = SSMInstance(setting, favorites)
+        bsm_instance = BSMInstance(setting, ssm_profile_from_favorites(favorites, 4))
+        adv = make_adversary(bsm_instance, [l(3), r(3)], kind="noise")
+        result, report = run_ssm(instance, adv)
+        assert report.all_ok, report.violations
+        for i in range(3):
+            assert result.outputs[l(i)] == r(i)

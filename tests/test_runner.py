@@ -1,0 +1,103 @@
+"""Tests for the end-to-end harness plumbing (repro.core.runner)."""
+
+import pytest
+
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import (
+    build_party,
+    build_party_with_list,
+    build_processes,
+    recommended_max_rounds,
+    run_bsm,
+)
+from repro.core.bipartite_auth import PiBSMComputing, PiBSMResponding
+from repro.errors import SolvabilityError
+from repro.ids import all_parties, left_party as l, right_party as r
+from repro.matching.generators import random_profile
+from repro.matching.preferences import default_list
+from repro.net.transports import TransportProcess
+
+
+class TestBuildParty:
+    def test_bb_recipes_yield_transport_processes(self):
+        instance = BSMInstance(Setting("fully_connected", True, 2, 0, 0), random_profile(2, 1))
+        proc = build_party(l(0), instance, "bb_direct")
+        assert isinstance(proc, TransportProcess)
+
+    def test_pibsm_sides(self):
+        setting = Setting("bipartite", True, 4, 1, 4)
+        lst_l = default_list(l(0), 4)
+        lst_r = default_list(r(0), 4)
+        assert isinstance(
+            build_party_with_list(l(0), setting, lst_l, "pi_bsm"), PiBSMComputing
+        )
+        assert isinstance(
+            build_party_with_list(r(0), setting, lst_r, "pi_bsm"), PiBSMResponding
+        )
+
+    def test_pibsm_mirrored_sides(self):
+        setting = Setting("bipartite", True, 4, 4, 1)
+        assert isinstance(
+            build_party_with_list(r(0), setting, default_list(r(0), 4), "pi_bsm_mirrored"),
+            PiBSMComputing,
+        )
+        assert isinstance(
+            build_party_with_list(l(0), setting, default_list(l(0), 4), "pi_bsm_mirrored"),
+            PiBSMResponding,
+        )
+
+    def test_unknown_recipe_rejected(self):
+        setting = Setting("fully_connected", True, 2, 0, 0)
+        with pytest.raises(SolvabilityError):
+            build_party_with_list(l(0), setting, default_list(l(0), 2), "carrier_pigeon")
+
+    def test_build_processes_covers_everyone(self):
+        instance = BSMInstance(Setting("fully_connected", True, 3, 0, 0), random_profile(3, 1))
+        processes = build_processes(instance, "bb_direct")
+        assert set(processes) == set(all_parties(3))
+
+
+class TestRecommendedMaxRounds:
+    def test_covers_observed_rounds(self):
+        for topo, auth, k, tL, tR, recipe in [
+            ("fully_connected", True, 3, 1, 1, None),
+            ("fully_connected", False, 4, 1, 1, None),
+            ("bipartite", True, 4, 1, 4, "pi_bsm"),
+            ("bipartite", False, 4, 1, 1, None),
+        ]:
+            setting = Setting(topo, auth, k, tL, tR)
+            instance = BSMInstance(setting, random_profile(k, 1))
+            report = run_bsm(instance, recipe=recipe)
+            assert report.result.rounds < recommended_max_rounds(setting)
+
+    def test_grows_with_budgets(self):
+        small = recommended_max_rounds(Setting("fully_connected", True, 3, 0, 0))
+        large = recommended_max_rounds(Setting("fully_connected", True, 3, 3, 3))
+        assert large > small
+
+
+class TestReportSurface:
+    def test_honest_set(self):
+        from repro.core.runner import make_adversary
+
+        setting = Setting("fully_connected", True, 2, 1, 1)
+        instance = BSMInstance(setting, random_profile(2, 1))
+        adv = make_adversary(instance, [l(0), r(0)], kind="silent")
+        report = run_bsm(instance, adv)
+        assert report.honest == frozenset({l(1), r(1)})
+        assert report.result.corrupted == frozenset({l(0), r(0)})
+
+    def test_verdict_carried(self):
+        setting = Setting("one_sided", True, 3, 1, 2)
+        instance = BSMInstance(setting, random_profile(3, 1))
+        report = run_bsm(instance)
+        assert report.verdict.theorem == "Theorem 7"
+        assert report.verdict.recipe == "bb_signed_relay"
+
+    def test_record_trace_passthrough(self):
+        setting = Setting("fully_connected", True, 2, 0, 0)
+        instance = BSMInstance(setting, random_profile(2, 1))
+        with_trace = run_bsm(instance, record_trace=True)
+        without = run_bsm(instance)
+        assert len(with_trace.result.trace) == with_trace.result.message_count
+        assert without.result.trace == ()

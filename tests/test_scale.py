@@ -1,0 +1,88 @@
+"""Larger-scale soak runs: every recipe at k = 6..8 with mixed adversaries.
+
+Small-k tests verify logic; these verify the stacks hold up when the
+instance grows — more parallel broadcast instances, bigger relays,
+longer Dolev-Strong chains — and that run costs stay in the expected
+envelope.
+"""
+
+import pytest
+
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import make_adversary, run_bsm
+from repro.ids import left_party as l, left_side, right_party as r, right_side
+from repro.matching.gale_shapley import gale_shapley
+from repro.matching.generators import correlated_profile, random_profile
+
+
+class TestScaleRecipes:
+    def test_fully_connected_auth_k8(self):
+        setting = Setting("fully_connected", True, 8, 2, 2)
+        instance = BSMInstance(setting, random_profile(8, 1))
+        corrupted = [l(0), l(1), r(0), r(1)]
+        adv = make_adversary(instance, corrupted, kind="noise")
+        report = run_bsm(instance, adv)
+        assert report.ok, report.report.violations
+        # Noisy byzantine parties broadcast garbage, so honest parties
+        # substitute the default lists for them before running AG-S.
+        from repro.matching.preferences import default_list
+
+        adjusted = instance.profile
+        for party in corrupted:
+            adjusted = adjusted.with_list(party, default_list(party, 8))
+        expected = gale_shapley(adjusted).matching
+        for party in report.honest:
+            assert report.result.outputs[party] == expected.partner(party)
+
+    def test_fully_connected_unauth_k7(self):
+        setting = Setting("fully_connected", False, 7, 2, 7)
+        instance = BSMInstance(setting, random_profile(7, 2))
+        corrupted = [l(0), l(1)] + list(right_side(7)[:4])
+        adv = make_adversary(instance, corrupted, kind="silent")
+        report = run_bsm(instance, adv)
+        assert report.ok, report.report.violations
+
+    def test_bipartite_unauth_k6(self):
+        setting = Setting("bipartite", False, 6, 1, 2)
+        instance = BSMInstance(setting, random_profile(6, 3))
+        adv = make_adversary(instance, [l(0), r(0), r(1)], kind="noise")
+        report = run_bsm(instance, adv)
+        assert report.ok, report.report.violations
+
+    def test_pibsm_k6_full_right_side(self):
+        setting = Setting("bipartite", True, 6, 1, 6)
+        instance = BSMInstance(setting, random_profile(6, 4))
+        adv = make_adversary(instance, list(right_side(6)), kind="honest")
+        report = run_bsm(instance, adv)
+        assert report.ok, report.report.violations
+        expected = gale_shapley(instance.profile).matching
+        for party in left_side(6):
+            assert report.result.outputs[party] == expected.partner(party)
+
+    def test_one_sided_auth_k6_heavy_corruption(self):
+        setting = Setting("one_sided", True, 6, 6, 5)
+        instance = BSMInstance(setting, random_profile(6, 5))
+        corrupted = list(left_side(6)[:4]) + list(right_side(6)[:3])
+        adv = make_adversary(instance, corrupted, kind="silent")
+        report = run_bsm(instance, adv)
+        assert report.ok, report.report.violations
+
+
+class TestScaleWorkloads:
+    @pytest.mark.parametrize("similarity", [0.0, 1.0])
+    def test_contention_extremes_k6(self, similarity):
+        setting = Setting("fully_connected", True, 6, 1, 1)
+        instance = BSMInstance(setting, correlated_profile(6, similarity, 9))
+        adv = make_adversary(instance, [l(5), r(5)], kind="crash", crash_round=2)
+        report = run_bsm(instance, adv)
+        assert report.ok, report.report.violations
+
+    def test_cost_envelope_k8(self):
+        """k=8 auth run stays within the expected message envelope."""
+        setting = Setting("fully_connected", True, 8, 1, 1)
+        instance = BSMInstance(setting, random_profile(8, 6))
+        report = run_bsm(instance)
+        n = 16
+        # 2k DS instances, each O(n^2) messages with chains: well under n^4.
+        assert report.result.message_count < n**4
+        assert report.result.rounds <= 6

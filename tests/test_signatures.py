@@ -1,0 +1,94 @@
+"""Unit tests for the signature scheme: unforgeability by construction."""
+
+import pytest
+
+from repro.crypto.signatures import KeyRing, Signature
+from repro.errors import SignatureError
+from repro.ids import all_parties, left_party, right_party
+
+
+@pytest.fixture
+def ring() -> KeyRing:
+    return KeyRing(all_parties(3))
+
+
+class TestSignVerify:
+    def test_sign_and_verify(self, ring):
+        handle = ring.handle_for(left_party(0))
+        payload = ("hello", 42)
+        sig = handle.sign(payload)
+        assert ring.verify(left_party(0), payload, sig)
+
+    def test_verify_via_handle(self, ring):
+        signer = ring.handle_for(left_party(0))
+        verifier = ring.handle_for(right_party(1))
+        sig = signer.sign("m")
+        assert verifier.verify(left_party(0), "m", sig)
+
+    def test_tampered_payload_fails(self, ring):
+        handle = ring.handle_for(left_party(0))
+        sig = handle.sign(("m", 1))
+        assert not ring.verify(left_party(0), ("m", 2), sig)
+
+    def test_wrong_claimed_signer_fails(self, ring):
+        handle = ring.handle_for(left_party(0))
+        sig = handle.sign("m")
+        assert not ring.verify(left_party(1), "m", sig)
+
+    def test_spoofed_signer_field_fails(self, ring):
+        handle = ring.handle_for(left_party(0))
+        sig = handle.sign("m")
+        forged = Signature(signer=left_party(1), tag=sig.tag)
+        assert not ring.verify(left_party(1), "m", forged)
+
+    def test_garbage_signature_object_fails(self, ring):
+        assert not ring.verify(left_party(0), "m", "not a signature")
+        assert not ring.verify(left_party(0), "m", None)
+
+    def test_random_tag_fails(self, ring):
+        forged = Signature(signer=left_party(0), tag=b"\x00" * 32)
+        assert not ring.verify(left_party(0), "m", forged)
+
+
+class TestIsolation:
+    def test_handle_signs_only_as_owner(self, ring):
+        handle = ring.handle_for(left_party(0))
+        sig = handle.sign("m")
+        assert sig.signer == left_party(0)
+
+    def test_unknown_party_handle_rejected(self, ring):
+        with pytest.raises(SignatureError):
+            ring.handle_for(left_party(9))
+
+    def test_unknown_party_verification_is_false(self, ring):
+        handle = ring.handle_for(left_party(0))
+        sig = handle.sign("m")
+        forged = Signature(signer=left_party(9), tag=sig.tag)
+        assert not ring.verify(left_party(9), "m", forged)
+
+    def test_different_seeds_different_keys(self):
+        a = KeyRing(all_parties(2), seed=1)
+        b = KeyRing(all_parties(2), seed=2)
+        sig = a.handle_for(left_party(0)).sign("m")
+        assert not b.verify(left_party(0), "m", sig)
+
+    def test_same_seed_reproducible(self):
+        a = KeyRing(all_parties(2), seed=5)
+        b = KeyRing(all_parties(2), seed=5)
+        sig = a.handle_for(left_party(0)).sign("m")
+        assert b.verify(left_party(0), "m", sig)
+
+    def test_parties_listing(self, ring):
+        assert ring.parties == all_parties(3)
+
+
+class TestPayloadCoverage:
+    def test_structured_payloads(self, ring):
+        handle = ring.handle_for(right_party(2))
+        payload = ("trl", left_party(0), left_party(1), 4, 7, ("prefs", (right_party(0),)))
+        sig = handle.sign(payload)
+        assert ring.verify(right_party(2), payload, sig)
+
+    def test_distinct_payloads_distinct_tags(self, ring):
+        handle = ring.handle_for(left_party(0))
+        assert handle.sign(("a",)).tag != handle.sign(("b",)).tag

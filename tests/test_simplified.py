@@ -1,0 +1,134 @@
+"""Tests for sSM support: Lemma 2 (favorite lists) and Lemma 3 (splitting)."""
+
+import pytest
+
+from repro.core.problem import Setting
+from repro.core.runner import build_party_with_list
+from repro.core.simplified import (
+    SimulatingParty,
+    block_partition,
+    favorite_first_list,
+    split_instance,
+    ssm_profile_from_favorites,
+)
+from repro.core.verdict import check_ssm
+from repro.crypto.signatures import KeyRing
+from repro.errors import SolvabilityError
+from repro.ids import PartyId, all_parties, left_party as l, right_party as r
+from repro.net.simulator import SyncNetwork
+from repro.net.topology import FullyConnected
+
+
+class TestFavoriteLists:
+    def test_favorite_ranked_first(self):
+        lst = favorite_first_list(l(0), r(2), 4)
+        assert lst[0] == r(2)
+        assert set(lst) == {r(0), r(1), r(2), r(3)}
+
+    def test_same_side_favorite_rejected(self):
+        with pytest.raises(SolvabilityError):
+            favorite_first_list(l(0), l(1), 3)
+
+    def test_profile_from_favorites(self):
+        favorites = {
+            l(0): r(1),
+            l(1): r(0),
+            r(0): l(0),
+            r(1): l(1),
+        }
+        profile = ssm_profile_from_favorites(favorites, 2)
+        for party, favorite in favorites.items():
+            assert profile.favorite(party) == favorite
+
+
+class TestBlockPartition:
+    def test_even_split(self):
+        blocks = block_partition(4, 2)
+        assert blocks[l(0)] == (l(0), l(1))
+        assert blocks[l(1)] == (l(2), l(3))
+        assert blocks[r(1)] == (r(2), r(3))
+
+    def test_uneven_split(self):
+        blocks = block_partition(5, 2)
+        sizes = sorted(len(m) for m in blocks.values())
+        assert sizes == [2, 2, 3, 3]
+        covered = [p for members in blocks.values() for p in members]
+        assert len(covered) == 10 and len(set(covered)) == 10
+
+    def test_identity_split(self):
+        blocks = block_partition(3, 3)
+        assert all(len(m) == 1 for m in blocks.values())
+
+    def test_invalid_d(self):
+        with pytest.raises(SolvabilityError):
+            block_partition(3, 0)
+        with pytest.raises(SolvabilityError):
+            block_partition(3, 4)
+
+    def test_split_instance_inputs(self):
+        favorites_small = {
+            l(0): r(1),
+            l(1): r(0),
+            r(0): l(0),
+            r(1): l(1),
+        }
+        blocks, favorites_large = split_instance(favorites_small, 4, 2)
+        # representative of block L0 is l(0); of block R1 is r(2)
+        assert favorites_large[l(0)] == r(2)
+        assert favorites_large[l(2)] == r(0)  # rep of block L1 -> rep of block R0
+        assert len(favorites_large) == 8
+
+
+class TestLemma3EndToEnd:
+    """Run a 2k-party sSM protocol as a 2d-party protocol via simulation."""
+
+    @pytest.mark.parametrize("k,d", [(4, 2), (4, 4), (5, 2)])
+    def test_simulated_protocol_achieves_ssm(self, k, d):
+        setting = Setting("fully_connected", True, k, 0, 0)
+        favorites_small = {}
+        for i in range(d):
+            favorites_small[l(i)] = r((i + 1) % d)
+            favorites_small[r((i + 1) % d)] = l(i)
+        blocks, favorites_large = split_instance(favorites_small, k, d)
+
+        big_topology = FullyConnected(k=k)
+        big_keyring = KeyRing(all_parties(k))
+
+        def process_factory(party: PartyId):
+            lst = favorite_first_list(party, favorites_large[party], k)
+            return build_party_with_list(party, setting, lst, "bb_direct")
+
+        signers = {p: big_keyring.handle_for(p) for p in all_parties(k)}
+        small_processes = {
+            small: SimulatingParty(
+                small, blocks, process_factory, big_topology, signers
+            )
+            for small in all_parties(d)
+        }
+        small_net = SyncNetwork(
+            FullyConnected(k=d), small_processes, max_rounds=200
+        )
+        result = small_net.run()
+        report = check_ssm(result, favorites_small, all_parties(d))
+        assert report.all_ok, report.violations
+
+    def test_mutual_favorites_matched_after_projection(self):
+        k, d = 4, 2
+        setting = Setting("fully_connected", True, k, 0, 0)
+        favorites_small = {l(0): r(0), r(0): l(0), l(1): r(1), r(1): l(1)}
+        blocks, favorites_large = split_instance(favorites_small, k, d)
+        big_topology = FullyConnected(k=k)
+        big_keyring = KeyRing(all_parties(k))
+
+        def process_factory(party: PartyId):
+            lst = favorite_first_list(party, favorites_large[party], k)
+            return build_party_with_list(party, setting, lst, "bb_direct")
+
+        signers = {p: big_keyring.handle_for(p) for p in all_parties(k)}
+        small_processes = {
+            small: SimulatingParty(small, blocks, process_factory, big_topology, signers)
+            for small in all_parties(d)
+        }
+        result = SyncNetwork(FullyConnected(k=d), small_processes, max_rounds=200).run()
+        assert result.outputs[l(0)] == r(0)
+        assert result.outputs[r(0)] == l(0)

@@ -1,0 +1,300 @@
+"""Unit tests for the synchronous round engine."""
+
+import pytest
+
+from repro.adversary.adversary import Adversary, BehaviorAdversary, SilentBehavior
+from repro.adversary.structures import ProductThresholdStructure
+from repro.errors import AdversaryError, ProtocolError, SimulationError, TopologyError
+from repro.ids import all_parties, left_party as l, right_party as r
+from repro.net.process import Context, NullProcess, Process
+from repro.net.simulator import SyncNetwork
+from repro.net.topology import Bipartite, FullyConnected
+
+
+class Echo(Process):
+    """Sends one greeting at round 0; outputs the sorted list of senders heard."""
+
+    def __init__(self, until_round: int = 2) -> None:
+        self.heard: list = []
+        self.until = until_round
+
+    def on_round(self, ctx, inbox):
+        if ctx.round == 0:
+            ctx.broadcast(("hello", str(ctx.me)))
+        self.heard.extend(e.src for e in inbox)
+        if ctx.round >= self.until:
+            ctx.output(tuple(sorted(set(self.heard))))
+            ctx.halt()
+
+
+class RoundRecorder(Process):
+    """Records (round, sender, payload) of everything it receives."""
+
+    def __init__(self):
+        self.log = []
+
+    def on_round(self, ctx, inbox):
+        for e in inbox:
+            self.log.append((ctx.round, e.src, e.payload))
+        if ctx.round == 0 and ctx.me == l(0):
+            ctx.send(r(0), "ping")
+        if ctx.round >= 3:
+            ctx.output(None)
+            ctx.halt()
+
+
+def full_net(k, processes, **kwargs):
+    return SyncNetwork(FullyConnected(k=k), processes, **kwargs)
+
+
+class TestDelivery:
+    def test_messages_arrive_next_round(self):
+        procs = {p: RoundRecorder() for p in all_parties(1)}
+        full_net(1, procs).run()
+        assert procs[r(0)].log == [(1, l(0), "ping")]
+
+    def test_everyone_hears_everyone(self):
+        procs = {p: Echo() for p in all_parties(2)}
+        result = full_net(2, procs).run()
+        for party in all_parties(2):
+            expected = tuple(sorted(set(all_parties(2)) - {party}))
+            assert result.outputs[party] == expected
+
+    def test_topology_enforced_for_honest(self):
+        class Rogue(Process):
+            def on_round(self, ctx, inbox):
+                ctx.send(l(1), "psst")  # L-L in bipartite: no channel
+
+        procs = {p: (Rogue() if p == l(0) else NullProcess()) for p in all_parties(2)}
+        with pytest.raises(TopologyError):
+            SyncNetwork(Bipartite(k=2), procs).run()
+
+    def test_message_and_byte_accounting(self):
+        procs = {p: Echo() for p in all_parties(2)}
+        result = full_net(2, procs).run()
+        assert result.message_count == 4 * 3  # each of 4 parties greets 3 others
+        assert result.byte_count > 0
+
+    def test_trace_recording(self):
+        procs = {p: Echo() for p in all_parties(1)}
+        result = full_net(1, procs, record_trace=True).run()
+        assert len(result.trace) == result.message_count
+        assert all(e.sent_round == 0 for e in result.trace)
+
+
+class TestLifecycle:
+    def test_terminates_when_all_halt(self):
+        procs = {p: Echo(until_round=1) for p in all_parties(1)}
+        result = full_net(1, procs).run()
+        assert result.terminated
+        assert result.rounds <= 3
+
+    def test_max_rounds_cutoff(self):
+        class Stubborn(Process):
+            def on_round(self, ctx, inbox):
+                return None  # never halts
+
+        procs = {p: Stubborn() for p in all_parties(1)}
+        result = full_net(1, procs, max_rounds=5).run()
+        assert not result.terminated
+        assert result.rounds == 5
+        assert result.outputs == {}
+
+    def test_output_without_halt_recorded(self):
+        class Lingerer(Process):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 0 and not ctx.has_output:
+                    ctx.output("done")
+
+        procs = {p: Lingerer() for p in all_parties(1)}
+        result = full_net(1, procs, max_rounds=3).run()
+        assert result.outputs[l(0)] == "done"
+        assert not result.terminated
+
+    def test_double_output_rejected(self):
+        class Chatty(Process):
+            def on_round(self, ctx, inbox):
+                ctx.output(1)
+                ctx.output(2)
+
+        procs = {p: (Chatty() if p == l(0) else NullProcess()) for p in all_parties(1)}
+        with pytest.raises(ProtocolError):
+            full_net(1, procs).run()
+
+    def test_process_cover_validation(self):
+        with pytest.raises(SimulationError):
+            SyncNetwork(FullyConnected(k=2), {l(0): NullProcess()})
+
+    def test_halted_party_stops_receiving(self):
+        class OneShot(Process):
+            def __init__(self):
+                self.received_after_halt = False
+
+            def on_round(self, ctx, inbox):
+                ctx.output(None)
+                ctx.halt()
+
+        class Pesterer(Process):
+            def on_round(self, ctx, inbox):
+                ctx.broadcast("hey")
+                if ctx.round >= 3:
+                    ctx.output(None)
+                    ctx.halt()
+
+        victim = OneShot()
+        procs = {
+            l(0): victim,
+            r(0): Pesterer(),
+        }
+        result = full_net(1, procs).run()
+        assert result.terminated
+
+
+class TestAdversaryIntegration:
+    def test_corrupted_process_never_runs(self):
+        class Bomb(Process):
+            def on_round(self, ctx, inbox):
+                raise AssertionError("corrupted process must not execute")
+
+        procs = {p: (Bomb() if p == l(0) else Echo()) for p in all_parties(1)}
+        adv = BehaviorAdversary({l(0): SilentBehavior()})
+        result = full_net(1, procs, adversary=adv).run()
+        assert l(0) in result.corrupted
+        assert result.outputs[r(0)] == ()  # heard nobody
+
+    def test_structure_rejects_oversized_corruption(self):
+        structure = ProductThresholdStructure(2, 1, 0)
+        procs = {p: NullProcess() for p in all_parties(2)}
+        adv = BehaviorAdversary({l(0): SilentBehavior(), l(1): SilentBehavior()})
+        with pytest.raises(AdversaryError):
+            full_net(2, procs, adversary=adv, structure=structure)
+
+    def test_unknown_corruption_rejected(self):
+        procs = {p: NullProcess() for p in all_parties(1)}
+        adv = BehaviorAdversary({l(7): SilentBehavior()})
+        with pytest.raises(AdversaryError):
+            full_net(1, procs, adversary=adv)
+
+    def test_rushing_preview(self):
+        """The adversary sees round-r honest messages to it within round r."""
+        seen_rounds = []
+
+        class Spy(Adversary):
+            def step(self, round_now, view):
+                for e in view:
+                    seen_rounds.append((round_now, e.sent_round, e.payload))
+
+        class Greeter(Process):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 2:
+                    ctx.send(r(0), "secret")
+                if ctx.round >= 3:
+                    ctx.output(None)
+                    ctx.halt()
+
+        procs = {l(0): Greeter(), r(0): NullProcess()}
+        adv = Spy([r(0)])
+        full_net(1, procs, adversary=adv).run()
+        assert (2, 2, "secret") in seen_rounds  # seen in the send round
+
+    def test_no_duplicate_delivery_to_adversary(self):
+        views = []
+
+        class Collector(Adversary):
+            def step(self, round_now, view):
+                views.extend(view)
+
+        class Greeter(Process):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 0:
+                    ctx.send(r(0), "m")
+                if ctx.round >= 2:
+                    ctx.output(None)
+                    ctx.halt()
+
+        procs = {l(0): Greeter(), r(0): NullProcess()}
+        full_net(1, procs, adversary=Collector([r(0)])).run()
+        assert len([e for e in views if e.payload == "m"]) == 1
+
+    def test_adversary_cannot_send_as_honest(self):
+        class Impostor(Adversary):
+            def step(self, round_now, view):
+                if round_now == 0:
+                    self.world.send(l(0), r(0), "fake")  # l(0) is honest
+
+        procs = {p: Echo() for p in all_parties(1)}
+        with pytest.raises(AdversaryError):
+            full_net(1, procs, adversary=Impostor([r(0)])).run()
+
+    def test_adversary_respects_topology(self):
+        class ChannelForger(Adversary):
+            def step(self, round_now, view):
+                if round_now == 0:
+                    self.world.send(l(0), l(1), "no channel exists")
+
+        procs = {p: NullProcess() for p in all_parties(2)}
+        adv = ChannelForger([l(0)])
+        with pytest.raises(TopologyError):
+            SyncNetwork(Bipartite(k=2), procs, adversary=adv).run()
+
+    def test_adaptive_corruption(self):
+        class LateCorruptor(Adversary):
+            def step(self, round_now, view):
+                if round_now == 1 and l(0) not in self.world.corrupted:
+                    self.world.corrupt(l(0))
+
+        procs = {p: Echo(until_round=4) for p in all_parties(1)}
+        structure = ProductThresholdStructure(1, 1, 1)
+        adv = LateCorruptor([r(0)])
+        result = full_net(1, procs, adversary=adv, structure=structure).run()
+        assert l(0) in result.corrupted
+        assert l(0) not in result.outputs  # corrupted parties have no recorded output
+
+    def test_adaptive_corruption_respects_structure(self):
+        class Glutton(Adversary):
+            def __init__(self):
+                super().__init__([l(0)])
+                self.error = None
+
+            def step(self, round_now, view):
+                if round_now == 0:
+                    try:
+                        self.world.corrupt(l(1))
+                    except AdversaryError as exc:
+                        self.error = exc
+
+        procs = {p: Echo() for p in all_parties(2)}
+        structure = ProductThresholdStructure(2, 1, 0)
+        adv = Glutton()
+        full_net(2, procs, adversary=adv, structure=structure).run()
+        assert adv.error is not None
+
+
+class TestDeterminism:
+    def test_identical_runs_bitwise_equal(self):
+        def make():
+            return {p: Echo() for p in all_parties(3)}
+
+        a = full_net(3, make(), record_trace=True).run()
+        b = full_net(3, make(), record_trace=True).run()
+        assert a.outputs == b.outputs
+        assert a.trace == b.trace
+        assert a.rounds == b.rounds
+
+
+class TestContext:
+    def test_self_send_rejected(self):
+        ctx = Context(l(0), FullyConnected(k=1))
+        with pytest.raises(TopologyError):
+            ctx.send(l(0), "hi")
+
+    def test_sign_without_pki_rejected(self):
+        ctx = Context(l(0), FullyConnected(k=1))
+        with pytest.raises(ProtocolError):
+            ctx.sign("m")
+        assert not ctx.authenticated
+
+    def test_current_output_before_declaration(self):
+        ctx = Context(l(0), FullyConnected(k=1))
+        with pytest.raises(ProtocolError):
+            _ = ctx.current_output

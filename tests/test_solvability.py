@@ -1,0 +1,145 @@
+"""Unit tests for the characterization oracle (Theorems 2-7)."""
+
+import pytest
+
+from repro.core.problem import Setting
+from repro.core.solvability import is_solvable
+
+TOPOLOGIES = ("fully_connected", "one_sided", "bipartite")
+
+
+def solvable(topo, auth, k, tL, tR):
+    return is_solvable(Setting(topo, auth, k, tL, tR)).solvable
+
+
+def paper_condition(topo, auth, k, tL, tR):
+    """The contribution table, transcribed independently of the oracle."""
+    q3 = 3 * tL < k or 3 * tR < k
+    if not auth:
+        if topo == "fully_connected":
+            return q3
+        if topo == "bipartite":
+            return (2 * tL < k and 2 * tR < k) and q3
+        return (2 * tR < k) and q3  # one_sided
+    if topo == "fully_connected":
+        return True
+    if topo == "bipartite":
+        return (tL < k and tR < k) or 3 * tL < k or 3 * tR < k
+    return tR < k or 3 * tL < k  # one_sided
+
+
+class TestGridAgainstPaperTable:
+    @pytest.mark.parametrize("topo", TOPOLOGIES)
+    @pytest.mark.parametrize("auth", [False, True])
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6, 7])
+    def test_full_grid(self, topo, auth, k):
+        for tL in range(k + 1):
+            for tR in range(k + 1):
+                expected = paper_condition(topo, auth, k, tL, tR)
+                got = solvable(topo, auth, k, tL, tR)
+                assert got == expected, (topo, auth, k, tL, tR)
+
+
+class TestSpecificTheorems:
+    def test_theorem2_boundary(self):
+        # k=3: tL=0 works with tR=3; tL=1 and tR=1 both at k/3 fails.
+        assert solvable("fully_connected", False, 3, 0, 3)
+        assert not solvable("fully_connected", False, 3, 1, 1)
+
+    def test_theorem3_extra_condition(self):
+        # Q3 holds (tL=0) but tR >= k/2 kills the bipartite relay.
+        assert not solvable("bipartite", False, 2, 0, 1)
+        assert solvable("bipartite", False, 3, 0, 1)
+
+    def test_theorem4_one_sided_asymmetry(self):
+        # tL may be large in one-sided networks (L needs no relay soundness)...
+        assert solvable("one_sided", False, 5, 5, 1)
+        # ...but tR >= k/2 is fatal.
+        assert not solvable("one_sided", False, 5, 0, 3)
+
+    def test_theorem5_always(self):
+        assert solvable("fully_connected", True, 2, 2, 2)
+        assert solvable("fully_connected", True, 5, 5, 5)
+
+    def test_theorem6_full_side(self):
+        assert solvable("bipartite", True, 4, 1, 4)  # tL < k/3, R fully byzantine
+        assert solvable("bipartite", True, 4, 4, 1)  # mirrored
+        assert solvable("bipartite", True, 4, 3, 3)  # tL, tR < k
+        assert not solvable("bipartite", True, 3, 1, 3)  # tL >= k/3 and tR = k
+
+    def test_theorem7_one_sided_auth(self):
+        assert solvable("one_sided", True, 3, 3, 2)  # tR < k
+        assert solvable("one_sided", True, 4, 1, 4)  # tR = k but tL < k/3
+        assert not solvable("one_sided", True, 3, 1, 3)  # Lemma 13's point
+
+    def test_attack_settings_are_unsolvable(self):
+        from repro.adversary.attacks import lemma5_spec, lemma7_spec, lemma13_spec
+
+        for spec_fn in (lemma5_spec, lemma7_spec, lemma13_spec):
+            spec = spec_fn()
+            assert not is_solvable(spec.setting).solvable, spec.name
+
+
+class TestRecipes:
+    def test_solvable_settings_have_recipes(self):
+        for topo in TOPOLOGIES:
+            for auth in (False, True):
+                for k in (1, 2, 3, 4):
+                    for tL in range(k + 1):
+                        for tR in range(k + 1):
+                            verdict = is_solvable(Setting(topo, auth, k, tL, tR))
+                            if verdict.solvable:
+                                assert verdict.recipe is not None
+                            else:
+                                assert verdict.recipe is None
+                                assert verdict.reason
+
+    def test_recipe_selection(self):
+        assert is_solvable(Setting("fully_connected", True, 3, 3, 3)).recipe == "bb_direct"
+        assert is_solvable(Setting("fully_connected", False, 3, 0, 3)).recipe == "bb_direct"
+        assert is_solvable(Setting("bipartite", False, 4, 1, 1)).recipe == "bb_majority_relay"
+        assert is_solvable(Setting("one_sided", False, 3, 3, 0)).recipe == "bb_majority_relay"
+        assert is_solvable(Setting("bipartite", True, 3, 2, 2)).recipe == "bb_signed_relay"
+        assert is_solvable(Setting("one_sided", True, 3, 3, 2)).recipe == "bb_signed_relay"
+        assert is_solvable(Setting("bipartite", True, 4, 1, 4)).recipe == "pi_bsm"
+        assert is_solvable(Setting("bipartite", True, 4, 4, 1)).recipe == "pi_bsm_mirrored"
+        assert is_solvable(Setting("one_sided", True, 4, 1, 4)).recipe == "pi_bsm"
+
+    def test_theorem_attribution(self):
+        assert "Theorem 5" in is_solvable(Setting("fully_connected", True, 2, 2, 2)).theorem
+        assert "Lemma 13" in is_solvable(Setting("one_sided", True, 3, 1, 3)).theorem
+        assert "Lemma 9" in is_solvable(Setting("bipartite", True, 4, 1, 4)).theorem
+
+
+class TestMonotonicity:
+    """Sanity: solvability is monotone in corruption budgets and topology."""
+
+    @pytest.mark.parametrize("topo", TOPOLOGIES)
+    @pytest.mark.parametrize("auth", [False, True])
+    def test_fewer_corruptions_never_hurt(self, topo, auth):
+        k = 4
+        for tL in range(k):
+            for tR in range(k + 1):
+                if solvable(topo, auth, k, tL + 1, tR):
+                    assert solvable(topo, auth, k, tL, tR)
+                if tR < k and solvable(topo, auth, k, tL, tR + 1):
+                    assert solvable(topo, auth, k, tL, tR)
+
+    @pytest.mark.parametrize("auth", [False, True])
+    def test_topology_hierarchy(self, auth):
+        """Anything solvable on bipartite stays solvable on stronger models."""
+        k = 4
+        for tL in range(k + 1):
+            for tR in range(k + 1):
+                if solvable("bipartite", auth, k, tL, tR):
+                    assert solvable("one_sided", auth, k, tL, tR)
+                if solvable("one_sided", auth, k, tL, tR):
+                    assert solvable("fully_connected", auth, k, tL, tR)
+
+    @pytest.mark.parametrize("topo", TOPOLOGIES)
+    def test_signatures_never_hurt(self, topo):
+        k = 4
+        for tL in range(k + 1):
+            for tR in range(k + 1):
+                if solvable(topo, False, k, tL, tR):
+                    assert solvable(topo, True, k, tL, tR)

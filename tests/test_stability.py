@@ -1,0 +1,85 @@
+"""Unit tests for blocking-pair detection and honest-restricted stability."""
+
+import pytest
+
+from repro.ids import left_party as l, right_party as r
+from repro.matching.matching import Matching
+from repro.matching.preferences import PreferenceProfile
+from repro.matching.stability import (
+    blocking_pairs,
+    is_honest_stable,
+    is_stable,
+    restricted_blocking_pairs,
+)
+
+
+@pytest.fixture
+def profile():
+    # l0: r0 > r1 ; l1: r0 > r1 ; r0: l0 > l1 ; r1: l0 > l1
+    return PreferenceProfile.from_index_lists(
+        [[0, 1], [0, 1]],
+        [[0, 1], [0, 1]],
+    )
+
+
+class TestBlockingPairs:
+    def test_stable_matching_has_none(self, profile):
+        m = Matching.from_pairs([(l(0), r(0)), (l(1), r(1))])
+        assert blocking_pairs(m, profile) == ()
+        assert is_stable(m, profile)
+
+    def test_swapped_matching_blocks(self, profile):
+        m = Matching.from_pairs([(l(0), r(1)), (l(1), r(0))])
+        assert (l(0), r(0)) in blocking_pairs(m, profile)
+        assert not is_stable(m, profile)
+
+    def test_unmatched_opposite_pair_blocks(self, profile):
+        m = Matching.from_pairs([(l(0), r(0))])
+        pairs = blocking_pairs(m, profile)
+        assert (l(1), r(1)) in pairs
+
+    def test_empty_matching_fully_blocking(self, profile):
+        pairs = blocking_pairs(Matching.empty(), profile)
+        assert len(pairs) == 4  # every cross pair blocks
+
+    def test_matched_pair_never_blocks_itself(self, profile):
+        m = Matching.from_pairs([(l(0), r(1)), (l(1), r(0))])
+        assert (l(0), r(1)) not in blocking_pairs(m, profile)
+
+
+class TestRestricted:
+    def test_byzantine_pairs_ignored(self, profile):
+        lists = {p: profile.list_of(p) for p in profile.parties}
+        # l0 unmatched, r0 unmatched — would block, but r0 is byzantine.
+        outputs = {l(0): None, l(1): r(1), r(1): l(1)}
+        honest = [l(0), l(1), r(1)]
+        pairs = restricted_blocking_pairs(outputs, lists, honest)
+        assert (l(0), r(0)) not in pairs
+
+    def test_honest_blocking_pair_found(self, profile):
+        lists = {p: profile.list_of(p) for p in profile.parties}
+        outputs = {l(0): None, l(1): None, r(0): None, r(1): None}
+        pairs = restricted_blocking_pairs(outputs, lists, profile.parties)
+        assert (l(0), r(0)) in pairs
+        assert not is_honest_stable(outputs, lists, profile.parties)
+
+    def test_mutual_output_not_blocking(self, profile):
+        lists = {p: profile.list_of(p) for p in profile.parties}
+        outputs = {l(0): r(0), r(0): l(0), l(1): r(1), r(1): l(1)}
+        assert is_honest_stable(outputs, lists, profile.parties)
+
+    def test_partner_matched_to_byzantine_counts_as_current(self, profile):
+        lists = {p: profile.list_of(p) for p in profile.parties}
+        # Honest l1 matched byzantine r0; honest r1 matched byzantine l0:
+        # l1 has its top choice, so (l1, r1) does not block.
+        outputs = {l(1): r(0), r(1): l(0)}
+        honest = [l(1), r(1)]
+        assert restricted_blocking_pairs(outputs, lists, honest) == ()
+
+    def test_worse_than_anyone_partner_blocks(self, profile):
+        lists = {p: profile.list_of(p) for p in profile.parties}
+        # l0 matched to its second choice r1, r0 matched to its second
+        # choice l1 — but l0 and r0 prefer each other: blocking.
+        outputs = {l(0): r(1), r(0): l(1), l(1): r(0), r(1): l(0)}
+        pairs = restricted_blocking_pairs(outputs, lists, profile.parties)
+        assert (l(0), r(0)) in pairs

@@ -1,0 +1,150 @@
+"""Unit tests for adversary structures and the Q3/Q2 predicates."""
+
+import pytest
+
+from repro.adversary.structures import (
+    ExplicitStructure,
+    ProductThresholdStructure,
+    ThresholdStructure,
+    satisfies_q2,
+    satisfies_q3,
+)
+from repro.errors import AdversaryError
+from repro.ids import all_parties, left_party as l, left_side, right_party as r
+
+
+class TestThreshold:
+    def test_permits_up_to_t(self):
+        s = ThresholdStructure(all_parties(2), 2)
+        assert s.permits([])
+        assert s.permits([l(0), r(1)])
+        assert not s.permits([l(0), l(1), r(0)])
+
+    def test_foreign_party_rejected(self):
+        s = ThresholdStructure(left_side(2), 1)
+        assert not s.permits([r(0)])
+
+    def test_king_set_size(self):
+        s = ThresholdStructure(all_parties(3), 2)
+        assert len(s.king_set()) == 3
+        assert not s.permits(s.king_set())
+
+    def test_king_set_nonexistent(self):
+        s = ThresholdStructure(left_side(2), 2)
+        with pytest.raises(AdversaryError):
+            s.king_set()
+
+    def test_invalid_t(self):
+        with pytest.raises(AdversaryError):
+            ThresholdStructure(left_side(2), 3)
+        with pytest.raises(AdversaryError):
+            ThresholdStructure(left_side(2), -1)
+
+    def test_q3_analytic_matches_brute_force(self):
+        for n, t in [(4, 1), (4, 2), (6, 1), (6, 2), (7, 2), (7, 3)]:
+            s = ThresholdStructure(left_side(n), t)
+            explicit = ExplicitStructure(s.parties, s.maximal_sets())
+            assert satisfies_q3(explicit) == (3 * t < n), (n, t)
+
+
+class TestProductThreshold:
+    def test_permits_per_side(self):
+        s = ProductThresholdStructure(3, 1, 2)
+        assert s.permits([l(0), r(0), r(1)])
+        assert not s.permits([l(0), l(1)])
+        assert not s.permits([r(0), r(1), r(2)])
+
+    def test_full_side_corruption(self):
+        s = ProductThresholdStructure(2, 0, 2)
+        assert s.permits([r(0), r(1)])
+        assert not s.permits([l(0)])
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(AdversaryError):
+            ProductThresholdStructure(2, 3, 0)
+        with pytest.raises(AdversaryError):
+            ProductThresholdStructure(0, 0, 0)
+
+    def test_q3_analytic(self):
+        assert ProductThresholdStructure(3, 0, 3).satisfies_q3()
+        assert ProductThresholdStructure(3, 1, 1).satisfies_q3() is False
+        assert ProductThresholdStructure(4, 1, 4).satisfies_q3()
+        assert ProductThresholdStructure(6, 2, 2).satisfies_q3() is False
+        assert ProductThresholdStructure(7, 2, 7).satisfies_q3()
+
+    def test_q2_analytic(self):
+        assert ProductThresholdStructure(3, 1, 3).satisfies_q2()
+        assert ProductThresholdStructure(2, 1, 1).satisfies_q2() is False
+        assert ProductThresholdStructure(5, 2, 5).satisfies_q2()
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_q3_matches_brute_force(self, k):
+        for tL in range(k + 1):
+            for tR in range(k + 1):
+                s = ProductThresholdStructure(k, tL, tR)
+                explicit = ExplicitStructure(s.parties, s.maximal_sets())
+                assert s.satisfies_q3() == satisfies_q3(explicit), (k, tL, tR)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_q2_matches_brute_force(self, k):
+        for tL in range(k + 1):
+            for tR in range(k + 1):
+                s = ProductThresholdStructure(k, tL, tR)
+                explicit = ExplicitStructure(s.parties, s.maximal_sets())
+                assert s.satisfies_q2() == satisfies_q2(explicit), (k, tL, tR)
+
+    def test_king_set_prefers_smaller_side(self):
+        s = ProductThresholdStructure(4, 1, 3)
+        kings = s.king_set()
+        assert len(kings) == 2
+        assert all(p.is_left() for p in kings)
+        assert not s.permits(kings)
+
+    def test_king_set_right_when_left_fully_corruptible(self):
+        s = ProductThresholdStructure(3, 3, 0)
+        kings = s.king_set()
+        assert len(kings) == 1
+        assert kings[0].is_right()
+
+    def test_king_set_nonexistent_when_all_corruptible(self):
+        s = ProductThresholdStructure(2, 2, 2)
+        with pytest.raises(AdversaryError):
+            s.king_set()
+
+    def test_maximal_sets_shape(self):
+        s = ProductThresholdStructure(2, 1, 1)
+        sets = list(s.maximal_sets())
+        assert len(sets) == 4  # 2 choices in L x 2 in R
+        assert all(len(candidate) == 2 for candidate in sets)
+
+
+class TestExplicit:
+    def test_membership(self):
+        s = ExplicitStructure(all_parties(1), [[l(0)], [r(0)]])
+        assert s.permits([l(0)])
+        assert s.permits([])
+        assert not s.permits([l(0), r(0)])
+
+    def test_universe_validation(self):
+        with pytest.raises(AdversaryError):
+            ExplicitStructure([l(0)], [[r(5)]])
+
+    def test_empty_structure_permits_nothing_but_empty(self):
+        s = ExplicitStructure(all_parties(1), [])
+        assert s.permits([])
+        assert not s.permits([l(0)])
+
+    def test_generic_king_set_brute_force(self):
+        s = ExplicitStructure(all_parties(1), [[l(0)], [r(0)]])
+        kings = s.king_set()
+        assert len(kings) == 2  # need both parties to guarantee one honest
+
+    def test_example_from_paper_appendix(self):
+        """The A.3 example: Z = {{}, {P1}, {P2}, {P1,P2}, {P4}}."""
+        parties = [l(0), l(1), l(2), l(3), l(4)]
+        s = ExplicitStructure(parties, [[l(0), l(1)], [l(3)]])
+        assert s.permits([l(0)])
+        assert s.permits([l(0), l(1)])
+        assert s.permits([l(3)])
+        assert not s.permits([l(0), l(3)])
+        assert satisfies_q3(s)

@@ -1,0 +1,120 @@
+"""Unit tests for the three network topologies (paper Fig. 1)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.ids import all_parties, left_party as l, right_party as r
+from repro.net.topology import (
+    Bipartite,
+    FullyConnected,
+    OneSided,
+    topology_by_name,
+)
+
+
+class TestFullyConnected:
+    def test_every_distinct_pair_connected(self):
+        topo = FullyConnected(k=3)
+        parties = all_parties(3)
+        for u in parties:
+            for v in parties:
+                assert topo.allows(u, v) == (u != v)
+
+    def test_edge_count(self):
+        assert FullyConnected(k=3).edge_count() == 15  # C(6, 2)
+
+    def test_neighbors(self):
+        topo = FullyConnected(k=2)
+        assert topo.neighbors(l(0)) == (l(1), r(0), r(1))
+
+
+class TestOneSided:
+    def test_left_left_blocked(self):
+        topo = OneSided(k=3)
+        assert not topo.allows(l(0), l(1))
+
+    def test_right_right_allowed(self):
+        topo = OneSided(k=3)
+        assert topo.allows(r(0), r(1))
+
+    def test_cross_allowed(self):
+        topo = OneSided(k=3)
+        assert topo.allows(l(0), r(2))
+        assert topo.allows(r(2), l(0))
+
+    def test_edge_count(self):
+        # k^2 cross + C(k,2) within R = 9 + 3
+        assert OneSided(k=3).edge_count() == 12
+
+    def test_left_neighbors_are_right_side(self):
+        topo = OneSided(k=2)
+        assert topo.neighbors(l(0)) == (r(0), r(1))
+
+    def test_right_neighbors_include_both_sides(self):
+        topo = OneSided(k=2)
+        assert topo.neighbors(r(0)) == (l(0), l(1), r(1))
+
+
+class TestBipartite:
+    def test_only_cross_edges(self):
+        topo = Bipartite(k=3)
+        assert topo.allows(l(0), r(0))
+        assert not topo.allows(l(0), l(1))
+        assert not topo.allows(r(0), r(1))
+
+    def test_edge_count(self):
+        assert Bipartite(k=3).edge_count() == 9
+
+    def test_neighbors(self):
+        topo = Bipartite(k=2)
+        assert topo.neighbors(l(1)) == (r(0), r(1))
+        assert topo.neighbors(r(1)) == (l(0), l(1))
+
+
+class TestStrictHierarchy:
+    """Each model is strictly stronger than the previous one (Section 2)."""
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_bipartite_subset_one_sided_subset_full(self, k):
+        bip, one, full = Bipartite(k=k), OneSided(k=k), FullyConnected(k=k)
+        parties = all_parties(k)
+        for u in parties:
+            for v in parties:
+                if u == v:
+                    continue
+                if bip.allows(u, v):
+                    assert one.allows(u, v)
+                if one.allows(u, v):
+                    assert full.allows(u, v)
+
+    def test_strictness(self):
+        assert OneSided(k=2).edge_count() > Bipartite(k=2).edge_count()
+        assert FullyConnected(k=2).edge_count() > OneSided(k=2).edge_count()
+
+
+class TestValidation:
+    def test_check_edge_ok(self):
+        FullyConnected(k=2).check_edge(l(0), r(1))
+
+    def test_check_edge_self_loop(self):
+        with pytest.raises(TopologyError):
+            FullyConnected(k=2).check_edge(l(0), l(0))
+
+    def test_check_edge_missing_channel(self):
+        with pytest.raises(TopologyError):
+            Bipartite(k=2).check_edge(l(0), l(1))
+
+    def test_check_edge_foreign_party(self):
+        with pytest.raises(TopologyError):
+            FullyConnected(k=2).check_edge(l(0), l(5))
+
+    def test_zero_k_rejected(self):
+        with pytest.raises(TopologyError):
+            FullyConnected(k=0)
+
+    def test_by_name(self):
+        assert topology_by_name("bipartite", 2).name == "bipartite"
+        assert topology_by_name("one_sided", 2).name == "one_sided"
+        assert topology_by_name("fully_connected", 2).name == "fully_connected"
+        with pytest.raises(TopologyError):
+            topology_by_name("ring", 2)

@@ -1,0 +1,173 @@
+"""Unit tests for virtual links and clock-shift adapters."""
+
+import pytest
+
+from repro.errors import ProtocolError, TopologyError
+from repro.ids import all_parties, left_party as l, left_side, right_party as r
+from repro.net.process import Context, Envelope, NullProcess, Process
+from repro.net.shift import LazyShiftedProcess, ShiftedContext, ShiftedProcess
+from repro.net.simulator import SyncNetwork
+from repro.net.topology import FullyConnected
+from repro.net.transports import DirectLink, TransportProcess, VirtualContext
+
+
+class Recorder(Process):
+    """Records (round, src, payload); sends one message at round 0."""
+
+    def __init__(self, target=None, payload="m", stop=4):
+        self.target = target
+        self.payload = payload
+        self.stop = stop
+        self.log = []
+
+    def on_round(self, ctx, inbox):
+        for e in inbox:
+            self.log.append((ctx.round, str(e.src), e.payload))
+        if ctx.round == 0 and self.target is not None:
+            ctx.send(self.target, self.payload)
+        if ctx.round >= self.stop:
+            if not ctx.has_output:
+                ctx.output(tuple(self.log))
+            ctx.halt()
+
+
+class TestDirectLink:
+    def test_one_virtual_round_latency(self):
+        group = all_parties(1)
+        sender = Recorder(target=r(0))
+        receiver = Recorder()
+        procs = {
+            l(0): TransportProcess(DirectLink(l(0), group), sender),
+            r(0): TransportProcess(DirectLink(r(0), group), receiver),
+        }
+        SyncNetwork(FullyConnected(k=1), procs, max_rounds=10).run()
+        assert (1, "L0", "m") in receiver.log
+
+    def test_group_membership_enforced(self):
+        link = DirectLink(l(0), left_side(2))
+        ctx = Context(l(0), FullyConnected(k=2))
+        with pytest.raises(TopologyError):
+            link.virtual_send(ctx, r(0), "x")  # r(0) not in group
+
+    def test_non_link_messages_passed_to_hook(self):
+        group = all_parties(1)
+        seen = []
+
+        class Host(TransportProcess):
+            def on_unrouted(self, ctx, envelopes):
+                seen.extend(envelopes)
+
+        class BareSender(Process):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 0:
+                    ctx.send(r(0), "raw, not via link")
+                ctx.output(None)
+                ctx.halt()
+
+        procs = {
+            l(0): BareSender(),
+            r(0): Host(DirectLink(r(0), group), Recorder()),
+        }
+        SyncNetwork(FullyConnected(k=1), procs, max_rounds=8).run()
+        assert any(e.payload == "raw, not via link" for e in seen)
+
+    def test_sender_outside_group_filtered(self):
+        group = (l(0), l(1))  # r(0) excluded from the virtual group
+        receiver = Recorder()
+
+        class Interloper(Process):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 0:
+                    ctx.send(l(0), ("lnk.direct", "sneak"))
+                ctx.output(None)
+                ctx.halt()
+
+        procs = {
+            l(0): TransportProcess(DirectLink(l(0), group), receiver),
+            l(1): NullProcess(),
+            r(0): Interloper(),
+            r(1): NullProcess(),
+        }
+        SyncNetwork(FullyConnected(k=2), procs, max_rounds=8).run()
+        assert all(payload != "sneak" for _, _, payload in receiver.log)
+
+
+class TestVirtualContext:
+    def make(self):
+        real = Context(l(0), FullyConnected(k=2))
+        link = DirectLink(l(0), left_side(2))
+        return real, VirtualContext(real, link)
+
+    def test_round_scaling(self):
+        real, vctx = self.make()
+        real.round = 6
+        assert vctx.round == 6  # delta = 1
+
+    def test_neighbors_are_group(self):
+        _, vctx = self.make()
+        assert vctx.neighbors == (l(1),)
+
+    def test_self_send_rejected(self):
+        _, vctx = self.make()
+        with pytest.raises(ProtocolError):
+            vctx.send(l(0), "hi")
+
+    def test_output_passthrough(self):
+        real, vctx = self.make()
+        vctx.output("decided")
+        assert real.current_output == "decided"
+        assert vctx.has_output
+
+    def test_halt_passthrough(self):
+        real, vctx = self.make()
+        vctx.halt()
+        assert real.halted and vctx.halted
+
+    def test_authenticated_passthrough(self):
+        real, vctx = self.make()
+        assert vctx.authenticated is False
+
+
+class TestShiftAdapters:
+    def test_shifted_context_round(self):
+        real = Context(l(0), FullyConnected(k=1))
+        real.round = 5
+        shifted = ShiftedContext(real, 2)
+        assert shifted.round == 3
+        assert shifted.me == l(0)  # attribute passthrough
+
+    def test_shifted_process_skips_early_rounds(self):
+        calls = []
+
+        class Probe(Process):
+            def on_round(self, ctx, inbox):
+                calls.append(ctx.round)
+
+        proc = ShiftedProcess(Probe(), shift=2)
+        ctx = Context(l(0), FullyConnected(k=1))
+        for round_now in range(4):
+            ctx.round = round_now
+            proc.on_round(ctx, ())
+        assert calls == [0, 1]  # real rounds 2, 3 shifted back
+
+    def test_lazy_factory_runs_once_at_shift(self):
+        created = []
+
+        class Probe(Process):
+            def on_round(self, ctx, inbox):
+                pass
+
+        def factory():
+            created.append(True)
+            return Probe()
+
+        proc = LazyShiftedProcess(factory, shift=1)
+        ctx = Context(l(0), FullyConnected(k=1))
+        ctx.round = 0
+        proc.on_round(ctx, ())
+        assert created == []
+        ctx.round = 1
+        proc.on_round(ctx, ())
+        ctx.round = 2
+        proc.on_round(ctx, ())
+        assert created == [True]

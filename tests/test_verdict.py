@@ -1,0 +1,151 @@
+"""Unit tests for the bSM/sSM property verdicts."""
+
+import pytest
+
+from repro.core.verdict import check_bsm, check_ssm
+from repro.ids import all_parties, left_party as l, right_party as r
+from repro.matching.preferences import PreferenceProfile
+from repro.net.simulator import RunResult
+
+
+def make_result(outputs, halted=None, corrupted=(), terminated=True):
+    halted_set = frozenset(halted if halted is not None else outputs)
+    return RunResult(
+        outputs=dict(outputs),
+        halted=halted_set,
+        corrupted=frozenset(corrupted),
+        rounds=1,
+        terminated=terminated,
+        message_count=0,
+        byte_count=0,
+    )
+
+
+@pytest.fixture
+def profile():
+    return PreferenceProfile.from_index_lists(
+        [[0, 1], [0, 1]],
+        [[0, 1], [0, 1]],
+    )
+
+
+class TestTermination:
+    def test_all_good(self, profile):
+        outputs = {l(0): r(0), r(0): l(0), l(1): r(1), r(1): l(1)}
+        report = check_bsm(make_result(outputs), profile, all_parties(2))
+        assert report.all_ok
+
+    def test_missing_output_violates(self, profile):
+        outputs = {l(0): r(0), r(0): l(0), l(1): r(1)}  # r(1) silent
+        report = check_bsm(make_result(outputs), profile, all_parties(2))
+        assert not report.termination
+        assert any("never decided" in v for v in report.violations)
+
+    def test_unhalted_party_violates(self, profile):
+        outputs = {l(0): r(0), r(0): l(0), l(1): r(1), r(1): l(1)}
+        result = make_result(outputs, halted=[l(0), r(0), l(1)])
+        report = check_bsm(result, profile, all_parties(2))
+        assert not report.termination
+
+    def test_same_side_output_violates(self, profile):
+        outputs = {l(0): l(1), l(1): r(1), r(0): None, r(1): l(1)}
+        report = check_bsm(make_result(outputs), profile, all_parties(2))
+        assert not report.termination
+
+    def test_garbage_output_violates(self, profile):
+        outputs = {l(0): "junk", l(1): r(1), r(0): None, r(1): l(1)}
+        report = check_bsm(make_result(outputs), profile, all_parties(2))
+        assert not report.termination
+
+    def test_none_output_is_valid(self, profile):
+        # Matching nobody is legitimate; stability judges it separately.
+        outputs = {p: None for p in all_parties(2)}
+        report = check_bsm(make_result(outputs), profile, all_parties(2))
+        assert report.termination
+        assert not report.stability  # unmatched honest pairs block
+
+
+class TestSymmetry:
+    def test_asymmetric_pair_violates(self, profile):
+        outputs = {l(0): r(0), r(0): l(1), l(1): r(1), r(1): l(1)}
+        report = check_bsm(make_result(outputs), profile, all_parties(2))
+        assert not report.symmetry
+
+    def test_output_to_byzantine_needs_no_reciprocity(self, profile):
+        outputs = {l(0): r(0), l(1): r(1), r(1): l(1)}
+        honest = [l(0), l(1), r(1)]  # r(0) byzantine
+        report = check_bsm(make_result(outputs), profile, honest)
+        assert report.symmetry
+
+
+class TestNonCompetition:
+    def test_shared_partner_violates(self, profile):
+        outputs = {l(0): r(0), l(1): r(0), r(0): l(0), r(1): None}
+        report = check_bsm(make_result(outputs), profile, all_parties(2))
+        assert not report.non_competition
+
+    def test_shared_byzantine_partner_also_violates(self, profile):
+        # Both honest L parties output the byzantine r(0).
+        outputs = {l(0): r(0), l(1): r(0)}
+        honest = [l(0), l(1)]
+        report = check_bsm(make_result(outputs), profile, honest)
+        assert not report.non_competition
+
+    def test_distinct_partners_ok(self, profile):
+        outputs = {l(0): r(0), l(1): r(1)}
+        report = check_bsm(make_result(outputs), profile, [l(0), l(1)])
+        assert report.non_competition
+
+
+class TestStability:
+    def test_blocking_pair_detected(self, profile):
+        # l0 and r0 both prefer each other over their assigned partners.
+        outputs = {l(0): r(1), r(1): l(0), l(1): r(0), r(0): l(1)}
+        report = check_bsm(make_result(outputs), profile, all_parties(2))
+        assert not report.stability
+        assert any("blocking pair" in v for v in report.violations)
+
+    def test_stable_outputs_pass(self, profile):
+        outputs = {l(0): r(0), r(0): l(0), l(1): r(1), r(1): l(1)}
+        report = check_bsm(make_result(outputs), profile, all_parties(2))
+        assert report.stability
+
+
+class TestSimplifiedStability:
+    def test_mutual_favorites_must_match(self):
+        favorites = {l(0): r(0), r(0): l(0), l(1): r(1), r(1): l(0)}
+        outputs = {l(0): None, r(0): None, l(1): None, r(1): None}
+        report = check_ssm(make_result(outputs), favorites, all_parties(2))
+        assert not report.stability
+
+    def test_matched_mutual_favorites_pass(self):
+        favorites = {l(0): r(0), r(0): l(0), l(1): r(1), r(1): l(0)}
+        outputs = {l(0): r(0), r(0): l(0), l(1): None, r(1): None}
+        report = check_ssm(make_result(outputs), favorites, all_parties(2))
+        assert report.stability
+
+    def test_one_directional_favorites_unconstrained(self):
+        favorites = {l(0): r(0), r(0): l(1), l(1): r(1), r(1): l(0)}
+        outputs = {p: None for p in all_parties(2)}
+        report = check_ssm(make_result(outputs), favorites, all_parties(2))
+        assert report.stability  # no mutual pair exists
+
+    def test_byzantine_favorite_ignored(self):
+        favorites = {l(0): r(0), r(0): l(0), l(1): r(1), r(1): l(1)}
+        outputs = {l(0): None, l(1): r(1), r(1): l(1)}
+        honest = [l(0), l(1), r(1)]  # r(0) byzantine
+        report = check_ssm(make_result(outputs), favorites, honest)
+        assert report.stability
+
+
+class TestReporting:
+    def test_summary_format(self, profile):
+        outputs = {l(0): r(0), l(1): r(0)}
+        report = check_bsm(make_result(outputs), profile, [l(0), l(1)])
+        assert "nc=VIOLATED" in report.summary()
+        assert "term=ok" in report.summary()
+
+    def test_all_ok_aggregates(self, profile):
+        outputs = {l(0): r(0), r(0): l(0), l(1): r(1), r(1): l(1)}
+        report = check_bsm(make_result(outputs), profile, all_parties(2))
+        assert report.all_ok and report.violations == ()

@@ -1,0 +1,186 @@
+"""Unit tests for the adversary's virtual-system machinery."""
+
+import pytest
+
+from repro.adversary.adversary import Adversary
+from repro.adversary.virtual import Route, VirtualSystem
+from repro.errors import AdversaryError
+from repro.ids import all_parties, left_party as l, right_party as r
+from repro.net.process import Process
+from repro.net.simulator import SyncNetwork
+from repro.net.topology import FullyConnected
+
+
+class EchoOnce(Process):
+    """Sends a tagged hello to a fixed peer at round 0; records receipts."""
+
+    def __init__(self, peer, tag):
+        self.peer = peer
+        self.tag = tag
+        self.received = []
+
+    def on_round(self, ctx, inbox):
+        if ctx.round == 0 and self.peer is not None:
+            ctx.send(self.peer, ("hi", self.tag))
+        for e in inbox:
+            self.received.append((ctx.round, str(e.src), e.payload))
+        if ctx.round >= 4 and not ctx.has_output:
+            ctx.output(tuple(self.received))
+            ctx.halt()
+
+
+class SystemAdversary(Adversary):
+    def __init__(self, corrupted, wire):
+        super().__init__(corrupted)
+        self.wire = wire
+        self.system = None
+
+    def attach(self, world):
+        super().attach(world)
+        self.system = VirtualSystem(world)
+        self.wire(self.system)
+
+    def step(self, round_now, view):
+        self.system.step(round_now, view)
+
+
+class TestRoutes:
+    def test_route_validation(self):
+        with pytest.raises(AdversaryError):
+            Route(node="x", real=l(0), via=l(1))
+        with pytest.raises(AdversaryError):
+            Route(real=l(0))  # via missing
+
+    def test_route_constructors(self):
+        assert Route.to_node("n").node == "n"
+        assert Route.drop().node is None and Route.drop().real is None
+        route = Route.to_real(l(0), via=r(0))
+        assert route.real == l(0) and route.via == r(0)
+
+
+class TestVirtualExecution:
+    def test_internal_node_to_node_latency(self):
+        """Two virtual nodes exchange messages with 1-round latency."""
+        nodes = {}
+
+        def wire(system):
+            nodes["v1"] = system.add_node("v1", r(0), EchoOnce(r(1), "from-v1"))
+            nodes["v2"] = system.add_node("v2", r(1), EchoOnce(r(0), "from-v2"))
+            system.set_route("v1", r(1), Route.to_node("v2"))
+            system.set_route("v2", r(0), Route.to_node("v1"))
+
+        procs = {p: EchoOnce(None, "real") for p in all_parties(2)}
+        adv = SystemAdversary([r(0), r(1)], wire)
+        SyncNetwork(FullyConnected(k=2), procs, adversary=adv, max_rounds=20).run()
+        v2_received = nodes["v2"].process.received
+        assert (1, "R0", ("hi", "from-v1")) in v2_received
+
+    def test_bridge_out_to_real_party(self):
+        def wire(system):
+            system.add_node("v", r(0), EchoOnce(l(0), "virtual-speaks"))
+            system.set_route("v", l(0), Route.to_real(l(0), via=r(0)))
+
+        real_l0 = EchoOnce(None, "real")
+        procs = {l(0): real_l0, r(0): EchoOnce(None, "x")}
+        adv = SystemAdversary([r(0)], wire)
+        SyncNetwork(FullyConnected(k=1), procs, adversary=adv, max_rounds=20).run()
+        assert (1, "R0", ("hi", "virtual-speaks")) in real_l0.received
+
+    def test_bridge_in_from_real_party(self):
+        nodes = {}
+
+        def wire(system):
+            nodes["v"] = system.add_node("v", r(0), EchoOnce(None, "listener"))
+            system.bind_inbound(l(0), r(0), "v")
+
+        procs = {l(0): EchoOnce(r(0), "real-to-virtual"), r(0): EchoOnce(None, "x")}
+        adv = SystemAdversary([r(0)], wire)
+        SyncNetwork(FullyConnected(k=1), procs, adversary=adv, max_rounds=20).run()
+        received = nodes["v"].process.received
+        assert (1, "L0", ("hi", "real-to-virtual")) in received
+
+    def test_unrouted_messages_dropped(self):
+        def wire(system):
+            system.add_node("v", r(0), EchoOnce(l(0), "into-void"))
+            # no route for (v, l(0)): messages vanish
+
+        real_l0 = EchoOnce(None, "real")
+        procs = {l(0): real_l0, r(0): EchoOnce(None, "x")}
+        adv = SystemAdversary([r(0)], wire)
+        SyncNetwork(FullyConnected(k=1), procs, adversary=adv, max_rounds=20).run()
+        assert all(src != "R0" for _, src, _ in real_l0.received)
+
+    def test_cannot_bridge_out_via_honest_party(self):
+        def wire(system):
+            system.add_node("v", r(0), EchoOnce(l(0), "x"))
+            system.set_route("v", l(0), Route.to_real(l(0), via=l(1)))  # l(1) honest
+
+        procs = {p: EchoOnce(None, "real") for p in all_parties(2)}
+        adv = SystemAdversary([r(0)], wire)
+        net = SyncNetwork(FullyConnected(k=2), procs, adversary=adv, max_rounds=20)
+        with pytest.raises(AdversaryError):
+            net.run()
+
+    def test_duplicate_label_rejected(self):
+        def wire(system):
+            system.add_node("v", r(0), EchoOnce(None, "a"))
+            with pytest.raises(AdversaryError):
+                system.add_node("v", r(0), EchoOnce(None, "b"))
+
+        procs = {p: EchoOnce(None, "real") for p in all_parties(1)}
+        adv = SystemAdversary([r(0)], wire)
+        SyncNetwork(FullyConnected(k=1), procs, adversary=adv, max_rounds=6).run()
+
+    def test_route_to_unknown_node_rejected(self):
+        def wire(system):
+            system.add_node("v", r(0), EchoOnce(None, "a"))
+            with pytest.raises(AdversaryError):
+                system.set_route("v", l(0), Route.to_node("ghost"))
+
+        procs = {p: EchoOnce(None, "real") for p in all_parties(1)}
+        adv = SystemAdversary([r(0)], wire)
+        SyncNetwork(FullyConnected(k=1), procs, adversary=adv, max_rounds=6).run()
+
+    def test_virtual_outputs_collected(self):
+        def wire(system):
+            system.add_node("v", r(0), EchoOnce(None, "out"))
+
+        procs = {p: EchoOnce(None, "real") for p in all_parties(1)}
+        adv = SystemAdversary([r(0)], wire)
+        SyncNetwork(FullyConnected(k=1), procs, adversary=adv, max_rounds=20).run()
+        assert "v" in adv.system.outputs()
+
+    def test_signer_for_corrupted_identity(self):
+        """Virtual nodes of corrupted identities can sign in auth runs."""
+        from repro.crypto.signatures import KeyRing
+
+        class Signer(Process):
+            def on_round(self, ctx, inbox):
+                if ctx.round == 0:
+                    sig = ctx.sign("proof")
+                    ctx.send(l(0), ("signed", sig))
+                ctx.output(None)
+                ctx.halt()
+
+        seen = []
+
+        class Verifier(Process):
+            def on_round(self, ctx, inbox):
+                for e in inbox:
+                    tag, sig = e.payload
+                    seen.append(ctx.verify(r(0), "proof", sig))
+                if ctx.round >= 3:
+                    ctx.output(None)
+                    ctx.halt()
+
+        def wire(system):
+            system.add_node("v", r(0), Signer())
+            system.set_route("v", l(0), Route.to_real(l(0), via=r(0)))
+
+        keyring = KeyRing(all_parties(1))
+        procs = {l(0): Verifier(), r(0): EchoOnce(None, "x")}
+        adv = SystemAdversary([r(0)], wire)
+        SyncNetwork(
+            FullyConnected(k=1), procs, adversary=adv, keyring=keyring, max_rounds=10
+        ).run()
+        assert seen == [True]
