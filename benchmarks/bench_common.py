@@ -4,23 +4,78 @@ Every benchmark is both a pytest-benchmark target (``pytest
 benchmarks/ --benchmark-only``) and a standalone script
 (``python benchmarks/bench_xxx.py``) that prints the table or series
 it regenerates.
+
+All benches route through one shared :class:`repro.experiment.Session`
+(so keyrings and solvability verdicts are memoized across the whole
+benchmark run) and describe their workloads as
+:class:`~repro.experiment.ScenarioSpec` values.
 """
 
 from __future__ import annotations
 
-from repro.core.problem import BSMInstance, Setting
-from repro.core.runner import BSMReport, make_adversary, run_bsm
-from repro.ids import left_side, right_side
-from repro.matching.generators import random_profile
+import warnings
 
-__all__ = ["run_setting", "worst_case_corruption", "print_table"]
+from repro.core.problem import Setting
+from repro.core.runner import BSMReport
+from repro.experiment import AdversarySpec, ProfileSpec, ScenarioSpec, Session
+
+__all__ = [
+    "SESSION",
+    "spec_for",
+    "run_spec",
+    "run_setting",
+    "worst_case_corruption",
+    "print_table",
+]
+
+#: One session for the whole benchmark process — maximal cache reuse.
+SESSION = Session()
+
+
+def spec_for(
+    topo: str,
+    auth: bool,
+    k: int,
+    tL: int,
+    tR: int,
+    *,
+    kind: str = "silent",
+    seed: int = 7,
+    recipe: str | None = None,
+) -> ScenarioSpec:
+    """The declarative form of one worst-case-budget benchmark run."""
+    adversary = AdversarySpec(kind=kind, seed=seed) if (tL or tR) else None
+    return ScenarioSpec(
+        topology=topo,
+        authenticated=auth,
+        k=k,
+        tL=tL,
+        tR=tR,
+        profile=ProfileSpec(seed=seed),
+        adversary=adversary,
+        recipe=recipe,
+    )
+
+
+def run_spec(spec: ScenarioSpec) -> BSMReport:
+    """One end-to-end run through the shared session, full report back."""
+    return SESSION.report(spec)
 
 
 def worst_case_corruption(setting: Setting):
-    """The canonical full-budget corruption set for a setting."""
-    return tuple(left_side(setting.k)[: setting.tL]) + tuple(
-        right_side(setting.k)[: setting.tR]
+    """The canonical full-budget corruption set for a setting.
+
+    Deprecated shim: declare ``AdversarySpec(corrupt="budget")`` instead.
+    """
+    from repro.experiment import worst_case_corruption as _wcc
+
+    warnings.warn(
+        "bench_common.worst_case_corruption is deprecated; use "
+        "repro.experiment.worst_case_corruption or AdversarySpec(corrupt='budget')",
+        DeprecationWarning,
+        stacklevel=2,
     )
+    return _wcc(setting)
 
 
 def run_setting(
@@ -34,16 +89,18 @@ def run_setting(
     seed: int = 7,
     recipe: str | None = None,
 ) -> BSMReport:
-    """One end-to-end run with the worst-case corruption budget."""
-    setting = Setting(topo, auth, k, tL, tR)
-    instance = BSMInstance(setting, random_profile(k, seed))
-    corrupted = worst_case_corruption(setting)
-    adversary = (
-        make_adversary(instance, corrupted, kind=kind, recipe=recipe, seed=seed)
-        if corrupted
-        else None
+    """One end-to-end run with the worst-case corruption budget.
+
+    Deprecated shim over :func:`spec_for` + :func:`run_spec`; kept so
+    pre-façade scripts keep working.
+    """
+    warnings.warn(
+        "bench_common.run_setting is deprecated; build a ScenarioSpec with "
+        "spec_for(...) and run it through SESSION.report(...)",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return run_bsm(instance, adversary, recipe=recipe)
+    return run_spec(spec_for(topo, auth, k, tL, tR, kind=kind, seed=seed, recipe=recipe))
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

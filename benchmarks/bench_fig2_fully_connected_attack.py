@@ -13,12 +13,15 @@ Run standalone: ``python benchmarks/bench_fig2_fully_connected_attack.py``.
 
 from __future__ import annotations
 
-from repro.adversary.attacks import lemma5_spec, run_attack
+try:
+    from benchmarks.bench_common import SESSION
+except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
+    from bench_common import SESSION
 from repro.ids import left_party, right_party
 
 
 def run_fig2():
-    return run_attack(lemma5_spec())
+    return SESSION.attack("lemma5")
 
 
 def test_fig2_attack(benchmark):

@@ -11,11 +11,14 @@ Run standalone: ``python benchmarks/bench_fig3_bipartite_attack.py``.
 
 from __future__ import annotations
 
-from repro.adversary.attacks import lemma7_spec, run_attack
+try:
+    from benchmarks.bench_common import SESSION
+except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
+    from bench_common import SESSION
 
 
 def run_fig3():
-    return run_attack(lemma7_spec())
+    return SESSION.attack("lemma7")
 
 
 def test_fig3_attack(benchmark):

@@ -13,12 +13,15 @@ Run standalone: ``python benchmarks/bench_fig4_onesided_attack.py``.
 
 from __future__ import annotations
 
-from repro.adversary.attacks import lemma13_spec, run_attack
+try:
+    from benchmarks.bench_common import SESSION
+except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
+    from bench_common import SESSION
 from repro.ids import left_party, right_party
 
 
 def run_fig4():
-    return run_attack(lemma13_spec())
+    return SESSION.attack("lemma13")
 
 
 def test_fig4_attack(benchmark):

@@ -14,9 +14,10 @@ from __future__ import annotations
 import pytest
 
 try:
-    from benchmarks.bench_common import print_table
+    from benchmarks.bench_common import SESSION, print_table
 except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import print_table
+    from bench_common import SESSION, print_table
+from repro.experiment import ProfileSpec, ScenarioSpec, Sweep
 from repro.matching.gale_shapley import gale_shapley
 from repro.matching.generators import master_list_profile, random_profile
 
@@ -46,15 +47,31 @@ def test_quadratic_bound_tight_for_master_lists(benchmark):
 
 
 def main() -> None:
+    # The offline ensemble as a declarative sweep: one record per
+    # (k, workload) pair, proposals pulled straight off the columns.
+    ks = (10, 50, 100, 200, 400)
+    sweep = Sweep.of(
+        *(
+            ScenarioSpec(
+                family="offline",
+                algorithm="gale_shapley",
+                k=k,
+                profile=ProfileSpec(kind=kind, seed=42),
+            )
+            for k in ks
+            for kind in ("random", "master_list")
+        )
+    )
+    records = SESSION.sweep(sweep)
     rows = []
-    for k in (10, 50, 100, 200, 400):
-        random_result = gale_shapley(random_profile(k, 42))
-        master_result = gale_shapley(master_list_profile(k, 42))
+    for index, k in enumerate(ks):
+        random_record = records[2 * index]
+        master_record = records[2 * index + 1]
         rows.append(
             [
                 k,
-                random_result.proposals,
-                master_result.proposals,
+                random_record.proposals,
+                master_record.proposals,
                 k * k,
             ]
         )

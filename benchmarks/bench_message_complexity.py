@@ -20,9 +20,9 @@ from __future__ import annotations
 import pytest
 
 try:
-    from benchmarks.bench_common import print_table, run_setting
+    from benchmarks.bench_common import print_table, run_spec, spec_for
 except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import print_table, run_setting
+    from bench_common import print_table, run_spec, spec_for
 
 PATHS = [
     ("auth full (Dolev-Strong)", lambda k: ("fully_connected", True, k, 1, 1), None),
@@ -35,7 +35,7 @@ PATHS = [
 def measure(path_index: int, k: int):
     label, setting_fn, recipe = PATHS[path_index]
     topo, auth, kk, tL, tR = setting_fn(k)
-    report = run_setting(topo, auth, kk, tL, tR, kind="honest", recipe=recipe)
+    report = run_spec(spec_for(topo, auth, kk, tL, tR, kind="honest", recipe=recipe))
     assert report.ok, report.report.violations
     return report.result.message_count, report.result.byte_count
 

@@ -22,13 +22,13 @@ from __future__ import annotations
 import pytest
 
 try:
-    from benchmarks.bench_common import print_table, run_setting
+    from benchmarks.bench_common import print_table, run_spec, spec_for
 except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import print_table, run_setting
+    from bench_common import print_table, run_spec, spec_for
 
 
 def measure(recipe: str, k: int, tR: int):
-    report = run_setting("bipartite", True, k, 1, tR, kind="honest", recipe=recipe)
+    report = run_spec(spec_for("bipartite", True, k, 1, tR, kind="honest", recipe=recipe))
     assert report.ok, report.report.violations
     return report.result.rounds, report.result.message_count, report.result.byte_count
 

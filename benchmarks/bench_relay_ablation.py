@@ -19,9 +19,9 @@ from __future__ import annotations
 import pytest
 
 try:
-    from benchmarks.bench_common import print_table, run_setting
+    from benchmarks.bench_common import print_table, run_spec, spec_for
 except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import print_table, run_setting
+    from bench_common import print_table, run_spec, spec_for
 
 ABLATION = [
     ("direct (auth, fully-connected)", ("fully_connected", True, 4, 1, 1), None),
@@ -35,7 +35,7 @@ ABLATION = [
 
 def measure(index: int):
     label, (topo, auth, k, tL, tR), recipe = ABLATION[index]
-    report = run_setting(topo, auth, k, tL, tR, kind="honest", recipe=recipe)
+    report = run_spec(spec_for(topo, auth, k, tL, tR, kind="honest", recipe=recipe))
     assert report.ok, (label, report.report.violations)
     return report.result.rounds, report.result.message_count, report.result.byte_count
 

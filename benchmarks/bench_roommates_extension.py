@@ -18,16 +18,12 @@ from __future__ import annotations
 import pytest
 
 try:
-    from benchmarks.bench_common import print_table
+    from benchmarks.bench_common import SESSION, print_table
 except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import print_table
+    from bench_common import SESSION, print_table
 
-from repro.adversary.adversary import BehaviorAdversary, SilentBehavior
-from repro.core.roommates_bsm import (
-    RoommatesInstance,
-    RoommatesSetting,
-    run_roommates,
-)
+from repro.core.roommates_bsm import RoommatesSetting
+from repro.experiment import AdversarySpec, ProfileSpec, ScenarioSpec
 from repro.matching.generators import resolve_rng
 from repro.matching.roommates import stable_roommates
 
@@ -56,12 +52,15 @@ def solvable_fraction(n: int, samples: int = SAMPLES, seed: int = 0) -> float:
 
 
 def full_run(n: int, seed: int = 1):
-    rng = resolve_rng(seed)
-    setting = RoommatesSetting(n=n, t=1, authenticated=True)
-    parties = setting.parties()
-    instance = RoommatesInstance(setting, random_preferences(parties, rng))
-    adversary = BehaviorAdversary({parties[-1]: SilentBehavior()})
-    return run_roommates(instance, adversary, reference_solvable=False)
+    spec = ScenarioSpec(
+        family="roommates",
+        n=n,
+        t=1,
+        authenticated=True,
+        profile=ProfileSpec(seed=seed),
+        adversary=AdversarySpec(kind="silent"),
+    )
+    return SESSION.roommates(spec)
 
 
 @pytest.mark.parametrize("n", [4, 6, 8])

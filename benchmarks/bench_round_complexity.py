@@ -21,9 +21,9 @@ from __future__ import annotations
 import pytest
 
 try:
-    from benchmarks.bench_common import print_table, run_setting
+    from benchmarks.bench_common import print_table, run_spec, spec_for
 except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import print_table, run_setting
+    from bench_common import print_table, run_spec, spec_for
 from repro.core.bipartite_auth import pibsm_decision_rounds
 
 #: (label, topo, auth, budget function, recipe, expected rounds function)
@@ -60,7 +60,7 @@ SERIES = [
 def measure(series_index: int, k: int):
     label, setting_fn, recipe, expected_fn = SERIES[series_index]
     topo, auth, kk, tL, tR = setting_fn(k)
-    report = run_setting(topo, auth, kk, tL, tR, kind="honest", recipe=recipe)
+    report = run_spec(spec_for(topo, auth, kk, tL, tR, kind="honest", recipe=recipe))
     assert report.ok, report.report.violations
     return report.result.rounds, expected_fn(k)
 

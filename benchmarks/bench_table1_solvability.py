@@ -1,12 +1,18 @@
 """T1 — the paper's contribution table (solvability characterization).
 
-Regenerates the six-row summary of Section 1 empirically: for every
-``(topology, crypto)`` pair it sweeps the ``(tL, tR)`` grid at several
-``k``, asking the solvability oracle for the verdict and then
-*checking it by simulation*: where the oracle says solvable, the
-prescribed protocol must satisfy all four bSM properties under the
-worst-case silent adversary; the three "unsolvable" impossibility
-points are exercised by the attack benches (F2-F4).
+Regenerates the six-row summary of Section 1 empirically through the
+experiment engine: the ``table1`` preset expands every
+``(topology, crypto, k, tL, tR)`` grid point the oracle deems solvable
+into a :class:`~repro.experiment.ScenarioSpec`, and the sweep *checks
+the oracle by simulation* — where it says solvable, the prescribed
+protocol must satisfy all four bSM properties under the worst-case
+silent adversary.  The three "unsolvable" impossibility points are
+exercised by the attack benches (F2-F4).
+
+Standalone mode doubles as the engine's cross-executor regression: the
+same ``table1_large`` sweep runs through the serial executor and the
+process pool, the aggregates must be byte-identical, and both
+wall-clocks are reported.
 
 Run standalone for the table: ``python benchmarks/bench_table1_solvability.py``.
 """
@@ -16,13 +22,10 @@ from __future__ import annotations
 import pytest
 
 try:
-    from benchmarks.bench_common import print_table, run_setting
+    from benchmarks.bench_common import SESSION, print_table
 except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import print_table, run_setting
-from repro.core.problem import Setting
-from repro.core.solvability import is_solvable
-
-GRID_KS = (2, 3, 4)
+    from bench_common import SESSION, print_table
+from repro.experiment import AdversarySpec, Sweep
 
 PAPER_ROWS = [
     ("fully_connected", False, "tL < k/3 or tR < k/3"),
@@ -34,27 +37,26 @@ PAPER_ROWS = [
 ]
 
 
-def sweep_row(topo: str, auth: bool, ks=GRID_KS) -> dict:
+def sweep_row(topo: str, auth: bool, ks=(2, 3, 4)) -> dict:
     """Empirically validate one row of the contribution table."""
-    checked = 0
-    solvable_points = 0
-    failures = []
-    for k in ks:
-        for tL in range(k + 1):
-            for tR in range(k + 1):
-                verdict = is_solvable(Setting(topo, auth, k, tL, tR))
-                checked += 1
-                if not verdict.solvable:
-                    continue
-                solvable_points += 1
-                report = run_setting(topo, auth, k, tL, tR)
-                if not report.ok:
-                    failures.append((k, tL, tR, report.report.violations))
+    grid_points = sum((k + 1) * (k + 1) for k in ks)
+    sweep = Sweep.grid(
+        topologies=(topo,),
+        auths=(auth,),
+        ks=ks,
+        budgets="solvable",
+        seeds=(7,),
+        adversary=AdversarySpec(kind="silent"),
+    )
+    records = SESSION.sweep(sweep)
+    failures = [
+        (r.k, r.tL, r.tR, r.violations) for r in records if not r.ok
+    ]
     return {
         "topology": topo,
         "auth": auth,
-        "grid_points": checked,
-        "solvable_points": solvable_points,
+        "grid_points": grid_points,
+        "solvable_points": len(records),
         "simulation_failures": failures,
     }
 
@@ -67,6 +69,26 @@ def test_table1_row(benchmark, topo, auth, condition):
     )
     assert outcome["simulation_failures"] == [], outcome["simulation_failures"]
     assert outcome["solvable_points"] > 0
+
+
+def test_executors_agree(benchmark):
+    """Serial and process-pool sweeps are byte-identical (small grid)."""
+
+    def run_both():
+        sweep = Sweep.grid(
+            topologies=("fully_connected",),
+            auths=(False, True),
+            ks=(2, 3),
+            budgets="solvable",
+            adversary=AdversarySpec(kind="silent"),
+        )
+        serial = SESSION.sweep(sweep)
+        pooled = SESSION.sweep(sweep, executor="process", workers=2)
+        return serial, pooled
+
+    serial, pooled = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert serial.to_json() == pooled.to_json()
+    assert serial.aggregate_json() == pooled.aggregate_json()
 
 
 def main() -> None:
@@ -87,6 +109,24 @@ def main() -> None:
         ["topology", "crypto", "paper condition (solvable iff)", "solvable pts", "simulation"],
         rows,
     )
+
+    # Cross-executor regression + wall-clock comparison on the full batch.
+    sweep = SESSION.preset("table1_large")
+    serial = SESSION.sweep(sweep)
+    pooled = SESSION.sweep(sweep, executor="process")
+    assert serial.to_json() == pooled.to_json(), "executors disagree on records"
+    assert serial.aggregate_json() == pooled.aggregate_json(), "aggregates differ"
+    speedup = serial.elapsed_seconds / max(pooled.elapsed_seconds, 1e-9)
+    import os
+
+    cpus = os.cpu_count() or 1
+    print(
+        f"\ncross-executor check: {len(sweep)} scenarios, byte-identical records\n"
+        f"  serial       : {serial.elapsed_seconds:6.2f}s\n"
+        f"  process pool : {pooled.elapsed_seconds:6.2f}s  ({speedup:.1f}x on {cpus} CPU(s))"
+    )
+    if cpus == 1:
+        print("  (single-CPU host: pool parity is the expected ceiling here)")
     print(
         "\nEvery oracle-solvable grid point ran the prescribed protocol under a\n"
         "worst-case-budget silent adversary and satisfied termination, symmetry,\n"

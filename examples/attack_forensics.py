@@ -9,32 +9,48 @@ the byzantine influence push the outcome from the fault-free optimum?
 Run: ``python examples/attack_forensics.py``
 """
 
+import dataclasses
 import json
 import tempfile
 from pathlib import Path
 
-from repro import BSMInstance, PartyId, Setting, make_adversary, run_bsm
+from repro import AdversarySpec, ProfileSpec, ScenarioSpec, Session
 from repro.analysis import messages_per_round, summarize_trace, tag_histogram
 from repro.io import dump_report
 from repro.matching.gale_shapley import gale_shapley
 from repro.matching.matching import Matching
 from repro.matching.metrics import divorce_distance, total_rank_cost
-from repro.matching.generators import random_profile
 
 K = 4
-BYZANTINE = [PartyId("R", 0), PartyId("R", 1)]
+BYZANTINE = ("R0", "R1")
 
 
 def main() -> None:
-    setting = Setting("bipartite", True, K, 1, 2)
-    instance = BSMInstance(setting, random_profile(K, 21))
+    # Two specs differing only in the adversary: same setting, same
+    # profile seed, traces recorded for the forensics below.
+    clean_spec = ScenarioSpec(
+        name="forensics/clean",
+        topology="bipartite",
+        authenticated=True,
+        k=K,
+        tL=1,
+        tR=2,
+        profile=ProfileSpec(seed=21),
+        record_trace=True,
+    )
+    attacked_spec = dataclasses.replace(
+        clean_spec,
+        name="forensics/attacked",
+        adversary=AdversarySpec(kind="noise", corrupt=BYZANTINE, seed=4),
+    )
 
-    clean = run_bsm(instance, record_trace=True)
-    adversary = make_adversary(instance, BYZANTINE, kind="noise", seed=4)
-    attacked = run_bsm(instance, adversary, record_trace=True)
+    session = Session()
+    clean = session.report(clean_spec)
+    attacked = session.report(attacked_spec)
+    instance_profile = clean_spec.profile.build(K)
     assert clean.ok and attacked.ok
 
-    print(f"setting: {setting.describe()} [{clean.verdict.recipe}]")
+    print(f"setting: {clean_spec.setting().describe()} [{clean.verdict.recipe}]")
     print("\n--- trace forensics (attacked run) ---")
     print(summarize_trace(attacked.result.trace))
 
@@ -49,15 +65,15 @@ def main() -> None:
         print(f"  round {round_now:2d}: {'#' * min(count // 8, 60)} {count}")
 
     # Outcome distance: how much did the byzantine pair move the matching?
-    ideal = gale_shapley(instance.profile).matching
+    ideal = gale_shapley(instance_profile).matching
     attacked_matching = Matching.from_outputs(
         {p: v for p, v in attacked.result.outputs.items()}
     )
     moved = divorce_distance(ideal, attacked_matching, K)
     print("\n--- outcome forensics ---")
     print(f"parties re-matched vs fault-free optimum : {moved} of {2 * K}")
-    print(f"total rank cost (fault-free)             : {total_rank_cost(ideal, instance.profile)}")
-    print(f"total rank cost (attacked)               : {total_rank_cost(attacked_matching, instance.profile)}")
+    print(f"total rank cost (fault-free)             : {total_rank_cost(ideal, instance_profile)}")
+    print(f"total rank cost (attacked)               : {total_rank_cost(attacked_matching, instance_profile)}")
 
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "attacked_run.json"

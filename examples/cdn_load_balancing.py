@@ -16,8 +16,15 @@ Run: ``python examples/cdn_load_balancing.py``
 
 import random
 
-from repro import BSMInstance, PartyId, Setting, gale_shapley, make_adversary, run_bsm
-from repro.ids import all_parties, left_side, right_side
+from repro import (
+    AdversarySpec,
+    PartyId,
+    ProfileSpec,
+    ScenarioSpec,
+    Session,
+    gale_shapley,
+)
+from repro.ids import left_side, right_side
 from repro.matching.generators import latency_matrix, profile_from_scores
 
 K = 6  # six client groups, six server clusters
@@ -55,19 +62,28 @@ def mean_latency(outputs, latency) -> float:
 
 def main() -> None:
     profile, latency = build_preferences()
-    setting = Setting("fully_connected", True, K, 0, 1)
-    instance = BSMInstance(setting, profile)
 
     # Fault-free optimum for reference.
     ideal = gale_shapley(profile).matching
     ideal_latency = mean_latency(ideal.as_outputs(K), latency)
 
-    # The byzantine cluster babbles random garbage on the control plane.
-    adversary = make_adversary(instance, [BYZANTINE_CLUSTER], kind="noise", seed=1)
-    report = run_bsm(instance, adversary)
+    # The whole deployment as one declarative spec: the latency-induced
+    # preferences are frozen in (explicit profile), and the byzantine
+    # cluster babbles random garbage on the control plane.
+    spec = ScenarioSpec(
+        name="cdn",
+        topology="fully_connected",
+        authenticated=True,
+        k=K,
+        tL=0,
+        tR=1,
+        profile=ProfileSpec.explicit(profile),
+        adversary=AdversarySpec(kind="noise", corrupt=(str(BYZANTINE_CLUSTER),), seed=1),
+    )
+    report = Session().report(spec)
     assert report.ok, report.report.violations
 
-    print(f"control plane : {setting.describe()} [{report.verdict.recipe}]")
+    print(f"control plane : {spec.setting().describe()} [{report.verdict.recipe}]")
     print(f"bSM checks    : {report.report.summary()}")
     print(f"rounds        : {report.result.rounds}, messages: {report.result.message_count}")
     print(f"\nbyzantine cluster: {BYZANTINE_CLUSTER}")

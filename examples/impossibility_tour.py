@@ -9,29 +9,23 @@ in a benign world, so somewhere one of the sSM properties must break.
 Run: ``python examples/impossibility_tour.py``
 """
 
-from repro.adversary.attacks import (
-    lemma13_spec,
-    lemma5_spec,
-    lemma7_spec,
-    run_attack,
-)
-from repro.core.solvability import is_solvable
+from repro import Session
 
 STOPS = [
     (
-        lemma5_spec,
+        "lemma5",
         "Fig. 2 / Lemma 5 — duplication in a fully-connected unauthenticated net",
         "Both sides at k/3 corruptions: two byzantine parties simulate eight\n"
         "copies; honest a and c end up matching the same byzantine v.",
     ),
     (
-        lemma7_spec,
+        "lemma7",
         "Fig. 3 / Lemma 7 — the 8-cycle in a bipartite unauthenticated net",
         "tR = k/2 cuts the majority relay: one byzantine party simulates the\n"
         "whole far arc of the doubled cycle.",
     ),
     (
-        lemma13_spec,
+        "lemma13",
         "Fig. 4 / Lemma 13 — two worlds in a one-sided authenticated net",
         "The fully byzantine right side shows a and c two disjoint consistent\n"
         "histories; signatures cannot help because every path between honest\n"
@@ -41,15 +35,15 @@ STOPS = [
 
 
 def main() -> None:
-    for spec_fn, title, blurb in STOPS:
-        spec = spec_fn()
-        verdict = is_solvable(spec.setting)
+    session = Session()
+    for lemma, title, blurb in STOPS:
+        report = session.attack(lemma)
+        verdict = session.solve(report.spec.setting)
         print("=" * 78)
         print(title)
         print("-" * 78)
         print(blurb)
         print(f"\noracle: solvable={verdict.solvable} — {verdict.reason}")
-        report = run_attack(spec)
         print()
         print(report.summary())
         assert report.any_violation, "the theorem guarantees a violation somewhere"

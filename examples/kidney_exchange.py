@@ -17,7 +17,7 @@ Run: ``python examples/kidney_exchange.py``
 
 import random
 
-from repro import BSMInstance, Setting, make_adversary, run_bsm
+from repro import AdversarySpec, ProfileSpec, ScenarioSpec, Session
 from repro.ids import left_side, right_side
 from repro.matching.generators import profile_from_scores
 
@@ -55,15 +55,23 @@ def compatibility_profile(seed: int = 5):
 
 def main() -> None:
     profile, recipient_type, donor_type = compatibility_profile()
-    setting = Setting("one_sided", True, K, 0, K - 1)
-    instance = BSMInstance(setting, profile)
 
     byzantine = list(right_side(K)[: K - 1])  # all centers but one
-    adversary = make_adversary(instance, byzantine, kind="silent")
-    report = run_bsm(instance, adversary)
+    spec = ScenarioSpec(
+        name="kidney_exchange",
+        topology="one_sided",
+        authenticated=True,
+        k=K,
+        tL=0,
+        tR=K - 1,
+        profile=ProfileSpec.explicit(profile),
+        # corrupt="budget" means exactly these first K-1 centers.
+        adversary=AdversarySpec(kind="silent", corrupt="budget"),
+    )
+    report = Session().report(spec)
     assert report.ok, report.report.violations
 
-    print(f"network   : {setting.describe()} [{report.verdict.recipe}]")
+    print(f"network   : {spec.setting().describe()} [{report.verdict.recipe}]")
     print(f"            ({report.verdict.reason})")
     print(f"bSM checks: {report.report.summary()}")
     print(f"byzantine : {', '.join(str(p) for p in byzantine)} (silent)")

@@ -17,23 +17,19 @@ Run: ``python examples/p2p_backup_pairing.py``
 
 import random
 
-from repro.adversary.adversary import BehaviorAdversary, SilentBehavior
-from repro.core.roommates_bsm import (
-    RoommatesInstance,
-    RoommatesSetting,
-    run_roommates,
-)
+from repro import ProfileSpec, ScenarioSpec, Session
+from repro.core.roommates_bsm import RoommatesSetting
+from repro.experiment import AdversarySpec
 from repro.ids import PartyId
 
 N = 8  # eight peers
 BYZANTINE = PartyId("R", 3)  # the last peer misbehaves
 
 
-def build_instance(seed: int = 13) -> RoommatesInstance:
+def build_preferences(seed: int = 13):
     """Rankings induced by pairwise link quality (bandwidth * uptime)."""
     rng = random.Random(seed)
-    setting = RoommatesSetting(n=N, t=1, authenticated=True)
-    peers = setting.parties()
+    peers = RoommatesSetting(n=N, t=1, authenticated=True).parties()
     bandwidth = {p: rng.uniform(10, 100) for p in peers}
     uptime = {p: rng.uniform(0.5, 1.0) for p in peers}
 
@@ -45,15 +41,24 @@ def build_instance(seed: int = 13) -> RoommatesInstance:
         others = [p for p in peers if p != peer]
         others.sort(key=lambda other: (-link_quality(peer, other), other))
         preferences[peer] = tuple(others)
-    return RoommatesInstance(setting, preferences)
+    return preferences
 
 
 def main() -> None:
-    instance = build_instance()
-    adversary = BehaviorAdversary({BYZANTINE: SilentBehavior()})
-    report = run_roommates(instance, adversary)
+    spec = ScenarioSpec(
+        name="p2p_backup",
+        family="roommates",
+        n=N,
+        t=1,
+        authenticated=True,
+        # Explicit profiles work for roommates too: single-set rankings,
+        # keyed by peer name — still plain JSON.
+        profile=ProfileSpec.explicit(build_preferences()),
+        adversary=AdversarySpec(kind="silent", corrupt=(str(BYZANTINE),)),
+    )
+    report = Session().roommates(spec)
 
-    print(f"setting   : {instance.setting.describe()}")
+    print(f"setting   : {report.setting.describe()}")
     print(
         "checks    : "
         f"term={'ok' if report.verdict.termination else 'VIOLATED'} "

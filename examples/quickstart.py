@@ -1,50 +1,41 @@
 """Quickstart: byzantine stable matching in a dozen lines.
 
 Eight parties (k = 4), fully-connected authenticated network, one
-byzantine party per side.  We run the protocol the solvability oracle
-prescribes, print the matching, and machine-check the four bSM
-properties of Definition 1.
+byzantine party that crashes mid-protocol.  The whole experiment is a
+single declarative :class:`~repro.ScenarioSpec` — JSON-round-trippable,
+so the exact run can be archived or shipped to a sweep — executed by a
+:class:`~repro.Session`, which machine-checks the four bSM properties
+of Definition 1.
 
 Run: ``python examples/quickstart.py``
 """
 
-from repro import (
-    BSMInstance,
-    PartyId,
-    Setting,
-    is_solvable,
-    make_adversary,
-    random_profile,
-    run_bsm,
+from repro import AdversarySpec, ProfileSpec, ScenarioSpec, Session
+
+spec = ScenarioSpec(
+    name="quickstart",
+    topology="fully_connected",
+    authenticated=True,
+    k=4,
+    tL=1,
+    tR=1,
+    profile=ProfileSpec(kind="random", seed=2025),
+    adversary=AdversarySpec(kind="crash", corrupt=("L3",), crash_round=3),
 )
 
 
 def main() -> None:
-    # 1. A setting: topology, crypto assumption, side size, corruption budgets.
-    setting = Setting(
-        topology_name="fully_connected",
-        authenticated=True,
-        k=4,
-        tL=1,
-        tR=1,
-    )
-    verdict = is_solvable(setting)
-    print(f"setting : {setting.describe()}")
+    session = Session()
+
+    # 1. The spec is data: here is the exact JSON form of this experiment.
+    print(f"spec    : {spec.to_json()}")
+
+    # 2. The oracle's verdict for the spec's setting.
+    verdict = session.solve(spec.setting())
     print(f"verdict : solvable={verdict.solvable} ({verdict.theorem}) -> {verdict.recipe}")
 
-    # 2. An instance: everyone's true preference lists.
-    instance = BSMInstance(setting, random_profile(setting.k, 2025))
-
-    # 3. An adversary: L3 crashes mid-protocol, R0 babbles random garbage.
-    adversary = make_adversary(
-        instance,
-        corrupted=[PartyId("L", 3)],
-        kind="crash",
-        crash_round=3,
-    )
-
-    # 4. Run and judge.
-    report = run_bsm(instance, adversary)
+    # 3. Run and judge.
+    report = session.report(spec)
     print(f"rounds  : {report.result.rounds}   messages: {report.result.message_count}")
     print(f"checks  : {report.report.summary()}")
 

@@ -17,7 +17,7 @@ Run: ``python examples/spectrum_allocation.py``
 
 import random
 
-from repro import BSMInstance, PartyId, Setting, make_adversary, run_bsm
+from repro import AdversarySpec, PartyId, ProfileSpec, ScenarioSpec, Session
 from repro.ids import left_side, right_side
 from repro.matching.generators import profile_from_scores
 
@@ -50,15 +50,24 @@ def sinr_preferences(seed: int = 3):
 
 def main() -> None:
     profile, sinr = sinr_preferences()
-    setting = Setting("one_sided", False, K, 1, 2)
-    instance = BSMInstance(setting, profile)
 
     byzantine = [PartyId("L", 4), PartyId("R", 0), PartyId("R", 1)]
-    adversary = make_adversary(instance, byzantine, kind="noise", seed=11)
-    report = run_bsm(instance, adversary)
+    spec = ScenarioSpec(
+        name="spectrum",
+        topology="one_sided",
+        authenticated=False,
+        k=K,
+        tL=1,
+        tR=2,
+        profile=ProfileSpec.explicit(profile),
+        adversary=AdversarySpec(
+            kind="noise", corrupt=tuple(str(p) for p in byzantine), seed=11
+        ),
+    )
+    report = Session().report(spec)
     assert report.ok, report.report.violations
 
-    print(f"network   : {setting.describe()} [{report.verdict.recipe}]")
+    print(f"network   : {spec.setting().describe()} [{report.verdict.recipe}]")
     print(f"            ({report.verdict.reason})")
     print(f"bSM checks: {report.report.summary()}")
     print(f"byzantine : {', '.join(str(p) for p in byzantine)}")

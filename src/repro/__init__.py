@@ -1,30 +1,67 @@
 """Byzantine Stable Matching — a full reproduction of the PODC 2025 paper.
 
-Public API highlights:
+The library has two public layers.
 
-* :func:`repro.core.runner.run_bsm` — run a byzantine stable matching
-  protocol end to end in any of the paper's six settings;
+**The experiment façade** (start here) — declarative scenarios executed
+by a batch engine through one front door:
+
+* :class:`repro.ScenarioSpec` — a JSON-round-trippable description of
+  one run: setting, profile source, adversary, recipe, seeds;
+* :class:`repro.Sweep` — a batch of specs (literal, seed-replicated,
+  or the whole characterization grid), with named presets covering the
+  paper's table and figures (``repro.preset("table1")``);
+* :class:`repro.Session` — runs one spec or a sweep of thousands on a
+  pluggable executor (serial or process pool), memoizing solvability
+  verdicts and keyrings, and returning a columnar
+  :class:`repro.RunRecordSet` with aggregation and CSV/JSON export.
+
+>>> from repro import ScenarioSpec, Session
+>>> records = Session().sweep("smoke")           # doctest: +SKIP
+
+**The protocol substrate** — the paper's objects, for direct use:
+
+* :func:`repro.core.runner.run_bsm` — one byzantine stable matching
+  execution in any of the paper's six settings;
 * :func:`repro.core.solvability.is_solvable` — the tight
   characterization of Theorems 2-7;
 * :func:`repro.matching.gale_shapley.gale_shapley` — the deterministic
   ``AG-S`` (Theorem 1);
 * :mod:`repro.adversary.attacks` — the executable impossibility
   constructions of Lemmas 5, 7 and 13.
+
+The historical top-level free functions (``repro.run_bsm``,
+``repro.make_adversary``, ``repro.is_solvable``) remain importable as
+deprecation shims over the façade; ``docs/api.md`` maps the old surface
+to the new one.
 """
 
 from repro.core.problem import BSMInstance, Setting
-from repro.core.runner import BSMReport, make_adversary, run_bsm
-from repro.core.solvability import SolvabilityVerdict, is_solvable
+from repro.core.runner import BSMReport
+from repro.core.solvability import SolvabilityVerdict
 from repro.core.verdict import PropertyReport, check_bsm, check_ssm
+from repro.experiment import (
+    AdversarySpec,
+    Engine,
+    ProfileSpec,
+    RunRecord,
+    RunRecordSet,
+    ScenarioSpec,
+    Session,
+    Sweep,
+    preset,
+    preset_names,
+)
+from repro.experiment.compat import is_solvable, make_adversary, run_bsm
 from repro.ids import LEFT, RIGHT, PartyId, all_parties, left_party, right_party
 from repro.matching.gale_shapley import gale_shapley
 from repro.matching.generators import random_profile
 from repro.matching.matching import Matching
 from repro.matching.preferences import PreferenceProfile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # identities and inputs
     "PartyId",
     "LEFT",
     "RIGHT",
@@ -35,15 +72,29 @@ __all__ = [
     "Matching",
     "gale_shapley",
     "random_profile",
+    # problem definitions
     "Setting",
     "BSMInstance",
-    "run_bsm",
-    "make_adversary",
+    # the experiment façade
+    "ScenarioSpec",
+    "ProfileSpec",
+    "AdversarySpec",
+    "Sweep",
+    "Session",
+    "Engine",
+    "RunRecord",
+    "RunRecordSet",
+    "preset",
+    "preset_names",
+    # verdicts and reports
     "BSMReport",
-    "is_solvable",
     "SolvabilityVerdict",
     "check_bsm",
     "check_ssm",
     "PropertyReport",
+    # deprecated free-function shims
+    "run_bsm",
+    "make_adversary",
+    "is_solvable",
     "__version__",
 ]

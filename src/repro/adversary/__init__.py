@@ -26,6 +26,7 @@ from repro.adversary.adversary import (
     RandomNoiseBehavior,
     SilentBehavior,
 )
+from repro.adversary.mutators import MUTATORS, resolve_mutator
 from repro.adversary.structures import (
     AdversaryStructure,
     ExplicitStructure,
@@ -50,4 +51,6 @@ __all__ = [
     "HonestBehavior",
     "RandomNoiseBehavior",
     "EquivocatingBehavior",
+    "MUTATORS",
+    "resolve_mutator",
 ]

@@ -1,0 +1,109 @@
+"""Canned equivocation mutators, addressable by name.
+
+An :class:`~repro.adversary.adversary.EquivocatingBehavior` runs the
+honest protocol but passes every outgoing payload through a *mutator*
+``(round, recipient, payload) -> payload | None`` so the byzantine
+party can tell different stories to different recipients — the exact
+attack shape of the paper's Lemmas (split views, twisted suggestions).
+
+Tests and attack constructions often build bespoke closures, but the
+declarative layers (the CLI, :class:`~repro.experiment.ScenarioSpec`)
+need mutators that are *serializable*: this module keeps a registry of
+named constructors so ``"reverse_even"`` means the same executable lie
+in a JSON spec, a CLI flag, and a process-pool worker.
+
+Every canned mutator is deterministic and parameter-free (parameters
+are baked in by the constructor), so runs stay reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import AdversaryError
+from repro.ids import PartyId
+
+__all__ = [
+    "Mutator",
+    "MUTATORS",
+    "resolve_mutator",
+    "reverse_even_mutator",
+    "reverse_all_mutator",
+    "drop_even_mutator",
+]
+
+#: ``(round, recipient, payload) -> payload`` — ``None`` drops the message.
+Mutator = Callable[[int, PartyId, object], object]
+
+
+def _reverse_party_tuples(payload: object) -> object:
+    """Reverse every tuple-of-PartyId found inside ``payload``.
+
+    This is the cheapest structural lie: a reversed preference list is
+    still *valid*, so it survives input validation and must be caught by
+    the broadcast layer's consistency, not by format checks.
+    """
+    if isinstance(payload, tuple):
+        if payload and all(isinstance(x, PartyId) for x in payload):
+            return tuple(reversed(payload))
+        return tuple(_reverse_party_tuples(x) for x in payload)
+    return payload
+
+
+def reverse_even_mutator() -> Mutator:
+    """Lie (reversed preference lists) to recipients with even index.
+
+    The canonical split-view equivocation: half the network hears the
+    truth, half hears the reverse — the Lemma-style two-world setup.
+    """
+
+    def mutate(round_now: int, dst: PartyId, payload: object) -> object:
+        if dst.index % 2 == 0:
+            return _reverse_party_tuples(payload)
+        return payload
+
+    return mutate
+
+
+def reverse_all_mutator() -> Mutator:
+    """Lie (reversed preference lists) to everyone, consistently.
+
+    A consistent lie is *not* equivocation — broadcast happily delivers
+    it.  Useful as the control arm next to ``reverse_even``.
+    """
+
+    def mutate(round_now: int, dst: PartyId, payload: object) -> object:
+        return _reverse_party_tuples(payload)
+
+    return mutate
+
+
+def drop_even_mutator() -> Mutator:
+    """Selective omission: messages to even-index recipients vanish."""
+
+    def mutate(round_now: int, dst: PartyId, payload: object) -> object:
+        if dst.index % 2 == 0:
+            return None
+        return payload
+
+    return mutate
+
+
+#: Registry of named mutator constructors (call to get a fresh mutator).
+MUTATORS: dict[str, Callable[[], Mutator]] = {
+    "reverse_even": reverse_even_mutator,
+    "reverse_all": reverse_all_mutator,
+    "drop_even": drop_even_mutator,
+}
+
+
+def resolve_mutator(spec: str | Mutator | None) -> Mutator | None:
+    """Turn a mutator name (or a ready callable, or ``None``) into a mutator."""
+    if spec is None or callable(spec):
+        return spec
+    try:
+        return MUTATORS[spec]()
+    except KeyError as exc:
+        raise AdversaryError(
+            f"unknown mutator {spec!r}; known: {sorted(MUTATORS)}"
+        ) from exc

@@ -1,9 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every command routes through the experiment façade
+(:class:`repro.experiment.Session`), so the CLI, the benchmarks, and
+library callers share one execution path and its caches.
+
 Commands:
 
 * ``solve`` — query the solvability oracle for one setting;
 * ``run`` — execute a bSM protocol end to end and print the verdict;
+* ``sweep`` — execute a preset (or grid) batch on a serial or
+  process-pool executor and print/export the aggregates;
 * ``attack`` — run one of the paper's impossibility constructions;
 * ``table`` — print the full characterization table for a given ``k``.
 """
@@ -13,14 +19,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.problem import BSMInstance, Setting
-from repro.core.runner import make_adversary, run_bsm
-from repro.core.solvability import is_solvable
-from repro.ids import parse_party
-from repro.matching.generators import random_profile
+from repro.adversary.mutators import MUTATORS
+from repro.core.problem import Setting
+from repro.errors import ReproError
+from repro.experiment.engine import EXECUTORS, Session
+from repro.experiment.presets import preset_names
+from repro.experiment.spec import AdversarySpec, ProfileSpec, ScenarioSpec, Sweep
 from repro.net.topology import TOPOLOGY_NAMES
 
 __all__ = ["main", "build_parser"]
+
+ADVERSARY_CHOICES = ("none", "silent", "noise", "crash", "honest", "equivocate")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -43,11 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="execute a bSM protocol end to end")
     add_setting_args(run)
     run.add_argument("--seed", type=int, default=0, help="preference profile seed")
-    run.add_argument(
-        "--adversary",
-        choices=["none", "silent", "noise", "crash", "honest"],
-        default="none",
-    )
+    run.add_argument("--adversary", choices=ADVERSARY_CHOICES, default="none")
     run.add_argument(
         "--corrupt",
         nargs="*",
@@ -55,8 +60,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PARTY",
         help="parties to corrupt, e.g. L0 R2",
     )
+    run.add_argument(
+        "--mutator",
+        choices=sorted(MUTATORS),
+        default="reverse_even",
+        help="canned equivocation mutator (with --adversary equivocate)",
+    )
     run.add_argument("--recipe", default=None, help="force a protocol recipe")
     run.add_argument("--json", default=None, metavar="PATH", help="dump the report as JSON")
+
+    sweep = sub.add_parser(
+        "sweep", help="execute a batch of scenarios through the engine"
+    )
+    sweep.add_argument(
+        "--preset",
+        choices=preset_names(),
+        default=None,
+        help="a named sweep (see --list)",
+    )
+    sweep.add_argument(
+        "--list", action="store_true", help="list available presets and exit"
+    )
+    sweep.add_argument(
+        "--spec-json",
+        default=None,
+        metavar="PATH",
+        help="load the sweep from a JSON file written by Sweep.to_json",
+    )
+    sweep.add_argument(
+        "--executor", choices=EXECUTORS, default="serial", help="how to execute"
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None, help="process-pool size (implies --executor process)"
+    )
+    sweep.add_argument("--json", default=None, metavar="PATH", help="export records as JSON")
+    sweep.add_argument("--csv", default=None, metavar="PATH", help="export records as CSV")
 
     attack = sub.add_parser("attack", help="run an impossibility construction")
     attack.add_argument("lemma", choices=["lemma5", "lemma7", "lemma13"])
@@ -71,7 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_solve(args) -> int:
     setting = Setting(args.topology, args.auth, args.k, args.tl, args.tr)
-    verdict = is_solvable(setting)
+    verdict = Session().solve(setting)
     print(f"setting : {setting.describe()}")
     print(f"solvable: {verdict.solvable}")
     print(f"theorem : {verdict.theorem}")
@@ -82,18 +120,28 @@ def _cmd_solve(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    setting = Setting(args.topology, args.auth, args.k, args.tl, args.tr)
-    instance = BSMInstance(setting, random_profile(args.k, args.seed))
     adversary = None
     if args.adversary != "none":
-        corrupted = [parse_party(text) for text in args.corrupt]
-        if not corrupted:
+        if not args.corrupt:
             print("error: --adversary requires --corrupt PARTY [PARTY ...]", file=sys.stderr)
             return 2
-        adversary = make_adversary(
-            instance, corrupted, kind=args.adversary, recipe=args.recipe, seed=args.seed
+        adversary = AdversarySpec(
+            kind=args.adversary,
+            corrupt=tuple(args.corrupt),
+            seed=args.seed,
+            mutator=args.mutator if args.adversary == "equivocate" else None,
         )
-    report = run_bsm(instance, adversary, recipe=args.recipe)
+    spec = ScenarioSpec(
+        topology=args.topology,
+        authenticated=args.auth,
+        k=args.k,
+        tL=args.tl,
+        tR=args.tr,
+        profile=ProfileSpec(seed=args.seed),
+        adversary=adversary,
+        recipe=args.recipe,
+    )
+    report = Session().report(spec)
     print(report.summary())
     print("outputs:")
     for party in sorted(report.result.outputs):
@@ -111,22 +159,67 @@ def _cmd_run(args) -> int:
     return 0 if report.ok else 1
 
 
-def _cmd_attack(args) -> int:
-    from repro.adversary.attacks import (
-        lemma13_spec,
-        lemma5_spec,
-        lemma7_spec,
-        run_attack,
+def _cmd_sweep(args) -> int:
+    if args.list:
+        print("available presets:")
+        for name in preset_names():
+            print(f"  {name}")
+        return 0
+    session = Session(
+        executor="process" if args.workers else args.executor,
+        workers=args.workers,
     )
+    if args.spec_json:
+        try:
+            with open(args.spec_json, "r", encoding="utf-8") as handle:
+                sweep = Sweep.from_json(handle.read())
+        except (OSError, ValueError, KeyError, ReproError) as exc:
+            print(f"error: cannot load sweep from {args.spec_json}: {exc}", file=sys.stderr)
+            return 2
+        label = args.spec_json
+    elif args.preset:
+        sweep = session.preset(args.preset)
+        label = args.preset
+    else:
+        print("error: sweep needs --preset, --spec-json, or --list", file=sys.stderr)
+        return 2
+    records = session.sweep(sweep)
+    print(f"sweep {label}: {records.summary()}")
+    print("\naggregates (by family, topology, crypto):")
+    for row in records.aggregate(by=("family", "topology", "authenticated")):
+        crypto = "auth" if row["authenticated"] else "unauth"
+        print(
+            f"  {row['family']:10s} {row['topology'] or '-':16s} {crypto:6s} "
+            f"runs={row['runs']:4d} ok={row['ok']:4d} "
+            f"mean_rounds={row['mean_rounds']:.1f} mean_msgs={row['mean_messages']:.0f}"
+        )
+    if args.json:
+        from repro.io import dump_records
 
-    specs = {"lemma5": lemma5_spec, "lemma7": lemma7_spec, "lemma13": lemma13_spec}
-    report = run_attack(specs[args.lemma]())
+        dump_records(records, args.json)
+        print(f"\nrecords written to {args.json}")
+    if args.csv:
+        from repro.io import records_to_csv
+
+        records_to_csv(records, args.csv)
+        print(f"\nCSV written to {args.csv}")
+    failures = records.failures
+    if failures:
+        print("\nUNEXPECTED FAILURES:")
+        for record in failures:
+            print(f"  {record.scenario}: {record.violations}")
+    return 0 if not failures else 1
+
+
+def _cmd_attack(args) -> int:
+    report = Session().attack(args.lemma)
     print(report.summary())
     return 0 if report.any_violation else 1
 
 
 def _cmd_table(args) -> int:
     k = args.k
+    session = Session()
     print(f"bSM solvability for k={k} ('#' solvable, '.' not; rows tL=0..{k}, cols tR=0..{k})")
     for topology in TOPOLOGY_NAMES:
         for auth in (False, True):
@@ -137,7 +230,7 @@ def _cmd_table(args) -> int:
             for tL in range(k + 1):
                 cells = []
                 for tR in range(k + 1):
-                    verdict = is_solvable(Setting(topology, auth, k, tL, tR))
+                    verdict = session.solve(Setting(topology, auth, k, tL, tR))
                     cells.append("  # " if verdict.solvable else "  . ")
                 print(f"tL={tL}" + " ".join(cells))
     return 0
@@ -157,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "solve": _cmd_solve,
         "run": _cmd_run,
+        "sweep": _cmd_sweep,
         "attack": _cmd_attack,
         "table": _cmd_table,
         "paper": _cmd_paper,

@@ -21,6 +21,7 @@ from repro.adversary.adversary import (
     RandomNoiseBehavior,
     SilentBehavior,
 )
+from repro.adversary.mutators import resolve_mutator
 from repro.core.bb_based import make_bb_based_party
 from repro.core.bipartite_auth import (
     PiBSMComputing,
@@ -128,7 +129,7 @@ def make_adversary(
     recipe: str | None = None,
     seed: int = 0,
     crash_round: int = 2,
-    mutator: Callable[[int, PartyId, object], object | None] | None = None,
+    mutator: str | Callable[[int, PartyId, object], object | None] | None = None,
 ) -> Adversary:
     """A canned adversary corrupting ``corrupted`` with a uniform behavior.
 
@@ -136,6 +137,10 @@ def make_adversary(
     ``"crash"`` (honest until ``crash_round``), ``"honest"`` (run the
     real protocol — byzantine in name only), ``"equivocate"`` (honest
     process with per-recipient payload mutation via ``mutator``).
+
+    ``mutator`` may be a callable or the name of a canned mutator from
+    :mod:`repro.adversary.mutators`; ``"equivocate"`` without a mutator
+    defaults to the canned ``"reverse_even"`` split-view lie.
     """
     setting = instance.setting
     topology = setting.topology()
@@ -157,10 +162,9 @@ def make_adversary(
         elif kind == "honest":
             behaviors[party] = HonestBehavior(build_party(party, instance, chosen), topology)
         elif kind == "equivocate":
-            if mutator is None:
-                raise SolvabilityError("equivocate adversary needs a mutator")
+            resolved = resolve_mutator(mutator if mutator is not None else "reverse_even")
             behaviors[party] = EquivocatingBehavior(
-                build_party(party, instance, chosen), topology, mutator
+                build_party(party, instance, chosen), topology, resolved
             )
         else:
             raise SolvabilityError(f"unknown adversary kind {kind!r}")
@@ -175,6 +179,8 @@ def run_bsm(
     max_rounds: int | None = None,
     enforce_structure: bool = True,
     record_trace: bool = False,
+    keyring: KeyRing | None = None,
+    verdict: SolvabilityVerdict | None = None,
 ) -> BSMReport:
     """Run one bSM execution end to end.
 
@@ -186,9 +192,14 @@ def run_bsm(
         max_rounds: round budget (default: schedule-derived).
         enforce_structure: reject corruption sets beyond ``Z*``.
         record_trace: keep the full message trace on the result.
+        keyring: pre-built PKI to reuse (the batch engine memoizes one
+            per ``k`` across thousands of runs); built fresh when omitted.
+        verdict: pre-computed solvability verdict for the setting (the
+            batch engine memoizes these too); computed when omitted.
     """
     setting = instance.setting
-    verdict = is_solvable(setting)
+    if verdict is None:
+        verdict = is_solvable(setting)
     chosen = recipe if recipe is not None else verdict.recipe
     if chosen is None:
         raise SolvabilityError(
@@ -200,9 +211,11 @@ def run_bsm(
     corrupted = frozenset(adversary.initial_corruptions) if adversary is not None else frozenset()
     honest = frozenset(all_parties(setting.k)) - corrupted
 
-    keyring = None
     if setting.authenticated:
-        keyring = KeyRing(all_parties(setting.k))
+        if keyring is None:
+            keyring = KeyRing(all_parties(setting.k))
+    else:
+        keyring = None
 
     network = SyncNetwork(
         setting.topology(),

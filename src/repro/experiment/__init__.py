@@ -1,0 +1,49 @@
+"""The experiment layer: declarative scenarios, a batch engine, one façade.
+
+This package is the public face of the library for anything beyond a
+single hand-wired run:
+
+* :mod:`repro.experiment.spec` — :class:`ScenarioSpec` and friends:
+  declarative, JSON-round-trippable descriptions of runs and
+  :class:`Sweep` batches;
+* :mod:`repro.experiment.records` — the columnar
+  :class:`RunRecordSet` a sweep returns, with aggregation and CSV/JSON
+  export;
+* :mod:`repro.experiment.engine` — :class:`Engine` (serial or
+  process-pool execution with memoized verdicts and keyrings) and
+  :class:`Session`, the façade every CLI command, benchmark, and
+  example routes through;
+* :mod:`repro.experiment.presets` — named sweeps covering the paper's
+  table and figures plus new workloads (equivocation, the solvability
+  frontier, roommates, offline ensembles);
+* :mod:`repro.experiment.compat` — deprecation shims for the old
+  free-function surface.
+"""
+
+from repro.experiment.engine import EXECUTORS, Engine, Session, execute_spec
+from repro.experiment.presets import PRESETS, preset, preset_names
+from repro.experiment.records import RunRecord, RunRecordSet
+from repro.experiment.spec import (
+    AdversarySpec,
+    ProfileSpec,
+    ScenarioSpec,
+    Sweep,
+    worst_case_corruption,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "ProfileSpec",
+    "AdversarySpec",
+    "Sweep",
+    "RunRecord",
+    "RunRecordSet",
+    "Engine",
+    "Session",
+    "EXECUTORS",
+    "execute_spec",
+    "PRESETS",
+    "preset",
+    "preset_names",
+    "worst_case_corruption",
+]

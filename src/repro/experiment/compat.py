@@ -1,0 +1,70 @@
+"""Deprecation shims: the old free-function surface, over the façade.
+
+Before the experiment layer existed, ``repro`` exported free functions
+(``run_bsm``, ``make_adversary``, ``is_solvable``) that every caller
+wired together by hand.  These shims keep that surface importable from
+the top-level package while routing execution through a shared
+:class:`~repro.experiment.engine.Session` (so even legacy callers get
+the memoized oracle and keyrings), and emit a :class:`DeprecationWarning`
+pointing at the replacement.
+
+The underlying primitives in :mod:`repro.core.runner` and
+:mod:`repro.core.solvability` are *not* deprecated — protocol-level
+code and tests use them directly.  Only the top-level convenience
+surface moved.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import BSMReport
+from repro.core.runner import make_adversary as _make_adversary
+from repro.core.solvability import SolvabilityVerdict
+from repro.experiment.engine import Session
+
+__all__ = ["run_bsm", "make_adversary", "is_solvable"]
+
+#: One shared session so legacy callers benefit from the caches too.
+_SESSION = Session()
+
+
+def _warn(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.{old} is a compatibility shim; prefer {new} "
+        "(see docs/api.md for the mapping)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def run_bsm(instance: BSMInstance, adversary=None, **kwargs) -> BSMReport:
+    """Deprecated shim: run one bSM execution end to end.
+
+    Prefer ``Session().report(ScenarioSpec(...))`` for declarative runs
+    or ``Session().execute(instance, adversary)`` for pre-built objects;
+    both memoize keyrings and verdicts across runs.
+    """
+    _warn("run_bsm", "repro.Session.report/execute")
+    return _SESSION.execute(instance, adversary, **kwargs)
+
+
+def make_adversary(instance: BSMInstance, corrupted, **kwargs):
+    """Deprecated shim: build a canned adversary.
+
+    Prefer declaring an :class:`~repro.experiment.spec.AdversarySpec`
+    on a :class:`~repro.experiment.spec.ScenarioSpec`.
+    """
+    _warn("make_adversary", "repro.AdversarySpec")
+    return _make_adversary(instance, corrupted, **kwargs)
+
+
+def is_solvable(setting: Setting) -> SolvabilityVerdict:
+    """Deprecated shim: the characterization oracle for one setting.
+
+    Prefer ``Session().solve(setting)`` (memoized) or the primitive
+    :func:`repro.core.solvability.is_solvable`.
+    """
+    _warn("is_solvable", "repro.Session.solve")
+    return _SESSION.solve(setting)

@@ -1,0 +1,554 @@
+"""The batch engine: execute one spec, or thousands, on any executor.
+
+Layering:
+
+* :func:`execute_spec` — the pure function from a
+  :class:`~repro.experiment.spec.ScenarioSpec` to its
+  :class:`~repro.experiment.records.RunRecord` rows.  Deterministic:
+  every source of randomness is seeded by the spec, and process-level
+  caches only memoize pure values (solvability verdicts, keyrings);
+* executors — ``"serial"`` runs in-process, ``"process"`` fans the
+  specs over a ``concurrent.futures`` process pool (specs travel as
+  JSON dictionaries, so workers share nothing with the parent).  Both
+  return records in spec order, so a sweep's output is byte-identical
+  whichever executor ran it;
+* :class:`Engine` — batch execution plus adaptive sweeps (run, refine,
+  repeat);
+* :class:`Session` — the user-facing façade: presets, single runs with
+  full reports, sweeps, and the memoized oracle.  Every CLI command,
+  benchmark, and example routes through a session.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import functools
+import os
+import time
+from typing import Callable, Iterable, Sequence
+
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import BSMReport, make_adversary, run_bsm
+from repro.core.solvability import SolvabilityVerdict, is_solvable
+from repro.crypto.signatures import KeyRing
+from repro.errors import SolvabilityError
+from repro.experiment.records import RunRecord, RunRecordSet
+from repro.experiment.spec import ScenarioSpec, Sweep
+from repro.ids import all_parties
+
+__all__ = [
+    "EXECUTORS",
+    "execute_spec",
+    "cached_verdict",
+    "cached_keyring",
+    "Engine",
+    "Session",
+]
+
+EXECUTORS = ("serial", "process")
+
+
+def _implied_executor(executor: str | None, workers: int | None) -> str:
+    """An unspecified executor defaults to serial — unless the caller
+    asked for workers, which only the process pool can honor."""
+    if executor is not None:
+        return executor
+    return "process" if workers is not None else "serial"
+
+
+# -- memoized pure values (per process; workers build their own) ---------------
+
+
+@functools.lru_cache(maxsize=4096)
+def cached_verdict(setting: Setting) -> SolvabilityVerdict:
+    """The solvability oracle, memoized across runs."""
+    return is_solvable(setting)
+
+
+@functools.lru_cache(maxsize=64)
+def cached_keyring(k: int) -> KeyRing:
+    """One PKI per side size, shared by every authenticated run.
+
+    A :class:`KeyRing` is immutable after construction, so reusing it
+    across runs is safe and skips ``2k`` key derivations per run.
+    """
+    return KeyRing(all_parties(k))
+
+
+# -- spec execution ------------------------------------------------------------
+
+
+def _build_bsm_run(spec: ScenarioSpec):
+    """Materialize one bsm spec: ``(setting, verdict, instance, adversary,
+    adversary_kind, corrupted)`` — shared by the record and report paths."""
+    setting = spec.setting()
+    verdict = cached_verdict(setting)
+    instance = BSMInstance(setting, spec.profile.build(spec.k))
+    adversary = None
+    adversary_kind = "none"
+    corrupted: tuple = ()
+    if spec.adversary is not None:
+        corrupted = spec.adversary.corrupted_parties(setting)
+        if corrupted:
+            adversary_kind = spec.adversary.kind
+            adversary = make_adversary(
+                instance,
+                corrupted,
+                kind=spec.adversary.kind,
+                # Resolve the recipe here so make_adversary does not hit
+                # the uncached oracle once per run.
+                recipe=spec.recipe or verdict.recipe or "bb_direct",
+                seed=spec.adversary.seed,
+                crash_round=spec.adversary.crash_round,
+                mutator=spec.adversary.mutator,
+            )
+    return setting, verdict, instance, adversary, adversary_kind, corrupted
+
+
+def _bsm_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
+    setting = spec.setting()
+    verdict = cached_verdict(setting)
+    if spec.recipe is None and verdict.recipe is None:
+        # Unsolvable point, no recipe forced: nothing to run.  Emit a
+        # not-run record instead of aborting the whole sweep, so grid
+        # sweeps over budgets="all" characterize rather than crash.
+        return (
+            RunRecord(
+                scenario=spec.label(),
+                family="bsm",
+                topology=spec.topology,
+                authenticated=spec.authenticated,
+                k=spec.k,
+                tL=spec.tL,
+                tR=spec.tR,
+                seed=spec.profile.seed,
+                solvable=False,
+                theorem=verdict.theorem,
+                adversary=spec.adversary.kind if spec.adversary else "none",
+                violations=(f"not run: {verdict.reason}",),
+            ),
+        )
+    setting, verdict, instance, adversary, adversary_kind, corrupted = _build_bsm_run(spec)
+    report = run_bsm(
+        instance,
+        adversary,
+        recipe=spec.recipe,
+        max_rounds=spec.max_rounds,
+        record_trace=spec.record_trace,
+        keyring=cached_keyring(spec.k) if setting.authenticated else None,
+        verdict=verdict,
+    )
+    outputs = tuple(
+        (str(party), str(report.result.outputs.get(party)))
+        for party in sorted(report.honest)
+    )
+    matched = sum(1 for _, partner in outputs if partner != "None")
+    return (
+        RunRecord(
+            scenario=spec.label(),
+            family="bsm",
+            topology=spec.topology,
+            authenticated=spec.authenticated,
+            k=spec.k,
+            tL=spec.tL,
+            tR=spec.tR,
+            seed=spec.profile.seed,
+            recipe=spec.recipe or (verdict.recipe or ""),
+            solvable=verdict.solvable,
+            theorem=verdict.theorem,
+            adversary=adversary_kind,
+            corrupted=len(corrupted),
+            ok=report.ok,
+            termination=report.report.termination,
+            symmetry=report.report.symmetry,
+            stability=report.report.stability,
+            non_competition=report.report.non_competition,
+            violations=tuple(report.report.violations),
+            rounds=report.result.rounds,
+            messages=report.result.message_count,
+            bytes=report.result.byte_count,
+            matched=matched,
+            outputs=outputs,
+        ),
+    )
+
+
+def _attack_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
+    from repro.adversary.attacks import run_attack
+
+    twisted = attack_spec(spec.attack)
+    report = run_attack(twisted)
+    setting = twisted.setting
+    verdict = cached_verdict(setting)
+    records = []
+    for scenario_name, outcome in report.outcomes.items():
+        outputs = tuple(
+            (str(party), str(value)) for party, value in sorted(outcome.outputs.items())
+        )
+        records.append(
+            RunRecord(
+                scenario=f"{spec.label()}/{scenario_name}",
+                family="attack",
+                topology=setting.topology_name,
+                authenticated=setting.authenticated,
+                k=setting.k,
+                tL=setting.tL,
+                tR=setting.tR,
+                recipe=twisted.recipe,
+                solvable=verdict.solvable,
+                theorem=verdict.theorem,
+                adversary="twisted",
+                corrupted=len(outcome.corrupted),
+                ok=outcome.report.all_ok,
+                termination=outcome.report.termination,
+                symmetry=outcome.report.symmetry,
+                stability=outcome.report.stability,
+                non_competition=outcome.report.non_competition,
+                violations=tuple(outcome.report.violations),
+                rounds=outcome.result.rounds,
+                messages=outcome.result.message_count,
+                bytes=outcome.result.byte_count,
+                matched=sum(1 for _, v in outputs if v != "None"),
+                outputs=outputs,
+            )
+        )
+    return tuple(records)
+
+
+def _run_roommates_spec(spec: ScenarioSpec):
+    """Execute one roommates spec; returns ``(report, adversary_kind, corrupted)``."""
+    from repro.adversary.adversary import BehaviorAdversary, SilentBehavior
+    from repro.core.roommates_bsm import RoommatesInstance, RoommatesSetting, run_roommates
+
+    setting = RoommatesSetting(n=spec.n, t=spec.t, authenticated=spec.authenticated)
+    parties = setting.parties()
+    instance = RoommatesInstance(setting, spec.profile.build_roommates(parties))
+    adversary = None
+    corrupted: tuple = ()
+    adversary_kind = "none"
+    if spec.adversary is not None and spec.t > 0:
+        if spec.adversary.kind != "silent":
+            raise SolvabilityError(
+                "roommates specs currently support only the silent adversary"
+            )
+        adversary_kind = spec.adversary.kind
+        if spec.adversary.corrupt == "budget":
+            corrupted = tuple(parties[-spec.t:])
+        else:
+            corrupted = spec.adversary.corrupted_parties(
+                Setting("fully_connected", spec.authenticated, setting.k, 0, 0)
+            )
+        adversary = BehaviorAdversary({p: SilentBehavior() for p in corrupted})
+    report = run_roommates(
+        instance,
+        adversary,
+        max_rounds=spec.max_rounds or 400,
+        reference_solvable=False if adversary is not None else None,
+    )
+    return report, adversary_kind, corrupted
+
+
+def _roommates_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
+    report, adversary_kind, corrupted = _run_roommates_spec(spec)
+    setting = report.setting
+    outputs = tuple(
+        (str(party), str(report.result.outputs.get(party)))
+        for party in sorted(report.honest)
+    )
+    return (
+        RunRecord(
+            scenario=spec.label(),
+            family="roommates",
+            topology="fully_connected",
+            authenticated=spec.authenticated,
+            k=setting.k,
+            tL=spec.t,
+            tR=0,
+            seed=spec.profile.seed,
+            recipe="roommates_bb",
+            adversary=adversary_kind,
+            corrupted=len(corrupted),
+            ok=report.ok,
+            termination=report.verdict.termination,
+            symmetry=report.verdict.symmetry,
+            stability=report.verdict.conditional_stability,
+            non_competition=report.verdict.non_competition,
+            violations=tuple(report.verdict.violations),
+            rounds=report.result.rounds,
+            messages=report.result.message_count,
+            bytes=report.result.byte_count,
+            matched=sum(1 for _, v in outputs if v != "None"),
+            outputs=outputs,
+        ),
+    )
+
+
+def _offline_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
+    from repro.ids import left_side
+    from repro.matching.gale_shapley import gale_shapley
+    from repro.matching.incomplete import gale_shapley_incomplete
+
+    profile = spec.profile.build(spec.k)
+    if spec.algorithm == "incomplete":
+        matching = gale_shapley_incomplete(profile)
+        proposals = 0
+    else:
+        result = gale_shapley(profile)
+        matching = result.matching
+        proposals = result.proposals
+    matched = sum(
+        1 for party in left_side(spec.k) if matching.partner(party) is not None
+    )
+    return (
+        RunRecord(
+            scenario=spec.label(),
+            family="offline",
+            k=spec.k,
+            seed=spec.profile.seed,
+            recipe=spec.algorithm,
+            ok=True,
+            termination=True,
+            symmetry=True,
+            stability=True,
+            non_competition=True,
+            matched=matched,
+            proposals=proposals,
+        ),
+    )
+
+
+def attack_spec(lemma: str):
+    """The twisted-system construction for a lemma name."""
+    from repro.adversary.attacks import lemma5_spec, lemma7_spec, lemma13_spec
+
+    constructors = {
+        "lemma5": lemma5_spec,
+        "lemma7": lemma7_spec,
+        "lemma13": lemma13_spec,
+    }
+    try:
+        return constructors[lemma]()
+    except KeyError as exc:
+        raise SolvabilityError(
+            f"unknown attack {lemma!r}; known: {sorted(constructors)}"
+        ) from exc
+
+
+_FAMILY_RUNNERS: dict[str, Callable[[ScenarioSpec], tuple[RunRecord, ...]]] = {
+    "bsm": _bsm_records,
+    "attack": _attack_records,
+    "roommates": _roommates_records,
+    "offline": _offline_records,
+}
+
+
+def execute_spec(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
+    """Run one scenario and return its record rows (pure, deterministic)."""
+    return _FAMILY_RUNNERS[spec.family](spec)
+
+
+def _pool_worker(payload: dict) -> list[dict]:
+    """Process-pool entry point: dict in, dicts out (picklable both ways)."""
+    spec = ScenarioSpec.from_dict(payload)
+    return [record.to_dict() for record in execute_spec(spec)]
+
+
+# -- the engine ----------------------------------------------------------------
+
+
+class Engine:
+    """Executes sweeps on a pluggable executor with per-process memoization.
+
+    ``executor`` is ``"serial"`` (default) or ``"process"``; ``workers``
+    bounds the pool (default: CPU count).  Adding a new backend —
+    sharded, async, remote — means adding a new executor here, not
+    rewriting callers.
+    """
+
+    def __init__(self, executor: str = "serial", workers: int | None = None) -> None:
+        if executor not in EXECUTORS:
+            raise SolvabilityError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        self.executor = executor
+        self.workers = workers or (os.cpu_count() or 2)
+
+    def run(self, spec: ScenarioSpec) -> RunRecordSet:
+        """Execute one spec in-process."""
+        started = time.perf_counter()
+        records = execute_spec(spec)
+        return RunRecordSet(
+            records=records,
+            elapsed_seconds=time.perf_counter() - started,
+            executor="serial",
+        )
+
+    def run_sweep(self, sweep: Sweep | Iterable[ScenarioSpec]) -> RunRecordSet:
+        """Execute a batch; records come back in spec order regardless
+        of which executor (or worker) ran each spec."""
+        specs = tuple(sweep)
+        started = time.perf_counter()
+        if self.executor == "process" and len(specs) > 1:
+            payloads = [spec.to_dict() for spec in specs]
+            chunksize = max(1, len(payloads) // (self.workers * 4))
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.workers, len(payloads))
+            ) as pool:
+                rows_per_spec = list(
+                    pool.map(_pool_worker, payloads, chunksize=chunksize)
+                )
+            records = tuple(
+                RunRecord.from_dict(row) for rows in rows_per_spec for row in rows
+            )
+        else:
+            records = tuple(
+                record for spec in specs for record in execute_spec(spec)
+            )
+        return RunRecordSet(
+            records=records,
+            elapsed_seconds=time.perf_counter() - started,
+            executor=self.executor,
+        )
+
+    def run_adaptive(
+        self,
+        initial: Sweep | Iterable[ScenarioSpec],
+        refine: Callable[[RunRecordSet], Sequence[ScenarioSpec]],
+        max_batches: int = 8,
+    ) -> RunRecordSet:
+        """Adaptive sweep: run a batch, let ``refine`` propose the next.
+
+        ``refine`` sees everything gathered so far and returns the next
+        batch of specs (empty to stop).  Useful for walking a frontier:
+        run cheap points first, then spend runs only where the verdict
+        flips.
+        """
+        gathered = self.run_sweep(initial)
+        for _ in range(max_batches):
+            next_specs = tuple(refine(gathered))
+            if not next_specs:
+                break
+            gathered = gathered + self.run_sweep(next_specs)
+        return gathered
+
+
+# -- the façade ----------------------------------------------------------------
+
+
+class Session:
+    """One front door for every caller: CLI, benchmarks, examples, tests.
+
+    A session wraps an :class:`Engine` plus the memoized oracle, and
+    offers three granularities:
+
+    * :meth:`solve` — a (memoized) solvability verdict;
+    * :meth:`run` / :meth:`sweep` — records, through the configured
+      executor;
+    * :meth:`report` / :meth:`attack` / :meth:`execute` — full in-
+      process report objects, for callers that need traces, outputs,
+      or the attack scenarios' indistinguishability checks.
+    """
+
+    def __init__(self, executor: str | None = None, workers: int | None = None) -> None:
+        self.engine = Engine(
+            executor=_implied_executor(executor, workers), workers=workers
+        )
+
+    # -- oracle ---------------------------------------------------------------
+
+    def solve(self, setting: Setting) -> SolvabilityVerdict:
+        """The paper's characterization for one setting (memoized)."""
+        return cached_verdict(setting)
+
+    # -- records --------------------------------------------------------------
+
+    def run(self, spec: ScenarioSpec) -> RunRecordSet:
+        """Execute one spec and return its records."""
+        return self.engine.run(spec)
+
+    def sweep(
+        self,
+        sweep: Sweep | Iterable[ScenarioSpec] | str,
+        *,
+        executor: str | None = None,
+        workers: int | None = None,
+    ) -> RunRecordSet:
+        """Execute a sweep (or a preset, by name) and return all records."""
+        if isinstance(sweep, str):
+            sweep = self.preset(sweep)
+        engine = self.engine
+        if executor is not None or workers is not None:
+            if executor is None:
+                # workers only makes sense on the pool: honor the request.
+                executor = "process" if workers is not None else self.engine.executor
+            engine = Engine(executor=executor, workers=workers or self.engine.workers)
+        return engine.run_sweep(sweep)
+
+    def adaptive(self, initial, refine, max_batches: int = 8) -> RunRecordSet:
+        """Adaptive sweep — see :meth:`Engine.run_adaptive`."""
+        return self.engine.run_adaptive(initial, refine, max_batches=max_batches)
+
+    # -- full reports ---------------------------------------------------------
+
+    def report(self, spec: ScenarioSpec) -> BSMReport:
+        """Run one bSM spec in-process and return the full report
+        (result, trace when ``record_trace``, property breakdown)."""
+        if spec.family != "bsm":
+            raise SolvabilityError(
+                f"report() is for the bsm family, got {spec.family!r}; "
+                "use attack()/run() for other families"
+            )
+        _, _, instance, adversary, _, _ = _build_bsm_run(spec)
+        return self.execute(
+            instance,
+            adversary,
+            recipe=spec.recipe,
+            max_rounds=spec.max_rounds,
+            record_trace=spec.record_trace,
+        )
+
+    def execute(
+        self,
+        instance: BSMInstance,
+        adversary=None,
+        *,
+        recipe: str | None = None,
+        max_rounds: int | None = None,
+        enforce_structure: bool = True,
+        record_trace: bool = False,
+    ) -> BSMReport:
+        """The imperative escape hatch: run a pre-built instance/adversary
+        with the session's memoized keyring and verdict."""
+        setting = instance.setting
+        return run_bsm(
+            instance,
+            adversary,
+            recipe=recipe,
+            max_rounds=max_rounds,
+            enforce_structure=enforce_structure,
+            record_trace=record_trace,
+            keyring=cached_keyring(setting.k) if setting.authenticated else None,
+            verdict=cached_verdict(setting),
+        )
+
+    def attack(self, lemma: str):
+        """Run a twisted-system construction; returns the full
+        :class:`~repro.adversary.attacks.AttackReport`."""
+        from repro.adversary.attacks import run_attack
+
+        return run_attack(attack_spec(lemma))
+
+    def roommates(self, spec: ScenarioSpec):
+        """Run one roommates spec in-process and return the full report."""
+        if spec.family != "roommates":
+            raise SolvabilityError(f"roommates() needs a roommates spec, got {spec.family!r}")
+        report, _, _ = _run_roommates_spec(spec)
+        return report
+
+    # -- presets --------------------------------------------------------------
+
+    def preset(self, name: str) -> Sweep:
+        """A named sweep from :mod:`repro.experiment.presets`."""
+        from repro.experiment.presets import preset
+
+        return preset(name)

@@ -1,0 +1,264 @@
+"""Named scenario presets: the paper's figures and tables, plus new workloads.
+
+Each preset is a zero-argument constructor returning a
+:class:`~repro.experiment.spec.Sweep`, so ``repro sweep --preset
+table1`` and ``Session().sweep("table1")`` mean the same batch.  The
+catalog covers:
+
+* ``table1`` / ``table1_large`` — the Section 1 contribution table,
+  validated by simulation: every oracle-solvable grid point runs the
+  prescribed protocol under the worst-case silent adversary;
+* ``fig2`` / ``fig3`` / ``fig4`` / ``impossibility`` — the executable
+  impossibility constructions of Lemmas 5, 7, 13;
+* ``equivocation`` — Lemma-style split-view equivocation across the
+  four broadcast substrates (the canned ``reverse_even`` mutator);
+* ``frontier`` — an oracle-guided *adaptive* workload: only the
+  boundary points where solvability flips, each validated by a run on
+  the solvable side;
+* ``roommates`` — the Section 6 single-set extension across ``n``;
+* ``gs_ensemble`` / ``incomplete_ensemble`` — offline ensemble sweeps
+  (random stable matchings à la Mertens; incomplete lists à la [13]);
+* ``smoke`` — a six-spec sanity batch for CI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.problem import Setting
+from repro.core.solvability import is_solvable
+from repro.errors import SolvabilityError
+from repro.experiment.spec import AdversarySpec, ProfileSpec, ScenarioSpec, Sweep
+from repro.net.topology import TOPOLOGY_NAMES
+
+__all__ = ["PRESETS", "preset", "preset_names"]
+
+
+def _table1(ks: tuple[int, ...]) -> Sweep:
+    return Sweep.grid(
+        topologies=TOPOLOGY_NAMES,
+        auths=(False, True),
+        ks=ks,
+        budgets="solvable",
+        seeds=(7,),
+        adversary=AdversarySpec(kind="silent"),
+    )
+
+
+def table1() -> Sweep:
+    """The contribution table at ``k`` = 2, 3 (the tier-1 workload)."""
+    return _table1((2, 3))
+
+
+def table1_large() -> Sweep:
+    """The contribution table at ``k`` = 2-4 (the benchmark workload)."""
+    return _table1((2, 3, 4))
+
+
+def _attacks(*lemmas: str) -> Sweep:
+    return Sweep.of(
+        *(ScenarioSpec(family="attack", attack=lemma) for lemma in lemmas)
+    )
+
+
+def fig2() -> Sweep:
+    """Lemma 5 / Fig. 2: the 12-node duplication attack."""
+    return _attacks("lemma5")
+
+
+def fig3() -> Sweep:
+    """Lemma 7 / Fig. 3: the 8-cycle attack."""
+    return _attacks("lemma7")
+
+
+def fig4() -> Sweep:
+    """Lemma 13 / Fig. 4: the two-group simulation attack."""
+    return _attacks("lemma13")
+
+
+def impossibility() -> Sweep:
+    """All three impossibility constructions, in paper order."""
+    return _attacks("lemma5", "lemma7", "lemma13")
+
+
+def equivocation() -> Sweep:
+    """Split-view equivocation against each broadcast substrate."""
+    points = (
+        ("fully_connected", True, 3, 1, 1),
+        ("fully_connected", False, 4, 1, 1),
+        ("bipartite", True, 3, 1, 1),
+        ("one_sided", False, 4, 1, 1),
+    )
+    return Sweep.of(
+        *(
+            ScenarioSpec(
+                topology=topo,
+                authenticated=auth,
+                k=k,
+                tL=tL,
+                tR=tR,
+                profile=ProfileSpec(seed=3),
+                adversary=AdversarySpec(
+                    kind="equivocate", corrupt=("R0",), mutator="reverse_even"
+                ),
+            )
+            for topo, auth, k, tL, tR in points
+        )
+    )
+
+
+def frontier(ks: tuple[int, ...] = (3, 4)) -> Sweep:
+    """The solvability frontier, found adaptively via the oracle.
+
+    For each topology/crypto/``k``/``tL``, walk ``tR`` upward and keep
+    only the last solvable point before a flip (or the extreme ``tR``
+    when nothing flips) — then validate each frontier point by a full
+    run under the worst-case silent adversary.  This is the paper's
+    "tight" claim as a workload: the protocols work right up to the
+    boundary.
+    """
+    specs: list[ScenarioSpec] = []
+    for topology in TOPOLOGY_NAMES:
+        for auth in (False, True):
+            for k in ks:
+                for tL in range(k + 1):
+                    last_solvable: int | None = None
+                    for tR in range(k + 1):
+                        if is_solvable(Setting(topology, auth, k, tL, tR)).solvable:
+                            last_solvable = tR
+                        elif last_solvable is not None:
+                            break
+                    if last_solvable is None:
+                        continue
+                    specs.append(
+                        ScenarioSpec(
+                            name=f"frontier/{topology}/{'auth' if auth else 'unauth'}"
+                            f"/k{k}/tL{tL}/tR{last_solvable}",
+                            topology=topology,
+                            authenticated=auth,
+                            k=k,
+                            tL=tL,
+                            tR=last_solvable,
+                            profile=ProfileSpec(seed=7),
+                            adversary=AdversarySpec(kind="silent"),
+                        )
+                    )
+    return Sweep.of(*specs)
+
+
+def roommates() -> Sweep:
+    """The Section 6 roommates extension across ``n``, one silent peer."""
+    return Sweep.of(
+        *(
+            ScenarioSpec(
+                family="roommates",
+                n=n,
+                t=1,
+                authenticated=True,
+                profile=ProfileSpec(seed=seed),
+                adversary=AdversarySpec(kind="silent"),
+            )
+            for n in (4, 6, 8)
+            for seed in (1, 2)
+        )
+    )
+
+
+def gs_ensemble() -> Sweep:
+    """Offline Gale-Shapley over a random ensemble (proposal statistics)."""
+    return Sweep.of(
+        *(
+            ScenarioSpec(
+                family="offline",
+                algorithm="gale_shapley",
+                k=k,
+                profile=ProfileSpec(kind=kind, seed=seed),
+            )
+            for k in (10, 20, 40)
+            for kind in ("random", "master_list")
+            for seed in range(5)
+        )
+    )
+
+
+def incomplete_ensemble() -> Sweep:
+    """Offline incomplete-lists ensemble: matched-set size vs acceptance."""
+    return Sweep.of(
+        *(
+            ScenarioSpec(
+                family="offline",
+                algorithm="incomplete",
+                k=k,
+                profile=ProfileSpec(
+                    kind="incomplete_random", acceptance=acceptance, seed=seed
+                ),
+            )
+            for k in (10, 20)
+            for acceptance in (0.25, 0.5, 0.75)
+            for seed in range(5)
+        )
+    )
+
+
+def smoke() -> Sweep:
+    """A six-spec sanity batch: one of each shape, all fast."""
+    return Sweep.of(
+        ScenarioSpec(k=2, tL=0, tR=0, name="smoke/fault_free"),
+        ScenarioSpec(
+            k=2,
+            tL=1,
+            tR=0,
+            adversary=AdversarySpec(kind="silent"),
+            name="smoke/silent",
+        ),
+        ScenarioSpec(
+            topology="bipartite",
+            authenticated=True,
+            k=2,
+            tL=1,
+            tR=1,
+            adversary=AdversarySpec(kind="equivocate", corrupt=("R0",)),
+            name="smoke/equivocate",
+        ),
+        ScenarioSpec(family="attack", attack="lemma7", name="smoke/fig3"),
+        ScenarioSpec(
+            family="roommates",
+            n=4,
+            t=1,
+            authenticated=True,
+            adversary=AdversarySpec(kind="silent"),
+            name="smoke/roommates",
+        ),
+        ScenarioSpec(family="offline", algorithm="gale_shapley", k=8, name="smoke/gs"),
+    )
+
+
+PRESETS: dict[str, Callable[[], Sweep]] = {
+    "table1": table1,
+    "table1_large": table1_large,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "impossibility": impossibility,
+    "equivocation": equivocation,
+    "frontier": frontier,
+    "roommates": roommates,
+    "gs_ensemble": gs_ensemble,
+    "incomplete_ensemble": incomplete_ensemble,
+    "smoke": smoke,
+}
+
+
+def preset(name: str) -> Sweep:
+    """Resolve a preset name to its sweep."""
+    try:
+        return PRESETS[name]()
+    except KeyError as exc:
+        raise SolvabilityError(
+            f"unknown preset {name!r}; known: {sorted(PRESETS)}"
+        ) from exc
+
+
+def preset_names() -> tuple[str, ...]:
+    """All preset names, sorted."""
+    return tuple(sorted(PRESETS))

@@ -1,0 +1,231 @@
+"""Columnar run records: what a sweep returns.
+
+One :class:`RunRecord` is the flat, JSON-ready distillation of one
+protocol execution (or one scenario of an attack construction, or one
+offline algorithm run).  A :class:`RunRecordSet` holds many of them in
+spec order and offers the operations every benchmark used to hand-roll:
+column extraction, grouped aggregation, and CSV/JSON export.
+
+Records are deliberately *deterministic*: they carry no wall-clock or
+host information, so the same sweep produces byte-identical record sets
+(and aggregates) through the serial and process-pool executors — the
+engine's cross-executor regression tests rely on this.  Timing lives on
+the record set as metadata (``elapsed_seconds``, ``executor``) and is
+excluded from serialization and equality.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+from dataclasses import dataclass, field, fields
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["RunRecord", "RunRecordSet", "COLUMNS"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One run, flattened to plain scalars and strings."""
+
+    scenario: str
+    family: str
+    topology: str = ""
+    authenticated: bool = False
+    k: int = 0
+    tL: int = 0
+    tR: int = 0
+    seed: int = 0
+    recipe: str = ""
+    solvable: bool | None = None
+    theorem: str = ""
+    adversary: str = "none"
+    corrupted: int = 0
+    ok: bool = False
+    termination: bool = False
+    symmetry: bool = False
+    stability: bool = False
+    non_competition: bool = False
+    violations: tuple[str, ...] = ()
+    rounds: int = 0
+    messages: int = 0
+    bytes: int = 0
+    matched: int = 0
+    proposals: int = 0
+    outputs: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "violations", tuple(self.violations))
+        object.__setattr__(
+            self, "outputs", tuple((str(p), str(v)) for p, v in self.outputs)
+        )
+
+    def to_dict(self) -> dict:
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["violations"] = list(self.violations)
+        data["outputs"] = [list(pair) for pair in self.outputs]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunRecord":
+        known = {f.name for f in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        if "violations" in kwargs:
+            kwargs["violations"] = tuple(kwargs["violations"])
+        if "outputs" in kwargs:
+            kwargs["outputs"] = tuple(tuple(pair) for pair in kwargs["outputs"])
+        return cls(**kwargs)
+
+
+#: Column order for tabular export (CSV headers, ``columns()`` keys).
+COLUMNS: tuple[str, ...] = tuple(
+    f.name for f in fields(RunRecord) if f.name not in ("violations", "outputs")
+)
+
+
+@dataclass
+class RunRecordSet:
+    """An ordered, columnar collection of run records.
+
+    Behaves like a sequence of :class:`RunRecord` and like a small
+    column store: ``column("rounds")`` gives the column as a list,
+    ``aggregate(by=("topology", "authenticated"))`` folds the set into
+    per-group summaries.  ``elapsed_seconds`` and ``executor`` describe
+    how the batch was executed and are *not* part of equality or
+    serialization.
+    """
+
+    records: tuple[RunRecord, ...] = ()
+    elapsed_seconds: float = field(default=0.0, compare=False)
+    executor: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        self.records = tuple(self.records)
+
+    # -- sequence protocol ----------------------------------------------------
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, index):
+        return self.records[index]
+
+    def __add__(self, other: "RunRecordSet") -> "RunRecordSet":
+        return RunRecordSet(
+            records=self.records + tuple(other),
+            elapsed_seconds=self.elapsed_seconds + getattr(other, "elapsed_seconds", 0.0),
+            executor=self.executor or getattr(other, "executor", ""),
+        )
+
+    # -- columnar views -------------------------------------------------------
+
+    def column(self, name: str) -> list:
+        """One column, in record order."""
+        return [getattr(record, name) for record in self.records]
+
+    def columns(self) -> dict[str, list]:
+        """Every scalar column, keyed by name."""
+        return {name: self.column(name) for name in COLUMNS}
+
+    def where(self, predicate: Callable[[RunRecord], bool]) -> "RunRecordSet":
+        """The records satisfying ``predicate`` (order preserved)."""
+        return RunRecordSet(
+            records=tuple(r for r in self.records if predicate(r)),
+            executor=self.executor,
+        )
+
+    @property
+    def ok_count(self) -> int:
+        """Runs where every checked property held."""
+        return sum(1 for record in self.records if record.ok)
+
+    @property
+    def failures(self) -> "RunRecordSet":
+        """bSM-family records on solvable settings that still failed."""
+        return self.where(
+            lambda r: r.family == "bsm" and r.solvable is True and not r.ok
+        )
+
+    # -- aggregation ----------------------------------------------------------
+
+    def aggregate(
+        self,
+        by: Sequence[str] = ("topology", "authenticated"),
+        metrics: Sequence[str] = ("rounds", "messages", "bytes"),
+    ) -> list[dict]:
+        """Fold the set into per-group summaries.
+
+        Groups are the distinct values of the ``by`` columns, in first-
+        appearance order.  Each summary carries the group key, ``runs``,
+        ``ok`` (count), and ``mean_*``/``max_*`` for every metric.
+        Deterministic: equal record sets aggregate byte-identically.
+        """
+        groups: dict[tuple, list[RunRecord]] = {}
+        for record in self.records:
+            key = tuple(getattr(record, column) for column in by)
+            groups.setdefault(key, []).append(record)
+        summaries: list[dict] = []
+        for key, members in groups.items():
+            summary: dict = dict(zip(by, key))
+            summary["runs"] = len(members)
+            summary["ok"] = sum(1 for r in members if r.ok)
+            for metric in metrics:
+                values = [getattr(r, metric) for r in members]
+                summary[f"mean_{metric}"] = round(sum(values) / len(values), 6)
+                summary[f"max_{metric}"] = max(values)
+            summaries.append(summary)
+        return summaries
+
+    def aggregate_json(self, **kwargs) -> str:
+        """Canonical JSON of :meth:`aggregate` — the cross-executor invariant."""
+        return json.dumps(self.aggregate(**kwargs), sort_keys=True)
+
+    def summary(self) -> str:
+        """One line: size, pass rate, totals."""
+        total_messages = sum(self.column("messages"))
+        text = (
+            f"{len(self.records)} runs, {self.ok_count} ok, "
+            f"{len(self.failures)} unexpected failures, "
+            f"{total_messages} messages"
+        )
+        if self.elapsed_seconds:
+            text += f", {self.elapsed_seconds:.2f}s ({self.executor})"
+        return text
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"records": [record.to_dict() for record in self.records]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunRecordSet":
+        return cls(records=tuple(RunRecord.from_dict(r) for r in data["records"]))
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys; no timing metadata)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRecordSet":
+        return cls.from_dict(json.loads(text))
+
+    def to_csv(self) -> str:
+        """CSV text with one row per record (scalar columns only)."""
+        buffer = _io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(COLUMNS)
+        for record in self.records:
+            writer.writerow([getattr(record, name) for name in COLUMNS])
+        return buffer.getvalue()
+
+    @classmethod
+    def concat(cls, sets: Iterable["RunRecordSet"]) -> "RunRecordSet":
+        """Concatenate several record sets, preserving order."""
+        merged = RunRecordSet()
+        for one in sets:
+            merged = merged + one
+        return merged

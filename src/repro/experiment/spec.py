@@ -1,0 +1,565 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a complete, JSON-round-trippable description
+of one experiment: which point of the paper's characterization grid to
+run (topology, crypto, ``k``, budgets), where the honest inputs come
+from (:class:`ProfileSpec`), who misbehaves and how
+(:class:`AdversarySpec`), which protocol recipe to force, and the seed.
+A :class:`Sweep` is an ordered collection of specs — built literally,
+by seed replication, or by expanding the full characterization grid.
+
+Specs carry *no* live objects: everything is strings, numbers, and
+party names, so a spec can be archived next to its results, shipped to
+a process-pool worker, or diffed across code versions.  The executable
+side lives in :mod:`repro.experiment.engine`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.core.problem import Setting
+from repro.core.solvability import RECIPES, is_solvable
+from repro.errors import SolvabilityError
+from repro.ids import PartyId, left_side, parse_party, right_side
+from repro.matching.generators import (
+    correlated_profile,
+    master_list_profile,
+    random_incomplete_profile,
+    random_profile,
+    random_roommates_preferences,
+)
+from repro.matching.preferences import PreferenceProfile
+from repro.net.topology import TOPOLOGY_NAMES
+
+__all__ = [
+    "ProfileSpec",
+    "AdversarySpec",
+    "ScenarioSpec",
+    "Sweep",
+    "FAMILIES",
+    "ADVERSARY_KINDS",
+    "PROFILE_KINDS",
+    "worst_case_corruption",
+]
+
+FAMILIES = ("bsm", "attack", "roommates", "offline")
+ADVERSARY_KINDS = ("silent", "noise", "crash", "honest", "equivocate")
+PROFILE_KINDS = ("random", "correlated", "master_list", "explicit", "incomplete_random")
+
+#: Sentinel for "corrupt the full budget": the first ``tL`` left and
+#: first ``tR`` right parties.
+BUDGET = "budget"
+
+
+def worst_case_corruption(setting: Setting) -> tuple[PartyId, ...]:
+    """The canonical full-budget corruption set for a setting."""
+    return tuple(left_side(setting.k)[: setting.tL]) + tuple(
+        right_side(setting.k)[: setting.tR]
+    )
+
+
+def _lists_to_strings(lists: Mapping) -> dict[str, tuple[str, ...]]:
+    return {
+        str(party): tuple(str(c) for c in candidates)
+        for party, candidates in sorted(lists.items(), key=lambda kv: str(kv[0]))
+    }
+
+
+def _lists_from_strings(lists: Mapping) -> dict[PartyId, tuple[PartyId, ...]]:
+    return {
+        parse_party(party): tuple(parse_party(c) for c in candidates)
+        for party, candidates in lists.items()
+    }
+
+
+@dataclass(frozen=True)
+class ProfileSpec:
+    """Where a scenario's honest inputs come from.
+
+    Kinds:
+
+    * ``"random"`` — uniform profile from ``seed``;
+    * ``"correlated"`` — per-side master lists perturbed by
+      ``similarity`` (Khanchandani-Wattenhofer workload);
+    * ``"master_list"`` — fully correlated (maximal contention);
+    * ``"explicit"`` — the lists are spelled out (party names as
+      strings, so the spec stays JSON-serializable);
+    * ``"incomplete_random"`` — incomplete lists, each candidate kept
+      with probability ``acceptance`` (offline family only).
+    """
+
+    kind: str = "random"
+    seed: int = 0
+    similarity: float = 0.5
+    acceptance: float = 0.5
+    lists: Mapping[str, tuple[str, ...]] | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in PROFILE_KINDS:
+            raise SolvabilityError(
+                f"unknown profile kind {self.kind!r}; expected one of {PROFILE_KINDS}"
+            )
+        if self.kind == "explicit" and not self.lists:
+            raise SolvabilityError("explicit profiles need non-empty lists")
+        # Canonicalize knobs other kinds ignore, so spec equality and the
+        # JSON round-trip agree.
+        if self.kind != "correlated":
+            object.__setattr__(self, "similarity", 0.5)
+        if self.kind != "incomplete_random":
+            object.__setattr__(self, "acceptance", 0.5)
+        if self.lists is not None:
+            object.__setattr__(
+                self,
+                "lists",
+                {p: tuple(c) for p, c in sorted(self.lists.items())},
+            )
+
+    @classmethod
+    def explicit(cls, profile: PreferenceProfile | Mapping) -> "ProfileSpec":
+        """Freeze a concrete profile (or PartyId mapping) into a spec."""
+        lists = profile.lists if isinstance(profile, PreferenceProfile) else profile
+        return cls(kind="explicit", lists=_lists_to_strings(lists))
+
+    def build(self, k: int):
+        """Materialize the profile for side size ``k``."""
+        if self.kind == "random":
+            return random_profile(k, self.seed)
+        if self.kind == "correlated":
+            return correlated_profile(k, self.similarity, self.seed)
+        if self.kind == "master_list":
+            return master_list_profile(k, self.seed)
+        if self.kind == "incomplete_random":
+            return random_incomplete_profile(k, self.acceptance, self.seed)
+        return PreferenceProfile.from_dict(_lists_from_strings(self.lists))
+
+    def build_roommates(self, parties: Sequence[PartyId]) -> dict[PartyId, tuple[PartyId, ...]]:
+        """Materialize single-set rankings for the roommates family."""
+        if self.kind == "explicit":
+            return _lists_from_strings(self.lists)
+        return random_roommates_preferences(parties, self.seed)
+
+    def to_dict(self) -> dict:
+        data: dict = {"kind": self.kind, "seed": self.seed}
+        if self.kind == "correlated":
+            data["similarity"] = self.similarity
+        if self.kind == "incomplete_random":
+            data["acceptance"] = self.acceptance
+        if self.lists is not None:
+            data["lists"] = {p: list(c) for p, c in self.lists.items()}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ProfileSpec":
+        return cls(
+            kind=data.get("kind", "random"),
+            seed=int(data.get("seed", 0)),
+            similarity=float(data.get("similarity", 0.5)),
+            acceptance=float(data.get("acceptance", 0.5)),
+            lists={p: tuple(c) for p, c in data["lists"].items()}
+            if data.get("lists") is not None
+            else None,
+        )
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """Who misbehaves and how — fully declarative.
+
+    ``corrupt`` is either the sentinel ``"budget"`` (the canonical
+    worst-case set: first ``tL`` left + first ``tR`` right parties) or
+    an explicit tuple of party names (``("L0", "R2")``).  ``mutator``
+    names a canned mutator from :mod:`repro.adversary.mutators` and is
+    only meaningful for ``kind="equivocate"``.
+    """
+
+    kind: str = "silent"
+    corrupt: str | tuple[str, ...] = BUDGET
+    seed: int = 0
+    crash_round: int = 2
+    mutator: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ADVERSARY_KINDS:
+            raise SolvabilityError(
+                f"unknown adversary kind {self.kind!r}; expected one of {ADVERSARY_KINDS}"
+            )
+        if self.corrupt != BUDGET:
+            if isinstance(self.corrupt, str):
+                raise SolvabilityError(
+                    f"corrupt must be {BUDGET!r} or a tuple of party names, "
+                    f"got the string {self.corrupt!r} (did you mean ({self.corrupt!r},)?)"
+                )
+            object.__setattr__(self, "corrupt", tuple(str(p) for p in self.corrupt))
+        if self.mutator is not None and self.kind != "equivocate":
+            raise SolvabilityError("mutator is only meaningful for kind='equivocate'")
+        # Canonicalize the knob other kinds ignore, so spec equality and
+        # the JSON round-trip agree (mirrors ProfileSpec).
+        if self.kind != "crash":
+            object.__setattr__(self, "crash_round", 2)
+
+    def corrupted_parties(self, setting: Setting) -> tuple[PartyId, ...]:
+        """The concrete corruption set under ``setting``."""
+        if self.corrupt == BUDGET:
+            return worst_case_corruption(setting)
+        return tuple(parse_party(p) for p in self.corrupt)
+
+    def to_dict(self) -> dict:
+        data: dict = {"kind": self.kind, "seed": self.seed}
+        data["corrupt"] = (
+            self.corrupt if self.corrupt == BUDGET else list(self.corrupt)
+        )
+        if self.kind == "crash":
+            data["crash_round"] = self.crash_round
+        if self.mutator is not None:
+            data["mutator"] = self.mutator
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AdversarySpec":
+        corrupt = data.get("corrupt", BUDGET)
+        return cls(
+            kind=data.get("kind", "silent"),
+            corrupt=corrupt if corrupt == BUDGET else tuple(corrupt),
+            seed=int(data.get("seed", 0)),
+            crash_round=int(data.get("crash_round", 2)),
+            mutator=data.get("mutator"),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative experiment, across all workload families.
+
+    Families:
+
+    * ``"bsm"`` — one end-to-end byzantine-stable-matching run in a
+      setting of the characterization grid (the default);
+    * ``"attack"`` — one of the paper's twisted-system impossibility
+      constructions (``attack`` names the lemma), producing one record
+      per attack scenario;
+    * ``"roommates"`` — the Section 6 single-set extension (``n``
+      parties, ``t`` byzantine);
+    * ``"offline"`` — no network at all: run the named offline
+      ``algorithm`` (``gale_shapley`` or ``incomplete``) on a generated
+      instance, for Mertens-style ensemble sweeps.
+    """
+
+    name: str = ""
+    family: str = "bsm"
+    topology: str = "fully_connected"
+    authenticated: bool = True
+    k: int = 3
+    tL: int = 0
+    tR: int = 0
+    profile: ProfileSpec = field(default_factory=ProfileSpec)
+    adversary: AdversarySpec | None = None
+    recipe: str | None = None
+    max_rounds: int | None = None
+    record_trace: bool = False
+    attack: str | None = None
+    n: int = 0
+    t: int = 0
+    algorithm: str = "gale_shapley"
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise SolvabilityError(
+                f"unknown family {self.family!r}; expected one of {FAMILIES}"
+            )
+        if self.family == "attack":
+            if self.attack not in ("lemma5", "lemma7", "lemma13"):
+                raise SolvabilityError(
+                    f"attack specs need attack in lemma5/lemma7/lemma13, got {self.attack!r}"
+                )
+        elif self.attack is not None:
+            raise SolvabilityError("attack is only meaningful for family='attack'")
+        if self.family == "roommates" and self.n <= 0:
+            raise SolvabilityError("roommates specs need n > 0")
+        if self.family == "offline" and self.algorithm not in ("gale_shapley", "incomplete"):
+            raise SolvabilityError(
+                f"offline algorithm must be gale_shapley or incomplete, got {self.algorithm!r}"
+            )
+        if self.profile.kind == "incomplete_random" and self.family != "offline":
+            raise SolvabilityError(
+                "incomplete_random profiles only run in the offline family "
+                "(the protocol stack needs complete lists)"
+            )
+        if self.family == "roommates" and self.profile.kind not in ("random", "explicit"):
+            raise SolvabilityError(
+                f"roommates profiles must be random or explicit, got {self.profile.kind!r} "
+                "(two-sided workload generators do not apply to single-set rankings)"
+            )
+        if self.family == "bsm":
+            if self.topology not in TOPOLOGY_NAMES:
+                raise SolvabilityError(
+                    f"unknown topology {self.topology!r}; expected one of {TOPOLOGY_NAMES}"
+                )
+            if self.recipe is not None and self.recipe not in RECIPES:
+                raise SolvabilityError(
+                    f"unknown recipe {self.recipe!r}; expected one of {RECIPES}"
+                )
+            if not (0 <= self.tL <= self.k and 0 <= self.tR <= self.k):
+                raise SolvabilityError(
+                    f"corruption budgets must lie in [0, k={self.k}], "
+                    f"got tL={self.tL}, tR={self.tR}"
+                )
+        # Canonicalize the fields each family ignores (mirrors ProfileSpec/
+        # AdversarySpec), so spec equality and the JSON round-trip agree.
+        ignored: dict[str, object] = {}
+        if self.family == "attack":
+            ignored = dict(
+                topology="fully_connected", authenticated=True, k=3, tL=0, tR=0,
+                recipe=None, max_rounds=None, record_trace=False,
+                n=0, t=0, algorithm="gale_shapley",
+            )
+        elif self.family == "roommates":
+            ignored = dict(
+                topology="fully_connected", k=3, tL=0, tR=0,
+                recipe=None, record_trace=False, algorithm="gale_shapley",
+            )
+        elif self.family == "offline":
+            ignored = dict(
+                topology="fully_connected", authenticated=True, tL=0, tR=0,
+                recipe=None, max_rounds=None, record_trace=False,
+                n=0, t=0, adversary=None,
+            )
+        else:
+            ignored = dict(n=0, t=0, algorithm="gale_shapley")
+        for field_name, default in ignored.items():
+            object.__setattr__(self, field_name, default)
+
+    # -- derived views --------------------------------------------------------
+
+    def setting(self) -> Setting:
+        """The characterization-grid point this spec runs at (bsm family)."""
+        return Setting(self.topology, self.authenticated, self.k, self.tL, self.tR)
+
+    def label(self) -> str:
+        """``name`` if given, else a stable derived label.
+
+        Derived labels include every run-shaping field (adversary kind,
+        forced recipe), so two distinct unnamed specs never collide.
+        """
+        if self.name:
+            return self.name
+        extra = ""
+        if self.profile.kind == "correlated":
+            extra += f"/correlated{self.profile.similarity:g}"
+        elif self.profile.kind == "incomplete_random":
+            extra += f"/accept{self.profile.acceptance:g}"
+        elif self.profile.kind != "random":
+            extra += f"/{self.profile.kind}"
+        if self.adversary is not None:
+            extra += f"/{self.adversary.kind}"
+        if self.recipe is not None:
+            extra += f"/{self.recipe}"
+        if self.family == "attack":
+            return f"attack/{self.attack}"
+        if self.family == "roommates":
+            crypto = "auth" if self.authenticated else "unauth"
+            return f"roommates/{crypto}/n{self.n}/t{self.t}/s{self.profile.seed}{extra}"
+        if self.family == "offline":
+            return f"offline/{self.algorithm}/k{self.k}/s{self.profile.seed}{extra}"
+        crypto = "auth" if self.authenticated else "unauth"
+        return (
+            f"{self.topology}/{crypto}/k{self.k}/t{self.tL},{self.tR}"
+            f"/s{self.profile.seed}{extra}"
+        )
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        """A copy whose profile (and adversary, if any) use ``seed``."""
+        adversary = (
+            replace(self.adversary, seed=seed) if self.adversary is not None else None
+        )
+        return replace(
+            self, profile=replace(self.profile, seed=seed), adversary=adversary
+        )
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data: dict = {"family": self.family}
+        if self.name:
+            data["name"] = self.name
+        if self.family == "attack":
+            data["attack"] = self.attack
+            # Attacks ignore profile/adversary, but serialize them anyway
+            # so the round trip is exact for any constructible spec.
+            data["profile"] = self.profile.to_dict()
+            if self.adversary is not None:
+                data["adversary"] = self.adversary.to_dict()
+            return data
+        data["profile"] = self.profile.to_dict()
+        if self.adversary is not None:
+            data["adversary"] = self.adversary.to_dict()
+        if self.family == "roommates":
+            data.update(n=self.n, t=self.t, authenticated=self.authenticated)
+            if self.max_rounds is not None:
+                data["max_rounds"] = self.max_rounds
+            return data
+        if self.family == "offline":
+            data.update(algorithm=self.algorithm, k=self.k)
+            return data
+        data.update(
+            topology=self.topology,
+            authenticated=self.authenticated,
+            k=self.k,
+            tL=self.tL,
+            tR=self.tR,
+        )
+        if self.recipe is not None:
+            data["recipe"] = self.recipe
+        if self.max_rounds is not None:
+            data["max_rounds"] = self.max_rounds
+        if self.record_trace:
+            data["record_trace"] = True
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        adversary = data.get("adversary")
+        profile = data.get("profile")
+        return cls(
+            name=data.get("name", ""),
+            family=data.get("family", "bsm"),
+            topology=data.get("topology", "fully_connected"),
+            authenticated=bool(data.get("authenticated", True)),
+            k=int(data.get("k", 3)),
+            tL=int(data.get("tL", 0)),
+            tR=int(data.get("tR", 0)),
+            profile=ProfileSpec.from_dict(profile) if profile is not None else ProfileSpec(),
+            adversary=AdversarySpec.from_dict(adversary) if adversary is not None else None,
+            recipe=data.get("recipe"),
+            max_rounds=data.get("max_rounds"),
+            record_trace=bool(data.get("record_trace", False)),
+            attack=data.get("attack"),
+            n=int(data.get("n", 0)),
+            t=int(data.get("t", 0)),
+            algorithm=data.get("algorithm", "gale_shapley"),
+        )
+
+    def to_json(self) -> str:
+        """A canonical JSON encoding (sorted keys, compact)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """An ordered batch of scenarios, ready for the engine.
+
+    Construct literally (``Sweep.of(spec_a, spec_b)``), by seed
+    replication (:meth:`seeds`), or by expanding the characterization
+    grid (:meth:`grid`).  Sweeps concatenate with ``+`` and serialize
+    like their specs.
+    """
+
+    specs: tuple[ScenarioSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @classmethod
+    def of(cls, *specs: ScenarioSpec) -> "Sweep":
+        """A sweep of exactly these specs, in order."""
+        return cls(specs=specs)
+
+    @classmethod
+    def seeds(cls, spec: ScenarioSpec, seeds: Iterable[int]) -> "Sweep":
+        """Replicate one spec across profile/adversary seeds."""
+        return cls(specs=tuple(spec.with_seed(seed) for seed in seeds))
+
+    @classmethod
+    def grid(
+        cls,
+        topologies: Sequence[str] = TOPOLOGY_NAMES,
+        auths: Sequence[bool] = (False, True),
+        ks: Sequence[int] = (3,),
+        budgets: str | Sequence[tuple[int, int]] = "solvable",
+        seeds: Sequence[int] = (7,),
+        adversary: AdversarySpec | None = AdversarySpec(kind="silent"),
+        profile_kind: str = "random",
+        recipe: str | None = None,
+    ) -> "Sweep":
+        """Expand (topology, auth, k, tL, tR, seed) into scenario specs.
+
+        ``budgets="solvable"`` keeps only grid points the oracle deems
+        solvable (the Table 1 workload); ``"all"`` keeps every point
+        (unsolvable points yield not-run records unless a recipe is
+        forced); an explicit list pins the budget pairs — each pair is
+        used at every ``k`` it fits (``tL, tR <= k``), and a pair no
+        ``k`` can use is an error.
+        """
+        if not isinstance(budgets, str):
+            budgets = [(int(tL), int(tR)) for tL, tR in budgets]
+            max_k = max(ks, default=0)
+            for tL, tR in budgets:
+                if not (0 <= tL <= max_k and 0 <= tR <= max_k):
+                    raise SolvabilityError(
+                        f"budget pair (tL={tL}, tR={tR}) fits no k in {tuple(ks)}"
+                    )
+        specs: list[ScenarioSpec] = []
+        for topology in topologies:
+            for auth in auths:
+                for k in ks:
+                    if isinstance(budgets, str):
+                        pairs = [
+                            (tL, tR) for tL in range(k + 1) for tR in range(k + 1)
+                        ]
+                        if budgets == "solvable":
+                            pairs = [
+                                (tL, tR)
+                                for tL, tR in pairs
+                                if is_solvable(Setting(topology, auth, k, tL, tR)).solvable
+                            ]
+                        elif budgets != "all":
+                            raise SolvabilityError(
+                                f"budgets must be 'solvable', 'all', or pairs, got {budgets!r}"
+                            )
+                    else:
+                        pairs = [(tL, tR) for tL, tR in budgets if tL <= k and tR <= k]
+                    for tL, tR in pairs:
+                        for seed in seeds:
+                            specs.append(
+                                ScenarioSpec(
+                                    topology=topology,
+                                    authenticated=auth,
+                                    k=k,
+                                    tL=tL,
+                                    tR=tR,
+                                    profile=ProfileSpec(kind=profile_kind, seed=seed),
+                                    adversary=adversary if (tL or tR) else None,
+                                    recipe=recipe,
+                                )
+                            )
+        return cls(specs=tuple(specs))
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __add__(self, other: "Sweep") -> "Sweep":
+        return Sweep(specs=self.specs + tuple(other))
+
+    def to_dict(self) -> dict:
+        return {"specs": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Sweep":
+        return cls(specs=tuple(ScenarioSpec.from_dict(s) for s in data["specs"]))
+
+    def to_json(self) -> str:
+        """Canonical JSON for the whole batch."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Sweep":
+        return cls.from_dict(json.loads(text))

@@ -25,6 +25,9 @@ __all__ = [
     "report_to_dict",
     "dump_report",
     "load_result",
+    "dump_records",
+    "load_records",
+    "records_to_csv",
 ]
 
 
@@ -135,3 +138,31 @@ def load_result(path) -> RunResult:
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
     return result_from_dict(data["result"] if "result" in data else data)
+
+
+# -- sweep record sets ---------------------------------------------------------
+
+
+def dump_records(records, path) -> None:
+    """Write a :class:`~repro.experiment.records.RunRecordSet` as JSON.
+
+    Canonical (sorted keys) and free of timing metadata, so two sweeps
+    of the same specs produce byte-identical files — the archive can be
+    diffed across code versions and executors.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(records.to_json())
+
+
+def load_records(path):
+    """Read back a record set written by :func:`dump_records`."""
+    from repro.experiment.records import RunRecordSet
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return RunRecordSet.from_json(handle.read())
+
+
+def records_to_csv(records, path) -> None:
+    """Write a record set as CSV (one row per run, scalar columns)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(records.to_csv())

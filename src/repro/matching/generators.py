@@ -34,6 +34,7 @@ __all__ = [
     "master_list_profile",
     "profile_from_scores",
     "latency_matrix",
+    "random_incomplete_profile",
     "random_roommates_preferences",
 ]
 
@@ -136,6 +137,31 @@ def latency_matrix(
             row[other] = (dx * dx + dy * dy) ** 0.5 + rng.uniform(0, 1)
         matrix[party] = row
     return matrix
+
+
+def random_incomplete_profile(
+    k: int,
+    acceptance: float = 0.5,
+    rng_or_seed: random.Random | int | None = None,
+):
+    """A random incomplete-lists instance: each candidate kept w.p. ``acceptance``.
+
+    Every party draws a uniform ranking of the opposite side and then
+    keeps each candidate independently with probability ``acceptance``
+    (order preserved) — the standard ensemble for studying how the
+    matched set shrinks as acceptability thins out [13].
+    """
+    from repro.matching.incomplete import IncompleteProfile
+
+    if not 0.0 <= acceptance <= 1.0:
+        raise PreferenceError(f"acceptance must lie in [0, 1], got {acceptance}")
+    rng = resolve_rng(rng_or_seed)
+    lists: dict[PartyId, tuple[PartyId, ...]] = {}
+    for party in all_parties(k):
+        candidates = list(default_list(party, k))
+        rng.shuffle(candidates)
+        lists[party] = tuple(c for c in candidates if rng.random() < acceptance)
+    return IncompleteProfile(k=k, lists=lists)
 
 
 def random_roommates_preferences(

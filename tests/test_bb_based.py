@@ -135,10 +135,18 @@ class TestRunnerGuards:
         with pytest.raises(SolvabilityError):
             run_bsm(instance, recipe="teleportation")
 
-    def test_equivocate_without_mutator(self):
+    def test_equivocate_without_mutator_uses_canned_default(self):
         instance = make_instance("fully_connected", True, 2, 1, 0)
-        with pytest.raises(SolvabilityError):
-            make_adversary(instance, [l(0)], kind="equivocate")
+        adversary = make_adversary(instance, [l(0)], kind="equivocate")
+        report = run_bsm(instance, adversary)
+        assert report.ok, report.report.violations
+
+    def test_equivocate_with_unknown_mutator_name(self):
+        from repro.errors import AdversaryError
+
+        instance = make_instance("fully_connected", True, 2, 1, 0)
+        with pytest.raises(AdversaryError):
+            make_adversary(instance, [l(0)], kind="equivocate", mutator="gaslight")
 
     def test_unknown_adversary_kind(self):
         instance = make_instance("fully_connected", True, 2, 1, 0)

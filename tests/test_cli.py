@@ -71,6 +71,83 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "--topology", "ring", "--k", "2", "--tl", "0", "--tr", "0"])
 
+    def test_run_with_equivocate_adversary(self, capsys):
+        code = main(
+            [
+                "run",
+                "--topology", "fully_connected",
+                "--auth",
+                "--k", "3",
+                "--tl", "1",
+                "--tr", "1",
+                "--adversary", "equivocate",
+                "--corrupt", "R0",
+                "--mutator", "reverse_even",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "term=ok sym=ok stab=ok nc=ok" in out
+
+
+class TestSweep:
+    def test_sweep_list(self, capsys):
+        code = main(["sweep", "--list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "table1" in out and "smoke" in out
+
+    def test_sweep_smoke_serial(self, capsys):
+        code = main(["sweep", "--preset", "smoke"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sweep smoke:" in out
+        assert "0 unexpected failures" in out
+        assert "aggregates" in out
+
+    def test_sweep_with_workers_and_exports(self, capsys, tmp_path):
+        json_path = tmp_path / "records.json"
+        csv_path = tmp_path / "records.csv"
+        code = main(
+            [
+                "sweep",
+                "--preset", "smoke",
+                "--workers", "2",
+                "--json", str(json_path),
+                "--csv", str(csv_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(process)" in out
+        from repro.io import load_records
+
+        records = load_records(json_path)
+        assert len(records) >= 6
+        assert csv_path.read_text().startswith("scenario,")
+
+    def test_sweep_without_preset_errors(self, capsys):
+        code = main(["sweep"])
+        assert code == 2
+
+    def test_sweep_from_invalid_spec_json(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"specs": [{"family": "bogus"}]}')
+        code = main(["sweep", "--spec-json", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot load sweep" in err
+
+    def test_sweep_from_spec_json(self, capsys, tmp_path):
+        from repro.experiment import ScenarioSpec, Sweep
+
+        path = tmp_path / "sweep.json"
+        path.write_text(Sweep.of(ScenarioSpec(k=2, name="tiny")).to_json())
+        code = main(["sweep", "--spec-json", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 runs" in out
+
 
 class TestAttack:
     @pytest.mark.parametrize("lemma", ["lemma5", "lemma7", "lemma13"])

@@ -1,0 +1,67 @@
+"""Named presets: resolvable, serializable, and shaped as documented."""
+
+import pytest
+
+from repro.core.solvability import is_solvable
+from repro.errors import SolvabilityError
+from repro.experiment import PRESETS, Session, Sweep, preset, preset_names
+
+
+class TestCatalog:
+    def test_names_sorted_and_complete(self):
+        assert preset_names() == tuple(sorted(PRESETS))
+        for required in ("table1", "fig2", "fig3", "fig4", "equivocation",
+                         "frontier", "roommates", "smoke"):
+            assert required in PRESETS, required
+
+    def test_unknown_preset(self):
+        with pytest.raises(SolvabilityError):
+            preset("table9000")
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_every_preset_expands_and_round_trips(self, name):
+        sweep = preset(name)
+        assert len(sweep) > 0
+        assert Sweep.from_json(sweep.to_json()) == sweep
+
+
+class TestShapes:
+    def test_table1_covers_only_solvable_points(self):
+        for spec in preset("table1"):
+            assert is_solvable(spec.setting()).solvable
+
+    def test_frontier_points_sit_on_the_boundary(self):
+        """Every frontier point is solvable and either maximal in tR or
+        adjacent to an unsolvable point."""
+        from repro.core.problem import Setting
+
+        for spec in preset("frontier"):
+            assert is_solvable(spec.setting()).solvable
+            if spec.tR < spec.k:
+                neighbor = Setting(
+                    spec.topology, spec.authenticated, spec.k, spec.tL, spec.tR + 1
+                )
+                assert not is_solvable(neighbor).solvable, spec.label()
+
+    def test_impossibility_runs_violate_somewhere(self):
+        records = Session().sweep("impossibility")
+        for lemma in ("lemma5", "lemma7", "lemma13"):
+            group = [r for r in records if lemma in r.scenario]
+            assert group, lemma
+            assert any(not r.ok for r in group), lemma
+
+    def test_equivocation_preset_holds_everywhere(self):
+        records = Session().sweep("equivocation")
+        assert len(records) == 4
+        assert all(r.ok for r in records), [r.scenario for r in records if not r.ok]
+
+    def test_incomplete_ensemble_matched_grows_with_acceptance(self):
+        records = Session().sweep("incomplete_ensemble")
+        by_acceptance: dict[float, list[int]] = {}
+        for spec, record in zip(preset("incomplete_ensemble"), records):
+            by_acceptance.setdefault(spec.profile.acceptance, []).append(record.matched)
+        means = {
+            acceptance: sum(values) / len(values)
+            for acceptance, values in by_acceptance.items()
+        }
+        assert means[0.25] < means[0.75]

@@ -1,0 +1,241 @@
+"""ScenarioSpec / Sweep: validation, derived views, JSON round-trips."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import SolvabilityError
+from repro.experiment import (
+    AdversarySpec,
+    ProfileSpec,
+    ScenarioSpec,
+    Sweep,
+    worst_case_corruption,
+)
+from repro.ids import left_party, right_party
+from repro.matching.generators import random_profile
+from repro.matching.preferences import PreferenceProfile
+
+
+class TestProfileSpec:
+    @pytest.mark.parametrize("kind", ["random", "correlated", "master_list"])
+    def test_round_trip(self, kind):
+        spec = ProfileSpec(kind=kind, seed=11, similarity=0.3)
+        again = ProfileSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+
+    def test_ignored_knobs_are_canonicalized(self):
+        assert ProfileSpec(kind="random", similarity=0.3) == ProfileSpec(kind="random")
+        assert ProfileSpec(kind="correlated", similarity=0.3).similarity == 0.3
+
+    def test_build_matches_generators(self):
+        assert ProfileSpec(seed=5).build(3) == random_profile(3, 5)
+
+    def test_explicit_round_trips_profile(self):
+        profile = random_profile(3, 9)
+        spec = ProfileSpec.explicit(profile)
+        again = ProfileSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+        assert again.build(3) == profile
+
+    def test_explicit_needs_lists(self):
+        with pytest.raises(SolvabilityError):
+            ProfileSpec(kind="explicit")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SolvabilityError):
+            ProfileSpec(kind="telepathic")
+
+    def test_incomplete_random_builds(self):
+        profile = ProfileSpec(kind="incomplete_random", acceptance=0.5, seed=2).build(4)
+        assert profile.k == 4
+        # Determinism: same spec, same instance.
+        assert ProfileSpec(kind="incomplete_random", acceptance=0.5, seed=2).build(4).lists == profile.lists
+
+
+class TestAdversarySpec:
+    def test_round_trip_budget(self):
+        spec = AdversarySpec(kind="silent")
+        assert AdversarySpec.from_dict(spec.to_dict()) == spec
+
+    def test_round_trip_explicit(self):
+        spec = AdversarySpec(kind="equivocate", corrupt=("R0", "L1"), mutator="reverse_even")
+        again = AdversarySpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert again == spec
+
+    def test_budget_expands_to_worst_case(self):
+        spec = ScenarioSpec(topology="bipartite", authenticated=True, k=3, tL=1, tR=2)
+        adversary = AdversarySpec(kind="silent")
+        assert adversary.corrupted_parties(spec.setting()) == worst_case_corruption(
+            spec.setting()
+        )
+        assert worst_case_corruption(spec.setting()) == (
+            left_party(0),
+            right_party(0),
+            right_party(1),
+        )
+
+    def test_mutator_requires_equivocate(self):
+        with pytest.raises(SolvabilityError):
+            AdversarySpec(kind="silent", mutator="reverse_even")
+
+    def test_bare_string_corrupt_rejected(self):
+        with pytest.raises(SolvabilityError, match="tuple of party names"):
+            AdversarySpec(kind="silent", corrupt="L0")
+
+    def test_crash_round_canonicalized_for_other_kinds(self):
+        spec = AdversarySpec(kind="silent", crash_round=5)
+        assert spec.crash_round == 2
+        assert AdversarySpec.from_dict(spec.to_dict()) == spec
+        assert AdversarySpec(kind="crash", crash_round=5).crash_round == 5
+
+
+class TestScenarioSpec:
+    def test_bsm_round_trip(self):
+        spec = ScenarioSpec(
+            name="x",
+            topology="one_sided",
+            authenticated=False,
+            k=4,
+            tL=1,
+            tR=1,
+            profile=ProfileSpec(kind="correlated", similarity=0.25, seed=3),
+            adversary=AdversarySpec(kind="crash", crash_round=4, seed=3),
+            recipe="bb_majority_relay",
+            max_rounds=99,
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_attack_round_trip(self):
+        spec = ScenarioSpec(family="attack", attack="lemma13", name="fig4")
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_attack_round_trip_keeps_ignored_fields(self):
+        spec = ScenarioSpec(
+            family="attack",
+            attack="lemma5",
+            profile=ProfileSpec(seed=9),
+            adversary=AdversarySpec(kind="silent"),
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_incomplete_random_profile_restricted_to_offline(self):
+        with pytest.raises(SolvabilityError, match="offline"):
+            ScenarioSpec(k=3, profile=ProfileSpec(kind="incomplete_random"))
+
+    def test_roommates_round_trip(self):
+        spec = ScenarioSpec(
+            family="roommates",
+            n=6,
+            t=1,
+            authenticated=True,
+            profile=ProfileSpec(seed=4),
+            adversary=AdversarySpec(kind="silent"),
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_offline_round_trip(self):
+        spec = ScenarioSpec(
+            family="offline",
+            algorithm="incomplete",
+            k=10,
+            profile=ProfileSpec(kind="incomplete_random", acceptance=0.4, seed=8),
+        )
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_with_seed_reseeds_profile_and_adversary(self):
+        spec = ScenarioSpec(adversary=AdversarySpec(kind="noise", seed=0))
+        reseeded = spec.with_seed(42)
+        assert reseeded.profile.seed == 42
+        assert reseeded.adversary.seed == 42
+
+    def test_labels_are_stable(self):
+        spec = ScenarioSpec(topology="bipartite", authenticated=True, k=3, tL=1, tR=1)
+        assert spec.label() == "bipartite/auth/k3/t1,1/s0"
+        assert dataclasses.replace(spec, name="custom").label() == "custom"
+
+    def test_labels_distinguish_run_shaping_fields(self):
+        base = ScenarioSpec(k=3, tL=1)
+        variants = [
+            base,
+            dataclasses.replace(base, adversary=AdversarySpec(kind="silent")),
+            dataclasses.replace(base, adversary=AdversarySpec(kind="crash")),
+            dataclasses.replace(base, recipe="bb_direct"),
+            dataclasses.replace(base, profile=ProfileSpec(kind="master_list")),
+        ]
+        labels = [spec.label() for spec in variants]
+        assert len(set(labels)) == len(labels), labels
+
+    def test_budgets_validated_at_construction(self):
+        with pytest.raises(SolvabilityError, match="corruption budgets"):
+            ScenarioSpec(k=3, tL=9)
+
+    def test_family_ignored_fields_are_canonicalized(self):
+        spec = ScenarioSpec(family="roommates", n=4, t=1, record_trace=True, tL=2, k=9)
+        assert spec.record_trace is False and spec.tL == 0 and spec.k == 3
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+        offline = ScenarioSpec(family="offline", k=5, tL=2, record_trace=True)
+        assert offline.tL == 0 and offline.record_trace is False
+        assert ScenarioSpec.from_json(offline.to_json()) == offline
+
+    def test_roommates_profile_kinds_restricted(self):
+        with pytest.raises(SolvabilityError, match="random or explicit"):
+            ScenarioSpec(
+                family="roommates", n=4, t=0, profile=ProfileSpec(kind="master_list")
+            )
+
+    def test_validation(self):
+        with pytest.raises(SolvabilityError):
+            ScenarioSpec(family="attack", attack="lemma99")
+        with pytest.raises(SolvabilityError):
+            ScenarioSpec(family="seance")
+        with pytest.raises(SolvabilityError):
+            ScenarioSpec(recipe="teleportation")
+        with pytest.raises(SolvabilityError):
+            ScenarioSpec(attack="lemma5")  # attack field without the family
+
+
+class TestSweep:
+    def test_seeds_replication(self):
+        base = ScenarioSpec(k=2, adversary=AdversarySpec(kind="silent"))
+        sweep = Sweep.seeds(base, range(5))
+        assert len(sweep) == 5
+        assert [s.profile.seed for s in sweep] == list(range(5))
+
+    def test_grid_solvable_only(self):
+        sweep = Sweep.grid(
+            topologies=("bipartite",), auths=(False,), ks=(3,), budgets="solvable"
+        )
+        from repro.core.solvability import is_solvable
+
+        assert len(sweep) > 0
+        for spec in sweep:
+            assert is_solvable(spec.setting()).solvable
+
+    def test_grid_all_includes_unsolvable(self):
+        solvable = Sweep.grid(topologies=("bipartite",), auths=(False,), ks=(3,))
+        everything = Sweep.grid(
+            topologies=("bipartite",), auths=(False,), ks=(3,), budgets="all"
+        )
+        assert len(everything) == 16  # (tL, tR) in [0, 3]^2
+        assert len(solvable) < len(everything)
+
+    def test_grid_pinned_budgets_filter_per_k_but_reject_unusable(self):
+        mixed = Sweep.grid(
+            topologies=("fully_connected",),
+            auths=(True,),
+            ks=(2, 4),
+            budgets=[(1, 1), (3, 3)],
+        )
+        # (3, 3) fits only k=4; (1, 1) fits both.
+        assert len(mixed) == 3
+        with pytest.raises(SolvabilityError, match="fits no k"):
+            Sweep.grid(topologies=("fully_connected",), ks=(2,), budgets=[(3, 0)])
+
+    def test_sweep_round_trip_and_concat(self):
+        sweep = Sweep.grid(topologies=("fully_connected",), auths=(True,), ks=(2,))
+        tour = Sweep.of(ScenarioSpec(family="attack", attack="lemma5"))
+        combined = sweep + tour
+        assert len(combined) == len(sweep) + 1
+        assert Sweep.from_json(combined.to_json()) == combined

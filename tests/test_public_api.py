@@ -57,6 +57,7 @@ class TestModuleDocstrings:
         "repro.adversary",
         "repro.adversary.structures",
         "repro.adversary.adversary",
+        "repro.adversary.mutators",
         "repro.adversary.virtual",
         "repro.adversary.attacks",
         "repro.consensus",
@@ -75,6 +76,12 @@ class TestModuleDocstrings:
         "repro.core.solvability",
         "repro.core.roommates_bsm",
         "repro.core.runner",
+        "repro.experiment",
+        "repro.experiment.spec",
+        "repro.experiment.records",
+        "repro.experiment.engine",
+        "repro.experiment.presets",
+        "repro.experiment.compat",
     ]
 
     @pytest.mark.parametrize("module_name", MODULES)

@@ -1,0 +1,69 @@
+"""The deprecation shims: warn, forward, and agree with the primitives."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import run_bsm as core_run_bsm
+from repro.core.solvability import is_solvable as core_is_solvable
+from repro.matching.generators import random_profile
+
+
+def make_instance() -> BSMInstance:
+    setting = Setting("fully_connected", True, 2, 1, 0)
+    return BSMInstance(setting, random_profile(2, 7))
+
+
+class TestTopLevelShims:
+    def test_run_bsm_warns_and_matches_core(self):
+        instance = make_instance()
+        with pytest.warns(DeprecationWarning, match="run_bsm"):
+            shimmed = repro.run_bsm(instance)
+        fresh = core_run_bsm(instance)
+        assert shimmed.result.outputs == fresh.result.outputs
+        assert shimmed.ok == fresh.ok
+
+    def test_make_adversary_warns_and_works(self):
+        instance = make_instance()
+        with pytest.warns(DeprecationWarning, match="make_adversary"):
+            adversary = repro.make_adversary(
+                instance, [repro.left_party(0)], kind="silent"
+            )
+        with pytest.warns(DeprecationWarning):
+            report = repro.run_bsm(instance, adversary)
+        assert report.ok, report.report.violations
+
+    def test_is_solvable_warns_and_matches_core(self):
+        setting = Setting("one_sided", True, 3, 1, 3)
+        with pytest.warns(DeprecationWarning, match="is_solvable"):
+            shimmed = repro.is_solvable(setting)
+        assert shimmed == core_is_solvable(setting)
+
+    def test_primitives_do_not_warn(self):
+        instance = make_instance()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            core_run_bsm(instance)
+            core_is_solvable(instance.setting)
+
+
+class TestBenchCommonShims:
+    def test_run_setting_warns_and_forwards(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+        try:
+            import bench_common
+        finally:
+            sys.path.pop(0)
+        with pytest.warns(DeprecationWarning, match="run_setting"):
+            report = bench_common.run_setting("fully_connected", True, 2, 1, 0)
+        assert report.ok, report.report.violations
+        with pytest.warns(DeprecationWarning, match="worst_case_corruption"):
+            corrupted = bench_common.worst_case_corruption(
+                Setting("fully_connected", True, 2, 1, 1)
+            )
+        assert corrupted == (repro.left_party(0), repro.right_party(0))
