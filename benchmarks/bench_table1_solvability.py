@@ -10,14 +10,21 @@ silent adversary.  The three "unsolvable" impossibility points are
 exercised by the attack benches (F2-F4).
 
 Standalone mode doubles as the engine's cross-executor regression: the
-same ``table1_large`` sweep runs through the serial executor and the
-process pool, the aggregates must be byte-identical, and both
-wall-clocks are reported.
+same ``table1_large`` sweep runs through the serial executor, the
+batched runtime, and the process pool; the records must be
+byte-identical and every wall-clock is reported.
 
 Run standalone for the table: ``python benchmarks/bench_table1_solvability.py``.
+Run ``--quick`` for the single-worker throughput check: the batched
+executor must beat a one-worker pool by >=2x (byte-identical records),
+which is the CI bench-smoke job's gate.
 """
 
 from __future__ import annotations
+
+import argparse
+import os
+import sys
 
 import pytest
 
@@ -72,9 +79,9 @@ def test_table1_row(benchmark, topo, auth, condition):
 
 
 def test_executors_agree(benchmark):
-    """Serial and process-pool sweeps are byte-identical (small grid)."""
+    """Serial, batched, and process-pool sweeps are byte-identical (small grid)."""
 
-    def run_both():
+    def run_all():
         sweep = Sweep.grid(
             topologies=("fully_connected",),
             auths=(False, True),
@@ -83,12 +90,71 @@ def test_executors_agree(benchmark):
             adversary=AdversarySpec(kind="silent"),
         )
         serial = SESSION.sweep(sweep)
+        batched = SESSION.sweep(sweep, executor="batch")
         pooled = SESSION.sweep(sweep, executor="process", workers=2)
-        return serial, pooled
+        return serial, batched, pooled
 
-    serial, pooled = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    serial, batched, pooled = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert serial.to_json() == batched.to_json()
     assert serial.to_json() == pooled.to_json()
     assert serial.aggregate_json() == pooled.aggregate_json()
+
+
+def quick_main() -> None:
+    """The single-worker throughput gate (the CI bench-smoke workload).
+
+    Runs the ``table1_large`` sweep three ways on one worker — serial
+    executor, one-worker process pool, batched runtime — asserts the
+    records byte-identical, and requires the batched runtime to beat
+    the ``--workers 1`` pool by ``REPRO_MIN_BATCH_SPEEDUP`` (default
+    2.0x, the ISSUE/ROADMAP target).  Each executor is timed
+    best-of-three after a shared warmup, with the trials *interleaved*
+    (serial, pool, batch, serial, pool, batch, ...) so a transient
+    host slowdown cannot bias any one executor's best.
+    """
+    sweep = SESSION.preset("table1_large")
+    SESSION.sweep(sweep)  # warm the verdict/keyring caches for everyone
+
+    configs = [
+        ("serial", {}),
+        ("pooled1", dict(executor="process", workers=1)),
+        ("batched", dict(executor="batch")),
+    ]
+    best: dict = {}
+    for _ in range(3):
+        for name, kwargs in configs:
+            run = SESSION.sweep(sweep, **kwargs)
+            if name not in best or run.elapsed_seconds < best[name].elapsed_seconds:
+                best[name] = run
+    serial, pooled1, batched = best["serial"], best["pooled1"], best["batched"]
+
+    assert serial.to_json() == batched.to_json(), "batch executor records diverge"
+    assert serial.to_json() == pooled1.to_json(), "process executor records diverge"
+
+    vs_pool = pooled1.elapsed_seconds / max(batched.elapsed_seconds, 1e-9)
+    vs_serial = serial.elapsed_seconds / max(batched.elapsed_seconds, 1e-9)
+    print_table(
+        f"bench_table1 quick mode — {len(sweep)} scenarios, single worker, "
+        "byte-identical records",
+        ["executor", "wall-clock", "speedup vs batch"],
+        [
+            ["serial (lockstep)", f"{serial.elapsed_seconds:6.2f}s", f"{1/vs_serial:.2f}x"],
+            ["process --workers 1", f"{pooled1.elapsed_seconds:6.2f}s", f"{1/vs_pool:.2f}x"],
+            ["batch (shared cache)", f"{batched.elapsed_seconds:6.2f}s", "1.00x"],
+        ],
+    )
+    print(
+        f"\nbatch speedup: {vs_pool:.2f}x vs --workers 1, {vs_serial:.2f}x vs serial"
+    )
+    minimum = float(os.environ.get("REPRO_MIN_BATCH_SPEEDUP", "2.0"))
+    if vs_pool < minimum:
+        print(
+            f"FAIL: batch runtime is only {vs_pool:.2f}x faster than the "
+            f"single-worker pool (need >= {minimum:.1f}x)",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    print(f"PASS: >= {minimum:.1f}x single-worker speedup")
 
 
 def main() -> None:
@@ -113,17 +179,20 @@ def main() -> None:
     # Cross-executor regression + wall-clock comparison on the full batch.
     sweep = SESSION.preset("table1_large")
     serial = SESSION.sweep(sweep)
+    batched = SESSION.sweep(sweep, executor="batch")
     pooled = SESSION.sweep(sweep, executor="process")
+    assert serial.to_json() == batched.to_json(), "batch executor disagrees on records"
     assert serial.to_json() == pooled.to_json(), "executors disagree on records"
     assert serial.aggregate_json() == pooled.aggregate_json(), "aggregates differ"
-    speedup = serial.elapsed_seconds / max(pooled.elapsed_seconds, 1e-9)
-    import os
+    pool_speedup = serial.elapsed_seconds / max(pooled.elapsed_seconds, 1e-9)
+    batch_speedup = serial.elapsed_seconds / max(batched.elapsed_seconds, 1e-9)
 
     cpus = os.cpu_count() or 1
     print(
         f"\ncross-executor check: {len(sweep)} scenarios, byte-identical records\n"
         f"  serial       : {serial.elapsed_seconds:6.2f}s\n"
-        f"  process pool : {pooled.elapsed_seconds:6.2f}s  ({speedup:.1f}x on {cpus} CPU(s))"
+        f"  batch        : {batched.elapsed_seconds:6.2f}s  ({batch_speedup:.1f}x on 1 worker)\n"
+        f"  process pool : {pooled.elapsed_seconds:6.2f}s  ({pool_speedup:.1f}x on {cpus} CPU(s))"
     )
     if cpus == 1:
         print("  (single-CPU host: pool parity is the expected ceiling here)")
@@ -136,4 +205,13 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="single-worker throughput gate: batch runtime vs --workers 1",
+    )
+    if parser.parse_args().quick:
+        quick_main()
+    else:
+        main()

@@ -20,6 +20,10 @@ by a batch engine through one front door:
 
 **The protocol substrate** — the paper's objects, for direct use:
 
+* :mod:`repro.runtime` — the unified protocol runtime: the round-loop
+  kernel plus interchangeable executors (lockstep reference, asyncio
+  event loop, shared-cache batching), link-fault injection, and
+  structured JSONL tracing;
 * :func:`repro.core.runner.run_bsm` — one byzantine stable matching
   execution in any of the paper's six settings;
 * :func:`repro.core.solvability.is_solvable` — the tight
@@ -42,6 +46,7 @@ from repro.core.verdict import PropertyReport, check_bsm, check_ssm
 from repro.experiment import (
     AdversarySpec,
     Engine,
+    LinkSpec,
     ProfileSpec,
     RunRecord,
     RunRecordSet,
@@ -79,6 +84,7 @@ __all__ = [
     "ScenarioSpec",
     "ProfileSpec",
     "AdversarySpec",
+    "LinkSpec",
     "Sweep",
     "Session",
     "Engine",

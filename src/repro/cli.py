@@ -8,8 +8,10 @@ Commands:
 
 * ``solve`` — query the solvability oracle for one setting;
 * ``run`` — execute a bSM protocol end to end and print the verdict;
-* ``sweep`` — execute a preset (or grid) batch on a serial or
-  process-pool executor and print/export the aggregates;
+* ``trace`` — replay one bSM run with kernel tracing and export the
+  structured round trace as JSONL;
+* ``sweep`` — execute a preset (or grid) batch on a serial, batched,
+  or process-pool executor and print/export the aggregates;
 * ``attack`` — run one of the paper's impossibility constructions;
 * ``table`` — print the full characterization table for a given ``k``.
 """
@@ -26,6 +28,7 @@ from repro.experiment.engine import EXECUTORS, Session
 from repro.experiment.presets import preset_names
 from repro.experiment.spec import AdversarySpec, ProfileSpec, ScenarioSpec, Sweep
 from repro.net.topology import TOPOLOGY_NAMES
+from repro.runtime import RUNTIME_NAMES
 
 __all__ = ["main", "build_parser"]
 
@@ -49,25 +52,45 @@ def build_parser() -> argparse.ArgumentParser:
     solve = sub.add_parser("solve", help="query the characterization oracle")
     add_setting_args(solve)
 
+    def add_run_args(p: argparse.ArgumentParser) -> None:
+        add_setting_args(p)
+        p.add_argument("--seed", type=int, default=0, help="preference profile seed")
+        p.add_argument("--adversary", choices=ADVERSARY_CHOICES, default="none")
+        p.add_argument(
+            "--corrupt",
+            nargs="*",
+            default=[],
+            metavar="PARTY",
+            help="parties to corrupt, e.g. L0 R2",
+        )
+        p.add_argument(
+            "--mutator",
+            choices=sorted(MUTATORS),
+            default="reverse_even",
+            help="canned equivocation mutator (with --adversary equivocate)",
+        )
+        p.add_argument("--recipe", default=None, help="force a protocol recipe")
+        p.add_argument(
+            "--runtime",
+            choices=RUNTIME_NAMES,
+            default="lockstep",
+            help="execution runtime (all runtimes give identical results)",
+        )
+
     run = sub.add_parser("run", help="execute a bSM protocol end to end")
-    add_setting_args(run)
-    run.add_argument("--seed", type=int, default=0, help="preference profile seed")
-    run.add_argument("--adversary", choices=ADVERSARY_CHOICES, default="none")
-    run.add_argument(
-        "--corrupt",
-        nargs="*",
-        default=[],
-        metavar="PARTY",
-        help="parties to corrupt, e.g. L0 R2",
-    )
-    run.add_argument(
-        "--mutator",
-        choices=sorted(MUTATORS),
-        default="reverse_even",
-        help="canned equivocation mutator (with --adversary equivocate)",
-    )
-    run.add_argument("--recipe", default=None, help="force a protocol recipe")
+    add_run_args(run)
     run.add_argument("--json", default=None, metavar="PATH", help="dump the report as JSON")
+
+    trace = sub.add_parser(
+        "trace", help="replay one run and export the kernel's JSONL round trace"
+    )
+    add_run_args(trace)
+    trace.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSONL trace here (default: stdout)",
+    )
 
     sweep = sub.add_parser(
         "sweep", help="execute a batch of scenarios through the engine"
@@ -95,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--json", default=None, metavar="PATH", help="export records as JSON")
     sweep.add_argument("--csv", default=None, metavar="PATH", help="export records as CSV")
+    sweep.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="export every run's kernel round trace as one JSONL file "
+        "(in-process executors only)",
+    )
 
     attack = sub.add_parser("attack", help="run an impossibility construction")
     attack.add_argument("lemma", choices=["lemma5", "lemma7", "lemma13"])
@@ -119,19 +149,20 @@ def _cmd_solve(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
+def _spec_from_args(args) -> ScenarioSpec | None:
+    """The bSM spec described by run/trace-style arguments (None = usage error)."""
     adversary = None
     if args.adversary != "none":
         if not args.corrupt:
             print("error: --adversary requires --corrupt PARTY [PARTY ...]", file=sys.stderr)
-            return 2
+            return None
         adversary = AdversarySpec(
             kind=args.adversary,
             corrupt=tuple(args.corrupt),
             seed=args.seed,
             mutator=args.mutator if args.adversary == "equivocate" else None,
         )
-    spec = ScenarioSpec(
+    return ScenarioSpec(
         topology=args.topology,
         authenticated=args.auth,
         k=args.k,
@@ -140,7 +171,14 @@ def _cmd_run(args) -> int:
         profile=ProfileSpec(seed=args.seed),
         adversary=adversary,
         recipe=args.recipe,
+        runtime=args.runtime,
     )
+
+
+def _cmd_run(args) -> int:
+    spec = _spec_from_args(args)
+    if spec is None:
+        return 2
     report = Session().report(spec)
     print(report.summary())
     print("outputs:")
@@ -159,16 +197,42 @@ def _cmd_run(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_trace(args) -> int:
+    spec = _spec_from_args(args)
+    if spec is None:
+        return 2
+    report, recorder = Session().trace(spec)
+    if args.out:
+        from repro.io import dump_trace
+
+        dump_trace(recorder, args.out)
+        print(report.summary())
+        print(f"{len(recorder)} trace events written to {args.out}")
+    else:
+        sys.stdout.write(recorder.to_jsonl())
+    return 0 if report.ok else 1
+
+
 def _cmd_sweep(args) -> int:
     if args.list:
         print("available presets:")
         for name in preset_names():
             print(f"  {name}")
         return 0
-    session = Session(
-        executor="process" if args.workers else args.executor,
-        workers=args.workers,
-    )
+    executor = "process" if args.workers else args.executor
+    recorder = None
+    if args.trace_out:
+        if executor == "process":
+            print(
+                "error: --trace-out needs an in-process executor "
+                "(--executor serial or batch, no --workers)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.runtime import TraceRecorder
+
+        recorder = TraceRecorder()
+    session = Session(executor=executor, workers=args.workers)
     if args.spec_json:
         try:
             with open(args.spec_json, "r", encoding="utf-8") as handle:
@@ -183,7 +247,7 @@ def _cmd_sweep(args) -> int:
     else:
         print("error: sweep needs --preset, --spec-json, or --list", file=sys.stderr)
         return 2
-    records = session.sweep(sweep)
+    records = session.sweep(sweep, trace=recorder)
     print(f"sweep {label}: {records.summary()}")
     print("\naggregates (by family, topology, crypto):")
     for row in records.aggregate(by=("family", "topology", "authenticated")):
@@ -203,6 +267,11 @@ def _cmd_sweep(args) -> int:
 
         records_to_csv(records, args.csv)
         print(f"\nCSV written to {args.csv}")
+    if recorder is not None:
+        from repro.io import dump_trace
+
+        dump_trace(recorder, args.trace_out)
+        print(f"\n{len(recorder)} trace events written to {args.trace_out}")
     failures = records.failures
     if failures:
         print("\nUNEXPECTED FAILURES:")
@@ -250,6 +319,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "solve": _cmd_solve,
         "run": _cmd_run,
+        "trace": _cmd_trace,
         "sweep": _cmd_sweep,
         "attack": _cmd_attack,
         "table": _cmd_table,

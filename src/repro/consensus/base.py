@@ -1,5 +1,11 @@
 """Shared definitions for the consensus protocols.
 
+Every consensus primitive in this package (Dolev-Strong, phase king,
+the omission-model BB, the general-adversary BB) is written against the
+:data:`repro.runtime.Party` state-machine interface — init →
+``on_round(ctx, inbox)`` → output → halt — so it runs unchanged on any
+:mod:`repro.runtime` executor and over any transport.
+
 Timing functions mirror the paper's ``Delta``-algebra: all protocols
 are written for virtual delay-1 rounds, and running them over a
 relayed transport (2 real rounds per virtual round) multiplies every

@@ -47,10 +47,14 @@ def _hashable(value: object) -> bool:
     return True
 
 
-def _stable_key(payload: object) -> bytes:
-    """A deterministic key for payload comparison (tolerates junk)."""
+def _stable_key(payload: object, memo=None) -> bytes:
+    """A deterministic key for payload comparison (tolerates junk).
+
+    ``memo`` is the context's shared encode memo, when one is attached
+    (the batched runtime's); it never changes the key, only its cost.
+    """
     try:
-        return encode(payload)
+        return encode(payload, memo)
     except ProtocolError:
         return repr(payload).encode("utf-8", "replace")
 
@@ -160,7 +164,7 @@ class _RelayLinkBase(LinkLayer):
                 self._ready.append(Envelope(src, self.me, envelope.sent_round, payload))
             return True
         bucket = self._votes.setdefault(key, {})
-        payload_key = _stable_key(payload)
+        payload_key = _stable_key(payload, getattr(ctx, "_encode_memo", None))
         stored = bucket.setdefault(payload_key, (payload, set()))
         stored[1].add(envelope.src)
         touched.add(key)

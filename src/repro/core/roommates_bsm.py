@@ -54,7 +54,7 @@ from repro.ids import PartyId, all_parties
 from repro.matching.roommates import stable_roommates
 from repro.net.mux import Mux
 from repro.net.process import Envelope, Process
-from repro.net.simulator import RunResult, SyncNetwork
+from repro.net.simulator import RunResult
 from repro.net.topology import FullyConnected
 
 __all__ = [
@@ -313,8 +313,17 @@ def run_roommates(
     *,
     max_rounds: int = 400,
     reference_solvable: bool | None = None,
+    runtime: str = "lockstep",
+    drop_rule=None,
+    trace=None,
 ) -> RoommatesReport:
-    """Run the byzantine stable roommates protocol end to end."""
+    """Run the byzantine stable roommates protocol end to end.
+
+    ``runtime``, ``drop_rule``, and ``trace`` plug the run into the
+    :mod:`repro.runtime` layer exactly like :func:`repro.core.runner.run_bsm`.
+    """
+    from repro.runtime import RunPlan, runtime_for
+
     setting = instance.setting
     parties = setting.parties()
     processes = {
@@ -325,15 +334,19 @@ def run_roommates(
         frozenset(adversary.initial_corruptions) if adversary is not None else frozenset()
     )
     keyring = KeyRing(parties) if setting.authenticated else None
-    network = SyncNetwork(
-        FullyConnected(k=setting.k),
-        processes,
+    plan = RunPlan(
+        topology=FullyConnected(k=setting.k),
+        processes=processes,
         adversary=adversary,
         keyring=keyring,
         structure=ThresholdStructure(parties, setting.t),
         max_rounds=max_rounds,
+        drop_rule=drop_rule,
+        trace_sink=trace,
+        label=setting.describe(),
     )
-    result = network.run()
+    executor = runtime_for(runtime) if isinstance(runtime, str) else runtime
+    result = executor.run(plan)
     honest = frozenset(parties) - corrupted
     verdict = check_roommates(
         result, instance, honest, reference_solvable=reference_solvable

@@ -3,7 +3,15 @@
 ``run_bsm`` assembles the protocol the solvability oracle prescribes
 for the setting (or a caller-forced recipe, to run protocols *outside*
 their conditions for attack demos), wires the adversary, executes the
-synchronous network, and checks Definition 1's properties.
+run on a :mod:`repro.runtime` executor, and checks Definition 1's
+properties.  The pipeline is exposed in three stages so batch callers
+can schedule the middle one themselves:
+
+* :func:`prepare_bsm` — compile instance + adversary into a
+  :class:`~repro.runtime.RunPlan` (pure assembly, no execution);
+* any :class:`~repro.runtime.Runtime` — execute the plan;
+* :func:`finish_bsm` — judge the :class:`RunResult` into a
+  :class:`BSMReport`.
 """
 
 from __future__ import annotations
@@ -35,14 +43,18 @@ from repro.crypto.signatures import KeyRing
 from repro.errors import SolvabilityError
 from repro.ids import PartyId, all_parties
 from repro.net.process import Process
-from repro.net.simulator import RunResult, SyncNetwork
+from repro.net.simulator import RunResult
+from repro.runtime import RunPlan, Runtime, runtime_for
 
 __all__ = [
     "BSMReport",
+    "PreparedBSM",
     "build_party",
     "build_party_with_list",
     "build_processes",
     "make_adversary",
+    "prepare_bsm",
+    "finish_bsm",
     "recommended_max_rounds",
     "run_bsm",
 ]
@@ -171,7 +183,22 @@ def make_adversary(
     return BehaviorAdversary(behaviors)
 
 
-def run_bsm(
+@dataclass
+class PreparedBSM:
+    """One bSM execution, assembled but not yet run.
+
+    The :attr:`plan` is ready for any :class:`~repro.runtime.Runtime`;
+    the remaining fields are what :func:`finish_bsm` needs to judge the
+    result afterwards.
+    """
+
+    instance: BSMInstance
+    verdict: SolvabilityVerdict
+    honest: frozenset[PartyId]
+    plan: RunPlan
+
+
+def prepare_bsm(
     instance: BSMInstance,
     adversary: Adversary | None = None,
     *,
@@ -181,21 +208,13 @@ def run_bsm(
     record_trace: bool = False,
     keyring: KeyRing | None = None,
     verdict: SolvabilityVerdict | None = None,
-) -> BSMReport:
-    """Run one bSM execution end to end.
+    drop_rule=None,
+    trace=None,
+    label: str = "",
+) -> PreparedBSM:
+    """Compile one bSM execution into a runnable plan (no execution).
 
-    Args:
-        instance: setting + true preference profile.
-        adversary: optional adversary (its corruptions define honesty).
-        recipe: protocol recipe override; defaults to the oracle's choice
-            (raises for unsolvable settings unless forced).
-        max_rounds: round budget (default: schedule-derived).
-        enforce_structure: reject corruption sets beyond ``Z*``.
-        record_trace: keep the full message trace on the result.
-        keyring: pre-built PKI to reuse (the batch engine memoizes one
-            per ``k`` across thousands of runs); built fresh when omitted.
-        verdict: pre-computed solvability verdict for the setting (the
-            batch engine memoizes these too); computed when omitted.
+    Args mirror :func:`run_bsm`; see there.
     """
     setting = instance.setting
     if verdict is None:
@@ -217,21 +236,81 @@ def run_bsm(
     else:
         keyring = None
 
-    network = SyncNetwork(
-        setting.topology(),
-        processes,
+    plan = RunPlan(
+        topology=setting.topology(),
+        processes=processes,
         adversary=adversary,
         keyring=keyring,
         structure=setting.structure() if enforce_structure else None,
         max_rounds=max_rounds if max_rounds is not None else recommended_max_rounds(setting),
         record_trace=record_trace,
+        drop_rule=drop_rule,
+        trace_sink=trace,
+        label=label or setting.describe(),
     )
-    result = network.run()
-    report = check_bsm(result, instance.profile, honest)
+    return PreparedBSM(instance=instance, verdict=verdict, honest=honest, plan=plan)
+
+
+def finish_bsm(prepared: PreparedBSM, result: RunResult) -> BSMReport:
+    """Judge an executed plan against Definition 1's properties."""
     return BSMReport(
-        setting=setting,
-        verdict=verdict,
+        setting=prepared.instance.setting,
+        verdict=prepared.verdict,
         result=result,
-        report=report,
-        honest=honest,
+        report=check_bsm(result, prepared.instance.profile, prepared.honest),
+        honest=prepared.honest,
     )
+
+
+def run_bsm(
+    instance: BSMInstance,
+    adversary: Adversary | None = None,
+    *,
+    recipe: str | None = None,
+    max_rounds: int | None = None,
+    enforce_structure: bool = True,
+    record_trace: bool = False,
+    keyring: KeyRing | None = None,
+    verdict: SolvabilityVerdict | None = None,
+    runtime: str | Runtime = "lockstep",
+    drop_rule=None,
+    trace=None,
+    label: str = "",
+) -> BSMReport:
+    """Run one bSM execution end to end.
+
+    Args:
+        instance: setting + true preference profile.
+        adversary: optional adversary (its corruptions define honesty).
+        recipe: protocol recipe override; defaults to the oracle's choice
+            (raises for unsolvable settings unless forced).
+        max_rounds: round budget (default: schedule-derived).
+        enforce_structure: reject corruption sets beyond ``Z*``.
+        record_trace: keep the full message trace on the result.
+        keyring: pre-built PKI to reuse (the batch engine memoizes one
+            per ``k`` across thousands of runs); built fresh when omitted.
+        verdict: pre-computed solvability verdict for the setting (the
+            batch engine memoizes these too); computed when omitted.
+        runtime: executor name (``"lockstep"``/``"event"``/``"batch"``)
+            or a ready :class:`~repro.runtime.Runtime` instance.
+        drop_rule: optional link faults (see :mod:`repro.net.faults`).
+        trace: optional structured trace sink
+            (see :mod:`repro.runtime.trace`).
+        label: trace label for this run (default: the setting).
+    """
+    prepared = prepare_bsm(
+        instance,
+        adversary,
+        recipe=recipe,
+        max_rounds=max_rounds,
+        enforce_structure=enforce_structure,
+        record_trace=record_trace,
+        keyring=keyring,
+        verdict=verdict,
+        drop_rule=drop_rule,
+        trace=trace,
+        label=label,
+    )
+    executor = runtime_for(runtime) if isinstance(runtime, str) else runtime
+    result = executor.run(prepared.plan)
+    return finish_bsm(prepared, result)

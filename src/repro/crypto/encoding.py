@@ -21,7 +21,7 @@ import struct
 from repro.errors import ProtocolError
 from repro.ids import PartyId
 
-__all__ = ["encode", "encoded_size"]
+__all__ = ["encode", "encoded_size", "EncodeMemo"]
 
 _TAG_NONE = b"N"
 _TAG_TRUE = b"T"
@@ -41,8 +41,143 @@ def _length_prefixed(raw: bytes) -> bytes:
     return struct.pack(">I", len(raw)) + raw
 
 
-def encode(value: object) -> bytes:
-    """Canonically encode ``value``; raises ``ProtocolError`` on foreign types."""
+#: Leaf types whose ``==``/``hash`` agree exactly with encoding equality
+#: *given the type tag* — safe to canonicalize by ``(type, value)``.
+#: ``float`` is deliberately absent: ``-0.0 == 0.0`` (same hash) yet
+#: their IEEE-754 encodings differ, so floats are never memoized (and
+#: a tuple containing one falls back to direct encoding).
+_EXACT_LEAF_TYPES = frozenset(
+    (bool, int, str, bytes, type(None), PartyId)
+)
+
+_SIGNATURE_CLASS = None
+
+
+def _signature_class():
+    """The Signature class, resolved lazily (signatures imports us)."""
+    global _SIGNATURE_CLASS
+    if _SIGNATURE_CLASS is None:
+        from repro.crypto.signatures import Signature
+
+        _SIGNATURE_CLASS = Signature
+    return _SIGNATURE_CLASS
+
+
+class EncodeMemo:
+    """A hash-consing memo for canonical encodings.
+
+    Naive value-keyed memoization is unsound here: Python equality is
+    coarser than the encoding (``True == 1 == 1.0``, same hashes,
+    different canonical bytes), so equal-but-differently-typed values
+    would alias each other's entries.  The memo instead canonicalizes
+    structurally, which is both exact and fast:
+
+    * every encoded object gets an entry in an **identity map**
+      (``id -> bytes``; O(1), no hashing) and a **canonical id** — the
+      id of the first object seen with its exact structure.  Entries
+      pin their objects, so ids are never recycled while the memo
+      lives (it is scoped to one batch);
+    * **leaves** canonicalize by ``(type, value)`` — type-tagged keys
+      keep ``True``/``1``/``1.0`` apart while still sharing across
+      distinct equal objects;
+    * **tuples/lists** canonicalize by their children's canonical ids
+      (an int-tuple key: no traversal, C-speed hashing).  Two sibling
+      runs rebuilding the same message tree bottom out in shared
+      leaves, so the cascade dedupes every level and the whole
+      re-encoding is skipped;
+    * sets/dicts (rare in payloads) and unhashable values stay on the
+      identity map alone.
+
+    The execution cache layers signatures and verification verdicts on
+    top, keyed by the canonical bytes this memo returns — bytes
+    equality is exact, and the shared bytes objects cache their hash.
+    """
+
+    __slots__ = ("_by_id", "_leaves", "_structs")
+
+    def __init__(self) -> None:
+        #: id(obj) -> (pinned obj, canonical bytes, canonical id) —
+        #: the canonical id is the first structurally-identical object.
+        self._by_id: dict[int, tuple[object, bytes, int]] = {}
+        #: (type, value) -> (pinned obj, canonical bytes, canonical id)
+        self._leaves: dict[tuple, tuple[object, bytes, int]] = {}
+        #: (child canonical ids...) -> (pinned obj, canonical bytes, canonical id)
+        self._structs: dict[tuple, tuple[object, bytes, int]] = {}
+
+    def _memoized_encode(self, value: object) -> bytes:
+        """Encode ``value``, registering identity + canonical entries.
+
+        Only provably immutable values are *stored*: exact leaf types,
+        tuples of storable values, frozensets, and signatures.  A
+        mutable value (list, set, dict, foreign object) could change
+        between sends, so pinning its bytes by id would serve stale
+        encodings; such values — and any tuple containing one — encode
+        directly every time (their immutable substructures still hit).
+        """
+        cls = value.__class__
+        if cls is tuple:
+            by_id = self._by_id
+            child_ids = []
+            append = child_ids.append
+            for item in value:
+                entry = by_id.get(id(item))
+                if entry is None:
+                    self._memoized_encode(item)
+                    entry = by_id.get(id(item))
+                    if entry is None:  # unstorable child: no consing here
+                        return _encode(value, self)
+                append(entry[2])
+            # The struct key is the child canonical-id tuple; its
+            # length *is* the element count the encoding prefixes.
+            skey = tuple(child_ids)
+            hit = self._structs.get(skey)
+            if hit is None:
+                body = b"".join(by_id[id(item)][1] for item in value)
+                raw = _TAG_TUPLE + struct.pack(">I", len(value)) + body
+                hit = (value, raw, id(value))
+                self._structs[skey] = hit
+            by_id[id(value)] = (value, hit[1], hit[2])
+            return hit[1]
+        if cls in _EXACT_LEAF_TYPES:
+            lkey = (cls, value)
+            hit = self._leaves.get(lkey)
+            if hit is None:
+                raw = _encode(value, self)
+                hit = (value, raw, id(value))
+                self._leaves[lkey] = hit
+            self._by_id[id(value)] = (value, hit[1], hit[2])
+            return hit[1]
+        if cls is frozenset or cls is _signature_class():
+            # Immutable but not canonicalized: identity entries only.
+            # (The execution cache's bytes-keyed sign memo already
+            # shares one object per logical signature, so identity
+            # covers signatures well.)
+            raw = _encode(value, self)
+            self._by_id[id(value)] = (value, raw, id(value))
+            return raw
+        # Mutable or foreign: never stored.
+        return _encode(value, self)
+
+
+def encode(value: object, memo: "EncodeMemo | None" = None) -> bytes:
+    """Canonically encode ``value``; raises ``ProtocolError`` on foreign types.
+
+    ``memo`` is an optional :class:`EncodeMemo` threaded through the
+    recursion: shared substructures (and whole payloads) encode once
+    per memo lifetime.  The encoding is a pure function of the value
+    and memo keys are type-exact (see :class:`EncodeMemo`), so memoized
+    and direct results are identical — the batched runtime leans on
+    this for its shared cache.
+    """
+    if memo is not None:
+        entry = memo._by_id.get(id(value))
+        if entry is not None:
+            return entry[1]
+        return memo._memoized_encode(value)
+    return _encode(value, None)
+
+
+def _encode(value: object, memo: "EncodeMemo | None") -> bytes:
     if value is None:
         return _TAG_NONE
     if value is True:
@@ -63,15 +198,15 @@ def encode(value: object) -> bytes:
         raw = str(value).encode("ascii")
         return _TAG_PARTY + _length_prefixed(raw)
     if isinstance(value, (tuple, list)):
-        body = b"".join(encode(item) for item in value)
+        body = b"".join(encode(item, memo) for item in value)
         return _TAG_TUPLE + struct.pack(">I", len(value)) + body
     if isinstance(value, (frozenset, set)):
-        encoded_items = sorted(encode(item) for item in value)
+        encoded_items = sorted(encode(item, memo) for item in value)
         body = b"".join(encoded_items)
         return _TAG_SET + struct.pack(">I", len(encoded_items)) + body
     if isinstance(value, dict):
         encoded_entries = sorted(
-            (encode(key), encode(val)) for key, val in value.items()
+            (encode(key, memo), encode(val, memo)) for key, val in value.items()
         )
         body = b"".join(key + val for key, val in encoded_entries)
         return _TAG_DICT + struct.pack(">I", len(encoded_entries)) + body
@@ -79,12 +214,12 @@ def encode(value: object) -> bytes:
     signer = getattr(value, "signer", None)
     tag = getattr(value, "tag", None)
     if isinstance(signer, PartyId) and isinstance(tag, bytes):
-        return _TAG_SIG + encode(signer) + _length_prefixed(tag)
+        return _TAG_SIG + encode(signer, memo) + _length_prefixed(tag)
     raise ProtocolError(
         f"cannot canonically encode value of type {type(value).__name__}: {value!r}"
     )
 
 
-def encoded_size(value: object) -> int:
+def encoded_size(value: object, memo: "EncodeMemo | None" = None) -> int:
     """Size in bytes of the canonical encoding (message-size accounting)."""
-    return len(encode(value))
+    return len(encode(value, memo))

@@ -58,12 +58,16 @@ class KeyRing:
         """All parties with registered keys."""
         return tuple(sorted(self._keys))
 
-    def _sign_as(self, signer: PartyId, payload: object) -> Signature:
+    def _sign_as(
+        self, signer: PartyId, payload: object, *, encoded: bytes | None = None
+    ) -> Signature:
         try:
             key = self._keys[signer]
         except KeyError as exc:
             raise SignatureError(f"no key registered for {signer}") from exc
-        tag = hmac.new(key, encode(payload), hashlib.sha256).digest()
+        tag = hmac.new(
+            key, encoded if encoded is not None else encode(payload), hashlib.sha256
+        ).digest()
         return Signature(signer=signer, tag=tag)
 
     def handle_for(self, party: PartyId) -> "SigningHandle":
@@ -72,8 +76,19 @@ class KeyRing:
             raise SignatureError(f"no key registered for {party}")
         return SigningHandle(self, party)
 
-    def verify(self, signer: PartyId, payload: object, signature: object) -> bool:
-        """Public verification; tolerant of garbage ``signature`` objects."""
+    def verify(
+        self,
+        signer: PartyId,
+        payload: object,
+        signature: object,
+        *,
+        encoded: bytes | None = None,
+    ) -> bool:
+        """Public verification; tolerant of garbage ``signature`` objects.
+
+        ``encoded`` optionally supplies the payload's canonical bytes
+        (callers holding an encode memo skip the re-encoding).
+        """
         if not isinstance(signature, Signature):
             return False
         if signature.signer != signer:
@@ -81,7 +96,9 @@ class KeyRing:
         key = self._keys.get(signer)
         if key is None:
             return False
-        expected = hmac.new(key, encode(payload), hashlib.sha256).digest()
+        expected = hmac.new(
+            key, encoded if encoded is not None else encode(payload), hashlib.sha256
+        ).digest()
         return hmac.compare_digest(expected, signature.tag)
 
 

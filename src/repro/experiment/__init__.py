@@ -25,6 +25,7 @@ from repro.experiment.presets import PRESETS, preset, preset_names
 from repro.experiment.records import RunRecord, RunRecordSet
 from repro.experiment.spec import (
     AdversarySpec,
+    LinkSpec,
     ProfileSpec,
     ScenarioSpec,
     Sweep,
@@ -35,6 +36,7 @@ __all__ = [
     "ScenarioSpec",
     "ProfileSpec",
     "AdversarySpec",
+    "LinkSpec",
     "Sweep",
     "RunRecord",
     "RunRecordSet",

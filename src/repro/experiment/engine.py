@@ -7,16 +7,19 @@ Layering:
   :class:`~repro.experiment.records.RunRecord` rows.  Deterministic:
   every source of randomness is seeded by the spec, and process-level
   caches only memoize pure values (solvability verdicts, keyrings);
-* executors — ``"serial"`` runs in-process, ``"process"`` fans the
-  specs over a ``concurrent.futures`` process pool (specs travel as
-  JSON dictionaries, so workers share nothing with the parent).  Both
-  return records in spec order, so a sweep's output is byte-identical
-  whichever executor ran it;
+* executors — ``"serial"`` runs in-process one spec at a time,
+  ``"batch"`` schedules every bsm run of the sweep through one
+  :class:`~repro.runtime.BatchRuntime` round loop over a shared
+  :class:`~repro.runtime.ExecutionCache` (the single-worker fast
+  path), ``"process"`` fans the specs over a ``concurrent.futures``
+  process pool (specs travel as JSON dictionaries, so workers share
+  nothing with the parent).  All return records in spec order, and a
+  sweep's output is byte-identical whichever executor ran it;
 * :class:`Engine` — batch execution plus adaptive sweeps (run, refine,
   repeat);
 * :class:`Session` — the user-facing façade: presets, single runs with
-  full reports, sweeps, and the memoized oracle.  Every CLI command,
-  benchmark, and example routes through a session.
+  full reports, sweeps, structured traces, and the memoized oracle.
+  Every CLI command, benchmark, and example routes through a session.
 """
 
 from __future__ import annotations
@@ -28,13 +31,26 @@ import time
 from typing import Callable, Iterable, Sequence
 
 from repro.core.problem import BSMInstance, Setting
-from repro.core.runner import BSMReport, make_adversary, run_bsm
+from repro.core.runner import (
+    BSMReport,
+    finish_bsm,
+    make_adversary,
+    prepare_bsm,
+    run_bsm,
+)
 from repro.core.solvability import SolvabilityVerdict, is_solvable
 from repro.crypto.signatures import KeyRing
 from repro.errors import SolvabilityError
 from repro.experiment.records import RunRecord, RunRecordSet
 from repro.experiment.spec import ScenarioSpec, Sweep
 from repro.ids import all_parties
+from repro.runtime import (
+    NO_CACHE,
+    BatchRuntime,
+    ExecutionCache,
+    TraceRecorder,
+    runtime_for,
+)
 
 __all__ = [
     "EXECUTORS",
@@ -45,7 +61,7 @@ __all__ = [
     "Session",
 ]
 
-EXECUTORS = ("serial", "process")
+EXECUTORS = ("serial", "process", "batch")
 
 
 def _implied_executor(executor: str | None, workers: int | None) -> str:
@@ -78,16 +94,42 @@ def cached_keyring(k: int) -> KeyRing:
 # -- spec execution ------------------------------------------------------------
 
 
-def _build_bsm_run(spec: ScenarioSpec):
+def _cached_profile(spec: ScenarioSpec, cache) -> object:
+    """The spec's materialized profile, memoized through ``cache``.
+
+    Generated profiles are pure functions of ``(kind, knobs, seed, k)``
+    and immutable once built, so a batch can share one object across
+    every budget point that reuses a seed.  Explicit-list profiles skip
+    the cache (their spec is unhashable and they are built trivially).
+    """
+    profile_spec = spec.profile
+    if profile_spec.lists is not None:
+        return profile_spec.build(spec.k)
+    key = (
+        "profile",
+        profile_spec.kind,
+        profile_spec.seed,
+        profile_spec.similarity,
+        profile_spec.acceptance,
+        spec.k,
+    )
+    return cache.memo(key, lambda: profile_spec.build(spec.k))
+
+
+def _build_bsm_run(spec: ScenarioSpec, cache=NO_CACHE):
     """Materialize one bsm spec: ``(setting, verdict, instance, adversary,
-    adversary_kind, corrupted)`` — shared by the record and report paths."""
+    adversary_kind, corrupted, drop_rule)`` — shared by the record and
+    report paths."""
     setting = spec.setting()
     verdict = cached_verdict(setting)
-    instance = BSMInstance(setting, spec.profile.build(spec.k))
+    instance = BSMInstance(setting, _cached_profile(spec, cache))
     adversary = None
     adversary_kind = "none"
     corrupted: tuple = ()
+    drop_rule = None
     if spec.adversary is not None:
+        if spec.adversary.link is not None:
+            drop_rule = spec.adversary.link.drop_rule(setting)
         corrupted = spec.adversary.corrupted_parties(setting)
         if corrupted:
             adversary_kind = spec.adversary.kind
@@ -102,34 +144,99 @@ def _build_bsm_run(spec: ScenarioSpec):
                 crash_round=spec.adversary.crash_round,
                 mutator=spec.adversary.mutator,
             )
-    return setting, verdict, instance, adversary, adversary_kind, corrupted
+    return setting, verdict, instance, adversary, adversary_kind, corrupted, drop_rule
 
 
-def _bsm_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
-    setting = spec.setting()
-    verdict = cached_verdict(setting)
+def _bsm_not_run_record(spec: ScenarioSpec, verdict: SolvabilityVerdict) -> RunRecord:
+    """The record for an unsolvable, recipe-less grid point.
+
+    Emitted instead of aborting the whole sweep, so grid sweeps over
+    ``budgets="all"`` characterize rather than crash.
+    """
+    return RunRecord(
+        scenario=spec.label(),
+        family="bsm",
+        topology=spec.topology,
+        authenticated=spec.authenticated,
+        k=spec.k,
+        tL=spec.tL,
+        tR=spec.tR,
+        seed=spec.profile.seed,
+        solvable=False,
+        theorem=verdict.theorem,
+        adversary=spec.adversary.kind if spec.adversary else "none",
+        link=(
+            spec.adversary.link.describe()
+            if spec.adversary and spec.adversary.link
+            else ""
+        ),
+        violations=(f"not run: {verdict.reason}",),
+    )
+
+
+def _bsm_record(
+    spec: ScenarioSpec,
+    verdict: SolvabilityVerdict,
+    adversary_kind: str,
+    corrupted: tuple,
+    report: BSMReport,
+) -> RunRecord:
+    """Flatten one executed bsm run into its record row."""
+    outputs = tuple(
+        (str(party), str(report.result.outputs.get(party)))
+        for party in sorted(report.honest)
+    )
+    matched = sum(1 for _, partner in outputs if partner != "None")
+    return RunRecord(
+        scenario=spec.label(),
+        family="bsm",
+        topology=spec.topology,
+        authenticated=spec.authenticated,
+        k=spec.k,
+        tL=spec.tL,
+        tR=spec.tR,
+        seed=spec.profile.seed,
+        recipe=spec.recipe or (verdict.recipe or ""),
+        solvable=verdict.solvable,
+        theorem=verdict.theorem,
+        adversary=adversary_kind,
+        link=(
+            spec.adversary.link.describe()
+            if spec.adversary and spec.adversary.link
+            else ""
+        ),
+        corrupted=len(corrupted),
+        ok=report.ok,
+        termination=report.report.termination,
+        symmetry=report.report.symmetry,
+        stability=report.report.stability,
+        non_competition=report.report.non_competition,
+        violations=tuple(report.report.violations),
+        rounds=report.result.rounds,
+        messages=report.result.message_count,
+        bytes=report.result.byte_count,
+        dropped=report.result.dropped,
+        matched=matched,
+        outputs=outputs,
+    )
+
+
+def _compile_bsm(spec: ScenarioSpec, cache=NO_CACHE, trace=None):
+    """Compile one bsm spec: ``(records, compiled)``.
+
+    Exactly one of the two is set: ``records`` for points that produce
+    rows without running (unsolvable, recipe-less), ``compiled`` as
+    ``(prepared, adversary_kind, corrupted)`` ready for any runtime.
+    Both the serial and batched executors assemble through here, so
+    they cannot drift apart.
+    """
+    verdict = cached_verdict(spec.setting())
     if spec.recipe is None and verdict.recipe is None:
-        # Unsolvable point, no recipe forced: nothing to run.  Emit a
-        # not-run record instead of aborting the whole sweep, so grid
-        # sweeps over budgets="all" characterize rather than crash.
-        return (
-            RunRecord(
-                scenario=spec.label(),
-                family="bsm",
-                topology=spec.topology,
-                authenticated=spec.authenticated,
-                k=spec.k,
-                tL=spec.tL,
-                tR=spec.tR,
-                seed=spec.profile.seed,
-                solvable=False,
-                theorem=verdict.theorem,
-                adversary=spec.adversary.kind if spec.adversary else "none",
-                violations=(f"not run: {verdict.reason}",),
-            ),
-        )
-    setting, verdict, instance, adversary, adversary_kind, corrupted = _build_bsm_run(spec)
-    report = run_bsm(
+        return (_bsm_not_run_record(spec, verdict),), None
+    setting, verdict, instance, adversary, adversary_kind, corrupted, drop_rule = (
+        _build_bsm_run(spec, cache)
+    )
+    prepared = prepare_bsm(
         instance,
         adversary,
         recipe=spec.recipe,
@@ -137,40 +244,20 @@ def _bsm_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
         record_trace=spec.record_trace,
         keyring=cached_keyring(spec.k) if setting.authenticated else None,
         verdict=verdict,
+        drop_rule=drop_rule,
+        trace=trace,
+        label=spec.label(),
     )
-    outputs = tuple(
-        (str(party), str(report.result.outputs.get(party)))
-        for party in sorted(report.honest)
-    )
-    matched = sum(1 for _, partner in outputs if partner != "None")
-    return (
-        RunRecord(
-            scenario=spec.label(),
-            family="bsm",
-            topology=spec.topology,
-            authenticated=spec.authenticated,
-            k=spec.k,
-            tL=spec.tL,
-            tR=spec.tR,
-            seed=spec.profile.seed,
-            recipe=spec.recipe or (verdict.recipe or ""),
-            solvable=verdict.solvable,
-            theorem=verdict.theorem,
-            adversary=adversary_kind,
-            corrupted=len(corrupted),
-            ok=report.ok,
-            termination=report.report.termination,
-            symmetry=report.report.symmetry,
-            stability=report.report.stability,
-            non_competition=report.report.non_competition,
-            violations=tuple(report.report.violations),
-            rounds=report.result.rounds,
-            messages=report.result.message_count,
-            bytes=report.result.byte_count,
-            matched=matched,
-            outputs=outputs,
-        ),
-    )
+    return None, (prepared, adversary_kind, corrupted)
+
+
+def _bsm_records(spec: ScenarioSpec, cache=NO_CACHE, trace=None) -> tuple[RunRecord, ...]:
+    records, compiled = _compile_bsm(spec, cache, trace)
+    if records is not None:
+        return records
+    prepared, adversary_kind, corrupted = compiled
+    report = finish_bsm(prepared, runtime_for(spec.runtime).run(prepared.plan))
+    return (_bsm_record(spec, prepared.verdict, adversary_kind, corrupted, report),)
 
 
 def _attack_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
@@ -342,9 +429,49 @@ _FAMILY_RUNNERS: dict[str, Callable[[ScenarioSpec], tuple[RunRecord, ...]]] = {
 }
 
 
-def execute_spec(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
-    """Run one scenario and return its record rows (pure, deterministic)."""
+def execute_spec(spec: ScenarioSpec, *, cache=NO_CACHE, trace=None) -> tuple[RunRecord, ...]:
+    """Run one scenario and return its record rows (pure, deterministic).
+
+    ``cache`` (an :class:`~repro.runtime.ExecutionCache`) and ``trace``
+    (a structured sink) only apply to network-backed families; both are
+    semantically transparent.
+    """
+    if spec.family == "bsm":
+        return _bsm_records(spec, cache, trace)
     return _FAMILY_RUNNERS[spec.family](spec)
+
+
+def _execute_batched(
+    specs: Sequence[ScenarioSpec], trace=None
+) -> tuple[RunRecord, ...]:
+    """The single-worker fast path: one shared-cache batched round loop.
+
+    Every runnable bsm spec is compiled to a plan and scheduled through
+    one :class:`~repro.runtime.BatchRuntime`; other families (and specs
+    pinned to the event runtime) execute in place.  Records come back
+    in spec order and are byte-identical to the serial executor's.
+    """
+    cache = ExecutionCache()
+    runtime = BatchRuntime(cache)
+    rows: list[tuple[RunRecord, ...] | None] = [None] * len(specs)
+    batched: list[tuple[int, ScenarioSpec, object, str, tuple]] = []
+    for i, spec in enumerate(specs):
+        if spec.family != "bsm" or spec.runtime == "event":
+            rows[i] = execute_spec(spec, cache=cache, trace=trace)
+            continue
+        records, compiled = _compile_bsm(spec, cache, trace)
+        if records is not None:
+            rows[i] = records
+            continue
+        prepared, adversary_kind, corrupted = compiled
+        batched.append((i, spec, prepared, adversary_kind, corrupted))
+    results = runtime.run_many([prepared.plan for (_, _, prepared, _, _) in batched])
+    for (i, spec, prepared, adversary_kind, corrupted), result in zip(batched, results):
+        report = finish_bsm(prepared, result)
+        rows[i] = (
+            _bsm_record(spec, prepared.verdict, adversary_kind, corrupted, report),
+        )
+    return tuple(record for row in rows for record in row)
 
 
 def _pool_worker(payload: dict) -> list[dict]:
@@ -359,10 +486,11 @@ def _pool_worker(payload: dict) -> list[dict]:
 class Engine:
     """Executes sweeps on a pluggable executor with per-process memoization.
 
-    ``executor`` is ``"serial"`` (default) or ``"process"``; ``workers``
-    bounds the pool (default: CPU count).  Adding a new backend —
-    sharded, async, remote — means adding a new executor here, not
-    rewriting callers.
+    ``executor`` is ``"serial"`` (default), ``"batch"`` (one shared-
+    cache batched round loop — the single-worker fast path), or
+    ``"process"``; ``workers`` bounds the pool (default: CPU count).
+    Adding a new backend — sharded, async, remote — means adding a new
+    executor here, not rewriting callers.
     """
 
     def __init__(self, executor: str = "serial", workers: int | None = None) -> None:
@@ -383,11 +511,23 @@ class Engine:
             executor="serial",
         )
 
-    def run_sweep(self, sweep: Sweep | Iterable[ScenarioSpec]) -> RunRecordSet:
+    def run_sweep(
+        self, sweep: Sweep | Iterable[ScenarioSpec], *, trace=None
+    ) -> RunRecordSet:
         """Execute a batch; records come back in spec order regardless
-        of which executor (or worker) ran each spec."""
+        of which executor (or worker) ran each spec.
+
+        ``trace`` is an optional structured sink receiving every bsm
+        run's kernel events (in-process executors only — pool workers
+        cannot stream events back).
+        """
         specs = tuple(sweep)
         started = time.perf_counter()
+        if trace is not None and self.executor == "process":
+            raise SolvabilityError(
+                "structured tracing requires an in-process executor "
+                "('serial' or 'batch'), not the process pool"
+            )
         if self.executor == "process" and len(specs) > 1:
             payloads = [spec.to_dict() for spec in specs]
             chunksize = max(1, len(payloads) // (self.workers * 4))
@@ -400,9 +540,11 @@ class Engine:
             records = tuple(
                 RunRecord.from_dict(row) for rows in rows_per_spec for row in rows
             )
+        elif self.executor == "batch":
+            records = _execute_batched(specs, trace=trace)
         else:
             records = tuple(
-                record for spec in specs for record in execute_spec(spec)
+                record for spec in specs for record in execute_spec(spec, trace=trace)
             )
         return RunRecordSet(
             records=records,
@@ -472,6 +614,7 @@ class Session:
         *,
         executor: str | None = None,
         workers: int | None = None,
+        trace=None,
     ) -> RunRecordSet:
         """Execute a sweep (or a preset, by name) and return all records."""
         if isinstance(sweep, str):
@@ -482,7 +625,7 @@ class Session:
                 # workers only makes sense on the pool: honor the request.
                 executor = "process" if workers is not None else self.engine.executor
             engine = Engine(executor=executor, workers=workers or self.engine.workers)
-        return engine.run_sweep(sweep)
+        return engine.run_sweep(sweep, trace=trace)
 
     def adaptive(self, initial, refine, max_batches: int = 8) -> RunRecordSet:
         """Adaptive sweep — see :meth:`Engine.run_adaptive`."""
@@ -490,7 +633,7 @@ class Session:
 
     # -- full reports ---------------------------------------------------------
 
-    def report(self, spec: ScenarioSpec) -> BSMReport:
+    def report(self, spec: ScenarioSpec, *, trace=None) -> BSMReport:
         """Run one bSM spec in-process and return the full report
         (result, trace when ``record_trace``, property breakdown)."""
         if spec.family != "bsm":
@@ -498,14 +641,28 @@ class Session:
                 f"report() is for the bsm family, got {spec.family!r}; "
                 "use attack()/run() for other families"
             )
-        _, _, instance, adversary, _, _ = _build_bsm_run(spec)
+        _, _, instance, adversary, _, _, drop_rule = _build_bsm_run(spec)
         return self.execute(
             instance,
             adversary,
             recipe=spec.recipe,
             max_rounds=spec.max_rounds,
             record_trace=spec.record_trace,
+            runtime=spec.runtime,
+            drop_rule=drop_rule,
+            trace=trace,
+            label=spec.label(),
         )
+
+    def trace(self, spec: ScenarioSpec) -> tuple[BSMReport, TraceRecorder]:
+        """Replay one bSM spec with kernel tracing attached.
+
+        Returns the full report plus the recorded structured events —
+        export them with :func:`repro.io.dump_trace`.
+        """
+        recorder = TraceRecorder()
+        report = self.report(spec, trace=recorder)
+        return report, recorder
 
     def execute(
         self,
@@ -516,6 +673,10 @@ class Session:
         max_rounds: int | None = None,
         enforce_structure: bool = True,
         record_trace: bool = False,
+        runtime: str = "lockstep",
+        drop_rule=None,
+        trace=None,
+        label: str = "",
     ) -> BSMReport:
         """The imperative escape hatch: run a pre-built instance/adversary
         with the session's memoized keyring and verdict."""
@@ -529,6 +690,10 @@ class Session:
             record_trace=record_trace,
             keyring=cached_keyring(setting.k) if setting.authenticated else None,
             verdict=cached_verdict(setting),
+            runtime=runtime,
+            drop_rule=drop_rule,
+            trace=trace,
+            label=label,
         )
 
     def attack(self, lemma: str):

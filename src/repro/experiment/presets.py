@@ -18,6 +18,8 @@ catalog covers:
 * ``roommates`` — the Section 6 single-set extension across ``n``;
 * ``gs_ensemble`` / ``incomplete_ensemble`` — offline ensemble sweeps
   (random stable matchings à la Mertens; incomplete lists à la [13]);
+* ``lossy`` — link drops (kernel-injected omission faults) combined
+  with the worst-case silent adversary: a graceful-degradation study;
 * ``smoke`` — a six-spec sanity batch for CI.
 """
 
@@ -28,7 +30,13 @@ from typing import Callable
 from repro.core.problem import Setting
 from repro.core.solvability import is_solvable
 from repro.errors import SolvabilityError
-from repro.experiment.spec import AdversarySpec, ProfileSpec, ScenarioSpec, Sweep
+from repro.experiment.spec import (
+    AdversarySpec,
+    LinkSpec,
+    ProfileSpec,
+    ScenarioSpec,
+    Sweep,
+)
 from repro.net.topology import TOPOLOGY_NAMES
 
 __all__ = ["PRESETS", "preset", "preset_names"]
@@ -200,6 +208,41 @@ def incomplete_ensemble() -> Sweep:
     )
 
 
+def lossy() -> Sweep:
+    """Graceful-degradation study: link drops on top of a silent adversary.
+
+    The paper's protocols assume lossless synchronous channels; this
+    preset measures what actually breaks when the channel loses
+    messages (Appendix A.6's omission regime, injected at the runtime
+    kernel).  Each point combines the worst-case silent adversary with
+    an independent per-message drop probability; ``p=0`` anchors the
+    lossless baseline and the range spans the observed cliff (the
+    signed-relay substrate shrugs off ~30% loss; symmetry starts
+    breaking near 50%).  Failures here are the *object of study*, not
+    regressions — aggregate ``ok`` by ``link`` to see the cliff.
+    """
+    specs: list[ScenarioSpec] = []
+    for probability in (0.0, 0.1, 0.3, 0.5):
+        for seed in (7, 11):
+            link = (
+                LinkSpec(kind="random", probability=probability, seed=seed)
+                if probability > 0.0
+                else None
+            )
+            specs.append(
+                ScenarioSpec(
+                    topology="fully_connected",
+                    authenticated=True,
+                    k=3,
+                    tL=1,
+                    tR=1,
+                    profile=ProfileSpec(seed=seed),
+                    adversary=AdversarySpec(kind="silent", link=link),
+                )
+            )
+    return Sweep.of(*specs)
+
+
 def smoke() -> Sweep:
     """A six-spec sanity batch: one of each shape, all fast."""
     return Sweep.of(
@@ -245,6 +288,7 @@ PRESETS: dict[str, Callable[[], Sweep]] = {
     "roommates": roommates,
     "gs_ensemble": gs_ensemble,
     "incomplete_ensemble": incomplete_ensemble,
+    "lossy": lossy,
     "smoke": smoke,
 }
 

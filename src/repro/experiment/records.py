@@ -41,6 +41,7 @@ class RunRecord:
     solvable: bool | None = None
     theorem: str = ""
     adversary: str = "none"
+    link: str = ""
     corrupted: int = 0
     ok: bool = False
     termination: bool = False
@@ -51,6 +52,7 @@ class RunRecord:
     rounds: int = 0
     messages: int = 0
     bytes: int = 0
+    dropped: int = 0
     matched: int = 0
     proposals: int = 0
     outputs: tuple[tuple[str, str], ...] = ()

@@ -32,21 +32,26 @@ from repro.matching.generators import (
     random_roommates_preferences,
 )
 from repro.matching.preferences import PreferenceProfile
+from repro.net.faults import DropRule, after_round_drop, partition_drop, random_drop
 from repro.net.topology import TOPOLOGY_NAMES
+from repro.runtime.api import RUNTIME_NAMES
 
 __all__ = [
     "ProfileSpec",
     "AdversarySpec",
+    "LinkSpec",
     "ScenarioSpec",
     "Sweep",
     "FAMILIES",
     "ADVERSARY_KINDS",
+    "LINK_KINDS",
     "PROFILE_KINDS",
     "worst_case_corruption",
 ]
 
 FAMILIES = ("bsm", "attack", "roommates", "offline")
 ADVERSARY_KINDS = ("silent", "noise", "crash", "honest", "equivocate")
+LINK_KINDS = ("random", "partition", "after_round")
 PROFILE_KINDS = ("random", "correlated", "master_list", "explicit", "incomplete_random")
 
 #: Sentinel for "corrupt the full budget": the first ``tL`` left and
@@ -165,14 +170,91 @@ class ProfileSpec:
 
 
 @dataclass(frozen=True)
+class LinkSpec:
+    """Declarative link faults: what the *channels* lose.
+
+    Orthogonal to party corruption — a :class:`AdversarySpec` can
+    combine behavior faults (who lies) with link faults (what the
+    network eats).  Kinds, realized by :mod:`repro.net.faults` rules in
+    the runtime kernel's delivery path:
+
+    * ``"random"`` — each message dropped independently with
+      ``probability`` (seeded, deterministic per ``(src, dst, round)``);
+    * ``"partition"`` — every cross-side message dropped (the canonical
+      L/R partition);
+    * ``"after_round"`` — lossless until ``cutoff``, then total loss.
+    """
+
+    kind: str = "random"
+    probability: float = 0.1
+    seed: int = 0
+    cutoff: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in LINK_KINDS:
+            raise SolvabilityError(
+                f"unknown link fault kind {self.kind!r}; expected one of {LINK_KINDS}"
+            )
+        if self.kind == "random" and not (0.0 <= self.probability <= 1.0):
+            raise SolvabilityError(
+                f"drop probability must lie in [0, 1], got {self.probability}"
+            )
+        if self.kind == "after_round" and self.cutoff < 0:
+            raise SolvabilityError(f"cutoff must be >= 0, got {self.cutoff}")
+        # Canonicalize the knobs other kinds ignore, so spec equality and
+        # the JSON round-trip agree (mirrors ProfileSpec/AdversarySpec).
+        if self.kind != "random":
+            object.__setattr__(self, "probability", 0.1)
+            object.__setattr__(self, "seed", 0)
+        if self.kind != "after_round":
+            object.__setattr__(self, "cutoff", 0)
+
+    def describe(self) -> str:
+        """A short, stable label (used in record columns)."""
+        if self.kind == "random":
+            return f"random(p={self.probability:g},seed={self.seed})"
+        if self.kind == "after_round":
+            return f"after_round({self.cutoff})"
+        return "partition"
+
+    def drop_rule(self, setting: Setting) -> DropRule:
+        """The executable :mod:`repro.net.faults` rule for ``setting``."""
+        if self.kind == "random":
+            return random_drop(self.probability, seed=self.seed)
+        if self.kind == "after_round":
+            return after_round_drop(self.cutoff)
+        return partition_drop(left_side(setting.k), right_side(setting.k))
+
+    def to_dict(self) -> dict:
+        data: dict = {"kind": self.kind}
+        if self.kind == "random":
+            data["probability"] = self.probability
+            data["seed"] = self.seed
+        if self.kind == "after_round":
+            data["cutoff"] = self.cutoff
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LinkSpec":
+        return cls(
+            kind=data.get("kind", "random"),
+            probability=float(data.get("probability", 0.1)),
+            seed=int(data.get("seed", 0)),
+            cutoff=int(data.get("cutoff", 0)),
+        )
+
+
+@dataclass(frozen=True)
 class AdversarySpec:
     """Who misbehaves and how — fully declarative.
 
     ``corrupt`` is either the sentinel ``"budget"`` (the canonical
     worst-case set: first ``tL`` left + first ``tR`` right parties) or
-    an explicit tuple of party names (``("L0", "R2")``).  ``mutator``
-    names a canned mutator from :mod:`repro.adversary.mutators` and is
-    only meaningful for ``kind="equivocate"``.
+    an explicit tuple of party names (``("L0", "R2")``) — possibly
+    empty, for link-fault-only adversaries.  ``mutator`` names a canned
+    mutator from :mod:`repro.adversary.mutators` and is only meaningful
+    for ``kind="equivocate"``.  ``link`` adds channel-level faults
+    (:class:`LinkSpec`) on top of — or instead of — party corruption.
     """
 
     kind: str = "silent"
@@ -180,6 +262,7 @@ class AdversarySpec:
     seed: int = 0
     crash_round: int = 2
     mutator: str | None = None
+    link: LinkSpec | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ADVERSARY_KINDS:
@@ -215,17 +298,21 @@ class AdversarySpec:
             data["crash_round"] = self.crash_round
         if self.mutator is not None:
             data["mutator"] = self.mutator
+        if self.link is not None:
+            data["link"] = self.link.to_dict()
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "AdversarySpec":
         corrupt = data.get("corrupt", BUDGET)
+        link = data.get("link")
         return cls(
             kind=data.get("kind", "silent"),
             corrupt=corrupt if corrupt == BUDGET else tuple(corrupt),
             seed=int(data.get("seed", 0)),
             crash_round=int(data.get("crash_round", 2)),
             mutator=data.get("mutator"),
+            link=LinkSpec.from_dict(link) if link is not None else None,
         )
 
 
@@ -245,6 +332,13 @@ class ScenarioSpec:
     * ``"offline"`` — no network at all: run the named offline
       ``algorithm`` (``gale_shapley`` or ``incomplete``) on a generated
       instance, for Mertens-style ensemble sweeps.
+
+    ``runtime`` selects the :mod:`repro.runtime` executor for bsm runs
+    (``"lockstep"`` — the sequential reference and default; ``"event"``
+    — asyncio scheduling; ``"batch"`` — batched semantics, grouped into
+    one shared-cache round loop by the engine's batch executor).  All
+    three produce byte-identical records, so the knob never shapes the
+    result — it is deliberately excluded from derived labels.
     """
 
     name: str = ""
@@ -259,6 +353,7 @@ class ScenarioSpec:
     recipe: str | None = None
     max_rounds: int | None = None
     record_trace: bool = False
+    runtime: str = "lockstep"
     attack: str | None = None
     n: int = 0
     t: int = 0
@@ -268,6 +363,10 @@ class ScenarioSpec:
         if self.family not in FAMILIES:
             raise SolvabilityError(
                 f"unknown family {self.family!r}; expected one of {FAMILIES}"
+            )
+        if self.runtime not in RUNTIME_NAMES:
+            raise SolvabilityError(
+                f"unknown runtime {self.runtime!r}; expected one of {RUNTIME_NAMES}"
             )
         if self.family == "attack":
             if self.attack not in ("lemma5", "lemma7", "lemma13"):
@@ -313,18 +412,19 @@ class ScenarioSpec:
             ignored = dict(
                 topology="fully_connected", authenticated=True, k=3, tL=0, tR=0,
                 recipe=None, max_rounds=None, record_trace=False,
-                n=0, t=0, algorithm="gale_shapley",
+                runtime="lockstep", n=0, t=0, algorithm="gale_shapley",
             )
         elif self.family == "roommates":
             ignored = dict(
                 topology="fully_connected", k=3, tL=0, tR=0,
-                recipe=None, record_trace=False, algorithm="gale_shapley",
+                recipe=None, record_trace=False, runtime="lockstep",
+                algorithm="gale_shapley",
             )
         elif self.family == "offline":
             ignored = dict(
                 topology="fully_connected", authenticated=True, tL=0, tR=0,
                 recipe=None, max_rounds=None, record_trace=False,
-                n=0, t=0, adversary=None,
+                runtime="lockstep", n=0, t=0, adversary=None,
             )
         else:
             ignored = dict(n=0, t=0, algorithm="gale_shapley")
@@ -354,6 +454,8 @@ class ScenarioSpec:
             extra += f"/{self.profile.kind}"
         if self.adversary is not None:
             extra += f"/{self.adversary.kind}"
+            if self.adversary.link is not None:
+                extra += f"/lossy-{self.adversary.link.describe()}"
         if self.recipe is not None:
             extra += f"/{self.recipe}"
         if self.family == "attack":
@@ -416,6 +518,8 @@ class ScenarioSpec:
             data["max_rounds"] = self.max_rounds
         if self.record_trace:
             data["record_trace"] = True
+        if self.runtime != "lockstep":
+            data["runtime"] = self.runtime
         return data
 
     @classmethod
@@ -435,6 +539,7 @@ class ScenarioSpec:
             recipe=data.get("recipe"),
             max_rounds=data.get("max_rounds"),
             record_trace=bool(data.get("record_trace", False)),
+            runtime=data.get("runtime", "lockstep"),
             attack=data.get("attack"),
             n=int(data.get("n", 0)),
             t=int(data.get("t", 0)),
@@ -526,6 +631,15 @@ class Sweep:
                         pairs = [(tL, tR) for tL, tR in budgets if tL <= k and tR <= k]
                     for tL, tR in pairs:
                         for seed in seeds:
+                            if tL or tR:
+                                point_adversary = adversary
+                            elif adversary is not None and adversary.link is not None:
+                                # Zero-budget point, but the adversary carries
+                                # link faults: keep the channel faults, drop
+                                # the (empty anyway) corruption set.
+                                point_adversary = replace(adversary, corrupt=())
+                            else:
+                                point_adversary = None
                             specs.append(
                                 ScenarioSpec(
                                     topology=topology,
@@ -534,7 +648,7 @@ class Sweep:
                                     tL=tL,
                                     tR=tR,
                                     profile=ProfileSpec(kind=profile_kind, seed=seed),
-                                    adversary=adversary if (tL or tR) else None,
+                                    adversary=point_adversary,
                                     recipe=recipe,
                                 )
                             )

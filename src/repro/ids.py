@@ -13,7 +13,7 @@ iteration order — determinism of the whole simulator rests on it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import total_ordering
+from functools import lru_cache, total_ordering
 from typing import Iterable, Iterator
 
 __all__ = [
@@ -56,6 +56,20 @@ class PartyId:
             raise TypeError(f"index must be an int, got {type(self.index).__name__}")
         if self.index < 0:
             raise ValueError(f"index must be non-negative, got {self.index}")
+        # Party ids are the keys of nearly every dict in the simulator and
+        # the leaves of most signed payloads, so their hash is on every hot
+        # path.  Precompute it (and the sort key) once; both are derived
+        # from frozen fields, so the cache can never go stale.
+        object.__setattr__(self, "_hash", hash((self.side, self.index)))
+        object.__setattr__(self, "_key", (self.side, self.index))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is PartyId:
+            return self._key == other._key
+        return NotImplemented
 
     @property
     def opposite_side(self) -> str:
@@ -79,29 +93,42 @@ class PartyId:
     def __lt__(self, other: "PartyId") -> bool:
         if not isinstance(other, PartyId):
             return NotImplemented
-        return (self.side, self.index) < (other.side, other.index)
+        return self._key < other._key
 
 
+# The canonical constructors intern their results: the simulator churns
+# through the same handful of identities millions of times, and interned
+# instances let dict lookups and tuple comparisons take CPython's
+# identity shortcut instead of calling __eq__.  PartyId stays an
+# ordinary value type — direct construction is still valid, merely
+# uninterned.
+
+
+@lru_cache(maxsize=None)
 def left_party(index: int) -> PartyId:
-    """Shorthand for ``PartyId("L", index)``."""
+    """Shorthand for ``PartyId("L", index)`` (interned)."""
     return PartyId(LEFT, index)
 
 
+@lru_cache(maxsize=None)
 def right_party(index: int) -> PartyId:
-    """Shorthand for ``PartyId("R", index)``."""
+    """Shorthand for ``PartyId("R", index)`` (interned)."""
     return PartyId(RIGHT, index)
 
 
+@lru_cache(maxsize=None)
 def left_side(k: int) -> tuple[PartyId, ...]:
     """The canonical left side ``(L0, ..., L{k-1})``."""
     return tuple(left_party(i) for i in range(k))
 
 
+@lru_cache(maxsize=None)
 def right_side(k: int) -> tuple[PartyId, ...]:
     """The canonical right side ``(R0, ..., R{k-1})``."""
     return tuple(right_party(i) for i in range(k))
 
 
+@lru_cache(maxsize=None)
 def all_parties(k: int) -> tuple[PartyId, ...]:
     """All ``2k`` parties in canonical order: ``L0..L{k-1}, R0..R{k-1}``."""
     return left_side(k) + right_side(k)
@@ -127,7 +154,9 @@ def parse_party(text: str) -> PartyId:
         index = int(text[1:])
     except ValueError as exc:
         raise ValueError(f"cannot parse party id from {text!r}") from exc
-    return PartyId(text[0], index)
+    if index < 0:
+        raise ValueError(f"cannot parse party id from {text!r}")
+    return left_party(index) if text[0] == LEFT else right_party(index)
 
 
 def sides_of(parties: Iterable[PartyId]) -> Iterator[str]:

@@ -4,6 +4,8 @@ Turns :class:`~repro.net.simulator.RunResult` and
 :class:`~repro.core.runner.BSMReport` objects into plain-JSON
 dictionaries (and back, for results), so experiment pipelines can
 archive runs, diff them across code versions, or plot them elsewhere.
+Structured kernel traces (:mod:`repro.runtime.trace`) export as JSONL
+via :func:`dump_trace`.
 
 PartyIds serialize as their string form (``"L3"``), payloads as
 ``repr`` strings (traces are for inspection, not replay).
@@ -12,12 +14,13 @@ PartyIds serialize as their string form (``"L3"``), payloads as
 from __future__ import annotations
 
 import json
-from typing import Mapping
+from typing import Iterable, Mapping
 
 from repro.core.runner import BSMReport
 from repro.errors import ReproError
 from repro.ids import PartyId, parse_party
 from repro.net.simulator import RunResult
+from repro.runtime.trace import TraceEvent, trace_to_jsonl
 
 __all__ = [
     "result_to_dict",
@@ -28,6 +31,8 @@ __all__ = [
     "dump_records",
     "load_records",
     "records_to_csv",
+    "dump_trace",
+    "load_trace",
 ]
 
 
@@ -67,6 +72,10 @@ def result_to_dict(result: RunResult, *, include_trace: bool = False) -> dict:
         "message_count": result.message_count,
         "byte_count": result.byte_count,
     }
+    if result.dropped:
+        # Only fault-injected runs carry the key, so lossless archives
+        # stay byte-identical across code versions.
+        data["dropped"] = result.dropped
     if include_trace:
         data["trace"] = [
             {
@@ -97,6 +106,7 @@ def result_from_dict(data: Mapping) -> RunResult:
         terminated=bool(data["terminated"]),
         message_count=int(data["message_count"]),
         byte_count=int(data["byte_count"]),
+        dropped=int(data.get("dropped", 0)),
     )
 
 
@@ -166,3 +176,38 @@ def records_to_csv(records, path) -> None:
     """Write a record set as CSV (one row per run, scalar columns)."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(records.to_csv())
+
+
+# -- structured kernel traces --------------------------------------------------
+
+
+def dump_trace(events: Iterable[TraceEvent], path) -> None:
+    """Write kernel trace events as JSONL (one event object per line).
+
+    Accepts any event iterable — a
+    :class:`~repro.runtime.trace.TraceRecorder` works directly.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(trace_to_jsonl(events))
+
+
+def load_trace(path) -> list[TraceEvent]:
+    """Read back events written by :func:`dump_trace`."""
+    events: list[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            events.append(
+                TraceEvent(
+                    run=data.get("run", ""),
+                    round=int(data["round"]),
+                    kind=data["kind"],
+                    party=data.get("party", ""),
+                    peer=data.get("peer", ""),
+                    payload=data.get("payload", ""),
+                )
+            )
+    return events

@@ -9,6 +9,13 @@ observe the honest messages addressed to them in the current round
 before choosing their own.
 """
 
+from repro.net.faults import (
+    DropRule,
+    after_round_drop,
+    compose_drop,
+    partition_drop,
+    random_drop,
+)
 from repro.net.process import Context, Envelope, Process
 from repro.net.simulator import RunResult, SyncNetwork
 from repro.net.topology import (
@@ -30,4 +37,9 @@ __all__ = [
     "Envelope",
     "SyncNetwork",
     "RunResult",
+    "DropRule",
+    "random_drop",
+    "partition_drop",
+    "after_round_drop",
+    "compose_drop",
 ]

@@ -1,10 +1,12 @@
 """Asyncio execution of the synchronous model.
 
-The round engine in :mod:`repro.net.simulator` steps parties
-sequentially.  :class:`AsyncNetwork` runs the *same* model on asyncio:
+The runtime kernel (:mod:`repro.runtime.kernel`) steps parties
+sequentially.  :class:`AsyncNetwork` runs the *same* kernel on asyncio:
 within each round every honest party executes as its own task, with an
 optional seeded jitter (awaited ``asyncio.sleep``) emulating real
-in-round scheduling noise.
+in-round scheduling noise.  This class is the engine behind
+:class:`repro.runtime.EventRuntime`, which adds plan-level plumbing
+(link faults, tracing, optional transport hosting).
 
 Crucially, the outcome is **identical** to the sequential engine: a
 synchronous protocol may not depend on intra-round scheduling, and the
@@ -46,7 +48,7 @@ class AsyncNetwork(SyncNetwork):
         self._step_party(party, inboxes)
 
     async def _execute_honest_async(self, inboxes) -> None:
-        parties = sorted(self._contexts)
+        parties = self._party_order
         await asyncio.gather(
             *(self._step_party_async(party, inboxes) for party in parties)
         )

@@ -1,11 +1,22 @@
-"""Fault-injection links: omissions as a first-class testing tool.
+"""Fault injection: omissions as a first-class testing tool.
 
 The paper's Appendix A.6 analyzes protocols in "a fully-connected
 synchronous network with omissions": a message either arrives within
-``Delta`` or never.  :class:`LossyLink` realizes exactly that — a
-direct link whose deliveries are filtered by a predicate — so omission
+``Delta`` or never.  The primitive is the :data:`DropRule` — a pure
+predicate ``drop(src, dst, sent_round) -> bool`` — consumed in two
+places:
+
+* the **runtime kernel** (:mod:`repro.runtime.kernel`): every runtime
+  accepts a ``drop_rule`` that filters the channel itself, so omission
+  behavior can be injected into any end-to-end run (declaratively, via
+  ``LinkSpec`` on an experiment ``AdversarySpec``);
+* :class:`LossyLink`: a direct link-layer transport whose deliveries
+  are filtered at the receiving link, for protocols hosted over
+  :mod:`repro.net.transports`.
+
+The canned rules below are deterministic or seeded, so omission
 guarantees (Theorems 8/9: termination + weak agreement) can be tested
-against arbitrary loss patterns, deterministic or seeded.
+against arbitrary, reproducible loss patterns.
 """
 
 from __future__ import annotations
@@ -17,7 +28,14 @@ from repro.ids import PartyId
 from repro.net.process import Envelope
 from repro.net.transports import DirectLink
 
-__all__ = ["LossyLink", "random_drop", "partition_drop", "after_round_drop"]
+__all__ = [
+    "DropRule",
+    "LossyLink",
+    "random_drop",
+    "partition_drop",
+    "after_round_drop",
+    "compose_drop",
+]
 
 #: ``drop(src, dst, sent_round) -> bool`` — True suppresses the delivery.
 DropRule = Callable[[PartyId, PartyId, int], bool]
@@ -76,5 +94,14 @@ def after_round_drop(cutoff: int) -> DropRule:
 
     def rule(src: PartyId, dst: PartyId, sent_round: int) -> bool:
         return sent_round >= cutoff
+
+    return rule
+
+
+def compose_drop(*rules: DropRule) -> DropRule:
+    """A rule dropping whatever *any* of ``rules`` drops (union of faults)."""
+
+    def rule(src: PartyId, dst: PartyId, sent_round: int) -> bool:
+        return any(r(src, dst, sent_round) for r in rules)
 
     return rule

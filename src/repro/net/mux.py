@@ -121,17 +121,21 @@ class Mux:
         Routes multiplexed envelopes to their instances and returns the
         envelopes that were *not* multiplexed (host-level traffic).
         """
-        routed: dict[object, list[Envelope]] = {name: [] for name in self._subs}
+        # Routed inboxes materialize lazily: most (instance, round)
+        # pairs receive nothing, and the all-empty dict-of-lists per
+        # round was a measurable share of sweep time.
+        routed: dict[object, list[Envelope]] = {}
         unrouted: list[Envelope] = []
+        subs = self._subs
         for envelope in inbox:
             payload = envelope.payload
             if (
                 isinstance(payload, tuple)
                 and len(payload) == 3
                 and payload[0] == MUX_TAG
-                and payload[1] in routed
+                and payload[1] in subs
             ):
-                routed[payload[1]].append(
+                routed.setdefault(payload[1], []).append(
                     Envelope(
                         src=envelope.src,
                         dst=envelope.dst,
@@ -142,14 +146,16 @@ class Mux:
             else:
                 unrouted.append(envelope)
 
-        for name, process in self._subs.items():
+        empty: tuple[Envelope, ...] = ()
+        for name, process in subs.items():
             sub_ctx = self._contexts.get(name)
             if sub_ctx is None:
                 sub_ctx = SubContext(ctx, name)
                 self._contexts[name] = sub_ctx
             if sub_ctx.halted:
                 continue
-            process.on_round(sub_ctx, tuple(routed[name]))
+            sub_inbox = routed.get(name)
+            process.on_round(sub_ctx, tuple(sub_inbox) if sub_inbox else empty)
         return unrouted
 
     def output_of(self, name: object) -> object:

@@ -28,7 +28,7 @@ __all__ = ["Envelope", "Context", "Process", "NullProcess"]
 _NO_OUTPUT = object()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Envelope:
     """One delivered message: sender, recipient, send round, payload."""
 
@@ -49,15 +49,21 @@ class Context:
     methods below.
     """
 
-    def __init__(self, me: PartyId, topology: Topology, signer=None) -> None:
+    def __init__(self, me: PartyId, topology: Topology, signer=None, encode_memo=None) -> None:
         self.me = me
         self.round = 0
         self._topology = topology
         self._signer = signer
+        #: Optional shared canonical-encoding memo (set by the batched
+        #: runtime); link layers may consult it for payload hashing.
+        self._encode_memo = encode_memo
         self._outbox: list[tuple[PartyId, object]] = []
         self._output: object = _NO_OUTPUT
         self._halted = False
         self._neighbors = topology.neighbors(me)
+        # Membership in the neighbor set is equivalent to a passing
+        # check_edge for this party — the O(1) fast path for send().
+        self._neighbor_set = frozenset(self._neighbors)
 
     # -- network ---------------------------------------------------------------
 
@@ -78,7 +84,9 @@ class Context:
         exists — honest code must respect the topology, and the
         simulator enforces the same restriction on the adversary.
         """
-        self._topology.check_edge(self.me, dst)
+        if dst not in self._neighbor_set:
+            # Not a channel: let check_edge raise its precise error.
+            self._topology.check_edge(self.me, dst)
         self._outbox.append((dst, payload))
 
     def send_many(self, dsts: Iterable[PartyId], payload: object) -> None:

@@ -1,300 +1,38 @@
-"""The synchronous round engine.
+"""The synchronous round engine — now a shim over :mod:`repro.runtime`.
 
-Implements the paper's communication model: lock-step rounds, all
-messages delivered exactly one round after sending, topology-enforced
-channels, and a *rushing* adversary — corrupted parties see the honest
-messages addressed to them in the current round before choosing their
-own messages for the same round.
+The engine that used to live here is the kernel of the runtime layer:
+:class:`repro.runtime.kernel.RoundEngine` implements the paper's
+communication model (lock-step rounds, delivery exactly one round after
+sending, topology-enforced channels, rushing adversary) plus the
+kernel-level hooks every runtime shares — link faults, structured
+tracing, and execution caches.  See that module for the full model
+documentation.
 
-Determinism: parties are processed in canonical id order, the engine
-uses no wall clock and no global randomness, so a run is a pure
-function of (topology, processes, adversary, seed material inside
-those).
-
-Termination is never assumed: the engine stops either when every
-honest party has halted or when ``max_rounds`` is reached; the latter
-shows up as ``terminated=False`` in the :class:`RunResult` and becomes
-a termination-property violation in the verdict layer, not a hang.
+:class:`SyncNetwork` remains the stable constructor-compatible entry
+point for direct, single-run use (tests, examples, hand-wired
+experiments): build one with a topology, processes, and an optional
+adversary, call :meth:`~repro.runtime.kernel.RoundEngine.run`, get a
+:class:`~repro.runtime.kernel.RunResult`.  Batch and asyncio execution
+live in :mod:`repro.runtime`; ``AsyncNetwork`` in
+:mod:`repro.net.async_runtime` extends this class with asyncio
+scheduling.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping
-
-from repro.crypto.encoding import encoded_size
-from repro.crypto.signatures import KeyRing, SigningHandle
-from repro.errors import AdversaryError, ProtocolError, SimulationError
-from repro.ids import PartyId
-from repro.net.process import Context, Envelope, Process
-from repro.net.topology import Topology
+from repro.runtime.kernel import (
+    DEFAULT_MAX_ROUNDS,
+    AdversaryWorld,
+    RoundEngine,
+    RunResult,
+)
 
 __all__ = ["AdversaryWorld", "RunResult", "SyncNetwork", "DEFAULT_MAX_ROUNDS"]
 
-DEFAULT_MAX_ROUNDS = 10_000
 
+class SyncNetwork(RoundEngine):
+    """One synchronous run: topology + processes + (optional) adversary.
 
-@dataclass
-class RunResult:
-    """Everything observable about one finished run."""
-
-    outputs: dict[PartyId, object]
-    halted: frozenset[PartyId]
-    corrupted: frozenset[PartyId]
-    rounds: int
-    terminated: bool
-    message_count: int
-    byte_count: int
-    trace: tuple[Envelope, ...] = field(default_factory=tuple)
-
-    def honest(self, k: int | None = None) -> frozenset[PartyId]:
-        """Honest parties = everyone minus the corrupted (needs outputs/halted keys)."""
-        known = set(self.outputs) | set(self.halted) | set(self.corrupted)
-        return frozenset(known - self.corrupted)
-
-    def output_of(self, party: PartyId) -> object:
-        """The declared output of ``party`` (raises for silent parties)."""
-        if party not in self.outputs:
-            raise SimulationError(f"{party} declared no output")
-        return self.outputs[party]
-
-
-class AdversaryWorld:
-    """The adversary's capabilities: what corrupted parties can jointly do.
-
-    Handed to the adversary at attach time.  All sends are topology
-    checked — byzantine parties cannot invent channels — and signing is
-    only available for corrupted parties' own identities, so forgery is
-    impossible.
+    A thin, fully backward-compatible shim over the runtime kernel —
+    identical constructor, identical semantics, identical results.
     """
-
-    def __init__(self, network: "SyncNetwork") -> None:
-        self._network = network
-        self.topology: Topology = network.topology
-        self.k: int = network.topology.k
-        self.round: int = 0
-
-    @property
-    def corrupted(self) -> frozenset[PartyId]:
-        """Currently corrupted parties."""
-        return frozenset(self._network._corrupted)
-
-    @property
-    def authenticated(self) -> bool:
-        """Whether the run has a PKI."""
-        return self._network.keyring is not None
-
-    def send(self, src: PartyId, dst: PartyId, payload: object) -> None:
-        """Send ``payload`` from corrupted ``src`` to ``dst`` this round."""
-        if src not in self._network._corrupted:
-            raise AdversaryError(f"adversary tried to send as honest party {src}")
-        self.topology.check_edge(src, dst)
-        self._network._queue_send(src, dst, payload)
-
-    def signer_for(self, party: PartyId) -> SigningHandle:
-        """Signing handle of a corrupted party (its own identity only)."""
-        if party not in self._network._corrupted:
-            raise AdversaryError(f"adversary asked for honest party {party}'s key")
-        if self._network.keyring is None:
-            raise AdversaryError("no PKI in this run")
-        return self._network.keyring.handle_for(party)
-
-    def verify(self, signer: PartyId, payload: object, signature: object) -> bool:
-        """Public signature verification."""
-        if self._network.keyring is None:
-            raise AdversaryError("no PKI in this run")
-        return self._network.keyring.verify(signer, payload, signature)
-
-    def corrupt(self, party: PartyId) -> Process:
-        """Adaptively corrupt ``party`` mid-run; returns its seized process.
-
-        Rejected when the run's adversary structure does not permit the
-        enlarged corruption set.
-        """
-        return self._network._corrupt(party)
-
-
-class SyncNetwork:
-    """One synchronous run: topology + processes + (optional) adversary."""
-
-    def __init__(
-        self,
-        topology: Topology,
-        processes: Mapping[PartyId, Process],
-        *,
-        adversary=None,
-        keyring: KeyRing | None = None,
-        structure=None,
-        max_rounds: int = DEFAULT_MAX_ROUNDS,
-        record_trace: bool = False,
-    ) -> None:
-        expected = set(topology.parties())
-        if set(processes) != expected:
-            raise SimulationError(
-                f"processes must cover exactly the 2k parties of the topology; "
-                f"got {len(processes)} for k={topology.k}"
-            )
-        self.topology = topology
-        self.keyring = keyring
-        self.structure = structure
-        self.max_rounds = max_rounds
-        self.record_trace = record_trace
-
-        self._processes: dict[PartyId, Process] = dict(processes)
-        self._corrupted: set[PartyId] = set()
-        self._adversary = adversary
-        self._contexts: dict[PartyId, Context] = {}
-        self._pending: list[Envelope] = []
-        self._next_pending: list[Envelope] = []
-        self._previewed: set[int] = set()
-        self._round = 0
-        self._message_count = 0
-        self._byte_count = 0
-        self._trace: list[Envelope] = []
-
-        if adversary is not None:
-            initial = frozenset(adversary.initial_corruptions)
-            unknown = initial - expected
-            if unknown:
-                raise AdversaryError(f"unknown parties in corruption set: {sorted(unknown)}")
-            self._check_structure(initial)
-            self._corrupted.update(initial)
-
-        for party in sorted(expected - self._corrupted):
-            signer = keyring.handle_for(party) if keyring is not None else None
-            self._contexts[party] = Context(party, topology, signer)
-
-        self._world = AdversaryWorld(self)
-        if adversary is not None:
-            adversary.attach(self._world)
-
-    # -- internal hooks ---------------------------------------------------------
-
-    def _check_structure(self, corrupted: frozenset[PartyId]) -> None:
-        if self.structure is not None and not self.structure.permits(corrupted):
-            raise AdversaryError(
-                f"corruption set {sorted(str(p) for p in corrupted)} exceeds the "
-                "adversary structure"
-            )
-
-    def _queue_send(self, src: PartyId, dst: PartyId, payload: object) -> None:
-        envelope = Envelope(src=src, dst=dst, sent_round=self._round, payload=payload)
-        self._next_pending.append(envelope)
-        self._account(envelope)
-
-    def _account(self, envelope: Envelope) -> None:
-        self._message_count += 1
-        try:
-            self._byte_count += encoded_size(envelope.payload)
-        except ProtocolError:
-            self._byte_count += len(repr(envelope.payload).encode("utf-8"))
-        if self.record_trace:
-            self._trace.append(envelope)
-
-    def _corrupt(self, party: PartyId) -> Process:
-        if party in self._corrupted:
-            raise AdversaryError(f"{party} is already corrupted")
-        self._check_structure(frozenset(self._corrupted | {party}))
-        self._corrupted.add(party)
-        self._contexts.pop(party, None)
-        return self._processes[party]
-
-    # -- the round loop ------------------------------------------------------------
-
-    def _begin_round(self) -> tuple[dict[PartyId, list[Envelope]], list[Envelope]]:
-        """Deliver last round's messages: honest inboxes + late adversary view.
-
-        Messages to parties that were corrupted *after* sending are
-        rerouted to the adversary; messages already previewed at send
-        time are not delivered twice.
-        """
-        self._world.round = self._round
-        inboxes: dict[PartyId, list[Envelope]] = {}
-        late_adversary_view: list[Envelope] = []
-        for envelope in self._pending:
-            if id(envelope) in self._previewed:
-                self._previewed.discard(id(envelope))
-                continue
-            if envelope.dst in self._corrupted:
-                if envelope.src not in self._corrupted:
-                    late_adversary_view.append(envelope)
-            else:
-                inboxes.setdefault(envelope.dst, []).append(envelope)
-        self._pending = []
-        return inboxes, late_adversary_view
-
-    def _step_party(self, party: PartyId, inboxes: dict[PartyId, list[Envelope]]) -> None:
-        """Run one honest party's round (no send draining)."""
-        ctx = self._contexts[party]
-        if ctx.halted:
-            return
-        ctx.round = self._round
-        self._processes[party].on_round(ctx, tuple(inboxes.get(party, ())))
-
-    def _drain_party(self, party: PartyId) -> None:
-        """Queue a party's outbox (deterministic: called in canonical order)."""
-        ctx = self._contexts.get(party)
-        if ctx is None:
-            return
-        for dst, payload in ctx._drain_outbox():
-            if party in self._corrupted:
-                # Corrupted while acting (adaptive): drop, the adversary
-                # speaks for this party now.
-                continue
-            self._queue_send(party, dst, payload)
-
-    def _execute_honest(self, inboxes: dict[PartyId, list[Envelope]]) -> None:
-        """Run all honest parties for this round, in canonical order."""
-        for party in sorted(self._contexts):
-            self._step_party(party, inboxes)
-            self._drain_party(party)
-
-    def _rushing_adversary(self, late_adversary_view: list[Envelope]) -> None:
-        """Let the adversary see this round's honest sends to it, then speak."""
-        if self._adversary is None:
-            return
-        adversary_preview = [
-            e
-            for e in self._next_pending
-            if e.dst in self._corrupted and e.src not in self._corrupted
-        ]
-        self._previewed.update(id(e) for e in adversary_preview)
-        view = tuple(late_adversary_view + adversary_preview)
-        self._adversary.step(self._round, view)
-
-    def _advance(self) -> bool:
-        """Mature pending messages; True when every honest party halted."""
-        self._pending = self._next_pending
-        self._next_pending = []
-        self._round += 1
-        return all(ctx.halted for ctx in self._contexts.values())
-
-    def _result(self, honest_done: bool) -> RunResult:
-        outputs = {
-            party: ctx.current_output
-            for party, ctx in self._contexts.items()
-            if ctx.has_output
-        }
-        halted = frozenset(party for party, ctx in self._contexts.items() if ctx.halted)
-        return RunResult(
-            outputs=outputs,
-            halted=halted,
-            corrupted=frozenset(self._corrupted),
-            rounds=self._round,
-            terminated=honest_done,
-            message_count=self._message_count,
-            byte_count=self._byte_count,
-            trace=tuple(self._trace),
-        )
-
-    def run(self) -> RunResult:
-        """Execute rounds until all honest parties halt or ``max_rounds`` passes."""
-        honest_done = False
-        while self._round < self.max_rounds:
-            inboxes, late_view = self._begin_round()
-            self._execute_honest(inboxes)
-            self._rushing_adversary(late_view)
-            honest_done = self._advance()
-            if honest_done:
-                break
-        return self._result(honest_done)

@@ -1,0 +1,61 @@
+"""The unified protocol runtime: one kernel, pluggable executors.
+
+Everything that *runs* a protocol lives here:
+
+* :mod:`repro.runtime.kernel` — the synchronous round engine (rushing
+  adversary, topology-checked channels, link faults, structured
+  tracing, execution caches).  ``SyncNetwork`` in
+  :mod:`repro.net.simulator` is a thin shim over it;
+* :data:`Party` — the state-machine interface (init →
+  ``on_round(ctx, inbox)`` → output → halt) every protocol and
+  consensus primitive implements;
+* :class:`RunPlan` — one fully-assembled instance, ready to execute;
+* the executors — :class:`LockstepRuntime` (sequential reference),
+  :class:`EventRuntime` (asyncio, optional jitter and transport
+  hosting), :class:`BatchRuntime` (many instances through one round
+  loop over a shared :class:`ExecutionCache`);
+* :mod:`repro.runtime.trace` — :class:`TraceEvent` / ``TraceRecorder``
+  structured round traces, exportable as JSONL via ``repro.io``.
+
+All executors are semantics-preserving: the same plan yields a
+byte-identical :class:`RunResult` under each of them.  Pick by need:
+lockstep to debug, event to stress scheduling assumptions, batch for
+sweep throughput (``docs/protocol_walkthrough.md`` has the full
+"which runtime when" guide).
+"""
+
+from repro.runtime.api import RUNTIME_NAMES, Party, RunPlan, Runtime, runtime_for
+from repro.runtime.batch import BatchRuntime
+from repro.runtime.cache import NO_CACHE, CachedSigner, ExecutionCache, NullExecutionCache
+from repro.runtime.event import EventRuntime
+from repro.runtime.kernel import (
+    DEFAULT_MAX_ROUNDS,
+    AdversaryWorld,
+    RoundEngine,
+    RunResult,
+)
+from repro.runtime.lockstep import LockstepRuntime
+from repro.runtime.trace import TraceEvent, TraceRecorder, TraceSink, trace_to_jsonl
+
+__all__ = [
+    "Party",
+    "RunPlan",
+    "Runtime",
+    "RUNTIME_NAMES",
+    "runtime_for",
+    "LockstepRuntime",
+    "EventRuntime",
+    "BatchRuntime",
+    "RoundEngine",
+    "RunResult",
+    "AdversaryWorld",
+    "DEFAULT_MAX_ROUNDS",
+    "ExecutionCache",
+    "NullExecutionCache",
+    "NO_CACHE",
+    "CachedSigner",
+    "TraceEvent",
+    "TraceRecorder",
+    "TraceSink",
+    "trace_to_jsonl",
+]

@@ -1,0 +1,144 @@
+"""The runtime API: plans, the executor abstraction, and the registry.
+
+The unit of work is a :class:`RunPlan` — everything the kernel needs to
+execute one protocol instance, reified as a value so it can be built in
+one place (:func:`repro.core.runner.prepare_bsm`) and executed by any
+:class:`Runtime`:
+
+* :class:`~repro.runtime.lockstep.LockstepRuntime` — the sequential
+  reference executor (the historical ``SyncNetwork`` semantics);
+* :class:`~repro.runtime.event.EventRuntime` — asyncio, one task per
+  party per round, with optional scheduling jitter and optional
+  transport hosting;
+* :class:`~repro.runtime.batch.BatchRuntime` — many independent
+  instances interleaved through one round loop over a shared
+  :class:`~repro.runtime.cache.ExecutionCache`.
+
+All three produce byte-identical :class:`~repro.runtime.kernel.RunResult`
+values for the same plan; they differ only in scheduling and
+amortization.
+
+The protocol-facing half of the contract is :data:`Party` — the
+state-machine interface (init → ``on_round(ctx, inbox)`` → output →
+halt) that every protocol in :mod:`repro.core` and every consensus
+primitive in :mod:`repro.consensus` implements.  It is the same ABC as
+:class:`repro.net.process.Process`; the alias marks the runtime layer
+as its front door.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.crypto.signatures import KeyRing
+from repro.errors import SimulationError
+from repro.ids import PartyId
+from repro.net.process import Process
+from repro.net.topology import Topology
+from repro.runtime.kernel import DEFAULT_MAX_ROUNDS, RoundEngine, RunResult
+from repro.runtime.trace import TraceSink
+
+__all__ = ["Party", "RunPlan", "Runtime", "RUNTIME_NAMES", "runtime_for"]
+
+#: The protocol state-machine interface every party implements
+#: (alias of :class:`repro.net.process.Process`; see the module docs).
+Party = Process
+
+
+@dataclass
+class RunPlan:
+    """One executable protocol instance, fully assembled.
+
+    A plan carries live objects (processes, adversary, keyring), not
+    serializable specs — it is the last stop before execution.  The
+    declarative layer (:mod:`repro.experiment`) compiles a
+    ``ScenarioSpec`` down to a plan; direct users can build one by hand
+    for anything the spec language cannot express.
+    """
+
+    topology: Topology
+    processes: Mapping[PartyId, Process]
+    adversary: object | None = None
+    keyring: KeyRing | None = None
+    structure: object | None = None
+    max_rounds: int = DEFAULT_MAX_ROUNDS
+    record_trace: bool = False
+    #: ``drop_rule(src, dst, sent_round) -> bool`` link faults
+    #: (see :mod:`repro.net.faults`); ``None`` = lossless channels.
+    drop_rule: Callable[[PartyId, PartyId, int], bool] | None = None
+    #: Structured trace sink (see :mod:`repro.runtime.trace`).
+    trace_sink: TraceSink | None = None
+    #: Label stamped on this run's trace events.
+    label: str = ""
+    extra: dict = field(default_factory=dict)
+
+
+class Runtime(ABC):
+    """An execution strategy: how plans become results.
+
+    Implementations must be *semantics-preserving*: for any plan, every
+    runtime returns the same :class:`RunResult` (the cross-runtime
+    equivalence suite enforces this byte-for-byte).  They are free to
+    differ in scheduling, amortization, and wall-clock.
+    """
+
+    #: Registry name (``"lockstep"`` / ``"event"`` / ``"batch"``).
+    name: str = ""
+
+    @abstractmethod
+    def run(self, plan: RunPlan) -> RunResult:
+        """Execute one plan to completion."""
+
+    def run_many(self, plans: Sequence[RunPlan]) -> tuple[RunResult, ...]:
+        """Execute several independent plans; results in plan order.
+
+        The default runs them one after another; :class:`BatchRuntime`
+        overrides this with the interleaved shared-cache loop.
+        """
+        return tuple(self.run(plan) for plan in plans)
+
+    def _engine(self, plan: RunPlan, cache=None) -> RoundEngine:
+        """The kernel engine for one plan (shared by all runtimes)."""
+        return RoundEngine(
+            plan.topology,
+            plan.processes,
+            adversary=plan.adversary,
+            keyring=plan.keyring,
+            structure=plan.structure,
+            max_rounds=plan.max_rounds,
+            record_trace=plan.record_trace,
+            cache=cache,
+            drop_rule=plan.drop_rule,
+            trace_sink=plan.trace_sink,
+            label=plan.label,
+        )
+
+
+#: The runtime registry, in documentation order.
+RUNTIME_NAMES: tuple[str, ...] = ("lockstep", "event", "batch")
+
+
+def runtime_for(name: str, **options) -> Runtime:
+    """Instantiate a runtime by registry name.
+
+    Options pass through to the constructor (``jitter_seed`` for
+    ``event``, ``cache`` for ``batch``, ...).
+    """
+    from repro.runtime.batch import BatchRuntime
+    from repro.runtime.event import EventRuntime
+    from repro.runtime.lockstep import LockstepRuntime
+
+    constructors = {
+        "lockstep": LockstepRuntime,
+        "event": EventRuntime,
+        "batch": BatchRuntime,
+    }
+    try:
+        constructor = constructors[name]
+    except KeyError as exc:
+        raise SimulationError(
+            f"unknown runtime {name!r}; expected one of {RUNTIME_NAMES}"
+        ) from exc
+    return constructor(**options)

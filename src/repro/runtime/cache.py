@@ -1,0 +1,180 @@
+"""Execution caches: the batching runtime's amortization substrate.
+
+Protocol runs spend most of their Python time on three pure
+computations: canonically encoding payloads (byte accounting), HMAC
+signing, and signature verification.  Within one run the same payload
+is encoded once per recipient; across a batch of related runs (a grid
+sweep reuses one preference seed per ``k``) the *same* payloads are
+signed by the *same* keys thousands of times.  An
+:class:`ExecutionCache` memoizes all three, keyed by payload value, so
+a batch of runs shares the work.
+
+Correctness: every cached function is a pure function of its key —
+``encode`` is deterministic and injective, HMAC is deterministic, and
+key rings are keyed by identity (two rings with equal parties but
+different key material never share entries).  Unhashable payloads
+(adversarial garbage containing sets/dicts of unhashables) fall through
+to direct computation.  The :data:`NO_CACHE` null object keeps the
+reference lockstep path allocation-free.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.encoding import EncodeMemo, encode
+from repro.crypto.signatures import KeyRing, Signature
+from repro.errors import ProtocolError
+from repro.ids import PartyId
+
+__all__ = ["ExecutionCache", "NullExecutionCache", "NO_CACHE", "CachedSigner"]
+
+
+def _direct_payload_size(payload: object) -> int:
+    """Uncached byte accounting (the kernel's historical fallback rule)."""
+    try:
+        return len(encode(payload))
+    except ProtocolError:
+        return len(repr(payload).encode("utf-8"))
+
+
+class NullExecutionCache:
+    """The no-op cache: every operation computes directly.
+
+    This is what the reference :class:`~repro.runtime.LockstepRuntime`
+    uses, keeping its per-run behavior (and performance envelope)
+    identical to the historical ``SyncNetwork``.
+    """
+
+    def payload_size(self, payload: object) -> int:
+        """Size in bytes of the canonical encoding (repr fallback)."""
+        return _direct_payload_size(payload)
+
+    def encode_memo(self):
+        """The shared :class:`EncodeMemo`, if any (None = uncached)."""
+        return None
+
+    def signer_for(self, keyring: KeyRing, party: PartyId):
+        """The signing handle a party's context should carry."""
+        return keyring.handle_for(party)
+
+    def memo(self, key: object, build):
+        """Memoized ``build()`` — the null cache always rebuilds."""
+        return build()
+
+
+class ExecutionCache(NullExecutionCache):
+    """Shared memoization for a batch of runs.
+
+    One instance is scoped to one batch (the engine builds a fresh one
+    per sweep), so cached values never leak across unrelated workloads
+    and memory is reclaimed when the batch ends.
+
+    The heart is one identity-keyed ``value -> canonical bytes`` memo
+    (:class:`~repro.crypto.encoding.EncodeMemo`) threaded through
+    :func:`repro.crypto.encoding.encode`'s recursion: byte accounting,
+    signing, and verification all draw from it, so shared payload
+    *substructures* (interned party ids, a signature embedded in a
+    relay wrapper, a profile list inside an echo) encode once per batch
+    even when the enclosing payloads differ.  Signatures and
+    verification verdicts then key by the **canonical bytes** — bytes
+    equality is exact (the encoding is injective), so cross-type value
+    equality (``True == 1``) can never alias cache entries, and the
+    memo-shared bytes objects make those lookups cheap (bytes cache
+    their own hash).
+    """
+
+    def __init__(self) -> None:
+        self._bytes = EncodeMemo()
+        self._signatures: dict[tuple, Signature] = {}
+        self._verdicts: dict[tuple, bool] = {}
+        self._memo: dict[object, object] = {}
+
+    # -- canonical bytes ---------------------------------------------------------
+
+    def encode(self, payload: object) -> bytes:
+        """Canonical encoding through the shared memo."""
+        return encode(payload, self._bytes)
+
+    def encode_memo(self) -> EncodeMemo:
+        return self._bytes
+
+    def payload_size(self, payload: object) -> int:
+        try:
+            return len(encode(payload, self._bytes))
+        except ProtocolError:
+            return len(repr(payload).encode("utf-8"))
+
+    # -- signatures --------------------------------------------------------------
+
+    def sign(self, keyring: KeyRing, signer: PartyId, payload: object) -> Signature:
+        """``signer``'s signature over ``payload``, memoized per ring by
+        the payload's canonical bytes."""
+        try:
+            encoded = self.encode(payload)
+        except ProtocolError:
+            return keyring._sign_as(signer, payload)
+        key = (id(keyring), signer, encoded)
+        signature = self._signatures.get(key)
+        if signature is None:
+            signature = keyring._sign_as(signer, payload, encoded=encoded)
+            self._signatures[key] = signature
+        return signature
+
+    def verify(
+        self, keyring: KeyRing, signer: PartyId, payload: object, signature: object
+    ) -> bool:
+        """Public verification, memoized per ring by canonical bytes."""
+        if not isinstance(signature, Signature) or signature.signer != signer:
+            return False  # same cheap rejections the keyring applies
+        try:
+            encoded = self.encode(payload)
+        except ProtocolError:
+            return keyring.verify(signer, payload, signature)
+        key = (id(keyring), signer, encoded, signature.tag)
+        verdict = self._verdicts.get(key)
+        if verdict is None:
+            verdict = keyring.verify(signer, payload, signature, encoded=encoded)
+            self._verdicts[key] = verdict
+        return verdict
+
+    def signer_for(self, keyring: KeyRing, party: PartyId) -> "CachedSigner":
+        return CachedSigner(self, keyring, party)
+
+    # -- generic memoization ------------------------------------------------------
+
+    def memo(self, key: object, build):
+        """``build()`` memoized under ``key`` (for pure, immutable values)."""
+        try:
+            value = self._memo.get(key)
+        except TypeError:
+            return build()
+        if value is None:
+            value = build()
+            self._memo[key] = value
+        return value
+
+
+#: The shared null cache (stateless, safe to reuse everywhere).
+NO_CACHE = NullExecutionCache()
+
+
+class CachedSigner:
+    """A drop-in :class:`~repro.crypto.signatures.SigningHandle` that
+    routes signing and verification through an :class:`ExecutionCache`.
+
+    Like the real handle it is bound to one identity — the cache cannot
+    be used to sign as anyone else, so the unforgeability argument of
+    :mod:`repro.crypto.signatures` is unchanged.
+    """
+
+    def __init__(self, cache: ExecutionCache, ring: KeyRing, owner: PartyId) -> None:
+        self._cache = cache
+        self._ring = ring
+        self.owner = owner
+
+    def sign(self, payload: object) -> Signature:
+        """Sign ``payload`` as the owning party."""
+        return self._cache.sign(self._ring, self.owner, payload)
+
+    def verify(self, signer: PartyId, payload: object, signature: object) -> bool:
+        """Verify any party's signature (PKI lookup)."""
+        return self._cache.verify(self._ring, signer, payload, signature)

@@ -1,0 +1,81 @@
+"""The event executor: asyncio scheduling over the same kernel.
+
+Built on :mod:`repro.net.async_runtime`: within each round every honest
+party executes as its own asyncio task, with an optional seeded jitter
+shuffling the in-round interleaving.  Outboxes drain in canonical party
+order after the round's tasks complete, so the outcome is byte-identical
+to the lockstep reference — a synchronous protocol may not depend on
+intra-round scheduling, and running it here *proves* it doesn't.
+
+The executor can additionally host every party over a pluggable
+:mod:`repro.net.transports` link layer (``transport="direct"`` wraps
+each process in a :class:`~repro.net.transports.TransportProcess` over a
+:class:`~repro.net.transports.DirectLink`).  Transport hosting changes
+the wire format (payloads travel link-framed) and therefore the
+message-size accounting, and unrecognized raw traffic is dropped at the
+link — so it is off by default and excluded from the equivalence
+contract; it exists for experiments that study protocols *behind* a
+transport stack.  Kernel-level link faults (``plan.drop_rule``) work in
+every mode and stay equivalence-preserving.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.ids import PartyId
+from repro.net.process import Process
+from repro.net.transports import DirectLink, TransportProcess
+from repro.runtime.api import RunPlan, Runtime
+from repro.runtime.kernel import RunResult
+
+__all__ = ["EventRuntime"]
+
+
+class EventRuntime(Runtime):
+    """Asyncio execution: one task per party per round.
+
+    ``jitter_seed`` adds a seeded per-task delay emulating real
+    in-round scheduling noise (``None`` = no jitter, fastest).
+    ``transport`` is ``None`` (kernel delivery, the default) or
+    ``"direct"`` (host every party over a :class:`DirectLink`).
+    """
+
+    name = "event"
+
+    def __init__(self, jitter_seed: int | None = None, transport: str | None = None) -> None:
+        if transport not in (None, "direct"):
+            raise SimulationError(
+                f"unknown transport {transport!r}; expected None or 'direct'"
+            )
+        self.jitter_seed = jitter_seed
+        self.transport = transport
+
+    def _hosted_processes(self, plan: RunPlan) -> dict[PartyId, Process]:
+        if self.transport is None:
+            return dict(plan.processes)
+        return {
+            # Each party's link group is its closed neighborhood, so the
+            # virtual network mirrors the physical topology exactly.
+            party: TransportProcess(
+                DirectLink(party, (party, *plan.topology.neighbors(party))), process
+            )
+            for party, process in plan.processes.items()
+        }
+
+    def run(self, plan: RunPlan) -> RunResult:
+        from repro.net.async_runtime import AsyncNetwork
+
+        network = AsyncNetwork(
+            plan.topology,
+            self._hosted_processes(plan),
+            adversary=plan.adversary,
+            keyring=plan.keyring,
+            structure=plan.structure,
+            max_rounds=plan.max_rounds,
+            record_trace=plan.record_trace,
+            drop_rule=plan.drop_rule,
+            trace_sink=plan.trace_sink,
+            label=plan.label,
+            jitter_seed=self.jitter_seed,
+        )
+        return network.run()

@@ -1,0 +1,392 @@
+"""The protocol kernel: one round engine shared by every runtime.
+
+This is the synchronous round engine that used to live in
+:mod:`repro.net.simulator` (``SyncNetwork`` remains there as a thin
+shim), promoted to the kernel of the :mod:`repro.runtime` layer.  It
+implements the paper's communication model: lock-step rounds, all
+messages delivered exactly one round after sending, topology-enforced
+channels, and a *rushing* adversary — corrupted parties see the honest
+messages addressed to them in the current round before choosing their
+own messages for the same round.
+
+Determinism: parties are processed in canonical id order, the engine
+uses no wall clock and no global randomness, so a run is a pure
+function of (topology, processes, adversary, seed material inside
+those).  Every runtime — sequential lockstep, asyncio event loop,
+batched — drives this same engine, which is why their results are
+byte-identical (``tests/test_runtime_equivalence.py``).
+
+Three kernel-level hooks extend the historical engine:
+
+* **link faults** — an optional ``drop_rule(src, dst, round) -> bool``
+  (see :mod:`repro.net.faults`) filters the channel itself: a dropped
+  message is sent (and accounted) but delivered to no one, not even the
+  rushing adversary's wiretap;
+* **tracing** — an optional sink receives one structured
+  :class:`~repro.runtime.trace.TraceEvent` per send/drop/output/halt/
+  corruption; with no sink attached the kernel skips event
+  construction entirely;
+* **execution caches** — byte accounting and signing route through an
+  :class:`~repro.runtime.cache.ExecutionCache`, which the batched
+  runtime shares across many instances (the null cache preserves the
+  reference path).
+
+Termination is never assumed: the engine stops either when every
+honest party has halted or when ``max_rounds`` is reached; the latter
+shows up as ``terminated=False`` in the :class:`RunResult` and becomes
+a termination-property violation in the verdict layer, not a hang.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.crypto.signatures import KeyRing, SigningHandle
+from repro.errors import AdversaryError, SimulationError
+from repro.ids import PartyId
+from repro.net.process import Context, Envelope, Process
+from repro.net.topology import Topology
+from repro.runtime.cache import NO_CACHE, NullExecutionCache
+from repro.runtime.trace import TraceEvent, TraceSink
+
+__all__ = ["AdversaryWorld", "RunResult", "RoundEngine", "DEFAULT_MAX_ROUNDS"]
+
+DEFAULT_MAX_ROUNDS = 10_000
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one finished run."""
+
+    outputs: dict[PartyId, object]
+    halted: frozenset[PartyId]
+    corrupted: frozenset[PartyId]
+    rounds: int
+    terminated: bool
+    message_count: int
+    byte_count: int
+    trace: tuple[Envelope, ...] = field(default_factory=tuple)
+    dropped: int = 0
+
+    def honest(self, k: int | None = None) -> frozenset[PartyId]:
+        """Honest parties = everyone minus the corrupted (needs outputs/halted keys)."""
+        known = set(self.outputs) | set(self.halted) | set(self.corrupted)
+        return frozenset(known - self.corrupted)
+
+    def output_of(self, party: PartyId) -> object:
+        """The declared output of ``party`` (raises for silent parties)."""
+        if party not in self.outputs:
+            raise SimulationError(f"{party} declared no output")
+        return self.outputs[party]
+
+
+class AdversaryWorld:
+    """The adversary's capabilities: what corrupted parties can jointly do.
+
+    Handed to the adversary at attach time.  All sends are topology
+    checked — byzantine parties cannot invent channels — and signing is
+    only available for corrupted parties' own identities, so forgery is
+    impossible.
+    """
+
+    def __init__(self, network: "RoundEngine") -> None:
+        self._network = network
+        self.topology: Topology = network.topology
+        self.k: int = network.topology.k
+        self.round: int = 0
+
+    @property
+    def corrupted(self) -> frozenset[PartyId]:
+        """Currently corrupted parties."""
+        return frozenset(self._network._corrupted)
+
+    @property
+    def authenticated(self) -> bool:
+        """Whether the run has a PKI."""
+        return self._network.keyring is not None
+
+    def send(self, src: PartyId, dst: PartyId, payload: object) -> None:
+        """Send ``payload`` from corrupted ``src`` to ``dst`` this round."""
+        if src not in self._network._corrupted:
+            raise AdversaryError(f"adversary tried to send as honest party {src}")
+        self.topology.check_edge(src, dst)
+        self._network._queue_send(src, dst, payload)
+
+    def signer_for(self, party: PartyId) -> SigningHandle:
+        """Signing handle of a corrupted party (its own identity only)."""
+        if party not in self._network._corrupted:
+            raise AdversaryError(f"adversary asked for honest party {party}'s key")
+        if self._network.keyring is None:
+            raise AdversaryError("no PKI in this run")
+        return self._network.keyring.handle_for(party)
+
+    def verify(self, signer: PartyId, payload: object, signature: object) -> bool:
+        """Public signature verification."""
+        if self._network.keyring is None:
+            raise AdversaryError("no PKI in this run")
+        return self._network.keyring.verify(signer, payload, signature)
+
+    def corrupt(self, party: PartyId) -> Process:
+        """Adaptively corrupt ``party`` mid-run; returns its seized process.
+
+        Rejected when the run's adversary structure does not permit the
+        enlarged corruption set.
+        """
+        return self._network._corrupt(party)
+
+
+class RoundEngine:
+    """One synchronous run: topology + processes + (optional) adversary.
+
+    Runtimes own the *scheduling* (sequential, asyncio, interleaved
+    batches); the engine owns the *semantics*.  The round loop is
+    exposed both whole (:meth:`run`) and one round at a time
+    (:meth:`step_round`), which is what lets the batched runtime drive
+    many engines through a single loop.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        processes: Mapping[PartyId, Process],
+        *,
+        adversary=None,
+        keyring: KeyRing | None = None,
+        structure=None,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        record_trace: bool = False,
+        cache: NullExecutionCache | None = None,
+        drop_rule=None,
+        trace_sink: TraceSink | None = None,
+        label: str = "",
+    ) -> None:
+        expected = set(topology.parties())
+        if set(processes) != expected:
+            raise SimulationError(
+                f"processes must cover exactly the 2k parties of the topology; "
+                f"got {len(processes)} for k={topology.k}"
+            )
+        self.topology = topology
+        self.keyring = keyring
+        self.structure = structure
+        self.max_rounds = max_rounds
+        self.record_trace = record_trace
+        self.label = label
+
+        self._cache = cache if cache is not None else NO_CACHE
+        self._payload_size = self._cache.payload_size
+        self._drop_rule = drop_rule
+        self._trace_sink = trace_sink
+        self._processes: dict[PartyId, Process] = dict(processes)
+        self._corrupted: set[PartyId] = set()
+        self._adversary = adversary
+        self._contexts: dict[PartyId, Context] = {}
+        self._pending: list[Envelope] = []
+        self._next_pending: list[Envelope] = []
+        self._previewed: set[int] = set()
+        self._round = 0
+        self._message_count = 0
+        self._byte_count = 0
+        self._dropped = 0
+        self._trace: list[Envelope] = []
+
+        if adversary is not None:
+            initial = frozenset(adversary.initial_corruptions)
+            unknown = initial - expected
+            if unknown:
+                raise AdversaryError(f"unknown parties in corruption set: {sorted(unknown)}")
+            self._check_structure(initial)
+            self._corrupted.update(initial)
+
+        encode_memo = self._cache.encode_memo()
+        for party in sorted(expected - self._corrupted):
+            signer = (
+                self._cache.signer_for(keyring, party) if keyring is not None else None
+            )
+            self._contexts[party] = Context(
+                party, topology, signer, encode_memo=encode_memo
+            )
+        self._party_order = tuple(sorted(self._contexts))
+
+        self._world = AdversaryWorld(self)
+        if adversary is not None:
+            adversary.attach(self._world)
+
+    # -- internal hooks ---------------------------------------------------------
+
+    def _check_structure(self, corrupted: frozenset[PartyId]) -> None:
+        if self.structure is not None and not self.structure.permits(corrupted):
+            raise AdversaryError(
+                f"corruption set {sorted(str(p) for p in corrupted)} exceeds the "
+                "adversary structure"
+            )
+
+    def _emit(self, kind: str, party: object = "", peer: object = "", payload: str = "") -> None:
+        self._trace_sink(
+            TraceEvent(
+                run=self.label,
+                round=self._round,
+                kind=kind,
+                party=str(party),
+                peer=str(peer),
+                payload=payload,
+            )
+        )
+
+    def _queue_send(self, src: PartyId, dst: PartyId, payload: object) -> None:
+        envelope = Envelope(src=src, dst=dst, sent_round=self._round, payload=payload)
+        self._account(envelope)
+        if self._drop_rule is not None and self._drop_rule(src, dst, self._round):
+            # The channel eats the message: sent and accounted, but
+            # delivered to no one — not even the rushing adversary.
+            self._dropped += 1
+            if self._trace_sink is not None:
+                self._emit("drop", src, dst, repr(payload))
+            return
+        self._next_pending.append(envelope)
+
+    def _account(self, envelope: Envelope) -> None:
+        self._message_count += 1
+        self._byte_count += self._payload_size(envelope.payload)
+        if self.record_trace:
+            self._trace.append(envelope)
+        if self._trace_sink is not None:
+            self._emit("send", envelope.src, envelope.dst, repr(envelope.payload))
+
+    def _corrupt(self, party: PartyId) -> Process:
+        if party in self._corrupted:
+            raise AdversaryError(f"{party} is already corrupted")
+        self._check_structure(frozenset(self._corrupted | {party}))
+        self._corrupted.add(party)
+        self._contexts.pop(party, None)
+        self._party_order = tuple(sorted(self._contexts))
+        if self._trace_sink is not None:
+            self._emit("corrupt", party)
+        return self._processes[party]
+
+    # -- the round loop ------------------------------------------------------------
+
+    def _begin_round(self) -> tuple[dict[PartyId, list[Envelope]], list[Envelope]]:
+        """Deliver last round's messages: honest inboxes + late adversary view.
+
+        Messages to parties that were corrupted *after* sending are
+        rerouted to the adversary; messages already previewed at send
+        time are not delivered twice.
+        """
+        self._world.round = self._round
+        inboxes: dict[PartyId, list[Envelope]] = {}
+        late_adversary_view: list[Envelope] = []
+        previewed = self._previewed
+        corrupted = self._corrupted
+        setdefault = inboxes.setdefault
+        for envelope in self._pending:
+            if previewed and id(envelope) in previewed:
+                previewed.discard(id(envelope))
+                continue
+            dst = envelope.dst
+            if corrupted and dst in corrupted:
+                if envelope.src not in corrupted:
+                    late_adversary_view.append(envelope)
+            else:
+                setdefault(dst, []).append(envelope)
+        self._pending = []
+        return inboxes, late_adversary_view
+
+    def _step_party(self, party: PartyId, inboxes: dict[PartyId, list[Envelope]]) -> None:
+        """Run one honest party's round (no send draining)."""
+        ctx = self._contexts[party]
+        if ctx._halted:
+            return
+        ctx.round = self._round
+        inbox = inboxes.get(party)
+        if self._trace_sink is None:
+            self._processes[party].on_round(ctx, tuple(inbox) if inbox else ())
+            return
+        had_output = ctx.has_output
+        self._processes[party].on_round(ctx, tuple(inbox) if inbox else ())
+        if ctx.has_output and not had_output:
+            self._emit("output", party, payload=repr(ctx.current_output))
+        if ctx._halted:
+            self._emit("halt", party)
+
+    def _drain_party(self, party: PartyId) -> None:
+        """Queue a party's outbox (deterministic: called in canonical order)."""
+        ctx = self._contexts.get(party)
+        if ctx is None:
+            return
+        if not ctx._outbox:
+            return
+        if party in self._corrupted:
+            # Corrupted while acting (adaptive): drop the outbox, the
+            # adversary speaks for this party now.
+            ctx._drain_outbox()
+            return
+        queue_send = self._queue_send
+        for dst, payload in ctx._drain_outbox():
+            queue_send(party, dst, payload)
+
+    def _execute_honest(self, inboxes: dict[PartyId, list[Envelope]]) -> None:
+        """Run all honest parties for this round, in canonical order."""
+        for party in self._party_order:
+            self._step_party(party, inboxes)
+            self._drain_party(party)
+
+    def _rushing_adversary(self, late_adversary_view: list[Envelope]) -> None:
+        """Let the adversary see this round's honest sends to it, then speak."""
+        if self._adversary is None:
+            return
+        adversary_preview = [
+            e
+            for e in self._next_pending
+            if e.dst in self._corrupted and e.src not in self._corrupted
+        ]
+        self._previewed.update(id(e) for e in adversary_preview)
+        view = tuple(late_adversary_view + adversary_preview)
+        self._adversary.step(self._round, view)
+
+    def _advance(self) -> bool:
+        """Mature pending messages; True when every honest party halted."""
+        self._pending = self._next_pending
+        self._next_pending = []
+        self._round += 1
+        return all(ctx._halted for ctx in self._contexts.values())
+
+    def step_round(self) -> bool:
+        """Execute exactly one round; True when every honest party halted.
+
+        Callers must check ``self._round < self.max_rounds`` before
+        stepping — :meth:`run` shows the canonical loop.
+        """
+        inboxes, late_view = self._begin_round()
+        self._execute_honest(inboxes)
+        self._rushing_adversary(late_view)
+        return self._advance()
+
+    def _result(self, honest_done: bool) -> RunResult:
+        outputs = {
+            party: ctx.current_output
+            for party, ctx in self._contexts.items()
+            if ctx.has_output
+        }
+        halted = frozenset(party for party, ctx in self._contexts.items() if ctx.halted)
+        return RunResult(
+            outputs=outputs,
+            halted=halted,
+            corrupted=frozenset(self._corrupted),
+            rounds=self._round,
+            terminated=honest_done,
+            message_count=self._message_count,
+            byte_count=self._byte_count,
+            trace=tuple(self._trace),
+            dropped=self._dropped,
+        )
+
+    def run(self) -> RunResult:
+        """Execute rounds until all honest parties halt or ``max_rounds`` passes."""
+        honest_done = False
+        while self._round < self.max_rounds:
+            honest_done = self.step_round()
+            if honest_done:
+                break
+        return self._result(honest_done)

@@ -1,0 +1,29 @@
+"""The reference executor: sequential lock-step rounds.
+
+This is the historical ``SyncNetwork`` execution strategy with the
+historical performance envelope (no cross-run caches): parties step one
+after another in canonical id order, one round at a time.  Every other
+runtime is validated against it byte-for-byte, which is what makes it
+the *reference* — when in doubt about semantics, this is the answer.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.runtime.api import RunPlan, Runtime
+from repro.runtime.kernel import RunResult
+
+__all__ = ["LockstepRuntime"]
+
+
+class LockstepRuntime(Runtime):
+    """Sequential execution of one plan at a time (the reference)."""
+
+    name = "lockstep"
+
+    def run(self, plan: RunPlan) -> RunResult:
+        return self._engine(plan).run()
+
+    def run_many(self, plans: Sequence[RunPlan]) -> tuple[RunResult, ...]:
+        return tuple(self.run(plan) for plan in plans)

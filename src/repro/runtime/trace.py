@@ -1,0 +1,86 @@
+"""First-class structured tracing for protocol runs.
+
+Every runtime (lockstep, event, batched) executes the same kernel, and
+the kernel emits one :class:`TraceEvent` per observable transition:
+messages entering the channel (``send``), messages the link faults eat
+(``drop``), parties declaring outputs (``output``), halting (``halt``),
+and adaptive corruptions (``corrupt``).  A *sink* is any callable
+accepting one event; :class:`TraceRecorder` is the standard in-memory
+sink, and :func:`repro.io.dump_trace` writes recorded events as JSONL —
+one JSON object per line, streamable and greppable.
+
+Tracing is strictly opt-in: when no sink is attached the kernel skips
+event construction entirely, so traced and untraced runs produce
+byte-identical results and untraced runs pay nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = ["TraceEvent", "TraceSink", "TraceRecorder", "trace_to_jsonl"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One kernel transition, flattened to plain strings and ints.
+
+    ``kind`` is one of ``send`` / ``drop`` / ``output`` / ``halt`` /
+    ``corrupt``.  ``party`` is the acting party (the sender for
+    ``send``/``drop``); ``peer`` is the recipient for ``send``/``drop``
+    and empty otherwise; ``payload`` carries the message payload (or
+    declared output value) as its ``repr``.
+    """
+
+    run: str
+    round: int
+    kind: str
+    party: str = ""
+    peer: str = ""
+    payload: str = ""
+
+    def to_dict(self) -> dict:
+        data: dict = {"run": self.run, "round": self.round, "kind": self.kind}
+        if self.party:
+            data["party"] = self.party
+        if self.peer:
+            data["peer"] = self.peer
+        if self.payload:
+            data["payload"] = self.payload
+        return data
+
+
+#: A trace sink: any callable consuming one event.
+TraceSink = Callable[[TraceEvent], None]
+
+
+class TraceRecorder:
+    """The standard sink: collects events in arrival order."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def __call__(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def for_run(self, run: str) -> list[TraceEvent]:
+        """The events of one labelled run, in order."""
+        return [event for event in self.events if event.run == run]
+
+    def to_jsonl(self) -> str:
+        """The recorded events as JSONL text."""
+        return trace_to_jsonl(self.events)
+
+
+def trace_to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """Serialize events as JSONL (one canonical JSON object per line)."""
+    lines = [json.dumps(event.to_dict(), sort_keys=True) for event in events]
+    return "\n".join(lines) + ("\n" if lines else "")

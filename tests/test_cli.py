@@ -149,6 +149,71 @@ class TestSweep:
         assert "1 runs" in out
 
 
+class TestTraceCommand:
+    RUN_ARGS = ["--topology", "fully_connected", "--auth", "--k", "2", "--tl", "0", "--tr", "0"]
+
+    def test_trace_to_stdout(self, capsys):
+        code = main(["trace", *self.RUN_ARGS])
+        out = capsys.readouterr().out
+        assert code == 0
+        import json
+
+        events = [json.loads(line) for line in out.splitlines() if line.strip()]
+        assert events
+        assert {event["kind"] for event in events} >= {"send", "output", "halt"}
+
+    def test_trace_to_file(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code = main(["trace", *self.RUN_ARGS, "--out", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace events written" in out
+        from repro.io import load_trace
+
+        assert load_trace(path)
+
+    def test_trace_honors_runtime_knob(self, capsys, tmp_path):
+        code = main(["trace", *self.RUN_ARGS, "--runtime", "event", "--out", str(tmp_path / "t.jsonl")])
+        assert code == 0
+
+
+class TestSweepRuntimeOptions:
+    def test_batch_executor_matches_serial(self, capsys, tmp_path):
+        serial_path = tmp_path / "serial.json"
+        batch_path = tmp_path / "batch.json"
+        assert main(["sweep", "--preset", "smoke", "--json", str(serial_path)]) == 0
+        assert (
+            main(["sweep", "--preset", "smoke", "--executor", "batch", "--json", str(batch_path)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "(batch)" in out
+        assert serial_path.read_text() == batch_path.read_text()
+
+    def test_sweep_trace_out(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code = main(
+            ["sweep", "--preset", "smoke", "--executor", "batch", "--trace-out", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace events written" in out
+        assert path.read_text().strip()
+
+    def test_trace_out_rejected_on_process_pool(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep",
+                "--preset", "smoke",
+                "--workers", "2",
+                "--trace-out", str(tmp_path / "t.jsonl"),
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "in-process" in err
+
+
 class TestAttack:
     @pytest.mark.parametrize("lemma", ["lemma5", "lemma7", "lemma13"])
     def test_attacks_report_violation(self, capsys, lemma):

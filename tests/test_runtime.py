@@ -1,0 +1,311 @@
+"""Unit tests for the runtime layer: kernel hooks, caches, executors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.adversary import BehaviorAdversary, SilentBehavior
+from repro.core.problem import BSMInstance, Setting
+from repro.core.runner import finish_bsm, prepare_bsm, run_bsm
+from repro.crypto.encoding import encoded_size
+from repro.crypto.signatures import KeyRing
+from repro.errors import SimulationError
+from repro.ids import left_party, left_side, right_side
+from repro.matching.generators import random_profile
+from repro.net.faults import after_round_drop, compose_drop, partition_drop, random_drop
+from repro.runtime import (
+    BatchRuntime,
+    EventRuntime,
+    ExecutionCache,
+    LockstepRuntime,
+    RunPlan,
+    TraceRecorder,
+    runtime_for,
+)
+
+
+def instance_for(topology="fully_connected", auth=True, k=2, tL=0, tR=0, seed=7):
+    setting = Setting(topology, auth, k, tL, tR)
+    return BSMInstance(setting, random_profile(k, seed))
+
+
+def prepared_for(drop_rule=None, trace=None, adversary=None, max_rounds=None, **kwargs):
+    return prepare_bsm(
+        instance_for(**kwargs),
+        adversary,
+        drop_rule=drop_rule,
+        trace=trace,
+        max_rounds=max_rounds,
+    )
+
+
+class TestRuntimeRegistry:
+    def test_known_names(self):
+        assert isinstance(runtime_for("lockstep"), LockstepRuntime)
+        assert isinstance(runtime_for("event"), EventRuntime)
+        assert isinstance(runtime_for("batch"), BatchRuntime)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SimulationError, match="unknown runtime"):
+            runtime_for("quantum")
+
+    def test_options_pass_through(self):
+        assert runtime_for("event", jitter_seed=3).jitter_seed == 3
+
+
+class TestBatchRuntime:
+    def test_batch_of_one_matches_lockstep(self):
+        prepared = prepared_for(k=3)
+        reference = LockstepRuntime().run(prepared.plan)
+        # Fresh plan: engines consume their processes' state.
+        batched = BatchRuntime().run(prepared_for(k=3).plan)
+        assert batched == reference
+
+    def test_run_many_preserves_order_and_results(self):
+        shapes = [dict(k=2), dict(k=3, tL=1, tR=0), dict(k=2, auth=False)]
+        reference = [LockstepRuntime().run(prepared_for(**shape).plan) for shape in shapes]
+        batched = BatchRuntime().run_many([prepared_for(**shape).plan for shape in shapes])
+        assert list(batched) == reference
+
+    def test_zero_round_budget(self):
+        plan = prepared_for(k=2).plan
+        plan.max_rounds = 0
+        (result,) = BatchRuntime().run_many([plan])
+        assert result.terminated is False
+        assert result.rounds == 0
+
+
+class TestLinkFaults:
+    @staticmethod
+    def _silent_adversary():
+        return BehaviorAdversary({left_party(0): SilentBehavior()})
+
+    def test_partition_blocks_cross_side_traffic(self):
+        rule = partition_drop(left_side(2), right_side(2))
+        prepared = prepared_for(
+            drop_rule=rule, adversary=self._silent_adversary(),
+            tL=1, seed=0, max_rounds=60,
+        )
+        report = finish_bsm(prepared, LockstepRuntime().run(prepared.plan))
+        # The partitioned sides decide from default lists for each other;
+        # at this seed that breaks the bSM properties (deterministically).
+        assert report.result.dropped > 0
+        assert not report.ok
+
+    def test_total_loss_after_cutoff(self):
+        rule = after_round_drop(0)
+        prepared = prepared_for(
+            drop_rule=rule, adversary=self._silent_adversary(),
+            tL=1, seed=0, max_rounds=60,
+        )
+        report = finish_bsm(prepared, LockstepRuntime().run(prepared.plan))
+        assert report.result.dropped == report.result.message_count > 0
+        assert not report.ok
+
+    def test_dropped_counts_are_deterministic(self):
+        rule = random_drop(0.3, seed=5)
+        one = LockstepRuntime().run(prepared_for(drop_rule=rule).plan)
+        two = LockstepRuntime().run(prepared_for(drop_rule=rule).plan)
+        assert one == two
+        assert 0 < one.dropped < one.message_count
+
+    def test_lossless_run_reports_zero_dropped(self):
+        result = LockstepRuntime().run(prepared_for().plan)
+        assert result.dropped == 0
+
+    def test_compose_drop_unions_rules(self):
+        rule = compose_drop(after_round_drop(10**6), partition_drop(left_side(2), right_side(2)))
+        result = LockstepRuntime().run(prepared_for(drop_rule=rule, max_rounds=40).plan)
+        assert result.dropped > 0
+
+    def test_rushing_adversary_does_not_see_dropped_messages(self):
+        """A dropped honest->corrupted message never reaches the wiretap."""
+        seen: list = []
+
+        class Spy(BehaviorAdversary):
+            def step(self, round_now, view):
+                seen.extend(view)
+                super().step(round_now, view)
+
+        corrupted = (left_party(0),)
+        adversary = Spy({p: SilentBehavior() for p in corrupted})
+        run_bsm(
+            instance_for(k=2, tL=1),
+            adversary,
+            drop_rule=lambda src, dst, r: True,
+        )
+        assert seen == []
+
+
+class TestTracing:
+    def test_send_output_halt_events(self):
+        recorder = TraceRecorder()
+        prepared = prepared_for(trace=recorder, k=2)
+        result = LockstepRuntime().run(prepared.plan)
+        kinds = {event.kind for event in recorder}
+        assert "send" in kinds and "output" in kinds and "halt" in kinds
+        sends = [e for e in recorder if e.kind == "send"]
+        assert len(sends) == result.message_count
+        outputs = [e for e in recorder if e.kind == "output"]
+        assert len(outputs) == len(result.outputs)
+        assert all(event.run == prepared.plan.label for event in recorder)
+
+    def test_drop_events_match_dropped_count(self):
+        recorder = TraceRecorder()
+        rule = random_drop(0.4, seed=1)
+        result = LockstepRuntime().run(prepared_for(trace=recorder, drop_rule=rule).plan)
+        drops = [e for e in recorder if e.kind == "drop"]
+        assert len(drops) == result.dropped > 0
+
+    def test_tracing_does_not_change_results(self):
+        reference = LockstepRuntime().run(prepared_for(k=3).plan)
+        traced = LockstepRuntime().run(prepared_for(k=3, trace=TraceRecorder()).plan)
+        assert traced == reference
+
+    def test_jsonl_round_trip(self, tmp_path):
+        from repro.io import dump_trace, load_trace
+
+        recorder = TraceRecorder()
+        LockstepRuntime().run(prepared_for(trace=recorder).plan)
+        path = tmp_path / "trace.jsonl"
+        dump_trace(recorder, path)
+        assert load_trace(path) == recorder.events
+
+    def test_session_trace_facade(self):
+        from repro.experiment import ScenarioSpec, Session
+
+        report, recorder = Session().trace(ScenarioSpec(k=2))
+        assert report.ok
+        assert len(recorder) > 0
+        assert recorder.for_run(ScenarioSpec(k=2).label())
+
+
+class TestExecutionCache:
+    def test_payload_size_matches_direct(self):
+        cache = ExecutionCache()
+        payload = ("msg", left_party(0), (1, 2, 3))
+        assert cache.payload_size(payload) == encoded_size(payload)
+        assert cache.payload_size(payload) == encoded_size(payload)  # cached path
+
+    def test_unhashable_and_unencodable_payloads(self):
+        cache = ExecutionCache()
+        unhashable = ("x", {1: [2]})
+        assert cache.payload_size(unhashable) == encoded_size(unhashable)
+
+        class Foreign:
+            def __repr__(self):
+                return "foreign"
+
+        assert cache.payload_size(Foreign()) == len(b"foreign")
+
+    def test_sign_and_verify_agree_with_keyring(self):
+        cache = ExecutionCache()
+        ring = KeyRing(left_side(2) + right_side(2))
+        party = left_party(0)
+        payload = ("vote", 1)
+        cached_sig = cache.sign(ring, party, payload)
+        assert cached_sig == ring.handle_for(party).sign(payload)
+        assert cache.sign(ring, party, payload) is cached_sig  # memoized
+        assert cache.verify(ring, party, payload, cached_sig) is True
+        assert cache.verify(ring, party, ("vote", 2), cached_sig) is False
+        # Negative verdicts are memoized too, and stay False.
+        assert cache.verify(ring, party, ("vote", 2), cached_sig) is False
+
+    def test_distinct_keyrings_do_not_share(self):
+        cache = ExecutionCache()
+        parties = left_side(2) + right_side(2)
+        ring_a, ring_b = KeyRing(parties, seed=0), KeyRing(parties, seed=1)
+        sig = cache.sign(ring_a, parties[0], "hello")
+        assert cache.verify(ring_a, parties[0], "hello", sig) is True
+        assert cache.verify(ring_b, parties[0], "hello", sig) is False
+
+    def test_memo(self):
+        cache = ExecutionCache()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return ("value",)
+
+        assert cache.memo("key", build) is cache.memo("key", build)
+        assert len(calls) == 1
+
+    def test_cross_type_equal_payloads_do_not_collide(self):
+        """``True == 1 == 1.0`` must not share cache entries anywhere.
+
+        Python equality (and hash) conflate them, but their canonical
+        encodings — hence byte accounting and signatures — differ.
+        """
+        from repro.crypto.encoding import encode
+
+        cache = ExecutionCache()
+        for variants in ((True, 1, 1.0), (False, 0, 0.0), ((True, 2), (1, 2))):
+            for payload in variants:
+                assert cache.encode(payload) == encode(payload)
+                assert cache.payload_size(payload) == encoded_size(payload)
+        ring = KeyRing(left_side(2) + right_side(2))
+        party = left_party(0)
+        sig_bool = cache.sign(ring, party, True)
+        sig_int = cache.sign(ring, party, 1)
+        assert sig_bool != sig_int
+        assert ring.verify(party, True, sig_bool)
+        assert ring.verify(party, 1, sig_int)
+        assert cache.verify(ring, party, (True,), cache.sign(ring, party, (True,)))
+        assert not cache.verify(ring, party, (1,), cache.sign(ring, party, (True,)))
+
+    def test_signed_zero_floats_do_not_alias(self):
+        """``-0.0 == 0.0`` (same hash) but their IEEE bytes differ."""
+        from repro.crypto.encoding import encode
+
+        cache = ExecutionCache()
+        assert cache.encode(0.0) == encode(0.0)
+        assert cache.encode(-0.0) == encode(-0.0)
+        assert cache.encode((-0.0,)) == encode((-0.0,))
+        assert cache.encode((0.0,)) == encode((0.0,))
+
+    def test_mutable_payloads_are_never_pinned(self):
+        """Re-encoding a mutated list must reflect the new contents."""
+        from repro.crypto.encoding import encode
+
+        cache = ExecutionCache()
+        payload = ["a", 1]
+        first = cache.encode(payload)
+        assert first == encode(payload)
+        payload.append(2)
+        assert cache.encode(payload) == encode(payload)
+        wrapper = ("wrap", payload)
+        assert cache.encode(wrapper) == encode(wrapper)
+        payload.append(3)
+        assert cache.encode(wrapper) == encode(wrapper)
+
+
+class TestEventRuntimeTransport:
+    def test_direct_transport_preserves_outputs(self):
+        reference = LockstepRuntime().run(prepared_for(k=2).plan)
+        hosted = EventRuntime(transport="direct").run(prepared_for(k=2).plan)
+        assert hosted.outputs == reference.outputs
+        assert hosted.terminated
+        # Link framing changes the wire format, hence the accounting.
+        assert hosted.byte_count != reference.byte_count
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(SimulationError, match="transport"):
+            EventRuntime(transport="carrier_pigeon")
+
+
+class TestRunPlanDirectly:
+    def test_hand_built_plan(self):
+        """The plan API works without the spec layer (the escape hatch)."""
+        from repro.core.runner import build_processes
+
+        instance = instance_for(k=2)
+        setting = instance.setting
+        plan = RunPlan(
+            topology=setting.topology(),
+            processes=build_processes(instance, "bb_direct"),
+            keyring=KeyRing(left_side(2) + right_side(2)),
+            max_rounds=50,
+        )
+        result = LockstepRuntime().run(plan)
+        assert result.terminated
+        assert len(result.outputs) == 4
