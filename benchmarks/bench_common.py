@@ -1,14 +1,11 @@
-"""Shared helpers for the benchmark harness.
+"""Shared helpers for the *legacy* benchmark scripts.
 
-Every benchmark is both a pytest-benchmark target (``pytest
-benchmarks/ --benchmark-only``) and a standalone script
-(``python benchmarks/bench_xxx.py``) that prints the table or series
-it regenerates.
-
-All benches route through one shared :class:`repro.experiment.Session`
-(so keyrings and solvability verdicts are memoized across the whole
-benchmark run) and describe their workloads as
-:class:`~repro.experiment.ScenarioSpec` values.
+The benchmark surface now lives in the :mod:`repro.bench` registry
+(``python -m repro bench --list``); the ``bench_*.py`` files in this
+directory are thin shims over it and no longer use these helpers.
+This module stays importable for external callers: ``SESSION``,
+``spec_for``/``run_spec``, and the deprecated ``run_setting``/
+``worst_case_corruption`` shims keep working.
 """
 
 from __future__ import annotations

@@ -1,52 +1,18 @@
 """F2 — Fig. 2 / Lemma 5: the 12-node duplication attack.
 
-Fully-connected unauthenticated network, ``k = 3``, ``tL = tR = 1``
-(both sides exactly at ``k/3`` — the first unsolvable point of
-Theorem 2).  The byzantine pair simulates the remaining eight copies of
-the duplicated system; because the protocols are deterministic, the
-honest parties' views in the attack scenario are *identical* to their
-views in the two benign scenarios, and non-competition breaks: honest
+Thin shim over the registry case ``fig2_fully_connected_attack``
+(:mod:`repro.bench.cases`).  Fully-connected unauthenticated network,
+``k = 3``, ``tL = tR = 1``: the byzantine pair simulates the remaining
+copies of the duplicated system and non-competition breaks — honest
 ``a`` and honest ``c`` both decide to match ``v``.
 
-Run standalone: ``python benchmarks/bench_fig2_fully_connected_attack.py``.
+Run ``python benchmarks/bench_fig2_fully_connected_attack.py`` — or
+``python -m repro bench fig2_fully_connected_attack``.
 """
 
 from __future__ import annotations
 
-try:
-    from benchmarks.bench_common import SESSION
-except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import SESSION
-from repro.ids import left_party, right_party
-
-
-def run_fig2():
-    return SESSION.attack("lemma5")
-
-
-def test_fig2_attack(benchmark):
-    report = benchmark.pedantic(run_fig2, rounds=1, iterations=1)
-    # The theorem: some sSM property must break in some scenario.
-    assert report.any_violation
-    # The indistinguishability steps of the proof hold literally.
-    assert all(report.indistinguishability_holds().values())
-    # And for this protocol the failure lands exactly where the paper
-    # puts it: both honest parties match v = R1 in the attack scenario.
-    attack = report.outcomes["attack"]
-    assert attack.outputs[left_party(0)] == right_party(1)
-    assert attack.outputs[left_party(2)] == right_party(1)
-    assert not attack.report.non_competition
-
-
-def main() -> None:
-    report = run_fig2()
-    print(report.summary())
-    print(
-        "\nReading: in scenario 'attack', honest a (L0) and honest c (L2) both\n"
-        "output v (R1) — non-competition is violated, reproducing Fig. 2 and\n"
-        "the impossibility of Lemma 5 at tL = tR = k/3."
-    )
-
+from repro.bench.cli import legacy_main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(legacy_main("fig2_fully_connected_attack"))

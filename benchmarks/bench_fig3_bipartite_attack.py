@@ -1,50 +1,18 @@
 """F3 — Fig. 3 / Lemma 7: the 8-cycle duplication attack.
 
-Bipartite unauthenticated network, ``k = 2``, ``tL = 0``, ``tR = 1``
-(``tR = k/2`` — the first point where Theorem 3/4's extra majority
-condition fails).  The bipartite network on four parties is the 4-cycle
-``a-c-b-d``; duplicating it yields the 8-cycle of Fig. 3, and a single
-byzantine party simulates the entire far arc.
+Thin shim over the registry case ``fig3_bipartite_attack``
+(:mod:`repro.bench.cases`).  Bipartite unauthenticated network,
+``k = 2``, ``tL = 0``, ``tR = 1``: a single byzantine party simulates
+the far arc of the 8-cycle and some sSM property must break in one of
+the three scenarios.
 
-Run standalone: ``python benchmarks/bench_fig3_bipartite_attack.py``.
+Run ``python benchmarks/bench_fig3_bipartite_attack.py`` — or
+``python -m repro bench fig3_bipartite_attack``.
 """
 
 from __future__ import annotations
 
-try:
-    from benchmarks.bench_common import SESSION
-except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import SESSION
-
-
-def run_fig3():
-    return SESSION.attack("lemma7")
-
-
-def test_fig3_attack(benchmark):
-    report = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
-    # The theorem: the protocol must fail in at least one of the three
-    # scenarios (it cannot satisfy sSM at tR >= k/2).
-    assert report.any_violation
-    # The proof's view-equalities hold literally on the outputs.
-    assert all(report.indistinguishability_holds().values())
-
-
-def test_fig3_attack_scenarios_terminate(benchmark):
-    report = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
-    for outcome in report.outcomes.values():
-        assert outcome.report.termination
-
-
-def main() -> None:
-    report = run_fig3()
-    print(report.summary())
-    print(
-        "\nReading: with tR = k/2 the majority relay of Lemma 6 is cut; the\n"
-        "protocol breaks an sSM property in at least one scenario of the\n"
-        "cycle construction, reproducing Fig. 3 / Lemma 7."
-    )
-
+from repro.bench.cli import legacy_main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(legacy_main("fig3_bipartite_attack"))

@@ -1,58 +1,19 @@
 """F4 — Fig. 4 / Lemma 13: the two-group simulation attack.
 
-One-sided *authenticated* network, ``k = 3``, ``tR = k``, ``tL = 1``
-(the unsolvable region of Theorem 7).  The byzantine parties
-``{b, u, v, w}`` simulate two disconnected copies of the network: one
-talking to honest ``a``, one to honest ``c``.  ``a``'s view equals a
-benign run where ``c`` crashed (so simplified stability forces
-``a -> v``), and symmetrically for ``c`` — so both honest parties match
-the byzantine ``v``, violating non-competition.
+Thin shim over the registry case ``fig4_onesided_attack``
+(:mod:`repro.bench.cases`).  One-sided *authenticated* network,
+``k = 3``, ``tR = k``, ``tL = 1``: the byzantine parties partition L
+into two consistent worlds, both honest L parties match the byzantine
+``v``, and non-competition is violated — signatures do not help once
+``tR = k``.
 
-Run standalone: ``python benchmarks/bench_fig4_onesided_attack.py``.
+Run ``python benchmarks/bench_fig4_onesided_attack.py`` — or
+``python -m repro bench fig4_onesided_attack``.
 """
 
 from __future__ import annotations
 
-try:
-    from benchmarks.bench_common import SESSION
-except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import SESSION
-from repro.ids import left_party, right_party
-
-
-def run_fig4():
-    return SESSION.attack("lemma13")
-
-
-def test_fig4_attack(benchmark):
-    report = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
-    assert report.any_violation
-    assert all(report.indistinguishability_holds().values())
-
-    # Benign scenarios succeed (they satisfy the protocol's conditions
-    # in spirit: one crashed party), forcing the violation into the attack.
-    assert report.outcomes["honest_group1"].report.all_ok
-    assert report.outcomes["honest_group2"].report.all_ok
-
-    attack = report.outcomes["attack"]
-    a, c, v = left_party(0), left_party(2), right_party(1)
-    assert attack.outputs[a] == v
-    assert attack.outputs[c] == v
-    assert not attack.report.non_competition
-
-
-def main() -> None:
-    report = run_fig4()
-    print(report.summary())
-    print(
-        "\nReading: signatures do not help once tR = k and tL >= k/3 — the\n"
-        "byzantine right side partitions L into two consistent worlds.  Both\n"
-        "honest L parties match the same byzantine v (R1): non-competition is\n"
-        "violated, reproducing Fig. 4 / Lemma 13.  (Note: the paper's text\n"
-        "says v2's favorite is 'b'; the construction needs 'c' — see\n"
-        "EXPERIMENTS.md.)"
-    )
-
+from repro.bench.cli import legacy_main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(legacy_main("fig4_onesided_attack"))

@@ -1,90 +1,18 @@
 """C3 — ``AG-S`` scaling (Theorem 1: ``O(k^2)``).
 
-Gale-Shapley's proposal count is at most ``k^2``; random instances sit
-near ``k log k`` on average, master-list (fully correlated) instances
-approach the quadratic worst case.  This bench measures both the
-proposal counts and the wall-clock scaling of the offline algorithm
-that every protocol in the paper runs locally.
+Thin shim over the registry case ``gale_shapley_scaling``
+(:mod:`repro.bench.cases`).  Random instances stay near ``k log k``
+proposals, master-list instances hit the full ``k(k+1)/2`` cascade —
+the quadratic bound of Gale-Shapley [10] is tight.
 
-Run standalone: ``python benchmarks/bench_gale_shapley_scaling.py``.
+Run ``python benchmarks/bench_gale_shapley_scaling.py`` — or
+``python -m repro bench gale_shapley_scaling`` (``--tier scale`` for
+the large-``k`` ensemble).
 """
 
 from __future__ import annotations
 
-import pytest
-
-try:
-    from benchmarks.bench_common import SESSION, print_table
-except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import SESSION, print_table
-from repro.experiment import ProfileSpec, ScenarioSpec, Sweep
-from repro.matching.gale_shapley import gale_shapley
-from repro.matching.generators import master_list_profile, random_profile
-
-
-@pytest.mark.parametrize("k", [10, 50, 100, 200])
-def test_gale_shapley_random(benchmark, k):
-    profile = random_profile(k, 42)
-    result = benchmark(lambda: gale_shapley(profile))
-    assert result.matching.is_perfect(k)
-    assert result.proposals <= k * k
-
-
-@pytest.mark.parametrize("k", [10, 50, 100])
-def test_gale_shapley_master_list(benchmark, k):
-    profile = master_list_profile(k, 42)
-    result = benchmark(lambda: gale_shapley(profile))
-    # Master lists force the full cascade: exactly k(k+1)/2 proposals.
-    assert result.proposals == k * (k + 1) // 2
-
-
-def test_quadratic_bound_tight_for_master_lists(benchmark):
-    def run():
-        return [gale_shapley(master_list_profile(k, 1)).proposals for k in (20, 40)]
-
-    small, large = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert 3.5 <= large / small <= 4.5  # ~quadratic
-
-
-def main() -> None:
-    # The offline ensemble as a declarative sweep: one record per
-    # (k, workload) pair, proposals pulled straight off the columns.
-    ks = (10, 50, 100, 200, 400)
-    sweep = Sweep.of(
-        *(
-            ScenarioSpec(
-                family="offline",
-                algorithm="gale_shapley",
-                k=k,
-                profile=ProfileSpec(kind=kind, seed=42),
-            )
-            for k in ks
-            for kind in ("random", "master_list")
-        )
-    )
-    records = SESSION.sweep(sweep)
-    rows = []
-    for index, k in enumerate(ks):
-        random_record = records[2 * index]
-        master_record = records[2 * index + 1]
-        rows.append(
-            [
-                k,
-                random_record.proposals,
-                master_record.proposals,
-                k * k,
-            ]
-        )
-    print_table(
-        "C3 — AG-S proposal counts (Theorem 1: O(k^2))",
-        ["k", "random profile", "master list", "k^2 bound"],
-        rows,
-    )
-    print(
-        "\nReading: random instances stay near-linear, master lists hit the\n"
-        "k(k+1)/2 cascade — the O(k^2) of Gale-Shapley [10] is tight."
-    )
-
+from repro.bench.cli import legacy_main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(legacy_main("gale_shapley_scaling"))

@@ -1,81 +1,18 @@
 """C2 — message and byte complexity vs ``k``.
 
-The paper leaves communication optimization as future work (Section 6)
-and cites the ``Omega(n^2)`` communication lower bound for stable
-matching [11].  This bench records the message/byte counts of the
-implemented constructions as ``k`` grows, giving the baseline the
-future-work discussion starts from:
+Thin shim over the registry case ``message_complexity``
+(:mod:`repro.bench.cases`).  Records the message/byte counts of the
+implemented constructions as ``k`` grows — all sit well above the
+``Omega(n^2)`` lower bound of [11], the efficiency gap Section 6
+leaves to future work.
 
-* authenticated fully-connected (Dolev-Strong x 2k broadcasts):
-  ``O(k^3)`` messages with chains — the price of ``t < n`` resilience;
-* unauthenticated fully-connected (phase king x 2k): ``O(k^3)`` per
-  phase but constant phases for constant ``t``;
-* ``PiBSM``: ``O(k^3)`` relay traffic concentrated on the L side.
-
-Run standalone: ``python benchmarks/bench_message_complexity.py``.
+Run ``python benchmarks/bench_message_complexity.py`` — or
+``python -m repro bench message_complexity``.
 """
 
 from __future__ import annotations
 
-import pytest
-
-try:
-    from benchmarks.bench_common import print_table, run_spec, spec_for
-except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import print_table, run_spec, spec_for
-
-PATHS = [
-    ("auth full (Dolev-Strong)", lambda k: ("fully_connected", True, k, 1, 1), None),
-    ("unauth full (phase king)", lambda k: ("fully_connected", False, k, 1, k), None),
-    ("auth bipartite (signed relay)", lambda k: ("bipartite", True, k, 1, 1), "bb_signed_relay"),
-    ("auth bipartite (PiBSM)", lambda k: ("bipartite", True, k, 1, k), "pi_bsm"),
-]
-
-
-def measure(path_index: int, k: int):
-    label, setting_fn, recipe = PATHS[path_index]
-    topo, auth, kk, tL, tR = setting_fn(k)
-    report = run_spec(spec_for(topo, auth, kk, tL, tR, kind="honest", recipe=recipe))
-    assert report.ok, report.report.violations
-    return report.result.message_count, report.result.byte_count
-
-
-@pytest.mark.parametrize("path_index", range(len(PATHS)))
-def test_message_complexity(benchmark, path_index):
-    messages, bytes_ = benchmark.pedantic(
-        measure, args=(path_index, 4), rounds=1, iterations=1
-    )
-    assert messages > 0 and bytes_ > 0
-
-
-def test_superquadratic_growth(benchmark):
-    """Messages grow at least quadratically in k (the [11] lower bound)."""
-
-    def run_pair():
-        small, _ = measure(0, 2)
-        large, _ = measure(0, 4)
-        return small, large
-
-    small, large = benchmark.pedantic(run_pair, rounds=1, iterations=1)
-    assert large >= 4 * small  # 2x parties -> >= 4x messages
-
-
-def main() -> None:
-    rows = []
-    for index, (label, setting_fn, recipe) in enumerate(PATHS):
-        for k in (4, 5, 6):
-            messages, bytes_ = measure(index, k)
-            rows.append([label, k, messages, bytes_])
-    print_table(
-        "C2 — message/byte complexity of full bSM runs",
-        ["protocol path", "k", "messages", "bytes"],
-        rows,
-    )
-    print(
-        "\nReading: all constructions sit well above the Omega(n^2) lower bound\n"
-        "of [11]; the paper explicitly leaves closing this gap to future work."
-    )
-
+from repro.bench.cli import legacy_main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(legacy_main("message_complexity"))

@@ -1,79 +1,18 @@
 """A2 — recipe ablation in the overlap region of Theorem 6.
 
-When ``tL < k/3`` *and* ``tR < k``, a bipartite authenticated setting
-is solvable by **both** of the paper's constructions:
+Thin shim over the registry case ``recipe_overlap``
+(:mod:`repro.bench.cases`).  Where ``tL < k/3`` and ``tR < k`` both of
+the paper's constructions apply; the Corollary 4 route
+(``bb_signed_relay``) is strictly cheaper at small ``t`` — PiBSM buys
+resilience, not efficiency.
 
-* the Corollary 4 route — signed relays for both sides + Dolev-Strong
-  (recipe ``bb_signed_relay``), and
-* the Lemma 9 route — ``PiBSM`` over the timed relay
-  (recipe ``pi_bsm``).
-
-The paper never compares them; this ablation does, measuring rounds,
-messages and bytes for the same instance.  The trade-off quantified:
-``PiBSM`` pays the fixed phase-king schedule but keeps all broadcasting
-inside one side; the signed-relay route pays for ``2k`` all-party
-Dolev-Strong instances with signature chains through both relays.
-
-Run standalone: ``python benchmarks/bench_recipe_overlap.py``.
+Run ``python benchmarks/bench_recipe_overlap.py`` — or
+``python -m repro bench recipe_overlap``.
 """
 
 from __future__ import annotations
 
-import pytest
-
-try:
-    from benchmarks.bench_common import print_table, run_spec, spec_for
-except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import print_table, run_spec, spec_for
-
-
-def measure(recipe: str, k: int, tR: int):
-    report = run_spec(spec_for("bipartite", True, k, 1, tR, kind="honest", recipe=recipe))
-    assert report.ok, report.report.violations
-    return report.result.rounds, report.result.message_count, report.result.byte_count
-
-
-@pytest.mark.parametrize("recipe", ["bb_signed_relay", "pi_bsm"])
-def test_overlap_recipes_both_work(benchmark, recipe):
-    rounds, messages, bytes_ = benchmark.pedantic(
-        measure, args=(recipe, 4, 1), rounds=1, iterations=1
-    )
-    assert rounds > 0 and messages > 0
-
-
-def test_signed_relay_route_cheaper_at_small_t(benchmark):
-    """At small corruption budgets the Corollary 4 route dominates both
-    in rounds and in bytes — PiBSM's fixed phase-king schedule is the
-    price of tolerating tR all the way up to k."""
-
-    def run_pair():
-        ds = measure("bb_signed_relay", 5, 1)
-        pibsm = measure("pi_bsm", 5, 1)
-        return ds, pibsm
-
-    ds, pibsm = benchmark.pedantic(run_pair, rounds=1, iterations=1)
-    assert ds[0] < pibsm[0]  # rounds
-    assert ds[2] < pibsm[2]  # bytes
-
-
-def main() -> None:
-    rows = []
-    for k in (4, 5, 6):
-        for recipe in ("bb_signed_relay", "pi_bsm"):
-            rounds, messages, bytes_ = measure(recipe, k, 1)
-            rows.append([k, recipe, rounds, messages, bytes_])
-    print_table(
-        "A2 — Theorem 6 overlap: Corollary 4 route vs Lemma 9 route (tL=1, tR=1)",
-        ["k", "recipe", "rounds", "messages", "bytes"],
-        rows,
-    )
-    print(
-        "\nReading: both constructions are correct in the overlap region, and\n"
-        "the Corollary 4 route is strictly cheaper at small t — which is why\n"
-        "the oracle only prescribes PiBSM where it is irreplaceable (tR up to\n"
-        "k).  PiBSM buys resilience, not efficiency."
-    )
-
+from repro.bench.cli import legacy_main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(legacy_main("recipe_overlap"))

@@ -1,87 +1,18 @@
 """A1 — ablation: what the channel-simulation lemmas cost.
 
-The same bSM task (authenticated, ``k`` fixed, one corruption per
-side) executed over the three transports the paper composes:
+Thin shim over the registry case ``relay_ablation``
+(:mod:`repro.bench.cases`).  The same bSM task over direct links, the
+signed relay of Lemma 8, and the majority relay of Lemma 6: relays buy
+topology independence at ~2x rounds and a k-fold forwarding blow-up in
+messages.
 
-* direct links on a fully-connected network (no lemma needed);
-* the signed relay of Lemma 8 on a bipartite network;
-* and, in the unauthenticated column, the majority relay of Lemma 6.
-
-The relays double the rounds (``Delta -> 2 Delta``) and multiply the
-message count by the forwarding fan-out; this bench quantifies both,
-which is exactly the efficiency axis Section 6 flags for future work.
-
-Run standalone: ``python benchmarks/bench_relay_ablation.py``.
+Run ``python benchmarks/bench_relay_ablation.py`` — or
+``python -m repro bench relay_ablation``.
 """
 
 from __future__ import annotations
 
-import pytest
-
-try:
-    from benchmarks.bench_common import print_table, run_spec, spec_for
-except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import print_table, run_spec, spec_for
-
-ABLATION = [
-    ("direct (auth, fully-connected)", ("fully_connected", True, 4, 1, 1), None),
-    ("signed relay (auth, bipartite)", ("bipartite", True, 4, 1, 1), "bb_signed_relay"),
-    ("signed relay (auth, one-sided)", ("one_sided", True, 4, 1, 1), "bb_signed_relay"),
-    ("direct (unauth, fully-connected)", ("fully_connected", False, 4, 1, 1), None),
-    ("majority relay (unauth, bipartite)", ("bipartite", False, 4, 1, 1), "bb_majority_relay"),
-    ("majority relay (unauth, one-sided)", ("one_sided", False, 4, 1, 1), "bb_majority_relay"),
-]
-
-
-def measure(index: int):
-    label, (topo, auth, k, tL, tR), recipe = ABLATION[index]
-    report = run_spec(spec_for(topo, auth, k, tL, tR, kind="honest", recipe=recipe))
-    assert report.ok, (label, report.report.violations)
-    return report.result.rounds, report.result.message_count, report.result.byte_count
-
-
-@pytest.mark.parametrize("index", range(len(ABLATION)))
-def test_relay_ablation(benchmark, index):
-    rounds, messages, bytes_ = benchmark.pedantic(
-        measure, args=(index,), rounds=1, iterations=1
-    )
-    assert rounds > 0 and messages > 0
-
-
-def test_relays_double_rounds(benchmark):
-    def run():
-        direct = measure(0)
-        relayed = measure(1)
-        return direct[0], relayed[0]
-
-    direct_rounds, relayed_rounds = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert relayed_rounds >= 2 * direct_rounds - 2
-
-
-def test_relays_amplify_messages(benchmark):
-    def run():
-        return measure(3)[1], measure(4)[1]
-
-    direct_msgs, relayed_msgs = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert relayed_msgs > 2 * direct_msgs
-
-
-def main() -> None:
-    rows = []
-    for index, (label, _, _) in enumerate(ABLATION):
-        rounds, messages, bytes_ = measure(index)
-        rows.append([label, rounds, messages, bytes_])
-    print_table(
-        "A1 — transport ablation (same bSM task, k=4, tL=tR=1)",
-        ["transport", "rounds", "messages", "bytes"],
-        rows,
-    )
-    print(
-        "\nReading: Lemmas 6/8 buy topology independence at ~2x rounds and a\n"
-        "k-fold forwarding blow-up in messages — the efficiency gap Section 6\n"
-        "leaves open."
-    )
-
+from repro.bench.cli import legacy_main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(legacy_main("relay_ablation"))

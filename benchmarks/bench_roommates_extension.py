@@ -1,123 +1,18 @@
 """X1 — the stable roommates extension (paper §6, future work).
 
-Two series the byzantine-roommates design hinges on:
+Thin shim over the registry case ``roommates_extension``
+(:mod:`repro.bench.cases`).  Random roommates instances lose
+solvability as ``n`` grows (the ``solvable_fraction_n*`` metrics); the
+byzantine protocol handles the no-solution outcome by unanimous
+'nobody' outputs while keeping symmetry and non-competition.
 
-1. **Solvability decay.**  Unlike two-sided stable matching, random
-   roommates instances may have no stable solution; the empirical
-   solvable fraction decays as ``n`` grows.  This is exactly why the
-   paper says "definitions and properties need to be refined" — the
-   refined protocol must handle the no-solution outcome gracefully.
-2. **Protocol cost.**  Full byzantine-roommates runs (BB all rankings +
-   local Irving) across ``n``, with a silent byzantine peer.
-
-Run standalone: ``python benchmarks/bench_roommates_extension.py``.
+Run ``python benchmarks/bench_roommates_extension.py`` — or
+``python -m repro bench roommates_extension``.
 """
 
 from __future__ import annotations
 
-import pytest
-
-try:
-    from benchmarks.bench_common import SESSION, print_table
-except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import SESSION, print_table
-
-from repro.core.roommates_bsm import RoommatesSetting
-from repro.experiment import AdversarySpec, ProfileSpec, ScenarioSpec
-from repro.matching.generators import resolve_rng
-from repro.matching.roommates import stable_roommates
-
-SAMPLES = 60
-
-
-def random_preferences(parties, rng):
-    preferences = {}
-    for party in parties:
-        others = [p for p in parties if p != party]
-        rng.shuffle(others)
-        preferences[party] = tuple(others)
-    return preferences
-
-
-def solvable_fraction(n: int, samples: int = SAMPLES, seed: int = 0) -> float:
-    rng = resolve_rng(seed)
-    setting = RoommatesSetting(n=n, t=0, authenticated=True)
-    parties = setting.parties()
-    solvable = 0
-    for _ in range(samples):
-        preferences = random_preferences(parties, rng)
-        if stable_roommates(preferences).solvable:
-            solvable += 1
-    return solvable / samples
-
-
-def full_run(n: int, seed: int = 1):
-    spec = ScenarioSpec(
-        family="roommates",
-        n=n,
-        t=1,
-        authenticated=True,
-        profile=ProfileSpec(seed=seed),
-        adversary=AdversarySpec(kind="silent"),
-    )
-    return SESSION.roommates(spec)
-
-
-@pytest.mark.parametrize("n", [4, 6, 8])
-def test_solvable_fraction_decreases(benchmark, n):
-    fraction = benchmark.pedantic(
-        solvable_fraction, args=(n,), kwargs={"samples": 30}, rounds=1, iterations=1
-    )
-    assert 0.0 <= fraction <= 1.0
-
-
-def test_decay_trend(benchmark):
-    def trend():
-        return solvable_fraction(4, 40, 7), solvable_fraction(10, 40, 7)
-
-    small, large = benchmark.pedantic(trend, rounds=1, iterations=1)
-    assert large <= small + 0.15  # decays (allowing sampling noise)
-
-
-@pytest.mark.parametrize("n", [4, 6, 8])
-def test_byzantine_roommates_run(benchmark, n):
-    report = benchmark.pedantic(full_run, args=(n,), rounds=1, iterations=1)
-    assert report.verdict.termination
-    assert report.verdict.symmetry
-    assert report.verdict.non_competition
-
-
-def main() -> None:
-    rows = []
-    for n in (4, 6, 8, 10, 12):
-        fraction = solvable_fraction(n)
-        report = full_run(n)
-        rows.append(
-            [
-                n,
-                f"{fraction:.2f}",
-                report.result.rounds,
-                report.result.message_count,
-                "ok"
-                if (
-                    report.verdict.termination
-                    and report.verdict.symmetry
-                    and report.verdict.non_competition
-                )
-                else "VIOLATED",
-            ]
-        )
-    print_table(
-        "X1 — stable roommates extension (paper §6): solvability decay and protocol cost",
-        ["n", "solvable fraction", "rounds", "messages", "bSRM checks"],
-        rows,
-    )
-    print(
-        "\nReading: random roommates instances lose solvability as n grows —\n"
-        "the refined byzantine protocol handles the no-solution outcome by\n"
-        "unanimous 'nobody' outputs while keeping symmetry/non-competition."
-    )
-
+from repro.bench.cli import legacy_main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(legacy_main("roommates_extension"))

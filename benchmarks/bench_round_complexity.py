@@ -1,106 +1,18 @@
 """C1 — round complexity of the feasibility protocols.
 
-The paper's protocols come with explicit time bounds:
+Thin shim over the registry case ``round_complexity``
+(:mod:`repro.bench.cases`).  Observed rounds of full bSM runs are
+checked against the paper's closed forms — Dolev-Strong's ``t + 2``,
+``PiKing``'s ``3 (t + 1)``, the relayed ``Delta -> 2 Delta`` doubling,
+and ``PiBSM``'s ``2 (3 tL + 5)`` schedule — and are flat in ``k``.
 
-* Dolev-Strong BB: ``t + 2`` rounds (Theorem 5 path);
-* ``PiKing``: ``3 (t + 1)`` rounds; ``PiBA``: ``+1``; ``PiBB``: ``+2``
-  (Theorems 8, 9, 11);
-* relayed transports double every bound (``Delta -> 2 Delta``,
-  Lemmas 6/8/10);
-* ``PiBSM``: ``L`` decides at ``2 (3 tL + 5)``, ``R`` one round later
-  (Section 5.2 schedule).
-
-This bench measures the *observed* rounds of full bSM runs across
-``k`` and checks them against the closed forms.
-
-Run standalone: ``python benchmarks/bench_round_complexity.py``.
+Run ``python benchmarks/bench_round_complexity.py`` — or
+``python -m repro bench round_complexity``.
 """
 
 from __future__ import annotations
 
-import pytest
-
-try:
-    from benchmarks.bench_common import print_table, run_spec, spec_for
-except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import print_table, run_spec, spec_for
-from repro.core.bipartite_auth import pibsm_decision_rounds
-
-#: (label, topo, auth, budget function, recipe, expected rounds function)
-SERIES = [
-    (
-        "Dolev-Strong direct (auth full)",
-        lambda k: ("fully_connected", True, k, 1, 1),
-        None,
-        # BB ends at round t+1 with t = tL+tR = 2; decision same round; +1 engine slack
-        lambda k: (2 + 2) + 1,
-    ),
-    (
-        "general-adversary BB direct (unauth full)",
-        lambda k: ("fully_connected", False, k, 1, k),
-        None,
-        # 1 + 3*(tL+1) + 1 echo + 1 output round, +1 slack
-        lambda k: (1 + 3 * 2 + 1 + 1) + 1,
-    ),
-    (
-        "Dolev-Strong over signed relay (auth bipartite)",
-        lambda k: ("bipartite", True, k, 1, 1),
-        "bb_signed_relay",
-        lambda k: 2 * ((2 + 2)) + 2 + 1,
-    ),
-    (
-        "PiBSM (auth bipartite, tR = k)",
-        lambda k: ("bipartite", True, k, 1, k),
-        "pi_bsm",
-        lambda k: pibsm_decision_rounds(k, 1)[1] + 1,
-    ),
-]
-
-
-def measure(series_index: int, k: int):
-    label, setting_fn, recipe, expected_fn = SERIES[series_index]
-    topo, auth, kk, tL, tR = setting_fn(k)
-    report = run_spec(spec_for(topo, auth, kk, tL, tR, kind="honest", recipe=recipe))
-    assert report.ok, report.report.violations
-    return report.result.rounds, expected_fn(k)
-
-
-@pytest.mark.parametrize("series_index", range(len(SERIES)))
-def test_round_complexity_matches_schedule(benchmark, series_index):
-    rounds, expected = benchmark.pedantic(
-        measure, args=(series_index, 4), rounds=1, iterations=1
-    )
-    # Observed rounds never exceed the paper's schedule (small slack for
-    # the engine's halt bookkeeping).
-    assert rounds <= expected, (SERIES[series_index][0], rounds, expected)
-
-
-def test_rounds_independent_of_k(benchmark):
-    """The paper's bounds depend on t, not k: growing k must not grow rounds."""
-
-    def run_ks():
-        return [measure(0, k)[0] for k in (2, 4, 6)]
-
-    observed = benchmark.pedantic(run_ks, rounds=1, iterations=1)
-    assert len(set(observed)) == 1, observed
-
-
-def main() -> None:
-    rows = []
-    for index, (label, setting_fn, recipe, expected_fn) in enumerate(SERIES):
-        for k in (4, 5, 6):
-            rounds, expected = measure(index, k)
-            rows.append([label, k, rounds, expected])
-    print_table(
-        "C1 — observed vs scheduled rounds (full bSM runs, honest-behavior byzantine)",
-        ["protocol path", "k", "observed rounds", "schedule bound"],
-        rows,
-    )
-    print(
-        "\nReading: rounds track the paper's Delta-algebra — they grow with the\n"
-        "corruption budget t, double over relayed transports, and are flat in k."
-    )
-
+from repro.bench.cli import legacy_main
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(legacy_main("round_complexity"))

@@ -1,217 +1,20 @@
 """T1 — the paper's contribution table (solvability characterization).
 
-Regenerates the six-row summary of Section 1 empirically through the
-experiment engine: the ``table1`` preset expands every
-``(topology, crypto, k, tL, tR)`` grid point the oracle deems solvable
-into a :class:`~repro.experiment.ScenarioSpec`, and the sweep *checks
-the oracle by simulation* — where it says solvable, the prescribed
-protocol must satisfy all four bSM properties under the worst-case
-silent adversary.  The three "unsolvable" impossibility points are
-exercised by the attack benches (F2-F4).
+Thin shim over the registry case ``table1_solvability`` — the workload,
+checks, and measurement loop live in :mod:`repro.bench.cases`.  Every
+oracle-solvable grid point runs the prescribed protocol under the
+worst-case silent adversary, through both the serial and the batched
+executor (records must be byte-identical; the speedup is reported as a
+metric).  The impossibility points are witnessed by benches F2-F4.
 
-Standalone mode doubles as the engine's cross-executor regression: the
-same ``table1_large`` sweep runs through the serial executor, the
-batched runtime, and the process pool; the records must be
-byte-identical and every wall-clock is reported.
-
-Run standalone for the table: ``python benchmarks/bench_table1_solvability.py``.
-Run ``--quick`` for the single-worker throughput check: the batched
-executor must beat a one-worker pool by >=2x (byte-identical records),
-which is the CI bench-smoke job's gate.
+Run ``python benchmarks/bench_table1_solvability.py`` for the legacy
+full size, ``--quick`` for the CI smoke size — or prefer the registry
+surface: ``python -m repro bench table1_solvability``.
 """
 
 from __future__ import annotations
 
-import argparse
-import os
-import sys
-
-import pytest
-
-try:
-    from benchmarks.bench_common import SESSION, print_table
-except ModuleNotFoundError:  # standalone: python benchmarks/bench_xxx.py
-    from bench_common import SESSION, print_table
-from repro.experiment import AdversarySpec, Sweep
-
-PAPER_ROWS = [
-    ("fully_connected", False, "tL < k/3 or tR < k/3"),
-    ("bipartite", False, "tL,tR < k/2 and (tL < k/3 or tR < k/3)"),
-    ("one_sided", False, "tR < k/2 and (tL < k/3 or tR < k/3)"),
-    ("fully_connected", True, "always"),
-    ("bipartite", True, "(tL,tR < k) or tL < k/3 or tR < k/3"),
-    ("one_sided", True, "tR < k or tL < k/3"),
-]
-
-
-def sweep_row(topo: str, auth: bool, ks=(2, 3, 4)) -> dict:
-    """Empirically validate one row of the contribution table."""
-    grid_points = sum((k + 1) * (k + 1) for k in ks)
-    sweep = Sweep.grid(
-        topologies=(topo,),
-        auths=(auth,),
-        ks=ks,
-        budgets="solvable",
-        seeds=(7,),
-        adversary=AdversarySpec(kind="silent"),
-    )
-    records = SESSION.sweep(sweep)
-    failures = [
-        (r.k, r.tL, r.tR, r.violations) for r in records if not r.ok
-    ]
-    return {
-        "topology": topo,
-        "auth": auth,
-        "grid_points": grid_points,
-        "solvable_points": len(records),
-        "simulation_failures": failures,
-    }
-
-
-@pytest.mark.parametrize("topo,auth,condition", PAPER_ROWS)
-def test_table1_row(benchmark, topo, auth, condition):
-    """Each contribution-table row, validated end to end."""
-    outcome = benchmark.pedantic(
-        sweep_row, args=(topo, auth), kwargs={"ks": (2, 3)}, rounds=1, iterations=1
-    )
-    assert outcome["simulation_failures"] == [], outcome["simulation_failures"]
-    assert outcome["solvable_points"] > 0
-
-
-def test_executors_agree(benchmark):
-    """Serial, batched, and process-pool sweeps are byte-identical (small grid)."""
-
-    def run_all():
-        sweep = Sweep.grid(
-            topologies=("fully_connected",),
-            auths=(False, True),
-            ks=(2, 3),
-            budgets="solvable",
-            adversary=AdversarySpec(kind="silent"),
-        )
-        serial = SESSION.sweep(sweep)
-        batched = SESSION.sweep(sweep, executor="batch")
-        pooled = SESSION.sweep(sweep, executor="process", workers=2)
-        return serial, batched, pooled
-
-    serial, batched, pooled = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    assert serial.to_json() == batched.to_json()
-    assert serial.to_json() == pooled.to_json()
-    assert serial.aggregate_json() == pooled.aggregate_json()
-
-
-def quick_main() -> None:
-    """The single-worker throughput gate (the CI bench-smoke workload).
-
-    Runs the ``table1_large`` sweep three ways on one worker — serial
-    executor, one-worker process pool, batched runtime — asserts the
-    records byte-identical, and requires the batched runtime to beat
-    the ``--workers 1`` pool by ``REPRO_MIN_BATCH_SPEEDUP`` (default
-    2.0x, the ISSUE/ROADMAP target).  Each executor is timed
-    best-of-three after a shared warmup, with the trials *interleaved*
-    (serial, pool, batch, serial, pool, batch, ...) so a transient
-    host slowdown cannot bias any one executor's best.
-    """
-    sweep = SESSION.preset("table1_large")
-    SESSION.sweep(sweep)  # warm the verdict/keyring caches for everyone
-
-    configs = [
-        ("serial", {}),
-        ("pooled1", dict(executor="process", workers=1)),
-        ("batched", dict(executor="batch")),
-    ]
-    best: dict = {}
-    for _ in range(3):
-        for name, kwargs in configs:
-            run = SESSION.sweep(sweep, **kwargs)
-            if name not in best or run.elapsed_seconds < best[name].elapsed_seconds:
-                best[name] = run
-    serial, pooled1, batched = best["serial"], best["pooled1"], best["batched"]
-
-    assert serial.to_json() == batched.to_json(), "batch executor records diverge"
-    assert serial.to_json() == pooled1.to_json(), "process executor records diverge"
-
-    vs_pool = pooled1.elapsed_seconds / max(batched.elapsed_seconds, 1e-9)
-    vs_serial = serial.elapsed_seconds / max(batched.elapsed_seconds, 1e-9)
-    print_table(
-        f"bench_table1 quick mode — {len(sweep)} scenarios, single worker, "
-        "byte-identical records",
-        ["executor", "wall-clock", "speedup vs batch"],
-        [
-            ["serial (lockstep)", f"{serial.elapsed_seconds:6.2f}s", f"{1/vs_serial:.2f}x"],
-            ["process --workers 1", f"{pooled1.elapsed_seconds:6.2f}s", f"{1/vs_pool:.2f}x"],
-            ["batch (shared cache)", f"{batched.elapsed_seconds:6.2f}s", "1.00x"],
-        ],
-    )
-    print(
-        f"\nbatch speedup: {vs_pool:.2f}x vs --workers 1, {vs_serial:.2f}x vs serial"
-    )
-    minimum = float(os.environ.get("REPRO_MIN_BATCH_SPEEDUP", "2.0"))
-    if vs_pool < minimum:
-        print(
-            f"FAIL: batch runtime is only {vs_pool:.2f}x faster than the "
-            f"single-worker pool (need >= {minimum:.1f}x)",
-            file=sys.stderr,
-        )
-        raise SystemExit(1)
-    print(f"PASS: >= {minimum:.1f}x single-worker speedup")
-
-
-def main() -> None:
-    rows = []
-    for topo, auth, condition in PAPER_ROWS:
-        outcome = sweep_row(topo, auth)
-        rows.append(
-            [
-                topo,
-                "auth" if auth else "unauth",
-                condition,
-                f"{outcome['solvable_points']}/{outcome['grid_points']}",
-                "PASS" if not outcome["simulation_failures"] else "FAIL",
-            ]
-        )
-    print_table(
-        "Table 1 — solvability characterization (paper Section 1), validated by simulation",
-        ["topology", "crypto", "paper condition (solvable iff)", "solvable pts", "simulation"],
-        rows,
-    )
-
-    # Cross-executor regression + wall-clock comparison on the full batch.
-    sweep = SESSION.preset("table1_large")
-    serial = SESSION.sweep(sweep)
-    batched = SESSION.sweep(sweep, executor="batch")
-    pooled = SESSION.sweep(sweep, executor="process")
-    assert serial.to_json() == batched.to_json(), "batch executor disagrees on records"
-    assert serial.to_json() == pooled.to_json(), "executors disagree on records"
-    assert serial.aggregate_json() == pooled.aggregate_json(), "aggregates differ"
-    pool_speedup = serial.elapsed_seconds / max(pooled.elapsed_seconds, 1e-9)
-    batch_speedup = serial.elapsed_seconds / max(batched.elapsed_seconds, 1e-9)
-
-    cpus = os.cpu_count() or 1
-    print(
-        f"\ncross-executor check: {len(sweep)} scenarios, byte-identical records\n"
-        f"  serial       : {serial.elapsed_seconds:6.2f}s\n"
-        f"  batch        : {batched.elapsed_seconds:6.2f}s  ({batch_speedup:.1f}x on 1 worker)\n"
-        f"  process pool : {pooled.elapsed_seconds:6.2f}s  ({pool_speedup:.1f}x on {cpus} CPU(s))"
-    )
-    if cpus == 1:
-        print("  (single-CPU host: pool parity is the expected ceiling here)")
-    print(
-        "\nEvery oracle-solvable grid point ran the prescribed protocol under a\n"
-        "worst-case-budget silent adversary and satisfied termination, symmetry,\n"
-        "stability and non-competition.  Unsolvable points are witnessed by the\n"
-        "executable attacks in benches F2-F4."
-    )
-
+from repro.bench.cli import legacy_main
 
 if __name__ == "__main__":
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--quick",
-        action="store_true",
-        help="single-worker throughput gate: batch runtime vs --workers 1",
-    )
-    if parser.parse_args().quick:
-        quick_main()
-    else:
-        main()
+    raise SystemExit(legacy_main("table1_solvability"))

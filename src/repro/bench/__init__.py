@@ -1,0 +1,62 @@
+"""``repro.bench`` — the registry-driven benchmark subsystem.
+
+One registry of declarative :class:`BenchCase` entries (the former
+``benchmarks/bench_*.py`` scripts), one :class:`BenchRunner` that
+executes them through the production :class:`~repro.experiment.Session`
+path, schema-versioned :class:`BenchResult` JSON (``BENCH_<case>.json``
+via :mod:`repro.io`), and a baseline gate (:func:`compare_results`)
+that CI uses to fail on regressions.
+
+Entry points:
+
+* ``python -m repro bench --list | --suite smoke | CASE ...`` — the CLI;
+* ``BenchRunner(tier="quick").run_many()`` — the library surface;
+* ``python benchmarks/bench_<case>.py`` — thin legacy shims over the
+  registry, kept for muscle memory.
+
+See ``docs/benchmarks.md`` for the registry/tier/baseline workflow.
+"""
+
+from repro.bench.compare import (
+    DEFAULT_MAX_REGRESS,
+    CaseComparison,
+    Comparison,
+    baseline_from_json,
+    baseline_from_results,
+    baseline_to_json,
+    compare_results,
+)
+from repro.bench.registry import (
+    SUITES,
+    TIERS,
+    BenchCase,
+    all_cases,
+    bench_case,
+    bench_names,
+    register,
+    suite_tier,
+)
+from repro.bench.result import BENCH_SCHEMA_VERSION, BenchResult, environment_fingerprint
+from repro.bench.runner import BenchRunner
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_MAX_REGRESS",
+    "SUITES",
+    "TIERS",
+    "BenchCase",
+    "BenchResult",
+    "BenchRunner",
+    "CaseComparison",
+    "Comparison",
+    "all_cases",
+    "baseline_from_json",
+    "baseline_from_results",
+    "baseline_to_json",
+    "bench_case",
+    "bench_names",
+    "compare_results",
+    "environment_fingerprint",
+    "register",
+    "suite_tier",
+]

@@ -1,0 +1,587 @@
+"""The built-in bench catalog: every legacy ``benchmarks/bench_*.py``
+script, re-expressed as one registry entry.
+
+Each case is (workload factory, check hook, metrics hook) — the
+measurement loop, JSON emission, baseline gating, and CLI live in
+:mod:`repro.bench.runner` / :mod:`repro.bench.compare`, shared by all
+of them.  The paper mapping (T1, F2-F4, C1-C3, A1-A2, X1) is kept in
+each case's title.
+
+Workloads are sized by tier:
+
+* ``quick``  — the CI smoke size (seconds per case);
+* ``full``   — the legacy standalone size;
+* ``scale``  — stress sizes for scaling studies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.bench.registry import BenchCase, all_cases, register
+from repro.core.bipartite_auth import pibsm_decision_rounds
+from repro.experiment.records import RunRecord, RunRecordSet
+from repro.experiment.spec import AdversarySpec, ProfileSpec, ScenarioSpec, Sweep
+from repro.net.topology import TOPOLOGY_NAMES
+
+__all__ = ["CASES"]
+
+
+def _by_name(records: RunRecordSet) -> dict[str, RunRecord]:
+    return {record.scenario: record for record in records}
+
+
+def _all_ok(records: RunRecordSet) -> tuple[str, ...]:
+    return tuple(
+        f"{record.scenario}: violations {record.violations}"
+        for record in records
+        if not record.ok
+    )
+
+
+def _bsm_spec(
+    name: str,
+    topology: str,
+    auth: bool,
+    k: int,
+    tL: int,
+    tR: int,
+    *,
+    kind: str = "honest",
+    recipe: str | None = None,
+    seed: int = 7,
+) -> ScenarioSpec:
+    adversary = AdversarySpec(kind=kind, seed=seed) if (tL or tR) else None
+    return ScenarioSpec(
+        name=name,
+        topology=topology,
+        authenticated=auth,
+        k=k,
+        tL=tL,
+        tR=tR,
+        profile=ProfileSpec(seed=seed),
+        adversary=adversary,
+        recipe=recipe,
+    )
+
+
+# -- T1: the contribution table ------------------------------------------------
+
+
+def _table1_workload(tier: str) -> Sweep:
+    ks = {"quick": (2, 3), "full": (2, 3, 4), "scale": (2, 3, 4, 5)}[tier]
+    return Sweep.grid(
+        topologies=TOPOLOGY_NAMES,
+        auths=(False, True),
+        ks=ks,
+        budgets="solvable",
+        seeds=(7,),
+        adversary=AdversarySpec(kind="silent"),
+    )
+
+
+def _table1_check(records: RunRecordSet, tier: str) -> tuple[str, ...]:
+    return tuple(
+        f"{record.scenario}: solvable point failed simulation: {record.violations}"
+        for record in records.failures
+    )
+
+
+register(
+    BenchCase(
+        name="table1_solvability",
+        title="T1 — solvability characterization, validated by simulation",
+        workload=_table1_workload,
+        executors=("serial", "batch"),
+        legacy_script="bench_table1_solvability.py",
+        check=_table1_check,
+    )
+)
+
+
+# -- F2-F4: the impossibility constructions ------------------------------------
+
+
+def _attack_workload(lemma: str):
+    def workload(tier: str) -> Sweep:
+        return Sweep.of(ScenarioSpec(family="attack", attack=lemma))
+
+    return workload
+
+
+def _attack_check(
+    lemma: str, *, benign_ok: tuple[str, ...] = (), require_termination: bool = True
+):
+    """The theorem as a check: some scenario must break an sSM property,
+    the attack scenario must break non-competition when the paper says
+    so, and the named benign scenarios must stay clean."""
+
+    def check(records: RunRecordSet, tier: str) -> tuple[str, ...]:
+        failures: list[str] = []
+        rows = _by_name(records)
+        if all(record.ok for record in records):
+            failures.append(f"{lemma}: no scenario violated an sSM property")
+        if require_termination:
+            failures.extend(
+                f"{record.scenario}: did not terminate"
+                for record in records
+                if not record.termination
+            )
+        attack = rows.get(f"attack/{lemma}/attack")
+        if attack is not None and lemma in ("lemma5", "lemma13") and attack.non_competition:
+            failures.append(f"{lemma}: attack scenario kept non-competition")
+        for scenario in benign_ok:
+            row = rows.get(f"attack/{lemma}/{scenario}")
+            if row is not None and not row.ok:
+                failures.append(f"{lemma}/{scenario}: benign scenario failed: {row.violations}")
+        return tuple(failures)
+
+    return check
+
+
+register(
+    BenchCase(
+        name="fig2_fully_connected_attack",
+        title="F2 — Fig. 2 / Lemma 5: the 12-node duplication attack",
+        workload=_attack_workload("lemma5"),
+        legacy_script="bench_fig2_fully_connected_attack.py",
+        check=_attack_check("lemma5"),
+    )
+)
+
+register(
+    BenchCase(
+        name="fig3_bipartite_attack",
+        title="F3 — Fig. 3 / Lemma 7: the 8-cycle duplication attack",
+        workload=_attack_workload("lemma7"),
+        legacy_script="bench_fig3_bipartite_attack.py",
+        check=_attack_check("lemma7"),
+    )
+)
+
+register(
+    BenchCase(
+        name="fig4_onesided_attack",
+        title="F4 — Fig. 4 / Lemma 13: the two-group simulation attack",
+        workload=_attack_workload("lemma13"),
+        legacy_script="bench_fig4_onesided_attack.py",
+        check=_attack_check(
+            "lemma13", benign_ok=("honest_group1", "honest_group2")
+        ),
+    )
+)
+
+
+# -- C3: offline Gale-Shapley scaling ------------------------------------------
+
+_GS_KS = {
+    "quick": (10, 50),
+    "full": (10, 50, 100, 200),
+    "scale": (100, 200, 400, 800),
+}
+
+
+def _gs_workload(tier: str) -> Sweep:
+    return Sweep.of(
+        *(
+            ScenarioSpec(
+                name=f"gs/{kind}/k{k}",
+                family="offline",
+                algorithm="gale_shapley",
+                k=k,
+                profile=ProfileSpec(kind=kind, seed=42),
+            )
+            for k in _GS_KS[tier]
+            for kind in ("random", "master_list")
+        )
+    )
+
+
+def _gs_check(records: RunRecordSet, tier: str) -> tuple[str, ...]:
+    failures: list[str] = []
+    for record in records:
+        if record.proposals > record.k * record.k:
+            failures.append(
+                f"{record.scenario}: {record.proposals} proposals beats the k^2 bound"
+            )
+        if "master_list" in record.scenario:
+            expected = record.k * (record.k + 1) // 2
+            if record.proposals != expected:
+                failures.append(
+                    f"{record.scenario}: master list made {record.proposals} "
+                    f"proposals, expected the full cascade {expected}"
+                )
+    return tuple(failures)
+
+
+def _gs_metrics(records: RunRecordSet, tier: str) -> Mapping[str, float]:
+    return {
+        record.scenario.replace("gs/", "proposals_").replace("/", "_"): record.proposals
+        for record in records
+    }
+
+
+register(
+    BenchCase(
+        name="gale_shapley_scaling",
+        title="C3 — AG-S proposal counts and scaling (Theorem 1: O(k^2))",
+        workload=_gs_workload,
+        legacy_script="bench_gale_shapley_scaling.py",
+        check=_gs_check,
+        metrics=_gs_metrics,
+    )
+)
+
+
+# -- C2: message/byte complexity -----------------------------------------------
+
+#: (path key, topology, auth, budget fn, forced recipe)
+_MSG_PATHS = (
+    ("auth_full_ds", "fully_connected", True, lambda k: (1, 1), None),
+    ("unauth_full_pk", "fully_connected", False, lambda k: (1, k), None),
+    ("auth_bipartite_signed", "bipartite", True, lambda k: (1, 1), "bb_signed_relay"),
+    ("auth_bipartite_pibsm", "bipartite", True, lambda k: (1, k), "pi_bsm"),
+)
+
+_MSG_KS = {"quick": (4,), "full": (4, 5, 6), "scale": (4, 6, 8)}
+
+
+def _msg_workload(tier: str) -> Sweep:
+    specs = [
+        # The growth anchor: the auth-full path at k=2, for the
+        # superquadratic check ([11]'s Omega(n^2) lower bound).
+        _bsm_spec("msg/auth_full_ds/k2", "fully_connected", True, 2, 1, 1)
+    ]
+    for key, topology, auth, budget, recipe in _MSG_PATHS:
+        for k in _MSG_KS[tier]:
+            tL, tR = budget(k)
+            specs.append(
+                _bsm_spec(f"msg/{key}/k{k}", topology, auth, k, tL, tR, recipe=recipe)
+            )
+    return Sweep.of(*specs)
+
+
+def _msg_check(records: RunRecordSet, tier: str) -> tuple[str, ...]:
+    failures = list(_all_ok(records))
+    rows = _by_name(records)
+    small = rows.get("msg/auth_full_ds/k2")
+    large = rows.get("msg/auth_full_ds/k4")
+    if small and large and large.messages < 4 * small.messages:
+        failures.append(
+            "auth-full path grew sub-quadratically: "
+            f"{small.messages} msgs at k=2 vs {large.messages} at k=4"
+        )
+    return tuple(failures)
+
+
+def _msg_metrics(records: RunRecordSet, tier: str) -> Mapping[str, float]:
+    metrics: dict[str, float] = {}
+    for record in records:
+        slug = record.scenario.replace("msg/", "").replace("/", "_")
+        metrics[f"messages_{slug}"] = record.messages
+        metrics[f"bytes_{slug}"] = record.bytes
+    return metrics
+
+
+register(
+    BenchCase(
+        name="message_complexity",
+        title="C2 — message/byte complexity of full bSM runs vs k",
+        workload=_msg_workload,
+        legacy_script="bench_message_complexity.py",
+        check=_msg_check,
+        metrics=_msg_metrics,
+    )
+)
+
+
+# -- C1: round complexity vs the paper's schedules -----------------------------
+
+#: (series key, topology, auth, budget fn, recipe, schedule bound fn)
+_ROUND_SERIES = (
+    # BB ends at round t+1 with t = tL+tR = 2; decision same round; +1 slack.
+    ("ds_direct", "fully_connected", True, lambda k: (1, 1), None, lambda k: 5),
+    # 1 + 3*(tL+1) + 1 echo + 1 output round, +1 slack.
+    ("ga_direct", "fully_connected", False, lambda k: (1, k), None, lambda k: 10),
+    # Relays double every bound (Delta -> 2 Delta), +2 relay setup, +1 slack.
+    (
+        "ds_signed_relay",
+        "bipartite",
+        True,
+        lambda k: (1, 1),
+        "bb_signed_relay",
+        lambda k: 2 * (2 + 2) + 2 + 1,
+    ),
+    # PiBSM: R decides one round after L's 2(3 tL + 5) schedule, +1 slack.
+    (
+        "pi_bsm",
+        "bipartite",
+        True,
+        lambda k: (1, k),
+        "pi_bsm",
+        lambda k: pibsm_decision_rounds(k, 1)[1] + 1,
+    ),
+)
+
+_ROUND_KS = {"quick": (4,), "full": (4, 5, 6), "scale": (4, 6, 8)}
+#: Extra ds_direct sizes for the flat-in-k check (bounds depend on t, not k).
+_FLAT_KS = (2, 6)
+
+
+def _round_workload(tier: str) -> Sweep:
+    specs = []
+    for key, topology, auth, budget, recipe, _bound in _ROUND_SERIES:
+        for k in _ROUND_KS[tier]:
+            tL, tR = budget(k)
+            specs.append(
+                _bsm_spec(f"rounds/{key}/k{k}", topology, auth, k, tL, tR, recipe=recipe)
+            )
+    for k in _FLAT_KS:
+        if k in _ROUND_KS[tier]:
+            continue  # already covered by the series loop above
+        specs.append(_bsm_spec(f"rounds/ds_direct/k{k}", "fully_connected", True, k, 1, 1))
+    return Sweep.of(*specs)
+
+
+def _round_check(records: RunRecordSet, tier: str) -> tuple[str, ...]:
+    failures = list(_all_ok(records))
+    rows = _by_name(records)
+    for key, _topology, _auth, _budget, _recipe, bound in _ROUND_SERIES:
+        for scenario, record in rows.items():
+            if not scenario.startswith(f"rounds/{key}/"):
+                continue
+            expected = bound(record.k)
+            if record.rounds > expected:
+                failures.append(
+                    f"{scenario}: {record.rounds} rounds exceeds the "
+                    f"paper's schedule bound {expected}"
+                )
+    flat = {
+        record.rounds for record in records if record.scenario.startswith("rounds/ds_direct/")
+    }
+    if len(flat) > 1:
+        failures.append(f"ds_direct rounds vary with k: {sorted(flat)}")
+    return tuple(failures)
+
+
+def _round_metrics(records: RunRecordSet, tier: str) -> Mapping[str, float]:
+    return {
+        record.scenario.replace("rounds/", "rounds_").replace("/", "_"): record.rounds
+        for record in records
+    }
+
+
+register(
+    BenchCase(
+        name="round_complexity",
+        title="C1 — observed rounds vs the paper's schedule bounds",
+        workload=_round_workload,
+        legacy_script="bench_round_complexity.py",
+        check=_round_check,
+        metrics=_round_metrics,
+    )
+)
+
+
+# -- A1: transport ablation ----------------------------------------------------
+
+#: (transport key, topology, auth, recipe)
+_ABLATION = (
+    ("direct_auth", "fully_connected", True, None),
+    ("signed_bipartite", "bipartite", True, "bb_signed_relay"),
+    ("signed_onesided", "one_sided", True, "bb_signed_relay"),
+    ("direct_unauth", "fully_connected", False, None),
+    ("majority_bipartite", "bipartite", False, "bb_majority_relay"),
+    ("majority_onesided", "one_sided", False, "bb_majority_relay"),
+)
+
+_ABLATION_KS = {"quick": (4,), "full": (4, 5), "scale": (4, 6)}
+
+
+def _ablation_workload(tier: str) -> Sweep:
+    return Sweep.of(
+        *(
+            _bsm_spec(f"ablation/{key}/k{k}", topology, auth, k, 1, 1, recipe=recipe)
+            for key, topology, auth, recipe in _ABLATION
+            for k in _ABLATION_KS[tier]
+        )
+    )
+
+
+def _ablation_check(records: RunRecordSet, tier: str) -> tuple[str, ...]:
+    failures = list(_all_ok(records))
+    rows = _by_name(records)
+    for k in _ABLATION_KS[tier]:
+        direct = rows.get(f"ablation/direct_auth/k{k}")
+        relayed = rows.get(f"ablation/signed_bipartite/k{k}")
+        if direct and relayed and relayed.rounds < 2 * direct.rounds - 2:
+            failures.append(
+                f"k={k}: signed relay did not pay the 2x round cost "
+                f"({relayed.rounds} vs direct {direct.rounds})"
+            )
+        direct_u = rows.get(f"ablation/direct_unauth/k{k}")
+        majority = rows.get(f"ablation/majority_bipartite/k{k}")
+        if direct_u and majority and majority.messages <= 2 * direct_u.messages:
+            failures.append(
+                f"k={k}: majority relay did not amplify messages "
+                f"({majority.messages} vs direct {direct_u.messages})"
+            )
+    return tuple(failures)
+
+
+def _ablation_metrics(records: RunRecordSet, tier: str) -> Mapping[str, float]:
+    metrics: dict[str, float] = {}
+    for record in records:
+        slug = record.scenario.replace("ablation/", "").replace("/", "_")
+        metrics[f"rounds_{slug}"] = record.rounds
+        metrics[f"messages_{slug}"] = record.messages
+    return metrics
+
+
+register(
+    BenchCase(
+        name="relay_ablation",
+        title="A1 — what the channel-simulation lemmas cost (Lemmas 6/8)",
+        workload=_ablation_workload,
+        legacy_script="bench_relay_ablation.py",
+        check=_ablation_check,
+        metrics=_ablation_metrics,
+    )
+)
+
+
+# -- A2: recipe overlap --------------------------------------------------------
+
+_OVERLAP_KS = {"quick": (4,), "full": (4, 5, 6), "scale": (6, 8)}
+
+
+def _overlap_workload(tier: str) -> Sweep:
+    return Sweep.of(
+        *(
+            _bsm_spec(f"overlap/{recipe}/k{k}", "bipartite", True, k, 1, 1, recipe=recipe)
+            for k in _OVERLAP_KS[tier]
+            for recipe in ("bb_signed_relay", "pi_bsm")
+        )
+    )
+
+
+def _overlap_check(records: RunRecordSet, tier: str) -> tuple[str, ...]:
+    failures = list(_all_ok(records))
+    rows = _by_name(records)
+    k = max(_OVERLAP_KS[tier])
+    signed = rows.get(f"overlap/bb_signed_relay/k{k}")
+    pibsm = rows.get(f"overlap/pi_bsm/k{k}")
+    if signed and pibsm:
+        if signed.rounds >= pibsm.rounds:
+            failures.append(
+                f"k={k}: Corollary 4 route no longer cheaper in rounds "
+                f"({signed.rounds} vs PiBSM {pibsm.rounds})"
+            )
+        if signed.bytes >= pibsm.bytes:
+            failures.append(
+                f"k={k}: Corollary 4 route no longer cheaper in bytes "
+                f"({signed.bytes} vs PiBSM {pibsm.bytes})"
+            )
+    return tuple(failures)
+
+
+def _overlap_metrics(records: RunRecordSet, tier: str) -> Mapping[str, float]:
+    metrics: dict[str, float] = {}
+    for record in records:
+        slug = record.scenario.replace("overlap/", "").replace("/", "_")
+        metrics[f"rounds_{slug}"] = record.rounds
+        metrics[f"bytes_{slug}"] = record.bytes
+    return metrics
+
+
+register(
+    BenchCase(
+        name="recipe_overlap",
+        title="A2 — Theorem 6 overlap: Corollary 4 route vs Lemma 9 route",
+        workload=_overlap_workload,
+        legacy_script="bench_recipe_overlap.py",
+        check=_overlap_check,
+        metrics=_overlap_metrics,
+    )
+)
+
+
+# -- X1: the roommates extension -----------------------------------------------
+
+_ROOMMATES_NS = {"quick": (4, 6), "full": (4, 6, 8, 10), "scale": (8, 12, 16)}
+_ROOMMATES_FRACTION = {
+    "quick": ((4, 20), (8, 20)),
+    "full": ((4, 60), (8, 60), (12, 60)),
+    "scale": ((8, 60), (12, 60), (16, 60)),
+}
+
+
+def _roommates_workload(tier: str) -> Sweep:
+    return Sweep.of(
+        *(
+            ScenarioSpec(
+                name=f"roommates/n{n}",
+                family="roommates",
+                n=n,
+                t=1,
+                authenticated=True,
+                profile=ProfileSpec(seed=1),
+                adversary=AdversarySpec(kind="silent"),
+            )
+            for n in _ROOMMATES_NS[tier]
+        )
+    )
+
+
+def _roommates_check(records: RunRecordSet, tier: str) -> tuple[str, ...]:
+    return tuple(
+        f"{record.scenario}: bSRM properties broke: {record.violations}"
+        for record in records
+        if not (record.termination and record.symmetry and record.non_competition)
+    )
+
+
+def _solvable_fraction(n: int, samples: int) -> float:
+    """Fraction of random roommates instances with a stable solution."""
+    from repro.core.roommates_bsm import RoommatesSetting
+    from repro.matching.generators import resolve_rng
+    from repro.matching.roommates import stable_roommates
+
+    rng = resolve_rng(0)
+    parties = RoommatesSetting(n=n, t=0, authenticated=True).parties()
+    solvable = 0
+    for _ in range(samples):
+        preferences = {}
+        for party in parties:
+            others = [p for p in parties if p != party]
+            rng.shuffle(others)
+            preferences[party] = tuple(others)
+        if stable_roommates(preferences).solvable:
+            solvable += 1
+    return solvable / samples
+
+
+def _roommates_metrics(records: RunRecordSet, tier: str) -> Mapping[str, float]:
+    metrics: dict[str, float] = {
+        f"solvable_fraction_n{n}": round(_solvable_fraction(n, samples), 3)
+        for n, samples in _ROOMMATES_FRACTION[tier]
+    }
+    for record in records:
+        metrics[f"rounds_{record.scenario.replace('roommates/', '')}"] = record.rounds
+    return metrics
+
+
+register(
+    BenchCase(
+        name="roommates_extension",
+        title="X1 — stable roommates (paper §6): solvability decay and protocol cost",
+        workload=_roommates_workload,
+        legacy_script="bench_roommates_extension.py",
+        check=_roommates_check,
+        metrics=_roommates_metrics,
+    )
+)
+
+
+#: The loaded catalog (importing this module registered everything above).
+CASES = all_cases()

@@ -1,0 +1,209 @@
+"""Baseline comparison: the CI regression gate.
+
+A *baseline* is one JSON file mapping case names to the wall-clocks
+(and work totals) recorded on a known-good commit.  Comparing a fresh
+run against it answers the only question CI cares about: **did any
+benchmark get slower than the allowed envelope?**  ``repro bench
+--compare baseline.json --max-regress 1.5`` exits nonzero when it did —
+or when a case the baseline knows about did not run at all, so a
+silently dropped benchmark cannot pass the gate.
+
+Wall-clocks are noisy on shared runners; the gate compares against
+``baseline * max_regress`` rather than the raw number, and the default
+factor (1.5) is deliberately generous.  Ratios are always reported so
+trends stay visible long before the gate trips.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.bench.result import BENCH_SCHEMA_VERSION, BenchResult, environment_fingerprint
+from repro.errors import BenchError
+
+__all__ = [
+    "DEFAULT_MAX_REGRESS",
+    "CaseComparison",
+    "Comparison",
+    "baseline_from_results",
+    "baseline_to_json",
+    "baseline_from_json",
+    "compare_results",
+]
+
+DEFAULT_MAX_REGRESS = 1.5
+
+#: Row statuses that fail the gate.
+_FAILING = ("regression", "missing", "tier_mismatch")
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """One case's verdict against the baseline."""
+
+    case: str
+    status: str  # ok | regression | faster | new | missing | tier_mismatch
+    baseline_seconds: float = 0.0
+    current_seconds: float = 0.0
+    ratio: float = 0.0
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status in _FAILING
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """The whole gate: per-case rows plus the aggregate verdict."""
+
+    rows: tuple[CaseComparison, ...]
+    max_regress: float
+
+    @property
+    def ok(self) -> bool:
+        return not any(row.failed for row in self.rows)
+
+    @property
+    def failures(self) -> tuple[CaseComparison, ...]:
+        return tuple(row for row in self.rows if row.failed)
+
+    def render(self) -> str:
+        """A plain-text verdict table."""
+        lines = [
+            f"baseline comparison (max-regress {self.max_regress:g}x):",
+            f"  {'case':32s} {'baseline':>9s} {'current':>9s} {'ratio':>6s}  status",
+        ]
+        for row in self.rows:
+            baseline = f"{row.baseline_seconds:.3f}s" if row.baseline_seconds else "-"
+            current = f"{row.current_seconds:.3f}s" if row.current_seconds else "-"
+            ratio = f"{row.ratio:.2f}x" if row.ratio else "-"
+            status = row.status + (f" ({row.detail})" if row.detail else "")
+            lines.append(f"  {row.case:32s} {baseline:>9s} {current:>9s} {ratio:>6s}  {status}")
+        verdict = "PASS" if self.ok else f"FAIL ({len(self.failures)} gate failures)"
+        lines.append(f"  -> {verdict}")
+        return "\n".join(lines)
+
+
+# -- baseline files ------------------------------------------------------------
+
+
+def baseline_from_results(results: Iterable[BenchResult]) -> dict:
+    """A baseline dictionary distilled from fresh results."""
+    return {
+        "schema": BENCH_SCHEMA_VERSION,
+        "kind": "bench-baseline",
+        "environment": environment_fingerprint(),
+        "cases": {
+            result.case: {
+                "tier": result.tier,
+                "wall_seconds": result.wall_seconds,
+                "runs": result.runs,
+                "rounds": result.rounds,
+                "messages": result.messages,
+            }
+            for result in results
+        },
+    }
+
+
+def baseline_to_json(baseline: Mapping) -> str:
+    """Stable, human-diffable JSON for a baseline dictionary."""
+    return json.dumps(baseline, sort_keys=True, indent=2) + "\n"
+
+
+def baseline_from_json(text: str) -> dict:
+    """Parse and validate a baseline file's content."""
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise BenchError(f"baseline is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or data.get("kind") != "bench-baseline":
+        raise BenchError("baseline files must carry kind='bench-baseline'")
+    schema = data.get("schema")
+    if schema != BENCH_SCHEMA_VERSION:
+        raise BenchError(
+            f"baseline schema {schema!r} is not supported "
+            f"(this build reads schema {BENCH_SCHEMA_VERSION})"
+        )
+    if not isinstance(data.get("cases"), dict):
+        raise BenchError("baseline files need a 'cases' mapping")
+    return data
+
+
+# -- the gate ------------------------------------------------------------------
+
+
+def compare_results(
+    results: Sequence[BenchResult],
+    baseline: Mapping,
+    max_regress: float = DEFAULT_MAX_REGRESS,
+) -> Comparison:
+    """Compare fresh results against a baseline dictionary.
+
+    Every baseline case must be present among ``results`` (``missing``
+    fails the gate); cases without a baseline entry report as ``new``
+    and pass, so adding a benchmark never requires touching the
+    baseline in the same change.
+    """
+    if max_regress <= 0:
+        raise BenchError(f"max_regress must be positive, got {max_regress}")
+    by_name = {result.case: result for result in results}
+    known = baseline["cases"]
+    rows: list[CaseComparison] = []
+    for name in sorted(set(known) | set(by_name)):
+        entry = known.get(name)
+        result = by_name.get(name)
+        if result is None:
+            rows.append(
+                CaseComparison(
+                    case=name,
+                    status="missing",
+                    baseline_seconds=float(entry.get("wall_seconds", 0.0)),
+                    detail="in baseline but did not run",
+                )
+            )
+            continue
+        if entry is None:
+            rows.append(
+                CaseComparison(
+                    case=name, status="new", current_seconds=result.wall_seconds
+                )
+            )
+            continue
+        base_tier = str(entry.get("tier", ""))
+        if base_tier and base_tier != result.tier:
+            rows.append(
+                CaseComparison(
+                    case=name,
+                    status="tier_mismatch",
+                    baseline_seconds=float(entry.get("wall_seconds", 0.0)),
+                    current_seconds=result.wall_seconds,
+                    detail=f"baseline tier {base_tier!r} vs run tier {result.tier!r}",
+                )
+            )
+            continue
+        base_seconds = float(entry.get("wall_seconds", 0.0))
+        ratio = result.wall_seconds / base_seconds if base_seconds > 0 else 0.0
+        if base_seconds > 0 and result.wall_seconds > base_seconds * max_regress:
+            status = "regression"
+            detail = f"slower than {max_regress:g}x baseline"
+        elif ratio and ratio < 1.0 / max_regress:
+            status = "faster"
+            detail = "consider refreshing the baseline"
+        else:
+            status = "ok"
+            detail = ""
+        rows.append(
+            CaseComparison(
+                case=name,
+                status=status,
+                baseline_seconds=base_seconds,
+                current_seconds=result.wall_seconds,
+                ratio=round(ratio, 3),
+                detail=detail,
+            )
+        )
+    return Comparison(rows=tuple(rows), max_regress=max_regress)

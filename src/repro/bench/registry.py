@@ -1,0 +1,149 @@
+"""The benchmark registry: declarative cases, one shared catalog.
+
+A :class:`BenchCase` is the declarative form of one benchmark: a name,
+a workload factory (``tier -> Sweep``), the executor/runtime axes to
+measure it on, and optional ``check``/``metrics`` hooks that turn the
+sweep's :class:`~repro.experiment.records.RunRecordSet` into pass/fail
+verdicts and case-specific numbers.  Cases register themselves into one
+process-wide catalog; the :class:`~repro.bench.runner.BenchRunner` and
+the ``repro bench`` CLI only ever see the catalog, so adding a
+benchmark is one :func:`register` call — no new script, no new CI
+wiring.
+
+Size tiers keep one definition per benchmark instead of one per budget:
+``quick`` is the CI smoke size, ``full`` the local default, ``scale``
+the stress size.  The built-in catalog (the ported
+``benchmarks/bench_*.py`` scripts) lives in :mod:`repro.bench.cases`
+and is loaded lazily on first lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import BenchError
+from repro.experiment.engine import EXECUTORS
+from repro.experiment.records import RunRecordSet
+from repro.experiment.spec import Sweep
+from repro.runtime.api import RUNTIME_NAMES
+
+__all__ = [
+    "TIERS",
+    "SUITES",
+    "BenchCase",
+    "register",
+    "bench_case",
+    "bench_names",
+    "all_cases",
+    "suite_tier",
+]
+
+#: Size tiers, smallest first.  Every workload factory must accept all
+#: three; ``quick`` is what CI runs.
+TIERS: tuple[str, ...] = ("quick", "full", "scale")
+
+#: Named suites: every registered case, pinned to one tier.
+SUITES: Mapping[str, str] = {"smoke": "quick", "full": "full", "scale": "scale"}
+
+#: ``check(records, tier)`` returns failure strings (empty = pass).
+CheckFn = Callable[[RunRecordSet, str], tuple[str, ...]]
+#: ``metrics(records, tier)`` returns case-specific scalar metrics.
+MetricsFn = Callable[[RunRecordSet, str], Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One registry-driven benchmark.
+
+    ``workload`` maps a tier name to the :class:`Sweep` to execute;
+    ``executors`` lists the engine executors to time it on (the first
+    one is canonical — every other executor must reproduce its records
+    byte-identically); ``runtime`` pins the per-spec runtime axis for
+    bsm specs (``"lockstep"`` leaves the workload's own choice alone).
+    """
+
+    name: str
+    title: str
+    workload: Callable[[str], Sweep]
+    executors: tuple[str, ...] = ("serial",)
+    runtime: str = "lockstep"
+    legacy_script: str = ""
+    check: CheckFn | None = None
+    metrics: MetricsFn | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise BenchError(f"bench case names must be non-empty slugs, got {self.name!r}")
+        if not self.executors:
+            raise BenchError(f"case {self.name!r} needs at least one executor")
+        for executor in self.executors:
+            if executor not in EXECUTORS:
+                raise BenchError(
+                    f"case {self.name!r}: unknown executor {executor!r}; "
+                    f"expected one of {EXECUTORS}"
+                )
+        if self.runtime not in RUNTIME_NAMES:
+            raise BenchError(
+                f"case {self.name!r}: unknown runtime {self.runtime!r}; "
+                f"expected one of {RUNTIME_NAMES}"
+            )
+
+    def sweep(self, tier: str) -> Sweep:
+        """The workload at ``tier`` (validated)."""
+        if tier not in TIERS:
+            raise BenchError(f"unknown tier {tier!r}; expected one of {TIERS}")
+        return self.workload(tier)
+
+
+_REGISTRY: dict[str, BenchCase] = {}
+_LOADED = False
+
+
+def register(case: BenchCase) -> BenchCase:
+    """Add ``case`` to the catalog (returns it, so it composes as a helper)."""
+    if case.name in _REGISTRY:
+        raise BenchError(f"bench case {case.name!r} is already registered")
+    _REGISTRY[case.name] = case
+    return case
+
+
+def _ensure_loaded() -> None:
+    """Import the built-in catalog exactly once (idempotent)."""
+    global _LOADED
+    if not _LOADED:
+        _LOADED = True
+        from repro.bench import cases  # noqa: F401  (imports register the catalog)
+
+
+def bench_case(name: str) -> BenchCase:
+    """Look up one case by name."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise BenchError(
+            f"unknown bench case {name!r}; known: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def bench_names() -> tuple[str, ...]:
+    """All registered case names, sorted."""
+    _ensure_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def all_cases() -> tuple[BenchCase, ...]:
+    """Every registered case, in name order."""
+    _ensure_loaded()
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def suite_tier(suite: str) -> str:
+    """The tier a named suite runs at."""
+    try:
+        return SUITES[suite]
+    except KeyError as exc:
+        raise BenchError(
+            f"unknown suite {suite!r}; known: {sorted(SUITES)}"
+        ) from exc

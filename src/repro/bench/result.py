@@ -1,0 +1,191 @@
+"""Schema-versioned benchmark results.
+
+A :class:`BenchResult` is the machine-readable outcome of one bench
+case at one tier: wall-clock, per-phase timings, run/round/message
+totals, cache statistics, case-specific metrics, and an environment
+fingerprint (python version, CPU count, git sha) so numbers archived
+across machines and commits stay comparable.  Results round-trip
+through JSON (``repro.io.dump_bench`` / ``load_bench``) and are what
+the ``BENCH_<case>.json`` trajectory files contain.
+
+The schema is versioned (:data:`BENCH_SCHEMA_VERSION`); loaders reject
+files written by an incompatible schema instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import BenchError
+
+__all__ = ["BENCH_SCHEMA_VERSION", "BenchResult", "environment_fingerprint"]
+
+#: Bump when the JSON layout changes incompatibly.
+BENCH_SCHEMA_VERSION = 1
+
+
+def _git_sha() -> str:
+    """The repo's short commit sha, or ``"unknown"`` outside a checkout."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=here,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = probe.stdout.strip()
+    return sha if probe.returncode == 0 and sha else "unknown"
+
+
+def environment_fingerprint() -> dict[str, object]:
+    """Where a result was measured: python, platform, CPUs, git sha."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "git_sha": _git_sha(),
+        "argv0": os.path.basename(sys.argv[0]) if sys.argv else "",
+    }
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One bench case's measured outcome at one tier.
+
+    ``phases`` are ordered ``(name, seconds)`` pairs — sweep
+    construction plus one sweep execution per configured executor — so
+    regressions localize to a phase instead of hiding in the total.
+    ``cache`` carries the shared :class:`~repro.runtime.ExecutionCache`
+    statistics when a batch executor ran (hit rates included).
+    ``baseline`` is filled by ``--compare``: the baseline wall-clock and
+    the current/baseline ratio, so a committed ``BENCH_*.json`` records
+    before *and* after.
+    """
+
+    case: str
+    tier: str
+    ok: bool
+    wall_seconds: float
+    runs: int
+    rounds: int
+    messages: int
+    bytes: int
+    per_round_seconds: float = 0.0
+    per_run_seconds: float = 0.0
+    phases: tuple[tuple[str, float], ...] = ()
+    failures: tuple[str, ...] = ()
+    metrics: Mapping[str, float] = field(default_factory=dict)
+    cache: Mapping[str, object] = field(default_factory=dict)
+    environment: Mapping[str, object] = field(default_factory=dict)
+    baseline: Mapping[str, object] | None = None
+    schema: int = BENCH_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "phases", tuple((str(n), float(s)) for n, s in self.phases)
+        )
+        object.__setattr__(self, "failures", tuple(str(f) for f in self.failures))
+        object.__setattr__(self, "metrics", dict(self.metrics))
+        object.__setattr__(self, "cache", dict(self.cache))
+        object.__setattr__(self, "environment", dict(self.environment))
+        if self.baseline is not None:
+            object.__setattr__(self, "baseline", dict(self.baseline))
+
+    def with_baseline(self, baseline: Mapping[str, object]) -> "BenchResult":
+        """A copy carrying comparison context (before/after numbers)."""
+        from dataclasses import replace
+
+        return replace(self, baseline=dict(baseline))
+
+    def summary(self) -> str:
+        """One human line: verdict, size, wall-clock."""
+        verdict = "ok" if self.ok else f"FAIL ({len(self.failures)} checks)"
+        return (
+            f"{self.case} [{self.tier}]: {verdict}, {self.runs} runs, "
+            f"{self.rounds} rounds, {self.messages} messages, "
+            f"{self.wall_seconds:.3f}s"
+        )
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data: dict = {
+            "schema": self.schema,
+            "case": self.case,
+            "tier": self.tier,
+            "ok": self.ok,
+            "wall_seconds": self.wall_seconds,
+            "runs": self.runs,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "per_round_seconds": self.per_round_seconds,
+            "per_run_seconds": self.per_run_seconds,
+            "phases": [[name, seconds] for name, seconds in self.phases],
+            "failures": list(self.failures),
+            "metrics": dict(self.metrics),
+            "cache": dict(self.cache),
+            "environment": dict(self.environment),
+        }
+        if self.baseline is not None:
+            data["baseline"] = dict(self.baseline)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "BenchResult":
+        try:
+            schema = int(data["schema"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BenchError(f"bench result has no usable schema field: {exc}") from exc
+        if schema != BENCH_SCHEMA_VERSION:
+            raise BenchError(
+                f"bench result schema {schema} is not supported "
+                f"(this build reads schema {BENCH_SCHEMA_VERSION})"
+            )
+        try:
+            return cls(
+                case=str(data["case"]),
+                tier=str(data["tier"]),
+                ok=bool(data["ok"]),
+                wall_seconds=float(data["wall_seconds"]),
+                runs=int(data["runs"]),
+                rounds=int(data["rounds"]),
+                messages=int(data["messages"]),
+                bytes=int(data["bytes"]),
+                per_round_seconds=float(data.get("per_round_seconds", 0.0)),
+                per_run_seconds=float(data.get("per_run_seconds", 0.0)),
+                phases=tuple(
+                    (name, seconds) for name, seconds in data.get("phases", ())
+                ),
+                failures=tuple(data.get("failures", ())),
+                metrics=dict(data.get("metrics", {})),
+                cache=dict(data.get("cache", {})),
+                environment=dict(data.get("environment", {})),
+                baseline=dict(data["baseline"]) if data.get("baseline") else None,
+                schema=schema,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BenchError(f"malformed bench result: {exc}") from exc
+
+    def to_json(self) -> str:
+        """Stable, human-diffable JSON (sorted keys, indented)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchResult":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise BenchError(f"bench result is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)

@@ -1,0 +1,173 @@
+"""The bench runner: registry cases in, schema-versioned results out.
+
+One :class:`BenchRunner` executes :class:`~repro.bench.registry.BenchCase`
+workloads through the shared :class:`~repro.experiment.Session` façade —
+the exact production path, not a parallel harness — and measures:
+
+* **per-phase wall-clocks** — sweep construction plus one sweep
+  execution per configured executor, so a regression localizes;
+* **work totals** — runs, protocol rounds, messages, bytes, and the
+  derived per-round / per-run latencies;
+* **cache statistics** — hit rates of the shared
+  :class:`~repro.runtime.ExecutionCache` whenever a batch executor ran;
+* **correctness** — every non-canonical executor must reproduce the
+  canonical records byte-identically, and the case's own ``check`` hook
+  must pass; failures make the result (and the CLI exit code) red.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Iterable, Sequence
+
+from repro.bench.registry import BenchCase, bench_case
+from repro.bench.result import BenchResult, environment_fingerprint
+from repro.errors import ReproError
+from repro.experiment.engine import Session
+from repro.experiment.records import RunRecordSet
+from repro.experiment.spec import ScenarioSpec, Sweep
+
+__all__ = ["BenchRunner"]
+
+
+def _warm_process_memos(sweep: Sweep) -> None:
+    """Pre-fill the process-level memos every executor shares.
+
+    Solvability verdicts and keyrings are memoized per process; without
+    this, whichever executor runs *first* pays their one-time build and
+    every later executor times warm — biasing the cross-executor
+    speedup metrics.  Touching the memos here (microseconds per spec,
+    keyring derivation per distinct ``k``) is charged to the build
+    phase, so all timed sweeps start from the same cache state.
+    """
+    from repro.experiment.engine import cached_keyring, cached_verdict
+
+    for spec in sweep:
+        if spec.family != "bsm":
+            continue
+        cached_verdict(spec.setting())
+        if spec.authenticated:
+            cached_keyring(spec.k)
+
+
+def _pin_runtime(sweep: Sweep, runtime: str) -> Sweep:
+    """The sweep with every bsm spec pinned to ``runtime``."""
+    if runtime == "lockstep":
+        return sweep
+    pinned: list[ScenarioSpec] = []
+    for spec in sweep:
+        pinned.append(replace(spec, runtime=runtime) if spec.family == "bsm" else spec)
+    return Sweep.of(*pinned)
+
+
+class BenchRunner:
+    """Execute registry cases and produce :class:`BenchResult` rows.
+
+    ``tier`` picks the workload size (``quick``/``full``/``scale``);
+    ``session`` is shared across every case the runner executes, so the
+    process-level memos (solvability verdicts, keyrings) amortize the
+    way they do for real callers.
+    """
+
+    def __init__(self, tier: str = "quick", session: Session | None = None) -> None:
+        self.tier = tier
+        self.session = session if session is not None else Session()
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, case: BenchCase | str) -> BenchResult:
+        """Run one case at the runner's tier (never raises for red runs —
+        workload errors become failed results so a suite keeps going)."""
+        if isinstance(case, str):
+            case = bench_case(case)
+        try:
+            return self._run(case)
+        except ReproError as exc:
+            return BenchResult(
+                case=case.name,
+                tier=self.tier,
+                ok=False,
+                wall_seconds=0.0,
+                runs=0,
+                rounds=0,
+                messages=0,
+                bytes=0,
+                failures=(f"error: {exc}",),
+                environment=environment_fingerprint(),
+            )
+
+    def _run(self, case: BenchCase) -> BenchResult:
+        phases: list[tuple[str, float]] = []
+        started = time.perf_counter()
+        sweep = _pin_runtime(case.sweep(self.tier), case.runtime)
+        _warm_process_memos(sweep)
+        phases.append(("build", time.perf_counter() - started))
+
+        failures: list[str] = []
+        canonical: RunRecordSet | None = None
+        canonical_json = ""
+        cache_stats: dict = {}
+        executor_seconds: dict[str, float] = {}
+        for executor in case.executors:
+            records = self.session.sweep(sweep, executor=executor)
+            phases.append((f"sweep[{executor}]", records.elapsed_seconds))
+            executor_seconds[executor] = records.elapsed_seconds
+            if records.cache_stats:
+                cache_stats = dict(records.cache_stats)
+            if canonical is None:
+                canonical = records
+                canonical_json = records.to_json()
+            elif records.to_json() != canonical_json:
+                failures.append(
+                    f"executor {executor!r} records diverge from "
+                    f"{case.executors[0]!r} (determinism regression)"
+                )
+
+        assert canonical is not None  # executors is validated non-empty
+        if case.check is not None:
+            failures.extend(case.check(canonical, self.tier))
+
+        metrics: dict[str, float] = {}
+        base = case.executors[0]
+        for executor in case.executors[1:]:
+            if executor_seconds[executor] > 0:
+                metrics[f"speedup_{executor}_vs_{base}"] = round(
+                    executor_seconds[base] / executor_seconds[executor], 3
+                )
+        if case.metrics is not None:
+            metrics.update(
+                {str(k): float(v) for k, v in case.metrics(canonical, self.tier).items()}
+            )
+
+        wall = time.perf_counter() - started
+        rounds = sum(canonical.column("rounds"))
+        reference = executor_seconds[base]
+        return BenchResult(
+            case=case.name,
+            tier=self.tier,
+            ok=not failures,
+            wall_seconds=round(wall, 6),
+            runs=len(canonical),
+            rounds=rounds,
+            messages=sum(canonical.column("messages")),
+            bytes=sum(canonical.column("bytes")),
+            per_round_seconds=round(reference / rounds, 9) if rounds else 0.0,
+            per_run_seconds=round(reference / len(canonical), 9) if len(canonical) else 0.0,
+            phases=tuple((name, round(seconds, 6)) for name, seconds in phases),
+            failures=tuple(failures),
+            metrics=metrics,
+            cache=cache_stats,
+            environment=environment_fingerprint(),
+        )
+
+    def run_many(
+        self, cases: Iterable[BenchCase | str] | None = None
+    ) -> tuple[BenchResult, ...]:
+        """Run several cases (default: the whole registry), in order."""
+        from repro.bench.registry import all_cases
+
+        selected: Sequence[BenchCase | str] = (
+            tuple(cases) if cases is not None else all_cases()
+        )
+        return tuple(self.run(case) for case in selected)

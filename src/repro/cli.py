@@ -13,7 +13,10 @@ Commands:
 * ``sweep`` — execute a preset (or grid) batch on a serial, batched,
   or process-pool executor and print/export the aggregates;
 * ``attack`` — run one of the paper's impossibility constructions;
-* ``table`` — print the full characterization table for a given ``k``.
+* ``table`` — print the full characterization table for a given ``k``;
+* ``bench`` — the registry-driven benchmark harness: list cases, run
+  suites, emit ``BENCH_<case>.json``, and gate against a baseline
+  (see :mod:`repro.bench`).
 """
 
 from __future__ import annotations
@@ -133,6 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--k", type=int, default=3)
 
     sub.add_parser("paper", help="print the paper-to-code map")
+
+    bench = sub.add_parser(
+        "bench", help="run registry benchmarks and gate against baselines"
+    )
+    from repro.bench.cli import add_bench_arguments
+
+    add_bench_arguments(bench)
 
     return parser
 
@@ -312,6 +322,12 @@ def _cmd_paper(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench.cli import cmd_bench
+
+    return cmd_bench(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -324,6 +340,7 @@ def main(argv: list[str] | None = None) -> int:
         "attack": _cmd_attack,
         "table": _cmd_table,
         "paper": _cmd_paper,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

@@ -18,11 +18,12 @@ exactly over integers (``tL < k/3`` is ``3*tL < k``).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.core.problem import Setting
 
-__all__ = ["SolvabilityVerdict", "is_solvable", "RECIPES"]
+__all__ = ["SolvabilityVerdict", "is_solvable", "cached_is_solvable", "RECIPES"]
 
 RECIPES = (
     "bb_direct",
@@ -154,3 +155,11 @@ def is_solvable(setting: Setting) -> SolvabilityVerdict:
         theorem="Theorem 3 / Lemma 7",
         reason="a side with >= k/2 corruptions cuts the majority relay",
     )
+
+
+#: The oracle, memoized process-wide.  Verdicts are pure functions of
+#: the (hashable, frozen) setting, and every layer that walks the
+#: characterization grid — sweep expansion, the frontier preset, the
+#: engine, the bench harness — shares this one memo instead of each
+#: re-deriving the same few hundred verdicts per batch.
+cached_is_solvable = functools.lru_cache(maxsize=4096)(is_solvable)

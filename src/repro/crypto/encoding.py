@@ -104,6 +104,14 @@ class EncodeMemo:
         #: (child canonical ids...) -> (pinned obj, canonical bytes, canonical id)
         self._structs: dict[tuple, tuple[object, bytes, int]] = {}
 
+    def entry_counts(self) -> dict:
+        """Sizes of the three memo tables (for cache introspection)."""
+        return {
+            "identity_entries": len(self._by_id),
+            "leaf_entries": len(self._leaves),
+            "struct_entries": len(self._structs),
+        }
+
     def _memoized_encode(self, value: object) -> bytes:
         """Encode ``value``, registering identity + canonical entries.
 

@@ -17,6 +17,7 @@ __all__ = [
     "SignatureError",
     "AdversaryError",
     "SolvabilityError",
+    "BenchError",
 ]
 
 
@@ -54,3 +55,7 @@ class AdversaryError(ReproError):
 
 class SolvabilityError(ReproError):
     """A setting was queried or executed outside its meaningful domain."""
+
+
+class BenchError(ReproError):
+    """A benchmark case, result, or baseline is malformed or unknown."""

@@ -38,7 +38,7 @@ from repro.core.runner import (
     prepare_bsm,
     run_bsm,
 )
-from repro.core.solvability import SolvabilityVerdict, is_solvable
+from repro.core.solvability import SolvabilityVerdict, cached_is_solvable
 from repro.crypto.signatures import KeyRing
 from repro.errors import SolvabilityError
 from repro.experiment.records import RunRecord, RunRecordSet
@@ -75,10 +75,10 @@ def _implied_executor(executor: str | None, workers: int | None) -> str:
 # -- memoized pure values (per process; workers build their own) ---------------
 
 
-@functools.lru_cache(maxsize=4096)
-def cached_verdict(setting: Setting) -> SolvabilityVerdict:
-    """The solvability oracle, memoized across runs."""
-    return is_solvable(setting)
+#: The solvability oracle, memoized across runs — one shared memo with
+#: sweep-grid expansion and the frontier preset (see
+#: :data:`repro.core.solvability.cached_is_solvable`).
+cached_verdict = cached_is_solvable
 
 
 @functools.lru_cache(maxsize=64)
@@ -443,13 +443,15 @@ def execute_spec(spec: ScenarioSpec, *, cache=NO_CACHE, trace=None) -> tuple[Run
 
 def _execute_batched(
     specs: Sequence[ScenarioSpec], trace=None
-) -> tuple[RunRecord, ...]:
+) -> tuple[tuple[RunRecord, ...], ExecutionCache]:
     """The single-worker fast path: one shared-cache batched round loop.
 
     Every runnable bsm spec is compiled to a plan and scheduled through
     one :class:`~repro.runtime.BatchRuntime`; other families (and specs
     pinned to the event runtime) execute in place.  Records come back
-    in spec order and are byte-identical to the serial executor's.
+    in spec order and are byte-identical to the serial executor's; the
+    batch's :class:`~repro.runtime.ExecutionCache` is returned alongside
+    so callers (the bench runner) can read its hit statistics.
     """
     cache = ExecutionCache()
     runtime = BatchRuntime(cache)
@@ -471,7 +473,7 @@ def _execute_batched(
         rows[i] = (
             _bsm_record(spec, prepared.verdict, adversary_kind, corrupted, report),
         )
-    return tuple(record for row in rows for record in row)
+    return tuple(record for row in rows for record in row), cache
 
 
 def _pool_worker(payload: dict) -> list[dict]:
@@ -528,6 +530,7 @@ class Engine:
                 "structured tracing requires an in-process executor "
                 "('serial' or 'batch'), not the process pool"
             )
+        cache_stats: dict = {}
         if self.executor == "process" and len(specs) > 1:
             payloads = [spec.to_dict() for spec in specs]
             chunksize = max(1, len(payloads) // (self.workers * 4))
@@ -541,7 +544,8 @@ class Engine:
                 RunRecord.from_dict(row) for rows in rows_per_spec for row in rows
             )
         elif self.executor == "batch":
-            records = _execute_batched(specs, trace=trace)
+            records, cache = _execute_batched(specs, trace=trace)
+            cache_stats = cache.stats()
         else:
             records = tuple(
                 record for spec in specs for record in execute_spec(spec, trace=trace)
@@ -550,6 +554,7 @@ class Engine:
             records=records,
             elapsed_seconds=time.perf_counter() - started,
             executor=self.executor,
+            cache_stats=cache_stats,
         )
 
     def run_adaptive(

@@ -28,7 +28,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.core.problem import Setting
-from repro.core.solvability import is_solvable
+from repro.core.solvability import cached_is_solvable
 from repro.errors import SolvabilityError
 from repro.experiment.spec import (
     AdversarySpec,
@@ -132,7 +132,7 @@ def frontier(ks: tuple[int, ...] = (3, 4)) -> Sweep:
                 for tL in range(k + 1):
                     last_solvable: int | None = None
                     for tR in range(k + 1):
-                        if is_solvable(Setting(topology, auth, k, tL, tR)).solvable:
+                        if cached_is_solvable(Setting(topology, auth, k, tL, tR)).solvable:
                             last_solvable = tR
                         elif last_solvable is not None:
                             break

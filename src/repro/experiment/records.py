@@ -101,6 +101,10 @@ class RunRecordSet:
     records: tuple[RunRecord, ...] = ()
     elapsed_seconds: float = field(default=0.0, compare=False)
     executor: str = field(default="", compare=False)
+    #: Shared-cache statistics when a batch executor ran (hit rates per
+    #: memo family); empty otherwise.  Metadata like the timing fields:
+    #: excluded from equality and serialization.
+    cache_stats: dict = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
         self.records = tuple(self.records)
@@ -121,6 +125,7 @@ class RunRecordSet:
             records=self.records + tuple(other),
             elapsed_seconds=self.elapsed_seconds + getattr(other, "elapsed_seconds", 0.0),
             executor=self.executor or getattr(other, "executor", ""),
+            cache_stats=dict(self.cache_stats or getattr(other, "cache_stats", {})),
         )
 
     # -- columnar views -------------------------------------------------------

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.problem import Setting
-from repro.core.solvability import RECIPES, is_solvable
+from repro.core.solvability import RECIPES, cached_is_solvable
 from repro.errors import SolvabilityError
 from repro.ids import PartyId, left_side, parse_party, right_side
 from repro.matching.generators import (
@@ -621,7 +621,9 @@ class Sweep:
                             pairs = [
                                 (tL, tR)
                                 for tL, tR in pairs
-                                if is_solvable(Setting(topology, auth, k, tL, tR)).solvable
+                                if cached_is_solvable(
+                                    Setting(topology, auth, k, tL, tR)
+                                ).solvable
                             ]
                         elif budgets != "all":
                             raise SolvabilityError(

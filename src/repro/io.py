@@ -33,6 +33,10 @@ __all__ = [
     "records_to_csv",
     "dump_trace",
     "load_trace",
+    "dump_bench",
+    "load_bench",
+    "dump_baseline",
+    "load_baseline",
 ]
 
 
@@ -176,6 +180,43 @@ def records_to_csv(records, path) -> None:
     """Write a record set as CSV (one row per run, scalar columns)."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(records.to_csv())
+
+
+# -- benchmark results and baselines -------------------------------------------
+
+
+def dump_bench(result, path) -> None:
+    """Write a :class:`~repro.bench.BenchResult` as ``BENCH_<case>.json``.
+
+    Stable JSON (sorted keys, indented) so committed trajectory points
+    diff cleanly across commits.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result.to_json())
+
+
+def load_bench(path):
+    """Read back a result written by :func:`dump_bench` (schema-checked)."""
+    from repro.bench.result import BenchResult
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return BenchResult.from_json(handle.read())
+
+
+def dump_baseline(baseline, path) -> None:
+    """Write a bench baseline dictionary (see :mod:`repro.bench.compare`)."""
+    from repro.bench.compare import baseline_to_json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(baseline_to_json(baseline))
+
+
+def load_baseline(path) -> dict:
+    """Read and validate a baseline written by :func:`dump_baseline`."""
+    from repro.bench.compare import baseline_from_json
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return baseline_from_json(handle.read())
 
 
 # -- structured kernel traces --------------------------------------------------

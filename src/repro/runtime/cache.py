@@ -40,8 +40,15 @@ class NullExecutionCache:
     """The no-op cache: every operation computes directly.
 
     This is what the reference :class:`~repro.runtime.LockstepRuntime`
-    uses, keeping its per-run behavior (and performance envelope)
-    identical to the historical ``SyncNetwork``.
+    uses, keeping its per-run behavior identical to the historical
+    ``SyncNetwork``.  The one amortization it does hand out is
+    :meth:`sizer` — a *per-run* byte-accounting memo: broadcasts size
+    the same payload object once per recipient per round, so even the
+    uncached reference path deduplicates that pure computation (a
+    measured ~15-20% of serial sweep wall-clock; see
+    ``docs/benchmarks.md``).  Byte counts are unchanged — the memo is
+    the same :class:`~repro.crypto.encoding.EncodeMemo` machinery the
+    batched runtime already proves semantics-preserving.
     """
 
     def payload_size(self, payload: object) -> int:
@@ -51,6 +58,24 @@ class NullExecutionCache:
     def encode_memo(self):
         """The shared :class:`EncodeMemo`, if any (None = uncached)."""
         return None
+
+    def sizer(self):
+        """A byte-accounting function for ONE run (fresh memo each call).
+
+        The memo pins the payloads it sizes for the run's lifetime (an
+        :class:`EncodeMemo` stores only provably immutable values, so
+        entries can never go stale); scoping it to a single engine keeps
+        memory bounded by one run's payload set.
+        """
+        memo = EncodeMemo()
+
+        def payload_size(payload: object) -> int:
+            try:
+                return len(encode(payload, memo))
+            except ProtocolError:
+                return len(repr(payload).encode("utf-8"))
+
+        return payload_size
 
     def signer_for(self, keyring: KeyRing, party: PartyId):
         """The signing handle a party's context should carry."""
@@ -87,6 +112,15 @@ class ExecutionCache(NullExecutionCache):
         self._signatures: dict[tuple, Signature] = {}
         self._verdicts: dict[tuple, bool] = {}
         self._memo: dict[object, object] = {}
+        # Hit/miss counters per memo family — the bench subsystem reads
+        # these through stats(); the increments are trivially cheap next
+        # to the HMAC/encode work they stand in for.
+        self._sign_hits = 0
+        self._sign_misses = 0
+        self._verify_hits = 0
+        self._verify_misses = 0
+        self._memo_hits = 0
+        self._memo_misses = 0
 
     # -- canonical bytes ---------------------------------------------------------
 
@@ -103,6 +137,10 @@ class ExecutionCache(NullExecutionCache):
         except ProtocolError:
             return len(repr(payload).encode("utf-8"))
 
+    def sizer(self):
+        """Byte accounting through the batch-shared memo (no per-run memo)."""
+        return self.payload_size
+
     # -- signatures --------------------------------------------------------------
 
     def sign(self, keyring: KeyRing, signer: PartyId, payload: object) -> Signature:
@@ -115,8 +153,11 @@ class ExecutionCache(NullExecutionCache):
         key = (id(keyring), signer, encoded)
         signature = self._signatures.get(key)
         if signature is None:
+            self._sign_misses += 1
             signature = keyring._sign_as(signer, payload, encoded=encoded)
             self._signatures[key] = signature
+        else:
+            self._sign_hits += 1
         return signature
 
     def verify(
@@ -132,8 +173,11 @@ class ExecutionCache(NullExecutionCache):
         key = (id(keyring), signer, encoded, signature.tag)
         verdict = self._verdicts.get(key)
         if verdict is None:
+            self._verify_misses += 1
             verdict = keyring.verify(signer, payload, signature, encoded=encoded)
             self._verdicts[key] = verdict
+        else:
+            self._verify_hits += 1
         return verdict
 
     def signer_for(self, keyring: KeyRing, party: PartyId) -> "CachedSigner":
@@ -148,9 +192,42 @@ class ExecutionCache(NullExecutionCache):
         except TypeError:
             return build()
         if value is None:
+            self._memo_misses += 1
             value = build()
             self._memo[key] = value
+        else:
+            self._memo_hits += 1
         return value
+
+    # -- introspection -------------------------------------------------------------
+
+    @staticmethod
+    def _family(hits: int, misses: int, entries: int) -> dict:
+        total = hits + misses
+        return {
+            "entries": entries,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / total, 4) if total else 0.0,
+        }
+
+    def stats(self) -> dict:
+        """Hit/miss statistics per memo family (plain JSON-ready dict).
+
+        ``encode`` reports entry counts only — the identity-map fast
+        path is too hot to count on, and its sharing shows up in the
+        signature/verification hit rates anyway.
+        """
+        return {
+            "signatures": self._family(
+                self._sign_hits, self._sign_misses, len(self._signatures)
+            ),
+            "verifications": self._family(
+                self._verify_hits, self._verify_misses, len(self._verdicts)
+            ),
+            "memo": self._family(self._memo_hits, self._memo_misses, len(self._memo)),
+            "encode": self._bytes.entry_counts(),
+        }
 
 
 #: The shared null cache (stateless, safe to reuse everywhere).

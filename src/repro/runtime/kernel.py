@@ -175,7 +175,10 @@ class RoundEngine:
         self.label = label
 
         self._cache = cache if cache is not None else NO_CACHE
-        self._payload_size = self._cache.payload_size
+        # One sizing function per engine: the shared batch memo when the
+        # cache provides one, otherwise a fresh per-run memo (broadcasts
+        # size each payload object once, not once per recipient).
+        self._payload_size = self._cache.sizer()
         self._drop_rule = drop_rule
         self._trace_sink = trace_sink
         self._processes: dict[PartyId, Process] = dict(processes)

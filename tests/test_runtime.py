@@ -230,6 +230,49 @@ class TestExecutionCache:
         assert cache.memo("key", build) is cache.memo("key", build)
         assert len(calls) == 1
 
+    def test_stats_track_hits_and_misses(self):
+        cache = ExecutionCache()
+        ring = KeyRing(left_side(2) + right_side(2))
+        party = left_party(0)
+        sig = cache.sign(ring, party, ("vote", 1))
+        cache.sign(ring, party, ("vote", 1))
+        cache.verify(ring, party, ("vote", 1), sig)
+        cache.verify(ring, party, ("vote", 1), sig)
+        cache.verify(ring, party, ("vote", 1), sig)
+        stats = cache.stats()
+        assert stats["signatures"] == {
+            "entries": 1, "hits": 1, "misses": 1, "hit_rate": 0.5,
+        }
+        assert stats["verifications"]["hits"] == 2
+        assert stats["verifications"]["misses"] == 1
+        assert stats["encode"]["identity_entries"] > 0
+
+    def test_null_cache_sizer_matches_direct_sizes(self):
+        """The per-run size memo is semantics-preserving: every payload
+        class — canonicalizable, unhashable, unencodable — sizes exactly
+        as the uncached rule, and repeated sizings of one object agree."""
+        from repro.runtime.cache import NO_CACHE
+
+        sizer = NO_CACHE.sizer()
+        payloads = [
+            ("msg", left_party(0), (1, 2, 3)),
+            ("x", {1: [2]}),
+            True,
+            1,
+            1.0,
+        ]
+        for payload in payloads:
+            assert sizer(payload) == encoded_size(payload)
+            assert sizer(payload) == encoded_size(payload)  # memo hit path
+
+        class Foreign:
+            def __repr__(self):
+                return "foreign"
+
+        assert sizer(Foreign()) == len(b"foreign")
+        # Each sizer() call is a fresh memo (per-run scoping).
+        assert NO_CACHE.sizer() is not sizer
+
     def test_cross_type_equal_payloads_do_not_collide(self):
         """``True == 1 == 1.0`` must not share cache entries anywhere.
 
