@@ -14,6 +14,12 @@ in a JSON spec, a CLI flag, and a process-pool worker.
 
 Every canned mutator is deterministic and parameter-free (parameters
 are baked in by the constructor), so runs stay reproducible.
+
+Mutators *compose*: ``resolve_mutator("reverse_even+drop_odd")`` builds
+the sequential application of the named primitives (a dropped payload
+stays dropped), so the conformance harness's adversary search
+(:mod:`repro.conform.search`) can explore the strategy space while
+every explored strategy remains a serializable name.
 """
 
 from __future__ import annotations
@@ -27,9 +33,13 @@ __all__ = [
     "Mutator",
     "MUTATORS",
     "resolve_mutator",
+    "compose_mutators",
     "reverse_even_mutator",
     "reverse_all_mutator",
     "drop_even_mutator",
+    "drop_odd_mutator",
+    "swap_adjacent_mutator",
+    "lie_to_first_mutator",
 ]
 
 #: ``(round, recipient, payload) -> payload`` — ``None`` drops the message.
@@ -89,21 +99,98 @@ def drop_even_mutator() -> Mutator:
     return mutate
 
 
+def drop_odd_mutator() -> Mutator:
+    """Selective omission, complementary split: odd-index recipients starve."""
+
+    def mutate(round_now: int, dst: PartyId, payload: object) -> object:
+        if dst.index % 2 == 1:
+            return None
+        return payload
+
+    return mutate
+
+
+def _swap_adjacent(payload: object) -> object:
+    """Swap the first two entries of every tuple-of-PartyId in ``payload``.
+
+    The minimal reorder lie: the list stays a valid permutation but its
+    top choice changes — a targeted perturbation rather than the full
+    reversal.
+    """
+    if isinstance(payload, tuple):
+        if len(payload) >= 2 and all(isinstance(x, PartyId) for x in payload):
+            return (payload[1], payload[0]) + payload[2:]
+        return tuple(_swap_adjacent(x) for x in payload)
+    return payload
+
+
+def swap_adjacent_mutator() -> Mutator:
+    """Reorder lie: swap the top two preference entries, for everyone."""
+
+    def mutate(round_now: int, dst: PartyId, payload: object) -> object:
+        return _swap_adjacent(payload)
+
+    return mutate
+
+
+def lie_to_first_mutator() -> Mutator:
+    """Targeted lie: reversed preference lists, but only to index-0 parties.
+
+    The narrowest equivocation — one recipient per side hears a
+    different story; everyone else hears the truth.
+    """
+
+    def mutate(round_now: int, dst: PartyId, payload: object) -> object:
+        if dst.index == 0:
+            return _reverse_party_tuples(payload)
+        return payload
+
+    return mutate
+
+
 #: Registry of named mutator constructors (call to get a fresh mutator).
 MUTATORS: dict[str, Callable[[], Mutator]] = {
     "reverse_even": reverse_even_mutator,
     "reverse_all": reverse_all_mutator,
     "drop_even": drop_even_mutator,
+    "drop_odd": drop_odd_mutator,
+    "swap_adjacent": swap_adjacent_mutator,
+    "lie_to_first": lie_to_first_mutator,
 }
 
 
+def compose_mutators(*mutators: Mutator) -> Mutator:
+    """Sequential composition: each mutator sees the previous one's output.
+
+    ``None`` (a dropped message) short-circuits — once withheld, a
+    payload stays withheld.
+    """
+
+    def mutate(round_now: int, dst: PartyId, payload: object) -> object:
+        for mutator in mutators:
+            if payload is None:
+                return None
+            payload = mutator(round_now, dst, payload)
+        return payload
+
+    return mutate
+
+
 def resolve_mutator(spec: str | Mutator | None) -> Mutator | None:
-    """Turn a mutator name (or a ready callable, or ``None``) into a mutator."""
+    """Turn a mutator name (or a ready callable, or ``None``) into a mutator.
+
+    Composite names join primitives with ``+`` (``"reverse_even+drop_odd"``)
+    and resolve to their sequential composition.
+    """
     if spec is None or callable(spec):
         return spec
     try:
-        return MUTATORS[spec]()
+        parts = [MUTATORS[name]() for name in spec.split("+")]
     except KeyError as exc:
         raise AdversaryError(
-            f"unknown mutator {spec!r}; known: {sorted(MUTATORS)}"
+            f"unknown mutator {spec!r}; known primitives: {sorted(MUTATORS)} "
+            "(compose with '+')"
         ) from exc
+    if len(parts) == 1:
+        return parts[0]
+    return compose_mutators(*parts)

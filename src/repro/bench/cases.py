@@ -506,6 +506,59 @@ register(
 )
 
 
+# -- V1: conformance-ensemble throughput ---------------------------------------
+
+_CONFORM_COUNTS = {"quick": 40, "full": 200, "scale": 800}
+
+
+def _conform_workload(tier: str) -> Sweep:
+    """A generated conformance ensemble, sized by tier.
+
+    The exact scenario stream the ``repro conform`` harness fuzzes with
+    (seed 0), so fuzzing speed enters the bench trajectory: a slowdown
+    here is a slowdown of every conformance run's scenario budget.
+    """
+    from repro.conform.generators import EnsembleConfig, generate_scenarios
+
+    specs = generate_scenarios(
+        EnsembleConfig(), seed=0, count=_CONFORM_COUNTS[tier]
+    )
+    return Sweep.of(*specs)
+
+
+def _conform_check(records: RunRecordSet, tier: str) -> tuple[str, ...]:
+    # Link-faulted runs may legitimately fail properties; everything on
+    # clean channels must pass (the solvable_ok oracle's claim).
+    return tuple(
+        f"{record.scenario}: conformance scenario failed: {record.violations}"
+        for record in records.failures
+        if not record.link
+    )
+
+
+def _conform_metrics(records: RunRecordSet, tier: str) -> Mapping[str, float]:
+    families: dict[str, int] = {}
+    for record in records:
+        families[record.family] = families.get(record.family, 0) + 1
+    metrics: dict[str, float] = {
+        f"scenarios_{family}": count for family, count in sorted(families.items())
+    }
+    metrics["scenarios_lossy"] = sum(1 for record in records if record.link)
+    return metrics
+
+
+register(
+    BenchCase(
+        name="conform_throughput",
+        title="V1 — conformance-ensemble fuzzing throughput (seeded scenario stream)",
+        workload=_conform_workload,
+        executors=("serial", "batch"),
+        check=_conform_check,
+        metrics=_conform_metrics,
+    )
+)
+
+
 # -- X1: the roommates extension -----------------------------------------------
 
 _ROOMMATES_NS = {"quick": (4, 6), "full": (4, 6, 8, 10), "scale": (8, 12, 16)}
@@ -544,20 +597,16 @@ def _roommates_check(records: RunRecordSet, tier: str) -> tuple[str, ...]:
 def _solvable_fraction(n: int, samples: int) -> float:
     """Fraction of random roommates instances with a stable solution."""
     from repro.core.roommates_bsm import RoommatesSetting
-    from repro.matching.generators import resolve_rng
+    from repro.matching.generators import random_roommates_preferences, resolve_rng
     from repro.matching.roommates import stable_roommates
 
     rng = resolve_rng(0)
     parties = RoommatesSetting(n=n, t=0, authenticated=True).parties()
-    solvable = 0
-    for _ in range(samples):
-        preferences = {}
-        for party in parties:
-            others = [p for p in parties if p != party]
-            rng.shuffle(others)
-            preferences[party] = tuple(others)
-        if stable_roommates(preferences).solvable:
-            solvable += 1
+    solvable = sum(
+        1
+        for _ in range(samples)
+        if stable_roommates(random_roommates_preferences(parties, rng)).solvable
+    )
     return solvable / samples
 
 

@@ -16,7 +16,10 @@ Commands:
 * ``table`` — print the full characterization table for a given ``k``;
 * ``bench`` — the registry-driven benchmark harness: list cases, run
   suites, emit ``BENCH_<case>.json``, and gate against a baseline
-  (see :mod:`repro.bench`).
+  (see :mod:`repro.bench`);
+* ``conform`` — the conformance harness: seeded scenario fuzzing with
+  differential oracles, adversary strategy search, and counterexample
+  shrinking into replayable repro files (see :mod:`repro.conform`).
 """
 
 from __future__ import annotations
@@ -68,9 +71,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--mutator",
-            choices=sorted(MUTATORS),
             default="reverse_even",
-            help="canned equivocation mutator (with --adversary equivocate)",
+            metavar="NAME",
+            help="canned equivocation mutator (with --adversary equivocate): "
+            f"one of {', '.join(sorted(MUTATORS))}, or a '+'-composition "
+            "like swap_adjacent+drop_odd",
         )
         p.add_argument("--recipe", default=None, help="force a protocol recipe")
         p.add_argument(
@@ -144,6 +149,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_bench_arguments(bench)
 
+    conform = sub.add_parser(
+        "conform",
+        help="conformance harness: fuzz scenarios, check oracles, shrink repros",
+    )
+    from repro.conform.cli import add_conform_arguments
+
+    add_conform_arguments(conform)
+
     return parser
 
 
@@ -166,6 +179,15 @@ def _spec_from_args(args) -> ScenarioSpec | None:
         if not args.corrupt:
             print("error: --adversary requires --corrupt PARTY [PARTY ...]", file=sys.stderr)
             return None
+        if args.adversary == "equivocate":
+            from repro.adversary.mutators import resolve_mutator
+            from repro.errors import AdversaryError
+
+            try:
+                resolve_mutator(args.mutator)
+            except AdversaryError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return None
         adversary = AdversarySpec(
             kind=args.adversary,
             corrupt=tuple(args.corrupt),
@@ -328,6 +350,12 @@ def _cmd_bench(args) -> int:
     return cmd_bench(args)
 
 
+def _cmd_conform(args) -> int:
+    from repro.conform.cli import cmd_conform
+
+    return cmd_conform(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -341,6 +369,7 @@ def main(argv: list[str] | None = None) -> int:
         "table": _cmd_table,
         "paper": _cmd_paper,
         "bench": _cmd_bench,
+        "conform": _cmd_conform,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,82 @@
+"""The conformance harness: systematic adversarial probing as a subsystem.
+
+The paper's guarantees (BSM with strong unanimity, the PIBSM
+solvability characterization, the roommates extension) survive only
+under systematic probing.  This package turns the hand-written attacks
+and sampled property tests into machinery:
+
+* :mod:`repro.conform.generators` — seed-reproducible random scenario
+  ensembles (:class:`EnsembleConfig` → :class:`~repro.experiment.ScenarioSpec`
+  streams) that flow through the normal ``Session``/``Engine`` path;
+* :mod:`repro.conform.oracles` — declarative invariant checks
+  (success on solvable settings, honest agreement, verdict/record
+  consistency, cross-runtime byte-identity) with structured
+  :class:`Violation` reports and a registry tests can extend;
+* :mod:`repro.conform.search` — an adversary strategy enumerator that
+  composes the :mod:`repro.adversary.mutators` primitives and greedily
+  explores the strategy space for oracle violations;
+* :mod:`repro.conform.shrink` — counterexample minimization: fewer
+  parties, smaller budgets, simpler lies, until the violation is
+  1-minimal;
+* :mod:`repro.conform.harness` — ties it together:
+  :func:`run_conformance` produces a deterministic
+  :class:`ConformanceReport` plus self-contained :class:`ReproFile`
+  artifacts that ``repro conform replay`` re-judges.
+"""
+
+from repro.conform.generators import (
+    EnsembleConfig,
+    chaos_mutator,
+    generate_scenarios,
+    scenario_stream,
+)
+from repro.conform.harness import (
+    ConformanceReport,
+    ReproFile,
+    replay_repro,
+    run_conformance,
+)
+from repro.conform.oracles import (
+    ORACLES,
+    Oracle,
+    OracleContext,
+    Violation,
+    default_oracle_names,
+    differential_sweep,
+    register_oracle,
+    resolve_oracles,
+    unregister_oracle,
+)
+from repro.conform.search import (
+    SearchResult,
+    Strategy,
+    enumerate_strategies,
+    search_adversaries,
+)
+from repro.conform.shrink import ShrinkResult, shrink
+
+__all__ = [
+    "EnsembleConfig",
+    "generate_scenarios",
+    "scenario_stream",
+    "chaos_mutator",
+    "Oracle",
+    "OracleContext",
+    "Violation",
+    "ORACLES",
+    "register_oracle",
+    "unregister_oracle",
+    "resolve_oracles",
+    "default_oracle_names",
+    "differential_sweep",
+    "Strategy",
+    "SearchResult",
+    "enumerate_strategies",
+    "search_adversaries",
+    "ShrinkResult",
+    "shrink",
+    "ReproFile",
+    "ConformanceReport",
+    "run_conformance",
+    "replay_repro",
+]

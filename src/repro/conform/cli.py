@@ -1,0 +1,197 @@
+"""The ``repro conform`` subcommand: run / replay / report / search.
+
+* ``repro conform run --seed 0 --budget 100`` — draw a seeded scenario
+  ensemble, evaluate every oracle, shrink violations into repro files
+  (``--repro-dir``), optionally archive the deterministic report JSON
+  (``--out``).  Exit 0 = all oracles green, 1 = violations found.
+* ``repro conform replay FILE`` — re-execute a repro file's shrunk
+  scenario and re-evaluate its oracle.  Exit 0 = violation reproduced,
+  1 = not reproduced (fixed, or flaky), 2 = malformed file.
+* ``repro conform report FILE`` — print a previously archived report.
+* ``repro conform search`` — adversary strategy search over a small
+  generated ensemble: enumerate and greedily compose mutator
+  primitives, reporting the best-scoring strategy per scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ConformError, ReproError
+
+__all__ = ["add_conform_arguments", "cmd_conform"]
+
+
+def add_conform_arguments(conform: argparse.ArgumentParser) -> None:
+    """Attach the conform sub-subcommands to an (already created) subparser."""
+    sub = conform.add_subparsers(dest="conform_command", required=True)
+
+    run = sub.add_parser("run", help="run a seeded conformance ensemble")
+    run.add_argument("--seed", type=int, default=0, help="ensemble seed")
+    run.add_argument(
+        "--budget", type=int, default=100, metavar="N",
+        help="ensemble size (scenario count; deterministic per seed)",
+    )
+    run.add_argument(
+        "--oracles", nargs="*", default=None, metavar="NAME",
+        help="oracle names to evaluate (default: all built-ins)",
+    )
+    run.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="archive the (deterministic) report JSON here",
+    )
+    run.add_argument(
+        "--repro-dir", default="conform-repros", metavar="DIR",
+        help="write shrunk violation repro files here (default: conform-repros)",
+    )
+    run.add_argument(
+        "--no-shrink", action="store_true",
+        help="capture violations without minimizing them",
+    )
+
+    replay = sub.add_parser("replay", help="re-check a violation repro file")
+    replay.add_argument("file", metavar="REPRO", help="a repro_<oracle>_<n>.json file")
+
+    report = sub.add_parser("report", help="print an archived conformance report")
+    report.add_argument("file", metavar="REPORT", help="a report JSON from `conform run --out`")
+
+    search = sub.add_parser("search", help="adversary strategy search for violations")
+    search.add_argument("--seed", type=int, default=0, help="ensemble seed")
+    search.add_argument(
+        "--budget", type=int, default=5, metavar="N",
+        help="number of base scenarios to search from",
+    )
+    search.add_argument(
+        "--depth", type=int, default=2, metavar="D",
+        help="maximum composed mutator primitives per strategy",
+    )
+
+
+def _cmd_run(args) -> int:
+    from repro.conform.harness import run_conformance
+
+    if args.budget < 0:
+        print(f"error: --budget must be >= 0, got {args.budget}", file=sys.stderr)
+        return 2
+    try:
+        report = run_conformance(
+            seed=args.seed,
+            budget=args.budget,
+            oracles=args.oracles,
+            shrink_violations=not args.no_shrink,
+            repro_dir=args.repro_dir,
+        )
+    except ConformError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot write repro files to {args.repro_dir}: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    for violation in report.violations:
+        print(f"  VIOLATION [{violation.oracle}] {violation.scenario}: {violation.message}")
+    if report.repro_paths:
+        print(f"{len(report.repro_paths)} repro file(s) written to {args.repro_dir}:")
+        for name in report.repro_paths:
+            print(f"  {name}")
+    if args.out:
+        from repro.io import dump_conform_report
+
+        try:
+            dump_conform_report(report, args.out)
+        except OSError as exc:
+            print(f"error: cannot write report to {args.out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"report written to {args.out}")
+    return 0 if report.ok else 1
+
+
+def _cmd_replay(args) -> int:
+    from repro.conform.harness import replay_repro
+    from repro.io import load_repro
+
+    try:
+        repro = load_repro(args.file)
+    except (OSError, ConformError) as exc:
+        print(f"error: cannot load repro file {args.file}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        reproduced, violations = replay_repro(repro)
+    except ConformError as exc:
+        print(f"error: cannot replay {args.file}: {exc}", file=sys.stderr)
+        return 2
+    print(f"repro [{repro.oracle}] {repro.spec.label()} (shrunk in {repro.shrink_steps} steps)")
+    if reproduced:
+        print("REPRODUCED:")
+        for violation in violations:
+            print(f"  [{violation.oracle}] {violation.scenario}: {violation.message}")
+        return 0
+    print("not reproduced (fixed, or the recorded oracle no longer fires)")
+    return 1
+
+
+def _cmd_report(args) -> int:
+    from repro.io import load_conform_report
+
+    try:
+        report = load_conform_report(args.file)
+    except (OSError, ConformError) as exc:
+        print(f"error: cannot load report {args.file}: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    by_oracle: dict[str, int] = {name: 0 for name in report.oracle_names}
+    for violation in report.violations:
+        by_oracle[violation.oracle] = by_oracle.get(violation.oracle, 0) + 1
+    for name in sorted(by_oracle):
+        status = "ok" if not by_oracle[name] else f"{by_oracle[name]} violation(s)"
+        print(f"  {name:24s} {status}")
+    for violation in report.violations:
+        print(f"  VIOLATION [{violation.oracle}] {violation.scenario}: {violation.message}")
+    if report.repro_paths:
+        print("repro files: " + ", ".join(report.repro_paths))
+    return 0 if report.ok else 1
+
+
+def _cmd_search(args) -> int:
+    from repro.conform.generators import EnsembleConfig, scenario_stream
+    from repro.conform.oracles import OracleContext
+    from repro.conform.search import search_adversaries
+
+    # Budgeted, lossless bsm scenarios only: search varies the behavior
+    # axis, so the base ensemble keeps the channel clean.
+    config = EnsembleConfig(families=("bsm",), link_probability=0.0)
+    ctx = OracleContext()
+    stream = scenario_stream(config, seed=args.seed)
+    searched = 0
+    worst_score = 0
+    try:
+        for _ in range(max(0, args.budget) * 20):
+            if searched >= args.budget:
+                break
+            spec = next(stream)
+            if not (spec.tL or spec.tR):
+                continue
+            result = search_adversaries(spec, ctx=ctx, max_depth=args.depth)
+            searched += 1
+            print(result.summary())
+            worst_score = max(worst_score, result.score)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"searched {searched} scenario(s): "
+        + ("no oracle violations found" if not worst_score else "VIOLATIONS FOUND")
+    )
+    return 0 if not worst_score else 1
+
+
+def cmd_conform(args) -> int:
+    """The ``repro conform`` handler (see the module docstring for exit codes)."""
+    handlers = {
+        "run": _cmd_run,
+        "replay": _cmd_replay,
+        "report": _cmd_report,
+        "search": _cmd_search,
+    }
+    return handlers[args.conform_command](args)

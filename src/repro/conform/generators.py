@@ -1,0 +1,270 @@
+"""Seed-reproducible random scenario ensembles.
+
+The Mertens / Ahlberg-et-al. lesson (PAPERS.md): random-instance
+ensembles expose structure hand-picked instances miss.  This module
+turns that into machinery — an :class:`EnsembleConfig` names the
+dimensions of the scenario space (families, topologies, side sizes,
+profile workloads, adversary behaviors, link-fault patterns, runtimes)
+and :func:`generate_scenarios` draws a deterministic stream of
+:class:`~repro.experiment.ScenarioSpec` values from it, so the whole
+ensemble flows through the existing ``Session``/``Engine`` path and
+can be replayed from ``(config, seed)`` alone.
+
+Every generated spec is stamped with provenance ``tags``
+(``("conform", "seed<seed>", "ix<i>")``) that the engine copies onto
+its records, so a violating record found deep in a sweep ties back to
+the exact ensemble coordinate that produced it.
+
+:func:`chaos_mutator` (a seeded structural payload fuzzer) lives here
+too: it is the non-serializable, maximal-aggression end of the mutation
+spectrum, shared by the fuzz test-suite and ad-hoc probing.  Specs can
+only carry the *named* mutators from :mod:`repro.adversary.mutators`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.adversary.mutators import MUTATORS
+from repro.core.problem import Setting
+from repro.core.solvability import cached_is_solvable
+from repro.errors import ConformError
+from repro.experiment.spec import AdversarySpec, LinkSpec, ProfileSpec, ScenarioSpec
+from repro.net.topology import TOPOLOGY_NAMES
+
+__all__ = [
+    "EnsembleConfig",
+    "generate_scenarios",
+    "scenario_stream",
+    "chaos_mutator",
+]
+
+#: Adversary kinds the generator draws from ("none" = fault-free run).
+_ADVERSARY_DRAWS = ("none", "silent", "noise", "crash", "honest", "equivocate")
+
+
+@dataclass(frozen=True)
+class EnsembleConfig:
+    """The dimensions of a generated scenario ensemble.
+
+    Every field is a tuple of allowed draws; the generator samples
+    uniformly (per-dimension) from them.  ``solvable_only=True``
+    restricts bsm scenarios to budget points the oracle deems solvable
+    — the regime where the paper promises success, and therefore where
+    the success oracles have teeth.  ``link_probability`` is the chance
+    a bsm scenario additionally carries channel faults.
+    """
+
+    families: tuple[str, ...] = ("bsm", "bsm", "bsm", "roommates", "offline")
+    topologies: tuple[str, ...] = TOPOLOGY_NAMES
+    auths: tuple[bool, ...] = (False, True)
+    ks: tuple[int, ...] = (2, 3)
+    profile_kinds: tuple[str, ...] = ("random", "correlated", "master_list")
+    adversary_kinds: tuple[str, ...] = _ADVERSARY_DRAWS
+    mutators: tuple[str, ...] = tuple(sorted(MUTATORS))
+    link_kinds: tuple[str, ...] = ("random", "partition", "after_round")
+    link_probability: float = 0.2
+    runtimes: tuple[str, ...] = ("lockstep",)
+    roommates_ns: tuple[int, ...] = (4, 6)
+    solvable_only: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.families:
+            raise ConformError("ensemble configs need at least one family")
+        for kind in self.adversary_kinds:
+            if kind not in _ADVERSARY_DRAWS:
+                raise ConformError(
+                    f"unknown adversary draw {kind!r}; expected one of {_ADVERSARY_DRAWS}"
+                )
+        if not (0.0 <= self.link_probability <= 1.0):
+            raise ConformError(
+                f"link_probability must lie in [0, 1], got {self.link_probability}"
+            )
+
+
+def _solvable_budgets(topology: str, auth: bool, k: int) -> list[tuple[int, int]]:
+    """Budget pairs the oracle accepts at this grid point (cached oracle)."""
+    return [
+        (tL, tR)
+        for tL in range(k + 1)
+        for tR in range(k + 1)
+        if cached_is_solvable(Setting(topology, auth, k, tL, tR)).solvable
+    ]
+
+
+def _draw_profile(rng: random.Random, config: EnsembleConfig, kinds: Sequence[str]) -> ProfileSpec:
+    kind = rng.choice(list(kinds))
+    if kind == "correlated":
+        return ProfileSpec(
+            kind=kind,
+            seed=rng.randrange(1 << 30),
+            similarity=rng.choice((0.25, 0.5, 0.75)),
+        )
+    if kind == "incomplete_random":
+        return ProfileSpec(
+            kind=kind,
+            seed=rng.randrange(1 << 30),
+            acceptance=rng.choice((0.3, 0.5, 0.8)),
+        )
+    return ProfileSpec(kind=kind, seed=rng.randrange(1 << 30))
+
+
+def _draw_adversary(
+    rng: random.Random, config: EnsembleConfig, budgeted: bool, with_link: bool
+) -> AdversarySpec | None:
+    kind = rng.choice(list(config.adversary_kinds)) if budgeted else "none"
+    link = None
+    if with_link:
+        link_kind = rng.choice(list(config.link_kinds))
+        if link_kind == "random":
+            link = LinkSpec(
+                kind="random",
+                probability=rng.choice((0.05, 0.15, 0.3)),
+                seed=rng.randrange(1 << 30),
+            )
+        elif link_kind == "after_round":
+            link = LinkSpec(kind="after_round", cutoff=rng.randrange(2, 8))
+        else:
+            link = LinkSpec(kind="partition")
+    if kind == "none":
+        if link is None:
+            return None
+        return AdversarySpec(kind="silent", corrupt=(), link=link)
+    seed = rng.randrange(1 << 30)
+    if kind == "crash":
+        return AdversarySpec(
+            kind=kind, seed=seed, link=link, crash_round=rng.randrange(1, 5)
+        )
+    if kind == "equivocate":
+        return AdversarySpec(
+            kind=kind, seed=seed, link=link, mutator=rng.choice(list(config.mutators))
+        )
+    return AdversarySpec(kind=kind, seed=seed, link=link)
+
+
+def _draw_bsm(rng: random.Random, config: EnsembleConfig, tags: tuple[str, ...]) -> ScenarioSpec:
+    topology = rng.choice(list(config.topologies))
+    auth = rng.choice(list(config.auths))
+    k = rng.choice(list(config.ks))
+    if config.solvable_only:
+        budgets = _solvable_budgets(topology, auth, k)
+        tL, tR = rng.choice(budgets) if budgets else (0, 0)
+    else:
+        tL, tR = rng.randrange(k + 1), rng.randrange(k + 1)
+    with_link = rng.random() < config.link_probability
+    return ScenarioSpec(
+        topology=topology,
+        authenticated=auth,
+        k=k,
+        tL=tL,
+        tR=tR,
+        profile=_draw_profile(rng, config, config.profile_kinds),
+        adversary=_draw_adversary(rng, config, budgeted=bool(tL or tR), with_link=with_link),
+        runtime=rng.choice(list(config.runtimes)),
+        tags=tags,
+    )
+
+
+def _draw_roommates(rng: random.Random, config: EnsembleConfig, tags: tuple[str, ...]) -> ScenarioSpec:
+    n = rng.choice(list(config.roommates_ns))
+    t = rng.choice((0, 1))
+    return ScenarioSpec(
+        family="roommates",
+        n=n,
+        t=t,
+        authenticated=rng.choice(list(config.auths)),
+        profile=ProfileSpec(seed=rng.randrange(1 << 30)),
+        # The roommates runner currently supports only the silent kind.
+        adversary=AdversarySpec(kind="silent") if t else None,
+        tags=tags,
+    )
+
+
+def _draw_offline(rng: random.Random, config: EnsembleConfig, tags: tuple[str, ...]) -> ScenarioSpec:
+    algorithm = rng.choice(("gale_shapley", "incomplete"))
+    kinds = list(config.profile_kinds)
+    if algorithm == "incomplete":
+        kinds = kinds + ["incomplete_random"]
+    return ScenarioSpec(
+        family="offline",
+        algorithm=algorithm,
+        k=rng.choice(list(config.ks)),
+        profile=_draw_profile(rng, config, kinds),
+        tags=tags,
+    )
+
+
+def scenario_stream(
+    config: EnsembleConfig, seed: int = 0
+) -> Iterator[ScenarioSpec]:
+    """An endless deterministic stream of scenarios from ``(config, seed)``.
+
+    The stream is a pure function of its arguments: the same prefix is
+    drawn every time, so ``generate_scenarios(config, seed, n)`` equals
+    the first ``n`` items for every ``n``.
+    """
+    # A string seed hashes deterministically across processes (tuple
+    # seeds would go through PYTHONHASHSEED-salted hash()).
+    rng = random.Random(f"repro.conform:{seed}")
+    index = 0
+    while True:
+        tags = ("conform", f"seed{seed}", f"ix{index}")
+        family = rng.choice(list(config.families))
+        if family == "roommates":
+            yield _draw_roommates(rng, config, tags)
+        elif family == "offline":
+            yield _draw_offline(rng, config, tags)
+        else:
+            yield _draw_bsm(rng, config, tags)
+        index += 1
+
+
+def generate_scenarios(
+    config: EnsembleConfig | None = None, seed: int = 0, count: int = 100
+) -> tuple[ScenarioSpec, ...]:
+    """The first ``count`` scenarios of the ``(config, seed)`` stream."""
+    if count < 0:
+        raise ConformError(f"scenario count must be >= 0, got {count}")
+    stream = scenario_stream(config if config is not None else EnsembleConfig(), seed)
+    return tuple(next(stream) for _ in range(count))
+
+
+def chaos_mutator(seed: int, aggressiveness: float = 0.4):
+    """A seeded structural payload mutator (the fuzzing workhorse).
+
+    Byzantine parties running the honest protocol pass every outgoing
+    payload through this: it may drop the message, replace values,
+    shuffle tuple fields, or rewrite structure — malformed-but-plausible
+    messages that reach the parsers' deep branches.  Deterministic per
+    seed, but *not* serializable by name: specs use the canned mutators
+    from :mod:`repro.adversary.mutators` instead.
+    """
+    rng = random.Random(seed)
+
+    def mutate_value(value, depth=0):
+        roll = rng.random()
+        if roll < 0.25:
+            return rng.randrange(100)
+        if roll < 0.45:
+            return "fuzz"
+        if roll < 0.6:
+            return None
+        if roll < 0.8 and isinstance(value, tuple) and value:
+            items = list(value)
+            rng.shuffle(items)
+            return tuple(items)
+        if isinstance(value, tuple) and depth < 3:
+            return tuple(mutate_value(item, depth + 1) for item in value)
+        return value
+
+    def mutate(round_now, dst, payload):
+        roll = rng.random()
+        if roll > aggressiveness:
+            return payload  # pass through: stay plausible most of the time
+        if roll < aggressiveness * 0.2:
+            return None  # drop
+        return mutate_value(payload)
+
+    return mutate

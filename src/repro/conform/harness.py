@@ -1,0 +1,307 @@
+"""The conformance harness: ensemble in, deterministic report out.
+
+:func:`run_conformance` draws a seeded scenario ensemble
+(:mod:`repro.conform.generators`), evaluates every applicable oracle
+(:mod:`repro.conform.oracles`) on each scenario through one memoized
+:class:`~repro.conform.oracles.OracleContext`, and — on violation —
+shrinks the scenario to a minimal reproducing case
+(:mod:`repro.conform.shrink`) and captures it as a :class:`ReproFile`.
+
+Reports and repro files are canonical JSON, free of wall-clock and host
+metadata, so ``repro conform run --seed 0 --budget N`` produces
+byte-identical output on every invocation — the report itself is a
+regression artifact.  A repro file is self-contained: ``repro conform
+replay FILE`` rebuilds the spec, re-evaluates the named oracle, and
+confirms (exit 0) or refutes (exit 1) the recorded violation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.conform.generators import EnsembleConfig, generate_scenarios
+from repro.conform.oracles import (
+    Oracle,
+    OracleContext,
+    Violation,
+    resolve_oracles,
+)
+from repro.conform.shrink import shrink
+from repro.errors import ConformError, ReproError
+from repro.experiment.engine import Session
+from repro.experiment.spec import ScenarioSpec
+
+__all__ = [
+    "REPRO_SCHEMA",
+    "REPORT_SCHEMA",
+    "ReproFile",
+    "ConformanceReport",
+    "run_conformance",
+    "replay_repro",
+]
+
+REPRO_SCHEMA = "repro.conform.repro/1"
+REPORT_SCHEMA = "repro.conform.report/1"
+
+
+@dataclass(frozen=True)
+class ReproFile:
+    """A minimal reproducing case for one oracle violation."""
+
+    oracle: str
+    spec: ScenarioSpec
+    original: ScenarioSpec
+    violations: tuple[Violation, ...]
+    shrink_steps: int = 0
+    shrink_trail: tuple[str, ...] = ()
+    seed: int | None = None
+
+    def to_dict(self) -> dict:
+        data: dict = {
+            "schema": REPRO_SCHEMA,
+            "oracle": self.oracle,
+            "spec": self.spec.to_dict(),
+            "original": self.original.to_dict(),
+            "violations": [v.to_dict() for v in self.violations],
+            "shrink_steps": self.shrink_steps,
+            "shrink_trail": list(self.shrink_trail),
+        }
+        if self.seed is not None:
+            data["seed"] = self.seed
+        return data
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ReproFile":
+        if not isinstance(data, Mapping) or data.get("schema") != REPRO_SCHEMA:
+            raise ConformError(
+                f"repro files must carry schema={REPRO_SCHEMA!r}, "
+                f"got {data.get('schema') if isinstance(data, Mapping) else data!r}"
+            )
+        try:
+            return cls(
+                oracle=data["oracle"],
+                spec=ScenarioSpec.from_dict(data["spec"]),
+                original=ScenarioSpec.from_dict(data.get("original", data["spec"])),
+                violations=tuple(
+                    Violation.from_dict(v) for v in data.get("violations", ())
+                ),
+                shrink_steps=int(data.get("shrink_steps", 0)),
+                shrink_trail=tuple(data.get("shrink_trail", ())),
+                seed=data.get("seed"),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConformError(f"malformed repro file: {exc!r}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReproFile":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ConformError(f"repro file is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """One conformance run, distilled to canonical JSON.
+
+    Deterministic for a ``(seed, budget, oracles)`` triple: no timing,
+    no host fingerprints.  ``elapsed_seconds`` lives outside
+    serialization (compare=False), mirroring ``RunRecordSet``.
+    """
+
+    seed: int
+    budget: int
+    oracle_names: tuple[str, ...]
+    scenarios: int
+    checks: int
+    violations: tuple[Violation, ...]
+    repros: tuple[ReproFile, ...] = ()
+    repro_paths: tuple[str, ...] = ()
+    elapsed_seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        text = (
+            f"conform seed={self.seed} budget={self.budget}: "
+            f"{self.scenarios} scenarios, {self.checks} oracle checks, "
+            f"{len(self.violations)} violation(s)"
+        )
+        if self.elapsed_seconds:
+            text += f", {self.elapsed_seconds:.2f}s"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "seed": self.seed,
+            "budget": self.budget,
+            "oracles": list(self.oracle_names),
+            "scenarios": self.scenarios,
+            "checks": self.checks,
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+            "repro_files": list(self.repro_paths),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ConformanceReport":
+        if not isinstance(data, Mapping) or data.get("schema") != REPORT_SCHEMA:
+            raise ConformError(
+                f"conformance reports must carry schema={REPORT_SCHEMA!r}, "
+                f"got {data.get('schema') if isinstance(data, Mapping) else data!r}"
+            )
+        return cls(
+            seed=int(data["seed"]),
+            budget=int(data["budget"]),
+            oracle_names=tuple(data.get("oracles", ())),
+            scenarios=int(data["scenarios"]),
+            checks=int(data["checks"]),
+            violations=tuple(Violation.from_dict(v) for v in data.get("violations", ())),
+            repro_paths=tuple(data.get("repro_files", ())),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ConformanceReport":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ConformError(f"conformance report is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def run_conformance(
+    *,
+    seed: int = 0,
+    budget: int = 100,
+    config: EnsembleConfig | None = None,
+    oracles: Sequence[str] | None = None,
+    session: Session | None = None,
+    shrink_violations: bool = True,
+    repro_dir: str | os.PathLike | None = None,
+) -> ConformanceReport:
+    """Run one conformance sweep: generate, check, shrink, capture.
+
+    ``budget`` is the ensemble size (scenario count) — determinism
+    demands a count, not a wall-clock.  When ``repro_dir`` is given,
+    each violation's shrunk case is written there as
+    ``repro_<oracle>_<index>.json`` (deterministic names).
+    """
+    started = time.perf_counter()
+    selected = resolve_oracles(oracles)
+    ctx = OracleContext(session)
+    specs = generate_scenarios(config, seed=seed, count=budget)
+
+    checks = 0
+    all_violations: list[Violation] = []
+    repros: list[ReproFile] = []
+    for spec in specs:
+        for oracle in selected:
+            counted = False
+            try:
+                if not oracle.applies(spec):
+                    continue
+                counted = True
+                checks += 1
+                violations = oracle.check(spec, ctx)
+            except ReproError as exc:
+                # A crashing check IS a finding (an engine bug the
+                # fuzzer reached) — record it and keep the budget going
+                # instead of aborting the whole run.
+                if not counted:
+                    checks += 1
+                violations = (
+                    Violation(
+                        oracle=oracle.name,
+                        scenario=spec.label(),
+                        message=f"oracle check crashed: {exc}",
+                        details=(("exception", type(exc).__name__),),
+                    ),
+                )
+            if not violations:
+                continue
+            all_violations.extend(violations)
+            if shrink_violations:
+                result = shrink(spec, oracle, ctx)
+                repros.append(
+                    ReproFile(
+                        oracle=oracle.name,
+                        spec=result.spec,
+                        original=spec,
+                        violations=result.violations or violations,
+                        shrink_steps=result.steps,
+                        shrink_trail=result.trail,
+                        seed=seed,
+                    )
+                )
+            else:
+                repros.append(
+                    ReproFile(
+                        oracle=oracle.name, spec=spec, original=spec,
+                        violations=violations, seed=seed,
+                    )
+                )
+
+    paths: list[str] = []
+    if repro_dir is not None and repros:
+        os.makedirs(repro_dir, exist_ok=True)
+        for index, repro in enumerate(repros):
+            name = f"repro_{repro.oracle}_{index}.json"
+            path = os.path.join(repro_dir, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(repro.to_json())
+            paths.append(name)
+
+    return ConformanceReport(
+        seed=seed,
+        budget=budget,
+        oracle_names=tuple(oracle.name for oracle in selected),
+        scenarios=len(specs),
+        checks=checks,
+        violations=tuple(all_violations),
+        repros=tuple(repros),
+        repro_paths=tuple(paths),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def replay_repro(
+    repro: ReproFile, session: Session | None = None
+) -> tuple[bool, tuple[Violation, ...]]:
+    """Re-evaluate a repro file's oracle on its shrunk spec.
+
+    Returns ``(reproduced, fresh_violations)``.  Raises
+    :class:`~repro.errors.ConformError` when the named oracle is not
+    registered (a repro from a foreign oracle set cannot be judged).
+    """
+    (oracle,) = resolve_oracles([repro.oracle])
+    ctx = OracleContext(session)
+    try:
+        if not oracle.applies(repro.spec):
+            return False, ()
+        violations = oracle.check(repro.spec, ctx)
+    except ReproError as exc:
+        # The check still crashes — that reproduces a crash finding
+        # (mirrors run_conformance's handling).
+        violations = (
+            Violation(
+                oracle=oracle.name,
+                scenario=repro.spec.label(),
+                message=f"oracle check crashed: {exc}",
+                details=(("exception", type(exc).__name__),),
+            ),
+        )
+    return bool(violations), violations

@@ -1,0 +1,382 @@
+"""Declarative conformance oracles: what must hold, checked per scenario.
+
+An :class:`Oracle` is a named invariant over one scenario's execution:
+``applies(spec)`` scopes it (a success oracle has nothing to say about
+a link-faulted run), ``check(spec, ctx)`` evaluates it and returns
+structured :class:`Violation` reports.  The :class:`OracleContext`
+memoizes executions per ``(spec, runtime)``, so several oracles probing
+the same scenario pay for one run, and the differential oracle pays for
+one run *per runtime*, not per comparison.
+
+Built-ins (the registry :data:`ORACLES`, extensible via
+:func:`register_oracle`):
+
+* ``solvable_ok`` — on a solvable, fault-free-channel setting, every
+  record must pass all four bSM properties (the paper's Theorems as a
+  falsifiable claim);
+* ``agreement`` — honest parties' outputs must stay symmetric and the
+  run must terminate (bsm and roommates), channels permitting;
+* ``verdict_consistency`` — the ``solvable``/``theorem`` columns on
+  records must agree with :func:`~repro.core.solvability.cached_is_solvable`
+  (records cannot drift from the oracle that scheduled them);
+* ``runtime_differential`` — the same spec executed by Lockstep, Event,
+  and Batch runtimes must produce byte-identical records (the
+  semantics-preservation contract, enforced on *generated* scenarios,
+  not just the hand-picked equivalence suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+from repro.core.solvability import cached_is_solvable
+from repro.errors import ConformError
+from repro.experiment.engine import Session
+from repro.experiment.records import RunRecordSet
+from repro.experiment.spec import ScenarioSpec
+from repro.runtime.api import RUNTIME_NAMES
+
+__all__ = [
+    "Violation",
+    "Oracle",
+    "OracleContext",
+    "ORACLES",
+    "register_oracle",
+    "unregister_oracle",
+    "resolve_oracles",
+    "default_oracle_names",
+    "differential_sweep",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure, structured for reports and repro files."""
+
+    oracle: str
+    scenario: str
+    message: str
+    details: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "details", tuple((str(k), str(v)) for k, v in self.details)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "scenario": self.scenario,
+            "message": self.message,
+            "details": [list(pair) for pair in self.details],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Violation":
+        return cls(
+            oracle=data["oracle"],
+            scenario=data["scenario"],
+            message=data["message"],
+            details=tuple(tuple(pair) for pair in data.get("details", ())),
+        )
+
+
+class OracleContext:
+    """Memoized scenario execution, shared by every oracle of a run.
+
+    Keyed by ``(spec canonical JSON, runtime override)`` so re-checking
+    a spec (during shrinking, or by several oracles) never re-executes
+    it.  ``records(spec)`` is the canonical execution (the spec's own
+    runtime); ``records_for_runtime`` pins the runtime axis.
+    """
+
+    def __init__(self, session: Session | None = None) -> None:
+        self.session = session if session is not None else Session()
+        self._memo: dict[tuple[str, str], RunRecordSet] = {}
+        self.executions = 0
+
+    def records(self, spec: ScenarioSpec) -> RunRecordSet:
+        return self.records_for_runtime(spec, spec.runtime)
+
+    def records_for_runtime(self, spec: ScenarioSpec, runtime: str) -> RunRecordSet:
+        pinned = spec if spec.family != "bsm" or spec.runtime == runtime else replace(
+            spec, runtime=runtime
+        )
+        key = (spec.to_json(), runtime if spec.family == "bsm" else "")
+        cached = self._memo.get(key)
+        if cached is None:
+            self.executions += 1
+            cached = self.session.run(pinned)
+            self._memo[key] = cached
+        return cached
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One named invariant (see the module docstring for the built-ins).
+
+    Subclasses override :meth:`applies` / :meth:`check`; the base class
+    applies to nothing, so a misregistered bare Oracle is inert rather
+    than wrong.
+    """
+
+    name: str = ""
+
+    def applies(self, spec: ScenarioSpec) -> bool:
+        return False
+
+    def check(self, spec: ScenarioSpec, ctx: OracleContext) -> tuple[Violation, ...]:
+        return ()
+
+    # -- helpers for subclasses ----------------------------------------------
+
+    def _violation(
+        self, spec: ScenarioSpec, message: str, **details: object
+    ) -> Violation:
+        return Violation(
+            oracle=self.name,
+            scenario=spec.label(),
+            message=message,
+            details=tuple(sorted((k, str(v)) for k, v in details.items())),
+        )
+
+
+def _lossless(spec: ScenarioSpec) -> bool:
+    return spec.adversary is None or spec.adversary.link is None
+
+
+class SolvableMustSucceed(Oracle):
+    """Solvable settings with budget-respecting adversaries must succeed."""
+
+    def __init__(self) -> None:
+        super().__init__(name="solvable_ok")
+
+    def applies(self, spec: ScenarioSpec) -> bool:
+        return (
+            spec.family == "bsm"
+            and spec.recipe is None
+            and _lossless(spec)
+            and cached_is_solvable(spec.setting()).solvable
+        )
+
+    def check(self, spec: ScenarioSpec, ctx: OracleContext) -> tuple[Violation, ...]:
+        return tuple(
+            self._violation(
+                spec,
+                "solvable setting failed simulation",
+                violations="; ".join(record.violations),
+                adversary=record.adversary,
+                rounds=record.rounds,
+            )
+            for record in ctx.records(spec)
+            if not record.ok
+        )
+
+
+class HonestAgreement(Oracle):
+    """Honest parties terminate and output symmetrically (lossless channels)."""
+
+    def __init__(self) -> None:
+        super().__init__(name="agreement")
+
+    def applies(self, spec: ScenarioSpec) -> bool:
+        if spec.family == "bsm":
+            return (
+                spec.recipe is None
+                and _lossless(spec)
+                and cached_is_solvable(spec.setting()).solvable
+            )
+        return spec.family == "roommates"
+
+    def check(self, spec: ScenarioSpec, ctx: OracleContext) -> tuple[Violation, ...]:
+        failures = []
+        for record in ctx.records(spec):
+            if not record.termination:
+                failures.append(
+                    self._violation(spec, "honest parties did not all terminate")
+                )
+            if not record.symmetry:
+                failures.append(
+                    self._violation(
+                        spec,
+                        "honest outputs are not symmetric",
+                        outputs=record.outputs,
+                    )
+                )
+        return tuple(failures)
+
+
+class VerdictConsistency(Oracle):
+    """Record columns must agree with the (memoized) solvability oracle."""
+
+    def __init__(self) -> None:
+        super().__init__(name="verdict_consistency")
+
+    def applies(self, spec: ScenarioSpec) -> bool:
+        return spec.family == "bsm"
+
+    def check(self, spec: ScenarioSpec, ctx: OracleContext) -> tuple[Violation, ...]:
+        verdict = cached_is_solvable(spec.setting())
+        failures = []
+        for record in ctx.records(spec):
+            if record.solvable is not verdict.solvable:
+                failures.append(
+                    self._violation(
+                        spec,
+                        "record solvable column disagrees with cached_is_solvable",
+                        record=record.solvable,
+                        oracle_verdict=verdict.solvable,
+                    )
+                )
+            if record.theorem != verdict.theorem:
+                failures.append(
+                    self._violation(
+                        spec,
+                        "record theorem column disagrees with cached_is_solvable",
+                        record=record.theorem,
+                        oracle_verdict=verdict.theorem,
+                    )
+                )
+        return tuple(failures)
+
+
+class RuntimeDifferential(Oracle):
+    """Lockstep/Event/Batch must produce byte-identical records."""
+
+    runtimes: tuple[str, ...] = RUNTIME_NAMES
+
+    def __init__(self, runtimes: Sequence[str] = RUNTIME_NAMES) -> None:
+        super().__init__(name="runtime_differential")
+        object.__setattr__(self, "runtimes", tuple(runtimes))
+
+    def applies(self, spec: ScenarioSpec) -> bool:
+        # Unsolvable recipe-less points never execute, so there is
+        # nothing to differentiate; run everything else.
+        return spec.family == "bsm" and (
+            spec.recipe is not None or cached_is_solvable(spec.setting()).recipe is not None
+        )
+
+    def check(self, spec: ScenarioSpec, ctx: OracleContext) -> tuple[Violation, ...]:
+        reference_runtime = self.runtimes[0]
+        reference = ctx.records_for_runtime(spec, reference_runtime).to_json()
+        failures = []
+        for runtime in self.runtimes[1:]:
+            candidate = ctx.records_for_runtime(spec, runtime).to_json()
+            if candidate != reference:
+                failures.append(
+                    self._violation(
+                        spec,
+                        f"{runtime} runtime records diverge from {reference_runtime}",
+                        runtime=runtime,
+                        reference=reference_runtime,
+                    )
+                )
+        return tuple(failures)
+
+
+#: The oracle registry.  Tests may :func:`register_oracle` extra (even
+#: deliberately broken) oracles; the CLI resolves names against this.
+ORACLES: dict[str, Oracle] = {}
+
+
+def register_oracle(oracle: Oracle) -> Oracle:
+    """Add an oracle to the registry (replacing any same-named one)."""
+    if not oracle.name:
+        raise ConformError("oracles must carry a non-empty name")
+    ORACLES[oracle.name] = oracle
+    return oracle
+
+
+def unregister_oracle(name: str) -> None:
+    """Remove an oracle (tests clean up their injected ones)."""
+    ORACLES.pop(name, None)
+
+
+for _oracle in (
+    SolvableMustSucceed(),
+    HonestAgreement(),
+    VerdictConsistency(),
+    RuntimeDifferential(),
+):
+    register_oracle(_oracle)
+
+#: Names of the built-in oracles, in evaluation order.
+_DEFAULT_NAMES = (
+    "solvable_ok",
+    "agreement",
+    "verdict_consistency",
+    "runtime_differential",
+)
+
+
+def default_oracle_names() -> tuple[str, ...]:
+    """The built-in oracle names, in evaluation order."""
+    return _DEFAULT_NAMES
+
+
+def resolve_oracles(names: Sequence[str] | None = None) -> tuple[Oracle, ...]:
+    """Oracles for ``names`` (default: the built-ins, in order)."""
+    selected = tuple(names) if names is not None else _DEFAULT_NAMES
+    missing = [name for name in selected if name not in ORACLES]
+    if missing:
+        raise ConformError(
+            f"unknown oracle(s) {missing}; registered: {sorted(ORACLES)}"
+        )
+    return tuple(ORACLES[name] for name in selected)
+
+
+def differential_sweep(
+    specs: Sequence[ScenarioSpec],
+    session: Session | None = None,
+    runtimes: Sequence[str] = RUNTIME_NAMES,
+) -> tuple[Violation, ...]:
+    """The differential oracle, vectorized over a whole ensemble.
+
+    Executes all ``specs`` once per runtime through the batch executor
+    (the sweep fast path) and compares the record *sets* — byte-for-byte
+    the same invariant as per-spec checking, at sweep throughput.
+    Only bsm specs participate; others pass through untouched (they have
+    no runtime axis) and always compare equal.
+    """
+    session = session if session is not None else Session(executor="batch")
+    reference_runtime = runtimes[0]
+
+    def pinned(runtime: str) -> list[ScenarioSpec]:
+        return [
+            replace(spec, runtime=runtime) if spec.family == "bsm" else spec
+            for spec in specs
+        ]
+
+    reference = session.sweep(pinned(reference_runtime))
+    failures: list[Violation] = []
+    for runtime in runtimes[1:]:
+        candidate = session.sweep(pinned(runtime))
+        if len(candidate) != len(reference):
+            # A missing/extra record is itself the divergence — never
+            # let a truncating zip hide the tail.
+            failures.append(
+                Violation(
+                    oracle="runtime_differential",
+                    scenario=f"<ensemble of {len(specs)} specs>",
+                    message=(
+                        f"{runtime} runtime emitted {len(candidate)} records "
+                        f"vs {len(reference)} from {reference_runtime}"
+                    ),
+                    details=(("reference", reference_runtime), ("runtime", runtime)),
+                )
+            )
+            continue
+        # Both sweeps flatten the same specs in order, so the record
+        # streams are index-aligned even when a spec emits several rows.
+        for ref_record, cand_record in zip(reference, candidate):
+            if ref_record.to_dict() != cand_record.to_dict():
+                failures.append(
+                    Violation(
+                        oracle="runtime_differential",
+                        scenario=ref_record.scenario,
+                        message=f"{runtime} runtime records diverge from {reference_runtime}",
+                        details=(("reference", reference_runtime), ("runtime", runtime)),
+                    )
+                )
+    return tuple(failures)

@@ -1,0 +1,196 @@
+"""Adversary strategy search: explore the behavior space, hunting violations.
+
+A :class:`Strategy` is a serializable adversary description — a
+behavior kind plus its knobs, where equivocation strategies name a
+``+``-composition of the :mod:`repro.adversary.mutators` primitives
+(equivocate, withhold, reorder, targeted lies).  :func:`enumerate_strategies`
+lists the depth-1 space; :func:`search_adversaries` evaluates every
+base strategy against a scenario under a set of oracles, then
+*greedily composes* the best equivocation strategy with further
+primitives as long as the violation count improves.
+
+On a correct implementation the search comes back empty-handed
+(``score == 0`` everywhere) — that is the point: the strategies it
+enumerates are exactly the ones future protocol changes must keep
+surviving, and when one day a change breaks a guarantee, the search
+returns the spec that proves it, ready for
+:func:`repro.conform.shrink.shrink`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.adversary.mutators import MUTATORS
+from repro.conform.oracles import Oracle, OracleContext, Violation, resolve_oracles
+from repro.errors import ConformError
+from repro.experiment.spec import BUDGET, AdversarySpec, ScenarioSpec
+
+__all__ = ["Strategy", "SearchResult", "enumerate_strategies", "search_adversaries"]
+
+#: Mutator primitives the composer draws from, in deterministic order.
+PRIMITIVES: tuple[str, ...] = tuple(sorted(MUTATORS))
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One serializable adversary strategy."""
+
+    kind: str
+    mutator: str | None = None
+    crash_round: int = 2
+
+    def describe(self) -> str:
+        if self.kind == "equivocate":
+            return f"equivocate[{self.mutator}]"
+        if self.kind == "crash":
+            return f"crash@{self.crash_round}"
+        return self.kind
+
+    def adversary_spec(
+        self, corrupt: str | tuple[str, ...] = BUDGET, seed: int = 0
+    ) -> AdversarySpec:
+        return AdversarySpec(
+            kind=self.kind,
+            corrupt=corrupt,
+            seed=seed,
+            crash_round=self.crash_round,
+            mutator=self.mutator if self.kind == "equivocate" else None,
+        )
+
+    def extended(self, primitive: str) -> "Strategy":
+        """This equivocation strategy with one more composed primitive."""
+        if self.kind != "equivocate":
+            raise ConformError(f"only equivocation strategies compose, not {self.kind!r}")
+        return replace(self, mutator=f"{self.mutator}+{primitive}")
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """What the search found (``score == 0`` means nothing broke)."""
+
+    spec: ScenarioSpec
+    strategy: Strategy
+    score: int
+    violations: tuple[Violation, ...]
+    tried: tuple[tuple[str, int], ...]
+
+    def summary(self) -> str:
+        verdict = (
+            f"{self.score} violation(s) via {self.strategy.describe()}"
+            if self.score
+            else f"no violations across {len(self.tried)} strategies"
+        )
+        return f"search[{self.spec.label()}]: {verdict}"
+
+
+def enumerate_strategies(mutators: Sequence[str] = PRIMITIVES) -> tuple[Strategy, ...]:
+    """The depth-1 strategy space: canned behaviors + every primitive lie."""
+    canned = (
+        Strategy(kind="silent"),
+        Strategy(kind="crash", crash_round=1),
+        Strategy(kind="crash", crash_round=3),
+        Strategy(kind="honest"),
+    )
+    return canned + tuple(Strategy(kind="equivocate", mutator=m) for m in mutators)
+
+
+def _apply(spec: ScenarioSpec, strategy: Strategy) -> ScenarioSpec:
+    """``spec`` with its adversary replaced by ``strategy``'s.
+
+    Keeps the corruption set (and link faults) of the original adversary
+    when present, so the search varies *behavior*, not budget.
+    """
+    base = spec.adversary
+    corrupt: str | tuple[str, ...] = base.corrupt if base is not None else BUDGET
+    seed = base.seed if base is not None else spec.profile.seed
+    adversary = strategy.adversary_spec(corrupt=corrupt, seed=seed)
+    if base is not None and base.link is not None:
+        adversary = replace(adversary, link=base.link)
+    return replace(spec, adversary=adversary)
+
+
+def _score(
+    spec: ScenarioSpec, oracles: Sequence[Oracle], ctx: OracleContext
+) -> tuple[int, tuple[Violation, ...]]:
+    violations: list[Violation] = []
+    for oracle in oracles:
+        if oracle.applies(spec):
+            violations.extend(oracle.check(spec, ctx))
+    return len(violations), tuple(violations)
+
+
+def search_adversaries(
+    spec: ScenarioSpec,
+    oracles: Sequence[Oracle] | Sequence[str] | None = None,
+    ctx: OracleContext | None = None,
+    *,
+    mutators: Sequence[str] = PRIMITIVES,
+    max_depth: int = 3,
+) -> SearchResult:
+    """Greedy strategy search over one scenario.
+
+    Phase 1 scores every depth-1 strategy; phase 2 takes the best
+    equivocation strategy and composes one more primitive per pass —
+    the best strictly-improving one — until no extension improves or
+    the composition reaches ``max_depth`` primitives.  The search is
+    deterministic: strategies are enumerated in a fixed order and ties
+    keep the earlier strategy.  With no ``mutators`` the equivocation
+    phase is skipped and the best canned strategy is returned.
+    """
+    if spec.family != "bsm":
+        raise ConformError(f"adversary search needs a bsm spec, got {spec.family!r}")
+    if not (spec.tL or spec.tR):
+        raise ConformError("adversary search needs a corruption budget (tL+tR > 0)")
+    resolved: Sequence[Oracle]
+    if oracles is None or (oracles and isinstance(oracles[0], str)):
+        resolved = resolve_oracles(oracles)  # type: ignore[arg-type]
+    else:
+        resolved = tuple(oracles)  # type: ignore[assignment]
+    ctx = ctx if ctx is not None else OracleContext()
+
+    tried: list[tuple[str, int]] = []
+    best: tuple[int, Strategy, ScenarioSpec, tuple[Violation, ...]] | None = None
+    best_equivocation: tuple[int, Strategy] | None = None
+    for strategy in enumerate_strategies(mutators):
+        candidate = _apply(spec, strategy)
+        score, violations = _score(candidate, resolved, ctx)
+        tried.append((strategy.describe(), score))
+        if best is None or score > best[0]:
+            best = (score, strategy, candidate, violations)
+        if strategy.kind == "equivocate" and (
+            best_equivocation is None or score > best_equivocation[0]
+        ):
+            best_equivocation = (score, strategy)
+
+    if best is None:
+        raise ConformError("strategy enumeration came back empty")
+    if best_equivocation is not None:
+        score, strategy = best_equivocation
+        # One accepted primitive per pass keeps the composition within
+        # max_depth primitives total (the base mutator counts as one).
+        for _ in range(max_depth - 1):
+            pass_best: tuple[int, Strategy, ScenarioSpec, tuple[Violation, ...]] | None = None
+            for primitive in mutators:
+                candidate_strategy = strategy.extended(primitive)
+                candidate = _apply(spec, candidate_strategy)
+                candidate_score, violations = _score(candidate, resolved, ctx)
+                tried.append((candidate_strategy.describe(), candidate_score))
+                if candidate_score > score and (
+                    pass_best is None or candidate_score > pass_best[0]
+                ):
+                    pass_best = (candidate_score, candidate_strategy, candidate, violations)
+            if pass_best is None:
+                break
+            score, strategy = pass_best[0], pass_best[1]
+            if pass_best[0] > best[0]:
+                best = pass_best
+
+    return SearchResult(
+        spec=best[2],
+        strategy=best[1],
+        score=best[0],
+        violations=best[3],
+        tried=tuple(tried),
+    )

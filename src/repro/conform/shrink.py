@@ -1,0 +1,194 @@
+"""Counterexample shrinking: from a violating scenario to a minimal one.
+
+Given a spec on which an oracle reports violations, :func:`shrink`
+greedily applies reductions — drop the adversary, drop link faults,
+shed corrupted parties, lower the corruption budgets, shrink the side
+size, simplify the equivocation mutator, simplify the profile — keeping
+a reduction whenever the *same oracle* still fires on the reduced spec,
+until no reduction survives.  The result is 1-minimal: undoing any
+single kept reduction makes the violation disappear (or the spec
+invalid).
+
+Every re-check routes through the shared :class:`OracleContext`, so
+repeated probing of the same candidate costs one execution.  Reductions
+that produce an unconstructible spec (or crash the runner) are treated
+as not-reproducing and skipped — shrinking never raises on a weird
+intermediate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.conform.oracles import Oracle, OracleContext, Violation
+from repro.errors import ReproError
+from repro.experiment.spec import BUDGET, ProfileSpec, ScenarioSpec
+
+__all__ = ["ShrinkResult", "shrink"]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """A minimized spec plus the trail that led there."""
+
+    spec: ScenarioSpec
+    violations: tuple[Violation, ...]
+    steps: int
+    trail: tuple[str, ...]
+
+
+def _with_explicit_corrupt(spec: ScenarioSpec) -> ScenarioSpec:
+    """The same spec with the ``"budget"`` sentinel spelled out, so
+    per-party reductions have names to drop."""
+    adversary = spec.adversary
+    if adversary is None or adversary.corrupt != BUDGET or spec.family != "bsm":
+        return spec
+    corrupt = tuple(str(p) for p in adversary.corrupted_parties(spec.setting()))
+    return replace(spec, adversary=replace(adversary, corrupt=corrupt))
+
+
+def _candidates(spec: ScenarioSpec) -> Iterator[tuple[str, ScenarioSpec]]:
+    """Reduction candidates, most aggressive first.
+
+    Yields ``(description, reduced_spec)`` pairs.  Reductions that
+    violate spec invariants (``replace`` re-runs ``__post_init__``) are
+    silently unavailable rather than errors — a shrinking step may not
+    apply to every shape.
+    """
+    built: list[tuple[str, ScenarioSpec]] = []
+
+    def attempt(description: str, build) -> None:
+        try:
+            built.append((description, build()))
+        except ReproError:
+            pass
+
+    adversary = spec.adversary
+    # 1. Drop the adversary wholesale.
+    if adversary is not None:
+        attempt("drop adversary", lambda: replace(spec, adversary=None))
+    # 2. Drop link faults.
+    if adversary is not None and adversary.link is not None:
+        attempt(
+            "drop link faults",
+            lambda: replace(spec, adversary=replace(adversary, link=None)),
+        )
+    if spec.family == "bsm":
+        # 3. Shrink the side size (corrupted names above the new k vanish).
+        if spec.k > 1:
+            k = spec.k - 1
+
+            def shrunk_k() -> ScenarioSpec:
+                reduced_adversary = adversary
+                if adversary is not None and adversary.corrupt != BUDGET:
+                    kept = tuple(p for p in adversary.corrupt if int(p[1:]) < k)
+                    reduced_adversary = replace(adversary, corrupt=kept)
+                return replace(
+                    spec,
+                    k=k,
+                    tL=min(spec.tL, k),
+                    tR=min(spec.tR, k),
+                    adversary=reduced_adversary,
+                )
+
+            attempt(f"shrink k to {k}", shrunk_k)
+        # 4. Lower the corruption budgets.
+        if spec.tL > 0:
+            attempt(f"lower tL to {spec.tL - 1}", lambda: replace(spec, tL=spec.tL - 1))
+        if spec.tR > 0:
+            attempt(f"lower tR to {spec.tR - 1}", lambda: replace(spec, tR=spec.tR - 1))
+    # 5. Shed corrupted parties one at a time.
+    if adversary is not None and adversary.corrupt != BUDGET and len(adversary.corrupt) > 0:
+        for party in adversary.corrupt:
+            kept = tuple(p for p in adversary.corrupt if p != party)
+            attempt(
+                f"uncorrupt {party}",
+                lambda kept=kept: replace(spec, adversary=replace(adversary, corrupt=kept)),
+            )
+    # 6. Simplify a composed mutator, one primitive at a time.
+    if adversary is not None and adversary.mutator and "+" in adversary.mutator:
+        parts = adversary.mutator.split("+")
+        for index in range(len(parts)):
+            kept_name = "+".join(parts[:index] + parts[index + 1 :])
+            attempt(
+                f"drop mutator {parts[index]}",
+                lambda kept_name=kept_name: replace(
+                    spec, adversary=replace(adversary, mutator=kept_name)
+                ),
+            )
+    # 7. Earlier crashes are simpler stories.
+    if adversary is not None and adversary.kind == "crash" and adversary.crash_round > 0:
+        attempt(
+            f"crash earlier ({adversary.crash_round - 1})",
+            lambda: replace(
+                spec, adversary=replace(adversary, crash_round=adversary.crash_round - 1)
+            ),
+        )
+    # 8. Simplify the profile: plain random, then seed zero.
+    if spec.profile.kind != "random" and spec.family != "roommates":
+        attempt(
+            "simplify profile to random",
+            lambda: replace(spec, profile=ProfileSpec(kind="random", seed=spec.profile.seed)),
+        )
+    if spec.profile.lists is None and spec.profile.seed != 0:
+        attempt(
+            "zero profile seed",
+            lambda: replace(spec, profile=replace(spec.profile, seed=0)),
+        )
+    yield from built
+
+
+def _reproduces(
+    spec: ScenarioSpec, oracle: Oracle, ctx: OracleContext
+) -> tuple[Violation, ...]:
+    """The oracle's violations on ``spec`` (empty when out of scope or
+    when the candidate cannot even execute)."""
+    try:
+        if not oracle.applies(spec):
+            return ()
+        return oracle.check(spec, ctx)
+    except ReproError:
+        return ()
+
+
+def shrink(
+    spec: ScenarioSpec,
+    oracle: Oracle,
+    ctx: OracleContext | None = None,
+    *,
+    max_steps: int = 64,
+) -> ShrinkResult:
+    """Greedily minimize ``spec`` while ``oracle`` keeps firing on it.
+
+    ``max_steps`` bounds accepted reductions (each accepted reduction
+    restarts the candidate scan, so the bound also caps total work).
+    The original spec must violate the oracle; if it does not, the
+    result is the original spec with zero steps and no violations.
+    """
+    ctx = ctx if ctx is not None else OracleContext()
+    current = _with_explicit_corrupt(spec)
+    violations = _reproduces(current, oracle, ctx)
+    if not violations:
+        # _with_explicit_corrupt is cosmetic, but don't return a rewrite
+        # that does not reproduce when the original did.
+        current, violations = spec, _reproduces(spec, oracle, ctx)
+        if not violations:
+            return ShrinkResult(spec=spec, violations=(), steps=0, trail=())
+    trail: list[str] = []
+    steps = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        for description, candidate in _candidates(current):
+            reduced_violations = _reproduces(candidate, oracle, ctx)
+            if reduced_violations:
+                current = candidate
+                violations = reduced_violations
+                trail.append(description)
+                steps += 1
+                progress = True
+                break
+    return ShrinkResult(
+        spec=current, violations=violations, steps=steps, trail=tuple(trail)
+    )

@@ -18,6 +18,7 @@ __all__ = [
     "AdversaryError",
     "SolvabilityError",
     "BenchError",
+    "ConformError",
 ]
 
 
@@ -59,3 +60,7 @@ class SolvabilityError(ReproError):
 
 class BenchError(ReproError):
     """A benchmark case, result, or baseline is malformed or unknown."""
+
+
+class ConformError(ReproError):
+    """A conformance oracle, report, or repro file is malformed or unknown."""

@@ -171,6 +171,7 @@ def _bsm_not_run_record(spec: ScenarioSpec, verdict: SolvabilityVerdict) -> RunR
             else ""
         ),
         violations=(f"not run: {verdict.reason}",),
+        tags=spec.tags,
     )
 
 
@@ -218,6 +219,7 @@ def _bsm_record(
         dropped=report.result.dropped,
         matched=matched,
         outputs=outputs,
+        tags=spec.tags,
     )
 
 
@@ -297,6 +299,7 @@ def _attack_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
                 bytes=outcome.result.byte_count,
                 matched=sum(1 for _, v in outputs if v != "None"),
                 outputs=outputs,
+                tags=spec.tags,
             )
         )
     return tuple(records)
@@ -366,6 +369,7 @@ def _roommates_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
             bytes=report.result.byte_count,
             matched=sum(1 for _, v in outputs if v != "None"),
             outputs=outputs,
+            tags=spec.tags,
         ),
     )
 
@@ -373,10 +377,14 @@ def _roommates_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
 def _offline_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
     from repro.ids import left_side
     from repro.matching.gale_shapley import gale_shapley
-    from repro.matching.incomplete import gale_shapley_incomplete
+    from repro.matching.incomplete import IncompleteProfile, gale_shapley_incomplete
 
     profile = spec.profile.build(spec.k)
     if spec.algorithm == "incomplete":
+        if not isinstance(profile, IncompleteProfile):
+            # A complete profile is the everyone-acceptable special case
+            # (conformance ensembles mix profile kinds freely).
+            profile = IncompleteProfile(k=profile.k, lists=profile.lists)
         matching = gale_shapley_incomplete(profile)
         proposals = 0
     else:
@@ -400,6 +408,7 @@ def _offline_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
             non_competition=True,
             matched=matched,
             proposals=proposals,
+            tags=spec.tags,
         ),
     )
 

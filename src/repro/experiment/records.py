@@ -56,17 +56,22 @@ class RunRecord:
     matched: int = 0
     proposals: int = 0
     outputs: tuple[tuple[str, str], ...] = ()
+    #: Provenance tags copied from the spec (``ScenarioSpec.tags``) —
+    #: e.g. the conformance harness's ensemble coordinates.
+    tags: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "violations", tuple(self.violations))
         object.__setattr__(
             self, "outputs", tuple((str(p), str(v)) for p, v in self.outputs)
         )
+        object.__setattr__(self, "tags", tuple(str(t) for t in self.tags))
 
     def to_dict(self) -> dict:
         data = {f.name: getattr(self, f.name) for f in fields(self)}
         data["violations"] = list(self.violations)
         data["outputs"] = [list(pair) for pair in self.outputs]
+        data["tags"] = list(self.tags)
         return data
 
     @classmethod
@@ -77,12 +82,14 @@ class RunRecord:
             kwargs["violations"] = tuple(kwargs["violations"])
         if "outputs" in kwargs:
             kwargs["outputs"] = tuple(tuple(pair) for pair in kwargs["outputs"])
+        if "tags" in kwargs:
+            kwargs["tags"] = tuple(kwargs["tags"])
         return cls(**kwargs)
 
 
 #: Column order for tabular export (CSV headers, ``columns()`` keys).
 COLUMNS: tuple[str, ...] = tuple(
-    f.name for f in fields(RunRecord) if f.name not in ("violations", "outputs")
+    f.name for f in fields(RunRecord) if f.name not in ("violations", "outputs", "tags")
 )
 
 

@@ -358,8 +358,14 @@ class ScenarioSpec:
     n: int = 0
     t: int = 0
     algorithm: str = "gale_shapley"
+    #: Free-form provenance tags, stamped onto every record this spec
+    #: produces (the conformance harness uses them to tie a record back
+    #: to its generated ensemble: ``("conform", "seed0", "ix12")``).
+    #: Never shape the run or the label.
+    tags: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "tags", tuple(str(t) for t in self.tags))
         if self.family not in FAMILIES:
             raise SolvabilityError(
                 f"unknown family {self.family!r}; expected one of {FAMILIES}"
@@ -486,6 +492,8 @@ class ScenarioSpec:
         data: dict = {"family": self.family}
         if self.name:
             data["name"] = self.name
+        if self.tags:
+            data["tags"] = list(self.tags)
         if self.family == "attack":
             data["attack"] = self.attack
             # Attacks ignore profile/adversary, but serialize them anyway
@@ -544,6 +552,7 @@ class ScenarioSpec:
             n=int(data.get("n", 0)),
             t=int(data.get("t", 0)),
             algorithm=data.get("algorithm", "gale_shapley"),
+            tags=tuple(data.get("tags", ())),
         )
 
     def to_json(self) -> str:

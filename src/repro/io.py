@@ -1,6 +1,6 @@
 """Exporting runs for offline analysis.
 
-Turns :class:`~repro.net.simulator.RunResult` and
+Turns :class:`~repro.runtime.RunResult` and
 :class:`~repro.core.runner.BSMReport` objects into plain-JSON
 dictionaries (and back, for results), so experiment pipelines can
 archive runs, diff them across code versions, or plot them elsewhere.
@@ -19,7 +19,7 @@ from typing import Iterable, Mapping
 from repro.core.runner import BSMReport
 from repro.errors import ReproError
 from repro.ids import PartyId, parse_party
-from repro.net.simulator import RunResult
+from repro.runtime import RunResult
 from repro.runtime.trace import TraceEvent, trace_to_jsonl
 
 __all__ = [
@@ -37,6 +37,10 @@ __all__ = [
     "load_bench",
     "dump_baseline",
     "load_baseline",
+    "dump_repro",
+    "load_repro",
+    "dump_conform_report",
+    "load_conform_report",
 ]
 
 
@@ -217,6 +221,46 @@ def load_baseline(path) -> dict:
 
     with open(path, "r", encoding="utf-8") as handle:
         return baseline_from_json(handle.read())
+
+
+# -- conformance repro files and reports ---------------------------------------
+
+
+def dump_repro(repro, path) -> None:
+    """Write a :class:`~repro.conform.ReproFile` as canonical JSON.
+
+    Self-contained: the file carries the shrunk spec, the original it
+    was minimized from, and the recorded violations, so ``repro conform
+    replay`` needs nothing else.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(repro.to_json())
+
+
+def load_repro(path):
+    """Read back (and schema-check) a repro file written by :func:`dump_repro`."""
+    from repro.conform.harness import ReproFile
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return ReproFile.from_json(handle.read())
+
+
+def dump_conform_report(report, path) -> None:
+    """Write a :class:`~repro.conform.ConformanceReport` as canonical JSON.
+
+    Deterministic (no timing, no host metadata): two runs of the same
+    ``(seed, budget)`` produce byte-identical files.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report.to_json())
+
+
+def load_conform_report(path):
+    """Read back a report written by :func:`dump_conform_report`."""
+    from repro.conform.harness import ConformanceReport
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return ConformanceReport.from_json(handle.read())
 
 
 # -- structured kernel traces --------------------------------------------------

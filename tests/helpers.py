@@ -1,17 +1,58 @@
-"""Shared test helpers: running consensus protocols standalone."""
+"""Shared test helpers: standalone protocol runs and common builders.
+
+Everything here routes through the :mod:`repro.runtime` façade (the
+``RunPlan`` + ``LockstepRuntime`` path every production caller uses) —
+not the legacy ``repro.net.simulator`` shim.  The hypothesis strategies
+and the synthetic-result builder used across the property-based suites
+live here too, so the test files share one definition instead of
+copy-pasting instance builders.
+"""
 
 from __future__ import annotations
 
 from typing import Callable, Mapping, Sequence
+
+from hypothesis import strategies as st
 
 from repro.adversary.adversary import Adversary
 from repro.crypto.signatures import KeyRing
 from repro.ids import PartyId, all_parties
 from repro.net.faults import LossyLink
 from repro.net.process import NullProcess, Process
-from repro.net.simulator import RunResult, SyncNetwork
 from repro.net.topology import FullyConnected
-from repro.net.transports import DirectLink, LinkLayer, TransportProcess
+from repro.net.transports import TransportProcess
+from repro.runtime import LockstepRuntime, RunPlan, RunResult
+
+# -- hypothesis strategies (shared by the property-based suites) ---------------
+
+#: Arbitrary PartyIds across both sides.
+party_ids = st.builds(
+    PartyId,
+    side=st.sampled_from(["L", "R"]),
+    index=st.integers(min_value=0, max_value=10),
+)
+
+#: Arbitrary nested protocol payloads (the encoding surface).
+payloads = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.text(max_size=8),
+        st.binary(max_size=8),
+        party_ids,
+    ),
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.lists(children, max_size=3).map(tuple),
+        st.dictionaries(st.text(max_size=4), children, max_size=3),
+        st.frozensets(st.integers(min_value=0, max_value=9), max_size=3),
+    ),
+    max_leaves=12,
+)
+
+
+# -- protocol execution --------------------------------------------------------
 
 
 def run_consensus(
@@ -27,20 +68,18 @@ def run_consensus(
     ``make_process(party)`` returns the party's process (``None`` for a
     placeholder NullProcess — e.g. corrupted slots).
     """
-    topology = FullyConnected(k=k)
     processes: dict[PartyId, Process] = {}
     for party in all_parties(k):
         proc = make_process(party)
         processes[party] = proc if proc is not None else NullProcess()
-    keyring = KeyRing(all_parties(k)) if authenticated else None
-    network = SyncNetwork(
-        topology,
-        processes,
+    plan = RunPlan(
+        topology=FullyConnected(k=k),
+        processes=processes,
         adversary=adversary,
-        keyring=keyring,
+        keyring=KeyRing(all_parties(k)) if authenticated else None,
         max_rounds=max_rounds,
     )
-    return network.run()
+    return LockstepRuntime().run(plan)
 
 
 def run_with_omissions(
@@ -59,6 +98,28 @@ def run_with_omissions(
 
     return run_consensus(
         k, wrapped, max_rounds=max_rounds, authenticated=authenticated
+    )
+
+
+# -- result builders -----------------------------------------------------------
+
+
+def synthetic_result(
+    outputs: Mapping[PartyId, object], k: int, *, corrupted=frozenset()
+) -> RunResult:
+    """A terminated zero-traffic result presenting ``outputs`` as-is.
+
+    The verdict suites use this to judge hand-built matchings through
+    ``check_bsm`` without simulating a protocol.
+    """
+    return RunResult(
+        outputs=dict(outputs),
+        halted=frozenset(all_parties(k)),
+        corrupted=frozenset(corrupted),
+        rounds=1,
+        terminated=True,
+        message_count=0,
+        byte_count=0,
     )
 
 

@@ -71,6 +71,44 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "--topology", "ring", "--k", "2", "--tl", "0", "--tr", "0"])
 
+    def test_run_with_composed_mutator(self, capsys):
+        """'+'-composed mutator names (the conform search/shrink output
+        format) are accepted, so found strategies reproduce by hand."""
+        code = main(
+            [
+                "run",
+                "--topology", "fully_connected",
+                "--auth",
+                "--k", "3",
+                "--tl", "1",
+                "--tr", "1",
+                "--adversary", "equivocate",
+                "--corrupt", "R0",
+                "--mutator", "swap_adjacent+drop_odd",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "term=ok sym=ok stab=ok nc=ok" in out
+
+    def test_run_with_unknown_mutator_errors(self, capsys):
+        code = main(
+            [
+                "run",
+                "--topology", "fully_connected",
+                "--auth",
+                "--k", "2",
+                "--tl", "1",
+                "--tr", "0",
+                "--adversary", "equivocate",
+                "--corrupt", "L0",
+                "--mutator", "bogus+drop_odd",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown mutator" in err
+
     def test_run_with_equivocate_adversary(self, capsys):
         code = main(
             [

@@ -1,0 +1,447 @@
+"""Tests for the conformance harness: generators, oracles, search, shrinking."""
+
+import json
+
+import pytest
+
+from repro.adversary.mutators import MUTATORS, resolve_mutator
+from repro.conform import (
+    EnsembleConfig,
+    Oracle,
+    OracleContext,
+    ReproFile,
+    Violation,
+    default_oracle_names,
+    differential_sweep,
+    enumerate_strategies,
+    generate_scenarios,
+    register_oracle,
+    replay_repro,
+    resolve_oracles,
+    run_conformance,
+    scenario_stream,
+    search_adversaries,
+    shrink,
+    unregister_oracle,
+)
+from repro.errors import AdversaryError, ConformError
+from repro.experiment.spec import AdversarySpec, ProfileSpec, ScenarioSpec
+from repro.ids import left_party as l, right_party as r
+
+
+class _FlagAll(Oracle):
+    """A deliberately broken oracle: every bsm scenario is a violation."""
+
+    def __init__(self, name="test_flag_all"):
+        super().__init__(name=name)
+
+    def applies(self, spec):
+        return spec.family == "bsm"
+
+    def check(self, spec, ctx):
+        ctx.records(spec)  # exercise the memoized execution path
+        return (self._violation(spec, "deliberately broken"),)
+
+
+class _FlagEquivocation(Oracle):
+    """Flags any scenario whose adversary equivocates with a drop lie."""
+
+    def __init__(self):
+        super().__init__(name="test_flag_equivocation")
+
+    def applies(self, spec):
+        return spec.family == "bsm"
+
+    def check(self, spec, ctx):
+        adversary = spec.adversary
+        if adversary is not None and adversary.mutator and "drop" in adversary.mutator:
+            return (self._violation(spec, "drop-lie adversary present"),)
+        return ()
+
+
+@pytest.fixture
+def broken_oracle():
+    oracle = register_oracle(_FlagAll())
+    yield oracle
+    unregister_oracle(oracle.name)
+
+
+class TestGenerators:
+    def test_stream_is_deterministic(self):
+        assert generate_scenarios(seed=3, count=40) == generate_scenarios(seed=3, count=40)
+
+    def test_prefix_property(self):
+        long = generate_scenarios(seed=1, count=30)
+        short = generate_scenarios(seed=1, count=10)
+        assert long[:10] == short
+
+    def test_different_seeds_differ(self):
+        assert generate_scenarios(seed=0, count=20) != generate_scenarios(seed=1, count=20)
+
+    def test_specs_round_trip_and_carry_tags(self):
+        for index, spec in enumerate(generate_scenarios(seed=2, count=25)):
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+            assert spec.tags == ("conform", "seed2", f"ix{index}")
+
+    def test_solvable_only_respects_oracle(self):
+        from repro.core.solvability import cached_is_solvable
+
+        for spec in generate_scenarios(seed=4, count=40):
+            if spec.family == "bsm":
+                assert cached_is_solvable(spec.setting()).solvable
+
+    def test_ensemble_covers_every_family(self):
+        families = {spec.family for spec in generate_scenarios(seed=0, count=60)}
+        assert families == {"bsm", "roommates", "offline"}
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConformError):
+            EnsembleConfig(families=())
+        with pytest.raises(ConformError):
+            EnsembleConfig(adversary_kinds=("bogus",))
+        with pytest.raises(ConformError):
+            EnsembleConfig(link_probability=1.5)
+
+    def test_stream_restarts_identically(self):
+        config = EnsembleConfig(families=("bsm",))
+        first = [next(scenario_stream(config, seed=9)) for _ in range(1)][0]
+        again = next(scenario_stream(config, seed=9))
+        assert first == again
+
+    def test_tags_propagate_to_records(self):
+        from repro.experiment.engine import Session
+
+        spec = generate_scenarios(EnsembleConfig(families=("bsm",)), seed=0, count=1)[0]
+        records = Session().run(spec)
+        assert records[0].tags == spec.tags
+        # and survive the record JSON round trip
+        from repro.experiment.records import RunRecordSet
+
+        assert RunRecordSet.from_json(records.to_json())[0].tags == spec.tags
+
+
+class TestMutatorComposition:
+    def test_new_primitives_registered(self):
+        assert {"drop_odd", "swap_adjacent", "lie_to_first"} <= set(MUTATORS)
+
+    def test_composite_name_resolves(self):
+        mutator = resolve_mutator("swap_adjacent+drop_even")
+        lists = (l(0), l(1), l(2))
+        assert mutator(0, r(1), lists) == (l(1), l(0), l(2))  # swapped, kept
+        assert mutator(0, r(0), lists) is None  # swapped then dropped
+
+    def test_drop_short_circuits_composition(self):
+        mutator = resolve_mutator("drop_even+reverse_all")
+        assert mutator(0, r(0), (l(0), l(1))) is None
+
+    def test_unknown_composite_part_rejected(self):
+        with pytest.raises(AdversaryError, match="unknown mutator"):
+            resolve_mutator("reverse_even+bogus")
+
+    def test_swap_adjacent_is_minimal_reorder(self):
+        mutator = resolve_mutator("swap_adjacent")
+        assert mutator(0, r(0), (l(0), l(1), l(2))) == (l(1), l(0), l(2))
+        assert mutator(0, r(0), (l(0),)) == (l(0),)
+
+    def test_lie_to_first_targets_index_zero_only(self):
+        mutator = resolve_mutator("lie_to_first")
+        lists = (l(0), l(1))
+        assert mutator(0, r(0), lists) == (l(1), l(0))
+        assert mutator(0, r(1), lists) == lists
+
+
+class TestOracles:
+    def test_default_oracles_resolve(self):
+        oracles = resolve_oracles()
+        assert tuple(o.name for o in oracles) == default_oracle_names()
+
+    def test_unknown_oracle_rejected(self):
+        with pytest.raises(ConformError, match="unknown oracle"):
+            resolve_oracles(["nope"])
+
+    def test_context_memoizes_executions(self):
+        ctx = OracleContext()
+        spec = ScenarioSpec(k=2, profile=ProfileSpec(seed=1))
+        first = ctx.records(spec)
+        second = ctx.records(spec)
+        assert first is second
+        assert ctx.executions == 1
+
+    def test_builtin_oracles_pass_on_clean_ensemble(self):
+        ctx = OracleContext()
+        for spec in generate_scenarios(seed=6, count=25):
+            for oracle in resolve_oracles():
+                if oracle.applies(spec):
+                    assert oracle.check(spec, ctx) == (), (oracle.name, spec.label())
+
+    def test_differential_oracle_on_200_generated_scenarios(self):
+        """The cross-runtime byte-identity contract, on a generated
+        ensemble at the quick budget (the acceptance bar: >= 200)."""
+        specs = generate_scenarios(EnsembleConfig(families=("bsm",)), seed=1, count=200)
+        assert differential_sweep(specs) == ()
+
+    def test_differential_oracle_per_spec_path(self):
+        ctx = OracleContext()
+        (oracle,) = resolve_oracles(["runtime_differential"])
+        spec = ScenarioSpec(
+            k=3, tL=1, tR=1,
+            profile=ProfileSpec(seed=3),
+            adversary=AdversarySpec(kind="equivocate", mutator="reverse_even"),
+        )
+        assert oracle.applies(spec)
+        assert oracle.check(spec, ctx) == ()
+        # one execution per runtime, memoized thereafter
+        assert ctx.executions == 3
+
+    def test_differential_sweep_flags_missing_records(self):
+        """A runtime that loses a record must fail the oracle, not slip
+        past a truncating zip."""
+        from repro.experiment.engine import Session
+
+        class _TruncatingSession:
+            def __init__(self):
+                self._real = Session(executor="batch")
+                self._calls = 0
+
+            def sweep(self, specs):
+                records = self._real.sweep(specs)
+                self._calls += 1
+                if self._calls == 1:
+                    return records  # the reference sweep is intact
+                from repro.experiment.records import RunRecordSet
+
+                return RunRecordSet(records=records.records[:-1])
+
+        specs = generate_scenarios(EnsembleConfig(families=("bsm",)), seed=2, count=4)
+        violations = differential_sweep(specs, session=_TruncatingSession())
+        assert violations
+        assert any("records" in v.message for v in violations)
+
+    def test_violation_round_trip(self):
+        violation = Violation(
+            oracle="x", scenario="s", message="m", details=(("a", "1"),)
+        )
+        assert Violation.from_dict(violation.to_dict()) == violation
+
+
+class TestSearch:
+    def test_enumeration_covers_primitives(self):
+        strategies = enumerate_strategies()
+        described = {s.describe() for s in strategies}
+        assert "silent" in described
+        assert "equivocate[reverse_even]" in described
+        assert len([s for s in strategies if s.kind == "equivocate"]) == len(MUTATORS)
+
+    def test_search_clean_protocol_finds_nothing(self):
+        spec = ScenarioSpec(k=2, tL=1, tR=0, profile=ProfileSpec(seed=5))
+        result = search_adversaries(spec, max_depth=2)
+        assert result.score == 0
+        assert len(result.tried) >= len(enumerate_strategies())
+
+    def test_search_finds_planted_violation_and_composes(self):
+        oracle = register_oracle(_FlagEquivocation())
+        try:
+            spec = ScenarioSpec(k=2, tL=1, tR=0, profile=ProfileSpec(seed=5))
+            result = search_adversaries(
+                spec, oracles=[oracle], ctx=OracleContext(), max_depth=2
+            )
+            assert result.score >= 1
+            assert "drop" in (result.strategy.mutator or "")
+            assert result.spec.adversary is not None
+            assert result.spec.adversary.kind == "equivocate"
+        finally:
+            unregister_oracle(oracle.name)
+
+    def test_search_respects_max_depth(self):
+        class _RewardsLength(Oracle):
+            """Scores grow with composition length — the greedy trap."""
+
+            def __init__(self):
+                super().__init__(name="test_rewards_length")
+
+            def applies(self, spec):
+                return spec.family == "bsm"
+
+            def check(self, spec, ctx):
+                adversary = spec.adversary
+                if adversary is None or not adversary.mutator:
+                    return ()
+                return tuple(
+                    self._violation(spec, f"lie #{i}")
+                    for i in range(adversary.mutator.count("+") + 1)
+                )
+
+        oracle = _RewardsLength()
+        spec = ScenarioSpec(k=2, tL=1, tR=0, profile=ProfileSpec(seed=5))
+        for depth in (1, 2, 3):
+            result = search_adversaries(
+                spec, oracles=[oracle], ctx=OracleContext(), max_depth=depth
+            )
+            primitives = (result.strategy.mutator or "").split("+")
+            assert len(primitives) <= depth
+
+    def test_search_without_mutators_returns_best_canned(self):
+        spec = ScenarioSpec(k=2, tL=1, tR=0, profile=ProfileSpec(seed=5))
+        result = search_adversaries(spec, mutators=(), max_depth=3)
+        assert result.score == 0
+        assert result.strategy.kind != "equivocate"
+
+    def test_search_requires_budget(self):
+        with pytest.raises(ConformError, match="budget"):
+            search_adversaries(ScenarioSpec(k=2))
+
+    def test_search_rejects_non_bsm(self):
+        with pytest.raises(ConformError, match="bsm"):
+            search_adversaries(ScenarioSpec(family="offline", k=2))
+
+
+class _CrashingOracle(Oracle):
+    """An oracle whose check raises a library error (an engine crash)."""
+
+    def __init__(self):
+        super().__init__(name="test_crashing")
+
+    def applies(self, spec):
+        return spec.family == "bsm"
+
+    def check(self, spec, ctx):
+        from repro.errors import SolvabilityError
+
+        raise SolvabilityError("boom from deep in the engine")
+
+
+class TestCrashHandling:
+    @pytest.fixture
+    def crashing_oracle(self):
+        oracle = register_oracle(_CrashingOracle())
+        yield oracle
+        unregister_oracle(oracle.name)
+
+    def test_crashing_check_becomes_violation_not_abort(self, crashing_oracle, tmp_path):
+        report = run_conformance(
+            seed=0, budget=6, oracles=[crashing_oracle.name], repro_dir=tmp_path
+        )
+        assert not report.ok
+        assert all("crashed" in v.message for v in report.violations)
+        assert report.repro_paths  # the crash ships as a repro artifact
+        # the budget completed: one check per bsm scenario, none skipped
+        bsm = sum(1 for s in generate_scenarios(seed=0, count=6) if s.family == "bsm")
+        assert report.checks == bsm
+
+    def test_replay_reproduces_crash_finding(self, crashing_oracle, tmp_path):
+        report = run_conformance(
+            seed=0, budget=4, oracles=[crashing_oracle.name], repro_dir=tmp_path
+        )
+        from repro.io import load_repro
+
+        repro = load_repro(tmp_path / report.repro_paths[0])
+        reproduced, violations = replay_repro(repro)
+        assert reproduced
+        assert "crashed" in violations[0].message
+
+
+class TestShrink:
+    def test_non_violating_spec_is_returned_unchanged(self):
+        (oracle,) = resolve_oracles(["solvable_ok"])
+        spec = ScenarioSpec(k=2, profile=ProfileSpec(seed=1))
+        result = shrink(spec, oracle)
+        assert result.spec == spec
+        assert result.steps == 0
+
+    def test_shrink_minimizes_broken_oracle_case(self, broken_oracle):
+        spec = ScenarioSpec(
+            topology="fully_connected",
+            authenticated=True,
+            k=3,
+            tL=1,
+            tR=1,
+            profile=ProfileSpec(kind="correlated", seed=77, similarity=0.25),
+            adversary=AdversarySpec(
+                kind="equivocate", mutator="reverse_even+drop_odd", seed=9
+            ),
+        )
+        result = shrink(spec, broken_oracle)
+        assert result.steps > 0
+        assert result.violations
+        # minimal shape for an oracle that flags *every* bsm spec:
+        assert result.spec.k == 1
+        assert result.spec.adversary is None
+        assert result.spec.profile.kind == "random"
+        assert result.spec.profile.seed == 0
+        assert result.trail  # the reduction story is recorded
+
+    def test_shrink_keeps_what_the_violation_needs(self):
+        oracle = register_oracle(_FlagEquivocation())
+        try:
+            spec = ScenarioSpec(
+                k=3, tL=1, tR=1,
+                profile=ProfileSpec(seed=4),
+                adversary=AdversarySpec(kind="equivocate", mutator="drop_even+reverse_all"),
+            )
+            result = shrink(spec, oracle)
+            # the equivocating drop-lie must survive, everything else shrinks
+            assert result.spec.adversary is not None
+            assert "drop" in result.spec.adversary.mutator
+            assert result.spec.adversary.mutator == "drop_even"  # reverse_all shed
+            assert result.spec.k == 1
+        finally:
+            unregister_oracle(oracle.name)
+
+
+class TestHarness:
+    def test_report_deterministic_across_invocations(self):
+        first = run_conformance(seed=0, budget=12)
+        second = run_conformance(seed=0, budget=12)
+        assert first.to_json() == second.to_json()
+        assert first.ok
+
+    def test_broken_oracle_yields_replayable_shrunk_repro(self, broken_oracle, tmp_path):
+        report = run_conformance(
+            seed=0, budget=6, oracles=[broken_oracle.name], repro_dir=tmp_path
+        )
+        assert not report.ok
+        assert report.repro_paths
+        from repro.io import load_repro
+
+        repro = load_repro(tmp_path / report.repro_paths[0])
+        assert repro.oracle == broken_oracle.name
+        assert repro.shrink_steps > 0
+        reproduced, violations = replay_repro(repro)
+        assert reproduced
+        assert violations[0].oracle == broken_oracle.name
+
+    def test_no_shrink_keeps_original_spec(self, broken_oracle):
+        report = run_conformance(
+            seed=0, budget=4, oracles=[broken_oracle.name], shrink_violations=False
+        )
+        for repro in report.repros:
+            assert repro.spec == repro.original
+            assert repro.shrink_steps == 0
+
+    def test_report_json_round_trip(self, tmp_path, broken_oracle):
+        from repro.conform.harness import ConformanceReport
+        from repro.io import dump_conform_report, load_conform_report
+
+        report = run_conformance(seed=1, budget=5, oracles=[broken_oracle.name])
+        path = tmp_path / "report.json"
+        dump_conform_report(report, path)
+        clone = load_conform_report(path)
+        assert isinstance(clone, ConformanceReport)
+        assert clone.violations == report.violations
+        assert clone.seed == report.seed and clone.budget == report.budget
+
+    def test_malformed_repro_schema_rejected(self):
+        with pytest.raises(ConformError, match="schema"):
+            ReproFile.from_json(json.dumps({"schema": "bogus/9"}))
+        with pytest.raises(ConformError, match="JSON"):
+            ReproFile.from_json("{not json")
+
+    def test_replay_unknown_oracle_rejected(self):
+        repro = ReproFile(
+            oracle="long_gone",
+            spec=ScenarioSpec(k=2),
+            original=ScenarioSpec(k=2),
+            violations=(),
+        )
+        with pytest.raises(ConformError, match="unknown oracle"):
+            replay_repro(repro)

@@ -1,0 +1,259 @@
+"""Tests for the ``repro conform`` CLI: run/replay/report/search + error paths."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.conform import Oracle, register_oracle, unregister_oracle
+
+
+class _FlagAll(Oracle):
+    def __init__(self):
+        super().__init__(name="cli_test_flag_all")
+
+    def applies(self, spec):
+        return spec.family == "bsm"
+
+    def check(self, spec, ctx):
+        return (self._violation(spec, "cli-injected violation"),)
+
+
+@pytest.fixture
+def broken_oracle():
+    oracle = register_oracle(_FlagAll())
+    yield oracle
+    unregister_oracle(oracle.name)
+
+
+class TestConformRun:
+    def test_green_run_exits_zero(self, capsys, tmp_path):
+        code = main(
+            [
+                "conform", "run",
+                "--seed", "0",
+                "--budget", "10",
+                "--repro-dir", str(tmp_path / "repros"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "10 scenarios" in out
+        assert "0 violation(s)" in out
+        assert not (tmp_path / "repros").exists()  # no violations, no files
+
+    def test_report_json_is_deterministic(self, capsys, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for path in (first, second):
+            assert (
+                main(
+                    [
+                        "conform", "run",
+                        "--seed", "0",
+                        "--budget", "10",
+                        "--out", str(path),
+                        "--repro-dir", str(tmp_path / "repros"),
+                    ]
+                )
+                == 0
+            )
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_violations_exit_one_and_write_repros(self, capsys, tmp_path, broken_oracle):
+        code = main(
+            [
+                "conform", "run",
+                "--seed", "0",
+                "--budget", "4",
+                "--oracles", broken_oracle.name,
+                "--repro-dir", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATION" in out
+        assert list(tmp_path.glob("repro_*.json"))
+
+    def test_unknown_oracle_exits_two(self, capsys):
+        code = main(["conform", "run", "--budget", "2", "--oracles", "bogus"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown oracle" in err
+
+    def test_negative_budget_exits_two(self, capsys):
+        code = main(["conform", "run", "--budget", "-1"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--budget" in err
+
+    def test_unwritable_out_exits_two(self, capsys, tmp_path):
+        code = main(
+            [
+                "conform", "run",
+                "--budget", "2",
+                "--repro-dir", str(tmp_path / "repros"),
+                "--out", str(tmp_path / "no" / "such" / "dir" / "report.json"),
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot write report" in err
+
+    def test_unwritable_repro_dir_exits_two(self, capsys, tmp_path, broken_oracle):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory must go")
+        code = main(
+            [
+                "conform", "run",
+                "--budget", "4",
+                "--oracles", broken_oracle.name,
+                "--repro-dir", str(blocker),
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot write repro files" in err
+
+
+class TestConformReplay:
+    def _write_repro(self, tmp_path, broken_oracle):
+        assert (
+            main(
+                [
+                    "conform", "run",
+                    "--seed", "0",
+                    "--budget", "4",
+                    "--oracles", broken_oracle.name,
+                    "--repro-dir", str(tmp_path),
+                ]
+            )
+            == 1
+        )
+        return sorted(tmp_path.glob("repro_*.json"))[0]
+
+    def test_replay_reproduces_and_exits_zero(self, capsys, tmp_path, broken_oracle):
+        path = self._write_repro(tmp_path, broken_oracle)
+        capsys.readouterr()
+        code = main(["conform", "replay", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "REPRODUCED" in out
+
+    def test_replay_fixed_oracle_exits_one(self, capsys, tmp_path, broken_oracle):
+        path = self._write_repro(tmp_path, broken_oracle)
+        # "Fix the bug": the oracle stops flagging everything.
+        unregister_oracle(broken_oracle.name)
+
+        class Fixed(Oracle):
+            def __init__(self):
+                super().__init__(name=broken_oracle.name)
+
+            def applies(self, spec):
+                return spec.family == "bsm"
+
+            def check(self, spec, ctx):
+                return ()
+
+        register_oracle(Fixed())
+        capsys.readouterr()
+        code = main(["conform", "replay", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "not reproduced" in out
+
+    def test_replay_malformed_file_exits_two(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{definitely not json")
+        code = main(["conform", "replay", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot load repro file" in err
+
+    def test_replay_wrong_schema_exits_two(self, capsys, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"schema": "something/else", "oracle": "x"}))
+        code = main(["conform", "replay", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "schema" in err
+
+    def test_replay_missing_file_exits_two(self, capsys, tmp_path):
+        code = main(["conform", "replay", str(tmp_path / "absent.json")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot load repro file" in err
+
+    def test_replay_unregistered_oracle_exits_two(self, capsys, tmp_path, broken_oracle):
+        path = self._write_repro(tmp_path, broken_oracle)
+        unregister_oracle(broken_oracle.name)
+        capsys.readouterr()
+        code = main(["conform", "replay", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot replay" in err
+
+
+class TestConformReport:
+    def test_report_prints_archived_run(self, capsys, tmp_path):
+        out_path = tmp_path / "report.json"
+        assert (
+            main(
+                [
+                    "conform", "run",
+                    "--seed", "0",
+                    "--budget", "8",
+                    "--out", str(out_path),
+                    "--repro-dir", str(tmp_path / "repros"),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(["conform", "report", str(out_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8 scenarios" in out
+        assert "runtime_differential" in out
+
+    def test_report_malformed_exits_two(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "nope"}')
+        code = main(["conform", "report", str(path)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot load report" in err
+
+
+class TestConformSearch:
+    def test_search_clean_protocols_exits_zero(self, capsys):
+        code = main(["conform", "search", "--budget", "1", "--depth", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "no oracle violations found" in out
+
+
+class TestBenchCompareCLIErrors:
+    def test_unknown_baseline_schema_exits_two(self, capsys, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps({"kind": "bench-baseline", "schema": 999, "cases": {}})
+        )
+        code = main(
+            ["bench", "gale_shapley_scaling", "--no-json", "--compare", str(path)]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot load baseline" in err
+        assert "schema" in err
+
+    def test_missing_baseline_file_exits_two(self, capsys, tmp_path):
+        code = main(
+            [
+                "bench", "gale_shapley_scaling", "--no-json",
+                "--compare", str(tmp_path / "absent.json"),
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot load baseline" in err

@@ -5,7 +5,13 @@ import pytest
 from repro.consensus.base import BOT
 from repro.consensus.phase_king import PiBA
 from repro.ids import all_parties, left_party as l, left_side, right_party as r, right_side
-from repro.net.faults import LossyLink, after_round_drop, partition_drop, random_drop
+from repro.net.faults import (
+    LossyLink,
+    after_round_drop,
+    compose_drop,
+    partition_drop,
+    random_drop,
+)
 from repro.net.process import Process
 from repro.net.simulator import SyncNetwork
 from repro.net.topology import FullyConnected
@@ -74,6 +80,60 @@ class TestOmissionGuarantees:
         non_bot = {v for v in result.outputs.values() if v is not BOT}
         assert len(non_bot) <= 1
 
+    def test_self_loop_drop_rule_is_inert(self):
+        """The kernel never routes self messages, so a rule dropping
+        (p -> p) edges changes nothing — not even the drop counter."""
+        from repro.core.problem import BSMInstance, Setting
+        from repro.core.runner import run_bsm
+        from repro.matching.generators import random_profile
+
+        setting = Setting("fully_connected", True, 3, 1, 1)
+        instance = BSMInstance(setting, random_profile(3, 7))
+        baseline = run_bsm(instance, None)
+        self_dropped = run_bsm(instance, None, drop_rule=lambda s, d, r_: s == d)
+        assert self_dropped.result == baseline.result
+        assert self_dropped.result.dropped == 0
+
+    def test_partition_rule_never_drops_self_loops(self):
+        rule = partition_drop(left_side(2), right_side(2))
+        for party in all_parties(2):
+            assert not rule(party, party, 0)
+
+    def test_random_drop_deterministic_on_self_loops(self):
+        rule = random_drop(0.5, seed=3)
+        assert rule(l(0), l(0), 4) == rule(l(0), l(0), 4)
+
+    def test_total_loss_around_byzantine_parties_looks_silent(self):
+        """100%-loss links to/from the corrupted set = a silent adversary:
+        a solvable setting must still succeed."""
+        from repro.core.problem import BSMInstance, Setting
+        from repro.core.runner import make_adversary, run_bsm
+
+        from repro.matching.generators import random_profile
+
+        setting = Setting("fully_connected", True, 3, 1, 1)
+        instance = BSMInstance(setting, random_profile(3, 11))
+        corrupted = frozenset({l(0), r(0)})
+        # The corrupted parties run the honest protocol ("byzantine in
+        # name only") — only the channel silences them.
+        adversary = make_adversary(instance, corrupted, kind="honest")
+        blackout = lambda s, d, r_: s in corrupted or d in corrupted  # noqa: E731
+        report = run_bsm(instance, adversary, drop_rule=blackout)
+        assert report.ok, report.report.violations
+        assert report.result.dropped > 0
+        # And byte-identical to the genuinely-silent adversary run.
+        silent = run_bsm(instance, make_adversary(instance, corrupted, kind="silent"))
+        honest = frozenset(all_parties(3)) - corrupted
+        assert {p: report.result.outputs[p] for p in honest} == {
+            p: silent.result.outputs[p] for p in honest
+        }
+
+    def test_compose_drop_unions_fault_patterns(self):
+        rule = compose_drop(after_round_drop(5), partition_drop(left_side(2), right_side(2)))
+        assert rule(l(0), r(0), 0)  # partition fires
+        assert rule(l(0), l(1), 6)  # cutoff fires
+        assert not rule(l(0), l(1), 2)  # neither fires
+
     def test_drop_counter(self):
         group = all_parties(2)
         link = LossyLink(l(0), group, lambda s, d, r_: True)
@@ -91,3 +151,76 @@ class TestOmissionGuarantees:
         link.ingest(ctx, [Envelope(r(0), l(0), 0, ("lnk.direct", "x"))])
         assert link.dropped == 1
         assert link.collect() == []
+
+
+class TestFaultsUnderBatchRuntime:
+    """Link faults must behave identically under every runtime — the
+    batch executor included (historically only Lockstep was exercised)."""
+
+    def _lossy_spec(self, link, runtime="lockstep", *, corrupt=("L0",), kind="silent"):
+        from repro.experiment.spec import AdversarySpec, ProfileSpec, ScenarioSpec
+
+        return ScenarioSpec(
+            topology="fully_connected",
+            authenticated=True,
+            k=3,
+            tL=1,
+            tR=1,
+            profile=ProfileSpec(seed=5),
+            adversary=AdversarySpec(kind=kind, corrupt=corrupt, link=link),
+            runtime=runtime,
+        )
+
+    @pytest.mark.parametrize(
+        "link_kwargs",
+        [
+            dict(kind="random", probability=0.15, seed=9),
+            dict(kind="after_round", cutoff=3),
+            dict(kind="partition"),
+        ],
+        ids=["random", "after_round", "partition"],
+    )
+    def test_batch_runtime_matches_lockstep_under_faults(self, link_kwargs):
+        from repro.experiment.engine import Session
+        from repro.experiment.spec import LinkSpec
+
+        link = LinkSpec(**link_kwargs)
+        session = Session()
+        lockstep = session.run(self._lossy_spec(link, "lockstep"))
+        batch = session.run(self._lossy_spec(link, "batch"))
+        assert lockstep.to_json() == batch.to_json()
+
+    def test_batch_executor_matches_serial_on_lossy_sweep(self):
+        from repro.experiment.engine import Session
+        from repro.experiment.spec import LinkSpec
+
+        specs = [
+            self._lossy_spec(LinkSpec(kind="random", probability=p, seed=s))
+            for p in (0.1, 0.4)
+            for s in (1, 2)
+        ]
+        serial = Session(executor="serial").sweep(specs)
+        batched = Session(executor="batch").sweep(specs)
+        assert serial.to_json() == batched.to_json()
+        assert any(record.dropped > 0 for record in batched)
+
+    def test_total_loss_on_byzantine_links_under_batch(self):
+        """100%-loss channels around the corrupted set, batched: the
+        run degrades to the silent-adversary case and still succeeds."""
+        from repro.core.problem import BSMInstance, Setting
+        from repro.core.runner import finish_bsm, make_adversary, prepare_bsm
+        from repro.matching.generators import random_profile
+        from repro.runtime import BatchRuntime, ExecutionCache
+
+        setting = Setting("fully_connected", True, 3, 1, 1)
+        instance = BSMInstance(setting, random_profile(3, 11))
+        corrupted = frozenset({l(0), r(0)})
+        prepared = prepare_bsm(
+            instance,
+            make_adversary(instance, corrupted, kind="honest"),
+            drop_rule=lambda s, d, r_: s in corrupted or d in corrupted,
+        )
+        (result,) = BatchRuntime(ExecutionCache()).run_many([prepared.plan])
+        report = finish_bsm(prepared, result)
+        assert report.ok, report.report.violations
+        assert report.result.dropped > 0

@@ -8,46 +8,14 @@ malformed-but-plausible messages hit the parsers' deep branches — and
 every solvable setting must shrug it off.
 """
 
-import random
-
 import pytest
 
+from repro.conform.generators import chaos_mutator
 from repro.core.problem import BSMInstance, Setting
 from repro.core.runner import make_adversary, run_bsm
 from repro.core.solvability import is_solvable
-from repro.ids import PartyId, left_party as l, left_side, right_party as r, right_side
-from repro.matching.generators import random_profile
-
-
-def chaos_mutator(seed: int, aggressiveness: float = 0.4):
-    """A seeded structural payload mutator."""
-    rng = random.Random(seed)
-
-    def mutate_value(value, depth=0):
-        roll = rng.random()
-        if roll < 0.25:
-            return rng.randrange(100)
-        if roll < 0.45:
-            return "fuzz"
-        if roll < 0.6:
-            return None
-        if roll < 0.8 and isinstance(value, tuple) and value:
-            items = list(value)
-            rng.shuffle(items)
-            return tuple(items)
-        if isinstance(value, tuple) and depth < 3:
-            return tuple(mutate_value(item, depth + 1) for item in value)
-        return value
-
-    def mutate(round_now, dst, payload):
-        roll = rng.random()
-        if roll > aggressiveness:
-            return payload  # pass through: stay plausible most of the time
-        if roll < aggressiveness * 0.2:
-            return None  # drop
-        return mutate_value(payload)
-
-    return mutate
+from repro.ids import left_party as l, left_side, right_party as r, right_side
+from repro.matching.generators import random_profile, random_roommates_preferences
 
 
 FUZZ_SETTINGS = [
@@ -107,13 +75,8 @@ class TestChaosMutations:
         from repro.net.topology import FullyConnected
 
         setting = RoommatesSetting(n=6, t=1, authenticated=True)
-        rng = random.Random(seed)
         parties = setting.parties()
-        preferences = {}
-        for party in parties:
-            others = [p for p in parties if p != party]
-            rng.shuffle(others)
-            preferences[party] = tuple(others)
+        preferences = random_roommates_preferences(parties, seed)
         instance = RoommatesInstance(setting, preferences)
         liar = parties[-1]
         adv = BehaviorAdversary(

@@ -12,39 +12,13 @@ from repro.adversary.structures import (
     satisfies_q3,
 )
 from repro.crypto.encoding import encode
-from repro.ids import PartyId, all_parties
+from repro.ids import all_parties
 from repro.matching.enumerate_stable import all_stable_matchings
 from repro.matching.gale_shapley import gale_shapley
 from repro.matching.generators import random_profile, random_roommates_preferences
 from repro.matching.roommates import roommates_blocking_pairs, stable_roommates
-from repro.matching.stability import blocking_pairs, is_stable
-
-# -- strategies ----------------------------------------------------------------------
-
-party_ids = st.builds(
-    PartyId,
-    side=st.sampled_from(["L", "R"]),
-    index=st.integers(min_value=0, max_value=10),
-)
-
-payloads = st.recursive(
-    st.one_of(
-        st.none(),
-        st.booleans(),
-        st.integers(min_value=-(2**40), max_value=2**40),
-        st.text(max_size=8),
-        st.binary(max_size=8),
-        party_ids,
-    ),
-    lambda children: st.one_of(
-        st.tuples(children, children),
-        st.lists(children, max_size=3).map(tuple),
-        st.dictionaries(st.text(max_size=4), children, max_size=3),
-        st.frozensets(st.integers(min_value=0, max_value=9), max_size=3),
-    ),
-    max_leaves=12,
-)
-
+from repro.matching.stability import blocking_pairs
+from tests.helpers import payloads
 
 # -- encoding ------------------------------------------------------------------------
 

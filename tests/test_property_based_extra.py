@@ -9,25 +9,11 @@ from repro.core.verdict import check_bsm
 from repro.ids import all_parties, left_side, right_side
 from repro.matching.enumerate_stable import all_stable_matchings
 from repro.matching.gale_shapley import gale_shapley
-from repro.matching.generators import random_profile
-from repro.matching.incomplete import (
-    IncompleteProfile,
-    gale_shapley_incomplete,
-    is_stable_incomplete,
-)
+from repro.matching.generators import random_incomplete_profile, random_profile
+from repro.matching.incomplete import gale_shapley_incomplete, is_stable_incomplete
 from repro.matching.lattice import dominates, lattice_join, lattice_meet
 from repro.matching.metrics import blocking_pair_count, divorce_distance
-from repro.net.simulator import RunResult
-
-
-def make_incomplete(k: int, seed: int, density: float) -> IncompleteProfile:
-    rng = random.Random(seed)
-    lists = {}
-    for party in all_parties(k):
-        others = list(right_side(k) if party.is_left() else left_side(k))
-        rng.shuffle(others)
-        lists[party] = tuple(o for o in others if rng.random() < density)
-    return IncompleteProfile(k=k, lists=lists)
+from tests.helpers import synthetic_result
 
 
 class TestIncompleteProperties:
@@ -38,7 +24,7 @@ class TestIncompleteProperties:
     )
     @settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow])
     def test_always_stable_and_individually_rational(self, k, seed, density):
-        profile = make_incomplete(k, seed, density)
+        profile = random_incomplete_profile(k, density, seed)
         matching = gale_shapley_incomplete(profile)
         assert is_stable_incomplete(matching, profile)
 
@@ -49,7 +35,7 @@ class TestIncompleteProperties:
     @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
     def test_both_proposer_sides_match_same_party_set(self, k, seed):
         """The matched set is invariant (Gale-Sotomayor), so both runs agree."""
-        profile = make_incomplete(k, seed, 0.7)
+        profile = random_incomplete_profile(k, 0.7, seed)
         l_run = gale_shapley_incomplete(profile, "L")
         r_run = gale_shapley_incomplete(profile, "R")
         assert set(l_run.pairs) == set(r_run.pairs)
@@ -60,7 +46,7 @@ class TestIncompleteProperties:
     )
     @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
     def test_full_density_reduces_to_complete_case(self, k, seed):
-        profile = make_incomplete(k, seed, 1.0)
+        profile = random_incomplete_profile(k, 1.0, seed)
         matching = gale_shapley_incomplete(profile)
         assert matching.is_perfect(k)
 
@@ -110,16 +96,7 @@ class TestVerdictProperties:
         """Any stable matching presented as outputs passes all four checks."""
         profile = random_profile(k, seed)
         matching = gale_shapley(profile).matching
-        outputs = matching.as_outputs(k)
-        result = RunResult(
-            outputs=dict(outputs),
-            halted=frozenset(all_parties(k)),
-            corrupted=frozenset(),
-            rounds=1,
-            terminated=True,
-            message_count=0,
-            byte_count=0,
-        )
+        result = synthetic_result(dict(matching.as_outputs(k)), k)
         report = check_bsm(result, profile, all_parties(k))
         assert report.all_ok
 
@@ -138,16 +115,7 @@ class TestVerdictProperties:
         from repro.matching.matching import Matching
 
         candidate = Matching.from_pairs(zip(left_side(k), rights))
-        outputs = candidate.as_outputs(k)
-        result = RunResult(
-            outputs=dict(outputs),
-            halted=frozenset(all_parties(k)),
-            corrupted=frozenset(),
-            rounds=1,
-            terminated=True,
-            message_count=0,
-            byte_count=0,
-        )
+        result = synthetic_result(dict(candidate.as_outputs(k)), k)
         report = check_bsm(result, profile, all_parties(k))
         is_actually_stable = blocking_pair_count(candidate, profile) == 0
         assert report.stability == is_actually_stable
