@@ -46,6 +46,7 @@ from repro.core.verdict import PropertyReport, check_bsm, check_ssm
 from repro.experiment import (
     AdversarySpec,
     Engine,
+    ExecutorSpec,
     LinkSpec,
     ProfileSpec,
     RunRecord,
@@ -85,6 +86,7 @@ __all__ = [
     "ProfileSpec",
     "AdversarySpec",
     "LinkSpec",
+    "ExecutorSpec",
     "Sweep",
     "Session",
     "Engine",

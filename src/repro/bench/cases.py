@@ -506,6 +506,54 @@ register(
 )
 
 
+# -- P1: the parallel execution plane ------------------------------------------
+
+#: (seeds, ks) per tier: a seed-replicated signature-heavy ensemble —
+#: the Mertens-style random-ensemble regime where cache sharing and
+#: multicore have to compose.
+_PARALLEL_SIZES = {
+    "quick": (range(3), (3,)),
+    "full": (range(8), (3, 4)),
+    "scale": (range(24), (4, 5)),
+}
+
+
+def _sweep_parallel_workload(tier: str) -> Sweep:
+    seeds, ks = _PARALLEL_SIZES[tier]
+    return Sweep.grid(
+        topologies=("fully_connected", "bipartite"),
+        auths=(True,),
+        ks=ks,
+        budgets="solvable",
+        seeds=tuple(seeds),
+        adversary=AdversarySpec(kind="silent"),
+    )
+
+
+def _sweep_parallel_check(records: RunRecordSet, tier: str) -> tuple[str, ...]:
+    return _all_ok(records)
+
+
+def _sweep_parallel_metrics(records: RunRecordSet, tier: str) -> Mapping[str, float]:
+    families: dict[str, int] = {}
+    for record in records:
+        key = f"runs_{record.topology}_k{record.k}"
+        families[key] = families.get(key, 0) + 1
+    return {key: float(count) for key, count in sorted(families.items())}
+
+
+register(
+    BenchCase(
+        name="sweep_parallel",
+        title="P1 — sharded parallel-batch plane vs serial/batch (signature-heavy ensemble)",
+        workload=_sweep_parallel_workload,
+        executors=("serial", "batch", "parallel"),
+        check=_sweep_parallel_check,
+        metrics=_sweep_parallel_metrics,
+    )
+)
+
+
 # -- V1: conformance-ensemble throughput ---------------------------------------
 
 _CONFORM_COUNTS = {"quick": 40, "full": 200, "scale": 800}

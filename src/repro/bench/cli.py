@@ -55,6 +55,22 @@ def add_bench_arguments(bench: argparse.ArgumentParser) -> None:
         help="workload size (default: quick, or the suite's tier)",
     )
     bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker count for the pool-backed executor axes "
+        "(process/parallel; default: CPU count)",
+    )
+    bench.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        metavar="N",
+        help="time each executor phase N times round-robin and keep the "
+        "minimum (drift/position-bias control for committed numbers)",
+    )
+    bench.add_argument(
         "--out",
         default=".",
         metavar="DIR",
@@ -126,6 +142,12 @@ def cmd_bench(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.repeat < 1:
+        print(f"error: --repeat must be >= 1, got {args.repeat}", file=sys.stderr)
+        return 2
     tier = args.tier or (suite_tier(args.suite) if args.suite else "quick")
 
     baseline = None
@@ -138,7 +160,7 @@ def cmd_bench(args) -> int:
             print(f"error: cannot load baseline {args.compare}: {exc}", file=sys.stderr)
             return 2
 
-    runner = BenchRunner(tier=tier)
+    runner = BenchRunner(tier=tier, workers=args.workers, repeat=args.repeat)
     results: list[BenchResult] = []
     try:
         cases = [bench_case(name) for name in names]

@@ -24,7 +24,7 @@ from typing import Iterable, Sequence
 from repro.bench.registry import BenchCase, bench_case
 from repro.bench.result import BenchResult, environment_fingerprint
 from repro.errors import ReproError
-from repro.experiment.engine import Session
+from repro.experiment.engine import POOLED_EXECUTORS, Session, effective_workers
 from repro.experiment.records import RunRecordSet
 from repro.experiment.spec import ScenarioSpec, Sweep
 
@@ -67,12 +67,35 @@ class BenchRunner:
     ``tier`` picks the workload size (``quick``/``full``/``scale``);
     ``session`` is shared across every case the runner executes, so the
     process-level memos (solvability verdicts, keyrings) amortize the
-    way they do for real callers.
+    way they do for real callers.  ``workers`` bounds the pool-backed
+    executors (``process``/``parallel``; default: CPU count) — the
+    effective per-executor worker counts are recorded in each result's
+    ``metrics``/``environment``, so trajectory files measured on
+    multicore and single-core hosts stay comparable.
+
+    ``repeat`` times every executor phase N times and keeps each
+    executor's minimum, **rotating the executor order each repetition**
+    (rep 0: A B C, rep 1: B C A, ...).  Wall-clock on a busy host
+    drifts within one process, so later phases are systematically
+    penalized; rotation gives every executor a shot at every position
+    and min-of-N then filters the drift.  ``wall_seconds`` stays
+    comparable across repeat settings: the surplus time of the extra
+    repetitions is excluded, so the recorded wall is the distilled
+    single-pass cost.
     """
 
-    def __init__(self, tier: str = "quick", session: Session | None = None) -> None:
+    def __init__(
+        self,
+        tier: str = "quick",
+        session: Session | None = None,
+        workers: int | None = None,
+        repeat: int = 1,
+    ) -> None:
         self.tier = tier
         self.session = session if session is not None else Session()
+        self.workers = workers
+        self.repeat = max(1, repeat)
+
 
     # -- execution ------------------------------------------------------------
 
@@ -109,20 +132,48 @@ class BenchRunner:
         canonical_json = ""
         cache_stats: dict = {}
         executor_seconds: dict[str, float] = {}
-        for executor in case.executors:
-            records = self.session.sweep(sweep, executor=executor)
-            phases.append((f"sweep[{executor}]", records.elapsed_seconds))
-            executor_seconds[executor] = records.elapsed_seconds
-            if records.cache_stats:
-                cache_stats = dict(records.cache_stats)
-            if canonical is None:
-                canonical = records
-                canonical_json = records.to_json()
-            elif records.to_json() != canonical_json:
-                failures.append(
-                    f"executor {executor!r} records diverge from "
-                    f"{case.executors[0]!r} (determinism regression)"
+        all_rep_seconds = 0.0
+        executor_workers: dict[str, int] = {}
+        for rep in range(self.repeat):
+            # Rotate so every executor samples every position (rep 0 runs
+            # the declared order; the canonical reference stays first).
+            pivot = rep % len(case.executors)
+            ordered = case.executors[pivot:] + case.executors[:pivot]
+            for executor in ordered:
+                # Resolve through the session's engine when the runner has
+                # no override of its own, so the recorded count matches the
+                # pool Session.sweep actually builds.
+                executor_workers[executor] = effective_workers(
+                    executor, self.workers or self.session.engine.workers, len(sweep)
                 )
+                records = self.session.sweep(
+                    sweep,
+                    executor=executor,
+                    workers=self.workers if executor in POOLED_EXECUTORS else None,
+                )
+                all_rep_seconds += records.elapsed_seconds
+                best = executor_seconds.get(executor)
+                if best is None or records.elapsed_seconds < best:
+                    executor_seconds[executor] = records.elapsed_seconds
+                if rep > 0:
+                    continue  # records are deterministic: compare once
+                if records.cache_stats:
+                    # Last cached executor wins: with both batch and
+                    # parallel axes configured, the parallel plane's
+                    # merged per-worker stats are the richer record.
+                    cache_stats = dict(records.cache_stats)
+                if canonical is None:
+                    canonical = records
+                    canonical_json = records.to_json()
+                elif records.to_json() != canonical_json:
+                    failures.append(
+                        f"executor {executor!r} records diverge from "
+                        f"{case.executors[0]!r} (determinism regression)"
+                    )
+        phases.extend(
+            (f"sweep[{executor}]", executor_seconds[executor])
+            for executor in case.executors
+        )
 
         assert canonical is not None  # executors is validated non-empty
         if case.check is not None:
@@ -135,14 +186,26 @@ class BenchRunner:
                 metrics[f"speedup_{executor}_vs_{base}"] = round(
                     executor_seconds[base] / executor_seconds[executor], 3
                 )
+        # Effective worker count per executor phase: a speedup measured
+        # with 8 workers and one measured with 1 are different claims,
+        # so the trajectory file says which this was.
+        for executor, workers in executor_workers.items():
+            metrics[f"workers_{executor}"] = float(workers)
         if case.metrics is not None:
             metrics.update(
                 {str(k): float(v) for k, v in case.metrics(canonical, self.tier).items()}
             )
 
-        wall = time.perf_counter() - started
+        # The distilled single-pass wall: total elapsed minus the surplus
+        # of the non-minimum repetitions, so repeat=N results gate
+        # against repeat=1 baselines on equal terms.
+        surplus = all_rep_seconds - sum(executor_seconds.values())
+        wall = time.perf_counter() - started - surplus
         rounds = sum(canonical.column("rounds"))
         reference = executor_seconds[base]
+        environment = dict(environment_fingerprint())
+        environment["executor_workers"] = dict(executor_workers)
+        environment["repeat"] = self.repeat
         return BenchResult(
             case=case.name,
             tier=self.tier,
@@ -158,7 +221,7 @@ class BenchRunner:
             failures=tuple(failures),
             metrics=metrics,
             cache=cache_stats,
-            environment=environment_fingerprint(),
+            environment=environment,
         )
 
     def run_many(

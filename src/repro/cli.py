@@ -30,9 +30,9 @@ import sys
 from repro.adversary.mutators import MUTATORS
 from repro.core.problem import Setting
 from repro.errors import ReproError
-from repro.experiment.engine import EXECUTORS, Session
+from repro.experiment.engine import EXECUTORS, POOLED_EXECUTORS, Session
 from repro.experiment.presets import preset_names
-from repro.experiment.spec import AdversarySpec, ProfileSpec, ScenarioSpec, Sweep
+from repro.experiment.spec import AdversarySpec, ProfileSpec, ScenarioSpec
 from repro.net.topology import TOPOLOGY_NAMES
 from repro.runtime import RUNTIME_NAMES
 
@@ -119,10 +119,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="load the sweep from a JSON file written by Sweep.to_json",
     )
     sweep.add_argument(
-        "--executor", choices=EXECUTORS, default="serial", help="how to execute"
+        "--executor",
+        choices=EXECUTORS,
+        default=None,
+        help="how to execute (default: serial)",
     )
     sweep.add_argument(
-        "--workers", type=int, default=None, help="process-pool size (implies --executor process)"
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size for process/parallel (with no --executor, "
+        "implies --executor process)",
+    )
+    sweep.add_argument(
+        "--warm-cache",
+        action="store_true",
+        help="parallel executor only: warm worker caches from a seed of "
+        "the parent's encode-memo tables",
     )
     sweep.add_argument("--json", default=None, metavar="PATH", help="export records as JSON")
     sweep.add_argument("--csv", default=None, metavar="PATH", help="export records as CSV")
@@ -251,10 +264,32 @@ def _cmd_sweep(args) -> int:
         for name in preset_names():
             print(f"  {name}")
         return 0
-    executor = "process" if args.workers else args.executor
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    executor = args.executor
+    if executor is None:
+        # Workers demand a pool; the historical shorthand picks the
+        # process pool when no executor is named.
+        executor = "process" if args.workers else "serial"
+    elif args.workers and executor not in POOLED_EXECUTORS:
+        # An explicitly named in-process executor cannot honor workers:
+        # reject rather than silently running a different plane.
+        print(
+            "error: --workers needs a pool-backed executor "
+            f"({' or '.join(POOLED_EXECUTORS)}), not --executor {executor}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.warm_cache and executor != "parallel":
+        print(
+            "error: --warm-cache only applies to --executor parallel",
+            file=sys.stderr,
+        )
+        return 2
     recorder = None
     if args.trace_out:
-        if executor == "process":
+        if executor in POOLED_EXECUTORS:
             print(
                 "error: --trace-out needs an in-process executor "
                 "(--executor serial or batch, no --workers)",
@@ -264,11 +299,12 @@ def _cmd_sweep(args) -> int:
         from repro.runtime import TraceRecorder
 
         recorder = TraceRecorder()
-    session = Session(executor=executor, workers=args.workers)
+    session = Session(executor=executor, workers=args.workers, warm_cache=args.warm_cache)
     if args.spec_json:
+        from repro.io import load_sweep
+
         try:
-            with open(args.spec_json, "r", encoding="utf-8") as handle:
-                sweep = Sweep.from_json(handle.read())
+            sweep = load_sweep(args.spec_json)
         except (OSError, ValueError, KeyError, ReproError) as exc:
             print(f"error: cannot load sweep from {args.spec_json}: {exc}", file=sys.stderr)
             return 2

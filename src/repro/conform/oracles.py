@@ -22,7 +22,12 @@ Built-ins (the registry :data:`ORACLES`, extensible via
 * ``runtime_differential`` — the same spec executed by Lockstep, Event,
   and Batch runtimes must produce byte-identical records (the
   semantics-preservation contract, enforced on *generated* scenarios,
-  not just the hand-picked equivalence suite).
+  not just the hand-picked equivalence suite);
+* ``executor_differential`` — the same contract one layer up: the
+  engine's serial, batch, and parallel execution planes must produce
+  byte-identical records for the spec (the parallel plane's sharding,
+  per-worker caches, and record round-trip through the pool are all on
+  trial here).
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ from repro.core.solvability import cached_is_solvable
 from repro.errors import ConformError
 from repro.experiment.engine import Session
 from repro.experiment.records import RunRecordSet
-from repro.experiment.spec import ScenarioSpec
+from repro.experiment.spec import ScenarioSpec, Sweep
 from repro.runtime.api import RUNTIME_NAMES
 
 __all__ = [
@@ -47,7 +52,15 @@ __all__ = [
     "resolve_oracles",
     "default_oracle_names",
     "differential_sweep",
+    "DIFFERENTIAL_EXECUTORS",
 ]
+
+#: The execution planes the executor-differential oracle compares.  The
+#: ``process`` executor is covered transitively (it runs the same
+#: serial per-spec path inside each worker and is exercised by the
+#: engine's own differential suite); ``parallel`` is the plane with new
+#: moving parts (sharding, per-worker caches, warm starts).
+DIFFERENTIAL_EXECUTORS = ("serial", "batch", "parallel")
 
 
 @dataclass(frozen=True)
@@ -108,6 +121,24 @@ class OracleContext:
         if cached is None:
             self.executions += 1
             cached = self.session.run(pinned)
+            self._memo[key] = cached
+        return cached
+
+    def records_for_executor(self, spec: ScenarioSpec, executor: str) -> RunRecordSet:
+        """The spec executed through one engine executor (memoized).
+
+        ``serial`` delegates to the canonical :meth:`records` memo — the
+        session's single-run path is the serial plane.  The pool-backed
+        executors stay cheap per spec: a one-spec sweep is a single
+        shard, which the parallel plane runs in-process.
+        """
+        if executor == "serial":
+            return self.records(spec)
+        key = (spec.to_json(), f"executor:{executor}")
+        cached = self._memo.get(key)
+        if cached is None:
+            self.executions += 1
+            cached = self.session.sweep(Sweep.of(spec), executor=executor)
             self._memo[key] = cached
         return cached
 
@@ -275,6 +306,52 @@ class RuntimeDifferential(Oracle):
         return tuple(failures)
 
 
+class ExecutorDifferential(Oracle):
+    """Serial/Batch/Parallel engine executors must agree byte-for-byte.
+
+    :class:`RuntimeDifferential` one layer up the stack: instead of
+    pinning the kernel scheduling axis, this pins the *engine* executor
+    axis.  Per spec, the batch leg puts the shared-cache plane on trial
+    and the parallel leg its single-shard plumbing (chunk bounds, stats
+    merge, the in-process short-circuit) — a one-spec sweep is one
+    shard, so the *pool* round-trip and multi-shard reassembly are
+    deliberately not re-executed here per scenario; they are covered at
+    ensemble granularity by :func:`differential_sweep` with
+    ``executors=`` and by the engine's own differential suite.
+    """
+
+    executors: tuple[str, ...] = DIFFERENTIAL_EXECUTORS
+
+    def __init__(self, executors: Sequence[str] = DIFFERENTIAL_EXECUTORS) -> None:
+        super().__init__(name="executor_differential")
+        object.__setattr__(self, "executors", tuple(executors))
+
+    def applies(self, spec: ScenarioSpec) -> bool:
+        # Same scope as the runtime differential: bsm points that
+        # actually execute.  (Other families take the same code path
+        # under every executor, so there is nothing to differentiate.)
+        return spec.family == "bsm" and (
+            spec.recipe is not None or cached_is_solvable(spec.setting()).recipe is not None
+        )
+
+    def check(self, spec: ScenarioSpec, ctx: OracleContext) -> tuple[Violation, ...]:
+        reference_executor = self.executors[0]
+        reference = ctx.records_for_executor(spec, reference_executor).to_json()
+        failures = []
+        for executor in self.executors[1:]:
+            candidate = ctx.records_for_executor(spec, executor).to_json()
+            if candidate != reference:
+                failures.append(
+                    self._violation(
+                        spec,
+                        f"{executor} executor records diverge from {reference_executor}",
+                        executor=executor,
+                        reference=reference_executor,
+                    )
+                )
+        return tuple(failures)
+
+
 #: The oracle registry.  Tests may :func:`register_oracle` extra (even
 #: deliberately broken) oracles; the CLI resolves names against this.
 ORACLES: dict[str, Oracle] = {}
@@ -298,6 +375,7 @@ for _oracle in (
     HonestAgreement(),
     VerdictConsistency(),
     RuntimeDifferential(),
+    ExecutorDifferential(),
 ):
     register_oracle(_oracle)
 
@@ -307,6 +385,7 @@ _DEFAULT_NAMES = (
     "agreement",
     "verdict_consistency",
     "runtime_differential",
+    "executor_differential",
 )
 
 
@@ -330,17 +409,29 @@ def differential_sweep(
     specs: Sequence[ScenarioSpec],
     session: Session | None = None,
     runtimes: Sequence[str] = RUNTIME_NAMES,
+    executors: Sequence[str] = (),
 ) -> tuple[Violation, ...]:
-    """The differential oracle, vectorized over a whole ensemble.
+    """The differential oracles, vectorized over a whole ensemble.
 
     Executes all ``specs`` once per runtime through the batch executor
     (the sweep fast path) and compares the record *sets* — byte-for-byte
     the same invariant as per-spec checking, at sweep throughput.
     Only bsm specs participate; others pass through untouched (they have
     no runtime axis) and always compare equal.
+
+    ``executors`` optionally extends the comparison along the engine's
+    executor axis (e.g. :data:`DIFFERENTIAL_EXECUTORS`): the whole
+    ensemble is re-executed once per named executor — one pool spin-up
+    per executor, not per spec — and each result stream is compared
+    against the reference.  The executor that produced the reference
+    (the session's own) is skipped: re-running it could only compare
+    the plane against itself.
     """
     session = session if session is not None else Session(executor="batch")
     reference_runtime = runtimes[0]
+    # Session stand-ins in tests may not expose an engine; an unknown
+    # reference executor then skips nothing.
+    reference_executor = getattr(getattr(session, "engine", None), "executor", "")
 
     def pinned(runtime: str) -> list[ScenarioSpec]:
         return [
@@ -348,35 +439,52 @@ def differential_sweep(
             for spec in specs
         ]
 
-    reference = session.sweep(pinned(reference_runtime))
-    failures: list[Violation] = []
-    for runtime in runtimes[1:]:
-        candidate = session.sweep(pinned(runtime))
+    def compare(
+        candidate: RunRecordSet, axis: str, value: str, reference_label: str
+    ) -> list[Violation]:
         if len(candidate) != len(reference):
-            # A missing/extra record is itself the divergence — never
-            # let a truncating zip hide the tail.
-            failures.append(
+            return [
                 Violation(
-                    oracle="runtime_differential",
+                    oracle=f"{axis}_differential",
                     scenario=f"<ensemble of {len(specs)} specs>",
                     message=(
-                        f"{runtime} runtime emitted {len(candidate)} records "
-                        f"vs {len(reference)} from {reference_runtime}"
+                        f"{value} {axis} emitted {len(candidate)} records "
+                        f"vs {len(reference)} from {reference_label}"
                     ),
-                    details=(("reference", reference_runtime), ("runtime", runtime)),
+                    details=(("reference", reference_label), (axis, value)),
                 )
-            )
-            continue
+            ]
         # Both sweeps flatten the same specs in order, so the record
         # streams are index-aligned even when a spec emits several rows.
-        for ref_record, cand_record in zip(reference, candidate):
-            if ref_record.to_dict() != cand_record.to_dict():
-                failures.append(
-                    Violation(
-                        oracle="runtime_differential",
-                        scenario=ref_record.scenario,
-                        message=f"{runtime} runtime records diverge from {reference_runtime}",
-                        details=(("reference", reference_runtime), ("runtime", runtime)),
-                    )
-                )
+        return [
+            Violation(
+                oracle=f"{axis}_differential",
+                scenario=ref_record.scenario,
+                message=f"{value} {axis} records diverge from {reference_label}",
+                details=(("reference", reference_label), (axis, value)),
+            )
+            for ref_record, cand_record in zip(reference, candidate)
+            if ref_record.to_dict() != cand_record.to_dict()
+        ]
+
+    reference = session.sweep(pinned(reference_runtime))
+    failures: list[Violation] = []
+    # A missing/extra record is itself the divergence — compare() reports
+    # the length mismatch rather than letting a truncating zip hide the
+    # tail.
+    for runtime in runtimes[1:]:
+        failures.extend(
+            compare(session.sweep(pinned(runtime)), "runtime", runtime, reference_runtime)
+        )
+    for executor in executors:
+        if executor == reference_executor:
+            continue  # the reference already ran on this plane
+        failures.extend(
+            compare(
+                session.sweep(pinned(reference_runtime), executor=executor),
+                "executor",
+                executor,
+                f"the {reference_executor} executor",
+            )
+        )
     return tuple(failures)

@@ -112,6 +112,33 @@ class EncodeMemo:
             "struct_entries": len(self._structs),
         }
 
+    def snapshot(self) -> tuple[object, ...]:
+        """The canonical objects of the leaf/struct tables, pickle-ready.
+
+        Identity entries are deliberately excluded: ids are process-local
+        and the pinned objects they key would re-register anyway when the
+        canonical values are re-encoded.  Leaves come first so a restore
+        replays the same bottom-up cascade the original encodes did; the
+        order is the tables' insertion order, hence deterministic for a
+        deterministic producer.
+        """
+        return tuple(entry[0] for entry in self._leaves.values()) + tuple(
+            entry[0] for entry in self._structs.values()
+        )
+
+    def restore(self, values: "tuple[object, ...] | list[object]") -> None:
+        """Warm this memo from a :meth:`snapshot` (possibly unpickled).
+
+        Re-encodes every value through the normal path, so the restored
+        entries are exactly what encoding those values here would have
+        produced — restoring can never corrupt canonical bytes, only
+        pre-pay them.  Unpickled values lose interning (``PartyId``
+        constructors intern, pickle does not) but the leaf tables key by
+        ``(type, value)``, so later interned instances still hit.
+        """
+        for value in values:
+            encode(value, self)
+
     def _memoized_encode(self, value: object) -> bytes:
         """Encode ``value``, registering identity + canonical entries.
 

@@ -25,6 +25,7 @@ from repro.experiment.presets import PRESETS, preset, preset_names
 from repro.experiment.records import RunRecord, RunRecordSet
 from repro.experiment.spec import (
     AdversarySpec,
+    ExecutorSpec,
     LinkSpec,
     ProfileSpec,
     ScenarioSpec,
@@ -37,6 +38,7 @@ __all__ = [
     "ProfileSpec",
     "AdversarySpec",
     "LinkSpec",
+    "ExecutorSpec",
     "Sweep",
     "RunRecord",
     "RunRecordSet",

@@ -13,7 +13,11 @@ Layering:
   :class:`~repro.runtime.ExecutionCache` (the single-worker fast
   path), ``"process"`` fans the specs over a ``concurrent.futures``
   process pool (specs travel as JSON dictionaries, so workers share
-  nothing with the parent).  All return records in spec order, and a
+  nothing with the parent), and ``"parallel"`` composes the two:
+  deterministic contiguous shards of the sweep, each executed in a
+  worker through its own batched round loop over a per-worker cache
+  (optionally warm-started from a pickled seed of the parent's
+  encode-memo tables).  All return records in spec order, and a
   sweep's output is byte-identical whichever executor ran it;
 * :class:`Engine` — batch execution plus adaptive sweeps (run, refine,
   repeat);
@@ -42,31 +46,44 @@ from repro.core.solvability import SolvabilityVerdict, cached_is_solvable
 from repro.crypto.signatures import KeyRing
 from repro.errors import SolvabilityError
 from repro.experiment.records import RunRecord, RunRecordSet
-from repro.experiment.spec import ScenarioSpec, Sweep
+from repro.experiment.spec import EXECUTOR_NAMES, ExecutorSpec, ScenarioSpec, Sweep
 from repro.ids import all_parties
 from repro.runtime import (
     NO_CACHE,
     BatchRuntime,
     ExecutionCache,
     TraceRecorder,
+    merge_cache_stats,
     runtime_for,
 )
 
 __all__ = [
     "EXECUTORS",
+    "POOLED_EXECUTORS",
     "execute_spec",
+    "effective_workers",
     "cached_verdict",
     "cached_keyring",
     "Engine",
     "Session",
 ]
 
-EXECUTORS = ("serial", "process", "batch")
+#: The executor axis (re-exported from the spec layer, where the
+#: declarative :class:`~repro.experiment.spec.ExecutorSpec` lives).
+EXECUTORS = EXECUTOR_NAMES
+
+#: Executors that fan work over a process pool: they honor ``workers``
+#: and cannot stream structured trace events back to the parent.  The
+#: CLI and the bench runner key their pool-specific handling off this
+#: tuple, so a future pool-backed executor changes it in one place.
+POOLED_EXECUTORS = ("process", "parallel")
 
 
 def _implied_executor(executor: str | None, workers: int | None) -> str:
     """An unspecified executor defaults to serial — unless the caller
-    asked for workers, which only the process pool can honor."""
+    asked for workers, which implies a pool (``process``, the historical
+    default; pass ``executor="parallel"`` explicitly for sharded
+    batching)."""
     if executor is not None:
         return executor
     return "process" if workers is not None else "serial"
@@ -451,7 +468,7 @@ def execute_spec(spec: ScenarioSpec, *, cache=NO_CACHE, trace=None) -> tuple[Run
 
 
 def _execute_batched(
-    specs: Sequence[ScenarioSpec], trace=None
+    specs: Sequence[ScenarioSpec], trace=None, cache: ExecutionCache | None = None
 ) -> tuple[tuple[RunRecord, ...], ExecutionCache]:
     """The single-worker fast path: one shared-cache batched round loop.
 
@@ -461,8 +478,10 @@ def _execute_batched(
     in spec order and are byte-identical to the serial executor's; the
     batch's :class:`~repro.runtime.ExecutionCache` is returned alongside
     so callers (the bench runner) can read its hit statistics.
+    ``cache`` lets a parallel worker pass its (possibly warm-started)
+    per-shard cache in.
     """
-    cache = ExecutionCache()
+    cache = cache if cache is not None else ExecutionCache()
     runtime = BatchRuntime(cache)
     rows: list[tuple[RunRecord, ...] | None] = [None] * len(specs)
     batched: list[tuple[int, ScenarioSpec, object, str, tuple]] = []
@@ -491,6 +510,121 @@ def _pool_worker(payload: dict) -> list[dict]:
     return [record.to_dict() for record in execute_spec(spec)]
 
 
+# -- the parallel plane: sharded batched execution -----------------------------
+
+
+def effective_workers(executor: str, workers: int | None, sweep_size: int) -> int:
+    """The worker count ``executor`` actually uses for a sweep.
+
+    One source of truth for the pool sizing rule — the engine's pool
+    paths and the bench runner's recorded ``workers_<executor>``
+    metadata both resolve through here, so trajectory files can never
+    drift from what ran.  In-process executors always report 1;
+    pool-backed ones default to the CPU count and never exceed the
+    sweep (one spec cannot occupy two workers).
+    """
+    if executor not in POOLED_EXECUTORS:
+        return 1
+    requested = workers or (os.cpu_count() or 2)
+    return max(1, min(requested, sweep_size))
+
+
+def _chunk_bounds(count: int, shards: int) -> list[tuple[int, int]]:
+    """Deterministic contiguous chunking: ``shards`` near-equal slices.
+
+    Earlier shards take the remainder, so the split is a pure function
+    of ``(count, shards)`` — re-running a sweep shards identically, and
+    record order is reassembled by plain concatenation.
+    """
+    shards = max(1, min(shards, count))
+    base, extra = divmod(count, shards)
+    bounds: list[tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+def _warm_seed(specs: Sequence[ScenarioSpec]) -> tuple[object, ...]:
+    """A pickled-shippable encode-memo seed for the sweep's workers.
+
+    Materializes every generated bsm profile once in the parent and
+    encodes its preference rankings — the heaviest payload substructures
+    every protocol run re-sends — through a scratch cache, then
+    snapshots the leaf/struct tables.  Workers restore the snapshot into
+    their per-shard cache before executing, so cross-shard-identical
+    structures encode once in the parent instead of once per worker.
+    Purely an amortization: restored entries re-encode through the
+    normal path, so records are unchanged.
+    """
+    scratch = ExecutionCache()
+    for spec in specs:
+        if spec.family != "bsm":
+            continue
+        profile = _cached_profile(spec, scratch)
+        lists = getattr(profile, "lists", None)
+        if not lists:
+            continue
+        for ranking in lists.values():
+            scratch.encode(tuple(ranking))
+    return scratch.encode_memo().snapshot()
+
+
+def _parallel_worker(payload: dict) -> dict:
+    """Parallel-shard entry point: one batched round loop per worker.
+
+    ``payload`` carries the shard's specs as JSON dictionaries plus an
+    optional encode-memo seed (pickled by the pool).  Returns the
+    shard's records as dictionaries together with the per-worker
+    cache statistics, which the parent merges via
+    :func:`repro.runtime.merge_cache_stats`.
+    """
+    specs = [ScenarioSpec.from_dict(data) for data in payload["specs"]]
+    cache = ExecutionCache()
+    seed = payload.get("seed")
+    if seed:
+        cache.encode_memo().restore(seed)
+    records, cache = _execute_batched(specs, cache=cache)
+    return {
+        "records": [record.to_dict() for record in records],
+        "cache_stats": cache.stats(),
+    }
+
+
+def _execute_parallel(
+    specs: Sequence[ScenarioSpec], workers: int, warm_cache: bool = False
+) -> tuple[tuple[RunRecord, ...], dict]:
+    """The multicore fast path: batched shards over a process pool.
+
+    Shards the sweep into deterministic contiguous chunks, runs each in
+    a worker through :func:`_execute_batched` (per-worker
+    :class:`~repro.runtime.ExecutionCache`, optionally warm-started),
+    and reassembles records in spec order.  A single effective shard
+    short-circuits to the in-process batched path — no pool, no pickling
+    — so ``parallel`` on one core degrades to ``batch`` plus nothing.
+    """
+    bounds = _chunk_bounds(len(specs), effective_workers("parallel", workers, len(specs)))
+    seed = _warm_seed(specs) if warm_cache and len(bounds) > 1 else None
+    if len(bounds) <= 1:
+        records, cache = _execute_batched(specs)
+        return records, merge_cache_stats([cache.stats()])
+    payloads = [
+        {
+            "specs": [spec.to_dict() for spec in specs[start:stop]],
+            "seed": seed,
+        }
+        for start, stop in bounds
+    ]
+    with concurrent.futures.ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+        shards = list(pool.map(_parallel_worker, payloads))
+    records = tuple(
+        RunRecord.from_dict(data) for shard in shards for data in shard["records"]
+    )
+    return records, merge_cache_stats([shard["cache_stats"] for shard in shards])
+
+
 # -- the engine ----------------------------------------------------------------
 
 
@@ -498,19 +632,35 @@ class Engine:
     """Executes sweeps on a pluggable executor with per-process memoization.
 
     ``executor`` is ``"serial"`` (default), ``"batch"`` (one shared-
-    cache batched round loop — the single-worker fast path), or
-    ``"process"``; ``workers`` bounds the pool (default: CPU count).
-    Adding a new backend — sharded, async, remote — means adding a new
-    executor here, not rewriting callers.
+    cache batched round loop — the single-worker fast path),
+    ``"process"`` (one spec per pool task), or ``"parallel"`` (batched
+    shards over the pool: multicore × shared caches); ``workers`` bounds
+    the pool (default: CPU count), ``warm_cache`` pre-seeds parallel
+    workers' encode memos from the parent.  An
+    :class:`~repro.experiment.spec.ExecutorSpec` pins all three knobs
+    declaratively.  Adding a new backend — sharded, async, remote —
+    means adding a new executor here, not rewriting callers.
     """
 
-    def __init__(self, executor: str = "serial", workers: int | None = None) -> None:
+    def __init__(
+        self,
+        executor: str | ExecutorSpec = "serial",
+        workers: int | None = None,
+        warm_cache: bool = False,
+    ) -> None:
+        if isinstance(executor, ExecutorSpec):
+            workers = executor.workers if workers is None else workers
+            warm_cache = executor.warm_cache or warm_cache
+            executor = executor.name
         if executor not in EXECUTORS:
             raise SolvabilityError(
                 f"unknown executor {executor!r}; expected one of {EXECUTORS}"
             )
+        if workers is not None and workers < 1:
+            raise SolvabilityError(f"workers must be >= 1, got {workers}")
         self.executor = executor
         self.workers = workers or (os.cpu_count() or 2)
+        self.warm_cache = warm_cache
 
     def run(self, spec: ScenarioSpec) -> RunRecordSet:
         """Execute one spec in-process."""
@@ -534,17 +684,21 @@ class Engine:
         """
         specs = tuple(sweep)
         started = time.perf_counter()
-        if trace is not None and self.executor == "process":
+        if trace is not None and self.executor in POOLED_EXECUTORS:
             raise SolvabilityError(
                 "structured tracing requires an in-process executor "
-                "('serial' or 'batch'), not the process pool"
+                f"('serial' or 'batch'), not the {self.executor!r} pool"
             )
         cache_stats: dict = {}
-        if self.executor == "process" and len(specs) > 1:
+        if self.executor == "parallel":
+            records, cache_stats = _execute_parallel(
+                specs, self.workers, warm_cache=self.warm_cache
+            )
+        elif self.executor == "process" and len(specs) > 1:
             payloads = [spec.to_dict() for spec in specs]
             chunksize = max(1, len(payloads) // (self.workers * 4))
             with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(self.workers, len(payloads))
+                max_workers=effective_workers("process", self.workers, len(payloads))
             ) as pool:
                 rows_per_spec = list(
                     pool.map(_pool_worker, payloads, chunksize=chunksize)
@@ -605,10 +759,20 @@ class Session:
       or the attack scenarios' indistinguishability checks.
     """
 
-    def __init__(self, executor: str | None = None, workers: int | None = None) -> None:
-        self.engine = Engine(
-            executor=_implied_executor(executor, workers), workers=workers
-        )
+    def __init__(
+        self,
+        executor: str | ExecutorSpec | None = None,
+        workers: int | None = None,
+        warm_cache: bool = False,
+    ) -> None:
+        if isinstance(executor, ExecutorSpec):
+            self.engine = Engine(executor, workers=workers, warm_cache=warm_cache)
+        else:
+            self.engine = Engine(
+                executor=_implied_executor(executor, workers),
+                workers=workers,
+                warm_cache=warm_cache,
+            )
 
     # -- oracle ---------------------------------------------------------------
 
@@ -626,19 +790,31 @@ class Session:
         self,
         sweep: Sweep | Iterable[ScenarioSpec] | str,
         *,
-        executor: str | None = None,
+        executor: str | ExecutorSpec | None = None,
         workers: int | None = None,
+        warm_cache: bool | None = None,
         trace=None,
     ) -> RunRecordSet:
         """Execute a sweep (or a preset, by name) and return all records."""
         if isinstance(sweep, str):
             sweep = self.preset(sweep)
         engine = self.engine
-        if executor is not None or workers is not None:
-            if executor is None:
-                # workers only makes sense on the pool: honor the request.
-                executor = "process" if workers is not None else self.engine.executor
-            engine = Engine(executor=executor, workers=workers or self.engine.workers)
+        if executor is not None or workers is not None or warm_cache is not None:
+            if isinstance(executor, ExecutorSpec):
+                engine = Engine(executor, workers=workers, warm_cache=bool(warm_cache))
+            else:
+                if executor is None:
+                    # workers only makes sense on a pool: honor the request
+                    # (unless the session is already pool-backed).
+                    if workers is not None and self.engine.executor not in POOLED_EXECUTORS:
+                        executor = "process"
+                    else:
+                        executor = self.engine.executor
+                engine = Engine(
+                    executor=executor,
+                    workers=workers or self.engine.workers,
+                    warm_cache=self.engine.warm_cache if warm_cache is None else warm_cache,
+                )
         return engine.run_sweep(sweep, trace=trace)
 
     def adaptive(self, initial, refine, max_batches: int = 8) -> RunRecordSet:

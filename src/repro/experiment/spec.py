@@ -41,11 +41,13 @@ __all__ = [
     "AdversarySpec",
     "LinkSpec",
     "ScenarioSpec",
+    "ExecutorSpec",
     "Sweep",
     "FAMILIES",
     "ADVERSARY_KINDS",
     "LINK_KINDS",
     "PROFILE_KINDS",
+    "EXECUTOR_NAMES",
     "worst_case_corruption",
 ]
 
@@ -53,6 +55,12 @@ FAMILIES = ("bsm", "attack", "roommates", "offline")
 ADVERSARY_KINDS = ("silent", "noise", "crash", "honest", "equivocate")
 LINK_KINDS = ("random", "partition", "after_round")
 PROFILE_KINDS = ("random", "correlated", "master_list", "explicit", "incomplete_random")
+#: The engine's executor axis (see :mod:`repro.experiment.engine`):
+#: ``serial`` runs specs one at a time in-process, ``batch`` schedules a
+#: sweep through one shared-cache round loop, ``process`` fans single
+#: specs over a pool, ``parallel`` composes the two — per-worker batched
+#: shards over per-worker caches.
+EXECUTOR_NAMES = ("serial", "process", "batch", "parallel")
 
 #: Sentinel for "corrupt the full budget": the first ``tL`` left and
 #: first ``tR`` right parties.
@@ -562,6 +570,60 @@ class ScenarioSpec:
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":
         return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class ExecutorSpec:
+    """Declarative execution plane: how a sweep should be driven.
+
+    Where :class:`ScenarioSpec` describes *what* to run, an
+    ``ExecutorSpec`` pins *how*: the executor axis (one of
+    :data:`EXECUTOR_NAMES`), the worker count for the pool-backed
+    executors, and whether ``parallel`` workers warm-start their
+    per-shard :class:`~repro.runtime.ExecutionCache` from a seed of the
+    parent's encode-memo tables.  Like every spec it is JSON-round-
+    trippable, so a bench workload or an archived experiment can pin its
+    execution plane next to its scenarios.  The executor never shapes
+    results — records stay byte-identical across all four planes.
+    """
+
+    name: str = "serial"
+    workers: int | None = None
+    warm_cache: bool = False
+
+    def __post_init__(self) -> None:
+        if self.name not in EXECUTOR_NAMES:
+            raise SolvabilityError(
+                f"unknown executor {self.name!r}; expected one of {EXECUTOR_NAMES}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise SolvabilityError(f"workers must be >= 1, got {self.workers}")
+        if self.name not in ("process", "parallel") and self.workers is not None:
+            raise SolvabilityError(
+                f"workers only applies to the pool-backed executors, not {self.name!r}"
+            )
+        if self.warm_cache and self.name != "parallel":
+            raise SolvabilityError(
+                "warm_cache is only meaningful for the parallel executor "
+                "(the other planes share one in-process cache or none)"
+            )
+
+    def to_dict(self) -> dict:
+        data: dict = {"name": self.name}
+        if self.workers is not None:
+            data["workers"] = self.workers
+        if self.warm_cache:
+            data["warm_cache"] = True
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExecutorSpec":
+        workers = data.get("workers")
+        return cls(
+            name=data.get("name", "serial"),
+            workers=int(workers) if workers is not None else None,
+            warm_cache=bool(data.get("warm_cache", False)),
+        )
 
 
 @dataclass(frozen=True)

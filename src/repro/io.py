@@ -31,6 +31,8 @@ __all__ = [
     "dump_records",
     "load_records",
     "records_to_csv",
+    "dump_sweep",
+    "load_sweep",
     "dump_trace",
     "load_trace",
     "dump_bench",
@@ -184,6 +186,25 @@ def records_to_csv(records, path) -> None:
     """Write a record set as CSV (one row per run, scalar columns)."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(records.to_csv())
+
+
+def dump_sweep(sweep, path) -> None:
+    """Write a :class:`~repro.experiment.spec.Sweep` as canonical JSON.
+
+    The file is what ``repro sweep --spec-json`` executes — archive it
+    next to the records it produced and the experiment replays on any
+    executor.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(sweep.to_json())
+
+
+def load_sweep(path):
+    """Read back a sweep written by :func:`dump_sweep`."""
+    from repro.experiment.spec import Sweep
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return Sweep.from_json(handle.read())
 
 
 # -- benchmark results and baselines -------------------------------------------

@@ -60,10 +60,12 @@ class Context:
         self._outbox: list[tuple[PartyId, object]] = []
         self._output: object = _NO_OUTPUT
         self._halted = False
+        # Both views come from the topology's per-process adjacency
+        # cache; membership in the neighbor set is equivalent to a
+        # passing check_edge for this party — the O(1) fast path for
+        # send().
         self._neighbors = topology.neighbors(me)
-        # Membership in the neighbor set is equivalent to a passing
-        # check_edge for this party — the O(1) fast path for send().
-        self._neighbor_set = frozenset(self._neighbors)
+        self._neighbor_set = topology.neighbor_set(me)
 
     # -- network ---------------------------------------------------------------
 

@@ -15,6 +15,7 @@ conjure channels that do not exist.
 
 from __future__ import annotations
 
+import functools
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -57,9 +58,17 @@ class Topology(ABC):
     def neighbors(self, party: PartyId) -> tuple[PartyId, ...]:
         """All parties ``party`` shares a channel with, in canonical order."""
         self._check_member(party)
-        return tuple(
-            other for other in self.parties() if other != party and self.allows(party, other)
-        )
+        return _adjacency(self)[party]
+
+    def neighbor_set(self, party: PartyId) -> frozenset[PartyId]:
+        """The :meth:`neighbors` of ``party`` as a set (O(1) edge checks).
+
+        Membership here is equivalent to a passing :meth:`check_edge` —
+        the kernel's per-send fast path for both honest contexts and the
+        adversary's world.
+        """
+        self._check_member(party)
+        return _neighbor_sets(self)[party]
 
     def check_edge(self, src: PartyId, dst: PartyId) -> None:
         """Raise :class:`TopologyError` unless ``src``-``dst`` is a channel."""
@@ -121,6 +130,30 @@ class Bipartite(Topology):
 
     def allows(self, src: PartyId, dst: PartyId) -> bool:
         return src.side != dst.side
+
+
+# Topologies are frozen dataclasses (equal by class + k), so the
+# adjacency of every instance of a given shape computes once per
+# process, not once per run — engine construction does 2k neighbor
+# lookups per run, and sweeps build thousands of engines over the same
+# handful of shapes.
+@functools.lru_cache(maxsize=None)
+def _adjacency(topology: Topology) -> dict[PartyId, tuple[PartyId, ...]]:
+    parties = topology.parties()
+    return {
+        party: tuple(
+            other for other in parties if other != party and topology.allows(party, other)
+        )
+        for party in parties
+    }
+
+
+@functools.lru_cache(maxsize=None)
+def _neighbor_sets(topology: Topology) -> dict[PartyId, frozenset[PartyId]]:
+    return {
+        party: frozenset(neighbors)
+        for party, neighbors in _adjacency(topology).items()
+    }
 
 
 TOPOLOGY_NAMES = ("fully_connected", "one_sided", "bipartite")

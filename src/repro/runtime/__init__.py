@@ -26,7 +26,13 @@ sweep throughput (``docs/protocol_walkthrough.md`` has the full
 
 from repro.runtime.api import RUNTIME_NAMES, Party, RunPlan, Runtime, runtime_for
 from repro.runtime.batch import BatchRuntime
-from repro.runtime.cache import NO_CACHE, CachedSigner, ExecutionCache, NullExecutionCache
+from repro.runtime.cache import (
+    NO_CACHE,
+    CachedSigner,
+    ExecutionCache,
+    NullExecutionCache,
+    merge_cache_stats,
+)
 from repro.runtime.event import EventRuntime
 from repro.runtime.kernel import (
     DEFAULT_MAX_ROUNDS,
@@ -54,6 +60,7 @@ __all__ = [
     "NullExecutionCache",
     "NO_CACHE",
     "CachedSigner",
+    "merge_cache_stats",
     "TraceEvent",
     "TraceRecorder",
     "TraceSink",

@@ -20,12 +20,20 @@ reference lockstep path allocation-free.
 
 from __future__ import annotations
 
+from typing import Mapping, Sequence
+
 from repro.crypto.encoding import EncodeMemo, encode
 from repro.crypto.signatures import KeyRing, Signature
 from repro.errors import ProtocolError
 from repro.ids import PartyId
 
-__all__ = ["ExecutionCache", "NullExecutionCache", "NO_CACHE", "CachedSigner"]
+__all__ = [
+    "ExecutionCache",
+    "NullExecutionCache",
+    "NO_CACHE",
+    "CachedSigner",
+    "merge_cache_stats",
+]
 
 
 def _direct_payload_size(payload: object) -> int:
@@ -145,7 +153,14 @@ class ExecutionCache(NullExecutionCache):
 
     def sign(self, keyring: KeyRing, signer: PartyId, payload: object) -> Signature:
         """``signer``'s signature over ``payload``, memoized per ring by
-        the payload's canonical bytes."""
+        the payload's canonical bytes.
+
+        A fresh signature also pre-seeds the verification memo: HMAC is
+        deterministic, so a signature this cache just produced verifies
+        by construction — recipients reach the verdict through
+        :meth:`verify` (via :class:`CachedSigner`) without ever paying
+        the HMAC recomputation, not even once.
+        """
         try:
             encoded = self.encode(payload)
         except ProtocolError:
@@ -156,6 +171,7 @@ class ExecutionCache(NullExecutionCache):
             self._sign_misses += 1
             signature = keyring._sign_as(signer, payload, encoded=encoded)
             self._signatures[key] = signature
+            self._verdicts[(id(keyring), signer, encoded, signature.tag)] = True
         else:
             self._sign_hits += 1
         return signature
@@ -228,6 +244,36 @@ class ExecutionCache(NullExecutionCache):
             "memo": self._family(self._memo_hits, self._memo_misses, len(self._memo)),
             "encode": self._bytes.entry_counts(),
         }
+
+
+def merge_cache_stats(per_worker: Sequence[Mapping]) -> dict:
+    """Aggregate several :meth:`ExecutionCache.stats` dicts into one.
+
+    The parallel executor runs one cache per worker shard; callers see
+    the sweep-level view: hits/misses/entries summed per memo family
+    (hit rates recomputed over the sums), encode-memo entry counts
+    summed, and the untouched per-worker dicts preserved under
+    ``"workers"`` so shard-level behavior (a cold shard, a skewed
+    chunking) stays diagnosable from the same JSON.
+    """
+    merged: dict = {
+        family: {"entries": 0, "hits": 0, "misses": 0}
+        for family in ("signatures", "verifications", "memo")
+    }
+    encode_totals: dict[str, int] = {}
+    for stats in per_worker:
+        for family, sums in merged.items():
+            table = stats.get(family, {})
+            for key in ("entries", "hits", "misses"):
+                sums[key] += int(table.get(key, 0))
+        for key, count in stats.get("encode", {}).items():
+            encode_totals[key] = encode_totals.get(key, 0) + int(count)
+    for sums in merged.values():
+        total = sums["hits"] + sums["misses"]
+        sums["hit_rate"] = round(sums["hits"] / total, 4) if total else 0.0
+    merged["encode"] = encode_totals
+    merged["workers"] = [dict(stats) for stats in per_worker]
+    return merged
 
 
 #: The shared null cache (stateless, safe to reuse everywhere).

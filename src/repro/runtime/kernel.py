@@ -69,7 +69,7 @@ class RunResult:
     trace: tuple[Envelope, ...] = field(default_factory=tuple)
     dropped: int = 0
 
-    def honest(self, k: int | None = None) -> frozenset[PartyId]:
+    def honest(self) -> frozenset[PartyId]:
         """Honest parties = everyone minus the corrupted (needs outputs/halted keys)."""
         known = set(self.outputs) | set(self.halted) | set(self.corrupted)
         return frozenset(known - self.corrupted)
@@ -110,7 +110,11 @@ class AdversaryWorld:
         """Send ``payload`` from corrupted ``src`` to ``dst`` this round."""
         if src not in self._network._corrupted:
             raise AdversaryError(f"adversary tried to send as honest party {src}")
-        self.topology.check_edge(src, dst)
+        # Precomputed adjacency is the fast path; a miss falls back to
+        # check_edge for its precise error (self-send, unknown party,
+        # missing channel).  src is corrupted, hence a known member.
+        if dst not in self.topology.neighbor_set(src):
+            self.topology.check_edge(src, dst)
         self._network._queue_send(src, dst, payload)
 
     def signer_for(self, party: PartyId) -> SigningHandle:
@@ -193,6 +197,15 @@ class RoundEngine:
         self._byte_count = 0
         self._dropped = 0
         self._trace: list[Envelope] = []
+        # Pre-select the delivery loop: with no drop rule and no sink of
+        # either kind attached, every per-envelope conditional in
+        # _queue_send/_account is statically dead, so the common case
+        # (plain sweeps, the whole batch executor) takes a branch-free
+        # counters-only path chosen once per run instead of re-deciding
+        # per message.  Faults and sinks are fixed at construction, so
+        # the selection can never go stale.
+        if drop_rule is None and trace_sink is None and not record_trace:
+            self._queue_send = self._queue_send_fast  # type: ignore[method-assign]
 
         if adversary is not None:
             initial = frozenset(adversary.initial_corruptions)
@@ -235,6 +248,14 @@ class RoundEngine:
                 peer=str(peer),
                 payload=payload,
             )
+        )
+
+    def _queue_send_fast(self, src: PartyId, dst: PartyId, payload: object) -> None:
+        """The lossless, sink-free delivery path (selected at init)."""
+        self._message_count += 1
+        self._byte_count += self._payload_size(payload)
+        self._next_pending.append(
+            Envelope(src=src, dst=dst, sent_round=self._round, payload=payload)
         )
 
     def _queue_send(self, src: PartyId, dst: PartyId, payload: object) -> None:

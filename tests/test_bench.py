@@ -351,3 +351,22 @@ class TestCommittedArtifacts:
         # The PR's hot-path win: before/after recorded in one file.
         assert result.baseline is not None
         assert result.baseline["wall_seconds"] > result.wall_seconds
+
+    def test_committed_parallel_trajectory_point(self):
+        result = load_bench(Path(__file__).parent.parent / "BENCH_sweep_parallel.json")
+        assert result.case == "sweep_parallel"
+        assert result.ok
+        # The parallel-plane claim: at equal worker count, parallel is at
+        # least the better of serial/batch on the recording host.
+        phases = dict(result.phases)
+        assert phases["sweep[parallel]"] <= min(
+            phases["sweep[serial]"], phases["sweep[batch]"]
+        )
+        assert (
+            result.metrics["workers_parallel"] == result.metrics["workers_batch"]
+        )
+        # Before/after vs the pre-change plane, per the trajectory
+        # convention, and the merged per-worker cache stats.
+        assert result.baseline is not None
+        assert result.baseline["source"].endswith("pre-parallel-baseline.json")
+        assert result.cache["workers"]

@@ -1,0 +1,367 @@
+"""Cross-executor differentials: the contract of the execution plane.
+
+The engine's executor axis — serial, process pool, single-worker batch,
+and the sharded parallel-batch plane — must be a pure throughput knob:
+for any sweep, every executor returns byte-identical records in spec
+order.  This suite drives the same specs the runtime-equivalence suite
+uses through the *engine* layer instead, including link faults,
+provenance tags, and the warm-cache path, and pins the error contracts
+(pool-backed executors reject structured tracing) plus the supporting
+machinery (deterministic chunking, cache-stats merging, encode-memo
+snapshot/restore).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import Setting
+from repro.core.solvability import is_solvable
+from repro.crypto.encoding import EncodeMemo, encode
+from repro.errors import SolvabilityError
+from repro.experiment import (
+    AdversarySpec,
+    ExecutorSpec,
+    LinkSpec,
+    ProfileSpec,
+    ScenarioSpec,
+    Session,
+    Sweep,
+)
+from repro.experiment.engine import _chunk_bounds
+from repro.ids import left_party, right_party
+from repro.net.topology import TOPOLOGY_NAMES
+from repro.runtime import ExecutionCache, TraceRecorder, merge_cache_stats
+
+SESSION = Session()
+
+#: Every executor the engine offers; serial is the reference.
+EXECUTOR_AXIS = ("serial", "process", "batch", "parallel")
+
+SWEEPS = {
+    "plain_grid": Sweep.grid(
+        topologies=("fully_connected",),
+        auths=(True,),
+        ks=(2, 3),
+        budgets="solvable",
+        adversary=AdversarySpec(kind="silent"),
+    ),
+    "link_faults": Sweep.of(
+        ScenarioSpec(
+            topology="fully_connected",
+            authenticated=True,
+            k=3,
+            tL=1,
+            tR=0,
+            adversary=AdversarySpec(
+                kind="silent", link=LinkSpec(kind="random", probability=0.2, seed=9)
+            ),
+        ),
+        ScenarioSpec(
+            topology="fully_connected",
+            authenticated=True,
+            k=2,
+            adversary=AdversarySpec(
+                kind="silent", corrupt=(), link=LinkSpec(kind="after_round", cutoff=2)
+            ),
+            max_rounds=30,
+        ),
+        ScenarioSpec(
+            topology="bipartite",
+            authenticated=True,
+            k=3,
+            tL=1,
+            tR=1,
+            adversary=AdversarySpec(
+                kind="silent", link=LinkSpec(kind="partition")
+            ),
+            max_rounds=40,
+        ),
+    ),
+    "tags_and_mutators": Sweep.of(
+        ScenarioSpec(k=2, tags=("conform", "seed0", "ix1")),
+        ScenarioSpec(
+            topology="bipartite",
+            authenticated=True,
+            k=3,
+            tL=1,
+            tR=1,
+            adversary=AdversarySpec(kind="equivocate", corrupt=("R0",)),
+            tags=("ensemble", "ix2"),
+        ),
+        ScenarioSpec(
+            topology="one_sided",
+            authenticated=False,
+            k=3,
+            tL=0,
+            tR=1,
+            adversary=AdversarySpec(kind="noise", seed=5),
+        ),
+    ),
+    "mixed_families": Sweep.of(
+        ScenarioSpec(k=2, name="bsm"),
+        ScenarioSpec(family="attack", attack="lemma7", name="attack"),
+        ScenarioSpec(family="offline", algorithm="gale_shapley", k=5, name="offline"),
+        ScenarioSpec(
+            family="roommates",
+            n=4,
+            t=1,
+            authenticated=True,
+            adversary=AdversarySpec(kind="silent"),
+            name="roommates",
+        ),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SWEEPS))
+def test_executors_byte_identical(name):
+    """serial / process / batch / parallel agree byte-for-byte, in order."""
+    sweep = SWEEPS[name]
+    reference = SESSION.sweep(sweep)
+    for executor in EXECUTOR_AXIS[1:]:
+        candidate = SESSION.sweep(sweep, executor=executor, workers=2)
+        assert candidate.to_json() == reference.to_json(), executor
+        assert candidate.aggregate_json() == reference.aggregate_json(), executor
+        assert candidate.executor == executor
+
+
+def test_parallel_single_worker_stays_in_process():
+    """One effective shard degrades to the batched path (no pool) and
+    still reports a one-worker stats breakdown."""
+    sweep = SWEEPS["plain_grid"]
+    records = SESSION.sweep(sweep, executor="parallel", workers=1)
+    assert records.to_json() == SESSION.sweep(sweep).to_json()
+    assert len(records.cache_stats["workers"]) == 1
+
+
+def test_parallel_merges_per_worker_cache_stats():
+    sweep = SWEEPS["plain_grid"]
+    records = SESSION.sweep(sweep, executor="parallel", workers=2)
+    stats = records.cache_stats
+    per_worker = stats["workers"]
+    assert len(per_worker) == 2
+    for family in ("signatures", "verifications", "memo"):
+        for key in ("entries", "hits", "misses"):
+            assert stats[family][key] == sum(w[family][key] for w in per_worker)
+        total = stats[family]["hits"] + stats[family]["misses"]
+        if total:
+            assert stats[family]["hit_rate"] == round(
+                stats[family]["hits"] / total, 4
+            )
+    assert stats["encode"]["leaf_entries"] == sum(
+        w["encode"]["leaf_entries"] for w in per_worker
+    )
+
+
+def test_warm_cache_is_transparent():
+    """Warm-started workers change wall-clock, never bytes."""
+    sweep = SWEEPS["plain_grid"] + SWEEPS["link_faults"]
+    cold = SESSION.sweep(sweep, executor="parallel", workers=2)
+    warm = SESSION.sweep(
+        sweep, executor=ExecutorSpec(name="parallel", workers=2, warm_cache=True)
+    )
+    assert warm.to_json() == cold.to_json()
+    # The seed pre-registers entries, so warm workers start non-empty.
+    assert all(
+        w["encode"]["leaf_entries"] > 0 for w in warm.cache_stats["workers"]
+    )
+
+
+def test_cli_rejects_workers_on_in_process_executor(capsys):
+    """An explicitly named in-process executor + --workers is an error,
+    not a silent switch to the process pool."""
+    from repro.cli import main
+
+    code = main(["sweep", "--preset", "smoke", "--executor", "batch", "--workers", "2"])
+    assert code == 2
+    assert "pool-backed executor" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("executor", ["process", "parallel"])
+def test_pool_backed_executors_reject_tracing(executor):
+    with pytest.raises(SolvabilityError, match="structured tracing"):
+        SESSION.sweep(
+            SWEEPS["plain_grid"], executor=executor, workers=2, trace=TraceRecorder()
+        )
+
+
+class TestExecutorSpec:
+    def test_round_trip(self):
+        spec = ExecutorSpec(name="parallel", workers=4, warm_cache=True)
+        assert ExecutorSpec.from_dict(spec.to_dict()) == spec
+        assert ExecutorSpec.from_dict({"name": "serial"}) == ExecutorSpec()
+
+    def test_session_accepts_executor_spec(self):
+        session = Session(executor=ExecutorSpec(name="parallel", workers=3))
+        assert session.engine.executor == "parallel"
+        assert session.engine.workers == 3
+
+    def test_validation(self):
+        with pytest.raises(SolvabilityError, match="unknown executor"):
+            ExecutorSpec(name="quantum")
+        with pytest.raises(SolvabilityError, match="workers"):
+            ExecutorSpec(name="parallel", workers=0)
+        with pytest.raises(SolvabilityError, match="pool-backed"):
+            ExecutorSpec(name="serial", workers=2)
+        with pytest.raises(SolvabilityError, match="warm_cache"):
+            ExecutorSpec(name="batch", warm_cache=True)
+
+
+class TestChunking:
+    @pytest.mark.parametrize(
+        "count,shards", [(0, 4), (1, 4), (5, 2), (7, 3), (8, 8), (9, 16)]
+    )
+    def test_contiguous_cover_in_order(self, count, shards):
+        bounds = _chunk_bounds(count, shards)
+        assert bounds[0][0] == 0 and bounds[-1][1] == count
+        for (a_start, a_stop), (b_start, b_stop) in zip(bounds, bounds[1:]):
+            assert a_stop == b_start and a_start < a_stop
+        sizes = [stop - start for start, stop in bounds]
+        assert max(sizes) - min(sizes) <= 1  # near-equal shards
+
+    def test_deterministic(self):
+        assert _chunk_bounds(103, 7) == _chunk_bounds(103, 7)
+
+
+class TestEncodeMemoSnapshot:
+    def test_restore_reproduces_canonical_bytes(self):
+        memo = EncodeMemo()
+        payloads = [
+            ("vote", left_party(0), (1, 2, True)),
+            ("echo", right_party(1), "payload", b"raw"),
+            (None, 0, False),
+        ]
+        expected = [encode(p, memo) for p in payloads]
+        snapshot = memo.snapshot()
+        assert snapshot  # leaves and structs captured
+
+        fresh = EncodeMemo()
+        fresh.restore(snapshot)
+        assert fresh.entry_counts()["leaf_entries"] == memo.entry_counts()["leaf_entries"]
+        assert fresh.entry_counts()["struct_entries"] == memo.entry_counts()["struct_entries"]
+        assert [encode(p, fresh) for p in payloads] == expected
+
+    def test_snapshot_survives_pickling(self):
+        import pickle
+
+        memo = EncodeMemo()
+        payload = ("msg", left_party(2), (3, "x"))
+        expected = encode(payload, memo)
+        shipped = pickle.loads(pickle.dumps(memo.snapshot()))
+        fresh = EncodeMemo()
+        fresh.restore(shipped)
+        assert encode(payload, fresh) == expected
+
+
+def test_merge_cache_stats_empty_and_single():
+    empty = merge_cache_stats([])
+    assert empty["signatures"]["hits"] == 0 and empty["workers"] == []
+    single = ExecutionCache().stats()
+    merged = merge_cache_stats([single])
+    assert merged["workers"] == [single]
+
+
+def test_bench_runner_records_worker_counts():
+    """Satellite: BENCH results carry executor worker counts per phase."""
+    from repro.bench.runner import BenchRunner
+
+    result = BenchRunner(tier="quick", workers=2, repeat=2).run("sweep_parallel")
+    assert result.ok, result.failures
+    assert result.metrics["workers_serial"] == 1.0
+    assert result.metrics["workers_batch"] == 1.0
+    assert result.metrics["workers_parallel"] == 2.0
+    assert result.environment["executor_workers"] == {
+        "serial": 1,
+        "batch": 1,
+        "parallel": 2,
+    }
+    assert result.environment["repeat"] == 2
+    # One phase entry per executor even with repetitions (the minimum).
+    assert [name for name, _ in result.phases] == [
+        "build",
+        "sweep[serial]",
+        "sweep[batch]",
+        "sweep[parallel]",
+    ]
+    assert "speedup_parallel_vs_serial" in result.metrics
+    # The parallel phase merged its per-worker cache stats.
+    assert len(result.cache["workers"]) >= 1
+
+
+def test_executor_differential_oracle_registered():
+    from repro.conform.oracles import (
+        OracleContext,
+        default_oracle_names,
+        resolve_oracles,
+    )
+
+    assert "executor_differential" in default_oracle_names()
+    (oracle,) = resolve_oracles(["executor_differential"])
+    spec = ScenarioSpec(
+        topology="fully_connected",
+        authenticated=True,
+        k=2,
+        tL=1,
+        tR=0,
+        adversary=AdversarySpec(kind="silent"),
+    )
+    assert oracle.applies(spec)
+    assert oracle.check(spec, OracleContext()) == ()
+
+
+def test_differential_sweep_executor_axis():
+    from repro.conform.oracles import differential_sweep
+
+    specs = tuple(SWEEPS["tags_and_mutators"])
+    violations = differential_sweep(
+        specs, runtimes=("lockstep",), executors=("batch", "parallel")
+    )
+    assert violations == ()
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    topology=st.sampled_from(TOPOLOGY_NAMES),
+    auth=st.booleans(),
+    k=st.integers(min_value=2, max_value=3),
+    tL=st.integers(min_value=0, max_value=3),
+    tR=st.integers(min_value=0, max_value=3),
+    kind=st.sampled_from(("silent", "noise", "crash")),
+    seed=st.integers(min_value=0, max_value=3),
+    lossy=st.booleans(),
+)
+def test_executors_agree_property(topology, auth, k, tL, tR, kind, seed, lossy):
+    """Property form: any runnable grid point agrees across the
+    in-process executors (the pool executors ride the same worker code
+    paths and are covered by the parametrized suite — spawning a pool
+    per hypothesis example would dominate the suite's budget)."""
+    tL, tR = min(tL, k), min(tR, k)
+    if not is_solvable(Setting(topology, auth, k, tL, tR)).solvable:
+        return
+    link = LinkSpec(kind="random", probability=0.15, seed=seed) if lossy else None
+    spec = ScenarioSpec(
+        topology=topology,
+        authenticated=auth,
+        k=k,
+        tL=tL,
+        tR=tR,
+        profile=ProfileSpec(seed=seed),
+        adversary=(
+            AdversarySpec(kind=kind, seed=seed, link=link) if (tL or tR) else None
+        ),
+    )
+    sweep = Sweep.of(spec)
+    reference = SESSION.sweep(sweep)
+    assert SESSION.sweep(sweep, executor="batch").to_json() == reference.to_json()
+    # workers=1 parallel: the sharded plane's in-process short-circuit.
+    assert (
+        SESSION.sweep(sweep, executor="parallel", workers=1).to_json()
+        == reference.to_json()
+    )

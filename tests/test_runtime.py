@@ -236,6 +236,8 @@ class TestExecutionCache:
         party = left_party(0)
         sig = cache.sign(ring, party, ("vote", 1))
         cache.sign(ring, party, ("vote", 1))
+        # Signing pre-seeds the verify memo, so every verification of a
+        # cache-produced signature is a hit — no HMAC is ever recomputed.
         cache.verify(ring, party, ("vote", 1), sig)
         cache.verify(ring, party, ("vote", 1), sig)
         cache.verify(ring, party, ("vote", 1), sig)
@@ -243,8 +245,16 @@ class TestExecutionCache:
         assert stats["signatures"] == {
             "entries": 1, "hits": 1, "misses": 1, "hit_rate": 0.5,
         }
-        assert stats["verifications"]["hits"] == 2
+        assert stats["verifications"]["hits"] == 3
+        assert stats["verifications"]["misses"] == 0
+        # A foreign signature (not produced through this cache) still
+        # pays one verification miss, then hits.
+        foreign = ring.handle_for(party).sign(("vote", 2))
+        cache.verify(ring, party, ("vote", 2), foreign)
+        cache.verify(ring, party, ("vote", 2), foreign)
+        stats = cache.stats()
         assert stats["verifications"]["misses"] == 1
+        assert stats["verifications"]["hits"] == 4
         assert stats["encode"]["identity_entries"] > 0
 
     def test_null_cache_sizer_matches_direct_sizes(self):
