@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from repro.bench.registry import BenchCase, all_cases, register
+from repro.bench.registry import BenchCase, HarnessRun, all_cases, register
 from repro.core.bipartite_auth import pibsm_decision_rounds
 from repro.experiment.records import RunRecord, RunRecordSet
 from repro.experiment.spec import AdversarySpec, ProfileSpec, ScenarioSpec, Sweep
@@ -676,6 +676,73 @@ register(
         legacy_script="bench_roommates_extension.py",
         check=_roommates_check,
         metrics=_roommates_metrics,
+    )
+)
+
+
+# -- S1: the service plane under load --------------------------------------------
+
+#: Total requests per tier (the tier axis of the load test).
+_SERVE_REQUESTS = {"quick": 40, "full": 240, "scale": 960}
+_SERVE_CONCURRENCY = 4
+
+
+def _serve_load_harness(tier: str, workers: int | None) -> HarnessRun:
+    """Boot the matching service, drive a loadgen burst, measure.
+
+    A harness case: the whole measurement — service boot on a free
+    port, keep-alive ``POST /v1/run`` burst, ``/statz`` scrape, graceful
+    stop — happens here; the runner only times and repeats it.  Any
+    errored or shed request is a failure: at this concurrency the
+    admission envelope (``max_inflight`` + queue) must absorb the burst.
+    """
+    from repro.serve.client import request
+    from repro.serve.config import ServiceConfig
+    from repro.serve.loadgen import LoadConfig, run_load
+    from repro.serve.server import start_background
+
+    config = ServiceConfig(port=0, max_inflight=max(2, workers or 2))
+    handle = start_background(config)
+    try:
+        report = run_load(
+            LoadConfig(
+                port=handle.port,
+                total_requests=_SERVE_REQUESTS[tier],
+                concurrency=_SERVE_CONCURRENCY,
+            )
+        )
+        statz = request(handle.host, handle.port, "GET", "/statz").json()
+    finally:
+        handle.stop()
+    failures: list[str] = []
+    if report.errors:
+        failures.append(f"{report.errors}/{report.total} load requests errored")
+    if report.shed:
+        failures.append(f"{report.shed}/{report.total} load requests were shed")
+    latency = report.to_dict()["latency_ms"]
+    return HarnessRun(
+        seconds=report.elapsed_seconds,
+        runs=report.total,
+        metrics={
+            "requests_per_second": round(report.requests_per_second, 3),
+            "latency_mean_ms": latency["mean"],
+            "latency_p50_ms": latency["p50"],
+            "latency_p99_ms": latency["p99"],
+            "errors": float(report.errors),
+            "shed": float(report.shed),
+            "concurrency": float(_SERVE_CONCURRENCY),
+            "max_inflight": float(config.max_inflight),
+        },
+        failures=tuple(failures),
+        cache=dict(statz.get("cache", {})) if isinstance(statz, dict) else {},
+    )
+
+
+register(
+    BenchCase(
+        name="serve_load",
+        title="S1 — service-plane throughput: loadgen burst vs the admission-controlled server",
+        harness=_serve_load_harness,
     )
 )
 

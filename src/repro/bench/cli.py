@@ -103,7 +103,7 @@ def add_bench_arguments(bench: argparse.ArgumentParser) -> None:
 def _print_catalog() -> None:
     print("registered bench cases (tiers: quick | full | scale):")
     for case in all_cases():
-        executors = ",".join(case.executors)
+        executors = "harness-driven" if case.harness else ",".join(case.executors)
         legacy = f"  [was {case.legacy_script}]" if case.legacy_script else ""
         print(f"  {case.name:28s} {case.title}{legacy}")
         print(f"  {'':28s}   executors: {executors}")

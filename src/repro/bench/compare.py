@@ -57,10 +57,17 @@ class CaseComparison:
 
 @dataclass(frozen=True)
 class Comparison:
-    """The whole gate: per-case rows plus the aggregate verdict."""
+    """The whole gate: per-case rows plus the aggregate verdict.
+
+    ``warnings`` flag comparability problems that do *not* fail the
+    gate — e.g. the baseline was measured on a host with a different
+    ``cpu_count`` or different effective executor worker counts, so
+    wall-clock ratios may reflect hardware rather than code.
+    """
 
     rows: tuple[CaseComparison, ...]
     max_regress: float
+    warnings: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -82,6 +89,8 @@ class Comparison:
             ratio = f"{row.ratio:.2f}x" if row.ratio else "-"
             status = row.status + (f" ({row.detail})" if row.detail else "")
             lines.append(f"  {row.case:32s} {baseline:>9s} {current:>9s} {ratio:>6s}  {status}")
+        for warning in self.warnings:
+            lines.append(f"  warning: {warning}")
         verdict = "PASS" if self.ok else f"FAIL ({len(self.failures)} gate failures)"
         lines.append(f"  -> {verdict}")
         return "\n".join(lines)
@@ -91,21 +100,30 @@ class Comparison:
 
 
 def baseline_from_results(results: Iterable[BenchResult]) -> dict:
-    """A baseline dictionary distilled from fresh results."""
+    """A baseline dictionary distilled from fresh results.
+
+    Per-case effective executor worker counts ride along (when the
+    result recorded them) so a later ``--compare`` can warn when the
+    same case is being measured with a different degree of parallelism.
+    """
+    cases: dict[str, dict] = {}
+    for result in results:
+        entry: dict = {
+            "tier": result.tier,
+            "wall_seconds": result.wall_seconds,
+            "runs": result.runs,
+            "rounds": result.rounds,
+            "messages": result.messages,
+        }
+        workers = result.environment.get("executor_workers")
+        if workers:
+            entry["executor_workers"] = dict(workers)
+        cases[result.case] = entry
     return {
         "schema": BENCH_SCHEMA_VERSION,
         "kind": "bench-baseline",
         "environment": environment_fingerprint(),
-        "cases": {
-            result.case: {
-                "tier": result.tier,
-                "wall_seconds": result.wall_seconds,
-                "runs": result.runs,
-                "rounds": result.rounds,
-                "messages": result.messages,
-            }
-            for result in results
-        },
+        "cases": cases,
     }
 
 
@@ -147,11 +165,31 @@ def compare_results(
     fails the gate); cases without a baseline entry report as ``new``
     and pass, so adding a benchmark never requires touching the
     baseline in the same change.
+
+    Environment disagreements — the baseline's ``cpu_count`` vs the
+    run's, or a case's recorded ``executor_workers`` vs the baseline's —
+    produce :attr:`Comparison.warnings`.  They never fail the gate:
+    the numbers are still gated, the warning says the ratio may be
+    measuring hardware.
     """
     if max_regress <= 0:
         raise BenchError(f"max_regress must be positive, got {max_regress}")
     by_name = {result.case: result for result in results}
     known = baseline["cases"]
+    warnings: list[str] = []
+    base_env = baseline.get("environment") or {}
+    run_env = next(
+        (result.environment for result in results if result.environment),
+        environment_fingerprint(),
+    )
+    base_cpus = base_env.get("cpu_count")
+    run_cpus = run_env.get("cpu_count")
+    if base_cpus is not None and run_cpus is not None and base_cpus != run_cpus:
+        warnings.append(
+            f"environment: baseline measured with cpu_count={base_cpus!r}, "
+            f"this run has cpu_count={run_cpus!r} — wall-clock ratios may "
+            "reflect hardware, not code"
+        )
     rows: list[CaseComparison] = []
     for name in sorted(set(known) | set(by_name)):
         entry = known.get(name)
@@ -185,6 +223,13 @@ def compare_results(
                 )
             )
             continue
+        base_workers = entry.get("executor_workers")
+        run_workers = result.environment.get("executor_workers")
+        if base_workers and run_workers and base_workers != run_workers:
+            warnings.append(
+                f"{name}: executor workers differ (baseline {base_workers!r}, "
+                f"this run {run_workers!r}) — the speedup claims are not comparable"
+            )
         base_seconds = float(entry.get("wall_seconds", 0.0))
         ratio = result.wall_seconds / base_seconds if base_seconds > 0 else 0.0
         if base_seconds > 0 and result.wall_seconds > base_seconds * max_regress:
@@ -206,4 +251,6 @@ def compare_results(
                 detail=detail,
             )
         )
-    return Comparison(rows=tuple(rows), max_regress=max_regress)
+    return Comparison(
+        rows=tuple(rows), max_regress=max_regress, warnings=tuple(warnings)
+    )

@@ -19,7 +19,7 @@ and is loaded lazily on first lookup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Mapping
 
 from repro.errors import BenchError
@@ -32,6 +32,7 @@ __all__ = [
     "TIERS",
     "SUITES",
     "BenchCase",
+    "HarnessRun",
     "register",
     "bench_case",
     "bench_names",
@@ -53,6 +54,33 @@ MetricsFn = Callable[[RunRecordSet, str], Mapping[str, float]]
 
 
 @dataclass(frozen=True)
+class HarnessRun:
+    """What one self-contained harness execution measured.
+
+    Harness cases (``BenchCase.harness``) run workloads the sweep
+    executor loop cannot express — e.g. the ``serve_load`` case, which
+    boots the service plane and drives it over a socket.  ``seconds``
+    is the measured wall of the workload itself (the runner's repeat /
+    min-of-N logic applies to it exactly as it does to executor
+    phases); the work totals and metrics land in the
+    :class:`~repro.bench.result.BenchResult` unchanged.
+    """
+
+    seconds: float
+    runs: int = 0
+    rounds: int = 0
+    messages: int = 0
+    bytes: int = 0
+    metrics: Mapping[str, float] = field(default_factory=dict)
+    failures: tuple[str, ...] = ()
+    cache: Mapping[str, object] = field(default_factory=dict)
+
+
+#: ``harness(tier, workers)`` runs one measured workload end to end.
+HarnessFn = Callable[[str, "int | None"], HarnessRun]
+
+
+@dataclass(frozen=True)
 class BenchCase:
     """One registry-driven benchmark.
 
@@ -61,20 +89,38 @@ class BenchCase:
     one is canonical — every other executor must reproduce its records
     byte-identically); ``runtime`` pins the per-spec runtime axis for
     bsm specs (``"lockstep"`` leaves the workload's own choice alone).
+
+    Cases that cannot be expressed as a sweep (they need to own their
+    measurement loop, like the service-plane load test) set ``harness``
+    *instead of* ``workload``: the runner then calls
+    ``harness(tier, workers)`` per repetition and the executor axes,
+    ``check``, and ``metrics`` hooks do not apply — the harness reports
+    its own failures and metrics on the :class:`HarnessRun`.
     """
 
     name: str
     title: str
-    workload: Callable[[str], Sweep]
+    workload: Callable[[str], Sweep] | None = None
     executors: tuple[str, ...] = ("serial",)
     runtime: str = "lockstep"
     legacy_script: str = ""
     check: CheckFn | None = None
     metrics: MetricsFn | None = None
+    harness: HarnessFn | None = None
 
     def __post_init__(self) -> None:
         if not self.name or "/" in self.name:
             raise BenchError(f"bench case names must be non-empty slugs, got {self.name!r}")
+        if (self.workload is None) == (self.harness is None):
+            raise BenchError(
+                f"case {self.name!r} needs exactly one of workload= or harness="
+            )
+        if self.harness is not None and (self.check or self.metrics):
+            raise BenchError(
+                f"case {self.name!r}: harness cases report failures/metrics "
+                "on the HarnessRun; check=/metrics= hooks take records and "
+                "would never run"
+            )
         if not self.executors:
             raise BenchError(f"case {self.name!r} needs at least one executor")
         for executor in self.executors:
@@ -93,6 +139,10 @@ class BenchCase:
         """The workload at ``tier`` (validated)."""
         if tier not in TIERS:
             raise BenchError(f"unknown tier {tier!r}; expected one of {TIERS}")
+        if self.workload is None:
+            raise BenchError(
+                f"case {self.name!r} is harness-driven and has no sweep workload"
+            )
         return self.workload(tier)
 
 

@@ -121,6 +121,8 @@ class BenchRunner:
             )
 
     def _run(self, case: BenchCase) -> BenchResult:
+        if case.harness is not None:
+            return self._run_harness(case)
         phases: list[tuple[str, float]] = []
         started = time.perf_counter()
         sweep = _pin_runtime(case.sweep(self.tier), case.runtime)
@@ -221,6 +223,53 @@ class BenchRunner:
             failures=tuple(failures),
             metrics=metrics,
             cache=cache_stats,
+            environment=environment,
+        )
+
+    def _run_harness(self, case: BenchCase) -> BenchResult:
+        """Harness-driven cases: the case owns its measurement loop.
+
+        Repeat/min-of-N applies to the harness wall exactly as it does
+        to executor phases (the harness is re-run per repetition and the
+        fastest wall wins); work totals, metrics, and failures come from
+        the fastest repetition, and failures from *any* repetition make
+        the result red — a load test that sheds on one rep out of three
+        is still shedding.
+        """
+        assert case.harness is not None
+        started = time.perf_counter()
+        best = None
+        total_seconds = 0.0
+        failures: list[str] = []
+        for rep in range(self.repeat):
+            run = case.harness(self.tier, self.workers)
+            total_seconds += run.seconds
+            failures.extend(
+                f"rep {rep}: {failure}" if self.repeat > 1 else failure
+                for failure in run.failures
+            )
+            if best is None or run.seconds < best.seconds:
+                best = run
+        assert best is not None  # repeat >= 1
+        surplus = total_seconds - best.seconds
+        wall = time.perf_counter() - started - surplus
+        environment = dict(environment_fingerprint())
+        environment["repeat"] = self.repeat
+        return BenchResult(
+            case=case.name,
+            tier=self.tier,
+            ok=not failures,
+            wall_seconds=round(wall, 6),
+            runs=best.runs,
+            rounds=best.rounds,
+            messages=best.messages,
+            bytes=best.bytes,
+            per_round_seconds=round(best.seconds / best.rounds, 9) if best.rounds else 0.0,
+            per_run_seconds=round(best.seconds / best.runs, 9) if best.runs else 0.0,
+            phases=(("harness", round(best.seconds, 6)),),
+            failures=tuple(failures),
+            metrics={str(k): float(v) for k, v in best.metrics.items()},
+            cache=dict(best.cache),
             environment=environment,
         )
 

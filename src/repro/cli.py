@@ -19,7 +19,10 @@ Commands:
   (see :mod:`repro.bench`);
 * ``conform`` — the conformance harness: seeded scenario fuzzing with
   differential oracles, adversary strategy search, and counterexample
-  shrinking into replayable repro files (see :mod:`repro.conform`).
+  shrinking into replayable repro files (see :mod:`repro.conform`);
+* ``serve`` — boot the async matching service plane: specs in over
+  HTTP/JSON, records out (streamed as NDJSON for sweeps), behind
+  admission control (see :mod:`repro.serve`).
 """
 
 from __future__ import annotations
@@ -169,6 +172,13 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.conform.cli import add_conform_arguments
 
     add_conform_arguments(conform)
+
+    serve = sub.add_parser(
+        "serve", help="boot the async matching service (HTTP/JSON in, records out)"
+    )
+    from repro.serve.cli import add_serve_arguments
+
+    add_serve_arguments(serve)
 
     return parser
 
@@ -392,6 +402,12 @@ def _cmd_conform(args) -> int:
     return cmd_conform(args)
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve.cli import cmd_serve
+
+    return cmd_serve(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -406,6 +422,7 @@ def main(argv: list[str] | None = None) -> int:
         "paper": _cmd_paper,
         "bench": _cmd_bench,
         "conform": _cmd_conform,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

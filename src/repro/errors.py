@@ -19,6 +19,7 @@ __all__ = [
     "SolvabilityError",
     "BenchError",
     "ConformError",
+    "ServeError",
 ]
 
 
@@ -64,3 +65,7 @@ class BenchError(ReproError):
 
 class ConformError(ReproError):
     """A conformance oracle, report, or repro file is malformed or unknown."""
+
+
+class ServeError(ReproError):
+    """The matching service was misconfigured or driven into a bad state."""

@@ -61,6 +61,7 @@ __all__ = [
     "EXECUTORS",
     "POOLED_EXECUTORS",
     "execute_spec",
+    "stream_sweep",
     "effective_workers",
     "cached_verdict",
     "cached_keyring",
@@ -623,6 +624,66 @@ def _execute_parallel(
         RunRecord.from_dict(data) for shard in shards for data in shard["records"]
     )
     return records, merge_cache_stats([shard["cache_stats"] for shard in shards])
+
+
+def stream_sweep(
+    specs: Sequence[ScenarioSpec] | Sweep,
+    *,
+    workers: int | None = None,
+    warm_cache: bool = False,
+    stats: dict | None = None,
+) -> Iterable[tuple[RunRecord, ...]]:
+    """Execute a sweep and *yield* record chunks in spec order.
+
+    The streaming complement of the ``parallel`` executor: the sweep is
+    sharded exactly like :func:`_execute_parallel` (same bounds, same
+    per-worker batched round loops, byte-identical records), but each
+    shard's records are yielded as soon as that shard — and every shard
+    before it — has completed, instead of materializing the whole
+    :class:`~repro.experiment.records.RunRecordSet` first.  Memory
+    stays flat in the number of shards, not the number of runs, which
+    is what the ``repro.serve`` NDJSON streaming path and long-running
+    ensemble writers need.
+
+    A single effective shard degrades to the in-process batched path
+    and yields once.  ``stats`` (optional dict) is updated in place
+    with the merged per-worker cache statistics after the last chunk —
+    a generator cannot return a value to a ``for`` loop, so the sink
+    argument keeps :data:`~repro.experiment.records.RunRecordSet.cache_stats`
+    available to streaming callers too.
+    """
+    specs = tuple(specs)
+    if not specs:
+        if stats is not None:
+            stats.update(merge_cache_stats([]))
+        return
+    bounds = _chunk_bounds(len(specs), effective_workers("parallel", workers, len(specs)))
+    if len(bounds) <= 1:
+        records, cache = _execute_batched(specs)
+        if stats is not None:
+            stats.update(merge_cache_stats([cache.stats()]))
+        yield records
+        return
+    seed = _warm_seed(specs) if warm_cache else None
+    payloads = [
+        {
+            "specs": [spec.to_dict() for spec in specs[start:stop]],
+            "seed": seed,
+        }
+        for start, stop in bounds
+    ]
+    shard_stats: list[dict] = []
+    with concurrent.futures.ProcessPoolExecutor(max_workers=len(payloads)) as pool:
+        # Submit every shard up front, then drain in spec order: shard
+        # i+1 finishing early just makes its yield instantaneous once
+        # shard i lands, so streaming never reorders records.
+        futures = [pool.submit(_parallel_worker, payload) for payload in payloads]
+        for future in futures:
+            shard = future.result()
+            shard_stats.append(shard["cache_stats"])
+            yield tuple(RunRecord.from_dict(data) for data in shard["records"])
+    if stats is not None:
+        stats.update(merge_cache_stats(shard_stats))
 
 
 # -- the engine ----------------------------------------------------------------

@@ -237,6 +237,16 @@ class RunRecordSet:
         return buffer.getvalue()
 
     @classmethod
+    def from_iter(cls, records: Iterable[RunRecord]) -> "RunRecordSet":
+        """Rebuild a set from any record stream (order preserved).
+
+        The streaming complement of :meth:`from_dict`: pairs with
+        :func:`repro.io.iter_records_ndjson` to reload an NDJSON archive
+        without an intermediate list of dictionaries.
+        """
+        return cls(records=tuple(records))
+
+    @classmethod
     def concat(cls, sets: Iterable["RunRecordSet"]) -> "RunRecordSet":
         """Concatenate several record sets, preserving order."""
         merged = RunRecordSet()

@@ -14,6 +14,7 @@ PartyIds serialize as their string form (``"L3"``), payloads as
 from __future__ import annotations
 
 import json
+import os
 from typing import Iterable, Mapping
 
 from repro.core.runner import BSMReport
@@ -31,6 +32,11 @@ __all__ = [
     "dump_records",
     "load_records",
     "records_to_csv",
+    "RECORDS_NDJSON_SCHEMA",
+    "record_ndjson_line",
+    "records_ndjson_header",
+    "dump_records_ndjson",
+    "iter_records_ndjson",
     "dump_sweep",
     "load_sweep",
     "dump_trace",
@@ -186,6 +192,90 @@ def records_to_csv(records, path) -> None:
     """Write a record set as CSV (one row per run, scalar columns)."""
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(records.to_csv())
+
+
+# -- streaming NDJSON record sets ----------------------------------------------
+
+#: Bump when the NDJSON record layout changes incompatibly.  The header
+#: line every stream starts with carries this, so readers reject files
+#: (and network streams) written by an incompatible layout instead of
+#: misreading them.
+RECORDS_NDJSON_SCHEMA = 1
+
+
+def record_ndjson_line(record) -> str:
+    """One :class:`~repro.experiment.records.RunRecord` as one NDJSON line.
+
+    Canonical (sorted keys, compact, trailing newline).  This is the
+    single line encoder shared by :func:`dump_records_ndjson` and the
+    ``repro.serve`` streaming path, so a sweep streamed over a socket is
+    byte-identical to the same sweep dumped to a file.
+    """
+    return json.dumps(record.to_dict(), sort_keys=True) + "\n"
+
+
+def records_ndjson_header() -> str:
+    """The schema-stamped header line every NDJSON record stream starts with."""
+    return (
+        json.dumps(
+            {"kind": "run-records", "schema": RECORDS_NDJSON_SCHEMA}, sort_keys=True
+        )
+        + "\n"
+    )
+
+
+def dump_records_ndjson(records, path, *, append: bool = False) -> None:
+    """Write records as NDJSON: a schema header line, then one record per line.
+
+    Unlike :func:`dump_records` this format appends and streams: pass
+    ``append=True`` to add records to an existing file without touching
+    what is already there (the header is only written when the file is
+    new or empty), and read any prefix of the file back incrementally
+    with :func:`iter_records_ndjson`.  ``records`` is any iterable of
+    :class:`~repro.experiment.records.RunRecord` — a
+    :class:`~repro.experiment.records.RunRecordSet` works directly, and
+    so does a generator, which never materializes the whole set.
+    """
+    mode = "a" if append else "w"
+    fresh = not append or not os.path.exists(path) or os.path.getsize(path) == 0
+    with open(path, mode, encoding="utf-8") as handle:
+        if fresh:
+            handle.write(records_ndjson_header())
+        for record in records:
+            handle.write(record_ndjson_line(record))
+
+
+def iter_records_ndjson(path):
+    """Stream records back from a file written by :func:`dump_records_ndjson`.
+
+    A generator of :class:`~repro.experiment.records.RunRecord` — memory
+    stays flat no matter how many lines the file holds.  Rebuild a set
+    with ``RunRecordSet.from_iter(iter_records_ndjson(path))``.  The
+    header line is validated before any record is yielded.
+    """
+    from repro.experiment.records import RunRecord
+
+    with open(path, "r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        try:
+            header = json.loads(header_line) if header_line.strip() else None
+        except ValueError as exc:
+            raise ReproError(f"NDJSON record header is not valid JSON: {exc}") from exc
+        if not isinstance(header, Mapping) or header.get("kind") != "run-records":
+            raise ReproError(
+                "not an NDJSON record file: expected a kind='run-records' header line"
+            )
+        schema = header.get("schema")
+        if schema != RECORDS_NDJSON_SCHEMA:
+            raise ReproError(
+                f"NDJSON record schema {schema!r} is not supported "
+                f"(this build reads schema {RECORDS_NDJSON_SCHEMA})"
+            )
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            yield RunRecord.from_dict(json.loads(line))
 
 
 def dump_sweep(sweep, path) -> None:

@@ -1,0 +1,62 @@
+"""repro.serve — the async matching service plane.
+
+The batch engine as a long-lived backend: a stdlib-only asyncio
+HTTP/1.1 service (``repro serve``) that accepts
+:class:`~repro.experiment.spec.ScenarioSpec` / ``Sweep`` JSON, runs
+them on the existing executors behind an admission-controlled valve,
+and streams :class:`~repro.experiment.records.RunRecord` results back —
+NDJSON for sweeps (byte-identical to an in-process run), JSON for
+singles, plus an async job table for fire-and-poll submission.
+
+Layers:
+
+* :mod:`repro.serve.config` — :class:`ServiceConfig`, the whole envelope;
+* :mod:`repro.serve.http` — the minimal HTTP/1.1 parse/respond layer;
+* :mod:`repro.serve.admission` — bounded concurrency + shed-at-the-door;
+* :mod:`repro.serve.jobs` — the bounded async job table;
+* :mod:`repro.serve.stats` — per-endpoint latency histograms, ``/statz``;
+* :mod:`repro.serve.server` — :class:`MatchingService` and the
+  background-thread :class:`ServiceHandle`;
+* :mod:`repro.serve.client` — a tiny blocking client (tests, probes);
+* :mod:`repro.serve.loadgen` — the keep-alive load generator behind the
+  ``serve_load`` benchmark.
+"""
+
+from repro.serve.admission import AdmissionController, Overloaded
+from repro.serve.client import Response, request
+from repro.serve.config import ServiceConfig
+from repro.serve.http import HttpError
+from repro.serve.jobs import Job, JobTable
+from repro.serve.server import MatchingService, ServiceHandle, start_background
+from repro.serve.stats import LatencyHistogram, ServiceStats
+
+__all__ = [
+    "AdmissionController",
+    "Overloaded",
+    "Response",
+    "request",
+    "ServiceConfig",
+    "HttpError",
+    "Job",
+    "JobTable",
+    "LoadConfig",
+    "LoadReport",
+    "run_load",
+    "MatchingService",
+    "ServiceHandle",
+    "start_background",
+    "LatencyHistogram",
+    "ServiceStats",
+]
+
+_LOADGEN_EXPORTS = ("LoadConfig", "LoadReport", "run_load")
+
+
+def __getattr__(name: str):
+    # Lazy so `python -m repro.serve.loadgen` does not import the module
+    # twice (once via this package, once as __main__).
+    if name in _LOADGEN_EXPORTS:
+        from repro.serve import loadgen
+
+        return getattr(loadgen, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,136 @@
+"""Admission control: the service's backpressure valve.
+
+The controller enforces the :class:`~repro.serve.config.ServiceConfig`
+envelope: at most ``max_inflight`` requests execute at once, at most
+``max_queue`` more wait for a slot, and everything past that is *shed*
+immediately — the caller gets ``503`` with a ``Retry-After`` header
+instead of an unbounded queue quietly eating the host.  Shedding at the
+door is what keeps latency flat under overload: work the service cannot
+finish soon is work it refuses to start.
+
+The controller is a plain asyncio object (no locks beyond the event
+loop's own serialization) and keeps shed/admit counters the ``/statz``
+endpoint reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["Overloaded", "AdmissionController"]
+
+
+class Overloaded(Exception):
+    """Raised when a request must be shed (queue full or draining)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class AdmissionController:
+    """Bounded concurrency + a bounded wait queue, with shed counters.
+
+    Use as an async context manager around the work::
+
+        async with admission:
+            ... execute ...
+
+    ``admit`` raises :class:`Overloaded` instead of waiting when the
+    queue is already at capacity or the service is draining.
+    """
+
+    def __init__(self, max_inflight: int, max_queue: int) -> None:
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._slots = asyncio.Semaphore(max_inflight)
+        self._waiting = 0
+        self._inflight = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        # Lifetime counters, surfaced by /statz.
+        self.admitted = 0
+        self.shed_queue_full = 0
+        self.shed_draining = 0
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently holding an execution slot."""
+        return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but still waiting for a slot."""
+        return self._waiting
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def stats(self) -> dict:
+        return {
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "inflight": self._inflight,
+            "queue_depth": self._waiting,
+            "admitted": self.admitted,
+            "shed_queue_full": self.shed_queue_full,
+            "shed_draining": self.shed_draining,
+            "draining": self._draining,
+        }
+
+    # -- the valve ------------------------------------------------------------
+
+    async def admit(self) -> None:
+        """Take an execution slot, waiting in the bounded queue if needed."""
+        if self._draining:
+            self.shed_draining += 1
+            raise Overloaded("service is draining")
+        # Shed only when every slot is taken AND the wait queue is full —
+        # a free slot must always be admissible, even with max_queue=0.
+        if self._inflight + self._waiting >= self.max_inflight + self.max_queue:
+            self.shed_queue_full += 1
+            raise Overloaded(
+                f"admission queue is full ({self._waiting} waiting, "
+                f"{self._inflight} in flight)"
+            )
+        self._waiting += 1
+        try:
+            await self._slots.acquire()
+        finally:
+            self._waiting -= 1
+        self._inflight += 1
+        self._idle.clear()
+        self.admitted += 1
+
+    def release(self) -> None:
+        """Give the slot back (pairs with a successful :meth:`admit`)."""
+        self._inflight -= 1
+        self._slots.release()
+        if self._inflight == 0:
+            self._idle.set()
+
+    async def __aenter__(self) -> "AdmissionController":
+        await self.admit()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self.release()
+
+    # -- draining -------------------------------------------------------------
+
+    def start_draining(self) -> None:
+        """Stop admitting; in-flight work keeps its slots."""
+        self._draining = True
+
+    async def drain(self, timeout: float) -> bool:
+        """Wait until nothing is in flight (True) or ``timeout`` runs out."""
+        self.start_draining()
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False

@@ -1,0 +1,175 @@
+"""A deliberately small HTTP/1.1 layer over asyncio streams.
+
+No dependency beyond the standard library: the service plane speaks
+just enough HTTP/1.1 for JSON request/response bodies, keep-alive, and
+EOF-delimited NDJSON streaming (``Connection: close``) — the same
+hand-rolled-over-asyncio style :mod:`repro.net.transports` uses for
+protocol hosting.  Parsing is strict where it matters (request line
+shape, Content-Length bounds) and boring everywhere else.
+
+:class:`HttpError` carries an HTTP status plus a structured error code;
+the server turns it into the service's canonical error JSON
+(``{"error": {"code": ..., "message": ...}}``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = [
+    "HttpError",
+    "Request",
+    "read_request",
+    "response_head",
+    "json_response",
+    "error_body",
+]
+
+#: The status lines the service emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Bound on the request line + each header line (bytes).
+_LINE_LIMIT = 8192
+#: Bound on the number of header lines per request.
+_HEADER_LIMIT = 64
+
+
+class HttpError(Exception):
+    """A request that cannot proceed: status + structured error code."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed request: method, path (query split off), headers, body."""
+
+    method: str
+    path: str
+    query: str = ""
+    headers: Mapping[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> object:
+        """The body parsed as JSON (:class:`HttpError` 400 on garbage)."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise HttpError(400, "bad_json", f"request body is not valid JSON: {exc}")
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    line = await reader.readline()
+    if len(line) > _LINE_LIMIT:
+        raise HttpError(400, "bad_request", "header line too long")
+    return line
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int
+) -> Request | None:
+    """Parse one request off the stream; ``None`` on a clean EOF.
+
+    ``max_body`` bounds the declared Content-Length — oversized bodies
+    raise :class:`HttpError` 413 *before* a byte of them is read, which
+    is the service's per-request spec-size limit.
+    """
+    line = await _read_line(reader)
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, "bad_request", f"malformed request line: {line!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for _ in range(_HEADER_LIMIT):
+        line = await _read_line(reader)
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise HttpError(400, "bad_request", "too many headers")
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise HttpError(400, "bad_request", "malformed Content-Length")
+    if length < 0:
+        raise HttpError(400, "bad_request", "negative Content-Length")
+    if length > max_body:
+        raise HttpError(
+            413,
+            "spec_too_large",
+            f"request body of {length} bytes exceeds the {max_body}-byte limit",
+        )
+    body = await reader.readexactly(length) if length else b""
+    path, _, query = target.partition("?")
+    return Request(
+        method=method.upper(), path=path, query=query, headers=headers, body=body
+    )
+
+
+def response_head(
+    status: int,
+    *,
+    content_type: str = "application/json",
+    content_length: int | None = None,
+    close: bool = False,
+    extra_headers: Mapping[str, str] | None = None,
+) -> bytes:
+    """The status line plus headers (through the blank line) as bytes.
+
+    ``content_length=None`` means an EOF-delimited body: the connection
+    header is forced to ``close`` so the peer knows the body ends when
+    the socket does — this is how the NDJSON sweep stream is framed.
+    """
+    if content_length is None:
+        close = True
+    lines = [f"HTTP/1.1 {status} {REASONS.get(status, 'Unknown')}"]
+    lines.append(f"Content-Type: {content_type}")
+    if content_length is not None:
+        lines.append(f"Content-Length: {content_length}")
+    lines.append(f"Connection: {'close' if close else 'keep-alive'}")
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def json_response(
+    status: int,
+    payload: object,
+    *,
+    close: bool = False,
+    extra_headers: Mapping[str, str] | None = None,
+) -> bytes:
+    """A complete JSON response (head + body) as bytes."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    head = response_head(
+        status, content_length=len(body), close=close, extra_headers=extra_headers
+    )
+    return head + body
+
+
+def error_body(code: str, message: str) -> dict:
+    """The canonical structured error payload."""
+    return {"error": {"code": code, "message": message}}

@@ -1,0 +1,104 @@
+"""The bounded async job table.
+
+``POST /v1/jobs`` returns immediately with a job id; the work runs in
+the background through the same admission valve as synchronous
+requests, and ``GET /v1/jobs/<id>`` polls the lifecycle
+(``queued -> running -> done | failed``).  The table is *bounded*: when
+it is full, finished jobs are evicted oldest-first to make room, and if
+every slot is still live the submission itself is shed — a service that
+remembers every job it ever ran is a memory leak with an API.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.serve.admission import Overloaded
+
+__all__ = ["Job", "JobTable"]
+
+#: Lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+_FINISHED = (DONE, FAILED)
+
+
+@dataclass
+class Job:
+    """One submitted job and (eventually) its outcome."""
+
+    id: str
+    kind: str  # "run" | "sweep"
+    status: str = QUEUED
+    submitted_at: float = field(default_factory=time.monotonic)
+    elapsed_seconds: float = 0.0
+    #: Record dictionaries once DONE (already JSON-shaped).
+    records: list[dict] | None = None
+    error: str = ""
+
+    @property
+    def finished(self) -> bool:
+        return self.status in _FINISHED
+
+    def describe(self) -> dict:
+        """The poll payload (records included only once DONE)."""
+        data: dict = {"job": self.id, "kind": self.kind, "status": self.status}
+        if self.status == DONE:
+            data["records"] = self.records or []
+            data["elapsed_seconds"] = round(self.elapsed_seconds, 6)
+        if self.status == FAILED:
+            data["error"] = self.error
+        return data
+
+
+class JobTable:
+    """Insertion-ordered bounded table of :class:`Job` rows."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._jobs: dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def submit(self, kind: str) -> Job:
+        """Create a queued job, evicting finished rows when full.
+
+        Raises :class:`~repro.serve.admission.Overloaded` when the table
+        is full of still-live jobs — the bounded-table analogue of a
+        full admission queue.
+        """
+        if len(self._jobs) >= self.capacity:
+            for job_id, job in list(self._jobs.items()):
+                if job.finished:
+                    del self._jobs[job_id]
+                    self.evicted += 1
+                    break
+            else:
+                raise Overloaded(
+                    f"job table is full ({len(self._jobs)} live jobs)"
+                )
+        job = Job(id=f"job-{next(self._ids)}", kind=kind)
+        self._jobs[job.id] = job
+        return job
+
+    def stats(self) -> dict:
+        by_status: dict[str, int] = {}
+        for job in self._jobs.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            "capacity": self.capacity,
+            "size": len(self._jobs),
+            "evicted": self.evicted,
+            "by_status": by_status,
+        }

@@ -1,0 +1,212 @@
+"""An asyncio load generator for the matching service.
+
+Opens ``concurrency`` keep-alive connections and pushes
+``total_requests`` ``POST /v1/run`` requests through them, recording
+every latency exactly (no bucketing — the sample count is bounded by
+the configured total).  The report carries requests/sec, p50/p99/mean
+latency, and ok/error/shed counts; it backs the ``serve_load`` bench
+case and the CI smoke burst.
+
+Runnable standalone against an already-booted service::
+
+    python -m repro.serve.loadgen --port 8642 --requests 200 --concurrency 4
+
+Exits nonzero when any request errored or was shed (pass
+``--allow-shed`` to tolerate shedding when probing overload on
+purpose).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.experiment.spec import ScenarioSpec
+
+__all__ = ["LoadConfig", "LoadReport", "run_load", "main"]
+
+
+def _default_spec() -> dict:
+    return ScenarioSpec().to_dict()
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """One load run: where to aim, how hard, and with what payload."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642
+    total_requests: int = 100
+    concurrency: int = 4
+    timeout: float = 30.0
+    #: JSON body POSTed to /v1/run on every request.
+    spec: dict = field(default_factory=_default_spec)
+
+    def __post_init__(self) -> None:
+        if self.total_requests <= 0:
+            raise ValueError("total_requests must be positive")
+        if self.concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+
+
+@dataclass
+class LoadReport:
+    """What a load run measured."""
+
+    total: int = 0
+    ok: int = 0
+    errors: int = 0
+    shed: int = 0
+    elapsed_seconds: float = 0.0
+    latencies_ms: list[float] = field(default_factory=list)
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.total / self.elapsed_seconds
+
+    def percentile(self, q: float) -> float:
+        """Exact ``q``-quantile of the observed latencies (ms)."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    def to_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "ok": self.ok,
+            "errors": self.errors,
+            "shed": self.shed,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "requests_per_second": round(self.requests_per_second, 3),
+            "latency_ms": {
+                "mean": round(
+                    sum(self.latencies_ms) / len(self.latencies_ms), 3
+                )
+                if self.latencies_ms
+                else 0.0,
+                "p50": round(self.percentile(0.50), 3),
+                "p99": round(self.percentile(0.99), 3),
+                "max": round(max(self.latencies_ms), 3) if self.latencies_ms else 0.0,
+            },
+        }
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """One Content-Length-framed response off a keep-alive stream."""
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("server closed the connection")
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+async def _worker(config: LoadConfig, payload: bytes, counter, report: LoadReport) -> None:
+    reader = writer = None
+    head_template = (
+        "POST /v1/run HTTP/1.1\r\n"
+        f"Host: {config.host}:{config.port}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: keep-alive\r\n\r\n"
+    ).encode("latin-1")
+    try:
+        for _ in counter:
+            if writer is None:
+                reader, writer = await asyncio.open_connection(
+                    config.host, config.port
+                )
+            started = time.perf_counter()
+            try:
+                writer.write(head_template + payload)
+                await writer.drain()
+                status, _body = await asyncio.wait_for(
+                    _read_response(reader), timeout=config.timeout
+                )
+            except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
+                # Count it and start a fresh connection for the next one.
+                report.total += 1
+                report.errors += 1
+                writer.close()
+                reader = writer = None
+                continue
+            report.total += 1
+            report.latencies_ms.append((time.perf_counter() - started) * 1000.0)
+            if status == 200:
+                report.ok += 1
+            elif status == 503:
+                report.shed += 1
+            else:
+                report.errors += 1
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+async def _run_load(config: LoadConfig) -> LoadReport:
+    report = LoadReport()
+    payload = json.dumps(config.spec, sort_keys=True).encode("utf-8")
+    counter = iter(range(config.total_requests))
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _worker(config, payload, counter, report)
+            for _ in range(min(config.concurrency, config.total_requests))
+        )
+    )
+    report.elapsed_seconds = time.perf_counter() - started
+    return report
+
+
+def run_load(config: LoadConfig | None = None) -> LoadReport:
+    """Drive one load run to completion (blocking wrapper)."""
+    return asyncio.run(_run_load(config or LoadConfig()))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.loadgen",
+        description="Load-generate against a running matching service.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument("--requests", type=int, default=100, dest="requests")
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument(
+        "--allow-shed",
+        action="store_true",
+        help="do not fail the exit code on shed (503) responses",
+    )
+    args = parser.parse_args(argv)
+    config = LoadConfig(
+        host=args.host,
+        port=args.port,
+        total_requests=args.requests,
+        concurrency=args.concurrency,
+        timeout=args.timeout,
+    )
+    report = run_load(config)
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    failed = report.errors + (0 if args.allow_shed else report.shed)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover — exercised via CI smoke
+    sys.exit(main())

@@ -1,0 +1,508 @@
+"""The matching service: scenarios in, records out, over plain HTTP/1.1.
+
+:class:`MatchingService` promotes the batch engine into a long-lived
+backend.  It is a stdlib-only asyncio server (hand-rolled HTTP via
+:mod:`repro.serve.http` over ``asyncio.start_server``, in the
+:mod:`repro.net.transports` style) exposing:
+
+* ``POST /v1/run``    — one :class:`~repro.experiment.spec.ScenarioSpec`,
+  records in the JSON response;
+* ``POST /v1/sweep``  — a :class:`~repro.experiment.spec.Sweep`, records
+  streamed back as NDJSON lines (schema header first) as parallel
+  shards complete — byte-identical to the same sweep run in-process;
+* ``POST /v1/jobs`` / ``GET /v1/jobs/<id>`` — async submission into the
+  bounded :class:`~repro.serve.jobs.JobTable`;
+* ``GET /healthz``    — liveness (reports ``draining`` during shutdown);
+* ``GET /statz``      — uptime, admission counters and queue depth,
+  merged cache statistics, per-endpoint latency histograms.
+
+Every execution request passes the
+:class:`~repro.serve.admission.AdmissionController` (overload sheds
+with ``503`` + ``Retry-After``) and then dispatches onto the existing
+executors via the config's :class:`~repro.experiment.spec.ExecutorSpec`
+planes — parallel for sweeps, batch for singles — inside a thread pool
+sized to ``max_inflight``.  Graceful shutdown stops admitting, drains
+in-flight work (bounded by ``drain_seconds``), then closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+import time
+
+from repro.errors import ReproError
+from repro.experiment.engine import Session, stream_sweep
+from repro.experiment.records import RunRecordSet
+from repro.experiment.spec import ScenarioSpec, Sweep
+from repro.io import record_ndjson_line, records_ndjson_header
+from repro.serve.admission import AdmissionController, Overloaded
+from repro.serve.config import ServiceConfig
+from repro.serve.http import (
+    HttpError,
+    Request,
+    error_body,
+    json_response,
+    read_request,
+    response_head,
+)
+from repro.serve.jobs import DONE, FAILED, RUNNING, JobTable
+from repro.serve.stats import ServiceStats
+
+__all__ = ["MatchingService", "ServiceHandle", "start_background"]
+
+
+def _parse_spec(data: object) -> ScenarioSpec:
+    """A request body as a spec (:class:`HttpError` 400 on anything off)."""
+    if not isinstance(data, dict):
+        raise HttpError(400, "bad_spec", "request body must be a ScenarioSpec object")
+    try:
+        return ScenarioSpec.from_dict(data)
+    except (ReproError, KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise HttpError(400, "bad_spec", f"not a valid ScenarioSpec: {exc}")
+
+
+def _parse_sweep(data: object) -> Sweep:
+    if not isinstance(data, dict) or not isinstance(data.get("specs"), list):
+        raise HttpError(400, "bad_sweep", "request body must be {'specs': [...]}")
+    try:
+        return Sweep.from_dict(data)
+    except (ReproError, KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise HttpError(400, "bad_sweep", f"not a valid Sweep: {exc}")
+
+
+def _execute_records(session: Session, sweep: Sweep) -> RunRecordSet:
+    """Thread-pool entry point: run a (possibly single-spec) sweep."""
+    return session.sweep(sweep)
+
+
+class MatchingService:
+    """One service instance: config in, a bound listening socket out."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.admission = AdmissionController(
+            self.config.max_inflight, self.config.max_queue
+        )
+        self.jobs = JobTable(self.config.jobs_capacity)
+        self.stats = ServiceStats()
+        self._run_session = Session(executor=self.config.run_executor)
+        self._sweep_session = Session(executor=self.config.sweep_executor)
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.config.max_inflight, thread_name_prefix="repro-serve"
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._closed = asyncio.Event()
+        self._job_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self.port: int = self.config.port
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting (resolves port 0 to the real port)."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: stop admitting, drain, close.
+
+        With ``drain=True`` (the default) in-flight requests — including
+        a sweep mid-stream — finish and flush before the listener's
+        connections are torn down, bounded by ``config.drain_seconds``.
+        """
+        if self._server is not None:
+            self._server.close()
+        self.admission.start_draining()
+        if drain:
+            await self.admission.drain(self.config.drain_seconds)
+            if self._job_tasks:
+                await asyncio.wait(
+                    tuple(self._job_tasks), timeout=self.config.drain_seconds
+                )
+        # Anything still open now is an idle keep-alive connection (or
+        # work past the drain budget): close it.
+        for writer in tuple(self._writers):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        self._pool.shutdown(wait=False)
+        self._closed.set()
+
+    async def wait_closed(self) -> None:
+        """Block until :meth:`stop` has completed."""
+        await self._closed.wait()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self.config.max_spec_bytes
+                    )
+                except HttpError as exc:
+                    # The stream may hold an unread body: answer and close.
+                    writer.write(
+                        json_response(
+                            exc.status, error_body(exc.code, exc.message), close=True
+                        )
+                    )
+                    await writer.drain()
+                    break
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    break
+                if request is None:
+                    break
+                keep_alive = await self._dispatch(request, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request: Request, writer: asyncio.StreamWriter) -> bool:
+        """Route one request; returns whether to keep the connection."""
+        endpoint = request.path
+        if request.path.startswith("/v1/jobs/"):
+            endpoint = "/v1/jobs/<id>"
+        started = time.perf_counter()
+        status = 500
+        keep_alive = request.keep_alive
+        try:
+            if request.path == "/healthz" and request.method == "GET":
+                status = 200
+                payload = {
+                    "status": "draining" if self.admission.draining else "ok",
+                    "port": self.port,
+                }
+                writer.write(json_response(status, payload, close=not keep_alive))
+            elif request.path == "/statz" and request.method == "GET":
+                status = 200
+                writer.write(
+                    json_response(status, self._statz(), close=not keep_alive)
+                )
+            elif request.path == "/v1/run" and request.method == "POST":
+                status = await self._handle_run(request, writer)
+            elif request.path == "/v1/sweep" and request.method == "POST":
+                status = await self._handle_sweep_stream(request, writer)
+                keep_alive = False  # streamed bodies are EOF-delimited
+            elif request.path == "/v1/jobs" and request.method == "POST":
+                status = await self._handle_job_submit(request, writer)
+            elif endpoint == "/v1/jobs/<id>" and request.method == "GET":
+                status = self._handle_job_poll(request, writer)
+            elif request.path in ("/healthz", "/statz", "/v1/run", "/v1/sweep", "/v1/jobs"):
+                status = 405
+                writer.write(
+                    json_response(
+                        status,
+                        error_body("method_not_allowed", f"{request.method} {request.path}"),
+                        close=not keep_alive,
+                    )
+                )
+            else:
+                status = 404
+                writer.write(
+                    json_response(
+                        status,
+                        error_body("not_found", f"no route for {request.path}"),
+                        close=not keep_alive,
+                    )
+                )
+        except HttpError as exc:
+            status = exc.status
+            extra = (
+                {"Retry-After": str(self.config.retry_after_seconds)}
+                if status == 503
+                else None
+            )
+            writer.write(
+                json_response(
+                    status,
+                    error_body(exc.code, exc.message),
+                    close=not keep_alive,
+                    extra_headers=extra,
+                )
+            )
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception as exc:  # noqa: BLE001 — the service must not die
+            status = 500
+            try:
+                writer.write(
+                    json_response(
+                        status, error_body("internal", repr(exc)), close=True
+                    )
+                )
+            except ConnectionError:
+                pass
+            keep_alive = False
+        finally:
+            self.stats.observe(endpoint, status, time.perf_counter() - started)
+        try:
+            await writer.drain()
+        except ConnectionError:
+            return False
+        return keep_alive
+
+    # -- endpoints ------------------------------------------------------------
+
+    def _overloaded(self, exc: Overloaded) -> HttpError:
+        return HttpError(503, "overloaded", str(exc))
+
+    async def _handle_run(self, request: Request, writer: asyncio.StreamWriter) -> int:
+        spec = _parse_spec(request.json())
+        try:
+            await self.admission.admit()
+        except Overloaded as exc:
+            raise self._overloaded(exc)
+        try:
+            loop = asyncio.get_running_loop()
+            records = await loop.run_in_executor(
+                self._pool, _execute_records, self._run_session, Sweep.of(spec)
+            )
+            self.stats.observe_cache(records.cache_stats)
+            self.stats.records_served += len(records)
+            payload = {
+                "records": [record.to_dict() for record in records],
+                "count": len(records),
+                "elapsed_seconds": round(records.elapsed_seconds, 6),
+            }
+            writer.write(json_response(200, payload, close=not request.keep_alive))
+            await writer.drain()
+        finally:
+            self.admission.release()
+        return 200
+
+    async def _handle_sweep_stream(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> int:
+        sweep = _parse_sweep(request.json())
+        try:
+            await self.admission.admit()
+        except Overloaded as exc:
+            raise self._overloaded(exc)
+        try:
+            executor = self.config.sweep_executor
+            # The batch plane streams as one chunk; parallel streams one
+            # chunk per shard (stream_sweep shards exactly like the
+            # parallel executor, so records are byte-identical to it).
+            workers = 1 if executor.name == "batch" else executor.workers
+            loop = asyncio.get_running_loop()
+            queue: asyncio.Queue = asyncio.Queue()
+
+            def producer() -> dict:
+                stats: dict = {}
+                try:
+                    for chunk in stream_sweep(
+                        sweep.specs,
+                        workers=workers,
+                        warm_cache=executor.warm_cache,
+                        stats=stats,
+                    ):
+                        loop.call_soon_threadsafe(queue.put_nowait, ("chunk", chunk))
+                except BaseException as exc:  # noqa: BLE001 — forwarded to the consumer
+                    loop.call_soon_threadsafe(queue.put_nowait, ("error", exc))
+                else:
+                    loop.call_soon_threadsafe(queue.put_nowait, ("done", None))
+                return stats
+
+            writer.write(
+                response_head(200, content_type="application/x-ndjson")
+                + records_ndjson_header().encode("utf-8")
+            )
+            await writer.drain()
+            future = loop.run_in_executor(self._pool, producer)
+            while True:
+                kind, payload = await queue.get()
+                if kind == "chunk":
+                    self.stats.records_served += len(payload)
+                    writer.write(
+                        "".join(record_ndjson_line(r) for r in payload).encode("utf-8")
+                    )
+                    await writer.drain()
+                elif kind == "done":
+                    break
+                else:
+                    # Status already sent: all we can do is truncate the
+                    # stream (EOF-delimited, so the client sees a short
+                    # body) and record the failure.
+                    await future
+                    raise payload
+            self.stats.observe_cache(await future)
+        finally:
+            self.admission.release()
+        return 200
+
+    async def _handle_job_submit(
+        self, request: Request, writer: asyncio.StreamWriter
+    ) -> int:
+        data = request.json()
+        if not isinstance(data, dict) or ("spec" in data) == ("sweep" in data):
+            raise HttpError(
+                400, "bad_job", "job submissions carry exactly one of 'spec' or 'sweep'"
+            )
+        if "spec" in data:
+            kind, session = "run", self._run_session
+            sweep = Sweep.of(_parse_spec(data["spec"]))
+        else:
+            kind, session = "sweep", self._sweep_session
+            sweep = _parse_sweep(data["sweep"])
+        try:
+            job = self.jobs.submit(kind)
+        except Overloaded as exc:
+            raise self._overloaded(exc)
+        task = asyncio.get_running_loop().create_task(
+            self._run_job(job.id, session, sweep)
+        )
+        self._job_tasks.add(task)
+        task.add_done_callback(self._job_tasks.discard)
+        writer.write(
+            json_response(
+                202,
+                {"job": job.id, "kind": kind, "status": job.status},
+                close=not request.keep_alive,
+            )
+        )
+        return 202
+
+    async def _run_job(self, job_id: str, session: Session, sweep: Sweep) -> None:
+        job = self.jobs.get(job_id)
+        if job is None:  # evicted while queued: nothing to record into
+            return
+        try:
+            await self.admission.admit()
+        except Overloaded as exc:
+            job.status = FAILED
+            job.error = f"shed: {exc}"
+            return
+        job.status = RUNNING
+        started = time.perf_counter()
+        try:
+            loop = asyncio.get_running_loop()
+            records = await loop.run_in_executor(
+                self._pool, _execute_records, session, sweep
+            )
+            self.stats.observe_cache(records.cache_stats)
+            self.stats.records_served += len(records)
+            job.records = [record.to_dict() for record in records]
+            job.status = DONE
+            job.elapsed_seconds = time.perf_counter() - started
+        except Exception as exc:  # noqa: BLE001 — failures land on the job row
+            job.status = FAILED
+            job.error = repr(exc)
+        finally:
+            self.admission.release()
+
+    def _handle_job_poll(self, request: Request, writer: asyncio.StreamWriter) -> int:
+        job_id = request.path.removeprefix("/v1/jobs/")
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, "unknown_job", f"no job {job_id!r} (evicted or never submitted)")
+        writer.write(json_response(200, job.describe(), close=not request.keep_alive))
+        return 200
+
+    def _statz(self) -> dict:
+        data = self.stats.to_dict()
+        data["status"] = "draining" if self.admission.draining else "ok"
+        data["admission"] = self.admission.stats()
+        data["jobs"] = self.jobs.stats()
+        data["config"] = self.config.to_dict()
+        return data
+
+
+# -- hosting helpers -----------------------------------------------------------
+
+
+async def serve_forever(config: ServiceConfig | None = None) -> MatchingService:
+    """Start a service and block until something calls its :meth:`stop`."""
+    service = MatchingService(config)
+    await service.start()
+    await service.wait_closed()
+    return service
+
+
+class ServiceHandle:
+    """A service running on its own background thread + event loop.
+
+    What the tests, the bench harness, and embedders use: start, read
+    ``.port``, drive traffic from the calling thread, then ``stop()``
+    (graceful by default).
+    """
+
+    def __init__(
+        self,
+        service: MatchingService,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.service = service
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    @property
+    def host(self) -> str:
+        return self.service.config.host
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the service (graceful drain by default) and join the thread."""
+        if self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.service.stop(drain=drain), self._loop
+            )
+            future.result(timeout=timeout)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_background(
+    config: ServiceConfig | None = None, *, timeout: float = 10.0
+) -> ServiceHandle:
+    """Boot a :class:`MatchingService` on a daemon thread and wait for bind."""
+    started = threading.Event()
+    holder: dict = {}
+
+    def runner() -> None:
+        async def main() -> None:
+            service = MatchingService(config)
+            await service.start()
+            holder["service"] = service
+            holder["loop"] = asyncio.get_running_loop()
+            started.set()
+            await service.wait_closed()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # pragma: no cover — surfaced via holder
+            holder["error"] = exc
+            started.set()
+
+    thread = threading.Thread(target=runner, name="repro-serve", daemon=True)
+    thread.start()
+    if not started.wait(timeout=timeout):
+        raise TimeoutError("service did not start within the timeout")
+    if "error" in holder:
+        raise holder["error"]
+    return ServiceHandle(holder["service"], holder["loop"], thread)

@@ -153,6 +153,48 @@ class TestCompare:
         with pytest.raises(BenchError, match="positive"):
             compare_results([], self.baseline(), max_regress=0.0)
 
+    def test_cpu_count_mismatch_warns_without_failing(self):
+        baseline = self.baseline(make_result(wall=1.0))
+        baseline["environment"]["cpu_count"] = 64
+        comparison = compare_results([make_result(wall=1.0)], baseline)
+        assert comparison.ok  # warnings never fail the gate
+        assert any("cpu_count" in warning for warning in comparison.warnings)
+        assert "warning: environment" in comparison.render()
+
+    def test_matching_environment_emits_no_warning(self):
+        result = make_result(wall=1.0)
+        baseline = self.baseline(result)
+        baseline["environment"]["cpu_count"] = result.environment["cpu_count"]
+        comparison = compare_results([result], baseline)
+        assert comparison.warnings == ()
+
+    def test_executor_workers_mismatch_warns_per_case(self):
+        from dataclasses import replace
+
+        measured = replace(
+            make_result(wall=1.0),
+            environment={
+                **make_result().environment,
+                "executor_workers": {"parallel": 8},
+            },
+        )
+        baseline = self.baseline(measured)
+        assert baseline["cases"]["some_case"]["executor_workers"] == {"parallel": 8}
+        baseline["environment"]["cpu_count"] = measured.environment["cpu_count"]
+        current = replace(
+            make_result(wall=1.0),
+            environment={
+                **make_result().environment,
+                "executor_workers": {"parallel": 1},
+            },
+        )
+        comparison = compare_results([current], baseline)
+        assert comparison.ok
+        assert any(
+            "some_case" in warning and "workers" in warning
+            for warning in comparison.warnings
+        )
+
 
 class TestRegistry:
     def test_all_legacy_scripts_are_registered(self):
@@ -185,8 +227,34 @@ class TestRegistry:
         # Building a sweep is cheap even at scale tier — only running is not.
         for name in bench_names():
             case = bench_case(name)
+            if case.harness is not None:
+                continue  # harness cases own their workload; no sweep to build
             for tier in ("quick", "full", "scale"):
                 assert len(case.sweep(tier)) >= 1
+
+    def test_harness_cases_reject_sweep_and_hooks(self):
+        from repro.bench.registry import HarnessRun
+
+        case = bench_case("serve_load")
+        assert case.harness is not None
+        with pytest.raises(BenchError, match="harness-driven"):
+            case.sweep("quick")
+        with pytest.raises(BenchError, match="exactly one"):
+            BenchCase(name="x", title="x")
+        with pytest.raises(BenchError, match="exactly one"):
+            BenchCase(
+                name="x",
+                title="x",
+                workload=lambda tier: Sweep.of(),
+                harness=lambda tier, workers: HarnessRun(seconds=0.1),
+            )
+        with pytest.raises(BenchError, match="HarnessRun"):
+            BenchCase(
+                name="x",
+                title="x",
+                harness=lambda tier, workers: HarnessRun(seconds=0.1),
+                check=lambda records, tier: (),
+            )
 
 
 class TestRunnerSmoke:
@@ -222,6 +290,40 @@ class TestRunnerSmoke:
         result = _RUNNER.run(case)
         assert not result.ok
         assert "intentional" in result.failures[0]
+
+    def test_harness_case_repeat_keeps_min_and_collects_failures(self):
+        from repro.bench.registry import BenchCase, HarnessRun
+
+        walls = iter((0.5, 0.2, 0.9))
+
+        def harness(tier, workers):
+            wall = next(walls)
+            return HarnessRun(
+                seconds=wall,
+                runs=10,
+                metrics={"wall": wall},
+                failures=("shed",) if wall > 0.8 else (),
+            )
+
+        case = BenchCase(name="fake_harness", title="fake", harness=harness)
+        result = BenchRunner(tier="quick", repeat=3).run(case)
+        # min-of-N wall and its metrics; failures from any rep make it red.
+        assert dict(result.phases) == {"harness": 0.2}
+        assert result.metrics["wall"] == 0.2
+        assert not result.ok
+        assert result.failures == ("rep 2: shed",)
+        assert result.runs == 10
+
+    def test_serve_load_reports_throughput_metrics(self):
+        result = _RUNNER.run("serve_load")
+        assert result.ok, result.failures
+        assert result.metrics["requests_per_second"] > 0
+        assert result.metrics["latency_p50_ms"] > 0
+        assert result.metrics["latency_p99_ms"] >= result.metrics["latency_p50_ms"]
+        assert result.metrics["errors"] == 0
+        assert result.metrics["shed"] == 0
+        # The service's merged cache stats ride along like sweep cases'.
+        assert "signatures" in result.cache
 
 
 class TestBatchCacheStats:

@@ -70,3 +70,98 @@ class TestReportExport:
         dump_report(report, path)
         rebuilt = load_result(path)
         assert rebuilt.outputs == report.result.outputs
+
+
+class TestRecordsNdjson:
+    """Streaming NDJSON record sets (the service plane's wire format)."""
+
+    @pytest.fixture
+    def records(self):
+        from repro.experiment import ScenarioSpec, Session, Sweep
+
+        return Session().sweep(Sweep.seeds(ScenarioSpec(), range(3)))
+
+    def test_round_trip(self, records, tmp_path):
+        from repro.experiment.records import RunRecordSet
+        from repro.io import dump_records_ndjson, iter_records_ndjson
+
+        path = tmp_path / "records.ndjson"
+        dump_records_ndjson(records, path)
+        rebuilt = RunRecordSet.from_iter(iter_records_ndjson(path))
+        assert rebuilt == RunRecordSet(records=tuple(records))
+        assert rebuilt.to_json() == RunRecordSet(records=tuple(records)).to_json()
+
+    def test_header_line_is_schema_stamped(self, records, tmp_path):
+        from repro.io import RECORDS_NDJSON_SCHEMA, dump_records_ndjson
+
+        path = tmp_path / "records.ndjson"
+        dump_records_ndjson(records, path)
+        first, *rest = path.read_text().splitlines()
+        assert json.loads(first) == {
+            "kind": "run-records",
+            "schema": RECORDS_NDJSON_SCHEMA,
+        }
+        assert len(rest) == len(records)
+
+    def test_incremental_append(self, records, tmp_path):
+        from repro.io import dump_records_ndjson, iter_records_ndjson
+
+        path = tmp_path / "records.ndjson"
+        for record in records:
+            dump_records_ndjson([record], path, append=True)
+        loaded = list(iter_records_ndjson(path))
+        assert loaded == list(records)
+        # Exactly one header, even across appends.
+        assert path.read_text().count("run-records") == 1
+
+    def test_iteration_is_lazy(self, records, tmp_path):
+        from repro.io import dump_records_ndjson, iter_records_ndjson
+
+        path = tmp_path / "records.ndjson"
+        dump_records_ndjson(records, path)
+        stream = iter_records_ndjson(path)
+        assert next(stream) == records[0]  # no full-file parse needed
+
+    def test_accepts_generators(self, records, tmp_path):
+        from repro.io import dump_records_ndjson, iter_records_ndjson
+
+        path = tmp_path / "records.ndjson"
+        dump_records_ndjson((record for record in records), path)
+        assert len(list(iter_records_ndjson(path))) == len(records)
+
+    def test_rejects_wrong_kind(self, tmp_path):
+        from repro.errors import ReproError
+        from repro.io import iter_records_ndjson
+
+        path = tmp_path / "bad.ndjson"
+        path.write_text('{"kind": "something-else", "schema": 1}\n')
+        with pytest.raises(ReproError, match="run-records"):
+            list(iter_records_ndjson(path))
+
+    def test_rejects_unsupported_schema(self, records, tmp_path):
+        from repro.errors import ReproError
+        from repro.io import RECORDS_NDJSON_SCHEMA, iter_records_ndjson
+
+        path = tmp_path / "future.ndjson"
+        path.write_text(
+            json.dumps({"kind": "run-records", "schema": RECORDS_NDJSON_SCHEMA + 1})
+            + "\n"
+        )
+        with pytest.raises(ReproError, match="schema"):
+            list(iter_records_ndjson(path))
+
+    def test_shared_line_encoder_matches_file_bytes(self, records, tmp_path):
+        # The invariant the service's streamed /v1/sweep responses rely on:
+        # header + per-record lines IS the file format, byte for byte.
+        from repro.io import (
+            dump_records_ndjson,
+            record_ndjson_line,
+            records_ndjson_header,
+        )
+
+        path = tmp_path / "records.ndjson"
+        dump_records_ndjson(records, path)
+        composed = records_ndjson_header() + "".join(
+            record_ndjson_line(record) for record in records
+        )
+        assert path.read_text() == composed

@@ -1,0 +1,404 @@
+"""The matching service plane: HTTP endpoints, admission, jobs, loadgen.
+
+End-to-end tests boot the real service on a real socket (port 0) via
+``start_background`` and talk to it with the blocking client — the same
+path ``repro serve`` + curl exercises.  The load-bearing invariant:
+records that leave the service are byte-identical to the same work run
+in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReproError, ServeError
+from repro.experiment import ScenarioSpec, Session, Sweep
+from repro.experiment.spec import ExecutorSpec
+from repro.io import record_ndjson_line, records_ndjson_header
+from repro.serve import ServiceConfig, request, start_background
+
+SPEC = ScenarioSpec()
+SWEEP = Sweep.seeds(SPEC, range(4))
+
+
+@pytest.fixture(scope="module")
+def service():
+    """One shared service for the read-mostly endpoint tests."""
+    handle = start_background(ServiceConfig(port=0))
+    yield handle
+    handle.stop()
+
+
+def _poll_job(handle, job_id: str, timeout: float = 30.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        data = request(handle.host, handle.port, "GET", f"/v1/jobs/{job_id}").json()
+        if data["status"] in ("done", "failed"):
+            return data
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+def _wait_for_inflight(handle, timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        statz = request(handle.host, handle.port, "GET", "/statz").json()
+        if statz["admission"]["inflight"] >= 1:
+            return
+        time.sleep(0.01)
+    raise AssertionError("no request ever went in flight")
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        response = request(service.host, service.port, "GET", "/healthz")
+        assert response.status == 200
+        assert response.json()["status"] == "ok"
+
+    def test_run_records_match_in_process(self, service):
+        response = request(service.host, service.port, "POST", "/v1/run", SPEC.to_dict())
+        assert response.status == 200
+        payload = response.json()
+        expected = Session().run(SPEC)
+        assert payload["count"] == len(expected)
+        assert payload["records"] == [record.to_dict() for record in expected]
+
+    def test_sweep_stream_is_byte_identical_to_in_process(self, service):
+        response = request(
+            service.host, service.port, "POST", "/v1/sweep", SWEEP.to_dict()
+        )
+        assert response.status == 200
+        assert response.headers["content-type"] == "application/x-ndjson"
+        # The stream is EOF-delimited, so the server must close.
+        assert response.headers["connection"] == "close"
+        records = Session(executor=ExecutorSpec(name="parallel")).sweep(SWEEP)
+        expected = records_ndjson_header() + "".join(
+            record_ndjson_line(record) for record in records
+        )
+        assert response.body.decode("utf-8") == expected
+
+    def test_sweep_stream_reloads_as_records(self, service):
+        from repro.experiment.records import RunRecord
+
+        response = request(
+            service.host, service.port, "POST", "/v1/sweep", SWEEP.to_dict()
+        )
+        header, *lines = response.lines()
+        assert json.loads(header)["kind"] == "run-records"
+        rebuilt = [RunRecord.from_dict(json.loads(line)) for line in lines]
+        assert rebuilt == list(Session().sweep(SWEEP))
+
+    def test_statz_reports_counters_and_latency(self, service):
+        request(service.host, service.port, "POST", "/v1/run", SPEC.to_dict())
+        statz = request(service.host, service.port, "GET", "/statz").json()
+        assert statz["status"] == "ok"
+        assert statz["records_served"] >= 1
+        assert statz["executions"] >= 1
+        assert statz["cache"]["signatures"]["hits"] >= 0
+        run_stats = statz["endpoints"]["/v1/run"]
+        assert run_stats["requests"] >= 1
+        assert run_stats["latency"]["p50_ms"] > 0
+        assert statz["admission"]["admitted"] >= 1
+        assert statz["config"]["max_inflight"] == 4
+
+    def test_malformed_body_is_structured_400(self, service):
+        response = request(
+            service.host, service.port, "POST", "/v1/run", b"{not json"
+        )
+        assert response.status == 400
+        assert response.json()["error"]["code"] == "bad_json"
+
+    def test_invalid_spec_is_structured_400(self, service):
+        response = request(
+            service.host, service.port, "POST", "/v1/run", {"k": "banana"}
+        )
+        assert response.status == 400
+        error = response.json()["error"]
+        assert error["code"] == "bad_spec"
+        assert "banana" in error["message"]
+
+    def test_invalid_sweep_is_structured_400(self, service):
+        response = request(
+            service.host, service.port, "POST", "/v1/sweep", {"nope": []}
+        )
+        assert response.status == 400
+        assert response.json()["error"]["code"] == "bad_sweep"
+
+    def test_unknown_route_404(self, service):
+        response = request(service.host, service.port, "GET", "/v2/everything")
+        assert response.status == 404
+        assert response.json()["error"]["code"] == "not_found"
+
+    def test_wrong_method_405(self, service):
+        response = request(service.host, service.port, "GET", "/v1/run")
+        assert response.status == 405
+
+    def test_oversized_spec_is_413_before_reading_body(self):
+        handle = start_background(ServiceConfig(port=0, max_spec_bytes=64))
+        try:
+            big = {"name": "x" * 1000}
+            response = request(handle.host, handle.port, "POST", "/v1/run", big)
+            assert response.status == 413
+            assert response.json()["error"]["code"] == "spec_too_large"
+        finally:
+            handle.stop()
+
+
+class TestJobs:
+    def test_run_job_lifecycle(self, service):
+        submitted = request(
+            service.host, service.port, "POST", "/v1/jobs", {"spec": SPEC.to_dict()}
+        )
+        assert submitted.status == 202
+        job_id = submitted.json()["job"]
+        data = _poll_job(service, job_id)
+        assert data["status"] == "done"
+        expected = Session().run(SPEC)
+        assert data["records"] == [record.to_dict() for record in expected]
+        assert data["elapsed_seconds"] > 0
+
+    def test_sweep_job_lifecycle(self, service):
+        submitted = request(
+            service.host, service.port, "POST", "/v1/jobs", {"sweep": SWEEP.to_dict()}
+        )
+        job_id = submitted.json()["job"]
+        data = _poll_job(service, job_id)
+        assert data["status"] == "done"
+        assert data["records"] == [
+            record.to_dict() for record in Session().sweep(SWEEP)
+        ]
+
+    def test_unknown_job_404(self, service):
+        response = request(service.host, service.port, "GET", "/v1/jobs/job-999999")
+        assert response.status == 404
+        assert response.json()["error"]["code"] == "unknown_job"
+
+    def test_bad_job_body_400(self, service):
+        for body in ({}, {"spec": SPEC.to_dict(), "sweep": SWEEP.to_dict()}):
+            response = request(service.host, service.port, "POST", "/v1/jobs", body)
+            assert response.status == 400
+            assert response.json()["error"]["code"] == "bad_job"
+
+
+class TestAdmission:
+    def test_overload_sheds_503_with_retry_after(self):
+        # One slot, no queue: while a sweep holds the slot, anything else
+        # at the door is shed immediately.
+        handle = start_background(
+            ServiceConfig(port=0, max_inflight=1, max_queue=0, retry_after_seconds=2)
+        )
+        try:
+            big = Sweep.seeds(SPEC, range(60))
+            streamed: dict = {}
+            worker = threading.Thread(
+                target=lambda: streamed.update(
+                    response=request(
+                        handle.host, handle.port, "POST", "/v1/sweep", big.to_dict()
+                    )
+                )
+            )
+            worker.start()
+            _wait_for_inflight(handle)
+            shed = request(handle.host, handle.port, "POST", "/v1/run", SPEC.to_dict())
+            assert shed.status == 503
+            assert shed.headers["retry-after"] == "2"
+            assert shed.json()["error"]["code"] == "overloaded"
+            worker.join(timeout=60)
+            assert streamed["response"].status == 200
+            statz = request(handle.host, handle.port, "GET", "/statz").json()
+            assert statz["admission"]["shed_queue_full"] >= 1
+            assert statz["endpoints"]["/v1/run"]["shed"] >= 1
+        finally:
+            handle.stop()
+
+    def test_graceful_shutdown_drains_inflight_sweep(self):
+        handle = start_background(ServiceConfig(port=0, max_inflight=1))
+        big = Sweep.seeds(SPEC, range(40))
+        streamed: dict = {}
+        worker = threading.Thread(
+            target=lambda: streamed.update(
+                response=request(
+                    handle.host, handle.port, "POST", "/v1/sweep", big.to_dict()
+                )
+            )
+        )
+        worker.start()
+        _wait_for_inflight(handle)
+        handle.stop()  # graceful: drains the in-flight stream first
+        worker.join(timeout=60)
+        response = streamed["response"]
+        assert response.status == 200
+        header, *lines = response.lines()
+        assert len(lines) == len(big)  # nothing truncated by shutdown
+        # The listener is gone afterwards.
+        with pytest.raises(OSError):
+            request(handle.host, handle.port, "GET", "/healthz", timeout=2.0)
+
+    def test_draining_service_sheds_new_work(self):
+        handle = start_background(ServiceConfig(port=0))
+        try:
+            handle.service.admission.start_draining()
+            health = request(handle.host, handle.port, "GET", "/healthz")
+            assert health.json()["status"] == "draining"
+            shed = request(handle.host, handle.port, "POST", "/v1/run", SPEC.to_dict())
+            assert shed.status == 503
+        finally:
+            handle.stop()
+
+
+class TestAdmissionController:
+    def test_queue_full_sheds(self):
+        import asyncio
+
+        from repro.serve.admission import AdmissionController, Overloaded
+
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, max_queue=1)
+            await admission.admit()  # takes the slot
+            waiter = asyncio.create_task(admission.admit())  # fills the queue
+            await asyncio.sleep(0)  # let the waiter block on the semaphore
+            with pytest.raises(Overloaded):
+                await admission.admit()  # queue full: shed
+            assert admission.stats()["shed_queue_full"] == 1
+            admission.release()
+            await waiter
+            assert admission.inflight == 1
+            admission.release()
+            assert await admission.drain(timeout=1.0)
+            with pytest.raises(Overloaded):
+                await admission.admit()  # draining: shed
+            assert admission.stats()["shed_draining"] == 1
+
+        asyncio.run(scenario())
+
+
+class TestJobTable:
+    def test_eviction_and_overload(self):
+        from repro.serve.jobs import DONE, JobTable
+        from repro.serve.admission import Overloaded
+
+        table = JobTable(capacity=2)
+        first = table.submit("run")
+        table.submit("run")
+        with pytest.raises(Overloaded):
+            table.submit("run")  # both rows live
+        first.status = DONE
+        third = table.submit("run")  # evicts the finished row
+        assert table.get(first.id) is None
+        assert table.get(third.id) is third
+        assert table.evicted == 1
+        assert table.stats()["size"] == 2
+
+
+class TestLatencyHistogram:
+    def test_percentiles_from_buckets(self):
+        from repro.serve.stats import LatencyHistogram
+
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.observe(0.0015)  # ~1.5ms -> bucket <=2ms
+        histogram.observe(1.0)  # one 1s outlier
+        data = histogram.to_dict()
+        assert data["count"] == 100
+        assert data["p50_ms"] == 2.0
+        assert data["p99_ms"] == 2.0  # the 99th sample is still fast
+        assert data["max_ms"] == pytest.approx(1000.0)
+        assert data["buckets_ms"]["2"] == 99
+
+    def test_empty_histogram(self):
+        from repro.serve.stats import LatencyHistogram
+
+        data = LatencyHistogram().to_dict()
+        assert data == {
+            "count": 0,
+            "mean_ms": 0.0,
+            "max_ms": 0.0,
+            "p50_ms": 0.0,
+            "p99_ms": 0.0,
+            "buckets_ms": {},
+        }
+
+
+class TestServiceConfig:
+    def test_round_trip(self):
+        config = ServiceConfig(port=9000, max_inflight=2)
+        clone = ServiceConfig.from_json(config.to_json())
+        assert clone == config
+
+    def test_validation(self):
+        with pytest.raises(ServeError):
+            ServiceConfig(max_inflight=0)
+        with pytest.raises(ServeError):
+            ServiceConfig(port=99999)
+        with pytest.raises(ServeError):
+            ServiceConfig(sweep_executor=ExecutorSpec(name="serial"))
+        assert issubclass(ServeError, ReproError)
+
+
+class TestLoadgen:
+    def test_burst_against_live_service(self):
+        from repro.serve.loadgen import LoadConfig, run_load
+
+        handle = start_background(ServiceConfig(port=0))
+        try:
+            report = run_load(
+                LoadConfig(port=handle.port, total_requests=20, concurrency=3)
+            )
+        finally:
+            handle.stop()
+        assert report.total == 20
+        assert report.ok == 20
+        assert report.errors == 0 and report.shed == 0
+        assert report.requests_per_second > 0
+        data = report.to_dict()
+        assert data["latency_ms"]["p99"] >= data["latency_ms"]["p50"] > 0
+
+    def test_loadgen_cli_main(self, capsys):
+        from repro.serve.loadgen import main
+
+        handle = start_background(ServiceConfig(port=0))
+        try:
+            code = main(
+                ["--port", str(handle.port), "--requests", "8", "--concurrency", "2"]
+            )
+        finally:
+            handle.stop()
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] == 8
+
+    def test_config_validation(self):
+        from repro.serve.loadgen import LoadConfig
+
+        with pytest.raises(ValueError):
+            LoadConfig(total_requests=0)
+        with pytest.raises(ValueError):
+            LoadConfig(concurrency=0)
+
+
+class TestServeCLI:
+    def test_probe_against_background_service(self, capsys):
+        from repro.cli import main
+
+        handle = start_background(ServiceConfig(port=0))
+        try:
+            code = main(["serve", "--probe", "--port", str(handle.port)])
+        finally:
+            handle.stop()
+        assert code == 0
+        assert '"status": "ok"' in capsys.readouterr().out
+
+    def test_probe_against_nothing_fails(self, capsys):
+        from repro.cli import main
+
+        # A port nothing listens on: bind-and-release to find one.
+        import socket
+
+        with socket.socket() as probe_socket:
+            probe_socket.bind(("127.0.0.1", 0))
+            free_port = probe_socket.getsockname()[1]
+        assert main(["serve", "--probe", "--port", str(free_port)]) == 1
