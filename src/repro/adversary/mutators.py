@@ -40,6 +40,8 @@ __all__ = [
     "drop_odd_mutator",
     "swap_adjacent_mutator",
     "lie_to_first_mutator",
+    "steer_l_optimal_mutator",
+    "steer_r_optimal_mutator",
 ]
 
 #: ``(round, recipient, payload) -> payload`` — ``None`` drops the message.
@@ -148,6 +150,52 @@ def lie_to_first_mutator() -> Mutator:
     return mutate
 
 
+def _sort_party_tuples(payload: object, reverse: bool) -> object:
+    """Sort every tuple-of-PartyId inside ``payload`` (asc or desc).
+
+    An ascending sort is the *default list* — the order Lemma 1
+    substitutes for silent parties — so declaring it erases whatever
+    resistance the corrupted party's true list encoded; the descending
+    sort is its mirror.  Both are valid permutations, so they pass
+    format checks and only the lattice position of the outcome reveals
+    the steering.
+    """
+    if isinstance(payload, tuple):
+        if payload and all(isinstance(x, PartyId) for x in payload):
+            return tuple(sorted(payload, reverse=reverse))
+        return tuple(_sort_party_tuples(x, reverse) for x in payload)
+    return payload
+
+
+def steer_l_optimal_mutator() -> Mutator:
+    """Steering lie: declare the default (ascending) list to everyone.
+
+    Tries to drag the honest outcome toward the L-optimal end of the
+    lattice by flattening the corrupted parties' declared preferences
+    into the canonical order.  Whether it *succeeds* is exactly what the
+    ``lattice_position`` record tag lets ensembles measure.
+    """
+
+    def mutate(round_now: int, dst: PartyId, payload: object) -> object:
+        return _sort_party_tuples(payload, reverse=False)
+
+    return mutate
+
+
+def steer_r_optimal_mutator() -> Mutator:
+    """Steering lie, mirrored: declare the descending list to everyone.
+
+    The complementary arm of ``steer_l_optimal`` — together (and
+    composed with the split-view primitives via ``+``) they probe
+    whether an adversary can move the protocol along the lattice axis.
+    """
+
+    def mutate(round_now: int, dst: PartyId, payload: object) -> object:
+        return _sort_party_tuples(payload, reverse=True)
+
+    return mutate
+
+
 #: Registry of named mutator constructors (call to get a fresh mutator).
 MUTATORS: dict[str, Callable[[], Mutator]] = {
     "reverse_even": reverse_even_mutator,
@@ -156,6 +204,8 @@ MUTATORS: dict[str, Callable[[], Mutator]] = {
     "drop_odd": drop_odd_mutator,
     "swap_adjacent": swap_adjacent_mutator,
     "lie_to_first": lie_to_first_mutator,
+    "steer_l_optimal": steer_l_optimal_mutator,
+    "steer_r_optimal": steer_r_optimal_mutator,
 }
 
 

@@ -747,5 +747,104 @@ register(
 )
 
 
+# -- L1: rotation-poset lattice enumeration ------------------------------------
+
+#: ``(k, seed count)`` per tier.  ``k = 64`` is the acceptance point:
+#: the full lattice of a 64-party random instance, enumerated with no
+#: ``k!`` anywhere (the brute-force oracle caps at 8).
+_ROTATION_SIZES = {
+    "quick": ((4, 6), (6, 4), (8, 2), (16, 1)),
+    "full": ((4, 8), (6, 6), (8, 4), (16, 2), (32, 2), (64, 1)),
+    "scale": ((8, 4), (16, 4), (32, 4), (64, 4)),
+}
+#: Differential-oracle cutoff per tier (brute force is k! — keep CI fast).
+_ROTATION_BRUTE_K = {"quick": 6, "full": 7, "scale": 8}
+
+
+def _rotations_enum_harness(tier: str, workers: int | None) -> HarnessRun:
+    """Enumerate lattices over a random ensemble, then verify untimed.
+
+    The timed section is the workload the case tracks: rotation
+    discovery, poset construction, full closed-set enumeration, and all
+    four distinguished matchings per instance.  The checks — brute-force
+    byte-identity below the ``k!`` cutoff, lattice-extreme positions,
+    disjointness of the extracted family — run after the clock stops,
+    so the trajectory measures the subsystem and not its oracle.
+    """
+    import time
+
+    from repro.matching.enumerate_stable import brute_force_stable_matchings
+    from repro.matching.generators import random_profile
+    from repro.rotations import (
+        build_poset,
+        disjoint_matchings,
+        egalitarian,
+        minimum_regret,
+    )
+
+    instances = [
+        (k, seed, random_profile(k, seed))
+        for k, seeds in _ROTATION_SIZES[tier]
+        for seed in range(seeds)
+    ]
+
+    started = time.perf_counter()
+    enumerated = []
+    for k, seed, profile in instances:
+        poset = build_poset(profile)
+        matchings = poset.stable_matchings()
+        extras = (egalitarian(poset), minimum_regret(poset))
+        family = disjoint_matchings(poset)
+        enumerated.append((k, seed, profile, poset, matchings, extras, family))
+    seconds = time.perf_counter() - started
+
+    failures: list[str] = []
+    metrics: dict[str, float] = {}
+    largest = 0
+    for k, seed, profile, poset, matchings, extras, family in enumerated:
+        label = f"k{k}/s{seed}"
+        largest = max(largest, len(matchings))
+        metrics[f"rotations_k{k}"] = metrics.get(f"rotations_k{k}", 0.0) + len(poset)
+        metrics[f"matchings_k{k}"] = metrics.get(f"matchings_k{k}", 0.0) + len(matchings)
+        if k <= _ROTATION_BRUTE_K[tier]:
+            brute = brute_force_stable_matchings(profile)
+            if tuple(m.matched_pairs() for m in matchings) != tuple(
+                m.matched_pairs() for m in brute
+            ):
+                failures.append(
+                    f"{label}: rotation enumeration diverges from the "
+                    f"brute-force oracle ({len(matchings)} vs {len(brute)})"
+                )
+        if poset.position_of(poset.l_optimal) != frozenset():
+            failures.append(f"{label}: L-optimal is not the empty rotation set")
+        if poset.position_of(poset.r_optimal) != frozenset(range(len(poset))):
+            failures.append(f"{label}: R-optimal is not the full rotation set")
+        for extreme in extras:
+            if poset.position_of(extreme) is None:
+                failures.append(f"{label}: a distinguished matching left the lattice")
+        pairs: set = set()
+        for matching in family:
+            matched = set(matching.matched_pairs())
+            if pairs & matched:
+                failures.append(f"{label}: disjoint family shares a pair")
+            pairs |= matched
+    metrics["largest_lattice"] = float(largest)
+    return HarnessRun(
+        seconds=seconds,
+        runs=len(instances),
+        metrics=metrics,
+        failures=tuple(failures),
+    )
+
+
+register(
+    BenchCase(
+        name="rotations_enum",
+        title="L1 — rotation-poset lattice enumeration vs the k! oracle",
+        harness=_rotations_enum_harness,
+    )
+)
+
+
 #: The loaded catalog (importing this module registered everything above).
 CASES = all_cases()

@@ -22,7 +22,10 @@ Commands:
   shrinking into replayable repro files (see :mod:`repro.conform`);
 * ``serve`` — boot the async matching service plane: specs in over
   HTTP/JSON, records out (streamed as NDJSON for sweeps), behind
-  admission control (see :mod:`repro.serve`).
+  admission control (see :mod:`repro.serve`);
+* ``lattice`` — report an instance's rotation poset and stable-matching
+  lattice: rotations, enumeration, distinguished matchings, disjoint
+  families (see :mod:`repro.rotations`).
 """
 
 from __future__ import annotations
@@ -179,6 +182,14 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.serve.cli import add_serve_arguments
 
     add_serve_arguments(serve)
+
+    lattice = sub.add_parser(
+        "lattice",
+        help="report an instance's rotation poset and stable-matching lattice",
+    )
+    from repro.rotations.cli import add_lattice_arguments
+
+    add_lattice_arguments(lattice)
 
     return parser
 
@@ -408,6 +419,12 @@ def _cmd_serve(args) -> int:
     return cmd_serve(args)
 
 
+def _cmd_lattice(args) -> int:
+    from repro.rotations.cli import cmd_lattice
+
+    return cmd_lattice(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -423,6 +440,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "conform": _cmd_conform,
         "serve": _cmd_serve,
+        "lattice": _cmd_lattice,
     }
     return handlers[args.command](args)
 

@@ -16,6 +16,10 @@ Built-ins (the registry :data:`ORACLES`, extensible via
   falsifiable claim);
 * ``agreement`` — honest parties' outputs must stay symmetric and the
   run must terminate (bsm and roommates), channels permitting;
+* ``lattice_membership`` — honest outputs must form a *single element*
+  of the effective instance's stable-matching lattice, enumerated via
+  the rotation poset (:mod:`repro.rotations`) — stability, agreement,
+  and completeness in one combinatorial check;
 * ``verdict_consistency`` — the ``solvable``/``theorem`` columns on
   records must agree with :func:`~repro.core.solvability.cached_is_solvable`
   (records cannot drift from the oracle that scheduled them);
@@ -38,8 +42,10 @@ from typing import Mapping, Sequence
 from repro.core.solvability import cached_is_solvable
 from repro.errors import ConformError
 from repro.experiment.engine import Session
+from repro.experiment.lattice_tags import effective_profile
 from repro.experiment.records import RunRecordSet
 from repro.experiment.spec import ScenarioSpec, Sweep
+from repro.rotations import cached_poset, consistent_position, outputs_to_partners
 from repro.runtime.api import RUNTIME_NAMES
 
 __all__ = [
@@ -238,6 +244,60 @@ class HonestAgreement(Oracle):
         return tuple(failures)
 
 
+class LatticeMembership(Oracle):
+    """Honest outputs must form one element of the enumerated lattice.
+
+    The deterministic protocols promise more than stability: every
+    honest party must land on the *same* stable matching of the
+    effective instance.  This oracle enumerates that instance's lattice
+    via the rotation poset (:mod:`repro.rotations`) and demands a single
+    lattice element consistent with every honest party's declared
+    output — which simultaneously checks stability (the element is a
+    stable matching), agreement (one element fits everyone), and
+    completeness (a ``None`` output matches no lattice element).
+
+    Scope: solvable, lossless bsm points whose effective instance is
+    knowable — no adversary, an honest-behaving one, or a silent one
+    (Lemma 1's default-list substitution pins the instance).  Noise,
+    crash, and equivocation adversaries can change which instance the
+    honest parties effectively solve, so those runs are out of scope
+    here (the service plane tags them ``unscored`` instead).
+    """
+
+    def __init__(self) -> None:
+        super().__init__(name="lattice_membership")
+
+    def applies(self, spec: ScenarioSpec) -> bool:
+        return (
+            spec.family == "bsm"
+            and spec.recipe is None
+            and _lossless(spec)
+            and cached_is_solvable(spec.setting()).solvable
+            and effective_profile(spec) is not None
+        )
+
+    def check(self, spec: ScenarioSpec, ctx: OracleContext) -> tuple[Violation, ...]:
+        profile = effective_profile(spec)
+        assert profile is not None  # applies() gates on this
+        poset = cached_poset(profile)
+        failures = []
+        for record in ctx.records(spec):
+            if not record.outputs:
+                continue  # every party corrupted: nothing honest to check
+            outputs = outputs_to_partners(record.outputs)
+            if consistent_position(poset, outputs) is None:
+                failures.append(
+                    self._violation(
+                        spec,
+                        "honest outputs match no element of the stable-matching lattice",
+                        outputs=record.outputs,
+                        rotations=len(poset),
+                        lattice_size=poset.count_stable_matchings(limit=10_000),
+                    )
+                )
+        return tuple(failures)
+
+
 class VerdictConsistency(Oracle):
     """Record columns must agree with the (memoized) solvability oracle."""
 
@@ -373,6 +433,7 @@ def unregister_oracle(name: str) -> None:
 for _oracle in (
     SolvableMustSucceed(),
     HonestAgreement(),
+    LatticeMembership(),
     VerdictConsistency(),
     RuntimeDifferential(),
     ExecutorDifferential(),
@@ -383,6 +444,7 @@ for _oracle in (
 _DEFAULT_NAMES = (
     "solvable_ok",
     "agreement",
+    "lattice_membership",
     "verdict_consistency",
     "runtime_differential",
     "executor_differential",

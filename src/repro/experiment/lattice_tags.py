@@ -1,0 +1,81 @@
+"""Lattice-position tags for run records.
+
+Glue between :mod:`repro.rotations` and the experiment layer: given a
+scenario spec and one of its records, decide *which* stable matching of
+the effective instance the honest parties landed on, and stamp the
+answer as a ``lattice_position=...`` record tag (see
+:mod:`repro.rotations.report` for the tag grammar).  Ensembles can then
+aggregate on the tag — e.g. "does the deterministic protocol always
+pick the L-optimal element?" — and the service plane stamps it on
+demand via ``POST /v1/run?lattice=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiment.records import RunRecord, RunRecordSet
+from repro.experiment.spec import ScenarioSpec
+from repro.matching.preferences import PreferenceProfile
+from repro.rotations import (
+    cached_poset,
+    consistent_position,
+    outputs_to_partners,
+    position_tag,
+    substituted_profile,
+    unscored_tag,
+)
+
+__all__ = [
+    "effective_profile",
+    "lattice_position_tag",
+    "stamp_lattice_positions",
+]
+
+
+def effective_profile(spec: ScenarioSpec) -> PreferenceProfile | None:
+    """The instance the honest parties actually solve, when knowable.
+
+    ``None`` means the run cannot be scored against a lattice: non-bsm
+    families, incomplete profiles (rotations need perfect matchings),
+    and adversaries that may alter preferences mid-protocol.  A silent
+    adversary *is* scorable — its parties distribute nothing, so every
+    honest party substitutes the default list (Lemma 1) and the
+    effective instance is the spec's profile with those substitutions.
+    """
+    if spec.family != "bsm":
+        return None
+    kind = spec.adversary.kind if spec.adversary is not None else None
+    if kind not in (None, "honest", "silent"):
+        return None
+    profile = spec.profile.build(spec.k)
+    if any(len(profile.list_of(p)) != profile.k for p in profile.parties):
+        return None  # incomplete instance: no perfect stable matchings
+    if kind == "silent":
+        assert spec.adversary is not None
+        corrupted = spec.adversary.corrupted_parties(spec.setting())
+        profile = substituted_profile(profile, corrupted)
+    return profile
+
+
+def lattice_position_tag(spec: ScenarioSpec, record: RunRecord) -> str:
+    """The ``lattice_position=...`` tag for one record of ``spec``."""
+    profile = effective_profile(spec)
+    if profile is None or not record.outputs:
+        return unscored_tag()
+    poset = cached_poset(profile)
+    outputs = outputs_to_partners(record.outputs)
+    return position_tag(consistent_position(poset, outputs))
+
+
+def stamp_lattice_positions(spec: ScenarioSpec, records: RunRecordSet) -> RunRecordSet:
+    """``records`` with a lattice-position tag appended to each record."""
+    return RunRecordSet(
+        records=tuple(
+            replace(record, tags=record.tags + (lattice_position_tag(spec, record),))
+            for record in records
+        ),
+        elapsed_seconds=records.elapsed_seconds,
+        executor=records.executor,
+        cache_stats=records.cache_stats,
+    )

@@ -20,6 +20,9 @@ catalog covers:
   (random stable matchings à la Mertens; incomplete lists à la [13]);
 * ``lossy`` — link drops (kernel-injected omission faults) combined
   with the worst-case silent adversary: a graceful-degradation study;
+* ``rotations`` — the lattice-position study: which element of the
+  stable-matching lattice the protocols select, including steering
+  equivocators (``steer_l_optimal``/``steer_r_optimal``);
 * ``smoke`` — a six-spec sanity batch for CI.
 """
 
@@ -243,6 +246,64 @@ def lossy() -> Sweep:
     return Sweep.of(*specs)
 
 
+def rotations() -> Sweep:
+    """Lattice-position study: which stable matching do the protocols pick?
+
+    Fault-free, honest-adversary, silent, and steering-equivocation
+    points whose effective instance is knowable (or whose steering is
+    the question), at ``k`` where lattices are non-trivial.  Stamp the
+    records with :func:`repro.experiment.lattice_tags.stamp_lattice_positions`
+    (or run them through ``POST /v1/run?lattice=1``) and aggregate on
+    the ``lattice_position=`` tag: the deterministic protocols should
+    sit at ``rot[]`` — the L-optimal element — on every scorable point.
+    """
+    specs: list[ScenarioSpec] = []
+    for k in (3, 4):
+        for seed in range(4):
+            specs.append(
+                ScenarioSpec(
+                    k=k,
+                    tL=0,
+                    tR=0,
+                    profile=ProfileSpec(seed=seed),
+                    name=f"rotations/fault_free/k{k}/s{seed}",
+                    tags=("rotations",),
+                )
+            )
+    for kind in ("honest", "silent"):
+        for seed in (5, 6):
+            specs.append(
+                ScenarioSpec(
+                    topology="fully_connected",
+                    authenticated=True,
+                    k=3,
+                    tL=1,
+                    tR=1,
+                    profile=ProfileSpec(seed=seed),
+                    adversary=AdversarySpec(kind=kind),
+                    name=f"rotations/{kind}/s{seed}",
+                    tags=("rotations",),
+                )
+            )
+    for mutator in ("steer_l_optimal", "steer_r_optimal"):
+        specs.append(
+            ScenarioSpec(
+                topology="fully_connected",
+                authenticated=True,
+                k=3,
+                tL=1,
+                tR=1,
+                profile=ProfileSpec(seed=7),
+                adversary=AdversarySpec(
+                    kind="equivocate", corrupt=("L0",), mutator=mutator
+                ),
+                name=f"rotations/{mutator}",
+                tags=("rotations",),
+            )
+        )
+    return Sweep.of(*specs)
+
+
 def smoke() -> Sweep:
     """A six-spec sanity batch: one of each shape, all fast."""
     return Sweep.of(
@@ -289,6 +350,7 @@ PRESETS: dict[str, Callable[[], Sweep]] = {
     "gs_ensemble": gs_ensemble,
     "incomplete_ensemble": incomplete_ensemble,
     "lossy": lossy,
+    "rotations": rotations,
     "smoke": smoke,
 }
 

@@ -49,6 +49,8 @@ __all__ = [
     "load_repro",
     "dump_conform_report",
     "load_conform_report",
+    "dump_lattice_report",
+    "load_lattice_report",
 ]
 
 
@@ -372,6 +374,31 @@ def load_conform_report(path):
 
     with open(path, "r", encoding="utf-8") as handle:
         return ConformanceReport.from_json(handle.read())
+
+
+# -- lattice reports -----------------------------------------------------------
+
+
+def dump_lattice_report(report: Mapping, path) -> None:
+    """Write a :func:`~repro.rotations.lattice_report` dictionary as JSON.
+
+    Stable JSON (sorted keys, indented): the same profile dumps
+    byte-identically, so committed lattice reports diff cleanly.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_lattice_report(path) -> dict:
+    """Read back a report written by :func:`dump_lattice_report`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if not isinstance(data, Mapping) or "rotations" not in data:
+        raise ReproError(
+            "not a lattice report: expected a JSON object with a 'rotations' key"
+        )
+    return dict(data)
 
 
 # -- structured kernel traces --------------------------------------------------

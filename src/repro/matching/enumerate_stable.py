@@ -1,10 +1,18 @@
-"""Brute-force enumeration of all stable matchings (test oracle).
+"""Enumeration of all stable matchings.
 
-For small ``k`` we can enumerate every perfect matching and keep the
-stable ones.  This gives the tests an independent oracle against which
-``gale_shapley`` is checked, and exposes the classic lattice extremes:
-the L-proposing run returns the L-optimal stable matching, which is
-simultaneously the R-pessimal one.
+Two routes to the same answer:
+
+* :func:`all_stable_matchings` walks the rotation poset
+  (:mod:`repro.rotations`) and enumerates closed subsets — polynomial
+  per matching, no ``k`` cap;
+* :func:`brute_force_stable_matchings` filters all ``k!`` perfect
+  matchings through :func:`is_stable` — capped at ``k <= 8`` and kept
+  exactly because it shares no code with the rotation machinery: the
+  tests assert the two agree byte-for-byte on random profiles.
+
+Both return the same canonical order (sorted by
+:meth:`Matching.matched_pairs`), and the L-proposing Gale-Shapley run
+returns the L-optimal extreme of the lattice they enumerate.
 """
 
 from __future__ import annotations
@@ -12,18 +20,20 @@ from __future__ import annotations
 from itertools import permutations
 
 from repro.errors import MatchingError
-from repro.ids import PartyId, left_side, right_side
+from repro.ids import left_side, right_side
 from repro.matching.matching import Matching
 from repro.matching.preferences import PreferenceProfile
 from repro.matching.stability import is_stable
+from repro.rotations.poset import build_poset
 
 __all__ = [
     "all_perfect_matchings",
     "all_stable_matchings",
+    "brute_force_stable_matchings",
     "side_optimal",
 ]
 
-#: Enumeration is k! — keep the oracle honest about its limits.
+#: Brute-force enumeration is k! — keep the oracle honest about its limits.
 MAX_ENUMERATION_K = 8
 
 
@@ -39,11 +49,16 @@ def all_perfect_matchings(k: int) -> tuple[Matching, ...]:
     return tuple(found)
 
 
-def all_stable_matchings(profile: PreferenceProfile) -> tuple[Matching, ...]:
-    """All stable matchings of ``profile`` (brute force; ``k <= 8``)."""
+def brute_force_stable_matchings(profile: PreferenceProfile) -> tuple[Matching, ...]:
+    """All stable matchings by ``k!`` filtering (``k <= 8`` differential oracle)."""
     return tuple(
         m for m in all_perfect_matchings(profile.k) if is_stable(m, profile)
     )
+
+
+def all_stable_matchings(profile: PreferenceProfile) -> tuple[Matching, ...]:
+    """All stable matchings of ``profile``, via the rotation poset."""
+    return build_poset(profile).stable_matchings()
 
 
 def _total_rank(matching: Matching, profile: PreferenceProfile, side: str) -> int:
@@ -59,14 +74,14 @@ def _total_rank(matching: Matching, profile: PreferenceProfile, side: str) -> in
 
 
 def side_optimal(profile: PreferenceProfile, side: str) -> Matching:
-    """The ``side``-optimal stable matching.
+    """The ``side``-optimal stable matching (a lattice extreme).
 
-    In a stable matching lattice every party on one side weakly prefers
-    the same extreme, so minimizing the side's total rank over all stable
-    matchings identifies it (and the tests additionally verify pointwise
-    optimality against the proposer-side Gale-Shapley run).
+    Read directly off the rotation poset: the L-optimal matching is the
+    empty closed set, the R-optimal the full one.  The tests additionally
+    verify pointwise optimality against the proposer-side Gale-Shapley
+    run and total-rank minimality against the brute-force oracle.
     """
-    stable = all_stable_matchings(profile)
-    if not stable:
-        raise MatchingError("complete two-sided profiles always admit a stable matching")
-    return min(stable, key=lambda m: (_total_rank(m, profile, side), m.matched_pairs()))
+    if side not in ("L", "R"):
+        raise MatchingError(f"side must be 'L' or 'R', got {side!r}")
+    poset = build_poset(profile)
+    return poset.l_optimal if side == "L" else poset.r_optimal

@@ -16,10 +16,9 @@ the lattice structure the determinism relies on.
 from __future__ import annotations
 
 from repro.errors import MatchingError
-from repro.ids import LEFT, PartyId, left_side, right_side
+from repro.ids import left_side
 from repro.matching.matching import Matching
 from repro.matching.preferences import PreferenceProfile
-from repro.matching.stability import is_stable
 
 __all__ = ["lattice_join", "lattice_meet", "is_comparable", "dominates"]
 
@@ -34,8 +33,7 @@ def _pointwise(
     pairs = []
     for u in left_side(profile.k):
         pa, pb = a.partner(u), b.partner(u)
-        prefers_a = profile.prefers(u, pa, pb) or pa == pb
-        take_a = prefers_a if best else not prefers_a or pa == pb
+        take_a = pa == pb or profile.prefers(u, pa, pb) == best
         pairs.append((u, pa if take_a else pb))
     return Matching.from_pairs(pairs)
 

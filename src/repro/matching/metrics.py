@@ -10,8 +10,7 @@ examples and benchmarks.
 
 from __future__ import annotations
 
-from repro.errors import MatchingError
-from repro.ids import PartyId, all_parties, left_side
+from repro.ids import all_parties
 from repro.matching.matching import Matching
 from repro.matching.preferences import PreferenceProfile
 from repro.matching.stability import blocking_pairs

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
-from repro.ids import PartyId, all_parties, left_side, right_side
+from repro.ids import PartyId, left_side, right_side
 from repro.matching.matching import Matching
 from repro.matching.preferences import PreferenceList, PreferenceProfile
 

@@ -1,0 +1,48 @@
+"""Rotation poset and stable-matching lattice machinery.
+
+The polynomial replacement for brute-force enumeration: discover the
+instance's rotations (:func:`find_rotations`), wire them into the
+rotation poset (:func:`build_poset`), and read every lattice question —
+enumeration, join/meet, distinguished optima, disjoint families,
+"which element did the protocol pick?" — off the poset.
+"""
+
+from repro.rotations.distinguished import (
+    disjoint_matchings,
+    egalitarian,
+    egalitarian_cost,
+    minimum_regret,
+    regret,
+)
+from repro.rotations.poset import RotationPoset, build_poset, cached_poset
+from repro.rotations.report import (
+    LATTICE_TAG_PREFIX,
+    consistent_position,
+    lattice_report,
+    outputs_to_partners,
+    position_tag,
+    substituted_profile,
+    unscored_tag,
+)
+from repro.rotations.rotations import Rotation, RotationDiscovery, find_rotations
+
+__all__ = [
+    "Rotation",
+    "RotationDiscovery",
+    "find_rotations",
+    "RotationPoset",
+    "build_poset",
+    "cached_poset",
+    "egalitarian",
+    "egalitarian_cost",
+    "minimum_regret",
+    "regret",
+    "disjoint_matchings",
+    "LATTICE_TAG_PREFIX",
+    "substituted_profile",
+    "outputs_to_partners",
+    "consistent_position",
+    "position_tag",
+    "unscored_tag",
+    "lattice_report",
+]

@@ -1,0 +1,113 @@
+"""The ``repro lattice`` subcommand: lattice reports from the terminal.
+
+Describes one instance's rotation poset and stable-matching lattice —
+rotations, poset edges, enumeration (capped), distinguished matchings,
+the disjoint family — either for a generated profile (``--k --kind
+--seed``) or for the *effective* instance of a scenario spec
+(``--spec-json``, honoring silent-adversary default-list substitution).
+``--out`` writes the full JSON report via
+:func:`repro.io.dump_lattice_report`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["add_lattice_arguments", "cmd_lattice"]
+
+PROFILE_CHOICES = ("random", "correlated", "master_list")
+
+
+def add_lattice_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--k", type=int, default=None, help="side size")
+    parser.add_argument(
+        "--kind",
+        choices=PROFILE_CHOICES,
+        default="random",
+        help="profile generator (with --k)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="profile seed")
+    parser.add_argument(
+        "--similarity",
+        type=float,
+        default=0.5,
+        help="list correlation in [0, 1] (with --kind correlated)",
+    )
+    parser.add_argument(
+        "--spec-json",
+        default=None,
+        metavar="PATH",
+        help="report on the effective instance of a ScenarioSpec JSON file "
+        "instead of generating a profile",
+    )
+    parser.add_argument(
+        "--max-matchings",
+        type=int,
+        default=10_000,
+        help="cap the enumeration section of the report",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the full JSON report here",
+    )
+
+
+def _profile_from_args(args):
+    if args.spec_json is not None:
+        from repro.experiment.lattice_tags import effective_profile
+        from repro.experiment.spec import ScenarioSpec
+
+        with open(args.spec_json, "r", encoding="utf-8") as handle:
+            spec = ScenarioSpec.from_json(handle.read())
+        profile = effective_profile(spec)
+        if profile is None:
+            print(
+                f"error: {args.spec_json} has no scorable effective instance "
+                "(non-bsm family, incomplete profile, or an instance-altering "
+                "adversary)",
+                file=sys.stderr,
+            )
+            return None
+        return profile
+    if args.k is None:
+        print("error: lattice needs --k or --spec-json", file=sys.stderr)
+        return None
+    from repro.matching.generators import (
+        correlated_profile,
+        master_list_profile,
+        random_profile,
+    )
+
+    if args.kind == "correlated":
+        return correlated_profile(args.k, args.similarity, args.seed)
+    if args.kind == "master_list":
+        return master_list_profile(args.k, args.seed)
+    return random_profile(args.k, args.seed)
+
+
+def cmd_lattice(args) -> int:
+    from repro.rotations import lattice_report
+
+    profile = _profile_from_args(args)
+    if profile is None:
+        return 2
+    report = lattice_report(profile, max_matchings=args.max_matchings)
+    enum = report["stable_matchings"]
+    distinguished = report["distinguished"]
+    print(f"k                : {report['k']}")
+    print(f"rotations        : {len(report['rotations'])}")
+    print(f"poset edges      : {len(report['poset_edges'])}")
+    count = f">= {enum['count']}" if enum["truncated"] else str(enum["count"])
+    print(f"stable matchings : {count}")
+    print(f"disjoint family  : {report['disjoint_family']['count']}")
+    print(f"egalitarian cost : {distinguished['egalitarian']['cost']}")
+    print(f"minimum regret   : {distinguished['minimum_regret']['regret']}")
+    if args.out:
+        from repro.io import dump_lattice_report
+
+        dump_lattice_report(report, args.out)
+        print(f"report written to {args.out}")
+    return 0

@@ -1,0 +1,240 @@
+"""Distinguished points of the stable-matching lattice.
+
+Four optima the literature keeps coming back to, all computed on the
+rotation poset rather than by enumeration:
+
+* **L-optimal / R-optimal** — the lattice extremes, free with the poset.
+* **Egalitarian** — minimizes the total rank both sides assign to their
+  partners.  Each rotation changes that total by a fixed signed weight
+  (:meth:`~repro.rotations.rotations.Rotation.weight`), so the optimum
+  is a maximum-weight closed subset: the classic closure problem,
+  solved here by a small Dinic max-flow over the precedence digraph
+  (Irving-Leather-Gusfield).
+* **Minimum regret** — minimizes the worst rank any party suffers.  For
+  a threshold ``t`` the feasible closed sets are sandwiched: every
+  ``R``-party stuck below ``t`` forces its lifting rotation (and that
+  rotation's down-closure) in, and any rotation dropping an ``L``-party
+  below ``t`` must stay out; scanning ``t`` upward finds the first
+  threshold whose forced set works.
+* **Disjoint families** (Ganesh et al., "Disjoint Stable Matchings in
+  Linear Time") — pairwise edge-disjoint stable matchings, extracted
+  from the level chain that repeatedly eliminates *all* exposed
+  rotations at once (the exposed rotations of a closed set are exactly
+  the minimal rotations of its complement).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import MatchingError
+from repro.matching.matching import Matching
+from repro.matching.preferences import PreferenceProfile
+from repro.rotations.poset import RotationPoset
+
+__all__ = [
+    "egalitarian_cost",
+    "regret",
+    "egalitarian",
+    "minimum_regret",
+    "disjoint_matchings",
+]
+
+
+def egalitarian_cost(matching: Matching, profile: PreferenceProfile) -> int:
+    """Total rank all ``2k`` parties assign their partners (lower = better)."""
+    total = 0
+    for party in profile.parties:
+        partner = matching.partner(party)
+        if partner is None:
+            raise MatchingError(f"{party} unmatched in a supposedly perfect matching")
+        total += profile.rank(party, partner)
+    return total
+
+
+def regret(matching: Matching, profile: PreferenceProfile) -> int:
+    """The worst rank any party suffers (the quantity minimum-regret minimizes)."""
+    worst = 0
+    for party in profile.parties:
+        partner = matching.partner(party)
+        if partner is None:
+            raise MatchingError(f"{party} unmatched in a supposedly perfect matching")
+        worst = max(worst, profile.rank(party, partner))
+    return worst
+
+
+class _Dinic:
+    """A compact integer max-flow (BFS levels + blocking DFS)."""
+
+    def __init__(self, nodes: int) -> None:
+        self.adjacency: list[list[int]] = [[] for _ in range(nodes)]
+        # Flat edge store: to[e], cap[e]; edge e^1 is the reverse of e.
+        self.to: list[int] = []
+        self.cap: list[int] = []
+
+    def add_edge(self, u: int, v: int, capacity: int) -> None:
+        self.adjacency[u].append(len(self.to))
+        self.to.append(v)
+        self.cap.append(capacity)
+        self.adjacency[v].append(len(self.to))
+        self.to.append(u)
+        self.cap.append(0)
+
+    def _levels(self, source: int, sink: int) -> list[int] | None:
+        level = [-1] * len(self.adjacency)
+        level[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for e in self.adjacency[u]:
+                v = self.to[e]
+                if self.cap[e] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level if level[sink] >= 0 else None
+
+    def _blocking_flow(self, source: int, sink: int, level: list[int]) -> int:
+        """One blocking flow over the level graph, iteratively (no recursion)."""
+        it = [0] * len(self.adjacency)
+        total = 0
+        stack = [source]  # nodes of the current path
+        path: list[int] = []  # edges of the current path
+        while stack:
+            u = stack[-1]
+            if u == sink:
+                pushed = min(self.cap[e] for e in path)
+                for e in path:
+                    self.cap[e] -= pushed
+                    self.cap[e ^ 1] += pushed
+                total += pushed
+                # Retreat to just before the first saturated edge.
+                cut = next(i for i, e in enumerate(path) if self.cap[e] == 0)
+                del stack[cut + 1 :]
+                del path[cut:]
+                continue
+            advanced = False
+            while it[u] < len(self.adjacency[u]):
+                e = self.adjacency[u][it[u]]
+                v = self.to[e]
+                if self.cap[e] > 0 and level[v] == level[u] + 1:
+                    stack.append(v)
+                    path.append(e)
+                    advanced = True
+                    break
+                it[u] += 1
+            if not advanced:
+                level[u] = -1  # dead end for this phase
+                stack.pop()
+                if path:
+                    it[self.to[path.pop() ^ 1]] += 1
+        return total
+
+    def max_flow(self, source: int, sink: int) -> int:
+        total = 0
+        while True:
+            level = self._levels(source, sink)
+            if level is None:
+                return total
+            total += self._blocking_flow(source, sink, level)
+
+    def source_side(self, source: int) -> set[int]:
+        """Nodes reachable from ``source`` in the residual graph."""
+        seen = {source}
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for e in self.adjacency[u]:
+                v = self.to[e]
+                if self.cap[e] > 0 and v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return seen
+
+
+def egalitarian(poset: RotationPoset) -> Matching:
+    """The egalitarian-optimal stable matching (max-weight closure).
+
+    Project-selection reduction: including rotation ``t`` yields benefit
+    ``-weight(t)`` and forces its predecessors in (infinite arcs along
+    the precedence digraph); the source side of a min cut is then the
+    best closed set.  Ties break toward the L-optimal end — the residual
+    reachability returns the unique *minimal* optimal closure — so the
+    result is deterministic.
+    """
+    n = len(poset)
+    if n == 0:
+        return poset.l_optimal
+    source, sink = n, n + 1
+    flow = _Dinic(n + 2)
+    infinite = 1 << 60
+    for t, rotation in enumerate(poset.rotations):
+        benefit = -rotation.weight(poset.profile)
+        if benefit > 0:
+            flow.add_edge(source, t, benefit)
+        elif benefit < 0:
+            flow.add_edge(t, sink, -benefit)
+        for predecessor in poset.preds[t]:
+            flow.add_edge(t, predecessor, infinite)
+    flow.max_flow(source, sink)
+    closure = frozenset(v for v in flow.source_side(source) if v < n)
+    return poset.matching_for(closure)
+
+
+def minimum_regret(poset: RotationPoset) -> Matching:
+    """The minimum-regret stable matching (threshold scan over the poset).
+
+    For each candidate regret bound ``t`` (ascending), the smallest
+    closed set satisfying every ``R``-party's bound is forced; if the
+    matching it produces respects ``t`` on the ``L`` side too, no
+    feasible set can do better (supersets only push ``L`` further down),
+    so the first success is the optimum.
+    """
+    profile = poset.profile
+    l_optimal = poset.l_optimal
+    for threshold in range(profile.k):
+        required: list[int] = []
+        feasible = True
+        for r in profile.parties[profile.k :]:
+            initial = l_optimal.partner(r)
+            assert initial is not None
+            if profile.rank(r, initial) <= threshold:
+                continue
+            lifted = None
+            for rank, index in poset._lifts[r]:
+                if rank <= threshold:
+                    lifted = index
+                    break
+            if lifted is None:
+                feasible = False
+                break
+            required.append(lifted)
+        if not feasible:
+            continue
+        candidate = poset.matching_for(poset.down_closure(required))
+        if regret(candidate, profile) <= threshold:
+            return candidate
+    raise MatchingError("complete profiles always admit a minimum-regret matching")
+
+
+def disjoint_matchings(poset: RotationPoset) -> tuple[Matching, ...]:
+    """A maximal family of pairwise edge-disjoint stable matchings.
+
+    Walks the level chain ``S_0 = {}``, ``S_{j+1} = S_j + minimals of
+    the rest`` (simultaneous elimination of every exposed rotation, per
+    Ganesh et al.) and keeps each level that shares no pair with the
+    family so far; the result always contains the L-optimal matching
+    and is maximal within the chain.
+    """
+    family: list[Matching] = []
+    used: set[tuple] = set()
+    done: frozenset[int] = frozenset()
+    while True:
+        matching = poset.matching_for(done)
+        pairs = set(matching.matched_pairs())
+        if not pairs & used:
+            family.append(matching)
+            used |= pairs
+        exposed = poset.minimal_rotations(done)
+        if not exposed:
+            return tuple(family)
+        done = frozenset(done | set(exposed))

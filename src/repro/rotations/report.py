@@ -1,0 +1,186 @@
+"""Lattice reports and lattice-position tags.
+
+The JSON-facing edge of the rotations subsystem: :func:`lattice_report`
+distills one instance's full lattice structure into a plain dictionary
+(the ``repro lattice`` CLI payload, written via
+:func:`repro.io.dump_lattice_report`), and the tag helpers turn "which
+stable matching did the protocol land on?" into a record tag that
+ensembles can aggregate on.
+
+Tag grammar (one tag per record, prefix ``lattice_position=``):
+
+* ``rot[]`` — the L-optimal matching (the empty rotation set);
+* ``rot[0.2.5]`` — the lattice element reached by eliminating
+  rotations 0, 2 and 5 (dot-joined discovery indices);
+* ``off-lattice`` — the outputs are consistent with no stable matching
+  of the instance (an agreement or stability failure);
+* ``unscored`` — the run's adversary may have altered the effective
+  instance (equivocation, noise, mid-protocol crashes), so lattice
+  membership against the honest profile would be meaningless.
+
+Silent adversaries *are* scorable: a silent party distributes nothing,
+so every honest party substitutes its default list (Lemma 1), and the
+effective instance is :func:`substituted_profile` of the spec's.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.ids import PartyId, parse_party
+from repro.matching.matching import Matching
+from repro.matching.preferences import PreferenceProfile, default_list
+from repro.rotations.distinguished import (
+    disjoint_matchings,
+    egalitarian,
+    egalitarian_cost,
+    minimum_regret,
+    regret,
+)
+from repro.rotations.poset import RotationPoset, build_poset
+
+__all__ = [
+    "LATTICE_TAG_PREFIX",
+    "substituted_profile",
+    "outputs_to_partners",
+    "consistent_position",
+    "position_tag",
+    "unscored_tag",
+    "lattice_report",
+]
+
+LATTICE_TAG_PREFIX = "lattice_position="
+
+#: Safety cap for consistency scans over unknown lattices: ensembles run
+#: at small ``k`` where lattices are tiny; anything larger is declared
+#: unscored instead of enumerated.
+_SCAN_LIMIT = 50_000
+
+
+def substituted_profile(
+    profile: PreferenceProfile, parties: tuple[PartyId, ...]
+) -> PreferenceProfile:
+    """``profile`` with each of ``parties``' lists replaced by the default.
+
+    Lemma 1's substitution rule: a byzantine party that fails to
+    distribute a valid list is treated as holding the canonical default
+    order.  Applying it to every silent party yields the instance the
+    honest parties actually solve.
+    """
+    for party in parties:
+        profile = profile.with_list(party, default_list(party, profile.k))
+    return profile
+
+
+def outputs_to_partners(
+    outputs: tuple[tuple[str, str], ...]
+) -> dict[PartyId, PartyId | None]:
+    """Record ``outputs`` pairs back into a party-to-partner mapping.
+
+    Run records stringify outputs (``"None"`` for unmatched); this is
+    the inverse, shared by the conform oracle and the service plane.
+    """
+    return {
+        parse_party(party): None if partner == "None" else parse_party(partner)
+        for party, partner in outputs
+    }
+
+
+def consistent_position(
+    poset: RotationPoset, outputs: Mapping[PartyId, PartyId | None]
+) -> frozenset[int] | None:
+    """The lattice element consistent with every declared output, if any.
+
+    ``outputs`` is a partial view (honest parties only, typically);
+    a lattice element is consistent when its partner for every declaring
+    party equals the declaration.  ``None`` declarations never match a
+    lattice element (complete instances have perfect stable matchings),
+    and ``None`` is returned when no element fits — both are membership
+    violations for the caller to report.
+    """
+    if not outputs:
+        return None
+    k = poset.profile.k
+    if len(outputs) == 2 * k and all(v is not None for v in outputs.values()):
+        try:
+            matching = Matching.from_outputs(dict(outputs))
+        except Exception:
+            return None
+        return poset.position_of(matching)
+    scanned = 0
+    for mask in poset._iter_closed_masks():
+        scanned += 1
+        if scanned > _SCAN_LIMIT:
+            return None
+        matching = poset._matching_for_mask(mask)
+        if all(matching.partner(p) == v for p, v in outputs.items()):
+            return poset._unmask(mask)
+    return None
+
+
+def position_tag(position: frozenset[int] | None) -> str:
+    """Format a rotation set (or a miss) as a ``lattice_position=`` tag."""
+    if position is None:
+        return LATTICE_TAG_PREFIX + "off-lattice"
+    return LATTICE_TAG_PREFIX + "rot[" + ".".join(str(t) for t in sorted(position)) + "]"
+
+
+def unscored_tag() -> str:
+    """The tag for runs whose effective instance is unknowable."""
+    return LATTICE_TAG_PREFIX + "unscored"
+
+
+def _matching_pairs(matching: Matching) -> list[list[str]]:
+    return [[str(l), str(r)] for l, r in matching.matched_pairs()]
+
+
+def lattice_report(
+    profile: PreferenceProfile, max_matchings: int | None = 10_000
+) -> dict:
+    """The full lattice structure of one instance, JSON-ready.
+
+    Deterministic: the same profile reports byte-identically.  The
+    enumeration section is capped at ``max_matchings`` (``truncated``
+    records whether the cap bit); everything else — rotations, poset
+    edges, distinguished points, the disjoint family — is exact and
+    never touches the ``k!`` space.
+    """
+    poset = build_poset(profile)
+    matchings: list[Matching] = []
+    truncated = False
+    for mask in poset._iter_closed_masks():
+        if max_matchings is not None and len(matchings) >= max_matchings:
+            truncated = True
+            break
+        matchings.append(poset._matching_for_mask(mask))
+    matchings.sort(key=lambda m: m.matched_pairs())
+
+    egal = egalitarian(poset)
+    min_regret = minimum_regret(poset)
+    disjoint = disjoint_matchings(poset)
+    return {
+        "k": profile.k,
+        "rotations": [rotation.to_dict() for rotation in poset.rotations],
+        "poset_edges": [list(edge) for edge in poset.edges()],
+        "stable_matchings": {
+            "count": len(matchings),
+            "truncated": truncated,
+            "matchings": [_matching_pairs(m) for m in matchings],
+        },
+        "distinguished": {
+            "l_optimal": _matching_pairs(poset.l_optimal),
+            "r_optimal": _matching_pairs(poset.r_optimal),
+            "egalitarian": {
+                "matching": _matching_pairs(egal),
+                "cost": egalitarian_cost(egal, profile),
+            },
+            "minimum_regret": {
+                "matching": _matching_pairs(min_regret),
+                "regret": regret(min_regret, profile),
+            },
+        },
+        "disjoint_family": {
+            "count": len(disjoint),
+            "matchings": [_matching_pairs(m) for m in disjoint],
+        },
+    }

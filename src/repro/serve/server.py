@@ -6,7 +6,10 @@ backend.  It is a stdlib-only asyncio server (hand-rolled HTTP via
 :mod:`repro.net.transports` style) exposing:
 
 * ``POST /v1/run``    — one :class:`~repro.experiment.spec.ScenarioSpec`,
-  records in the JSON response;
+  records in the JSON response; ``?lattice=1`` additionally stamps each
+  record with its ``lattice_position=`` tag (which element of the
+  stable-matching lattice the honest parties landed on — see
+  :mod:`repro.experiment.lattice_tags`);
 * ``POST /v1/sweep``  — a :class:`~repro.experiment.spec.Sweep`, records
   streamed back as NDJSON lines (schema header first) as parallel
   shards complete — byte-identical to the same sweep run in-process;
@@ -34,6 +37,7 @@ import time
 
 from repro.errors import ReproError
 from repro.experiment.engine import Session, stream_sweep
+from repro.experiment.lattice_tags import stamp_lattice_positions
 from repro.experiment.records import RunRecordSet
 from repro.experiment.spec import ScenarioSpec, Sweep
 from repro.io import record_ndjson_line, records_ndjson_header
@@ -61,6 +65,15 @@ def _parse_spec(data: object) -> ScenarioSpec:
         return ScenarioSpec.from_dict(data)
     except (ReproError, KeyError, TypeError, ValueError, AttributeError) as exc:
         raise HttpError(400, "bad_spec", f"not a valid ScenarioSpec: {exc}")
+
+
+def _query_flag(query: str, name: str) -> bool:
+    """True when ``name`` appears truthy (``1``/``true``/bare) in a query string."""
+    for part in query.split("&"):
+        key, _, value = part.partition("=")
+        if key == name:
+            return value.lower() in ("", "1", "true", "yes")
+    return False
 
 
 def _parse_sweep(data: object) -> Sweep:
@@ -265,6 +278,7 @@ class MatchingService:
 
     async def _handle_run(self, request: Request, writer: asyncio.StreamWriter) -> int:
         spec = _parse_spec(request.json())
+        lattice = _query_flag(request.query, "lattice")
         try:
             await self.admission.admit()
         except Overloaded as exc:
@@ -274,6 +288,10 @@ class MatchingService:
             records = await loop.run_in_executor(
                 self._pool, _execute_records, self._run_session, Sweep.of(spec)
             )
+            if lattice:
+                records = await loop.run_in_executor(
+                    self._pool, stamp_lattice_positions, spec, records
+                )
             self.stats.observe_cache(records.cache_stats)
             self.stats.records_served += len(records)
             payload = {

@@ -67,6 +67,36 @@ class TestEndpoints:
         assert payload["count"] == len(expected)
         assert payload["records"] == [record.to_dict() for record in expected]
 
+    def test_run_lattice_flag_stamps_position_tags(self, service):
+        spec = ScenarioSpec(k=3, tL=0, tR=0)
+        response = request(
+            service.host, service.port, "POST", "/v1/run?lattice=1", spec.to_dict()
+        )
+        assert response.status == 200
+        records = response.json()["records"]
+        assert records
+        for record in records:
+            stamped = [t for t in record["tags"] if t.startswith("lattice_position=")]
+            # The deterministic protocol lands on the L-optimal element
+            # (the empty rotation set) on a fault-free run.
+            assert stamped == ["lattice_position=rot[]"]
+        # Except for the tag, the records are the in-process ones.
+        expected = Session().run(spec)
+        assert len(records) == len(expected)
+        for served, record in zip(records, expected):
+            untagged = dict(served, tags=[t for t in served["tags"] if not t.startswith("lattice_position=")])
+            assert untagged == record.to_dict()
+
+    def test_run_without_lattice_flag_stamps_nothing(self, service):
+        spec = ScenarioSpec(k=3, tL=0, tR=0)
+        response = request(
+            service.host, service.port, "POST", "/v1/run", spec.to_dict()
+        )
+        for record in response.json()["records"]:
+            assert not any(
+                t.startswith("lattice_position=") for t in record["tags"]
+            )
+
     def test_sweep_stream_is_byte_identical_to_in_process(self, service):
         response = request(
             service.host, service.port, "POST", "/v1/sweep", SWEEP.to_dict()
