@@ -16,7 +16,7 @@ from pathlib import Path
 
 from repro import AdversarySpec, ProfileSpec, ScenarioSpec, Session
 from repro.analysis import messages_per_round, summarize_trace, tag_histogram
-from repro.io import dump_report
+from repro.io import dump
 from repro.matching.gale_shapley import gale_shapley
 from repro.matching.matching import Matching
 from repro.matching.metrics import divorce_distance, total_rank_cost
@@ -77,7 +77,7 @@ def main() -> None:
 
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "attacked_run.json"
-        dump_report(attacked, path, include_trace=False)
+        dump(attacked, path)
         size = path.stat().st_size
         keys = list(json.loads(path.read_text()))
         print(f"\nJSON archive written ({size} bytes, top-level keys: {keys})")

@@ -846,5 +846,99 @@ register(
 )
 
 
+# -- E1: random-instance ensembles vs matching theory --------------------------
+
+#: Grid per tier: rank-sweep sizes × seed count, count-sampling sizes ×
+#: samples, spill threshold, and execution slice.  Thresholds sit below
+#: the tier's record count on purpose so the spill path is always
+#: exercised — the case gates on it engaging.  ``full`` is the
+#: acceptance grid: n=500 × 200 seeds streamed with bounded residency.
+_ENSEMBLE_GRIDS = {
+    "quick": {"ns": (100,), "seeds": 12, "count_ns": (32,), "count_seeds": 8,
+              "spill": 8, "batch": 4},
+    "full": {"ns": (500,), "seeds": 200, "count_ns": (64, 128), "count_seeds": 20,
+             "spill": 64, "batch": 50},
+    "scale": {"ns": (1000,), "seeds": 100, "count_ns": (128,), "count_seeds": 10,
+              "spill": 64, "batch": 50},
+}
+
+
+def _random_ensemble_harness(tier: str, workers: int | None) -> HarnessRun:
+    """Stream a random ensemble through the sinks, gate it on theory.
+
+    A harness case because the measurement *is* the pipeline:
+    :func:`repro.ensembles.run_ensemble_check` executes the grid via
+    ``sweep_into`` into an aggregate + spill tee, then samples
+    stable-matching counts off the rotation poset.  Failures are the
+    theory-band violations themselves plus a bounded-memory gate: the
+    spill sink must have engaged, and peak resident records must stay
+    within the spill threshold + one execution slice.
+    """
+    import os
+    import tempfile
+
+    from repro.ensembles import run_ensemble_check
+
+    grid = _ENSEMBLE_GRIDS[tier]
+    fd, spill_path = tempfile.mkstemp(suffix=".ndjson", prefix="bench-ensemble-")
+    os.close(fd)
+    try:
+        report = run_ensemble_check(
+            ns=grid["ns"],
+            seeds=range(grid["seeds"]),
+            count_ns=grid["count_ns"],
+            count_seeds=range(grid["count_seeds"]),
+            workers=workers,
+            batch_size=grid["batch"],
+            spill_threshold=grid["spill"],
+            spill_path=spill_path,
+        )
+        spill_bytes = os.path.getsize(spill_path)
+    finally:
+        os.unlink(spill_path)
+
+    failures = [
+        f"[{v.oracle}] {v.scenario}: {v.message}" for v in report.violations
+    ]
+    if not report.spilled:
+        failures.append(
+            f"spill sink never engaged (threshold {grid['spill']}, "
+            f"{report.record_count} records)"
+        )
+    envelope = grid["spill"] + grid["batch"]
+    if report.peak_resident > envelope:
+        failures.append(
+            f"peak resident records {report.peak_resident} exceeded the "
+            f"memory envelope {envelope} (threshold + slice)"
+        )
+    metrics: dict[str, float] = {
+        "records": float(report.record_count),
+        "peak_resident_records": float(report.peak_resident),
+        "spilled_records": float(report.spilled),
+        "spill_bytes": float(spill_bytes),
+        "violations": float(len(report.violations)),
+    }
+    for obs in report.observables:
+        metrics[f"proposer_rank_n{obs.n}"] = round(obs.mean_proposer_rank, 4)
+        metrics[f"receiver_rank_n{obs.n}"] = round(obs.mean_receiver_rank, 4)
+    for obs in report.counts:
+        metrics[f"count_mean_n{obs.n}"] = round(obs.mean_count, 4)
+    return HarnessRun(
+        seconds=report.elapsed_seconds,
+        runs=report.record_count + sum(obs.samples for obs in report.counts),
+        metrics=metrics,
+        failures=tuple(failures),
+    )
+
+
+register(
+    BenchCase(
+        name="random_ensemble",
+        title="E1 — random-instance ensembles vs the Mertens/mean-field asymptotics",
+        harness=_random_ensemble_harness,
+    )
+)
+
+
 #: The loaded catalog (importing this module registered everything above).
 CASES = all_cases()

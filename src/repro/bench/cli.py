@@ -152,10 +152,10 @@ def cmd_bench(args) -> int:
 
     baseline = None
     if args.compare:
-        from repro.io import load_baseline
+        from repro.io import load
 
         try:
-            baseline = load_baseline(args.compare)
+            baseline = load(args.compare, format="bench-baseline")
         except (OSError, BenchError) as exc:
             print(f"error: cannot load baseline {args.compare}: {exc}", file=sys.stderr)
             return 2
@@ -194,18 +194,18 @@ def cmd_bench(args) -> int:
                     )
 
     if not args.no_json:
-        from repro.io import dump_bench
+        from repro.io import dump
 
         os.makedirs(args.out, exist_ok=True)
         for result in results:
             path = os.path.join(args.out, f"BENCH_{result.case}.json")
-            dump_bench(result, path)
+            dump(result, path)
         print(f"\n{len(results)} BENCH_<case>.json file(s) written to {args.out}")
 
     if args.write_baseline:
-        from repro.io import dump_baseline
+        from repro.io import dump
 
-        dump_baseline(baseline_from_results(results), args.write_baseline)
+        dump(baseline_from_results(results), args.write_baseline, format="bench-baseline")
         print(f"baseline written to {args.write_baseline}")
 
     failed_checks = [result for result in results if not result.ok]
@@ -256,8 +256,8 @@ def legacy_main(case_name: str, argv: Sequence[str] | None = None) -> int:
     for failure in result.failures:
         print(f"  check failed: {failure}", file=sys.stderr)
     if args.json:
-        from repro.io import dump_bench
+        from repro.io import dump
 
-        dump_bench(result, args.json)
+        dump(result, args.json)
         print(f"  result written to {args.json}")
     return 0 if result.ok else 1

@@ -5,7 +5,8 @@ case at one tier: wall-clock, per-phase timings, run/round/message
 totals, cache statistics, case-specific metrics, and an environment
 fingerprint (python version, CPU count, git sha) so numbers archived
 across machines and commits stay comparable.  Results round-trip
-through JSON (``repro.io.dump_bench`` / ``load_bench``) and are what
+through JSON (``repro.io.dump`` / ``load``, formats ``bench-result``
+and ``bench-baseline``) and are what
 the ``BENCH_<case>.json`` trajectory files contain.
 
 The schema is versioned (:data:`BENCH_SCHEMA_VERSION`); loaders reject

@@ -25,7 +25,10 @@ Commands:
   admission control (see :mod:`repro.serve`);
 * ``lattice`` — report an instance's rotation poset and stable-matching
   lattice: rotations, enumeration, distinguished matchings, disjoint
-  families (see :mod:`repro.rotations`).
+  families (see :mod:`repro.rotations`);
+* ``ensemble`` — run random-instance ensembles through the streaming
+  record path and gate the measured rank/count statistics against the
+  Mertens/mean-field asymptotics (see :mod:`repro.ensembles`).
 """
 
 from __future__ import annotations
@@ -191,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lattice_arguments(lattice)
 
+    ensemble = sub.add_parser(
+        "ensemble",
+        help="random-instance ensembles gated against matching theory",
+    )
+    from repro.ensembles.cli import add_ensemble_arguments
+
+    add_ensemble_arguments(ensemble)
+
     return parser
 
 
@@ -256,9 +267,9 @@ def _cmd_run(args) -> int:
         for violation in report.report.violations:
             print(f"  {violation}")
     if args.json:
-        from repro.io import dump_report
+        from repro.io import dump
 
-        dump_report(report, args.json)
+        dump(report, args.json)
         print(f"report written to {args.json}")
     return 0 if report.ok else 1
 
@@ -269,9 +280,9 @@ def _cmd_trace(args) -> int:
         return 2
     report, recorder = Session().trace(spec)
     if args.out:
-        from repro.io import dump_trace
+        from repro.io import dump
 
-        dump_trace(recorder, args.out)
+        dump(recorder, args.out)
         print(report.summary())
         print(f"{len(recorder)} trace events written to {args.out}")
     else:
@@ -322,10 +333,10 @@ def _cmd_sweep(args) -> int:
         recorder = TraceRecorder()
     session = Session(executor=executor, workers=args.workers, warm_cache=args.warm_cache)
     if args.spec_json:
-        from repro.io import load_sweep
+        from repro.io import load
 
         try:
-            sweep = load_sweep(args.spec_json)
+            sweep = load(args.spec_json, format="sweep")
         except (OSError, ValueError, KeyError, ReproError) as exc:
             print(f"error: cannot load sweep from {args.spec_json}: {exc}", file=sys.stderr)
             return 2
@@ -347,9 +358,9 @@ def _cmd_sweep(args) -> int:
             f"mean_rounds={row['mean_rounds']:.1f} mean_msgs={row['mean_messages']:.0f}"
         )
     if args.json:
-        from repro.io import dump_records
+        from repro.io import dump
 
-        dump_records(records, args.json)
+        dump(records, args.json)
         print(f"\nrecords written to {args.json}")
     if args.csv:
         from repro.io import records_to_csv
@@ -357,9 +368,9 @@ def _cmd_sweep(args) -> int:
         records_to_csv(records, args.csv)
         print(f"\nCSV written to {args.csv}")
     if recorder is not None:
-        from repro.io import dump_trace
+        from repro.io import dump
 
-        dump_trace(recorder, args.trace_out)
+        dump(recorder, args.trace_out)
         print(f"\n{len(recorder)} trace events written to {args.trace_out}")
     failures = records.failures
     if failures:
@@ -425,6 +436,12 @@ def _cmd_lattice(args) -> int:
     return cmd_lattice(args)
 
 
+def _cmd_ensemble(args) -> int:
+    from repro.ensembles.cli import cmd_ensemble
+
+    return cmd_ensemble(args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -441,6 +458,7 @@ def main(argv: list[str] | None = None) -> int:
         "conform": _cmd_conform,
         "serve": _cmd_serve,
         "lattice": _cmd_lattice,
+        "ensemble": _cmd_ensemble,
     }
     return handlers[args.command](args)
 

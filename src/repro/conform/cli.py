@@ -96,10 +96,10 @@ def _cmd_run(args) -> int:
         for name in report.repro_paths:
             print(f"  {name}")
     if args.out:
-        from repro.io import dump_conform_report
+        from repro.io import dump
 
         try:
-            dump_conform_report(report, args.out)
+            dump(report, args.out)
         except OSError as exc:
             print(f"error: cannot write report to {args.out}: {exc}", file=sys.stderr)
             return 2
@@ -109,10 +109,10 @@ def _cmd_run(args) -> int:
 
 def _cmd_replay(args) -> int:
     from repro.conform.harness import replay_repro
-    from repro.io import load_repro
+    from repro.io import load
 
     try:
-        repro = load_repro(args.file)
+        repro = load(args.file, format="conform-repro")
     except (OSError, ConformError) as exc:
         print(f"error: cannot load repro file {args.file}: {exc}", file=sys.stderr)
         return 2
@@ -132,10 +132,10 @@ def _cmd_replay(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.io import load_conform_report
+    from repro.io import load
 
     try:
-        report = load_conform_report(args.file)
+        report = load(args.file, format="conform-report")
     except (OSError, ConformError) as exc:
         print(f"error: cannot load report {args.file}: {exc}", file=sys.stderr)
         return 2

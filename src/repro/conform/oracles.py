@@ -412,6 +412,70 @@ class ExecutorDifferential(Oracle):
         return tuple(failures)
 
 
+class TheoryStatistics(Oracle):
+    """Large offline runs must match the Mertens/mean-field asymptotics.
+
+    Applies to offline Gale–Shapley runs on uniform random complete
+    profiles at ``k >= 32`` (below that, single-instance variance
+    drowns the signal): the run's mean proposer partner rank
+    (``proposals / k``) and mean receiver partner rank
+    (``receiver_rank / k``) must land inside the generous per-instance
+    tolerance bands of :mod:`repro.ensembles.theory`, and the matching
+    must be perfect.  The tight ensemble-level gate lives in
+    :func:`repro.ensembles.check_rank_statistics`; this per-spec oracle
+    catches gross engine breakage (skewed sampling, wrong proposal
+    order, early termination) from any single large instance the
+    fuzzer or an ensemble draws.
+    """
+
+    MIN_K = 32
+
+    def __init__(self) -> None:
+        super().__init__(name="theory_stats")
+
+    def applies(self, spec: ScenarioSpec) -> bool:
+        return (
+            spec.family == "offline"
+            and spec.algorithm == "gale_shapley"
+            and spec.profile is not None
+            and spec.profile.kind == "random"
+            and spec.k >= self.MIN_K
+        )
+
+    def check(self, spec: ScenarioSpec, ctx: OracleContext) -> tuple[Violation, ...]:
+        from repro.ensembles.theory import proposer_rank_band, receiver_rank_band
+
+        failures = []
+        for record in ctx.records(spec):
+            if record.matched != spec.k:
+                failures.append(
+                    self._violation(
+                        spec,
+                        "complete uniform preferences must produce a perfect matching",
+                        matched=record.matched,
+                        k=spec.k,
+                    )
+                )
+                continue
+            checks = (
+                ("proposer", record.proposals / spec.k,
+                 proposer_rank_band(spec.k, scope="instance")),
+                ("receiver", record.receiver_rank / spec.k,
+                 receiver_rank_band(spec.k, scope="instance")),
+            )
+            for side, measured, band in checks:
+                if not band.contains(measured):
+                    failures.append(
+                        self._violation(
+                            spec,
+                            f"mean {side} rank outside the per-instance theory band",
+                            measured=round(measured, 6),
+                            band=band.describe(),
+                        )
+                    )
+        return tuple(failures)
+
+
 #: The oracle registry.  Tests may :func:`register_oracle` extra (even
 #: deliberately broken) oracles; the CLI resolves names against this.
 ORACLES: dict[str, Oracle] = {}
@@ -437,6 +501,7 @@ for _oracle in (
     VerdictConsistency(),
     RuntimeDifferential(),
     ExecutorDifferential(),
+    TheoryStatistics(),
 ):
     register_oracle(_oracle)
 
@@ -448,6 +513,7 @@ _DEFAULT_NAMES = (
     "verdict_consistency",
     "runtime_differential",
     "executor_differential",
+    "theory_stats",
 )
 
 

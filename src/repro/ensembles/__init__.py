@@ -1,0 +1,71 @@
+"""Random-instance ensembles checked against stable-matching theory.
+
+The scale workload ROADMAP item 3 asked for: uniform random instances
+at ``n`` in the hundreds-to-thousands × many seeds, streamed through
+the record sinks (:mod:`repro.experiment.sinks`) so ensemble size is
+bounded by a spill threshold instead of memory, with the measured
+observables — mean proposer/receiver partner ranks, stable-matching
+counts — gated against the Mertens/mean-field/Pittel asymptotics
+(:mod:`repro.ensembles.theory`).
+
+Entry points: :func:`run_ensemble_check` (the full pipeline),
+``repro ensemble`` (CLI), the ``random_ensemble`` bench case, and the
+``theory_stats`` conform oracle registered with
+:mod:`repro.conform.oracles`.
+"""
+
+from repro.ensembles.generators import (
+    ENSEMBLE_TAG,
+    ensemble_specs,
+    ensemble_sweep,
+    random_instance_spec,
+)
+from repro.ensembles.observables import (
+    ENSEMBLE_REPORT_SCHEMA,
+    ORACLE_NAME,
+    CountObservables,
+    EnsembleReport,
+    SizeObservables,
+    check_count_statistics,
+    check_rank_statistics,
+    measure_stable_matching_counts,
+    observables_from_summaries,
+    run_ensemble_check,
+)
+from repro.ensembles.theory import (
+    ToleranceBand,
+    expected_proposer_rank,
+    expected_receiver_rank,
+    expected_stable_matchings,
+    expected_total_proposals,
+    harmonic,
+    proposer_rank_band,
+    receiver_rank_band,
+    stable_matching_count_band,
+)
+
+__all__ = [
+    "ENSEMBLE_TAG",
+    "random_instance_spec",
+    "ensemble_specs",
+    "ensemble_sweep",
+    "harmonic",
+    "expected_proposer_rank",
+    "expected_receiver_rank",
+    "expected_total_proposals",
+    "expected_stable_matchings",
+    "ToleranceBand",
+    "proposer_rank_band",
+    "receiver_rank_band",
+    "stable_matching_count_band",
+    "ORACLE_NAME",
+    "ENSEMBLE_REPORT_SCHEMA",
+    "SizeObservables",
+    "CountObservables",
+    "EnsembleReport",
+    "observables_from_summaries",
+    "check_rank_statistics",
+    "check_count_statistics",
+    "measure_stable_matching_counts",
+    "run_ensemble_check",
+]

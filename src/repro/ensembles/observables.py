@@ -1,0 +1,332 @@
+"""Measured ensemble observables, checked against the theory bands.
+
+Two measurement paths feed the checks:
+
+- **Rank statistics** come out of the streamed record path — an
+  :class:`~repro.experiment.sinks.AggregateSink` grouped by ``k`` folds
+  ``proposals`` (proposer-rank sum) and ``receiver_rank`` into running
+  means while :func:`~repro.experiment.engine.sweep_into` executes, so
+  a million-instance ensemble needs no resident records.
+- **Stable-matching counts** walk the rotation poset directly
+  (:func:`repro.rotations.build_poset` — polynomial per instance), at
+  smaller ``n`` than the rank sweep because counting is per-instance
+  work the record path doesn't carry.
+
+Checks emit conform-style :class:`~repro.conform.oracles.Violation`
+values, so the nightly job can wrap any failure into a replayable
+repro file exactly like the fuzzing harness does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.conform.oracles import Violation
+from repro.ensembles import theory
+from repro.ensembles.generators import ensemble_specs
+from repro.errors import ReproError
+
+__all__ = [
+    "ORACLE_NAME",
+    "ENSEMBLE_REPORT_SCHEMA",
+    "SizeObservables",
+    "CountObservables",
+    "observables_from_summaries",
+    "check_rank_statistics",
+    "measure_stable_matching_counts",
+    "check_count_statistics",
+    "EnsembleReport",
+    "run_ensemble_check",
+]
+
+#: Oracle name stamped on every ensemble-theory violation (shared with
+#: the per-spec conform oracle).
+ORACLE_NAME = "theory_stats"
+
+ENSEMBLE_REPORT_SCHEMA = "repro.ensembles.report/1"
+
+
+@dataclass(frozen=True)
+class SizeObservables:
+    """Rank statistics for one ensemble size ``n``."""
+
+    n: int
+    runs: int
+    mean_proposer_rank: float
+    mean_receiver_rank: float
+    mean_matched: float
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "runs": self.runs,
+            "mean_proposer_rank": round(self.mean_proposer_rank, 6),
+            "mean_receiver_rank": round(self.mean_receiver_rank, 6),
+            "mean_matched": round(self.mean_matched, 6),
+            "theory_proposer_rank": round(theory.expected_proposer_rank(self.n), 6),
+            "theory_receiver_rank": round(theory.expected_receiver_rank(self.n), 6),
+        }
+
+
+def observables_from_summaries(
+    summaries: Iterable[Mapping],
+) -> tuple[SizeObservables, ...]:
+    """Distill rank observables from aggregation summaries.
+
+    ``summaries`` is the output of an
+    :class:`~repro.experiment.sinks.AggregateSink` (or
+    ``RunRecordSet.aggregate``) grouped by ``("k",)`` with metrics
+    ``("proposals", "receiver_rank", "matched")``.  The per-run
+    ``proposals`` sum divided by ``n`` is that run's mean proposer rank
+    (and likewise for the receiver side), so the group means divide
+    straight through.
+    """
+    result = []
+    for summary in summaries:
+        n = int(summary["k"])
+        result.append(
+            SizeObservables(
+                n=n,
+                runs=int(summary["runs"]),
+                mean_proposer_rank=summary["mean_proposals"] / n,
+                mean_receiver_rank=summary["mean_receiver_rank"] / n,
+                mean_matched=float(summary["mean_matched"]),
+            )
+        )
+    return tuple(result)
+
+
+def _violation(scenario: str, message: str, **details: object) -> Violation:
+    return Violation(
+        oracle=ORACLE_NAME,
+        scenario=scenario,
+        message=message,
+        details=tuple(sorted((k, str(v)) for k, v in details.items())),
+    )
+
+
+def check_rank_statistics(
+    observables: Iterable[SizeObservables], *, scope: str = "ensemble"
+) -> tuple[Violation, ...]:
+    """Rank means must sit inside the Mertens/mean-field bands."""
+    violations: list[Violation] = []
+    for obs in observables:
+        scenario = f"ensemble/n{obs.n}"
+        if obs.mean_matched != obs.n:
+            # Complete uniform preferences: Gale–Shapley always perfects.
+            violations.append(
+                _violation(
+                    scenario,
+                    "offline runs on complete preferences must match everyone",
+                    mean_matched=obs.mean_matched,
+                    n=obs.n,
+                )
+            )
+        checks = (
+            ("proposer", obs.mean_proposer_rank, theory.proposer_rank_band(obs.n, scope=scope)),
+            ("receiver", obs.mean_receiver_rank, theory.receiver_rank_band(obs.n, scope=scope)),
+        )
+        for side, measured, band in checks:
+            if not band.contains(measured):
+                violations.append(
+                    _violation(
+                        scenario,
+                        f"mean {side} rank outside the theory band",
+                        measured=round(measured, 6),
+                        band=band.describe(),
+                        runs=obs.runs,
+                        scope=scope,
+                    )
+                )
+    return tuple(violations)
+
+
+@dataclass(frozen=True)
+class CountObservables:
+    """Stable-matching counts over sampled instances of one size."""
+
+    n: int
+    samples: int
+    mean_count: float
+    min_count: int
+    max_count: int
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "samples": self.samples,
+            "mean_count": round(self.mean_count, 6),
+            "min_count": self.min_count,
+            "max_count": self.max_count,
+            "theory_asymptotic": round(theory.expected_stable_matchings(self.n), 6),
+        }
+
+
+def measure_stable_matching_counts(
+    n: int, seeds: Iterable[int], *, limit: int = 200_000
+) -> CountObservables:
+    """Count stable matchings per sampled instance via the rotation poset.
+
+    Polynomial per instance (closed-subset counting over the rotation
+    poset — no enumeration), so hundreds of samples at n in the low
+    hundreds stay cheap.  ``limit`` caps pathological instances.
+    """
+    from repro.matching.generators import random_profile
+    from repro.rotations import build_poset
+
+    seeds = tuple(seeds)
+    if not seeds:
+        raise ReproError("measure_stable_matching_counts needs at least one seed")
+    counts = [
+        build_poset(random_profile(n, seed)).count_stable_matchings(limit=limit)
+        for seed in seeds
+    ]
+    return CountObservables(
+        n=n,
+        samples=len(counts),
+        mean_count=sum(counts) / len(counts),
+        min_count=min(counts),
+        max_count=max(counts),
+    )
+
+
+def check_count_statistics(
+    counts: Iterable[CountObservables], *, scope: str = "ensemble"
+) -> tuple[Violation, ...]:
+    """Mean stable-matching counts must track Pittel's asymptotic."""
+    violations: list[Violation] = []
+    for obs in counts:
+        band = theory.stable_matching_count_band(obs.n, scope=scope)
+        if not band.contains(obs.mean_count):
+            violations.append(
+                _violation(
+                    f"ensemble/n{obs.n}/counts",
+                    "mean stable-matching count outside the theory band",
+                    measured=round(obs.mean_count, 6),
+                    band=band.describe(),
+                    samples=obs.samples,
+                    scope=scope,
+                )
+            )
+        if obs.min_count < 1:
+            violations.append(
+                _violation(
+                    f"ensemble/n{obs.n}/counts",
+                    "an instance reported zero stable matchings "
+                    "(complete preferences always admit at least one)",
+                    min_count=obs.min_count,
+                )
+            )
+    return tuple(violations)
+
+
+@dataclass(frozen=True)
+class EnsembleReport:
+    """One ensemble-theory check, distilled to canonical JSON."""
+
+    ns: tuple[int, ...]
+    seed_count: int
+    record_count: int
+    observables: tuple[SizeObservables, ...]
+    counts: tuple[CountObservables, ...]
+    violations: tuple[Violation, ...]
+    peak_resident: int = 0
+    spilled: int = 0
+    elapsed_seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": ENSEMBLE_REPORT_SCHEMA,
+            "ok": self.ok,
+            "ns": list(self.ns),
+            "seed_count": self.seed_count,
+            "record_count": self.record_count,
+            "observables": [obs.to_dict() for obs in self.observables],
+            "counts": [obs.to_dict() for obs in self.counts],
+            "violations": [v.to_dict() for v in self.violations],
+            "peak_resident": self.peak_resident,
+            "spilled": self.spilled,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def summary(self) -> str:
+        verdict = "ok" if self.ok else f"FAIL ({len(self.violations)} violations)"
+        return (
+            f"ensemble check: {verdict}, "
+            f"{self.record_count} runs over n={list(self.ns)}, "
+            f"{len(self.counts)} count samples, "
+            f"peak resident {self.peak_resident} records"
+            + (f", spilled {self.spilled}" if self.spilled else "")
+        )
+
+
+def run_ensemble_check(
+    *,
+    ns: Sequence[int],
+    seeds: Sequence[int],
+    count_ns: Sequence[int] = (),
+    count_seeds: Sequence[int] = (),
+    workers: Optional[int] = None,
+    batch_size: int = 128,
+    spill_threshold: Optional[int] = None,
+    spill_path=None,
+    scope: str = "ensemble",
+) -> EnsembleReport:
+    """Run the full theory-oracle pipeline and return its report.
+
+    The rank sweep streams through
+    :func:`~repro.experiment.engine.sweep_into` into an
+    :class:`~repro.experiment.sinks.AggregateSink` (plus a
+    :class:`~repro.experiment.sinks.SpillSink` when ``spill_threshold``
+    is set — ``spill_path`` then receives the full NDJSON archive), so
+    peak resident records stay bounded regardless of ensemble size.
+    Count sampling runs afterwards on its own (smaller) grid.
+    """
+    import time
+
+    from repro.experiment.engine import sweep_into
+    from repro.experiment.sinks import AggregateSink, SpillSink, TeeSink
+
+    started = time.perf_counter()
+    aggregate = AggregateSink(
+        by=("k",), metrics=("proposals", "receiver_rank", "matched")
+    )
+    sink = aggregate
+    spill = None
+    if spill_threshold is not None:
+        if spill_path is None:
+            raise ReproError("spill_threshold needs spill_path")
+        spill = SpillSink(spill_threshold, spill_path)
+        sink = TeeSink(aggregate, spill)
+    specs = ensemble_specs(ns, seeds)
+    with sink:
+        record_count = sweep_into(
+            specs, sink, workers=workers, batch_size=batch_size
+        )
+    observables = observables_from_summaries(aggregate.summaries())
+    violations = list(check_rank_statistics(observables, scope=scope))
+    counts = tuple(
+        measure_stable_matching_counts(n, count_seeds) for n in count_ns
+    )
+    violations.extend(check_count_statistics(counts, scope=scope))
+    return EnsembleReport(
+        ns=tuple(ns),
+        seed_count=len(tuple(seeds)),
+        record_count=record_count,
+        observables=observables,
+        counts=counts,
+        violations=tuple(violations),
+        # Without a spill sink nothing is retained, so the envelope is
+        # one execution slice; with one, the sink's high-water mark.
+        peak_resident=spill.peak_resident if spill else min(batch_size, record_count),
+        spilled=spill.spilled if spill else 0,
+        elapsed_seconds=time.perf_counter() - started,
+    )

@@ -16,13 +16,34 @@ single hand-wired run:
 * :mod:`repro.experiment.presets` — named sweeps covering the paper's
   table and figures plus new workloads (equivocation, the solvability
   frontier, roommates, offline ensembles);
+* :mod:`repro.experiment.sinks` — streaming :class:`RecordSink`
+  consumers (memory, NDJSON append/spill, incremental aggregation)
+  that :func:`sweep_into` and :func:`stream_sweep` write into, so
+  ensembles scale past memory;
 * :mod:`repro.experiment.compat` — deprecation shims for the old
   free-function surface.
 """
 
-from repro.experiment.engine import EXECUTORS, Engine, Session, execute_spec
+from repro.experiment.engine import (
+    EXECUTORS,
+    Engine,
+    Session,
+    execute_spec,
+    stream_sweep,
+    sweep_into,
+)
 from repro.experiment.presets import PRESETS, preset, preset_names
-from repro.experiment.records import RunRecord, RunRecordSet
+from repro.experiment.records import COLUMNS, RunRecord, RunRecordSet, column_value
+from repro.experiment.sinks import (
+    AggregateSink,
+    MemorySink,
+    NdjsonSink,
+    NullSink,
+    RecordSink,
+    SpillSink,
+    StreamSink,
+    TeeSink,
+)
 from repro.experiment.spec import (
     AdversarySpec,
     ExecutorSpec,
@@ -46,6 +67,18 @@ __all__ = [
     "Session",
     "EXECUTORS",
     "execute_spec",
+    "stream_sweep",
+    "sweep_into",
+    "COLUMNS",
+    "column_value",
+    "RecordSink",
+    "MemorySink",
+    "StreamSink",
+    "NdjsonSink",
+    "SpillSink",
+    "AggregateSink",
+    "TeeSink",
+    "NullSink",
     "PRESETS",
     "preset",
     "preset_names",

@@ -393,11 +393,12 @@ def _roommates_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
 
 
 def _offline_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
-    from repro.ids import left_side
+    from repro.ids import left_side, right_side
     from repro.matching.gale_shapley import gale_shapley
     from repro.matching.incomplete import IncompleteProfile, gale_shapley_incomplete
 
     profile = spec.profile.build(spec.k)
+    receiver_rank = 0
     if spec.algorithm == "incomplete":
         if not isinstance(profile, IncompleteProfile):
             # A complete profile is the everyone-acceptable special case
@@ -409,6 +410,12 @@ def _offline_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
         result = gale_shapley(profile)
         matching = result.matching
         proposals = result.proposals
+        # 1-indexed partner ranks on the receiving side; the proposer
+        # analogue is `proposals` itself (each proposal walks one rank).
+        for party in right_side(spec.k):
+            partner = matching.partner(party)
+            if partner is not None:
+                receiver_rank += profile.rank(party, partner) + 1
     matched = sum(
         1 for party in left_side(spec.k) if matching.partner(party) is not None
     )
@@ -426,6 +433,7 @@ def _offline_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
             non_competition=True,
             matched=matched,
             proposals=proposals,
+            receiver_rank=receiver_rank,
             tags=spec.tags,
         ),
     )
@@ -632,6 +640,7 @@ def stream_sweep(
     workers: int | None = None,
     warm_cache: bool = False,
     stats: dict | None = None,
+    sink=None,
 ) -> Iterable[tuple[RunRecord, ...]]:
     """Execute a sweep and *yield* record chunks in spec order.
 
@@ -648,9 +657,16 @@ def stream_sweep(
     A single effective shard degrades to the in-process batched path
     and yields once.  ``stats`` (optional dict) is updated in place
     with the merged per-worker cache statistics after the last chunk —
-    a generator cannot return a value to a ``for`` loop, so the sink
+    a generator cannot return a value to a ``for`` loop, so the stats
     argument keeps :data:`~repro.experiment.records.RunRecordSet.cache_stats`
     available to streaming callers too.
+
+    ``sink`` (an optional
+    :class:`~repro.experiment.sinks.RecordSink`) receives each chunk
+    via ``write_many`` *before* it is yielded, so a caller that only
+    wants the sink's running view can drain the generator without
+    touching the chunks (the service plane streams this way).  The sink
+    is not closed here — lifecycle stays with the caller.
     """
     specs = tuple(specs)
     if not specs:
@@ -662,6 +678,8 @@ def stream_sweep(
         records, cache = _execute_batched(specs)
         if stats is not None:
             stats.update(merge_cache_stats([cache.stats()]))
+        if sink is not None:
+            sink.write_many(records)
         yield records
         return
     seed = _warm_seed(specs) if warm_cache else None
@@ -681,9 +699,63 @@ def stream_sweep(
         for future in futures:
             shard = future.result()
             shard_stats.append(shard["cache_stats"])
-            yield tuple(RunRecord.from_dict(data) for data in shard["records"])
+            chunk = tuple(RunRecord.from_dict(data) for data in shard["records"])
+            if sink is not None:
+                sink.write_many(chunk)
+            yield chunk
     if stats is not None:
         stats.update(merge_cache_stats(shard_stats))
+
+
+def sweep_into(
+    specs: Sequence[ScenarioSpec] | Sweep,
+    sink,
+    *,
+    workers: int | None = None,
+    warm_cache: bool = False,
+    batch_size: int = 256,
+    stats: dict | None = None,
+) -> int:
+    """Execute a sweep writing every record into ``sink``; returns the count.
+
+    The memory-bounded execution plane: records are *never* gathered
+    into a :class:`~repro.experiment.records.RunRecordSet`.  With
+    multiple effective shards this drains :func:`stream_sweep` (one
+    ``write_many`` per shard, byte-identical records, spec order); with
+    a single effective shard the sweep runs in-process through the
+    batched round loop in slices of ``batch_size`` specs, so resident
+    records stay bounded by ``batch_size`` (plus whatever the sink
+    retains) no matter how large the sweep is.  Shared caches persist
+    across slices, so slicing costs no cache locality.
+
+    The sink is left open — close it (or use ``with``) at the call
+    site; spilling sinks only complete their on-disk archive on close.
+    """
+    if batch_size < 1:
+        raise SolvabilityError(f"batch_size must be >= 1, got {batch_size}")
+    specs = tuple(specs)
+    if not specs:
+        if stats is not None:
+            stats.update(merge_cache_stats([]))
+        return 0
+    bounds = _chunk_bounds(len(specs), effective_workers("parallel", workers, len(specs)))
+    if len(bounds) > 1:
+        total = 0
+        for chunk in stream_sweep(
+            specs, workers=workers, warm_cache=warm_cache, stats=stats
+        ):
+            sink.write_many(chunk)
+            total += len(chunk)
+        return total
+    total = 0
+    cache = ExecutionCache()
+    for start in range(0, len(specs), batch_size):
+        records, cache = _execute_batched(specs[start : start + batch_size], cache=cache)
+        sink.write_many(records)
+        total += len(records)
+    if stats is not None:
+        stats.update(merge_cache_stats([cache.stats()]))
+    return total
 
 
 # -- the engine ----------------------------------------------------------------
@@ -734,14 +806,17 @@ class Engine:
         )
 
     def run_sweep(
-        self, sweep: Sweep | Iterable[ScenarioSpec], *, trace=None
+        self, sweep: Sweep | Iterable[ScenarioSpec], *, trace=None, sink=None
     ) -> RunRecordSet:
         """Execute a batch; records come back in spec order regardless
         of which executor (or worker) ran each spec.
 
         ``trace`` is an optional structured sink receiving every bsm
         run's kernel events (in-process executors only — pool workers
-        cannot stream events back).
+        cannot stream events back).  ``sink`` is an optional
+        :class:`~repro.experiment.sinks.RecordSink` that receives the
+        records as well (a tee — the set is still returned; for
+        memory-bounded execution use :func:`sweep_into`).
         """
         specs = tuple(sweep)
         started = time.perf_counter()
@@ -774,6 +849,8 @@ class Engine:
             records = tuple(
                 record for spec in specs for record in execute_spec(spec, trace=trace)
             )
+        if sink is not None:
+            sink.write_many(records)
         return RunRecordSet(
             records=records,
             elapsed_seconds=time.perf_counter() - started,
@@ -855,8 +932,15 @@ class Session:
         workers: int | None = None,
         warm_cache: bool | None = None,
         trace=None,
+        sink=None,
     ) -> RunRecordSet:
-        """Execute a sweep (or a preset, by name) and return all records."""
+        """Execute a sweep (or a preset, by name) and return all records.
+
+        ``sink`` tees the records into a
+        :class:`~repro.experiment.sinks.RecordSink` as well; for
+        memory-bounded streaming without a returned set, use
+        :meth:`sweep_into`.
+        """
         if isinstance(sweep, str):
             sweep = self.preset(sweep)
         engine = self.engine
@@ -876,7 +960,36 @@ class Session:
                     workers=workers or self.engine.workers,
                     warm_cache=self.engine.warm_cache if warm_cache is None else warm_cache,
                 )
-        return engine.run_sweep(sweep, trace=trace)
+        return engine.run_sweep(sweep, trace=trace, sink=sink)
+
+    def sweep_into(
+        self,
+        sweep: Sweep | Iterable[ScenarioSpec] | str,
+        sink,
+        *,
+        workers: int | None = None,
+        warm_cache: bool | None = None,
+        batch_size: int = 256,
+        stats: dict | None = None,
+    ) -> int:
+        """Stream a sweep (or preset) into ``sink``; returns the record count.
+
+        The façade over :func:`sweep_into`: records go to the sink in
+        spec order without materializing a
+        :class:`~repro.experiment.records.RunRecordSet`, so ensemble
+        size is bounded by the sink's policy (spill threshold, running
+        aggregates), not by memory.
+        """
+        if isinstance(sweep, str):
+            sweep = self.preset(sweep)
+        return sweep_into(
+            sweep,
+            sink,
+            workers=self.engine.workers if workers is None else workers,
+            warm_cache=self.engine.warm_cache if warm_cache is None else bool(warm_cache),
+            batch_size=batch_size,
+            stats=stats,
+        )
 
     def adaptive(self, initial, refine, max_batches: int = 8) -> RunRecordSet:
         """Adaptive sweep — see :meth:`Engine.run_adaptive`."""
@@ -909,7 +1022,7 @@ class Session:
         """Replay one bSM spec with kernel tracing attached.
 
         Returns the full report plus the recorded structured events —
-        export them with :func:`repro.io.dump_trace`.
+        export them with :func:`repro.io.dump` (``kernel-trace`` format).
         """
         recorder = TraceRecorder()
         report = self.report(spec, trace=recorder)

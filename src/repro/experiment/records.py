@@ -22,7 +22,14 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
-__all__ = ["RunRecord", "RunRecordSet", "COLUMNS"]
+__all__ = [
+    "RunRecord",
+    "RunRecordSet",
+    "COLUMNS",
+    "VIRTUAL_COLUMNS",
+    "column_value",
+    "lattice_position",
+]
 
 
 @dataclass(frozen=True)
@@ -55,6 +62,12 @@ class RunRecord:
     dropped: int = 0
     matched: int = 0
     proposals: int = 0
+    #: Sum of 1-indexed partner ranks on the receiving side (offline
+    #: Gale–Shapley runs only; 0 elsewhere).  The proposer-side analogue
+    #: is ``proposals``, which equals the sum of 1-indexed proposer
+    #: partner ranks — together they feed the Mertens/mean-field theory
+    #: oracles in :mod:`repro.ensembles`.
+    receiver_rank: int = 0
     outputs: tuple[tuple[str, str], ...] = ()
     #: Provenance tags copied from the spec (``ScenarioSpec.tags``) —
     #: e.g. the conformance harness's ensemble coordinates.
@@ -91,6 +104,34 @@ class RunRecord:
 COLUMNS: tuple[str, ...] = tuple(
     f.name for f in fields(RunRecord) if f.name not in ("violations", "outputs", "tags")
 )
+
+#: Tag prefix stamped by :mod:`repro.rotations` (kept in sync with
+#: ``repro.rotations.report.LATTICE_TAG_PREFIX``; records must not
+#: import the lattice layer).
+_LATTICE_TAG_PREFIX = "lattice_position="
+
+#: Columns derived from tags rather than stored as dataclass fields.
+VIRTUAL_COLUMNS: tuple[str, ...] = ("lattice_position",)
+
+
+def lattice_position(record: RunRecord) -> str:
+    """The record's ``lattice_position=`` tag value, or ``""`` if untagged."""
+    for tag in record.tags:
+        if tag.startswith(_LATTICE_TAG_PREFIX):
+            return tag[len(_LATTICE_TAG_PREFIX):]
+    return ""
+
+
+def column_value(record: RunRecord, name: str):
+    """One column value, resolving virtual columns like ``lattice_position``.
+
+    The single accessor behind both :meth:`RunRecordSet.aggregate` and
+    the incremental :class:`repro.experiment.sinks.AggregateSink`, so
+    the two aggregation paths cannot drift.
+    """
+    if name == "lattice_position":
+        return lattice_position(record)
+    return getattr(record, name)
 
 
 @dataclass
@@ -138,8 +179,8 @@ class RunRecordSet:
     # -- columnar views -------------------------------------------------------
 
     def column(self, name: str) -> list:
-        """One column, in record order."""
-        return [getattr(record, name) for record in self.records]
+        """One column, in record order (virtual columns included)."""
+        return [column_value(record, name) for record in self.records]
 
     def columns(self) -> dict[str, list]:
         """Every scalar column, keyed by name."""
@@ -176,11 +217,13 @@ class RunRecordSet:
         Groups are the distinct values of the ``by`` columns, in first-
         appearance order.  Each summary carries the group key, ``runs``,
         ``ok`` (count), and ``mean_*``/``max_*`` for every metric.
+        ``by`` may name the virtual ``lattice_position`` column to score
+        an ensemble by its position in the stable-matching lattice.
         Deterministic: equal record sets aggregate byte-identically.
         """
         groups: dict[tuple, list[RunRecord]] = {}
         for record in self.records:
-            key = tuple(getattr(record, column) for column in by)
+            key = tuple(column_value(record, column) for column in by)
             groups.setdefault(key, []).append(record)
         summaries: list[dict] = []
         for key, members in groups.items():

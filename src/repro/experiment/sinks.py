@@ -1,0 +1,398 @@
+"""Streaming record sinks: consume runs as they happen.
+
+A :class:`RecordSink` is the write side of the record path.  The engine
+(:func:`repro.experiment.engine.sweep_into`, the ``sink=`` parameter on
+:func:`~repro.experiment.engine.stream_sweep`) pushes records into a
+sink as each shard or batch completes, so observables are available
+without ever holding the full :class:`~repro.experiment.records.RunRecordSet`
+in memory:
+
+- :class:`MemorySink` — buffer everything (the classic behavior).
+- :class:`NdjsonSink` — append records to a schema-stamped NDJSON file
+  through the same line encoder the service plane streams with.
+- :class:`StreamSink` — hand each encoded NDJSON chunk to a callback;
+  this is what ``/v1/sweep`` writes through, which is why a sweep
+  streamed over HTTP is byte-identical to one dumped to disk.
+- :class:`SpillSink` — keep at most ``threshold`` records resident and
+  spill overflow to an :class:`NdjsonSink`; ``peak_resident`` measures
+  the memory envelope.
+- :class:`AggregateSink` — incremental grouped aggregation (running
+  counts/means/maxima, per-tag counts, optional histograms) that
+  reproduces :meth:`RunRecordSet.aggregate` byte-for-byte, including
+  the virtual ``lattice_position`` column.
+- :class:`TeeSink` — fan one stream out to several sinks.
+- :class:`NullSink` — count and discard.
+
+Memory envelope: a sink sees one *write batch* at a time (a shard's
+records under the pooled executors, ``batch_size`` specs' worth under
+the in-process path), so peak resident records for a spilling pipeline
+is ``threshold + largest write batch``, independent of sweep size.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.experiment.records import RunRecord, RunRecordSet, column_value
+
+__all__ = [
+    "RecordSink",
+    "MemorySink",
+    "NdjsonSink",
+    "StreamSink",
+    "SpillSink",
+    "AggregateSink",
+    "TeeSink",
+    "NullSink",
+]
+
+
+class RecordSink:
+    """Base class: an incremental consumer of :class:`RunRecord` streams.
+
+    Subclasses implement :meth:`_accept`; the base class tracks
+    ``count`` and open/closed state and provides the context-manager
+    protocol (``with sink: ...`` closes it).  ``open()`` is idempotent
+    and is called lazily on first write, so constructing a sink has no
+    side effects (no file is touched until a record arrives — call
+    ``open()`` yourself to force headers out early, as the service
+    plane does for empty sweeps).
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._opened = False
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def open(self) -> None:
+        """Idempotent; called automatically before the first write."""
+        if self._opened:
+            return
+        if self._closed:
+            raise ReproError(f"{type(self).__name__} is closed")
+        self._opened = True
+        self._open()
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._opened:
+            self._close()
+
+    def __enter__(self) -> "RecordSink":
+        self.open()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # -- writing --------------------------------------------------------------
+
+    def write(self, record: RunRecord) -> None:
+        """Consume one record."""
+        self.write_many((record,))
+
+    def write_many(self, records: Iterable[RunRecord]) -> None:
+        """Consume a batch of records (one executor chunk, typically)."""
+        batch = tuple(records)
+        if not batch:
+            return
+        if self._closed:
+            raise ReproError(f"{type(self).__name__} is closed")
+        self.open()
+        self._accept(batch)
+        self.count += len(batch)
+
+    # -- subclass hooks -------------------------------------------------------
+
+    def _open(self) -> None:
+        return None
+
+    def _close(self) -> None:
+        return None
+
+    def _accept(self, batch: tuple[RunRecord, ...]) -> None:
+        raise NotImplementedError
+
+
+class MemorySink(RecordSink):
+    """Buffer every record in memory (the pre-streaming behavior)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.records: list[RunRecord] = []
+
+    def _accept(self, batch: tuple[RunRecord, ...]) -> None:
+        self.records.extend(batch)
+
+    def recordset(self, *, elapsed_seconds: float = 0.0, executor: str = "") -> RunRecordSet:
+        """The buffered records as a :class:`RunRecordSet`."""
+        return RunRecordSet(
+            records=tuple(self.records),
+            elapsed_seconds=elapsed_seconds,
+            executor=executor,
+        )
+
+
+class StreamSink(RecordSink):
+    """Encode records as NDJSON chunks and hand them to a callback.
+
+    ``emit`` receives the schema header (on :meth:`open`) and then one
+    encoded string per write batch.  The encoding is exactly
+    :func:`repro.io.ndjson.record_ndjson_line` per record — the same
+    bytes :class:`NdjsonSink` appends to disk — so any transport built
+    on this sink (the ``/v1/sweep`` NDJSON response, for one) is
+    byte-identical to a file dump of the same records.
+    """
+
+    def __init__(self, emit: Callable[[str], None], *, header: bool = True) -> None:
+        super().__init__()
+        self._emit = emit
+        self._header = header
+
+    def _open(self) -> None:
+        from repro.io.ndjson import records_ndjson_header
+
+        if self._header:
+            self._emit(records_ndjson_header())
+
+    def _accept(self, batch: tuple[RunRecord, ...]) -> None:
+        from repro.io.ndjson import record_ndjson_line
+
+        self._emit("".join(record_ndjson_line(record) for record in batch))
+
+
+class NdjsonSink(RecordSink):
+    """Append records to a schema-stamped NDJSON file incrementally.
+
+    ``append=True`` resumes an existing archive: the header is validated
+    and a truncated trailing line from an interrupted writer is repaired
+    first (see :func:`repro.io.ndjson.prepare_ndjson_append`).  The file
+    handle stays open between writes; ``bytes_written`` counts what this
+    sink added (header included).
+    """
+
+    def __init__(self, path, *, append: bool = False) -> None:
+        super().__init__()
+        self.path = path
+        self.append = append
+        self.bytes_written = 0
+        self._handle = None
+
+    def _open(self) -> None:
+        from repro.io.ndjson import prepare_ndjson_append, records_ndjson_header
+
+        fresh = prepare_ndjson_append(self.path) if self.append else True
+        self._handle = open(self.path, "a" if self.append else "w", encoding="utf-8")
+        if fresh:
+            self._write_text(records_ndjson_header())
+
+    def _accept(self, batch: tuple[RunRecord, ...]) -> None:
+        from repro.io.ndjson import record_ndjson_line
+
+        self._write_text("".join(record_ndjson_line(record) for record in batch))
+
+    def _write_text(self, text: str) -> None:
+        assert self._handle is not None
+        self._handle.write(text)
+        self.bytes_written += len(text.encode("utf-8"))
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def _close(self) -> None:
+        assert self._handle is not None
+        self._handle.close()
+        self._handle = None
+
+
+class SpillSink(RecordSink):
+    """Bound resident records, spilling overflow to an NDJSON file.
+
+    Keeps at most ``threshold`` records in memory; when the buffer
+    fills, its contents are appended to ``path`` (through
+    :class:`NdjsonSink`, so the spill file is a valid record archive)
+    and the buffer drains.  On :meth:`close`, *if* any spill happened,
+    the remaining buffer is flushed too — an engaged spill file is
+    always the complete record stream; an un-engaged run stays purely
+    in memory.
+
+    ``peak_resident`` records the high-water mark of buffered records
+    (the memory envelope), ``spilled`` counts records written to disk,
+    and :attr:`engaged` says whether the threshold was ever hit.
+    """
+
+    def __init__(self, threshold: int, path) -> None:
+        super().__init__()
+        if threshold < 1:
+            raise ReproError(f"spill threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.path = path
+        self.resident: list[RunRecord] = []
+        self.peak_resident = 0
+        self.spilled = 0
+        self._spill: Optional[NdjsonSink] = None
+
+    @property
+    def engaged(self) -> bool:
+        """True once any record has been spilled to disk."""
+        return self.spilled > 0
+
+    def _accept(self, batch: tuple[RunRecord, ...]) -> None:
+        self.resident.extend(batch)
+        self.peak_resident = max(self.peak_resident, len(self.resident))
+        if len(self.resident) >= self.threshold:
+            self._flush_resident()
+
+    def _flush_resident(self) -> None:
+        if not self.resident:
+            return
+        if self._spill is None:
+            self._spill = NdjsonSink(self.path, append=True)
+        self._spill.write_many(self.resident)
+        self.spilled += len(self.resident)
+        self.resident.clear()
+
+    def _close(self) -> None:
+        if self._spill is not None:
+            # Complete the on-disk archive: everything resident joins
+            # what already spilled.
+            self._flush_resident()
+            self._spill.close()
+
+    def iter_all(self):
+        """Every record seen, in order (from disk when spill engaged).
+
+        Call after :meth:`close` when spilling may have happened — an
+        engaged spill file only holds the full stream once the tail is
+        flushed on close.
+        """
+        if self._spill is None:
+            return iter(tuple(self.resident))
+        from repro.io.ndjson import iter_records_ndjson
+
+        return iter_records_ndjson(self.path)
+
+
+class AggregateSink(RecordSink):
+    """Incremental grouped aggregation over the record stream.
+
+    Reproduces :meth:`RunRecordSet.aggregate` *byte-for-byte* without
+    holding records: groups form in first-appearance order over the
+    ``by`` columns (virtual columns like ``lattice_position`` included,
+    via the shared :func:`~repro.experiment.records.column_value`
+    accessor), and each group folds ``runs``, ``ok``, and running
+    sum/max per metric — the same left-fold ``sum()`` the batch path
+    computes, so ``round(sum/len, 6)`` agrees exactly.
+
+    Extras beyond ``aggregate()``: ``tag_counts`` (running count per
+    provenance tag) and optional fixed-width histograms (``bins`` maps a
+    metric name to its bin width; read back with :meth:`histogram`).
+    """
+
+    def __init__(
+        self,
+        by: Sequence[str] = ("topology", "authenticated"),
+        metrics: Sequence[str] = ("rounds", "messages", "bytes"),
+        *,
+        bins: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        super().__init__()
+        self.by = tuple(by)
+        self.metrics = tuple(metrics)
+        self.bins = dict(bins or {})
+        # key -> [runs, ok, sums per metric, maxes per metric]
+        self._groups: dict[tuple, list] = {}
+        self.tag_counts: Counter = Counter()
+        self._histograms: dict[str, Counter] = {m: Counter() for m in self.bins}
+
+    def _accept(self, batch: tuple[RunRecord, ...]) -> None:
+        for record in batch:
+            key = tuple(column_value(record, column) for column in self.by)
+            group = self._groups.get(key)
+            if group is None:
+                group = [0, 0, [0] * len(self.metrics), [None] * len(self.metrics)]
+                self._groups[key] = group
+            group[0] += 1
+            if record.ok:
+                group[1] += 1
+            sums, maxes = group[2], group[3]
+            for index, metric in enumerate(self.metrics):
+                value = getattr(record, metric)
+                sums[index] = sums[index] + value
+                if maxes[index] is None or value > maxes[index]:
+                    maxes[index] = value
+            self.tag_counts.update(record.tags)
+            for metric, width in self.bins.items():
+                value = getattr(record, metric)
+                self._histograms[metric][int(value // width)] += 1
+
+    def summaries(self) -> list[dict]:
+        """Per-group summaries, identical to ``RunRecordSet.aggregate()``."""
+        result: list[dict] = []
+        for key, (runs, ok, sums, maxes) in self._groups.items():
+            summary: dict = dict(zip(self.by, key))
+            summary["runs"] = runs
+            summary["ok"] = ok
+            for index, metric in enumerate(self.metrics):
+                summary[f"mean_{metric}"] = round(sums[index] / runs, 6)
+                summary[f"max_{metric}"] = maxes[index]
+            result.append(summary)
+        return result
+
+    def to_json(self) -> str:
+        """Canonical JSON of :meth:`summaries` — matches ``aggregate_json()``."""
+        return json.dumps(self.summaries(), sort_keys=True)
+
+    def histogram(self, metric: str) -> dict[float, int]:
+        """Counts per bin start for a binned metric, in bin order."""
+        if metric not in self.bins:
+            raise ReproError(
+                f"metric {metric!r} has no bin width; binned: {sorted(self.bins)}"
+            )
+        width = self.bins[metric]
+        counts = self._histograms[metric]
+        return {index * width: counts[index] for index in sorted(counts)}
+
+    def mean(self, metric: str) -> float:
+        """Stream-wide mean of one metric (across all groups)."""
+        index = self.metrics.index(metric)
+        total = sum(group[2][index] for group in self._groups.values())
+        runs = sum(group[0] for group in self._groups.values())
+        return total / runs if runs else 0.0
+
+
+class TeeSink(RecordSink):
+    """Fan one record stream out to several sinks."""
+
+    def __init__(self, *sinks: RecordSink) -> None:
+        super().__init__()
+        self.sinks = tuple(sinks)
+
+    def _open(self) -> None:
+        for sink in self.sinks:
+            sink.open()
+
+    def _accept(self, batch: tuple[RunRecord, ...]) -> None:
+        for sink in self.sinks:
+            sink.write_many(batch)
+
+    def _close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+class NullSink(RecordSink):
+    """Count records and drop them (for pure-throughput measurement)."""
+
+    def _accept(self, batch: tuple[RunRecord, ...]) -> None:
+        return None

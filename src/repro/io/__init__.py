@@ -1,0 +1,210 @@
+"""Exporting runs (and every other repro artifact) for offline analysis.
+
+The package has one front door now: :func:`dump` writes any registered
+artifact — record sets, sweeps, bench results and baselines, conform
+repro files and reports, lattice reports, kernel traces, bSM reports —
+and :func:`load` reads any of them back by sniffing the schema stamp
+the file carries (see :mod:`repro.io.formats` for the registry).
+
+The legacy per-artifact ``dump_*``/``load_*`` pairs remain as thin
+deprecation shims over the registry; new code should call
+``io.dump(obj, path)`` / ``io.load(path)``.  The NDJSON streaming
+primitives (:mod:`repro.io.ndjson`) are *not* deprecated — they are the
+byte-level contract shared with the record sinks and the service plane.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Iterable, Mapping
+
+from repro.io import formats
+from repro.io.formats import FORMATS, Format, dump, load, register_format, sniff_format
+from repro.io.ndjson import (
+    RECORDS_NDJSON_SCHEMA,
+    dump_records_ndjson,
+    iter_records_ndjson,
+    parse_records_ndjson_header,
+    prepare_ndjson_append,
+    record_ndjson_line,
+    records_ndjson_header,
+)
+from repro.io.runs import report_to_dict, result_from_dict, result_to_dict
+
+__all__ = [
+    # the unified entry points
+    "dump",
+    "load",
+    "sniff_format",
+    "Format",
+    "FORMATS",
+    "register_format",
+    # dict converters (not file formats; no shims needed)
+    "result_to_dict",
+    "result_from_dict",
+    "report_to_dict",
+    # streaming NDJSON plane (first-class, shared with sinks and serve)
+    "RECORDS_NDJSON_SCHEMA",
+    "record_ndjson_line",
+    "records_ndjson_header",
+    "parse_records_ndjson_header",
+    "prepare_ndjson_append",
+    "dump_records_ndjson",
+    "iter_records_ndjson",
+    # deprecated per-artifact shims
+    "dump_report",
+    "load_result",
+    "dump_records",
+    "load_records",
+    "records_to_csv",
+    "dump_sweep",
+    "load_sweep",
+    "dump_trace",
+    "load_trace",
+    "dump_bench",
+    "load_bench",
+    "dump_baseline",
+    "load_baseline",
+    "dump_repro",
+    "load_repro",
+    "dump_conform_report",
+    "load_conform_report",
+    "dump_lattice_report",
+    "load_lattice_report",
+]
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.io.{old} is deprecated; use repro.io.{new} "
+        "(removal after two release cycles — see docs/api.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+# -- deprecated shims ----------------------------------------------------------
+#
+# One thin wrapper per legacy pair, each pinned to the format name the
+# registry dispatches to, so behavior (validation included) is exactly
+# the registry's.
+
+
+def dump_report(report, path, *, include_trace: bool = False) -> None:
+    """Deprecated shim: write a bSM report (use :func:`dump`)."""
+    _deprecated("dump_report", "dump")
+    if include_trace:
+        import json as _json
+
+        with open(path, "w", encoding="utf-8") as handle:
+            _json.dump(report_to_dict(report, include_trace=True), handle, indent=2)
+        return
+    dump(report, path, format="bsm-report")
+
+
+def load_result(path):
+    """Deprecated shim: read a run result back (use :func:`load`)."""
+    _deprecated("load_result", "load")
+    return load(path, format="bsm-report")
+
+
+def dump_records(records, path) -> None:
+    """Deprecated shim: write a record set as JSON (use :func:`dump`)."""
+    _deprecated("dump_records", "dump")
+    dump(records, path, format="run-records")
+
+
+def load_records(path):
+    """Deprecated shim: read a record set back (use :func:`load`)."""
+    _deprecated("load_records", "load")
+    return load(path, format="run-records")
+
+
+def records_to_csv(records, path) -> None:
+    """Write a record set as CSV (one row per run, scalar columns)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(records.to_csv())
+
+
+def dump_sweep(sweep, path) -> None:
+    """Deprecated shim: write a sweep spec (use :func:`dump`)."""
+    _deprecated("dump_sweep", "dump")
+    dump(sweep, path, format="sweep")
+
+
+def load_sweep(path):
+    """Deprecated shim: read a sweep back (use :func:`load`)."""
+    _deprecated("load_sweep", "load")
+    return load(path, format="sweep")
+
+
+def dump_bench(result, path) -> None:
+    """Deprecated shim: write a bench result (use :func:`dump`)."""
+    _deprecated("dump_bench", "dump")
+    dump(result, path, format="bench-result")
+
+
+def load_bench(path):
+    """Deprecated shim: read a bench result back (use :func:`load`)."""
+    _deprecated("load_bench", "load")
+    return load(path, format="bench-result")
+
+
+def dump_baseline(baseline, path) -> None:
+    """Deprecated shim: write a bench baseline (use :func:`dump`)."""
+    _deprecated("dump_baseline", "dump")
+    dump(baseline, path, format="bench-baseline")
+
+
+def load_baseline(path) -> dict:
+    """Deprecated shim: read a bench baseline back (use :func:`load`)."""
+    _deprecated("load_baseline", "load")
+    return load(path, format="bench-baseline")
+
+
+def dump_repro(repro, path) -> None:
+    """Deprecated shim: write a conform repro file (use :func:`dump`)."""
+    _deprecated("dump_repro", "dump")
+    dump(repro, path, format="conform-repro")
+
+
+def load_repro(path):
+    """Deprecated shim: read a repro file back (use :func:`load`)."""
+    _deprecated("load_repro", "load")
+    return load(path, format="conform-repro")
+
+
+def dump_conform_report(report, path) -> None:
+    """Deprecated shim: write a conformance report (use :func:`dump`)."""
+    _deprecated("dump_conform_report", "dump")
+    dump(report, path, format="conform-report")
+
+
+def load_conform_report(path):
+    """Deprecated shim: read a conformance report back (use :func:`load`)."""
+    _deprecated("load_conform_report", "load")
+    return load(path, format="conform-report")
+
+
+def dump_lattice_report(report: Mapping, path) -> None:
+    """Deprecated shim: write a lattice report (use :func:`dump`)."""
+    _deprecated("dump_lattice_report", "dump")
+    dump(report, path, format="lattice-report")
+
+
+def load_lattice_report(path) -> dict:
+    """Deprecated shim: read a lattice report back (use :func:`load`)."""
+    _deprecated("load_lattice_report", "load")
+    return load(path, format="lattice-report")
+
+
+def dump_trace(events: Iterable, path) -> None:
+    """Deprecated shim: write kernel trace events (use :func:`dump`)."""
+    _deprecated("dump_trace", "dump")
+    dump(events, path, format="kernel-trace")
+
+
+def load_trace(path) -> list:
+    """Deprecated shim: read trace events back (use :func:`load`)."""
+    _deprecated("load_trace", "load")
+    return load(path, format="kernel-trace")

@@ -1,0 +1,480 @@
+"""A schema-stamped format registry behind one ``dump``/``load`` pair.
+
+Every artifact ``repro`` writes to disk — record sets (JSON and
+NDJSON), sweeps, bench results and baselines, conformance repro files
+and reports, lattice reports, kernel traces, bSM reports — registers a
+:class:`Format` here.  :func:`dump` dispatches on the *object* (its
+type, or for plain mappings its stamp keys); :func:`load` dispatches on
+the *file content* (the schema stamp each format already writes), so
+callers no longer pick one of nine ``dump_*``/``load_*`` pairs by hand:
+
+    from repro import io
+    io.dump(records, "records.json")
+    records = io.load("records.json")     # sniffs the stamp
+
+Pass ``format="<name>"`` to pin a format explicitly — needed only when
+one object serializes under several formats (a ``RunRecordSet`` dumps
+as ``run-records`` JSON by default; pin ``run-records-ndjson`` for the
+streaming layout).
+
+Cross-subsystem imports stay inside the format callables (the bench and
+conform subsystems import :mod:`repro.io` themselves), mirroring the
+lazy-import style of the legacy module this registry replaced.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from repro.errors import ReproError
+
+__all__ = [
+    "Format",
+    "FORMATS",
+    "register_format",
+    "dump",
+    "load",
+    "sniff_format",
+]
+
+
+@dataclass(frozen=True)
+class _Probe:
+    """What :func:`load` knows about a file before picking a format.
+
+    ``whole`` is the parsed JSON value when the entire file is one JSON
+    document (None otherwise); ``first`` is the parsed first line when
+    the file is line-oriented JSON (NDJSON/JSONL; None otherwise).
+    """
+
+    whole: object = None
+    first: object = None
+
+
+@dataclass(frozen=True)
+class Format:
+    """One registered on-disk format.
+
+    ``stamp`` documents how files of this format identify themselves
+    (the key or schema string :func:`load` sniffs for).  ``matches``
+    answers "does this in-memory object dump as me?"; ``sniff`` answers
+    "is this file content mine?".  Registration order is dispatch
+    order, so more specific stamps register before generic ones.
+    """
+
+    name: str
+    stamp: str
+    matches: Callable[[object], bool]
+    sniff: Callable[[_Probe], bool]
+    write: Callable[[object, object], None]
+    read: Callable[[object], object]
+
+
+#: Registered formats in dispatch order.
+FORMATS: dict[str, Format] = {}
+
+
+def register_format(fmt: Format) -> Format:
+    """Add a format to the registry (duplicate names are an error)."""
+    if fmt.name in FORMATS:
+        raise ReproError(f"io format {fmt.name!r} is already registered")
+    FORMATS[fmt.name] = fmt
+    return fmt
+
+
+def dump(obj: object, path, *, format: Optional[str] = None) -> None:
+    """Write ``obj`` to ``path`` in its registered format.
+
+    Dispatches on the object (type or stamp keys); pass ``format=`` to
+    pin one by name.  Raises :class:`~repro.errors.ReproError` when no
+    registered format claims the object.
+    """
+    fmt = _resolve(format)
+    if fmt is None:
+        for candidate in FORMATS.values():
+            if candidate.matches(obj):
+                fmt = candidate
+                break
+    if fmt is None:
+        raise ReproError(
+            f"no registered io format accepts {type(obj).__name__!r}; "
+            f"known formats: {sorted(FORMATS)}"
+        )
+    fmt.write(obj, path)
+
+
+def load(path, *, format: Optional[str] = None):
+    """Read ``path`` back as whatever format its schema stamp declares.
+
+    The inverse of :func:`dump`: sniffs the file content against every
+    registered format's stamp and delegates to the matching reader.
+    Pass ``format=`` to pin one by name — the pinned reader's own
+    validation still applies (readers with schema stamps raise their
+    subsystem error), and a reader tripping over the wrong file's shape
+    surfaces as :class:`~repro.errors.ReproError` instead of a raw
+    ``KeyError``.
+    """
+    fmt = _resolve(format)
+    if fmt is None:
+        return sniff_format(path).read(path)
+    try:
+        return fmt.read(path)
+    except ReproError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ReproError(
+            f"{path} does not parse as the {fmt.name!r} format "
+            f"({fmt.stamp}): {exc!r}"
+        ) from exc
+
+
+def sniff_format(path) -> Format:
+    """The registered format whose stamp matches the file at ``path``."""
+    probe = _probe(path)
+    for fmt in FORMATS.values():
+        if fmt.sniff(probe):
+            return fmt
+    raise ReproError(
+        f"no registered io format recognizes {path}; known formats: {sorted(FORMATS)}"
+    )
+
+
+def _resolve(name: Optional[str]) -> Optional[Format]:
+    if name is None:
+        return None
+    try:
+        return FORMATS[name]
+    except KeyError as exc:
+        raise ReproError(
+            f"unknown io format {name!r}; known formats: {sorted(FORMATS)}"
+        ) from exc
+
+
+def _probe(path) -> _Probe:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    whole = first = None
+    try:
+        whole = json.loads(text)
+    except ValueError:
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                first = json.loads(line)
+            except ValueError:
+                first = None
+            break
+    return _Probe(whole=whole, first=first)
+
+
+def _is_map_with(probe_value: object, *keys: str) -> bool:
+    return isinstance(probe_value, Mapping) and all(k in probe_value for k in keys)
+
+
+# -- the built-in formats ------------------------------------------------------
+#
+# Registration order is sniff order: exact schema strings first, then
+# kind stamps, then structural keys.  Writers live here (moved from the
+# legacy flat module); the old dump_*/load_* names in the package root
+# are thin deprecation shims over this table.
+
+
+def _write_text(path, text: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def _read_text(path) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _is_conform_repro(obj: object) -> bool:
+    from repro.conform.harness import ReproFile
+
+    return isinstance(obj, ReproFile)
+
+
+def _read_conform_repro(path):
+    from repro.conform.harness import ReproFile
+
+    return ReproFile.from_json(_read_text(path))
+
+
+register_format(
+    Format(
+        name="conform-repro",
+        stamp='schema == "repro.conform.repro/1"',
+        matches=_is_conform_repro,
+        sniff=lambda p: _is_map_with(p.whole, "schema")
+        and str(p.whole["schema"]).startswith("repro.conform.repro/"),
+        write=lambda obj, path: _write_text(path, obj.to_json()),
+        read=_read_conform_repro,
+    )
+)
+
+
+def _is_conform_report(obj: object) -> bool:
+    from repro.conform.harness import ConformanceReport
+
+    return isinstance(obj, ConformanceReport)
+
+
+def _read_conform_report(path):
+    from repro.conform.harness import ConformanceReport
+
+    return ConformanceReport.from_json(_read_text(path))
+
+
+register_format(
+    Format(
+        name="conform-report",
+        stamp='schema == "repro.conform.report/1"',
+        matches=_is_conform_report,
+        sniff=lambda p: _is_map_with(p.whole, "schema")
+        and str(p.whole["schema"]).startswith("repro.conform.report/"),
+        write=lambda obj, path: _write_text(path, obj.to_json()),
+        read=_read_conform_report,
+    )
+)
+
+
+def _is_bench_baseline(obj: object) -> bool:
+    return _is_map_with(obj, "cases") and obj.get("kind", "bench-baseline") == (
+        "bench-baseline"
+    )
+
+
+def _write_bench_baseline(obj, path) -> None:
+    from repro.bench.compare import baseline_to_json
+
+    _write_text(path, baseline_to_json(obj))
+
+
+def _read_bench_baseline(path) -> dict:
+    from repro.bench.compare import baseline_from_json
+
+    return baseline_from_json(_read_text(path))
+
+
+register_format(
+    Format(
+        name="bench-baseline",
+        stamp='kind == "bench-baseline"',
+        matches=_is_bench_baseline,
+        sniff=lambda p: _is_map_with(p.whole, "kind")
+        and p.whole["kind"] == "bench-baseline",
+        write=_write_bench_baseline,
+        read=_read_bench_baseline,
+    )
+)
+
+
+def _is_bench_result(obj: object) -> bool:
+    from repro.bench.result import BenchResult
+
+    return isinstance(obj, BenchResult)
+
+
+def _read_bench_result(path):
+    from repro.bench.result import BenchResult
+
+    return BenchResult.from_json(_read_text(path))
+
+
+register_format(
+    Format(
+        name="bench-result",
+        stamp='integer "schema" plus "case"/"phases" keys',
+        matches=_is_bench_result,
+        sniff=lambda p: _is_map_with(p.whole, "schema", "case", "phases"),
+        write=lambda obj, path: _write_text(path, obj.to_json()),
+        read=_read_bench_result,
+    )
+)
+
+
+def _is_record_set(obj: object) -> bool:
+    from repro.experiment.records import RunRecordSet
+
+    return isinstance(obj, RunRecordSet)
+
+
+def _read_records(path):
+    from repro.experiment.records import RunRecordSet
+
+    return RunRecordSet.from_json(_read_text(path))
+
+
+register_format(
+    Format(
+        name="run-records",
+        stamp='top-level "records" list',
+        matches=_is_record_set,
+        sniff=lambda p: _is_map_with(p.whole, "records"),
+        write=lambda obj, path: _write_text(path, obj.to_json()),
+        read=_read_records,
+    )
+)
+
+
+def _write_records_ndjson(obj, path) -> None:
+    from repro.io.ndjson import dump_records_ndjson
+
+    dump_records_ndjson(obj, path)
+
+
+def _read_records_ndjson(path):
+    from repro.experiment.records import RunRecordSet
+    from repro.io.ndjson import iter_records_ndjson
+
+    return RunRecordSet.from_iter(iter_records_ndjson(path))
+
+
+register_format(
+    Format(
+        name="run-records-ndjson",
+        stamp='header line kind == "run-records"',
+        # Never auto-selected on dump (a RunRecordSet dumps as
+        # "run-records" JSON); pin format="run-records-ndjson".
+        matches=lambda obj: False,
+        sniff=lambda p: _is_map_with(p.first, "kind")
+        and p.first["kind"] == "run-records",
+        write=_write_records_ndjson,
+        read=_read_records_ndjson,
+    )
+)
+
+
+def _is_sweep(obj: object) -> bool:
+    from repro.experiment.spec import Sweep
+
+    return isinstance(obj, Sweep)
+
+
+def _read_sweep(path):
+    from repro.experiment.spec import Sweep
+
+    return Sweep.from_json(_read_text(path))
+
+
+register_format(
+    Format(
+        name="sweep",
+        stamp='top-level "specs" list',
+        matches=_is_sweep,
+        sniff=lambda p: _is_map_with(p.whole, "specs"),
+        write=lambda obj, path: _write_text(path, obj.to_json()),
+        read=_read_sweep,
+    )
+)
+
+
+def _read_lattice_report(path) -> dict:
+    data = json.loads(_read_text(path))
+    if not isinstance(data, Mapping) or "rotations" not in data:
+        raise ReproError(
+            "not a lattice report: expected a JSON object with a 'rotations' key"
+        )
+    return dict(data)
+
+
+register_format(
+    Format(
+        name="lattice-report",
+        stamp='top-level "rotations" key',
+        matches=lambda obj: _is_map_with(obj, "rotations"),
+        sniff=lambda p: _is_map_with(p.whole, "rotations"),
+        write=lambda obj, path: _write_text(
+            path, json.dumps(obj, indent=2, sort_keys=True) + "\n"
+        ),
+        read=_read_lattice_report,
+    )
+)
+
+
+def _is_bsm_report(obj: object) -> bool:
+    from repro.core.runner import BSMReport
+
+    return isinstance(obj, BSMReport)
+
+
+def _write_bsm_report(obj, path) -> None:
+    from repro.io.runs import report_to_dict
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report_to_dict(obj), handle, indent=2)
+
+
+def _read_bsm_report(path):
+    from repro.io.runs import result_from_dict
+
+    data = json.loads(_read_text(path))
+    return result_from_dict(data["result"] if "result" in data else data)
+
+
+register_format(
+    Format(
+        name="bsm-report",
+        stamp='"setting"/"verdict"/"result" keys (reads back the RunResult)',
+        matches=_is_bsm_report,
+        sniff=lambda p: _is_map_with(p.whole, "setting", "verdict", "result")
+        or _is_map_with(p.whole, "outputs", "halted", "rounds"),
+        write=_write_bsm_report,
+        read=_read_bsm_report,
+    )
+)
+
+
+def _is_trace(obj: object) -> bool:
+    from repro.runtime.trace import TraceEvent, TraceRecorder
+
+    if isinstance(obj, TraceRecorder):
+        return True
+    if isinstance(obj, (list, tuple)) and obj:
+        return isinstance(obj[0], TraceEvent)
+    return False
+
+
+def _write_trace(obj, path) -> None:
+    from repro.runtime.trace import trace_to_jsonl
+
+    _write_text(path, trace_to_jsonl(obj))
+
+
+def _read_trace(path) -> list:
+    from repro.runtime.trace import TraceEvent
+
+    events: list = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            events.append(
+                TraceEvent(
+                    run=data.get("run", ""),
+                    round=int(data["round"]),
+                    kind=data["kind"],
+                    party=data.get("party", ""),
+                    peer=data.get("peer", ""),
+                    payload=data.get("payload", ""),
+                )
+            )
+    return events
+
+
+register_format(
+    Format(
+        name="kernel-trace",
+        stamp='JSONL lines with "round"/"kind" keys',
+        matches=_is_trace,
+        sniff=lambda p: _is_map_with(p.first, "round", "kind"),
+        write=_write_trace,
+        read=_read_trace,
+    )
+)

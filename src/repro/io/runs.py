@@ -1,0 +1,126 @@
+"""JSON converters for run results and bSM reports.
+
+Turns :class:`~repro.runtime.RunResult` and
+:class:`~repro.core.runner.BSMReport` objects into plain-JSON
+dictionaries (and back, for results), so experiment pipelines can
+archive runs, diff them across code versions, or plot them elsewhere.
+
+PartyIds serialize as their string form (``"L3"``), payloads as
+``repr`` strings (archives are for inspection, not replay).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.runner import BSMReport
+from repro.errors import ReproError
+from repro.ids import PartyId, parse_party
+from repro.runtime import RunResult
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "report_to_dict",
+]
+
+
+def _party_to_str(party: PartyId) -> str:
+    return str(party)
+
+
+def _value_to_jsonable(value: object) -> object:
+    if value is None:
+        return None
+    if isinstance(value, PartyId):
+        return {"party": str(value)}
+    return {"repr": repr(value)}
+
+
+def _value_from_jsonable(value: object) -> object:
+    if value is None:
+        return None
+    if isinstance(value, Mapping) and "party" in value:
+        return parse_party(value["party"])
+    if isinstance(value, Mapping) and "repr" in value:
+        return value["repr"]
+    raise ReproError(f"unrecognized serialized value: {value!r}")
+
+
+def result_to_dict(result: RunResult, *, include_trace: bool = False) -> dict:
+    """A JSON-ready dictionary for a run result."""
+    data = {
+        "outputs": {
+            _party_to_str(party): _value_to_jsonable(value)
+            for party, value in sorted(result.outputs.items())
+        },
+        "halted": sorted(_party_to_str(p) for p in result.halted),
+        "corrupted": sorted(_party_to_str(p) for p in result.corrupted),
+        "rounds": result.rounds,
+        "terminated": result.terminated,
+        "message_count": result.message_count,
+        "byte_count": result.byte_count,
+    }
+    if result.dropped:
+        # Only fault-injected runs carry the key, so lossless archives
+        # stay byte-identical across code versions.
+        data["dropped"] = result.dropped
+    if include_trace:
+        data["trace"] = [
+            {
+                "src": _party_to_str(envelope.src),
+                "dst": _party_to_str(envelope.dst),
+                "round": envelope.sent_round,
+                "payload": repr(envelope.payload),
+            }
+            for envelope in result.trace
+        ]
+    return data
+
+
+def result_from_dict(data: Mapping) -> RunResult:
+    """Rebuild a (trace-less) result from its dictionary form.
+
+    Outputs that were PartyIds round-trip exactly; arbitrary payload
+    outputs come back as their ``repr`` strings.
+    """
+    return RunResult(
+        outputs={
+            parse_party(party): _value_from_jsonable(value)
+            for party, value in data["outputs"].items()
+        },
+        halted=frozenset(parse_party(p) for p in data["halted"]),
+        corrupted=frozenset(parse_party(p) for p in data["corrupted"]),
+        rounds=int(data["rounds"]),
+        terminated=bool(data["terminated"]),
+        message_count=int(data["message_count"]),
+        byte_count=int(data["byte_count"]),
+        dropped=int(data.get("dropped", 0)),
+    )
+
+
+def report_to_dict(report: BSMReport, *, include_trace: bool = False) -> dict:
+    """A JSON-ready dictionary for a full bSM report."""
+    return {
+        "setting": {
+            "topology": report.setting.topology_name,
+            "authenticated": report.setting.authenticated,
+            "k": report.setting.k,
+            "tL": report.setting.tL,
+            "tR": report.setting.tR,
+        },
+        "verdict": {
+            "solvable": report.verdict.solvable,
+            "theorem": report.verdict.theorem,
+            "recipe": report.verdict.recipe,
+        },
+        "properties": {
+            "termination": report.report.termination,
+            "symmetry": report.report.symmetry,
+            "stability": report.report.stability,
+            "non_competition": report.report.non_competition,
+            "violations": list(report.report.violations),
+        },
+        "honest": sorted(str(p) for p in report.honest),
+        "result": result_to_dict(report.result, include_trace=include_trace),
+    }

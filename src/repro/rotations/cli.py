@@ -5,8 +5,8 @@ rotations, poset edges, enumeration (capped), distinguished matchings,
 the disjoint family — either for a generated profile (``--k --kind
 --seed``) or for the *effective* instance of a scenario spec
 (``--spec-json``, honoring silent-adversary default-list substitution).
-``--out`` writes the full JSON report via
-:func:`repro.io.dump_lattice_report`.
+``--out`` writes the full JSON report via the :mod:`repro.io` format
+registry (the ``lattice-report`` format).
 """
 
 from __future__ import annotations
@@ -106,8 +106,8 @@ def cmd_lattice(args) -> int:
     print(f"egalitarian cost : {distinguished['egalitarian']['cost']}")
     print(f"minimum regret   : {distinguished['minimum_regret']['regret']}")
     if args.out:
-        from repro.io import dump_lattice_report
+        from repro.io import dump
 
-        dump_lattice_report(report, args.out)
+        dump(report, args.out, format="lattice-report")
         print(f"report written to {args.out}")
     return 0

@@ -2,8 +2,8 @@
 
 The JSON-facing edge of the rotations subsystem: :func:`lattice_report`
 distills one instance's full lattice structure into a plain dictionary
-(the ``repro lattice`` CLI payload, written via
-:func:`repro.io.dump_lattice_report`), and the tag helpers turn "which
+(the ``repro lattice`` CLI payload, written via :func:`repro.io.dump`
+as the ``lattice-report`` format), and the tag helpers turn "which
 stable matching did the protocol land on?" into a record tag that
 ensembles can aggregate on.
 

@@ -6,8 +6,9 @@ messages entering the channel (``send``), messages the link faults eat
 (``drop``), parties declaring outputs (``output``), halting (``halt``),
 and adaptive corruptions (``corrupt``).  A *sink* is any callable
 accepting one event; :class:`TraceRecorder` is the standard in-memory
-sink, and :func:`repro.io.dump_trace` writes recorded events as JSONL —
-one JSON object per line, streamable and greppable.
+sink, and :func:`repro.io.dump` (the ``kernel-trace`` format) writes
+recorded events as JSONL — one JSON object per line, streamable and
+greppable.
 
 Tracing is strictly opt-in: when no sink is attached the kernel skips
 event construction entirely, so traced and untraced runs produce

@@ -39,8 +39,9 @@ from repro.errors import ReproError
 from repro.experiment.engine import Session, stream_sweep
 from repro.experiment.lattice_tags import stamp_lattice_positions
 from repro.experiment.records import RunRecordSet
+from repro.experiment.sinks import StreamSink
 from repro.experiment.spec import ScenarioSpec, Sweep
-from repro.io import record_ndjson_line, records_ndjson_header
+from repro.io import records_ndjson_header
 from repro.serve.admission import AdmissionController, Overloaded
 from repro.serve.config import ServiceConfig
 from repro.serve.http import (
@@ -323,15 +324,27 @@ class MatchingService:
             queue: asyncio.Queue = asyncio.Queue()
 
             def producer() -> dict:
+                # Encoding goes through the shared StreamSink, the same
+                # encoder NdjsonSink spills to disk with — byte-identity
+                # between the HTTP stream and an in-process NDJSON dump
+                # holds by construction, not by parallel code paths.
                 stats: dict = {}
+                sink = StreamSink(
+                    lambda text: loop.call_soon_threadsafe(
+                        queue.put_nowait, ("chunk", text)
+                    ),
+                    header=False,  # sent with the response head below
+                )
                 try:
-                    for chunk in stream_sweep(
+                    for _ in stream_sweep(
                         sweep.specs,
                         workers=workers,
                         warm_cache=executor.warm_cache,
                         stats=stats,
+                        sink=sink,
                     ):
-                        loop.call_soon_threadsafe(queue.put_nowait, ("chunk", chunk))
+                        pass
+                    sink.close()
                 except BaseException as exc:  # noqa: BLE001 — forwarded to the consumer
                     loop.call_soon_threadsafe(queue.put_nowait, ("error", exc))
                 else:
@@ -347,10 +360,8 @@ class MatchingService:
             while True:
                 kind, payload = await queue.get()
                 if kind == "chunk":
-                    self.stats.records_served += len(payload)
-                    writer.write(
-                        "".join(record_ndjson_line(r) for r in payload).encode("utf-8")
-                    )
+                    self.stats.records_served += payload.count("\n")
+                    writer.write(payload.encode("utf-8"))
                     await writer.drain()
                 elif kind == "done":
                     break

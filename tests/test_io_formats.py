@@ -1,0 +1,223 @@
+"""Tests for the io format registry and the NDJSON append/resume edges."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiment.records import RunRecord, RunRecordSet
+from repro.experiment.spec import ProfileSpec, ScenarioSpec, Sweep
+from repro.io import (
+    FORMATS,
+    Format,
+    dump,
+    dump_records_ndjson,
+    iter_records_ndjson,
+    load,
+    prepare_ndjson_append,
+    record_ndjson_line,
+    records_ndjson_header,
+    register_format,
+    sniff_format,
+)
+
+
+def make_record(seed=0):
+    return RunRecord(scenario=f"t/{seed}", family="offline", k=4, seed=seed, ok=True)
+
+
+def make_recordset(count=3):
+    return RunRecordSet(records=tuple(make_record(s) for s in range(count)))
+
+
+class TestFormatRegistry:
+    def test_catalog_names(self):
+        expected = {
+            "conform-repro",
+            "conform-report",
+            "bench-baseline",
+            "bench-result",
+            "run-records",
+            "run-records-ndjson",
+            "sweep",
+            "lattice-report",
+            "bsm-report",
+            "kernel-trace",
+        }
+        assert expected <= set(FORMATS)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ReproError):
+            register_format(
+                Format(
+                    name="run-records",
+                    stamp="dup",
+                    matches=lambda obj: False,
+                    sniff=lambda probe: False,
+                    write=lambda obj, path: None,
+                    read=lambda path: None,
+                )
+            )
+
+    def test_dump_dispatches_on_type(self, tmp_path):
+        path = tmp_path / "records.json"
+        records = make_recordset()
+        dump(records, path)
+        assert sniff_format(path).name == "run-records"
+        assert load(path) == records
+
+    def test_dump_with_unknown_object_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            dump(object(), tmp_path / "x.json")
+
+    def test_dump_with_unknown_format_name_rejected(self, tmp_path):
+        with pytest.raises(ReproError):
+            dump(make_recordset(), tmp_path / "x.json", format="no-such-format")
+
+    def test_load_with_pinned_format_mismatch_raises(self, tmp_path):
+        path = tmp_path / "records.json"
+        dump(make_recordset(), path)
+        with pytest.raises(ReproError):
+            load(path, format="sweep")
+
+    def test_load_unrecognized_file_raises(self, tmp_path):
+        path = tmp_path / "mystery.json"
+        path.write_text('{"what": "is this"}')
+        with pytest.raises(ReproError):
+            load(path)
+
+    def test_sweep_round_trip(self, tmp_path):
+        sweep = Sweep(
+            specs=(
+                ScenarioSpec(
+                    family="offline",
+                    algorithm="gale_shapley",
+                    k=4,
+                    profile=ProfileSpec(kind="random", seed=1),
+                ),
+            )
+        )
+        path = tmp_path / "sweep.json"
+        dump(sweep, path)
+        assert sniff_format(path).name == "sweep"
+        assert load(path) == sweep
+
+    def test_ndjson_sniffed_on_load_but_pinned_on_dump(self, tmp_path):
+        path = tmp_path / "records.ndjson"
+        records = make_recordset()
+        dump(records, path, format="run-records-ndjson")
+        assert sniff_format(path).name == "run-records-ndjson"
+        assert load(path) == records
+
+
+class TestDeprecationShims:
+    def test_old_names_warn_and_still_work(self, tmp_path):
+        import repro.io as io
+
+        path = tmp_path / "records.json"
+        records = make_recordset()
+        with pytest.warns(DeprecationWarning, match="dump_records"):
+            io.dump_records(records, path)
+        with pytest.warns(DeprecationWarning, match="load_records"):
+            assert io.load_records(path) == records
+
+    def test_all_nine_pairs_are_present(self):
+        import repro.io as io
+
+        for name in (
+            "dump_report", "load_result",
+            "dump_records", "load_records",
+            "dump_sweep", "load_sweep",
+            "dump_bench", "load_bench",
+            "dump_baseline", "load_baseline",
+            "dump_repro", "load_repro",
+            "dump_conform_report", "load_conform_report",
+            "dump_lattice_report", "load_lattice_report",
+            "dump_trace", "load_trace",
+        ):
+            assert callable(getattr(io, name))
+
+
+class TestNdjsonAppendResume:
+    def test_truncated_trailing_line_is_repaired_on_append(self, tmp_path):
+        path = tmp_path / "archive.ndjson"
+        dump_records_ndjson([make_record(0), make_record(1)], path)
+        # Simulate a writer killed mid-record: a partial trailing line.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"scenario": "t/2", "family": "off')
+        dump_records_ndjson([make_record(2)], path, append=True)
+        loaded = list(iter_records_ndjson(path))
+        assert [r.seed for r in loaded] == [0, 1, 2]
+
+    def test_truncated_header_means_fresh(self, tmp_path):
+        path = tmp_path / "archive.ndjson"
+        path.write_text('{"kind": "run-rec')  # header itself cut short
+        assert prepare_ndjson_append(path) is True
+        dump_records_ndjson([make_record(0)], path, append=True)
+        assert [r.seed for r in iter_records_ndjson(path)] == [0]
+
+    def test_append_to_wrong_kind_raises(self, tmp_path):
+        path = tmp_path / "notrecords.ndjson"
+        path.write_text(json.dumps({"kind": "something-else", "schema": 1}) + "\n")
+        with pytest.raises(ReproError, match="run-records"):
+            dump_records_ndjson([make_record(0)], path, append=True)
+
+    def test_append_to_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "future.ndjson"
+        path.write_text(json.dumps({"kind": "run-records", "schema": 999}) + "\n")
+        with pytest.raises(ReproError, match="schema"):
+            dump_records_ndjson([make_record(0)], path, append=True)
+        # And the reader rejects it the same way (shared validation).
+        with pytest.raises(ReproError, match="schema"):
+            list(iter_records_ndjson(path))
+
+    def test_append_preserves_existing_records(self, tmp_path):
+        path = tmp_path / "archive.ndjson"
+        dump_records_ndjson([make_record(0)], path)
+        first = path.read_text()
+        dump_records_ndjson([make_record(1)], path, append=True)
+        assert path.read_text().startswith(first)
+        assert [r.seed for r in iter_records_ndjson(path)] == [0, 1]
+
+
+class TestNdjsonConcurrentRead:
+    def test_reader_sees_lines_appended_mid_iteration(self, tmp_path):
+        path = tmp_path / "live.ndjson"
+        dump_records_ndjson([make_record(0), make_record(1)], path)
+        iterator = iter_records_ndjson(path)
+        assert next(iterator).seed == 0
+        # Another writer appends while the reader is mid-file; lazy line
+        # reads mean the new record is picked up by the same iterator.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(record_ndjson_line(make_record(2)))
+        remaining = [record.seed for record in iterator]
+        assert remaining == [1, 2]
+
+    def test_truncated_tail_raises_by_default(self, tmp_path):
+        path = tmp_path / "live.ndjson"
+        dump_records_ndjson([make_record(0)], path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"scenario": "t/1", "fam')
+        with pytest.raises(ReproError, match="truncated"):
+            list(iter_records_ndjson(path))
+
+    def test_truncated_tail_tolerated_on_request(self, tmp_path):
+        path = tmp_path / "live.ndjson"
+        dump_records_ndjson([make_record(0), make_record(1)], path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"scenario": "t/2", "fam')
+        loaded = list(iter_records_ndjson(path, tolerate_truncation=True))
+        assert [r.seed for r in loaded] == [0, 1]
+
+    def test_complete_corrupt_line_always_raises(self, tmp_path):
+        path = tmp_path / "corrupt.ndjson"
+        dump_records_ndjson([make_record(0)], path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+        with pytest.raises(ReproError, match="corrupt"):
+            list(iter_records_ndjson(path, tolerate_truncation=True))
+
+    def test_header_only_file_yields_nothing(self, tmp_path):
+        path = tmp_path / "empty.ndjson"
+        path.write_text(records_ndjson_header())
+        assert list(iter_records_ndjson(path)) == []
