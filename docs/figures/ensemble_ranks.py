@@ -1,0 +1,143 @@
+"""Regenerate ``ensemble_ranks.svg``: measured ranks vs theory to n = 10^4.
+
+ROADMAP item 3's follow-up figure.  One uniform random Gale-Shapley
+instance has mean proposer rank ~ ``H_n`` (Mertens; Wilson's classic
+bound) and mean receiver rank ~ ``n / H_n`` (the mean-field heuristic),
+and the ensembles subsystem gates sweeps against those asymptotics.
+This script *measures* both observables up to ``n = 10^4`` — feasible
+since the rank-matrix kernel landed — and plots them against the theory
+curves on log-log axes.
+
+The measurement path is :func:`repro.matching.kernel.numpy_rank_sums`
+(vectorized instance generation + the int-indexed proposal loop); the
+drawing is plain hand-assembled SVG so the repository needs no plotting
+dependency.  Run from the repository root:
+
+    PYTHONPATH=src python docs/figures/ensemble_ranks.py
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.ensembles.theory import expected_proposer_rank, expected_receiver_rank
+from repro.matching.kernel import numpy_rank_sums
+
+NS = (100, 316, 1000, 3162, 10000)
+SEEDS = (1, 2, 3)
+
+# Plot geometry: log10(n) in [1.9, 4.1] -> x, log10(rank) in [0, 3.2] -> y.
+WIDTH, HEIGHT = 640, 420
+PLOT = (78.0, 40.0, 600.0, 352.0)  # x0, y0, x1, y1
+X_RANGE = (1.9, 4.1)
+Y_RANGE = (0.0, 3.2)
+
+
+def x_of(n: float) -> float:
+    x0, _, x1, _ = PLOT
+    lo, hi = X_RANGE
+    return x0 + (math.log10(n) - lo) / (hi - lo) * (x1 - x0)
+
+
+def y_of(rank: float) -> float:
+    _, y0, _, y1 = PLOT
+    lo, hi = Y_RANGE
+    return y1 - (math.log10(rank) - lo) / (hi - lo) * (y1 - y0)
+
+
+def measure() -> dict[int, tuple[float, float]]:
+    """``n -> (mean proposer rank, mean receiver rank)`` over SEEDS."""
+    out: dict[int, tuple[float, float]] = {}
+    for n in NS:
+        proposer = receiver = 0.0
+        for seed in SEEDS:
+            proposals, receiver_sum = numpy_rank_sums(n, seed)
+            proposer += proposals / n  # total proposals = sum of ranks
+            receiver += receiver_sum / n
+        out[n] = (proposer / len(SEEDS), receiver / len(SEEDS))
+        print(f"n={n}: proposer {out[n][0]:.2f} (H_n {expected_proposer_rank(n):.2f}), "
+              f"receiver {out[n][1]:.1f} (n/H_n {expected_receiver_rank(n):.1f})")
+    return out
+
+
+def curve(fn, color: str, dash: str = "") -> str:
+    points = []
+    lo, hi = X_RANGE
+    for step in range(89):
+        n = 10 ** (lo + (hi - lo) * step / 88)
+        points.append(f"{x_of(n):.1f},{y_of(fn(round(n) or 1)):.1f}")
+    dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+    return (f'<polyline fill="none" stroke="{color}" stroke-width="1.6"'
+            f'{dash_attr} points="{" ".join(points)}"/>')
+
+
+def markers(measured: dict[int, tuple[float, float]], which: int, color: str) -> str:
+    bits = []
+    for n, ranks in measured.items():
+        cx, cy = x_of(n), y_of(ranks[which])
+        bits.append(f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="4" fill="{color}" '
+                    f'stroke="white" stroke-width="1"/>')
+    return "\n".join(bits)
+
+
+def render(measured: dict[int, tuple[float, float]]) -> str:
+    x0, y0, x1, y1 = PLOT
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" '
+        f'viewBox="0 0 {WIDTH} {HEIGHT}" font-family="Helvetica, Arial, sans-serif">',
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>',
+        '<text x="320" y="22" text-anchor="middle" font-size="14" fill="#222">'
+        "Uniform Gale–Shapley ensembles: measured mean ranks vs theory</text>",
+    ]
+    # Gridlines + ticks.
+    for exponent in (2, 3, 4):
+        gx = x_of(10**exponent)
+        parts.append(f'<line x1="{gx:.1f}" y1="{y0}" x2="{gx:.1f}" y2="{y1}" '
+                     'stroke="#ddd" stroke-width="1"/>')
+        parts.append(f'<text x="{gx:.1f}" y="{y1 + 18}" text-anchor="middle" '
+                     f'font-size="12" fill="#444">10<tspan baseline-shift="super" '
+                     f'font-size="9">{exponent}</tspan></text>')
+    for exponent in (0, 1, 2, 3):
+        gy = y_of(10**exponent)
+        parts.append(f'<line x1="{x0}" y1="{gy:.1f}" x2="{x1}" y2="{gy:.1f}" '
+                     'stroke="#ddd" stroke-width="1"/>')
+        parts.append(f'<text x="{x0 - 8}" y="{gy + 4:.1f}" text-anchor="end" '
+                     f'font-size="12" fill="#444">10<tspan baseline-shift="super" '
+                     f'font-size="9">{exponent}</tspan></text>')
+    parts.append(f'<rect x="{x0}" y="{y0}" width="{x1 - x0}" height="{y1 - y0}" '
+                 'fill="none" stroke="#888" stroke-width="1"/>')
+    # Theory curves, then the measured markers on top.
+    parts.append(curve(expected_receiver_rank, "#b5541c", dash="6 4"))
+    parts.append(curve(expected_proposer_rank, "#1c4f9c", dash="6 4"))
+    parts.append(markers(measured, 1, "#b5541c"))
+    parts.append(markers(measured, 0, "#1c4f9c"))
+    # Axis labels + legend.
+    parts.append(f'<text x="{(x0 + x1) / 2}" y="{HEIGHT - 8}" text-anchor="middle" '
+                 'font-size="13" fill="#222">instance size n (log)</text>')
+    parts.append(f'<text x="18" y="{(y0 + y1) / 2}" text-anchor="middle" '
+                 f'font-size="13" fill="#222" transform="rotate(-90 18 {(y0 + y1) / 2})">'
+                 "mean partner rank (log)</text>")
+    legend = (
+        ("#b5541c", "receivers: measured vs n/Hₙ (mean-field)"),
+        ("#1c4f9c", "proposers: measured vs Hₙ (Mertens)"),
+    )
+    for index, (color, label) in enumerate(legend):
+        ly = y0 + 18 + 20 * index
+        parts.append(f'<line x1="{x0 + 12}" y1="{ly}" x2="{x0 + 44}" y2="{ly}" '
+                     f'stroke="{color}" stroke-width="1.6" stroke-dasharray="6 4"/>')
+        parts.append(f'<circle cx="{x0 + 28}" cy="{ly}" r="4" fill="{color}" '
+                     'stroke="white" stroke-width="1"/>')
+        parts.append(f'<text x="{x0 + 52}" y="{ly + 4}" font-size="12" '
+                     f'fill="#222">{label}</text>')
+    parts.append(f'<text x="{x1 - 6}" y="{y1 - 8}" text-anchor="end" font-size="11" '
+                 f'fill="#777">{len(SEEDS)} seeds per point · '
+                 "repro.matching.kernel.numpy_rank_sums</text>")
+    parts.append("</svg>")
+    return "\n".join(parts) + "\n"
+
+
+if __name__ == "__main__":
+    target = Path(__file__).with_name("ensemble_ranks.svg")
+    target.write_text(render(measure()))
+    print(f"wrote {target}")

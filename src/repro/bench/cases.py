@@ -940,5 +940,95 @@ register(
 )
 
 
+# -- K1: the rank-matrix Gale-Shapley kernel -----------------------------------
+
+#: ``(k, seed count)`` per tier.  The timed section is the whole
+#: kernel-native offline path — seeded row generation, lowering, the
+#: int-indexed proposal loop, and the record statistics — i.e. exactly
+#: what one offline random-ensemble record costs.
+_KERNEL_GS_SIZES = {
+    "quick": ((64, 20), (200, 4)),
+    "full": ((200, 10), (500, 4)),
+    "scale": ((1000, 6),),
+}
+
+
+def _kernel_gs_harness(tier: str, workers: int | None) -> HarnessRun:
+    """Time the kernel's offline instance path, then verify untimed.
+
+    The checks run after the clock stops: the kernel statistics must
+    equal the full profile-object path (``random_profile`` +
+    ``gale_shapley`` + rank queries), the matching must be stable, and
+    the fixed-width profile fingerprint must round-trip.
+    """
+    import time
+
+    from repro.crypto.encoding import pack_profile, pack_ranking, unpack_ranking
+    from repro.ids import right_side
+    from repro.matching.gale_shapley import gale_shapley
+    from repro.matching.generators import random_profile
+    from repro.matching.kernel import random_instance_stats
+    from repro.matching.stability import is_stable
+
+    sizes = _KERNEL_GS_SIZES[tier]
+
+    started = time.perf_counter()
+    stats: list[tuple[int, int, int, int]] = []
+    for k, seeds in sizes:
+        for seed in range(seeds):
+            proposals, receiver_rank = random_instance_stats(k, seed)
+            stats.append((k, seed, proposals, receiver_rank))
+    seconds = time.perf_counter() - started
+
+    failures: list[str] = []
+    metrics: dict[str, float] = {}
+    for k, _seed, proposals, receiver_rank in stats:
+        metrics[f"proposals_k{k}"] = metrics.get(f"proposals_k{k}", 0.0) + proposals
+        metrics[f"receiver_rank_k{k}"] = (
+            metrics.get(f"receiver_rank_k{k}", 0.0) + receiver_rank
+        )
+
+    check_k, check_seeds = sizes[0]
+    for seed in range(min(check_seeds, 3)):
+        label = f"k{check_k}/s{seed}"
+        profile = random_profile(check_k, seed)
+        result = gale_shapley(profile)
+        expected_rank = sum(
+            profile.rank(party, result.matching.partner(party)) + 1
+            for party in right_side(check_k)
+        )
+        recorded = next(
+            (p, r) for k, s, p, r in stats if k == check_k and s == seed
+        )
+        if recorded != (result.proposals, expected_rank):
+            failures.append(
+                f"{label}: kernel stats {recorded} diverge from the "
+                f"profile path ({result.proposals}, {expected_rank})"
+            )
+        if not is_stable(result.matching, profile):
+            failures.append(f"{label}: kernel matching is not stable")
+        blob = pack_profile(profile.tables)
+        if len(blob) != 4 + 4 * check_k * check_k:
+            failures.append(f"{label}: packed profile has unexpected length")
+        row = pack_ranking("L", list(profile.tables.pref_row("L", 0)))
+        if unpack_ranking(row) != ("L", tuple(profile.tables.pref_row("L", 0))):
+            failures.append(f"{label}: packed ranking does not round-trip")
+    return HarnessRun(
+        seconds=seconds,
+        runs=len(stats),
+        metrics=metrics,
+        failures=tuple(failures),
+    )
+
+
+register(
+    BenchCase(
+        name="kernel_gs",
+        title="K1 — rank-matrix Gale-Shapley kernel: the offline instance path",
+        harness=_kernel_gs_harness,
+    )
+)
+
+
 #: The loaded catalog (importing this module registered everything above).
 CASES = all_cases()

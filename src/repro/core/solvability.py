@@ -23,7 +23,13 @@ from dataclasses import dataclass
 
 from repro.core.problem import Setting
 
-__all__ = ["SolvabilityVerdict", "is_solvable", "cached_is_solvable", "RECIPES"]
+__all__ = [
+    "SolvabilityVerdict",
+    "is_solvable",
+    "cached_is_solvable",
+    "solvability_cache_stats",
+    "RECIPES",
+]
 
 RECIPES = (
     "bb_direct",
@@ -161,5 +167,20 @@ def is_solvable(setting: Setting) -> SolvabilityVerdict:
 #: the (hashable, frozen) setting, and every layer that walks the
 #: characterization grid — sweep expansion, the frontier preset, the
 #: engine, the bench harness — shares this one memo instead of each
-#: re-deriving the same few hundred verdicts per batch.
-cached_is_solvable = functools.lru_cache(maxsize=4096)(is_solvable)
+#: re-deriving the same few hundred verdicts per batch.  Unbounded on
+#: purpose: a bounded LRU silently thrashes on scale-tier grids (a
+#: single k=64 sweep already touches 4225 settings × several
+#: topology/auth combinations), and verdicts are tiny frozen
+#: dataclasses.  Hit/miss counters surface through
+#: ``ExecutionCache.stats()`` as the ``solvability`` family.
+cached_is_solvable = functools.lru_cache(maxsize=None)(is_solvable)
+
+
+def solvability_cache_stats() -> dict[str, int]:
+    """Hit/miss/entry counters of the process-wide verdict memo.
+
+    Shaped like the runtime memo families so ``cache_stats`` merging
+    can treat it uniformly: ``{"entries", "hits", "misses"}``.
+    """
+    info = cached_is_solvable.cache_info()
+    return {"entries": info.currsize, "hits": info.hits, "misses": info.misses}

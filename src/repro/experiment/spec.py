@@ -21,7 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.problem import Setting
-from repro.core.solvability import RECIPES, cached_is_solvable
+from repro.core.solvability import RECIPES
 from repro.errors import SolvabilityError
 from repro.ids import PartyId, left_side, parse_party, right_side
 from repro.matching.generators import (
@@ -31,6 +31,7 @@ from repro.matching.generators import (
     random_profile,
     random_roommates_preferences,
 )
+from repro.matching.kernel import solvable_pairs
 from repro.matching.preferences import PreferenceProfile
 from repro.net.faults import DropRule, after_round_drop, partition_drop, random_drop
 from repro.net.topology import TOPOLOGY_NAMES
@@ -685,18 +686,18 @@ class Sweep:
             for auth in auths:
                 for k in ks:
                     if isinstance(budgets, str):
-                        pairs = [
-                            (tL, tR) for tL in range(k + 1) for tR in range(k + 1)
-                        ]
                         if budgets == "solvable":
+                            # Batched closed-form evaluation of the whole
+                            # (k+1)^2 grid in one pass; same lexicographic
+                            # order and verdicts as filtering point by
+                            # point through the oracle (pinned by
+                            # tests/test_kernel.py).
+                            pairs = list(solvable_pairs(topology, auth, k))
+                        elif budgets == "all":
                             pairs = [
-                                (tL, tR)
-                                for tL, tR in pairs
-                                if cached_is_solvable(
-                                    Setting(topology, auth, k, tL, tR)
-                                ).solvable
+                                (tL, tR) for tL in range(k + 1) for tR in range(k + 1)
                             ]
-                        elif budgets != "all":
+                        else:
                             raise SolvabilityError(
                                 f"budgets must be 'solvable', 'all', or pairs, got {budgets!r}"
                             )

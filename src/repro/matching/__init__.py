@@ -5,10 +5,20 @@ profiles, matchings, the deterministic Gale-Shapley algorithm ``AG-S``
 (Theorem 1), stability checking, brute-force enumeration of all stable
 matchings (test oracle), Irving's stable-roommates algorithm (the
 paper's future-work direction), and preference generators used by the
-examples and benchmarks.
+examples and benchmarks.  The hot loops all run in
+:mod:`repro.matching.kernel` over flat rank matrices; the classes here
+are the typed façade.
 """
 
 from repro.matching.gale_shapley import GaleShapleyResult, gale_shapley
+from repro.matching.kernel import (
+    HAVE_NUMPY,
+    RankTables,
+    gs_rank_arrays,
+    lower_index_rows,
+    random_instance_stats,
+    solvable_pairs,
+)
 from repro.matching.matching import Matching
 from repro.matching.preferences import PreferenceProfile, default_list
 from repro.matching.stability import (
@@ -26,4 +36,10 @@ __all__ = [
     "blocking_pairs",
     "is_stable",
     "restricted_blocking_pairs",
+    "RankTables",
+    "lower_index_rows",
+    "gs_rank_arrays",
+    "solvable_pairs",
+    "random_instance_stats",
+    "HAVE_NUMPY",
 ]

@@ -1,0 +1,172 @@
+"""Optional C fast lane for the kernel's Fisher-Yates hot loop.
+
+The stream-identical shuffle (:func:`repro.matching.kernel._shuffled_row`)
+is a ~``k log k``-draw pure-python loop per preference row; at the
+ensemble scale tier (``k = 1000``, 2000 rows per instance) it dominates
+the whole offline record path.  The loop itself is ten lines of integer
+arithmetic, so this module compiles it once with the system C compiler
+and loads it through :mod:`ctypes` — no build-time dependency, no
+packaging step, and no behavioural difference: the C loop consumes the
+*same* 32-bit Mersenne words and performs the *same* rejection sampling
+as CPython's ``Random.shuffle``, so the permutations are bit-identical
+(enforced by ``tests/test_kernel.py``).
+
+Availability is best-effort by design:
+
+* no C compiler, a failed compile, an unwritable build directory, or
+  ``REPRO_NATIVE=0`` all degrade silently to the pure-python path;
+* the shared object is cached under ``build/native/`` next to the
+  repository (or the system temp dir as a fallback) keyed by a hash of
+  the C source, so edits recompile and repeated imports pay nothing.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+__all__ = ["NativeKernel", "load"]
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+/* Fisher-Yates over rows of [0..k), consuming pre-extracted 32-bit
+ * Mersenne words with CPython's _randbelow rejection sampling: for a
+ * bound n the draw is (word >> (32 - bit_length(n))), redrawn while it
+ * lands at or above n.  Returns the number of words consumed, or -1 if
+ * the buffer ran out (the caller extends it and retries from scratch —
+ * the word stream is deterministic, so the prefix is unchanged).
+ */
+long repro_fy_fill(const uint32_t *words, long nwords, int32_t k,
+                   int32_t nrows, int32_t *out)
+{
+    long c = 0;
+    for (int32_t r = 0; r < nrows; r++) {
+        int32_t *row = out + (long)r * k;
+        for (int32_t t = 0; t < k; t++)
+            row[t] = t;
+        for (int32_t i = k - 1; i > 0; i--) {
+            uint32_t n = (uint32_t)i + 1u;
+            int shift = __builtin_clz(n); /* 32 - bit_length(n) */
+            uint32_t j;
+            do {
+                if (c == nwords)
+                    return -1;
+                j = words[c++] >> shift;
+            } while (j >= n);
+            int32_t tmp = row[i];
+            row[i] = row[(int32_t)j];
+            row[(int32_t)j] = tmp;
+        }
+    }
+    return c;
+}
+
+/* out[r] = the inverse permutation of rows[r] (the rank matrix of a
+ * preference matrix). */
+void repro_invert_rows(const int32_t *rows, int32_t nrows, int32_t k,
+                       int32_t *out)
+{
+    for (int32_t r = 0; r < nrows; r++) {
+        const int32_t *row = rows + (long)r * k;
+        int32_t *inv = out + (long)r * k;
+        for (int32_t i = 0; i < k; i++)
+            inv[row[i]] = i;
+    }
+}
+"""
+
+
+class NativeKernel:
+    """ctypes façade over the compiled helpers."""
+
+    def __init__(self, lib: ctypes.CDLL) -> None:
+        self._fy_fill = lib.repro_fy_fill
+        self._fy_fill.restype = ctypes.c_long
+        self._fy_fill.argtypes = (
+            ctypes.c_void_p,
+            ctypes.c_long,
+            ctypes.c_int32,
+            ctypes.c_int32,
+            ctypes.c_void_p,
+        )
+        self._invert = lib.repro_invert_rows
+        self._invert.restype = None
+        self._invert.argtypes = (
+            ctypes.c_void_p,
+            ctypes.c_int32,
+            ctypes.c_int32,
+            ctypes.c_void_p,
+        )
+
+    def fy_fill(self, words, k: int, nrows: int, out) -> int:
+        """Fill ``out`` (``nrows x k`` int32, C-contiguous) with shuffled
+        rows drawn from ``words`` (uint32); returns words consumed or -1."""
+        return self._fy_fill(
+            words.ctypes.data, len(words), k, nrows, out.ctypes.data
+        )
+
+    def invert_rows(self, rows, k: int, out) -> None:
+        """``out[r]`` = inverse permutation of ``rows[r]`` (both int32)."""
+        self._invert(rows.ctypes.data, rows.shape[0], k, out.ctypes.data)
+
+
+def _build_dir() -> Path:
+    """``build/native`` next to the repo when writable, temp dir otherwise."""
+    override = os.environ.get("REPRO_NATIVE_DIR")
+    if override:
+        return Path(override)
+    here = Path(__file__).resolve()
+    if len(here.parents) >= 4:  # src/repro/matching/_native.py -> repo root
+        candidate = here.parents[3] / "build" / "native"
+        if (here.parents[3] / "pyproject.toml").exists():
+            return candidate
+    return Path(tempfile.gettempdir()) / "repro-native"
+
+
+def _compile(directory: Path) -> Path | None:
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    shared = directory / f"repro_kernel_{digest}.so"
+    if shared.exists():
+        return shared
+    compiler = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if compiler is None:
+        return None
+    directory.mkdir(parents=True, exist_ok=True)
+    source = directory / f"repro_kernel_{digest}.c"
+    source.write_text(_C_SOURCE)
+    scratch = directory / f".{shared.name}.{os.getpid()}.tmp"
+    subprocess.run(
+        [compiler, "-O2", "-shared", "-fPIC", "-o", str(scratch), str(source)],
+        check=True,
+        capture_output=True,
+        timeout=120,
+    )
+    os.replace(scratch, shared)  # atomic: concurrent builders agree
+    return shared
+
+
+_CACHE: list[NativeKernel | None] | None = None
+
+
+def load() -> NativeKernel | None:
+    """The compiled kernel, building it on first use; ``None`` when
+    unavailable (no compiler, failed build, or ``REPRO_NATIVE=0``)."""
+    global _CACHE
+    if _CACHE is not None:
+        return _CACHE[0]
+    kernel: NativeKernel | None = None
+    if os.environ.get("REPRO_NATIVE", "1") != "0":
+        try:
+            shared = _compile(_build_dir())
+            if shared is not None:
+                kernel = NativeKernel(ctypes.CDLL(str(shared)))
+        except Exception:  # pragma: no cover - degrade to pure python
+            kernel = None
+    _CACHE = [kernel]
+    return kernel

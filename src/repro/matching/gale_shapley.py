@@ -4,10 +4,20 @@
 two-sided profile.  Determinism matters more here than in a textbook
 implementation: the paper's protocols have *every honest party run AG-S
 locally on an identical input* and rely on all of them computing the
-same matching (Lemma 1, Lemma 11, Lemma 12).  We therefore fix the
-iteration order completely: free proposers are processed smallest-id
-first, and each proposes to the best candidate it has not proposed to
-yet.
+same matching (Lemma 1, Lemma 11, Lemma 12).
+
+The heavy lifting happens in :mod:`repro.matching.kernel`: the profile
+is already lowered to flat rank matrices at construction time, and
+:func:`~repro.matching.kernel.gs_rank_arrays` runs the proposal loop
+over plain int arrays.  The kernel chases displacement chains instead
+of keeping the historical smallest-id-first free heap; by McVitie and
+Wilson's order-invariance theorem the resulting matching *and* the
+total proposal count are independent of the order free proposers are
+processed in, so the result (and every derived record field) is
+byte-identical to the legacy loop — enforced by the property tests in
+``tests/test_kernel.py``.  ``rejections`` needs no counter: every
+proposal is eventually rejected except the ``k`` final engagements, so
+``rejections == proposals - k``.
 
 The proposing side is selectable; the classic result that the
 algorithm is proposer-optimal and truthful for proposers (Gale-Shapley
@@ -16,11 +26,11 @@ algorithm is proposer-optimal and truthful for proposers (Gale-Shapley
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
 
 from repro.errors import MatchingError
-from repro.ids import LEFT, RIGHT, PartyId, left_side, right_side
+from repro.ids import LEFT, RIGHT, left_side, right_side
+from repro.matching.kernel import gs_rank_arrays
 from repro.matching.matching import Matching
 from repro.matching.preferences import PreferenceProfile
 
@@ -59,48 +69,17 @@ def gale_shapley(profile: PreferenceProfile, proposer_side: str = LEFT) -> GaleS
     if proposer_side not in (LEFT, RIGHT):
         raise MatchingError(f"proposer_side must be 'L' or 'R', got {proposer_side!r}")
     k = profile.k
-    proposers = left_side(k) if proposer_side == LEFT else right_side(k)
-
-    # next_choice[p] = index into p's list of the next candidate to propose to.
-    next_choice: dict[PartyId, int] = {p: 0 for p in proposers}
-    engaged_to: dict[PartyId, PartyId] = {}  # responder -> current proposer
-    # Min-heap of free proposers keyed by (side, index) for determinism.
-    free: list[PartyId] = list(proposers)
-    heapq.heapify(free)
-
-    proposals = 0
-    rejections = 0
-
-    while free:
-        proposer = heapq.heappop(free)
-        choice_index = next_choice[proposer]
-        if choice_index >= k:
-            raise MatchingError(
-                f"{proposer} exhausted its preference list; profile is not a "
-                "complete two-sided instance"
-            )
-        candidate = profile.list_of(proposer)[choice_index]
-        next_choice[proposer] = choice_index + 1
-        proposals += 1
-
-        incumbent = engaged_to.get(candidate)
-        if incumbent is None:
-            engaged_to[candidate] = proposer
-        elif profile.prefers(candidate, proposer, incumbent):
-            engaged_to[candidate] = proposer
-            rejections += 1
-            heapq.heappush(free, incumbent)
-        else:
-            rejections += 1
-            heapq.heappush(free, proposer)
-
-    matching = Matching.from_pairs(
-        (proposer, responder) if proposer.is_left() else (responder, proposer)
-        for responder, proposer in engaged_to.items()
-    )
+    tables = profile.tables
+    lefts, rights = left_side(k), right_side(k)
+    if proposer_side == LEFT:
+        engaged, proposals = gs_rank_arrays(k, tables.left_pref, tables.right_rank)
+        pairs = ((lefts[engaged[responder]], rights[responder]) for responder in range(k))
+    else:
+        engaged, proposals = gs_rank_arrays(k, tables.right_pref, tables.left_rank)
+        pairs = ((lefts[responder], rights[engaged[responder]]) for responder in range(k))
     return GaleShapleyResult(
-        matching=matching,
+        matching=Matching.from_pairs(pairs),
         proposals=proposals,
-        rejections=rejections,
+        rejections=proposals - k,
         proposer_side=proposer_side,
     )

@@ -25,6 +25,7 @@ from typing import Mapping, Sequence
 
 from repro.errors import PreferenceError
 from repro.ids import LEFT, RIGHT, PartyId, all_parties, left_side, right_side
+from repro.matching.kernel import random_index_rows
 from repro.matching.preferences import PreferenceProfile, default_list
 
 __all__ = [
@@ -47,14 +48,16 @@ def resolve_rng(rng_or_seed: random.Random | int | None) -> random.Random:
 
 
 def random_profile(k: int, rng_or_seed: random.Random | int | None = None) -> PreferenceProfile:
-    """A uniformly random complete preference profile of size ``k``."""
+    """A uniformly random complete preference profile of size ``k``.
+
+    Generates int index rows through the kernel (stream-identical to the
+    historical per-``PartyId`` shuffles: left parties first, one shuffle
+    per party) and skips re-validation — the rows are permutations by
+    construction.
+    """
     rng = resolve_rng(rng_or_seed)
-    lists: dict[PartyId, tuple[PartyId, ...]] = {}
-    for party in all_parties(k):
-        candidates = list(default_list(party, k))
-        rng.shuffle(candidates)
-        lists[party] = tuple(candidates)
-    return PreferenceProfile(k=k, lists=lists)
+    left_rows, right_rows = random_index_rows(k, rng)
+    return PreferenceProfile.from_trusted_index_rows(k, left_rows, right_rows)
 
 
 def correlated_profile(
@@ -72,21 +75,23 @@ def correlated_profile(
     if not 0.0 <= similarity <= 1.0:
         raise PreferenceError(f"similarity must lie in [0, 1], got {similarity}")
     rng = resolve_rng(rng_or_seed)
-    masters = {
-        LEFT: _shuffled(list(right_side(k)), rng),
-        RIGHT: _shuffled(list(left_side(k)), rng),
-    }
+    # Int-native, stream-identical to the historical PartyId version:
+    # masters are shuffled int rows (same swaps, same draws), then each
+    # party applies ``swaps`` adjacent transpositions in party order
+    # (left block first, matching ``all_parties``).
+    masters = {LEFT: _shuffled(list(range(k)), rng), RIGHT: _shuffled(list(range(k)), rng)}
     swaps = round((1.0 - similarity) * k * k)
-    lists: dict[PartyId, tuple[PartyId, ...]] = {}
-    for party in all_parties(k):
-        ranking = list(masters[party.side])
-        for _ in range(swaps):
-            if k < 2:
-                break
-            i = rng.randrange(k - 1)
-            ranking[i], ranking[i + 1] = ranking[i + 1], ranking[i]
-        lists[party] = tuple(ranking)
-    return PreferenceProfile(k=k, lists=lists)
+    rows: dict[str, list[list[int]]] = {LEFT: [], RIGHT: []}
+    for side in (LEFT, RIGHT):
+        for _ in range(k):
+            ranking = list(masters[side])
+            for _ in range(swaps):
+                if k < 2:
+                    break
+                i = rng.randrange(k - 1)
+                ranking[i], ranking[i + 1] = ranking[i + 1], ranking[i]
+            rows[side].append(ranking)
+    return PreferenceProfile.from_trusted_index_rows(k, rows[LEFT], rows[RIGHT])
 
 
 def master_list_profile(k: int, rng_or_seed: random.Random | int | None = None) -> PreferenceProfile:

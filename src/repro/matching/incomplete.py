@@ -23,12 +23,13 @@ acceptable").
 
 from __future__ import annotations
 
-import heapq
+from array import array
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.errors import PreferenceError
 from repro.ids import LEFT, RIGHT, PartyId, all_parties, left_side, right_side
+from repro.matching.kernel import gs_incomplete_rank_arrays
 from repro.matching.matching import Matching
 
 __all__ = [
@@ -114,39 +115,30 @@ def gale_shapley_incomplete(
     if proposer_side not in (LEFT, RIGHT):
         raise PreferenceError(f"proposer_side must be 'L' or 'R', got {proposer_side!r}")
     k = profile.k
-    proposers = left_side(k) if proposer_side == LEFT else right_side(k)
+    if proposer_side == LEFT:
+        proposers, responders = left_side(k), right_side(k)
+    else:
+        proposers, responders = right_side(k), left_side(k)
 
-    next_choice = {p: 0 for p in proposers}
-    engaged_to: dict[PartyId, PartyId] = {}
-    free = list(proposers)
-    heapq.heapify(free)
+    # Lower to kernel form: ragged proposer rows, responder rank matrix
+    # with sentinel rank ``k`` ("unacceptable"; real ranks are < k).
+    pref_rows = [[c.index for c in profile.lists[p]] for p in proposers]
+    responder_rank = array("i", [k]) * (k * k)
+    for index, responder in enumerate(responders):
+        base = index * k
+        for position, candidate in enumerate(profile.lists[responder]):
+            responder_rank[base + candidate.index] = position
+    engaged = gs_incomplete_rank_arrays(k, pref_rows, responder_rank, k)
 
-    while free:
-        proposer = heapq.heappop(free)
-        ranking = profile.lists[proposer]
-        matched = False
-        while next_choice[proposer] < len(ranking):
-            candidate = ranking[next_choice[proposer]]
-            next_choice[proposer] += 1
-            if not profile.accepts(candidate, proposer):
-                continue
-            incumbent = engaged_to.get(candidate)
-            if incumbent is None:
-                engaged_to[candidate] = proposer
-                matched = True
-                break
-            if profile.prefers(candidate, proposer, incumbent):
-                engaged_to[candidate] = proposer
-                heapq.heappush(free, incumbent)
-                matched = True
-                break
-        if not matched:
-            pass  # proposer stays single: exhausted its acceptable list
-
-    return Matching.from_pairs(
-        (proposer, responder) if proposer.is_left() else (responder, proposer)
-        for responder, proposer in engaged_to.items()
-    )
+    if proposer_side == LEFT:
+        pairs = (
+            (proposers[engaged[r]], responders[r]) for r in range(k) if engaged[r] >= 0
+        )
+    else:
+        pairs = (
+            (responders[r], proposers[engaged[r]]) for r in range(k) if engaged[r] >= 0
+        )
+    return Matching.from_pairs(pairs)
 
 
 def incomplete_blocking_pairs(

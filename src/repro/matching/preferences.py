@@ -8,7 +8,11 @@ input a *preference list*: a permutation ``pi_u`` of the opposite side.
 :class:`PreferenceProfile` stores one list per party for a complete
 two-sided instance of size ``k``, validates permutations, and exposes
 the rank/comparison queries that both the offline algorithms and the
-distributed protocols need.
+distributed protocols need.  Validation and lowering happen in one
+pass: the same loop that checks each list is a permutation also fills
+the profile's :class:`~repro.matching.kernel.RankTables` — flat int
+matrices the matching kernel (and every ``rank`` query) reads directly,
+replacing the per-party dict-of-dicts rank tables.
 
 The *default list* (``default_list``) is the canonical opposite-side
 order ``X0 < X1 < ...``.  The paper's protocols substitute it whenever a
@@ -18,11 +22,13 @@ Lemma 1 and step 4 of ``PiBSM``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from array import array
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import PreferenceError
-from repro.ids import LEFT, PartyId, all_parties, left_side, right_side
+from repro.ids import LEFT, RIGHT, PartyId, all_parties, left_side, right_side
+from repro.matching.kernel import RankTables, lower_index_rows
 
 __all__ = [
     "PreferenceList",
@@ -47,27 +53,18 @@ def default_list(party: PartyId, k: int) -> PreferenceList:
 
 def is_valid_list(party: PartyId, candidates: object, k: int) -> bool:
     """True when ``candidates`` is a complete permutation of ``party``'s opposite side."""
-    if not isinstance(candidates, (tuple, list)):
+    if not isinstance(candidates, (tuple, list)) or len(candidates) != k:
         return False
-    expected = set(default_list(party, k))
-    if len(candidates) != k:
-        return False
-    seen: set[PartyId] = set()
+    opposite = RIGHT if party.side == LEFT else LEFT
+    seen = bytearray(k)
     for entry in candidates:
-        if not isinstance(entry, PartyId) or entry not in expected or entry in seen:
+        if not isinstance(entry, PartyId) or entry.side != opposite:
             return False
-        seen.add(entry)
+        index = entry.index
+        if index >= k or seen[index]:
+            return False
+        seen[index] = 1
     return True
-
-
-def _validated_list(party: PartyId, candidates: Sequence[PartyId], k: int) -> PreferenceList:
-    entries = tuple(candidates)
-    if not is_valid_list(party, entries, k):
-        raise PreferenceError(
-            f"{party}: preference list must be a permutation of the opposite side "
-            f"(k={k}), got {[str(c) for c in candidates]}"
-        )
-    return entries
 
 
 @dataclass(frozen=True)
@@ -75,16 +72,21 @@ class PreferenceProfile:
     """A complete preference profile for a two-sided instance of size ``k``.
 
     Immutable.  ``lists`` maps every one of the ``2k`` parties to a full
-    permutation of the opposite side.
+    permutation of the opposite side; ``tables`` is the same profile
+    lowered to flat rank matrices (built eagerly, inside validation —
+    the kernel's input and the backing store of every :meth:`rank`
+    query).
     """
 
     k: int
     lists: Mapping[PartyId, PreferenceList]
+    tables: RankTables = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        if self.k <= 0:
-            raise PreferenceError(f"k must be positive, got {self.k}")
-        expected = set(all_parties(self.k))
+        k = self.k
+        if k <= 0:
+            raise PreferenceError(f"k must be positive, got {k}")
+        expected = set(all_parties(k))
         got = set(self.lists)
         if got != expected:
             missing = sorted(expected - got)
@@ -93,16 +95,43 @@ class PreferenceProfile:
                 f"profile must cover exactly the 2k parties; "
                 f"missing={[str(p) for p in missing]} extra={[str(p) for p in extra]}"
             )
-        frozen = {
-            party: _validated_list(party, candidates, self.k)
-            for party, candidates in self.lists.items()
-        }
+        # One pass per party: permutation check + rank-matrix lowering.
+        # ``rank`` rows start at -1, which doubles as the duplicate
+        # detector; ``pref`` rows are only read when validation passed.
+        left_pref = array("i", bytes(4 * k * k))
+        right_pref = array("i", bytes(4 * k * k))
+        left_rank = array("i", [-1]) * (k * k)
+        right_rank = array("i", [-1]) * (k * k)
+        frozen: dict[PartyId, PreferenceList] = {}
+        for party, candidates in self.lists.items():
+            entries = tuple(candidates)
+            on_left = party.side == LEFT
+            pref = left_pref if on_left else right_pref
+            rank = left_rank if on_left else right_rank
+            base = party.index * k
+            valid = len(entries) == k
+            if valid:
+                for position, candidate in enumerate(entries):
+                    if (
+                        not isinstance(candidate, PartyId)
+                        or candidate.side == party.side
+                        or candidate.index >= k
+                        or rank[base + candidate.index] != -1
+                    ):
+                        valid = False
+                        break
+                    pref[base + position] = candidate.index
+                    rank[base + candidate.index] = position
+            if not valid:
+                raise PreferenceError(
+                    f"{party}: preference list must be a permutation of the opposite side "
+                    f"(k={k}), got {[str(c) for c in candidates]}"
+                )
+            frozen[party] = entries
         object.__setattr__(self, "lists", frozen)
-        ranks = {
-            party: {candidate: position for position, candidate in enumerate(candidates)}
-            for party, candidates in frozen.items()
-        }
-        object.__setattr__(self, "_ranks", ranks)
+        object.__setattr__(
+            self, "tables", RankTables(k, left_pref, right_pref, left_rank, right_rank)
+        )
 
     # -- construction helpers -------------------------------------------------
 
@@ -136,6 +165,34 @@ class PreferenceProfile:
         for i, indices in enumerate(right_lists):
             lists[PartyId("R", i)] = tuple(PartyId("L", j) for j in indices)
         return cls(k=k, lists=lists)
+
+    @classmethod
+    def from_trusted_index_rows(
+        cls,
+        k: int,
+        left_rows: Sequence[Sequence[int]],
+        right_rows: Sequence[Sequence[int]],
+    ) -> "PreferenceProfile":
+        """Build from generator-produced permutation rows, skipping validation.
+
+        The fast constructor behind the profile generators: ``left_rows[i]``
+        is ``Li``'s preference row as opposite-side *indices* and is trusted
+        to be a permutation of ``range(k)`` (generators produce rows by
+        shuffling one).  Lists and tables come out exactly as the validating
+        constructor would build them — only the permutation re-check is
+        skipped.
+        """
+        lefts, rights = left_side(k), right_side(k)
+        lists: dict[PartyId, PreferenceList] = {}
+        for i in range(k):
+            lists[lefts[i]] = tuple(map(rights.__getitem__, left_rows[i]))
+        for i in range(k):
+            lists[rights[i]] = tuple(map(lefts.__getitem__, right_rows[i]))
+        profile = object.__new__(cls)
+        object.__setattr__(profile, "k", k)
+        object.__setattr__(profile, "lists", lists)
+        object.__setattr__(profile, "tables", lower_index_rows(k, left_rows, right_rows))
+        return profile
 
     @classmethod
     def uniform(cls, k: int) -> "PreferenceProfile":
@@ -182,11 +239,14 @@ class PreferenceProfile:
 
     def rank(self, party: PartyId, candidate: PartyId) -> int:
         """Position of ``candidate`` in ``party``'s list (0 = most preferred)."""
-        ranks: Mapping[PartyId, int] = self._ranks[party]  # type: ignore[attr-defined]
-        try:
-            return ranks[candidate]
-        except KeyError as exc:
-            raise PreferenceError(f"{candidate} does not appear in {party}'s list") from exc
+        k = self.k
+        if party.index >= k:
+            raise KeyError(party)
+        if candidate.side == party.side or candidate.index >= k:
+            raise PreferenceError(f"{candidate} does not appear in {party}'s list")
+        tables = self.tables
+        matrix = tables.left_rank if party.side == LEFT else tables.right_rank
+        return matrix[party.index * k + candidate.index]
 
     def prefers(self, party: PartyId, a: PartyId | None, b: PartyId | None) -> bool:
         """True when ``party`` strictly prefers ``a`` over ``b``.

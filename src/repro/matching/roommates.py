@@ -9,14 +9,13 @@ certifies that none exists, so the byzantine variant can be explored on
 top of the same substrate.
 
 Agents are arbitrary hashable, sortable identifiers; each agent ranks
-all other agents.  The implementation follows Gusfield & Irving
-(``The Stable Marriage Problem``, 1989), Algorithm 4.2.2:
-
-* Phase 1 — a proposal sequence establishing semi-engagements, followed
-  by the first table reduction.
-* Phase 2 — repeated exposure and elimination of rotations until every
-  reduced list is a singleton (solution) or some list empties (no
-  solution).
+all other agents.  This wrapper validates the instance and maps agents
+to dense ints (sorted order, matching the historical smallest-id-first
+proposal order); the phase-1 / phase-2 machinery of Gusfield & Irving
+(``The Stable Marriage Problem``, 1989, Algorithm 4.2.2) runs in
+:func:`repro.matching.kernel.roommates_core` over flat int arrays,
+mirroring the legacy agent-keyed execution order exactly — including
+``rotations_eliminated``.
 """
 
 from __future__ import annotations
@@ -25,6 +24,7 @@ from dataclasses import dataclass
 from typing import Hashable, Mapping, Sequence, TypeVar
 
 from repro.errors import PreferenceError
+from repro.matching.kernel import roommates_core
 
 __all__ = ["RoommatesResult", "stable_roommates", "roommates_blocking_pairs"]
 
@@ -63,108 +63,6 @@ def _validate(preferences: Mapping[Agent, Sequence[Agent]]) -> None:
             )
 
 
-class _Table:
-    """Mutable reduced preference table with symmetric pair deletion."""
-
-    def __init__(self, preferences: Mapping[Agent, Sequence[Agent]]) -> None:
-        self.active: dict[Agent, list[Agent]] = {
-            agent: list(ranking) for agent, ranking in preferences.items()
-        }
-        self.rank: dict[Agent, dict[Agent, int]] = {
-            agent: {other: position for position, other in enumerate(ranking)}
-            for agent, ranking in preferences.items()
-        }
-
-    def remove_pair(self, a: Agent, b: Agent) -> None:
-        """Symmetrically delete the pair ``{a, b}`` from both reduced lists."""
-        if b in self.rank[a] and b in self.active[a]:
-            self.active[a].remove(b)
-        if a in self.rank[b] and a in self.active[b]:
-            self.active[b].remove(a)
-
-    def prefers(self, judge: Agent, a: Agent, b: Agent) -> bool:
-        """True when ``judge`` ranks ``a`` strictly above ``b`` (original ranks)."""
-        return self.rank[judge][a] < self.rank[judge][b]
-
-    def truncate_after(self, agent: Agent, keep: Agent) -> None:
-        """Remove from ``agent``'s list every entry strictly worse than ``keep``."""
-        lst = self.active[agent]
-        position = lst.index(keep)
-        for worse in list(lst[position + 1 :]):
-            self.remove_pair(agent, worse)
-
-
-def _phase_one(table: _Table) -> dict | None:
-    """Proposal sequence; returns semi-engagements or ``None`` when someone is
-    rejected by everyone."""
-    holds: dict[Agent, Agent] = {}  # recipient -> proposer currently held
-    free = sorted(table.active, reverse=True)  # stack, smallest id proposes first
-    while free:
-        proposer = free.pop()
-        while True:
-            if not table.active[proposer]:
-                return None
-            target = table.active[proposer][0]
-            incumbent = holds.get(target)
-            if incumbent is None:
-                holds[target] = proposer
-                break
-            if table.prefers(target, proposer, incumbent):
-                holds[target] = proposer
-                table.remove_pair(target, incumbent)
-                free.append(incumbent)
-                break
-            table.remove_pair(target, proposer)
-    return holds
-
-
-def _find_rotation(table: _Table, start: Agent) -> tuple[list, list]:
-    """Expose a rotation reachable from ``start`` (whose list has >= 2 entries).
-
-    Returns the cyclic sequences ``(a_0..a_{r-1}, b_0..b_{r-1})`` where
-    ``b_i`` is second on ``a_i``'s list and ``a_{i+1}`` is last on
-    ``b_i``'s list.
-    """
-    seq_a: list[Agent] = [start]
-    seq_b: list[Agent] = []
-    first_seen: dict[Agent, int] = {start: 0}
-    while True:
-        current = seq_a[-1]
-        second = table.active[current][1]
-        seq_b.append(second)
-        successor = table.active[second][-1]
-        if successor in first_seen:
-            cycle_from = first_seen[successor]
-            return seq_a[cycle_from:], seq_b[cycle_from:]
-        first_seen[successor] = len(seq_a)
-        seq_a.append(successor)
-
-
-def _phase_two(table: _Table) -> int | None:
-    """Eliminate rotations until all lists are singletons.
-
-    Returns the number of rotations eliminated, or ``None`` when a list
-    empties (no stable matching).
-    """
-    eliminated = 0
-    while True:
-        lengths = {agent: len(lst) for agent, lst in table.active.items()}
-        if any(length == 0 for length in lengths.values()):
-            return None
-        oversized = sorted(agent for agent, length in lengths.items() if length > 1)
-        if not oversized:
-            return eliminated
-        cycle_a, cycle_b = _find_rotation(table, oversized[0])
-        # Eliminate: each b_i rejects everyone worse than a_i (in particular
-        # its current proposer a_{i+1}), restoring the semi-engagement
-        # invariant one notch further down the lattice.
-        for a, b in zip(cycle_a, cycle_b):
-            if b not in table.active[a]:
-                return None
-            table.truncate_after(b, a)
-        eliminated += 1
-
-
 def stable_roommates(preferences: Mapping[Agent, Sequence[Agent]]) -> RoommatesResult:
     """Run Irving's algorithm.
 
@@ -177,25 +75,16 @@ def stable_roommates(preferences: Mapping[Agent, Sequence[Agent]]) -> RoommatesR
         the instance admits no stable matching.
     """
     _validate(preferences)
-    table = _Table(preferences)
+    agents = sorted(preferences)
+    index_of = {agent: index for index, agent in enumerate(agents)}
+    rows = [[index_of[other] for other in preferences[agent]] for agent in agents]
 
-    holds = _phase_one(table)
-    if holds is None:
-        return RoommatesResult(matching=None, rotations_eliminated=0)
-    for recipient, proposer in sorted(holds.items()):
-        table.truncate_after(recipient, proposer)
-
-    eliminated = _phase_two(table)
-    if eliminated is None:
-        return RoommatesResult(matching=None, rotations_eliminated=0)
-
-    matching: dict[Agent, Agent] = {}
-    for agent, lst in table.active.items():
-        matching[agent] = lst[0]
-    for agent, partner in matching.items():
-        if matching.get(partner) != agent:
-            # Can only happen on malformed input that slipped validation.
-            return RoommatesResult(matching=None, rotations_eliminated=eliminated)
+    partner, eliminated = roommates_core(len(agents), rows)
+    if partner is None:
+        return RoommatesResult(matching=None, rotations_eliminated=eliminated)
+    matching: dict[Agent, Agent] = {
+        agent: agents[partner[index_of[agent]]] for agent in preferences
+    }
     return RoommatesResult(matching=matching, rotations_eliminated=eliminated)
 
 

@@ -242,8 +242,25 @@ class ExecutionCache(NullExecutionCache):
                 self._verify_hits, self._verify_misses, len(self._verdicts)
             ),
             "memo": self._family(self._memo_hits, self._memo_misses, len(self._memo)),
+            "solvability": self._solvability_family(),
             "encode": self._bytes.entry_counts(),
         }
+
+    @staticmethod
+    def _solvability_family() -> dict:
+        """The verdict memo's counters, shaped like the other families.
+
+        Unlike the batch-scoped families above this memo is
+        *process-global* (an unbounded ``lru_cache`` on the pure
+        oracle), so within one process every cache reports the same
+        numbers; across parallel workers each process reports its own.
+        """
+        from repro.core.solvability import solvability_cache_stats
+
+        counters = solvability_cache_stats()
+        return ExecutionCache._family(
+            counters["hits"], counters["misses"], counters["entries"]
+        )
 
 
 def merge_cache_stats(per_worker: Sequence[Mapping]) -> dict:
@@ -258,7 +275,7 @@ def merge_cache_stats(per_worker: Sequence[Mapping]) -> dict:
     """
     merged: dict = {
         family: {"entries": 0, "hits": 0, "misses": 0}
-        for family in ("signatures", "verifications", "memo")
+        for family in ("signatures", "verifications", "memo", "solvability")
     }
     encode_totals: dict[str, int] = {}
     for stats in per_worker:

@@ -1,0 +1,471 @@
+"""Differential tests: the rank-matrix kernel vs the legacy loops.
+
+The kernel (``repro.matching.kernel``) replaced the ``PartyId``-keyed
+dict/heap implementations behind ``gale_shapley``,
+``gale_shapley_incomplete``, ``stable_roommates``, ``Sweep.grid``, and
+the engine's offline record path.  These tests keep verbatim copies of
+the *legacy* implementations and prove byte-identity on randomized and
+hypothesis-generated instances: matching, ``proposals``,
+``rejections``, both proposer sides, ``rotations_eliminated``, grid
+order, and the offline record statistics.
+"""
+
+import heapq
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.problem import Setting
+from repro.core.solvability import cached_is_solvable
+from repro.crypto.encoding import pack_profile, pack_ranking, unpack_ranking
+from repro.errors import ProtocolError
+from repro.ids import LEFT, RIGHT, left_side, right_side
+from repro.matching.gale_shapley import gale_shapley
+from repro.matching.generators import (
+    random_incomplete_profile,
+    random_profile,
+    random_roommates_preferences,
+)
+from repro.matching.incomplete import gale_shapley_incomplete
+from repro.matching.kernel import (
+    gs_rank_arrays,
+    random_instance_stats,
+    solvable_pairs,
+)
+from repro.matching.matching import Matching
+from repro.matching.preferences import PreferenceProfile
+from repro.matching.roommates import stable_roommates
+from repro.net.topology import TOPOLOGY_NAMES
+
+# -- verbatim legacy implementations (pre-kernel) ------------------------------
+
+
+def legacy_gale_shapley(profile, proposer_side=LEFT):
+    """The historical smallest-id-first heap loop, counters included."""
+    k = profile.k
+    proposers = left_side(k) if proposer_side == LEFT else right_side(k)
+    next_choice = {p: 0 for p in proposers}
+    engaged_to = {}
+    free = list(proposers)
+    heapq.heapify(free)
+    proposals = 0
+    rejections = 0
+    while free:
+        proposer = heapq.heappop(free)
+        candidate = profile.list_of(proposer)[next_choice[proposer]]
+        next_choice[proposer] += 1
+        proposals += 1
+        incumbent = engaged_to.get(candidate)
+        if incumbent is None:
+            engaged_to[candidate] = proposer
+        elif profile.prefers(candidate, proposer, incumbent):
+            engaged_to[candidate] = proposer
+            rejections += 1
+            heapq.heappush(free, incumbent)
+        else:
+            rejections += 1
+            heapq.heappush(free, proposer)
+    matching = Matching.from_pairs(
+        (proposer, responder) if proposer.is_left() else (responder, proposer)
+        for responder, proposer in engaged_to.items()
+    )
+    return matching, proposals, rejections
+
+
+def legacy_gale_shapley_incomplete(profile, proposer_side=LEFT):
+    """The historical incomplete-lists heap loop."""
+    k = profile.k
+    proposers = left_side(k) if proposer_side == LEFT else right_side(k)
+    next_choice = {p: 0 for p in proposers}
+    engaged_to = {}
+    free = list(proposers)
+    heapq.heapify(free)
+    while free:
+        proposer = heapq.heappop(free)
+        ranking = profile.lists[proposer]
+        while next_choice[proposer] < len(ranking):
+            candidate = ranking[next_choice[proposer]]
+            next_choice[proposer] += 1
+            if not profile.accepts(candidate, proposer):
+                continue
+            incumbent = engaged_to.get(candidate)
+            if incumbent is None:
+                engaged_to[candidate] = proposer
+                break
+            if profile.prefers(candidate, proposer, incumbent):
+                engaged_to[candidate] = proposer
+                heapq.heappush(free, incumbent)
+                break
+    return Matching.from_pairs(
+        (proposer, responder) if proposer.is_left() else (responder, proposer)
+        for responder, proposer in engaged_to.items()
+    )
+
+
+class _LegacyTable:
+    """Verbatim copy of the pre-kernel roommates reduction table."""
+
+    def __init__(self, preferences):
+        self.active = {agent: list(r) for agent, r in preferences.items()}
+        self.rank = {
+            agent: {other: pos for pos, other in enumerate(r)}
+            for agent, r in preferences.items()
+        }
+
+    def remove_pair(self, a, b):
+        if b in self.rank[a] and b in self.active[a]:
+            self.active[a].remove(b)
+        if a in self.rank[b] and a in self.active[b]:
+            self.active[b].remove(a)
+
+    def prefers(self, judge, a, b):
+        return self.rank[judge][a] < self.rank[judge][b]
+
+    def truncate_after(self, agent, keep):
+        lst = self.active[agent]
+        position = lst.index(keep)
+        for worse in list(lst[position + 1 :]):
+            self.remove_pair(agent, worse)
+
+
+def legacy_stable_roommates(preferences):
+    """The historical agent-keyed Irving implementation."""
+    table = _LegacyTable(preferences)
+    holds = {}
+    free = sorted(table.active, reverse=True)
+    while free:
+        proposer = free.pop()
+        while True:
+            if not table.active[proposer]:
+                return None, 0
+            target = table.active[proposer][0]
+            incumbent = holds.get(target)
+            if incumbent is None:
+                holds[target] = proposer
+                break
+            if table.prefers(target, proposer, incumbent):
+                holds[target] = proposer
+                table.remove_pair(target, incumbent)
+                free.append(incumbent)
+                break
+            table.remove_pair(target, proposer)
+    for recipient, proposer in sorted(holds.items()):
+        table.truncate_after(recipient, proposer)
+
+    eliminated = 0
+    while True:
+        lengths = {agent: len(lst) for agent, lst in table.active.items()}
+        if any(length == 0 for length in lengths.values()):
+            return None, 0
+        oversized = sorted(a for a, length in lengths.items() if length > 1)
+        if not oversized:
+            break
+        seq_a, seq_b, first_seen = [oversized[0]], [], {oversized[0]: 0}
+        while True:
+            second = table.active[seq_a[-1]][1]
+            seq_b.append(second)
+            successor = table.active[second][-1]
+            if successor in first_seen:
+                cycle_a = seq_a[first_seen[successor] :]
+                cycle_b = seq_b[first_seen[successor] :]
+                break
+            first_seen[successor] = len(seq_a)
+            seq_a.append(successor)
+        for a, b in zip(cycle_a, cycle_b):
+            if b not in table.active[a]:
+                return None, 0
+            table.truncate_after(b, a)
+        eliminated += 1
+
+    matching = {agent: lst[0] for agent, lst in table.active.items()}
+    for agent, partner in matching.items():
+        if matching.get(partner) != agent:
+            return None, eliminated
+    return matching, eliminated
+
+
+# -- Gale-Shapley byte-identity ------------------------------------------------
+
+
+class TestKernelGaleShapleyIdentity:
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=0, max_value=10**9),
+        st.sampled_from([LEFT, RIGHT]),
+    )
+    @settings(max_examples=120, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_complete_profiles(self, k, seed, side):
+        profile = random_profile(k, seed)
+        result = gale_shapley(profile, side)
+        matching, proposals, rejections = legacy_gale_shapley(profile, side)
+        assert result.matching == matching
+        assert result.proposals == proposals
+        assert result.rejections == rejections
+        assert result.proposer_side == side
+
+    @given(
+        st.integers(min_value=1, max_value=24),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=10**6),
+        st.sampled_from([LEFT, RIGHT]),
+    )
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_incomplete_profiles(self, k, acceptance, seed, side):
+        profile = random_incomplete_profile(k, acceptance, seed)
+        assert gale_shapley_incomplete(profile, side) == legacy_gale_shapley_incomplete(
+            profile, side
+        )
+
+    def test_adversarial_handcrafted_profile(self):
+        # Master-list contention: everyone fights over the same order.
+        lists = {}
+        k = 5
+        for i in range(k):
+            lists[left_side(k)[i]] = tuple(right_side(k))
+            lists[right_side(k)[i]] = tuple(left_side(k))
+        profile = PreferenceProfile(k=k, lists=lists)
+        for side in (LEFT, RIGHT):
+            result = gale_shapley(profile, side)
+            matching, proposals, rejections = legacy_gale_shapley(profile, side)
+            assert result.matching == matching
+            assert (result.proposals, result.rejections) == (proposals, rejections)
+
+    def test_exhaustion_raises(self):
+        # A hand-built ragged pref row must fail loudly, like the legacy loop.
+        from array import array
+
+        from repro.errors import MatchingError
+
+        pref = array("i", [0, 0, 0, 0])  # both proposers only ever propose to 0
+        rank = array("i", [0, 1, 0, 1])
+        with pytest.raises(MatchingError, match="exhausted"):
+            gs_rank_arrays(2, pref, rank)
+
+
+# -- roommates byte-identity ---------------------------------------------------
+
+
+class TestKernelRoommatesIdentity:
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=80, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_random_instances(self, half, seed):
+        agents = [f"a{i:02d}" for i in range(2 * half)]
+        preferences = random_roommates_preferences(agents, seed)
+        result = stable_roommates(preferences)
+        matching, eliminated = legacy_stable_roommates(preferences)
+        assert result.matching == matching
+        if matching is not None:
+            assert result.rotations_eliminated == eliminated
+
+    def test_unsolvable_instance(self):
+        # Classic 4-agent no-solution instance.
+        preferences = {
+            "a": ("b", "c", "d"),
+            "b": ("c", "a", "d"),
+            "c": ("a", "b", "d"),
+            "d": ("a", "b", "c"),
+        }
+        result = stable_roommates(preferences)
+        matching, _ = legacy_stable_roommates(preferences)
+        assert result.matching is None and matching is None
+
+
+# -- batched solvability -------------------------------------------------------
+
+
+class TestSolvablePairs:
+    @pytest.mark.parametrize("topology", TOPOLOGY_NAMES)
+    @pytest.mark.parametrize("authenticated", [False, True])
+    def test_matches_oracle_on_both_paths(self, topology, authenticated):
+        # k < 8 exercises the pure loop, k >= 8 the numpy mask (when
+        # numpy is present); both must agree with the verdict oracle in
+        # value AND order (lexicographic, as Sweep.grid's loops were).
+        for k in (1, 2, 3, 5, 8, 13, 21):
+            expected = tuple(
+                (tL, tR)
+                for tL in range(k + 1)
+                for tR in range(k + 1)
+                if cached_is_solvable(Setting(topology, authenticated, k, tL, tR)).solvable
+            )
+            assert solvable_pairs(topology, authenticated, k) == expected
+
+
+# -- the offline record fast path ----------------------------------------------
+
+
+class TestRandomInstanceStats:
+    @given(
+        st.integers(min_value=1, max_value=48),
+        st.integers(min_value=0, max_value=10**9),
+    )
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_matches_full_record_path(self, k, seed):
+        proposals, receiver_rank = random_instance_stats(k, seed)
+        profile = random_profile(k, seed)
+        result = gale_shapley(profile)
+        expected_rank = sum(
+            profile.rank(party, result.matching.partner(party)) + 1
+            for party in right_side(k)
+        )
+        assert proposals == result.proposals
+        assert receiver_rank == expected_rank
+
+    def test_offline_engine_records_unchanged(self):
+        # End to end: the engine's kernel fast path vs forcing the
+        # profile-building path through an explicit profile spec.
+        from repro.experiment.engine import execute_spec
+        from repro.experiment.spec import ProfileSpec, ScenarioSpec
+
+        k, seed = 6, 123
+        fast = ScenarioSpec(
+            family="offline", algorithm="gale_shapley", k=k,
+            profile=ProfileSpec(kind="random", seed=seed),
+        )
+        explicit = ScenarioSpec(
+            family="offline", algorithm="gale_shapley", k=k,
+            profile=ProfileSpec.explicit(random_profile(k, seed)),
+        )
+        (fast_record,) = execute_spec(fast)
+        (slow_record,) = execute_spec(explicit)
+        for field in ("matched", "proposals", "receiver_rank", "ok"):
+            assert getattr(fast_record, field) == getattr(slow_record, field)
+
+
+# -- lowering and the trusted constructor --------------------------------------
+
+
+class TestRankTables:
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tables_agree_with_lists(self, k, seed):
+        profile = random_profile(k, seed)
+        tables = profile.tables
+        for i, party in enumerate(left_side(k)):
+            row = profile.lists[party]
+            assert list(tables.pref_row(LEFT, i)) == [c.index for c in row]
+            for position, candidate in enumerate(row):
+                assert tables.rank_of(LEFT, i, candidate.index) == position
+                assert profile.rank(party, candidate) == position
+        for i, party in enumerate(right_side(k)):
+            row = profile.lists[party]
+            assert list(tables.pref_row(RIGHT, i)) == [c.index for c in row]
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_trusted_constructor_equals_validating(self, k, seed):
+        rng = random.Random(seed)
+        left_rows = [rng.sample(range(k), k) for _ in range(k)]
+        right_rows = [rng.sample(range(k), k) for _ in range(k)]
+        trusted = PreferenceProfile.from_trusted_index_rows(k, left_rows, right_rows)
+        validated = PreferenceProfile.from_index_lists(left_rows, right_rows)
+        assert trusted == validated
+        assert bytes(trusted.tables.left_rank) == bytes(validated.tables.left_rank)
+        assert bytes(trusted.tables.right_rank) == bytes(validated.tables.right_rank)
+
+
+# -- compact fixed-width ranking codec -----------------------------------------
+
+
+class TestPackedRankings:
+    @given(
+        st.sampled_from(["L", "R"]),
+        st.lists(st.integers(min_value=0, max_value=0xFFFF), max_size=80),
+    )
+    @settings(max_examples=120)
+    def test_round_trip(self, side, indexes):
+        packed = pack_ranking(side, indexes)
+        got_side, got_indexes = unpack_ranking(packed)
+        assert got_side == side
+        assert list(got_indexes) == indexes
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ProtocolError):
+            pack_ranking("X", [0, 1])
+        with pytest.raises(ProtocolError):
+            unpack_ranking(b"nonsense")
+        with pytest.raises(ProtocolError):
+            unpack_ranking(pack_ranking("L", [1, 2, 3])[:-1])
+
+    def test_pack_profile_injective_on_samples(self):
+        blobs = {pack_profile(random_profile(4, seed).tables) for seed in range(40)}
+        assert len(blobs) == 40
+        # Distinct k never collides either (length-prefixed by k).
+        assert pack_profile(random_profile(2, 0).tables) != pack_profile(
+            random_profile(3, 0).tables
+        )
+
+
+# -- the solvability memo counters (satellite: unbounded + surfaced) -----------
+
+
+class TestSolvabilityCacheStats:
+    def test_unbounded_and_surfaced_through_cache_stats(self):
+        from repro.core.solvability import solvability_cache_stats
+        from repro.runtime.cache import ExecutionCache, merge_cache_stats
+
+        assert cached_is_solvable.cache_info().maxsize is None
+        before = solvability_cache_stats()
+        cached_is_solvable(Setting("fully_connected", True, 3, 1, 1))
+        after = solvability_cache_stats()
+        assert after["hits"] + after["misses"] > before["hits"] + before["misses"]
+        assert set(after) == {"entries", "hits", "misses"}
+
+        stats = ExecutionCache().stats()
+        assert stats["solvability"]["entries"] == after["entries"]
+        merged = merge_cache_stats([stats, stats])
+        assert merged["solvability"]["entries"] == 2 * after["entries"]
+
+
+# -- the optional C fast lane --------------------------------------------------
+
+
+class TestNativeLane:
+    """The compiled Fisher-Yates lane is bit-identical to the python loop."""
+
+    @pytest.mark.parametrize("k", (64, 65, 257))
+    def test_rows_and_rng_state_match_pure_python(self, k):
+        from repro.matching import _native
+        from repro.matching.kernel import _mt_shuffled_matrix, _shuffled_row
+
+        if _native.load() is None:
+            pytest.skip("no C compiler / numpy in this environment")
+        fast, slow = random.Random(11), random.Random(11)
+        matrix = _mt_shuffled_matrix(fast, k, 2 * k)
+        assert matrix is not None
+        getrandbits = slow.getrandbits
+        rows = [_shuffled_row(k, getrandbits) for _ in range(2 * k)]
+        assert matrix.tolist() == rows
+        # The shared generator must land on the same stream position:
+        # a caller's next draw is unaffected by which lane ran.
+        assert fast.getstate() == slow.getstate()
+        assert fast.random() == slow.random()
+
+    def test_small_instances_stay_on_the_python_path(self):
+        from repro.matching.kernel import _NATIVE_MIN_CELLS, _mt_shuffled_matrix
+
+        k = 8
+        assert 2 * k * k < _NATIVE_MIN_CELLS
+        assert _mt_shuffled_matrix(random.Random(0), k, 2 * k) is None
+
+    def test_native_invert_matches_python(self):
+        from repro.matching import _native
+
+        native = _native.load()
+        if native is None:
+            pytest.skip("no C compiler / numpy in this environment")
+        np = pytest.importorskip("numpy")
+        rows = np.array([[2, 0, 1, 3], [3, 2, 1, 0]], dtype=np.int32)
+        out = np.empty_like(rows)
+        native.invert_rows(rows, 4, out)
+        assert out.tolist() == [[1, 2, 0, 3], [3, 2, 1, 0]]

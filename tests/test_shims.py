@@ -67,3 +67,41 @@ class TestBenchCommonShims:
                 Setting("fully_connected", True, 2, 1, 1)
             )
         assert corrupted == (repro.left_party(0), repro.right_party(0))
+
+
+class TestIoShimStacklevel:
+    """The repro.io deprecation shims must blame the *caller*.
+
+    Every shim warns through a shared ``_deprecated`` helper, so the
+    warning travels two frames (helper -> shim) before reaching user
+    code; ``stacklevel=3`` compensates.  These tests pin that: the
+    reported filename is this test file, not the shim module.
+    """
+
+    def test_dump_shim_warning_points_at_caller(self, tmp_path):
+        from repro.experiment.spec import Sweep
+        from repro.io import dump_sweep
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            dump_sweep(Sweep(), tmp_path / "sweep.json")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert deprecations, "shim did not warn"
+        assert deprecations[0].filename == __file__
+
+    def test_load_shim_warning_points_at_caller(self, tmp_path):
+        from repro.experiment.spec import Sweep
+        from repro.io import dump, load_sweep
+
+        path = tmp_path / "sweep.json"
+        dump(Sweep(), path, format="sweep")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            load_sweep(path)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert deprecations, "shim did not warn"
+        assert deprecations[0].filename == __file__
