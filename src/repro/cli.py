@@ -28,7 +28,9 @@ Commands:
   families (see :mod:`repro.rotations`);
 * ``ensemble`` — run random-instance ensembles through the streaming
   record path and gate the measured rank/count statistics against the
-  Mertens/mean-field asymptotics (see :mod:`repro.ensembles`).
+  Mertens/mean-field asymptotics (see :mod:`repro.ensembles`);
+* ``worker`` — serve sweep chunks over stdio so this process can be a
+  remote end of the ``hosts`` executor (see :mod:`repro.runtime.remote`).
 """
 
 from __future__ import annotations
@@ -39,7 +41,12 @@ import sys
 from repro.adversary.mutators import MUTATORS
 from repro.core.problem import Setting
 from repro.errors import ReproError
-from repro.experiment.engine import EXECUTORS, POOLED_EXECUTORS, Session
+from repro.experiment.engine import (
+    EXECUTORS,
+    OUT_OF_PROCESS_EXECUTORS,
+    POOLED_EXECUTORS,
+    Session,
+)
 from repro.experiment.presets import preset_names
 from repro.experiment.spec import AdversarySpec, ProfileSpec, ScenarioSpec
 from repro.net.topology import TOPOLOGY_NAMES
@@ -143,8 +150,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--warm-cache",
         action="store_true",
-        help="parallel executor only: warm worker caches from a seed of "
-        "the parent's encode-memo tables",
+        help="parallel/hosts executors only: warm worker caches from a "
+        "seed of the parent's encode-memo tables (and the on-disk "
+        "cache when REPRO_CACHE_DIR is set)",
+    )
+    sweep.add_argument(
+        "--hosts",
+        nargs="+",
+        default=None,
+        metavar="HOST",
+        help="shard the sweep across worker endpoints ('local', "
+        "'ssh:user@box', 'cmd:...', 'http://host:port'); implies "
+        "--executor hosts",
     )
     sweep.add_argument("--json", default=None, metavar="PATH", help="export records as JSON")
     sweep.add_argument("--csv", default=None, metavar="PATH", help="export records as CSV")
@@ -201,6 +218,12 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.ensembles.cli import add_ensemble_arguments
 
     add_ensemble_arguments(ensemble)
+
+    sub.add_parser(
+        "worker",
+        help="serve sweep chunks over stdio for the hosts executor "
+        "(see repro.runtime.remote)",
+    )
 
     return parser
 
@@ -300,6 +323,24 @@ def _cmd_sweep(args) -> int:
         print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
         return 2
     executor = args.executor
+    if args.hosts is not None:
+        if executor is not None and executor != "hosts":
+            print(
+                f"error: --hosts conflicts with --executor {executor}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.workers is not None:
+            print(
+                "error: --workers does not apply to --hosts "
+                "(each host endpoint is one worker)",
+                file=sys.stderr,
+            )
+            return 2
+        executor = "hosts"
+    elif executor == "hosts":
+        print("error: --executor hosts needs --hosts HOST [HOST ...]", file=sys.stderr)
+        return 2
     if executor is None:
         # Workers demand a pool; the historical shorthand picks the
         # process pool when no executor is named.
@@ -313,15 +354,15 @@ def _cmd_sweep(args) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.warm_cache and executor != "parallel":
+    if args.warm_cache and executor not in ("parallel", "hosts"):
         print(
-            "error: --warm-cache only applies to --executor parallel",
+            "error: --warm-cache only applies to --executor parallel or hosts",
             file=sys.stderr,
         )
         return 2
     recorder = None
     if args.trace_out:
-        if executor in POOLED_EXECUTORS:
+        if executor in OUT_OF_PROCESS_EXECUTORS:
             print(
                 "error: --trace-out needs an in-process executor "
                 "(--executor serial or batch, no --workers)",
@@ -331,7 +372,18 @@ def _cmd_sweep(args) -> int:
         from repro.runtime import TraceRecorder
 
         recorder = TraceRecorder()
-    session = Session(executor=executor, workers=args.workers, warm_cache=args.warm_cache)
+    if executor == "hosts":
+        from repro.experiment.spec import ExecutorSpec
+
+        session = Session(
+            executor=ExecutorSpec(
+                name="hosts", hosts=tuple(args.hosts), warm_cache=args.warm_cache
+            )
+        )
+    else:
+        session = Session(
+            executor=executor, workers=args.workers, warm_cache=args.warm_cache
+        )
     if args.spec_json:
         from repro.io import load
 
@@ -442,6 +494,12 @@ def _cmd_ensemble(args) -> int:
     return cmd_ensemble(args)
 
 
+def _cmd_worker(args) -> int:
+    from repro.runtime.remote import worker_main
+
+    return worker_main()
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -459,6 +517,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "lattice": _cmd_lattice,
         "ensemble": _cmd_ensemble,
+        "worker": _cmd_worker,
     }
     return handlers[args.command](args)
 

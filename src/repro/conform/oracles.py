@@ -44,7 +44,7 @@ from repro.errors import ConformError
 from repro.experiment.engine import Session
 from repro.experiment.lattice_tags import effective_profile
 from repro.experiment.records import RunRecordSet
-from repro.experiment.spec import ScenarioSpec, Sweep
+from repro.experiment.spec import ExecutorSpec, ScenarioSpec, Sweep
 from repro.rotations import cached_poset, consistent_position, outputs_to_partners
 from repro.runtime.api import RUNTIME_NAMES
 
@@ -58,6 +58,7 @@ __all__ = [
     "resolve_oracles",
     "default_oracle_names",
     "differential_sweep",
+    "localhost_executor",
     "DIFFERENTIAL_EXECUTORS",
 ]
 
@@ -65,8 +66,25 @@ __all__ = [
 #: ``process`` executor is covered transitively (it runs the same
 #: serial per-spec path inside each worker and is exercised by the
 #: engine's own differential suite); ``parallel`` is the plane with new
-#: moving parts (sharding, per-worker caches, warm starts).
+#: moving parts (sharding, per-worker caches, warm starts).  The
+#: ``hosts`` executor is opt-in (pass ``executors=(..., "hosts")``): it
+#: spawns localhost worker subprocesses (see :func:`localhost_executor`),
+#: which is the right cost for a dedicated suite or a CI smoke job but
+#: not for every fuzzing run.
 DIFFERENTIAL_EXECUTORS = ("serial", "batch", "parallel")
+
+
+def localhost_executor(executor: str) -> "str | ExecutorSpec":
+    """An engine-ready executor argument for a differential leg.
+
+    The ``hosts`` executor needs endpoints; differential checks always
+    mean "this machine, two workers" — a two-endpoint localhost plane
+    exercises chunking, work stealing, and reassembly without network.
+    Every other executor name passes through unchanged.
+    """
+    if executor == "hosts":
+        return ExecutorSpec(name="hosts", hosts=("local", "local"))
+    return executor
 
 
 @dataclass(frozen=True)
@@ -144,7 +162,9 @@ class OracleContext:
         cached = self._memo.get(key)
         if cached is None:
             self.executions += 1
-            cached = self.session.sweep(Sweep.of(spec), executor=executor)
+            cached = self.session.sweep(
+                Sweep.of(spec), executor=localhost_executor(executor)
+            )
             self._memo[key] = cached
         return cached
 
@@ -377,7 +397,9 @@ class ExecutorDifferential(Oracle):
     shard, so the *pool* round-trip and multi-shard reassembly are
     deliberately not re-executed here per scenario; they are covered at
     ensemble granularity by :func:`differential_sweep` with
-    ``executors=`` and by the engine's own differential suite.
+    ``executors=`` and by the engine's own differential suite.  Passing
+    ``executors=(..., "hosts")`` adds the cross-host plane on a
+    two-worker localhost deployment (see :func:`localhost_executor`).
     """
 
     executors: tuple[str, ...] = DIFFERENTIAL_EXECUTORS
@@ -609,7 +631,9 @@ def differential_sweep(
             continue  # the reference already ran on this plane
         failures.extend(
             compare(
-                session.sweep(pinned(reference_runtime), executor=executor),
+                session.sweep(
+                    pinned(reference_runtime), executor=localhost_executor(executor)
+                ),
                 "executor",
                 executor,
                 f"the {reference_executor} executor",

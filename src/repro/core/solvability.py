@@ -18,7 +18,7 @@ exactly over integers (``tL < k/3`` is ``3*tL < k``).
 
 from __future__ import annotations
 
-import functools
+import collections
 from dataclasses import dataclass
 
 from repro.core.problem import Setting
@@ -163,6 +163,60 @@ def is_solvable(setting: Setting) -> SolvabilityVerdict:
     )
 
 
+#: ``cache_info()`` result — the ``lru_cache`` field names, so callers
+#: that introspect the memo (tests, stats) see the familiar shape.
+_CacheInfo = collections.namedtuple("CacheInfo", "hits misses maxsize currsize")
+
+
+class _SolvabilityMemo:
+    """Unbounded verdict memo with export/prime hooks for the disk layer.
+
+    Drop-in for the historical ``functools.lru_cache(maxsize=None)``
+    wrapper (``cache_info``/``cache_clear`` keep their shapes), plus
+    :meth:`export_entries`/:meth:`prime` so
+    :mod:`repro.runtime.diskcache` can persist verdicts across
+    processes.  Priming is sound because verdicts are pure functions of
+    the (hashable, frozen) setting — a primed entry is byte-for-byte
+    what recomputing it would produce, guarded upstream by the disk
+    layer's code-fingerprint versioning.
+    """
+
+    __slots__ = ("_fn", "_entries", "_hits", "_misses")
+
+    def __init__(self, fn) -> None:
+        self._fn = fn
+        self._entries: dict = {}
+        self._hits = 0
+        self._misses = 0
+
+    def __call__(self, setting: Setting) -> SolvabilityVerdict:
+        verdict = self._entries.get(setting)
+        if verdict is None:
+            self._misses += 1
+            verdict = self._fn(setting)
+            self._entries[setting] = verdict
+        else:
+            self._hits += 1
+        return verdict
+
+    def cache_info(self) -> _CacheInfo:
+        return _CacheInfo(self._hits, self._misses, None, len(self._entries))
+
+    def cache_clear(self) -> None:
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def export_entries(self) -> tuple:
+        """Picklable ``(setting, verdict)`` pairs, insertion-ordered."""
+        return tuple(self._entries.items())
+
+    def prime(self, entries) -> None:
+        """Pre-seed from :meth:`export_entries` pairs (existing entries win)."""
+        for setting, verdict in entries:
+            self._entries.setdefault(setting, verdict)
+
+
 #: The oracle, memoized process-wide.  Verdicts are pure functions of
 #: the (hashable, frozen) setting, and every layer that walks the
 #: characterization grid — sweep expansion, the frontier preset, the
@@ -173,7 +227,7 @@ def is_solvable(setting: Setting) -> SolvabilityVerdict:
 #: topology/auth combinations), and verdicts are tiny frozen
 #: dataclasses.  Hit/miss counters surface through
 #: ``ExecutionCache.stats()`` as the ``solvability`` family.
-cached_is_solvable = functools.lru_cache(maxsize=None)(is_solvable)
+cached_is_solvable = _SolvabilityMemo(is_solvable)
 
 
 def solvability_cache_stats() -> dict[str, int]:

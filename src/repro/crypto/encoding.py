@@ -25,6 +25,7 @@ __all__ = [
     "encode",
     "encoded_size",
     "EncodeMemo",
+    "SizeMemo",
     "pack_ranking",
     "unpack_ranking",
     "pack_profile",
@@ -287,8 +288,155 @@ def _encode(value: object, memo: "EncodeMemo | None") -> bytes:
     )
 
 
-def encoded_size(value: object, memo: "EncodeMemo | None" = None) -> int:
-    """Size in bytes of the canonical encoding (message-size accounting)."""
+class SizeMemo:
+    """A hash-consing memo for canonical-encoding *sizes*.
+
+    The per-message ``payload_size`` accounting only needs ``len(bytes)``
+    — building the canonical bytes just to measure them was ~40% of a
+    scale-tier ``table1_solvability`` pass.  This memo mirrors
+    :class:`EncodeMemo`'s structural canonicalization exactly (identity
+    map, type-exact leaf keys, child-canonical-id struct keys, the same
+    storability rules) but stores an ``int`` per entry instead of a
+    bytes object, and the direct walk computes sizes arithmetically
+    without ever materializing an encoding.
+
+    Soundness rides on the same invariants as :class:`EncodeMemo` (see
+    its docstring) plus one more: every ``_size`` branch below is the
+    closed form of the matching ``_encode`` branch's length.  Sorting in
+    the set/dict encodings reorders bytes but never changes the total,
+    so sizes compose by plain summation.  ``tests/test_encoding.py``
+    pins ``size == len(encode)`` across the payload grammar.
+    """
+
+    __slots__ = ("_by_id", "_leaves", "_structs")
+
+    def __init__(self) -> None:
+        #: id(obj) -> (pinned obj, size, canonical id)
+        self._by_id: dict[int, tuple[object, int, int]] = {}
+        #: (type, value) -> (pinned obj, size, canonical id)
+        self._leaves: dict[tuple, tuple[object, int, int]] = {}
+        #: (child canonical ids...) -> (pinned obj, size, canonical id)
+        self._structs: dict[tuple, tuple[object, int, int]] = {}
+
+    def entry_counts(self) -> dict:
+        """Sizes of the three memo tables (for cache introspection)."""
+        return {
+            "identity_entries": len(self._by_id),
+            "leaf_entries": len(self._leaves),
+            "struct_entries": len(self._structs),
+        }
+
+    def size(self, value: object) -> int:
+        """Canonical-encoding size of ``value``, memoized structurally."""
+        entry = self._by_id.get(id(value))
+        if entry is not None:
+            return entry[1]
+        return self._cons(value)[0]
+
+    def _cons(self, value: object) -> "tuple[int, int | None]":
+        """Canonicalize ``value``; returns ``(size, canonical id)``.
+
+        Same first-seen pinning discipline as :meth:`EncodeMemo._cons`:
+        structural duplicates resolve without being registered, so the
+        identity map is bounded by distinct structures.  Unstorable
+        values return a ``None`` id.
+        """
+        cls = value.__class__
+        if cls is tuple:
+            by_id = self._by_id
+            child_ids = []
+            total = 5
+            for item in value:
+                entry = by_id.get(id(item))
+                if entry is not None:
+                    child_ids.append(entry[2])
+                    total += entry[1]
+                    continue
+                size, canonical = self._cons(item)
+                if canonical is None:  # unstorable child: no consing here
+                    return _size(value, self), None
+                child_ids.append(canonical)
+                total += size
+            skey = tuple(child_ids)
+            hit = self._structs.get(skey)
+            if hit is not None:
+                return hit[1], hit[2]
+            entry = (value, total, id(value))
+            self._structs[skey] = entry
+            by_id[id(value)] = entry
+            return total, entry[2]
+        if cls in _EXACT_LEAF_TYPES:
+            lkey = (cls, value)
+            hit = self._leaves.get(lkey)
+            if hit is not None:
+                return hit[1], hit[2]
+            size = _size(value, self)
+            entry = (value, size, id(value))
+            self._leaves[lkey] = entry
+            self._by_id[id(value)] = entry
+            return size, entry[2]
+        if cls is frozenset or cls is _signature_class():
+            size = _size(value, self)
+            self._by_id[id(value)] = (value, size, id(value))
+            return size, id(value)
+        # Mutable or foreign: never stored.
+        return _size(value, self), None
+
+
+def _sized(value: object, memo: "SizeMemo | None") -> int:
+    if memo is not None:
+        entry = memo._by_id.get(id(value))
+        if entry is not None:
+            return entry[1]
+        return memo._cons(value)[0]
+    return _size(value, None)
+
+
+def _size(value: object, memo: "SizeMemo | None") -> int:
+    """Closed-form length of ``_encode(value, ...)`` — branch for branch."""
+    if value is None or value is True or value is False:
+        return 1
+    if isinstance(value, int):
+        return 5 + len(str(value))
+    if isinstance(value, float):
+        return 9
+    if isinstance(value, str):
+        return 5 + len(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return 5 + len(value)
+    if isinstance(value, PartyId):
+        return 5 + len(str(value))
+    if isinstance(value, (tuple, list)):
+        return 5 + sum(_sized(item, memo) for item in value)
+    if isinstance(value, (frozenset, set)):
+        # The encoding sorts the items' bytes; sorting permutes, never
+        # grows, so the total is order-independent.
+        return 5 + sum(_sized(item, memo) for item in value)
+    if isinstance(value, dict):
+        return 5 + sum(
+            _sized(key, memo) + _sized(val, memo) for key, val in value.items()
+        )
+    signer = getattr(value, "signer", None)
+    tag = getattr(value, "tag", None)
+    if isinstance(signer, PartyId) and isinstance(tag, bytes):
+        return 1 + _sized(signer, memo) + 4 + len(tag)
+    raise ProtocolError(
+        f"cannot canonically encode value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def encoded_size(value: object, memo: "EncodeMemo | SizeMemo | None" = None) -> int:
+    """Size in bytes of the canonical encoding (message-size accounting).
+
+    Without a memo (or with a :class:`SizeMemo`) this is a size-only
+    walk that never builds canonical bytes; passing an
+    :class:`EncodeMemo` still measures through the encoder so callers
+    that already hold one keep their byte sharing.
+    """
+    if memo is None:
+        return _size(value, None)
+    if isinstance(memo, SizeMemo):
+        return _sized(value, memo)
     return len(encode(value, memo))
 
 

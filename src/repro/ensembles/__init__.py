@@ -25,6 +25,8 @@ from repro.ensembles.observables import (
     ORACLE_NAME,
     CountObservables,
     EnsembleReport,
+    RankHistogram,
+    RankHistogramSink,
     SizeObservables,
     check_count_statistics,
     check_rank_statistics,
@@ -62,6 +64,8 @@ __all__ = [
     "ENSEMBLE_REPORT_SCHEMA",
     "SizeObservables",
     "CountObservables",
+    "RankHistogram",
+    "RankHistogramSink",
     "EnsembleReport",
     "observables_from_summaries",
     "check_rank_statistics",

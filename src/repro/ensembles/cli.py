@@ -139,6 +139,17 @@ def _print_report(report) -> None:
             f"range [{obs.min_count}, {obs.max_count}] "
             f"(asymptotic {data['theory_asymptotic']:.3f})"
         )
+    for hist in report.histograms:
+        total = sum(count for _, count in hist.counts) or 1
+        peak = max((count for _, count in hist.counts), default=1)
+        bars = " ".join(
+            f"{start:.2f}:{'#' * max(1, round(8 * count / peak))}"
+            for start, count in hist.counts
+        )
+        print(
+            f"  n={hist.n:5d} {hist.metric:13s} "
+            f"({total} runs, bin {hist.bin_width}): {bars}"
+        )
     for violation in report.violations:
         print(f"  VIOLATION [{violation.oracle}] {violation.scenario}: {violation.message}")
 

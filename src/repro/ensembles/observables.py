@@ -27,12 +27,15 @@ from repro.conform.oracles import Violation
 from repro.ensembles import theory
 from repro.ensembles.generators import ensemble_specs
 from repro.errors import ReproError
+from repro.experiment.sinks import RecordSink
 
 __all__ = [
     "ORACLE_NAME",
     "ENSEMBLE_REPORT_SCHEMA",
     "SizeObservables",
     "CountObservables",
+    "RankHistogram",
+    "RankHistogramSink",
     "observables_from_summaries",
     "check_rank_statistics",
     "measure_stable_matching_counts",
@@ -96,6 +99,69 @@ def observables_from_summaries(
             )
         )
     return tuple(result)
+
+
+@dataclass(frozen=True)
+class RankHistogram:
+    """Distribution of per-run mean partner ranks for one size/side."""
+
+    n: int
+    metric: str
+    bin_width: float
+    counts: tuple[tuple[float, int], ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "metric": self.metric,
+            "bin_width": self.bin_width,
+            "counts": [[round(start, 6), count] for start, count in self.counts],
+        }
+
+
+class RankHistogramSink(RecordSink):
+    """Stream per-run mean ranks into per-size fixed-width histograms.
+
+    Every offline run contributes one normalized sample per side
+    (``proposals / k`` proposer-side, ``receiver_rank / k``
+    receiver-side) to its size's histogram, so the report carries the
+    *distribution* the theory bands only gate the mean of.  Tee it with
+    the aggregate — it holds counters, never records.
+    """
+
+    _SIDES = (("proposer_rank", "proposals"), ("receiver_rank", "receiver_rank"))
+
+    def __init__(self, bin_width: float = 0.25) -> None:
+        if bin_width <= 0:
+            raise ReproError(f"bin_width must be positive, got {bin_width}")
+        super().__init__()
+        self.bin_width = bin_width
+        self._counts: dict[tuple[int, str], dict[int, int]] = {}
+
+    def _accept(self, batch) -> None:
+        width = self.bin_width
+        for record in batch:
+            if not record.k:
+                continue
+            for metric, attribute in self._SIDES:
+                counter = self._counts.setdefault((record.k, metric), {})
+                index = int(getattr(record, attribute) / record.k / width)
+                counter[index] = counter.get(index, 0) + 1
+
+    def histograms(self) -> tuple[RankHistogram, ...]:
+        """Per-(size, side) histograms, sizes ascending, proposer first."""
+        return tuple(
+            RankHistogram(
+                n=n,
+                metric=metric,
+                bin_width=self.bin_width,
+                counts=tuple(
+                    (index * self.bin_width, counter[index])
+                    for index in sorted(counter)
+                ),
+            )
+            for (n, metric), counter in sorted(self._counts.items())
+        )
 
 
 def _violation(scenario: str, message: str, **details: object) -> Violation:
@@ -232,6 +298,7 @@ class EnsembleReport:
     observables: tuple[SizeObservables, ...]
     counts: tuple[CountObservables, ...]
     violations: tuple[Violation, ...]
+    histograms: tuple[RankHistogram, ...] = ()
     peak_resident: int = 0
     spilled: int = 0
     elapsed_seconds: float = field(default=0.0, compare=False)
@@ -250,6 +317,7 @@ class EnsembleReport:
             "observables": [obs.to_dict() for obs in self.observables],
             "counts": [obs.to_dict() for obs in self.counts],
             "violations": [v.to_dict() for v in self.violations],
+            "histograms": [hist.to_dict() for hist in self.histograms],
             "peak_resident": self.peak_resident,
             "spilled": self.spilled,
         }
@@ -299,13 +367,15 @@ def run_ensemble_check(
     aggregate = AggregateSink(
         by=("k",), metrics=("proposals", "receiver_rank", "matched")
     )
-    sink = aggregate
+    rank_histograms = RankHistogramSink()
     spill = None
     if spill_threshold is not None:
         if spill_path is None:
             raise ReproError("spill_threshold needs spill_path")
         spill = SpillSink(spill_threshold, spill_path)
-        sink = TeeSink(aggregate, spill)
+        sink = TeeSink(aggregate, rank_histograms, spill)
+    else:
+        sink = TeeSink(aggregate, rank_histograms)
     specs = ensemble_specs(ns, seeds)
     with sink:
         record_count = sweep_into(
@@ -324,6 +394,7 @@ def run_ensemble_check(
         observables=observables,
         counts=counts,
         violations=tuple(violations),
+        histograms=rank_histograms.histograms(),
         # Without a spill sink nothing is retained, so the envelope is
         # one execution slice; with one, the sink's high-water mark.
         peak_resident=spill.peak_resident if spill else min(batch_size, record_count),

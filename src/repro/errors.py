@@ -20,6 +20,7 @@ __all__ = [
     "BenchError",
     "ConformError",
     "ServeError",
+    "RemoteError",
 ]
 
 
@@ -69,3 +70,7 @@ class ConformError(ReproError):
 
 class ServeError(ReproError):
     """The matching service was misconfigured or driven into a bad state."""
+
+
+class RemoteError(ReproError):
+    """A cross-host worker failed, disagreed on versions, or spoke garbage."""

@@ -1,0 +1,113 @@
+"""Checkpoint/resume bookkeeping for long streaming sweeps.
+
+A multi-hour ensemble killed at 90% used to restart from zero.  A
+:class:`SweepCheckpoint` sits next to the run's NDJSON/spill archive and
+records how many *specs* (not records — one spec can emit several rows)
+have been fully written to the sink.  On restart with the same workload,
+:func:`repro.experiment.engine.sweep_into` skips the completed prefix;
+paired with an append-mode :class:`~repro.experiment.sinks.NdjsonSink`
+(whose ``prepare_ndjson_append`` already repairs a torn tail), the
+resumed archive is byte-identical to an uninterrupted run — specs are
+deterministic and records always land in spec order, so "first N specs
+done" fully describes the archive's contents.
+
+The checkpoint file is small JSON, written atomically (temp +
+``os.replace``) after every flushed batch, fingerprinted by a SHA-256
+over the ordered spec JSONs: a checkpoint from a *different* workload —
+or from different code, since specs pin everything that shapes records —
+never resumes, it just starts over.  Successful completion deletes the
+file.
+
+Alongside the spec count the checkpoint records the archive's byte
+offset at the acknowledged flush (``archive_bytes``, when the sink can
+report one).  A kill can land *between* a flush and the checkpoint
+update, leaving flushed records the checkpoint never acknowledged —
+resuming must first roll the archive back to the acknowledged offset
+(``NdjsonSink.rollback``), or those records would appear twice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Sequence
+
+__all__ = ["SweepCheckpoint", "sweep_fingerprint"]
+
+_SCHEMA = 1
+
+
+def sweep_fingerprint(specs: Sequence[object]) -> str:
+    """SHA-256 over the ordered spec JSONs — the workload's identity."""
+    digest = hashlib.sha256()
+    for spec in specs:
+        digest.update(spec.to_json().encode("utf-8"))  # type: ignore[attr-defined]
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class SweepCheckpoint:
+    """Completed-spec progress for one (workload, archive) pair.
+
+    Construction loads any existing file: ``completed`` is the number of
+    leading specs already flushed (0 when the file is missing, torn,
+    from another workload, or out of range).  :meth:`update` persists
+    new progress atomically; :meth:`complete` removes the file.
+    """
+
+    def __init__(self, path: str, specs: Sequence[object]) -> None:
+        self.path = str(path)
+        self.total = len(specs)
+        self.fingerprint = sweep_fingerprint(specs)
+        self.completed, self.archive_bytes = self._load()
+
+    def _load(self) -> "tuple[int, int | None]":
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return 0, None
+        if not isinstance(data, dict) or data.get("fingerprint") != self.fingerprint:
+            return 0, None
+        completed = data.get("completed")
+        if not isinstance(completed, int) or not 0 <= completed <= self.total:
+            return 0, None
+        archive_bytes = data.get("archive_bytes")
+        if not isinstance(archive_bytes, int) or archive_bytes < 0:
+            archive_bytes = None
+        return completed, archive_bytes
+
+    def update(self, completed: int, archive_bytes: "int | None" = None) -> None:
+        """Record that the first ``completed`` specs are flushed to the sink."""
+        self.completed = completed
+        self.archive_bytes = archive_bytes
+        payload = {
+            "schema": _SCHEMA,
+            "fingerprint": self.fingerprint,
+            "completed": completed,
+            "total": self.total,
+        }
+        if archive_bytes is not None:
+            payload["archive_bytes"] = archive_bytes
+        tmp_path = f"{self.path}.tmp-{os.getpid()}"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_path, self.path)
+        except OSError:
+            # Progress tracking is best-effort: a failed write costs
+            # re-execution on resume, never correctness.
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+    def complete(self) -> None:
+        """The sweep finished: drop the checkpoint."""
+        self.completed = self.total
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass

@@ -60,6 +60,7 @@ from repro.runtime import (
 __all__ = [
     "EXECUTORS",
     "POOLED_EXECUTORS",
+    "OUT_OF_PROCESS_EXECUTORS",
     "execute_spec",
     "stream_sweep",
     "effective_workers",
@@ -78,6 +79,10 @@ EXECUTORS = EXECUTOR_NAMES
 #: CLI and the bench runner key their pool-specific handling off this
 #: tuple, so a future pool-backed executor changes it in one place.
 POOLED_EXECUTORS = ("process", "parallel")
+
+#: Executors whose runs leave this process entirely (pools plus the
+#: cross-host plane) — none of them can stream trace events back.
+OUT_OF_PROCESS_EXECUTORS = POOLED_EXECUTORS + ("hosts",)
 
 
 def _implied_executor(executor: str | None, workers: int | None) -> str:
@@ -607,6 +612,78 @@ def _warm_seed(specs: Sequence[ScenarioSpec]) -> tuple[object, ...]:
     return scratch.encode_memo().snapshot()
 
 
+def _sweep_rings(specs: Sequence[ScenarioSpec]) -> dict[int, KeyRing]:
+    """The key rings (labeled by ``k``) a sweep's authenticated runs use.
+
+    Ring key material is a deterministic function of ``k``, so the label
+    is stable across processes and hosts — which is what lets signature
+    memo entries persist (see :mod:`repro.runtime.diskcache`).
+    """
+    ks = sorted(
+        {
+            spec.k
+            for spec in specs
+            if spec.family == "bsm" and spec.setting().authenticated
+        }
+    )
+    return {k: cached_keyring(k) for k in ks}
+
+
+def _warm_seed_cached(specs: Sequence[ScenarioSpec]) -> tuple[object, ...]:
+    """:func:`_warm_seed` through the persistent disk layer, when enabled.
+
+    With ``REPRO_CACHE_DIR`` set, the seed for a given workload is
+    computed once and re-read (content-addressed, fingerprint-versioned)
+    by every later run of the same sweep; without it this is exactly
+    ``_warm_seed``.
+    """
+    from repro.runtime.diskcache import DiskCache, sweep_key
+
+    disk = DiskCache()
+    if not disk.enabled:
+        return _warm_seed(specs)
+    key = sweep_key(specs)
+    seed = disk.get_object("warm-seed", key)
+    if isinstance(seed, tuple):
+        return seed
+    seed = _warm_seed(specs)
+    disk.put_object("warm-seed", key, seed)
+    return seed
+
+
+def _disk_warm_start(cache: ExecutionCache, specs: Sequence[ScenarioSpec]):
+    """Prime ``cache`` for ``specs`` from the disk layer, if possible.
+
+    Returns ``(disk, miss_key, rings)``: ``disk`` is None when the layer
+    is disabled; ``miss_key`` is the content key to store a fresh state
+    under after the sweep (None on a hit — identical bytes would be
+    rewritten for nothing).
+    """
+    from repro.runtime.diskcache import DiskCache, restore_warm_state, sweep_key
+
+    disk = DiskCache()
+    if not disk.enabled:
+        return None, None, {}
+    rings = _sweep_rings(specs)
+    key = sweep_key(specs)
+    state = disk.get_object("warm-state", key)
+    if isinstance(state, dict):
+        restore_warm_state(cache, rings, state)
+        return disk, None, rings
+    return disk, key, rings
+
+
+def _disk_warm_store(
+    disk, key: str | None, cache: ExecutionCache, rings: dict[int, KeyRing]
+) -> None:
+    """Persist the batch's warm state after a disk-layer miss."""
+    if disk is None or key is None:
+        return
+    from repro.runtime.diskcache import capture_warm_state
+
+    disk.put_object("warm-state", key, capture_warm_state(cache, rings))
+
+
 def _parallel_worker(payload: dict) -> dict:
     """Parallel-shard entry point: one batched round loop per worker.
 
@@ -620,7 +697,7 @@ def _parallel_worker(payload: dict) -> dict:
     cache = ExecutionCache()
     seed = payload.get("seed")
     if seed:
-        cache.encode_memo().restore(seed)
+        cache.warm_values(seed)
     records, cache = _execute_batched(specs, cache=cache)
     return {
         "records": [record.to_dict() for record in records],
@@ -641,9 +718,14 @@ def _execute_parallel(
     — so ``parallel`` on one core degrades to ``batch`` plus nothing.
     """
     bounds = _chunk_bounds(len(specs), effective_workers("parallel", workers, len(specs)))
-    seed = _warm_seed(specs) if warm_cache and len(bounds) > 1 else None
+    seed = _warm_seed_cached(specs) if warm_cache and len(bounds) > 1 else None
     if len(bounds) <= 1:
-        records, cache = _execute_batched(specs)
+        cache = ExecutionCache()
+        disk, miss_key, rings = (
+            _disk_warm_start(cache, specs) if warm_cache else (None, None, {})
+        )
+        records, cache = _execute_batched(specs, cache=cache)
+        _disk_warm_store(disk, miss_key, cache, rings)
         return records, merge_cache_stats([cache.stats()])
     payloads = [
         {
@@ -701,14 +783,19 @@ def stream_sweep(
         return
     bounds = _chunk_bounds(len(specs), effective_workers("parallel", workers, len(specs)))
     if len(bounds) <= 1:
-        records, cache = _execute_batched(specs)
+        cache = ExecutionCache()
+        disk, miss_key, rings = (
+            _disk_warm_start(cache, specs) if warm_cache else (None, None, {})
+        )
+        records, cache = _execute_batched(specs, cache=cache)
+        _disk_warm_store(disk, miss_key, cache, rings)
         if stats is not None:
             stats.update(merge_cache_stats([cache.stats()]))
         if sink is not None:
             sink.write_many(records)
         yield records
         return
-    seed = _warm_seed(specs) if warm_cache else None
+    seed = _warm_seed_cached(specs) if warm_cache else None
     payloads = [
         {
             "specs": [spec.to_dict() for spec in specs[start:stop]],
@@ -733,6 +820,40 @@ def stream_sweep(
         stats.update(merge_cache_stats(shard_stats))
 
 
+def _flush_sink(sink) -> None:
+    """Push a sink's buffered records to stable storage, when it can."""
+    flush = getattr(sink, "flush", None)
+    if callable(flush):
+        flush()
+
+
+def _sink_position(sink) -> int | None:
+    """The sink's archive byte offset, when it can report one."""
+    tell = getattr(sink, "tell", None)
+    return tell() if callable(tell) else None
+
+
+def _sink_rollback(sink, ckpt) -> None:
+    """Align a resumable archive with what the checkpoint acknowledged.
+
+    A kill can land between a flush and the checkpoint update; the
+    archive then holds records the checkpoint never acknowledged, which
+    a naive append would duplicate.  Truncating back to the recorded
+    offset (0 when nothing was ever acknowledged) restores the exact
+    acknowledged prefix — resumed archives stay byte-identical to an
+    uninterrupted run.  Sinks without ``rollback`` (aggregates, tees)
+    are left alone.
+    """
+    rollback = getattr(sink, "rollback", None)
+    if not callable(rollback):
+        return
+    offset = ckpt.archive_bytes
+    if ckpt.completed == 0 and offset is None:
+        offset = 0
+    if offset is not None:
+        rollback(offset)
+
+
 def sweep_into(
     specs: Sequence[ScenarioSpec] | Sweep,
     sink,
@@ -741,6 +862,7 @@ def sweep_into(
     warm_cache: bool = False,
     batch_size: int = 256,
     stats: dict | None = None,
+    checkpoint: str | None = None,
 ) -> int:
     """Execute a sweep writing every record into ``sink``; returns the count.
 
@@ -754,31 +876,78 @@ def sweep_into(
     retains) no matter how large the sweep is.  Shared caches persist
     across slices, so slicing costs no cache locality.
 
+    ``checkpoint`` names a :class:`~repro.experiment.checkpoint.
+    SweepCheckpoint` file next to the sink's archive: completed-spec
+    progress (plus the archive byte offset, when the sink reports one)
+    is snapshotted after every flushed batch/shard, and a restart with
+    the same workload skips the completed prefix.  Pair it with an
+    append-mode NDJSON sink: the archive is first rolled back to the
+    acknowledged offset, so the resumed archive is byte-identical to an
+    uninterrupted run wherever the kill landed.  A checkpointed sweep
+    *owns* its archive — with no acknowledged progress the archive
+    restarts from byte 0.  The count returned is the records written by
+    *this* call — a resumed run reports the remainder.
+
     The sink is left open — close it (or use ``with``) at the call
     site; spilling sinks only complete their on-disk archive on close.
     """
     if batch_size < 1:
         raise SolvabilityError(f"batch_size must be >= 1, got {batch_size}")
     specs = tuple(specs)
-    if not specs:
+    ckpt = None
+    done = 0
+    if checkpoint is not None:
+        from repro.experiment.checkpoint import SweepCheckpoint
+
+        ckpt = SweepCheckpoint(checkpoint, specs)
+        done = ckpt.completed
+        # A checkpointed sweep owns its archive: drop anything past the
+        # acknowledged offset (all of it when nothing was acknowledged)
+        # so the resumed archive is byte-identical to an uninterrupted
+        # run even when a kill landed between a flush and the update.
+        _sink_rollback(sink, ckpt)
+    pending = specs[done:]
+    if not pending:
+        if ckpt is not None:
+            ckpt.complete()
         if stats is not None:
             stats.update(merge_cache_stats([]))
         return 0
-    bounds = _chunk_bounds(len(specs), effective_workers("parallel", workers, len(specs)))
+    bounds = _chunk_bounds(
+        len(pending), effective_workers("parallel", workers, len(pending))
+    )
     if len(bounds) > 1:
         total = 0
-        for chunk in stream_sweep(
-            specs, workers=workers, warm_cache=warm_cache, stats=stats
+        for chunk, (start, stop) in zip(
+            stream_sweep(pending, workers=workers, warm_cache=warm_cache, stats=stats),
+            bounds,
         ):
             sink.write_many(chunk)
             total += len(chunk)
+            if ckpt is not None:
+                _flush_sink(sink)  # progress must never outrun the archive
+                done += stop - start
+                ckpt.update(done, archive_bytes=_sink_position(sink))
+        if ckpt is not None:
+            ckpt.complete()
         return total
     total = 0
     cache = ExecutionCache()
-    for start in range(0, len(specs), batch_size):
-        records, cache = _execute_batched(specs[start : start + batch_size], cache=cache)
+    disk, miss_key, rings = (
+        _disk_warm_start(cache, specs) if warm_cache else (None, None, {})
+    )
+    for start in range(0, len(pending), batch_size):
+        batch = pending[start : start + batch_size]
+        records, cache = _execute_batched(batch, cache=cache)
         sink.write_many(records)
         total += len(records)
+        if ckpt is not None:
+            _flush_sink(sink)  # progress must never outrun the archive
+            done += len(batch)
+            ckpt.update(done, archive_bytes=_sink_position(sink))
+    _disk_warm_store(disk, miss_key, cache, rings)
+    if ckpt is not None:
+        ckpt.complete()
     if stats is not None:
         stats.update(merge_cache_stats([cache.stats()]))
     return total
@@ -792,11 +961,14 @@ class Engine:
 
     ``executor`` is ``"serial"`` (default), ``"batch"`` (one shared-
     cache batched round loop — the single-worker fast path),
-    ``"process"`` (one spec per pool task), or ``"parallel"`` (batched
-    shards over the pool: multicore × shared caches); ``workers`` bounds
-    the pool (default: CPU count), ``warm_cache`` pre-seeds parallel
-    workers' encode memos from the parent.  An
-    :class:`~repro.experiment.spec.ExecutorSpec` pins all three knobs
+    ``"process"`` (one spec per pool task), ``"parallel"`` (batched
+    shards over the pool: multicore × shared caches), or ``"hosts"``
+    (batched chunks over worker endpoints via
+    :mod:`repro.runtime.remote` — requires ``hosts``); ``workers``
+    bounds the pool (default: CPU count), ``warm_cache`` pre-seeds
+    worker caches from the parent (and, with ``REPRO_CACHE_DIR`` set,
+    from the persistent disk layer).  An
+    :class:`~repro.experiment.spec.ExecutorSpec` pins all four knobs
     declaratively.  Adding a new backend — sharded, async, remote —
     means adding a new executor here, not rewriting callers.
     """
@@ -806,10 +978,12 @@ class Engine:
         executor: str | ExecutorSpec = "serial",
         workers: int | None = None,
         warm_cache: bool = False,
+        hosts: Sequence[str] | None = None,
     ) -> None:
         if isinstance(executor, ExecutorSpec):
             workers = executor.workers if workers is None else workers
             warm_cache = executor.warm_cache or warm_cache
+            hosts = executor.hosts if hosts is None else hosts
             executor = executor.name
         if executor not in EXECUTORS:
             raise SolvabilityError(
@@ -817,9 +991,15 @@ class Engine:
             )
         if workers is not None and workers < 1:
             raise SolvabilityError(f"workers must be >= 1, got {workers}")
+        if executor == "hosts" and not hosts:
+            raise SolvabilityError(
+                "the hosts executor needs host endpoints "
+                '(e.g. hosts=("local", "local"); see repro.runtime.remote)'
+            )
         self.executor = executor
         self.workers = workers or (os.cpu_count() or 2)
         self.warm_cache = warm_cache
+        self.hosts = tuple(hosts) if hosts else None
 
     def run(self, spec: ScenarioSpec) -> RunRecordSet:
         """Execute one spec in-process."""
@@ -846,13 +1026,20 @@ class Engine:
         """
         specs = tuple(sweep)
         started = time.perf_counter()
-        if trace is not None and self.executor in POOLED_EXECUTORS:
+        if trace is not None and self.executor in OUT_OF_PROCESS_EXECUTORS:
             raise SolvabilityError(
                 "structured tracing requires an in-process executor "
-                f"('serial' or 'batch'), not the {self.executor!r} pool"
+                f"('serial' or 'batch'), not the {self.executor!r} backend"
             )
         cache_stats: dict = {}
-        if self.executor == "parallel":
+        if self.executor == "hosts":
+            from repro.runtime.remote import run_hosts
+
+            assert self.hosts is not None  # __init__ guarantees this
+            records, cache_stats = run_hosts(
+                specs, self.hosts, warm_cache=self.warm_cache
+            )
+        elif self.executor == "parallel":
             records, cache_stats = _execute_parallel(
                 specs, self.workers, warm_cache=self.warm_cache
             )
@@ -997,6 +1184,7 @@ class Session:
         warm_cache: bool | None = None,
         batch_size: int = 256,
         stats: dict | None = None,
+        checkpoint: str | None = None,
     ) -> int:
         """Stream a sweep (or preset) into ``sink``; returns the record count.
 
@@ -1004,7 +1192,8 @@ class Session:
         spec order without materializing a
         :class:`~repro.experiment.records.RunRecordSet`, so ensemble
         size is bounded by the sink's policy (spill threshold, running
-        aggregates), not by memory.
+        aggregates), not by memory.  ``checkpoint`` names a progress
+        file enabling resume after a kill — see :func:`sweep_into`.
         """
         if isinstance(sweep, str):
             sweep = self.preset(sweep)
@@ -1015,6 +1204,7 @@ class Session:
             warm_cache=self.engine.warm_cache if warm_cache is None else bool(warm_cache),
             batch_size=batch_size,
             stats=stats,
+            checkpoint=checkpoint,
         )
 
     def adaptive(self, initial, refine, max_batches: int = 8) -> RunRecordSet:

@@ -209,6 +209,47 @@ class NdjsonSink(RecordSink):
         if self._handle is not None:
             self._handle.flush()
 
+    def tell(self) -> Optional[int]:
+        """The archive's byte offset (what a checkpoint should record).
+
+        Meaningful after :meth:`flush`; ``None`` before the first write.
+        """
+        return self._handle.tell() if self._handle is not None else None
+
+    def rollback(self, offset: int) -> None:
+        """Truncate the archive to a checkpointed offset before resuming.
+
+        Discards flushed-but-unacknowledged records a kill may have left
+        past the last checkpoint update (offset 0 discards the whole
+        archive — the checkpoint never acknowledged anything).  A
+        write-mode sink already owns the archive from byte 0, so this is
+        a no-op there; an append-mode sink may roll back until its first
+        record is written (opened is fine — ``with sink:`` opens
+        eagerly), after which it is too late.  A missing archive is fine
+        (there is nothing to roll back).
+        """
+        if not self.append:
+            return
+        if self._opened:
+            if self.count:
+                raise ReproError("rollback must happen before any records are written")
+            assert self._handle is not None
+            self._handle.flush()
+            if offset >= self._handle.tell():
+                return
+            self._handle.truncate(offset)
+            if offset == 0:
+                # The header went with everything else; restart the file.
+                from repro.io.ndjson import records_ndjson_header
+
+                self._write_text(records_ndjson_header())
+            return
+        try:
+            with open(self.path, "r+", encoding="utf-8") as handle:
+                handle.truncate(offset)
+        except OSError:
+            pass
+
     def _close(self) -> None:
         assert self._handle is not None
         self._handle.close()

@@ -60,8 +60,9 @@ PROFILE_KINDS = ("random", "correlated", "master_list", "explicit", "incomplete_
 #: ``serial`` runs specs one at a time in-process, ``batch`` schedules a
 #: sweep through one shared-cache round loop, ``process`` fans single
 #: specs over a pool, ``parallel`` composes the two — per-worker batched
-#: shards over per-worker caches.
-EXECUTOR_NAMES = ("serial", "process", "batch", "parallel")
+#: shards over per-worker caches — and ``hosts`` shards across worker
+#: *endpoints* (subprocess/SSH/HTTP; see :mod:`repro.runtime.remote`).
+EXECUTOR_NAMES = ("serial", "process", "batch", "parallel", "hosts")
 
 #: Sentinel for "corrupt the full budget": the first ``tL`` left and
 #: first ``tR`` right parties.
@@ -580,33 +581,52 @@ class ExecutorSpec:
     Where :class:`ScenarioSpec` describes *what* to run, an
     ``ExecutorSpec`` pins *how*: the executor axis (one of
     :data:`EXECUTOR_NAMES`), the worker count for the pool-backed
-    executors, and whether ``parallel`` workers warm-start their
-    per-shard :class:`~repro.runtime.ExecutionCache` from a seed of the
-    parent's encode-memo tables.  Like every spec it is JSON-round-
-    trippable, so a bench workload or an archived experiment can pin its
-    execution plane next to its scenarios.  The executor never shapes
-    results — records stay byte-identical across all four planes.
+    executors, the worker endpoints for the ``hosts`` executor (each a
+    :mod:`repro.runtime.remote` host string — ``"local"``,
+    ``"ssh:user@box"``, or ``"http://host:port"``), and whether workers
+    warm-start their per-shard :class:`~repro.runtime.ExecutionCache`
+    from a seed of the parent's encode-memo tables.  Like every spec it
+    is JSON-round-trippable, so a bench workload or an archived
+    experiment can pin its execution plane next to its scenarios.  The
+    executor never shapes results — records stay byte-identical across
+    all five planes.
     """
 
     name: str = "serial"
     workers: int | None = None
     warm_cache: bool = False
+    hosts: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.name not in EXECUTOR_NAMES:
             raise SolvabilityError(
                 f"unknown executor {self.name!r}; expected one of {EXECUTOR_NAMES}"
             )
+        if self.hosts is not None:
+            object.__setattr__(self, "hosts", tuple(str(host) for host in self.hosts))
         if self.workers is not None and self.workers < 1:
             raise SolvabilityError(f"workers must be >= 1, got {self.workers}")
         if self.name not in ("process", "parallel") and self.workers is not None:
             raise SolvabilityError(
                 f"workers only applies to the pool-backed executors, not {self.name!r}"
             )
-        if self.warm_cache and self.name != "parallel":
+        if self.warm_cache and self.name not in ("parallel", "hosts"):
             raise SolvabilityError(
-                "warm_cache is only meaningful for the parallel executor "
-                "(the other planes share one in-process cache or none)"
+                "warm_cache is only meaningful for the parallel and hosts "
+                "executors (the other planes share one in-process cache or none)"
+            )
+        if self.name == "hosts":
+            if not self.hosts:
+                raise SolvabilityError(
+                    "the hosts executor needs at least one host endpoint "
+                    '(e.g. hosts=("local", "local"))'
+                )
+            for host in self.hosts:
+                if not host:
+                    raise SolvabilityError("host endpoints must be non-empty strings")
+        elif self.hosts is not None:
+            raise SolvabilityError(
+                f"hosts only applies to the hosts executor, not {self.name!r}"
             )
 
     def to_dict(self) -> dict:
@@ -615,15 +635,19 @@ class ExecutorSpec:
             data["workers"] = self.workers
         if self.warm_cache:
             data["warm_cache"] = True
+        if self.hosts is not None:
+            data["hosts"] = list(self.hosts)
         return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ExecutorSpec":
         workers = data.get("workers")
+        hosts = data.get("hosts")
         return cls(
             name=data.get("name", "serial"),
             workers=int(workers) if workers is not None else None,
             warm_cache=bool(data.get("warm_cache", False)),
+            hosts=tuple(str(host) for host in hosts) if hosts is not None else None,
         )
 
 

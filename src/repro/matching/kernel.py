@@ -427,17 +427,28 @@ def _expected_row_words(k: int) -> float:
 
 _ROW_WORDS: dict[int, float] = {}
 
+#: Word-extraction chunk bound for the native lane: one chunk's uint32
+#: draw tops out at 64 MiB, keeping peak memory flat as ``k`` and row
+#: counts grow (``k = 8192`` needs ~186M words total, which would be a
+#: ~750 MiB single allocation without chunking).
+_WORD_BUDGET = 1 << 24
 
-def _mt_shuffled_matrix(rng: random.Random, k: int, count: int):
+
+def _mt_shuffled_matrix(
+    rng: random.Random, k: int, count: int, word_budget: int = _WORD_BUDGET
+):
     """``count`` stream-identical shuffled rows as an int32 matrix, or
     ``None`` when the native lane is unavailable or not worth it.
 
     Transplants ``rng``'s Mersenne state into a numpy ``RandomState``
     (bit-for-bit the same MT19937), extracts the raw 32-bit word stream
-    in bulk, and runs the Fisher-Yates rejection loop in C.  ``rng`` is
-    then advanced by *exactly* the words the shuffles consumed, so
-    callers sharing the generator see the same stream position as the
-    pure-python path — a caller's next draw is unchanged.
+    in budget-bounded chunks, and runs the Fisher-Yates rejection loop
+    in C.  Chunking is invisible to the result: leftover words from one
+    chunk head the next, so the C loop sees one continuous stream.
+    ``rng`` is then advanced by *exactly* the words the shuffles
+    consumed, so callers sharing the generator see the same stream
+    position as the pure-python path — a caller's next draw is
+    unchanged.
     """
     if _np is None or count == 0 or count * k < _NATIVE_MIN_CELLS:
         return None
@@ -448,20 +459,40 @@ def _mt_shuffled_matrix(rng: random.Random, k: int, count: int):
     keys = _np.asarray(internal[:-1], dtype=_np.uint32)
     state = _np.random.RandomState()
     state.set_state(("MT19937", keys, internal[-1]))
-    expected = count * _expected_row_words(k)
-    need = int(expected + 16.0 * expected**0.5) + 4 * k + 64
-    words = state.randint(0, 2**32, size=need, dtype=_np.uint32)
+    row_words = _expected_row_words(k)
+    # Rows whose expected words (plus the safety margin) fit the budget;
+    # a single over-budget row still runs — the budget is a target, not
+    # a ceiling.
+    per_chunk = max(1, int((word_budget - 4 * k - 64 - 16.0 * word_budget**0.5) / row_words))
     out = _np.empty((count, k), dtype=_np.int32)
-    consumed = native.fy_fill(words, k, count, out)
-    while consumed < 0:  # pragma: no cover - ~16-sigma word overdraw
-        extra = state.randint(0, 2**32, size=need, dtype=_np.uint32)
-        words = _np.concatenate([words, extra])
-        consumed = native.fy_fill(words, k, count, out)
-    # Re-extract exactly `consumed` words to land rng on the position
-    # the serial getrandbits calls would have left it at.
+    buffered = _np.empty(0, dtype=_np.uint32)
+    total_consumed = 0
+    start = 0
+    while start < count:
+        rows = min(count - start, per_chunk)
+        expected = rows * row_words
+        need = int(expected + 16.0 * expected**0.5) + 4 * k + 64
+        if buffered.size < need:
+            fresh = state.randint(0, 2**32, size=need - buffered.size, dtype=_np.uint32)
+            buffered = _np.concatenate([buffered, fresh]) if buffered.size else fresh
+        chunk = out[start : start + rows]
+        consumed = native.fy_fill(buffered, k, rows, chunk)
+        while consumed < 0:  # pragma: no cover - ~16-sigma word overdraw
+            extra = state.randint(0, 2**32, size=need, dtype=_np.uint32)
+            buffered = _np.concatenate([buffered, extra])
+            consumed = native.fy_fill(buffered, k, rows, chunk)
+        total_consumed += consumed
+        buffered = buffered[consumed:]
+        start += rows
+    # Re-extract exactly `total_consumed` words (in budget-sized steps —
+    # chunked extraction walks the identical stream) to land rng on the
+    # position the serial getrandbits calls would have left it at.
     state.set_state(("MT19937", keys, internal[-1]))
-    if consumed:
-        state.randint(0, 2**32, size=consumed, dtype=_np.uint32)
+    remaining = total_consumed
+    while remaining:
+        step = min(remaining, word_budget)
+        state.randint(0, 2**32, size=step, dtype=_np.uint32)
+        remaining -= step
     _, advanced, pos = state.get_state()[:3]
     rng.setstate((version, tuple(map(int, advanced)) + (int(pos),), gauss))
     return out

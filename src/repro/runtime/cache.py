@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from repro.crypto.encoding import EncodeMemo, encode
+from repro.crypto.encoding import EncodeMemo, SizeMemo, encode, encoded_size
 from repro.crypto.signatures import KeyRing, Signature
 from repro.errors import ProtocolError
 from repro.ids import PartyId
@@ -37,9 +37,13 @@ __all__ = [
 
 
 def _direct_payload_size(payload: object) -> int:
-    """Uncached byte accounting (the kernel's historical fallback rule)."""
+    """Uncached byte accounting (the kernel's historical fallback rule).
+
+    ``encoded_size`` without a memo is the size-only walk: the exact
+    length of the canonical encoding, computed without building it.
+    """
     try:
-        return len(encode(payload))
+        return encoded_size(payload)
     except ProtocolError:
         return len(repr(payload).encode("utf-8"))
 
@@ -70,16 +74,18 @@ class NullExecutionCache:
     def sizer(self):
         """A byte-accounting function for ONE run (fresh memo each call).
 
-        The memo pins the payloads it sizes for the run's lifetime (an
-        :class:`EncodeMemo` stores only provably immutable values, so
+        The memo pins the payloads it sizes for the run's lifetime (a
+        :class:`SizeMemo` stores only provably immutable values, so
         entries can never go stale); scoping it to a single engine keeps
-        memory bounded by one run's payload set.
+        memory bounded by one run's payload set.  Sizing never builds
+        canonical bytes — it is the arithmetic size-only walk, memoized
+        with the same structural canonicalization the encoder uses.
         """
-        memo = EncodeMemo()
+        memo = SizeMemo()
 
         def payload_size(payload: object) -> int:
             try:
-                return len(encode(payload, memo))
+                return memo.size(payload)
             except ProtocolError:
                 return len(repr(payload).encode("utf-8"))
 
@@ -117,6 +123,7 @@ class ExecutionCache(NullExecutionCache):
 
     def __init__(self) -> None:
         self._bytes = EncodeMemo()
+        self._sizes = SizeMemo()
         self._signatures: dict[tuple, Signature] = {}
         self._verdicts: dict[tuple, bool] = {}
         self._memo: dict[object, object] = {}
@@ -140,8 +147,15 @@ class ExecutionCache(NullExecutionCache):
         return self._bytes
 
     def payload_size(self, payload: object) -> int:
+        """Byte accounting through the batch-shared size-only memo.
+
+        Sizing no longer routes through the byte encoder: only payloads
+        that are actually signed or verified build canonical bytes (in
+        :meth:`sign`/:meth:`verify` through ``self._bytes``), so the
+        accounting walk for never-signed traffic is pure arithmetic.
+        """
         try:
-            return len(encode(payload, self._bytes))
+            return self._sizes.size(payload)
         except ProtocolError:
             return len(repr(payload).encode("utf-8"))
 
@@ -199,6 +213,61 @@ class ExecutionCache(NullExecutionCache):
     def signer_for(self, keyring: KeyRing, party: PartyId) -> "CachedSigner":
         return CachedSigner(self, keyring, party)
 
+    # -- warm state (persistent / cross-process seeding) ---------------------------
+
+    def warm_values(self, values: Sequence[object]) -> None:
+        """Pre-encode and pre-size a snapshot of canonical values.
+
+        The values come from :meth:`EncodeMemo.snapshot` (possibly
+        pickled across a process or host boundary); warming replays them
+        through the normal encode and size walks, so it can only pre-pay
+        work, never corrupt it.
+        """
+        bytes_memo = self._bytes
+        size_memo = self._sizes
+        for value in values:
+            encode(value, bytes_memo)
+            size_memo.size(value)
+
+    def signature_snapshot(self, rings: Mapping[object, KeyRing]) -> dict:
+        """Persistable signature entries, grouped by the callers' ring labels.
+
+        ``rings`` maps a stable label (the engine uses ``k`` — key rings
+        are deterministic per ``k``) to the ring object; entries for
+        rings not in the mapping are skipped.  Each entry is
+        ``(signer, canonical bytes, tag)`` — everything needed to
+        re-key the memo in another process.
+        """
+        labels = {id(ring): label for label, ring in rings.items()}
+        grouped: dict[object, list] = {}
+        for (ring_id, signer, encoded), signature in self._signatures.items():
+            label = labels.get(ring_id)
+            if label is not None:
+                grouped.setdefault(label, []).append((signer, encoded, signature.tag))
+        return {label: tuple(entries) for label, entries in grouped.items()}
+
+    def restore_signatures(self, rings: Mapping[object, KeyRing], snapshot: Mapping) -> None:
+        """Warm the sign/verify memos from a :meth:`signature_snapshot`.
+
+        Sound under the same determinism that makes the memos correct in
+        the first place: ring key material is a pure function of the
+        ring's seed and parties, and HMAC is deterministic, so a
+        snapshotted tag is exactly what re-signing would produce.  The
+        disk layer versions snapshots by a code fingerprint
+        (:func:`repro.runtime.diskcache.cache_version`), so entries from
+        a different encoding or signing scheme never reach here.
+        """
+        for label, entries in snapshot.items():
+            ring = rings.get(label)
+            if ring is None:
+                continue
+            ring_id = id(ring)
+            signatures = self._signatures
+            verdicts = self._verdicts
+            for signer, encoded, tag in entries:
+                signatures.setdefault((ring_id, signer, encoded), Signature(signer, tag))
+                verdicts.setdefault((ring_id, signer, encoded, tag), True)
+
     # -- generic memoization ------------------------------------------------------
 
     def memo(self, key: object, build):
@@ -244,6 +313,7 @@ class ExecutionCache(NullExecutionCache):
             "memo": self._family(self._memo_hits, self._memo_misses, len(self._memo)),
             "solvability": self._solvability_family(),
             "encode": self._bytes.entry_counts(),
+            "size": self._sizes.entry_counts(),
         }
 
     @staticmethod
@@ -278,6 +348,7 @@ def merge_cache_stats(per_worker: Sequence[Mapping]) -> dict:
         for family in ("signatures", "verifications", "memo", "solvability")
     }
     encode_totals: dict[str, int] = {}
+    size_totals: dict[str, int] = {}
     for stats in per_worker:
         for family, sums in merged.items():
             table = stats.get(family, {})
@@ -285,10 +356,13 @@ def merge_cache_stats(per_worker: Sequence[Mapping]) -> dict:
                 sums[key] += int(table.get(key, 0))
         for key, count in stats.get("encode", {}).items():
             encode_totals[key] = encode_totals.get(key, 0) + int(count)
+        for key, count in stats.get("size", {}).items():
+            size_totals[key] = size_totals.get(key, 0) + int(count)
     for sums in merged.values():
         total = sums["hits"] + sums["misses"]
         sums["hit_rate"] = round(sums["hits"] / total, 4) if total else 0.0
     merged["encode"] = encode_totals
+    merged["size"] = size_totals
     merged["workers"] = [dict(stats) for stats in per_worker]
     return merged
 

@@ -1,0 +1,246 @@
+"""Persistent on-disk warm cache for the execution plane.
+
+Every bench, conform, and CI run used to start with cold memos: the
+canonical-encoding tables, the HMAC sign/verify memos, and the
+solvability verdict memo were all rebuilt from nothing, per process,
+every time — pure recomputation of values that are deterministic
+functions of the workload.  This module gives those memos a disk layer
+so repeated runs start hot:
+
+* **content-addressed**: entries key by a SHA-256 over the ordered spec
+  JSONs of the workload (:func:`sweep_key`) — same sweep, same entry;
+* **versioned by code fingerprint**: all entries live under a directory
+  named by :func:`cache_version`, a hash of the encoding/signing/
+  solvability sources plus a schema counter.  Any change to the code
+  that produced cached values changes the fingerprint, so stale entries
+  are never *read* (they are simply orphaned and pruned lazily);
+* **atomic**: writes go to a temp file in the destination directory and
+  are published with ``os.replace``, so concurrent writers and killed
+  processes can never publish a torn entry — last writer wins, and both
+  writers produce identical bytes anyway (the values are deterministic);
+* **opt-in**: disabled unless ``REPRO_CACHE_DIR`` is set (or an explicit
+  root is given).  A disabled cache reads as all-misses and swallows
+  writes, so call sites need no branching.
+
+Trust model: the cache directory is trusted the same way the pickled
+warm-cache seed the parallel executor ships to its workers is trusted —
+it is local state produced by this package for itself.  Do not point
+``REPRO_CACHE_DIR`` at a directory hostile processes can write.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Mapping, Sequence
+
+from repro.core.solvability import cached_is_solvable
+from repro.crypto.signatures import KeyRing
+from repro.runtime.cache import ExecutionCache
+
+__all__ = [
+    "DiskCache",
+    "cache_version",
+    "sweep_key",
+    "capture_warm_state",
+    "restore_warm_state",
+]
+
+#: Environment variable naming the cache root; unset/empty = disabled.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump to invalidate every entry regardless of source fingerprints
+#: (e.g. when the warm-state *layout* changes but the sources did not).
+_SCHEMA = 1
+
+#: Modules whose source text feeds the code fingerprint: the producers
+#: of every value the cache persists.  Anything that changes what those
+#: values *are* lives in one of these files.
+_FINGERPRINT_MODULES = (
+    "repro.crypto.encoding",
+    "repro.crypto.signatures",
+    "repro.core.solvability",
+    "repro.runtime.cache",
+    "repro.runtime.diskcache",
+)
+
+_VERSION: str | None = None
+
+
+def cache_version() -> str:
+    """The fingerprint directory name current code writes under.
+
+    A short SHA-256 over the schema counter and the source text of the
+    modules that produce cached values.  Computed once per process.
+    """
+    global _VERSION
+    if _VERSION is None:
+        import importlib
+
+        digest = hashlib.sha256(f"repro-diskcache/{_SCHEMA}".encode("ascii"))
+        for name in _FINGERPRINT_MODULES:
+            module = importlib.import_module(name)
+            path = getattr(module, "__file__", None)
+            if path and os.path.exists(path):
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _VERSION = digest.hexdigest()[:16]
+    return _VERSION
+
+
+def sweep_key(specs: Sequence[object]) -> str:
+    """Content hash of an ordered workload (specs with ``to_json``)."""
+    digest = hashlib.sha256()
+    for spec in specs:
+        digest.update(spec.to_json().encode("utf-8"))  # type: ignore[attr-defined]
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+class DiskCache:
+    """A content-addressed, fingerprint-versioned blob store.
+
+    ``DiskCache()`` resolves its root from ``REPRO_CACHE_DIR``; pass an
+    explicit ``root`` to pin one (tests do), or ``root=""`` to force a
+    disabled instance.  All methods are safe on a disabled cache.
+    """
+
+    def __init__(self, root: str | None = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, "")
+        self.root = root or None
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    def path_for(self, namespace: str, key: str) -> str:
+        if self.root is None:
+            raise ValueError("disk cache is disabled (no root configured)")
+        return os.path.join(self.root, cache_version(), namespace, f"{key}.bin")
+
+    # -- raw bytes ---------------------------------------------------------------
+
+    def get(self, namespace: str, key: str) -> bytes | None:
+        """The stored bytes, or None (missing, disabled, or unreadable)."""
+        if self.root is None:
+            return None
+        try:
+            with open(self.path_for(namespace, key), "rb") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def put(self, namespace: str, key: str, data: bytes) -> bool:
+        """Atomically publish ``data``; returns False when disabled/failed.
+
+        Concurrent writers are safe: each writes its own temp file in
+        the destination directory and ``os.replace`` swaps it in whole.
+        """
+        if self.root is None:
+            return False
+        path = self.path_for(namespace, key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                os.replace(tmp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        return True
+
+    # -- pickled objects ---------------------------------------------------------
+
+    def get_object(self, namespace: str, key: str) -> object | None:
+        """Unpickle a stored entry; corrupt entries read as misses."""
+        data = self.get(namespace, key)
+        if data is None:
+            return None
+        try:
+            return pickle.loads(data)
+        except Exception:
+            # A torn or stale entry (should be impossible given atomic
+            # writes + versioning, but disks are disks): drop it.
+            try:
+                os.unlink(self.path_for(namespace, key))
+            except OSError:
+                pass
+            return None
+
+    def put_object(self, namespace: str, key: str, value: object) -> bool:
+        try:
+            data = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            return False
+        return self.put(namespace, key, data)
+
+    # -- maintenance -------------------------------------------------------------
+
+    def prune_stale_versions(self) -> int:
+        """Delete entry trees for fingerprints other than the current one."""
+        if self.root is None:
+            return 0
+        current = cache_version()
+        removed = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return 0
+        import shutil
+
+        for name in names:
+            path = os.path.join(self.root, name)
+            if name != current and os.path.isdir(path):
+                shutil.rmtree(path, ignore_errors=True)
+                removed += 1
+        return removed
+
+
+# -- warm execution state ------------------------------------------------------
+
+
+def capture_warm_state(cache: ExecutionCache, rings: Mapping[object, KeyRing]) -> dict:
+    """A picklable snapshot of everything a fresh cache can be primed with.
+
+    ``rings`` labels the key rings whose signature entries should ride
+    along (the engine labels them by ``k`` — ring key material is a
+    deterministic function of ``k``, so labels are stable across
+    processes and hosts).
+    """
+    return {
+        "encode": cache.encode_memo().snapshot(),
+        "signatures": cache.signature_snapshot(rings),
+        "solvability": cached_is_solvable.export_entries(),
+    }
+
+
+def restore_warm_state(
+    cache: ExecutionCache, rings: Mapping[object, KeyRing], state: Mapping
+) -> None:
+    """Prime ``cache`` (and the process-wide verdict memo) from a snapshot.
+
+    Restoring replays encode/size walks and re-keys deterministic
+    signature tags — it can only pre-pay work.  See the module docstring
+    for why entries are trustworthy (fingerprint versioning + local
+    trust model).
+    """
+    values = state.get("encode", ())
+    if values:
+        cache.warm_values(values)
+    signatures = state.get("signatures")
+    if signatures:
+        cache.restore_signatures(rings, signatures)
+    verdicts = state.get("solvability")
+    if verdicts:
+        cached_is_solvable.prime(verdicts)

@@ -1,0 +1,387 @@
+"""Cross-host sweep execution: the ``hosts`` executor's worker plane.
+
+The ``parallel`` executor shards a sweep across one machine's cores;
+this module shards it across *worker endpoints* — subprocesses, SSH
+targets, or :mod:`repro.serve` instances — fed from a work-stealing
+queue, and reassembles records in spec order, byte-identical to the
+``serial`` executor (gated by the ``executor_differential`` oracle).
+
+Worker protocol (``repro worker``): newline-delimited JSON over the
+worker's stdio, one reply line per request line.
+
+* on startup the worker emits ``{"op": "ready", "version": <fp>}`` —
+  the parent refuses a worker whose code fingerprint
+  (:func:`repro.runtime.diskcache.cache_version`) differs from its own,
+  because byte-identical records need identical producing code;
+* ``{"op": "warm", "state": <base64 pickle>}`` primes the worker's
+  persistent :class:`~repro.runtime.cache.ExecutionCache` from a warm
+  state (see :func:`repro.runtime.diskcache.restore_warm_state`) and
+  replies ``{"op": "warmed"}``;
+* ``{"op": "run", "id": N, "specs": [<spec dicts>]}`` executes the
+  chunk through the batched round loop and replies ``{"id": N,
+  "records": [<record dicts>], "cache_stats": {...}}`` (or ``{"id": N,
+  "error": "..."}``);
+* EOF on stdin ends the worker.
+
+Host endpoint strings (:func:`run_hosts`):
+
+* ``"local"`` — spawn ``sys.executable -m repro worker`` here (the
+  degenerate cross-host case; what CI's hosts-smoke and the
+  differential tests exercise);
+* ``"ssh:user@box"`` — ``ssh -o BatchMode=yes user@box python3 -m
+  repro worker`` (the remote side needs ``repro`` importable for its
+  login shell);
+* ``"cmd:<shell words>"`` — an explicit worker command line, for
+  wrapper scripts, containers, or tests;
+* ``"http://host:port"`` — POST chunks to a running ``repro serve``
+  instance's ``/v1/sweep`` and parse the NDJSON stream (no worker
+  process at all; the service's own executor does the work).
+
+The queue is work-stealing by construction: every host's pump thread
+pulls the next unclaimed chunk, so a fast host simply takes more of
+them — and a failed host's claimed chunk goes back on the queue for a
+surviving host to steal.  The sweep fails (:class:`~repro.errors.
+RemoteError`) only when some chunk never completes on any host:
+records are required to be complete and byte-identical, so a partial
+result is never returned.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import queue
+import shlex
+import subprocess
+import sys
+import threading
+from typing import IO, Mapping, Sequence
+
+from repro.errors import RemoteError
+from repro.runtime.cache import merge_cache_stats
+from repro.runtime.diskcache import cache_version
+
+__all__ = ["run_hosts", "worker_main", "DEFAULT_CHUNKS_PER_HOST"]
+
+#: Chunks offered per host: enough granularity for stealing to matter,
+#: few enough that per-chunk JSON overhead stays negligible.
+DEFAULT_CHUNKS_PER_HOST = 4
+
+
+def _emit(stream: IO[str], reply: Mapping) -> None:
+    stream.write(json.dumps(reply, sort_keys=True) + "\n")
+    stream.flush()
+
+
+def worker_main(stdin: IO[str] | None = None, stdout: IO[str] | None = None) -> int:
+    """The ``repro worker`` stdio loop (see the module docstring).
+
+    One persistent :class:`~repro.runtime.cache.ExecutionCache` spans
+    every chunk this worker executes, so cross-chunk-identical payload
+    structures amortize exactly like they do inside the ``batch``
+    executor.  The loop only writes protocol lines to stdout — anything
+    else a run might print would corrupt the stream, so nothing here
+    prints.
+    """
+    from repro.experiment.engine import _execute_batched, cached_keyring
+    from repro.experiment.spec import ScenarioSpec
+    from repro.runtime.cache import ExecutionCache
+    from repro.runtime.diskcache import restore_warm_state
+
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    cache = ExecutionCache()
+    _emit(stdout, {"op": "ready", "version": cache_version()})
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except ValueError:
+            _emit(stdout, {"error": "request line is not JSON"})
+            continue
+        if not isinstance(request, dict):
+            _emit(stdout, {"error": "request must be a JSON object"})
+            continue
+        op = request.get("op")
+        if op == "warm":
+            try:
+                state = pickle.loads(base64.b64decode(request["state"]))
+                rings = {
+                    label: cached_keyring(label)
+                    for label in state.get("signatures", {})
+                    if isinstance(label, int)
+                }
+                restore_warm_state(cache, rings, state)
+            except Exception as exc:  # a bad warm state is non-fatal
+                _emit(stdout, {"op": "warmed", "error": f"{type(exc).__name__}: {exc}"})
+            else:
+                _emit(stdout, {"op": "warmed"})
+            continue
+        if op == "run":
+            task_id = request.get("id")
+            try:
+                specs = [ScenarioSpec.from_dict(data) for data in request["specs"]]
+                records, cache = _execute_batched(specs, cache=cache)
+                reply = {
+                    "id": task_id,
+                    "records": [record.to_dict() for record in records],
+                    "cache_stats": cache.stats(),
+                }
+            except Exception as exc:
+                reply = {"id": task_id, "error": f"{type(exc).__name__}: {exc}"}
+            _emit(stdout, reply)
+            continue
+        _emit(stdout, {"error": f"unknown op {op!r}"})
+    return 0
+
+
+# -- parent-side host handles --------------------------------------------------
+
+
+class _SubprocessHost:
+    """One worker process (local, ssh, or explicit command) and its pipes."""
+
+    def __init__(self, host: str, command: Sequence[str]) -> None:
+        self.host = host
+        try:
+            self.process = subprocess.Popen(
+                list(command),
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+            )
+        except OSError as exc:
+            raise RemoteError(f"cannot start worker for {host!r}: {exc}") from exc
+        ready = self._read_reply()
+        if ready.get("op") != "ready":
+            raise RemoteError(f"worker {host!r} did not handshake: {ready!r}")
+        version = ready.get("version")
+        if version != cache_version():
+            raise RemoteError(
+                f"worker {host!r} runs different code "
+                f"(fingerprint {version!r} != {cache_version()!r}); "
+                "byte-identical records need identical code on every host"
+            )
+
+    def _read_reply(self) -> dict:
+        assert self.process.stdout is not None
+        line = self.process.stdout.readline()
+        if not line:
+            raise RemoteError(f"worker {self.host!r} closed its stream (died?)")
+        try:
+            reply = json.loads(line)
+        except ValueError as exc:
+            raise RemoteError(f"worker {self.host!r} spoke garbage: {line!r}") from exc
+        if not isinstance(reply, dict):
+            raise RemoteError(f"worker {self.host!r} spoke garbage: {line!r}")
+        return reply
+
+    def call(self, request: Mapping) -> dict:
+        assert self.process.stdin is not None
+        self.process.stdin.write(json.dumps(request, sort_keys=True) + "\n")
+        self.process.stdin.flush()
+        return self._read_reply()
+
+    def warm(self, encoded_state: str) -> None:
+        self.call({"op": "warm", "state": encoded_state})
+
+    def run_chunk(self, task_id: int, spec_dicts: Sequence[dict]) -> tuple[list, dict]:
+        reply = self.call({"op": "run", "id": task_id, "specs": list(spec_dicts)})
+        if "error" in reply:
+            raise RemoteError(f"worker {self.host!r} failed: {reply['error']}")
+        return list(reply.get("records", ())), dict(reply.get("cache_stats", {}))
+
+    def close(self) -> None:
+        try:
+            if self.process.stdin is not None:
+                self.process.stdin.close()
+            self.process.wait(timeout=10)
+        except (OSError, subprocess.TimeoutExpired):
+            self.process.kill()
+
+
+class _HttpHost:
+    """A ``repro serve`` endpoint driven through ``POST /v1/sweep``."""
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+        rest = host.split("://", 1)[1]
+        rest = rest.split("/", 1)[0]
+        name, _, port = rest.partition(":")
+        if not name or not port.isdigit():
+            raise RemoteError(
+                f"http host must look like http://host:port, got {host!r}"
+            )
+        self._addr = (name, int(port))
+
+    def warm(self, encoded_state: str) -> None:
+        pass  # the service owns its session; nothing to prime remotely
+
+    def run_chunk(self, task_id: int, spec_dicts: Sequence[dict]) -> tuple[list, dict]:
+        from repro.serve.client import request as http_request
+
+        try:
+            response = http_request(
+                self._addr[0],
+                self._addr[1],
+                "POST",
+                "/v1/sweep",
+                {"specs": list(spec_dicts)},
+                timeout=600.0,
+            )
+        except OSError as exc:
+            raise RemoteError(f"service {self.host!r} unreachable: {exc}") from exc
+        if response.status != 200:
+            raise RemoteError(
+                f"service {self.host!r} rejected the chunk: HTTP {response.status}"
+            )
+        records = []
+        for line in response.lines():
+            row = json.loads(line)
+            if isinstance(row, dict) and "scenario" in row:
+                records.append(row)
+        return records, {}
+
+    def close(self) -> None:
+        pass
+
+
+def _open_host(host: str):
+    """A host handle for one endpoint string (see the module docstring)."""
+    if host == "local":
+        return _SubprocessHost(host, [sys.executable, "-m", "repro", "worker"])
+    if host.startswith("ssh:"):
+        target = host[len("ssh:") :]
+        if not target:
+            raise RemoteError("ssh host needs a target: 'ssh:user@box'")
+        return _SubprocessHost(
+            host, ["ssh", "-o", "BatchMode=yes", target, "python3", "-m", "repro", "worker"]
+        )
+    if host.startswith("cmd:"):
+        words = shlex.split(host[len("cmd:") :])
+        if not words:
+            raise RemoteError("cmd host needs a command line: 'cmd:python -m repro worker'")
+        return _SubprocessHost(host, words)
+    if host.startswith("http://") or host.startswith("https://"):
+        return _HttpHost(host)
+    raise RemoteError(
+        f"unknown host endpoint {host!r}; expected 'local', 'ssh:<target>', "
+        "'cmd:<command>', or 'http://host:port'"
+    )
+
+
+def _chunk_tasks(count: int, hosts: int, chunks_per_host: int) -> list[tuple[int, int]]:
+    """Contiguous task bounds: ~``hosts * chunks_per_host`` near-equal slices."""
+    from repro.experiment.engine import _chunk_bounds
+
+    return _chunk_bounds(count, max(1, hosts * chunks_per_host))
+
+
+def run_hosts(
+    specs: Sequence,
+    hosts: Sequence[str],
+    *,
+    warm_cache: bool = False,
+    chunks_per_host: int = DEFAULT_CHUNKS_PER_HOST,
+) -> tuple[tuple, dict]:
+    """Execute ``specs`` across ``hosts``; returns ``(records, cache_stats)``.
+
+    Records come back in spec order and byte-identical to the serial
+    executor: chunk bounds are deterministic and contiguous, each chunk
+    runs through the same batched round loop every other executor
+    gates against, and reassembly is concatenation by chunk index.
+    Which *host* ran a chunk is the only nondeterminism, and it cannot
+    reach the records (they are pure functions of the specs).
+
+    ``warm_cache`` ships a warm state (profile-ranking encode seed plus
+    the parent's solvability verdicts) to every subprocess/SSH worker
+    before the first chunk.  Failures anywhere fail the sweep with
+    :class:`~repro.errors.RemoteError`.
+    """
+    from repro.experiment.engine import _warm_seed
+    from repro.experiment.records import RunRecord
+    from repro.core.solvability import cached_is_solvable
+
+    specs = tuple(specs)
+    if not hosts:
+        raise RemoteError("the hosts executor needs at least one host endpoint")
+    if not specs:
+        return (), merge_cache_stats([])
+    bounds = _chunk_tasks(len(specs), len(hosts), chunks_per_host)
+    tasks = [
+        [spec.to_dict() for spec in specs[start:stop]] for start, stop in bounds
+    ]
+    encoded_state = None
+    if warm_cache:
+        state = {
+            "encode": _warm_seed(specs),
+            "solvability": cached_is_solvable.export_entries(),
+        }
+        encoded_state = base64.b64encode(
+            pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii")
+
+    feed: "queue.Queue[int]" = queue.Queue()
+    for index in range(len(tasks)):
+        feed.put(index)
+    results: list[list | None] = [None] * len(tasks)
+    host_stats: list[dict | None] = [None] * len(hosts)
+    failures: list[BaseException] = []
+    lock = threading.Lock()
+
+    def pump(slot: int, host: str) -> None:
+        handle = None
+        try:
+            handle = _open_host(host)
+            if encoded_state is not None:
+                handle.warm(encoded_state)
+            while True:
+                try:
+                    index = feed.get_nowait()
+                except queue.Empty:
+                    break
+                try:
+                    records, stats = handle.run_chunk(index, tasks[index])
+                except BaseException:
+                    # Put the claimed chunk back: a surviving host's pump
+                    # can still steal it (it only stops on a drained
+                    # queue), so one dead worker does not doom the sweep.
+                    feed.put(index)
+                    raise
+                results[index] = records
+                if stats:
+                    host_stats[slot] = stats
+        except BaseException as exc:  # collected; fatal only if work is left
+            with lock:
+                failures.append(exc)
+        finally:
+            if handle is not None:
+                handle.close()
+
+    threads = [
+        threading.Thread(target=pump, args=(slot, host), daemon=True)
+        for slot, host in enumerate(hosts)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    missing = [index for index, rows in enumerate(results) if rows is None]
+    if missing:
+        primary = failures[0] if failures else None
+        if isinstance(primary, RemoteError):
+            raise primary
+        raise RemoteError(
+            f"hosts sweep incomplete: chunks {missing} never completed"
+            + (f" (first failure: {primary})" if primary else "")
+        ) from primary
+    records = tuple(
+        RunRecord.from_dict(row) for rows in results for row in rows  # type: ignore[union-attr]
+    )
+    # Per-host cache stats are cumulative (one persistent cache per
+    # worker), so the last reply per host is that host's total.
+    return records, merge_cache_stats([stats for stats in host_stats if stats])

@@ -470,5 +470,6 @@ class TestCommittedArtifacts:
         # Before/after vs the pre-change plane, per the trajectory
         # convention, and the merged per-worker cache stats.
         assert result.baseline is not None
-        assert result.baseline["source"].endswith("pre-parallel-baseline.json")
+        assert result.baseline["source"].endswith("pre-hosts-sweep-parallel-full.json")
+        assert result.baseline["wall_seconds"] > result.wall_seconds
         assert result.cache["workers"]

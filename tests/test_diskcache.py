@@ -1,0 +1,200 @@
+"""The persistent on-disk warm cache (:mod:`repro.runtime.diskcache`).
+
+Covers the contract the execution plane relies on: content-addressed
+keys, code-fingerprint versioning (a version mismatch reads as a miss,
+never as stale data), atomic last-writer-wins publication under
+concurrent writers, corrupt-entry self-healing, the disabled-cache
+no-op path, and warm-state capture/restore round-trips including the
+engine's ``REPRO_CACHE_DIR`` wiring.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+
+import pytest
+
+import repro.runtime.diskcache as diskcache
+from repro.core.solvability import cached_is_solvable
+from repro.experiment import ExecutorSpec, ProfileSpec, ScenarioSpec, Session, Sweep
+from repro.runtime.cache import ExecutionCache
+from repro.runtime.diskcache import (
+    DiskCache,
+    cache_version,
+    capture_warm_state,
+    restore_warm_state,
+    sweep_key,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(root=str(tmp_path / "cache"))
+
+
+class TestBlobStore:
+    def test_round_trip_and_miss(self, cache):
+        assert cache.get("ns", "k") is None
+        assert cache.put("ns", "k", b"payload")
+        assert cache.get("ns", "k") == b"payload"
+        assert cache.get("ns", "other") is None
+        assert cache.get("other", "k") is None
+
+    def test_object_round_trip(self, cache):
+        value = {"nested": [1, 2, (3, 4)], "flag": True}
+        assert cache.put_object("ns", "k", value)
+        assert cache.get_object("ns", "k") == value
+
+    def test_disabled_cache_is_a_noop(self, monkeypatch):
+        monkeypatch.delenv(diskcache.CACHE_DIR_ENV, raising=False)
+        disabled = DiskCache()
+        assert not disabled.enabled
+        assert not disabled.put("ns", "k", b"data")
+        assert disabled.get("ns", "k") is None
+        assert disabled.prune_stale_versions() == 0
+        with pytest.raises(ValueError, match="disabled"):
+            disabled.path_for("ns", "k")
+
+    def test_env_var_enables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(tmp_path))
+        assert DiskCache().enabled
+        assert DiskCache().root == str(tmp_path)
+
+    def test_version_mismatch_reads_as_miss(self, cache, monkeypatch):
+        assert cache.put("ns", "k", b"old-code-bytes")
+        # New code fingerprint: the same key resolves under a different
+        # version directory, so the stale entry is invisible.
+        monkeypatch.setattr(diskcache, "_VERSION", "deadbeefdeadbeef")
+        assert cache_version() == "deadbeefdeadbeef"
+        assert cache.get("ns", "k") is None
+        assert cache.put("ns", "k", b"new-code-bytes")
+        assert cache.get("ns", "k") == b"new-code-bytes"
+
+    def test_prune_stale_versions(self, cache, monkeypatch):
+        monkeypatch.setattr(diskcache, "_VERSION", "versionaaaaaaaaa")
+        cache.put("ns", "k", b"a")
+        monkeypatch.setattr(diskcache, "_VERSION", "versionbbbbbbbbb")
+        cache.put("ns", "k", b"b")
+        assert cache.prune_stale_versions() == 1
+        assert cache.get("ns", "k") == b"b"
+        assert os.listdir(cache.root) == ["versionbbbbbbbbb"]
+
+    def test_corrupt_entry_reads_as_miss_and_heals(self, cache):
+        cache.put("ns", "k", b"definitely not a pickle")
+        assert cache.get_object("ns", "k") is None
+        # The corrupt file was unlinked, not left to fail forever.
+        assert cache.get("ns", "k") is None
+
+    def test_concurrent_writers_last_writer_wins(self, cache):
+        """Racing writers never publish a torn entry: every read during
+        and after the race sees one writer's complete payload."""
+        payloads = [bytes([i]) * 4096 for i in range(8)]
+        barrier = threading.Barrier(len(payloads))
+
+        def write(data: bytes) -> None:
+            barrier.wait()
+            for _ in range(20):
+                assert cache.put("ns", "k", data)
+
+        threads = [threading.Thread(target=write, args=(p,)) for p in payloads]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        final = cache.get("ns", "k")
+        assert final in payloads
+        # No temp droppings left behind.
+        directory = os.path.dirname(cache.path_for("ns", "k"))
+        assert os.listdir(directory) == ["k.bin"]
+
+    def test_sweep_key_is_content_addressed(self):
+        specs_a = [ScenarioSpec(k=2), ScenarioSpec(k=3)]
+        specs_b = [ScenarioSpec(k=2), ScenarioSpec(k=3)]
+        assert sweep_key(specs_a) == sweep_key(specs_b)
+        assert sweep_key(specs_a) != sweep_key(list(reversed(specs_a)))
+        assert sweep_key(specs_a) != sweep_key([ScenarioSpec(k=2)])
+
+
+class TestWarmState:
+    def test_capture_restore_round_trip(self):
+        from repro.experiment.engine import cached_keyring
+
+        session = Session(executor="batch")
+        sweep = Sweep.of(
+            ScenarioSpec(k=2, profile=ProfileSpec(seed=1)),
+            ScenarioSpec(k=3, profile=ProfileSpec(seed=2)),
+        )
+        reference = session.sweep(sweep)
+        source = ExecutionCache()
+        from repro.experiment.engine import _execute_batched
+
+        _, source = _execute_batched(tuple(sweep), cache=source)
+        rings = {k: cached_keyring(k) for k in (2, 3)}
+        state = pickle.loads(pickle.dumps(capture_warm_state(source, rings)))
+
+        fresh = ExecutionCache()
+        restore_warm_state(fresh, rings, state)
+        stats = fresh.stats()
+        assert stats["signatures"]["entries"] > 0
+        assert stats["encode"]["leaf_entries"] > 0
+        # A primed cache still produces byte-identical records.
+        records, _ = _execute_batched(tuple(sweep), cache=fresh)
+        assert [r.to_dict() for r in records] == [
+            r.to_dict() for r in reference.records
+        ]
+
+    def test_restore_primes_signature_hits(self):
+        from repro.experiment.engine import _execute_batched, cached_keyring
+
+        specs = (ScenarioSpec(k=2, profile=ProfileSpec(seed=4)),)
+        _, source = _execute_batched(specs, cache=ExecutionCache())
+        rings = {2: cached_keyring(2)}
+        state = capture_warm_state(source, rings)
+        fresh = ExecutionCache()
+        restore_warm_state(fresh, rings, state)
+        _, warmed = _execute_batched(specs, cache=fresh)
+        # Every signing the cold run missed is a hit after restore.
+        assert warmed.stats()["signatures"]["misses"] == 0
+
+    def test_solvability_entries_survive(self):
+        entries = cached_is_solvable.export_entries()
+        assert entries  # the suite has queried the oracle by now
+        before = cached_is_solvable.cache_info()
+        cached_is_solvable.prime(entries)  # idempotent
+        assert cached_is_solvable.cache_info().currsize == before.currsize
+
+
+class TestEngineWiring:
+    def test_warm_cache_sweep_populates_and_reuses_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(diskcache.CACHE_DIR_ENV, str(tmp_path / "warm"))
+        session = Session()
+        sweep = Sweep.of(
+            ScenarioSpec(k=2, profile=ProfileSpec(seed=7)),
+            ScenarioSpec(k=3, profile=ProfileSpec(seed=8)),
+        )
+        cold = session.sweep(sweep)
+        first = session.sweep(
+            sweep, executor=ExecutorSpec(name="parallel", workers=1, warm_cache=True)
+        )
+        assert first.to_json() == cold.to_json()
+        stored = list((tmp_path / "warm").rglob("*.bin"))
+        assert stored, "warm sweep should publish disk entries"
+        mtimes = {path: path.stat().st_mtime_ns for path in stored}
+        second = session.sweep(
+            sweep, executor=ExecutorSpec(name="parallel", workers=1, warm_cache=True)
+        )
+        assert second.to_json() == cold.to_json()
+        # The hit path reuses entries instead of rewriting them.
+        for path in stored:
+            assert path.stat().st_mtime_ns == mtimes[path]
+
+    def test_disk_layer_stays_cold_without_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(diskcache.CACHE_DIR_ENV, raising=False)
+        session = Session()
+        sweep = Sweep.of(ScenarioSpec(k=2, profile=ProfileSpec(seed=9)))
+        session.sweep(
+            sweep, executor=ExecutorSpec(name="parallel", workers=1, warm_cache=True)
+        )
+        assert not list(tmp_path.rglob("*.bin"))

@@ -100,3 +100,117 @@ class TestSignatureDuckTyping:
         sig = Signature(signer=PartyId("R", 2), tag=b"t" * 32)
         payload = ("ds", "value", (sig,))
         assert encode(payload) == encode(payload)
+
+
+class TestSizeMemo:
+    """The size-only walk: ``SizeMemo.size`` must equal ``len(encode())``
+    for every payload the canonical grammar admits, memoized or not."""
+
+    def _payloads(self):
+        from repro.crypto.signatures import Signature
+
+        sig = Signature(signer=PartyId("L", 0), tag=b"\x07" * 32)
+        return [
+            None,
+            True,
+            False,
+            0,
+            -(10**20),
+            1.5,
+            float("inf"),
+            "héllo",
+            b"\x00raw",
+            PartyId("R", 3),
+            (),
+            ("msg", 4, (PartyId("L", 1), PartyId("R", 0))),
+            [1, "two", (3,)],
+            frozenset({1, "a", (2, 3)}),
+            {"k": (1, 2), ("t", 0): b"v"},
+            sig,
+            ("ds", "value", (sig, sig)),
+        ]
+
+    def test_size_matches_encode_without_memo(self):
+        for payload in self._payloads():
+            assert encoded_size(payload) == len(encode(payload))
+
+    def test_size_matches_encode_with_memo(self):
+        from repro.crypto.encoding import SizeMemo
+
+        memo = SizeMemo()
+        for payload in self._payloads():
+            assert encoded_size(payload, memo) == len(encode(payload))
+            # Memoized re-query returns the same answer.
+            assert encoded_size(payload, memo) == len(encode(payload))
+
+    def test_memo_shares_structure_across_payloads(self):
+        from repro.crypto.encoding import SizeMemo
+
+        memo = SizeMemo()
+        inner = ("shared", tuple(range(50)))
+        first = encoded_size(("a", inner), memo)
+        entries = memo.entry_counts()
+        second = encoded_size(("b", inner), memo)
+        assert first == len(encode(("a", inner)))
+        assert second == len(encode(("b", inner)))
+        # The shared subtree was consed once: only the new outer tuple
+        # and the "b" leaf were added.
+        grown = memo.entry_counts()
+        assert grown["struct_entries"] == entries["struct_entries"] + 1
+
+    def test_interleaves_with_encode_memo(self):
+        """A sweep mixes both memos over the same payloads; they must
+        never disagree on a size."""
+        from repro.crypto.encoding import EncodeMemo, SizeMemo
+
+        encode_memo = EncodeMemo()
+        size_memo = SizeMemo()
+        for payload in self._payloads():
+            via_bytes = encoded_size(payload, encode_memo)
+            via_walk = encoded_size(payload, size_memo)
+            assert via_bytes == via_walk == len(encode(payload))
+
+    def test_unknown_type_rejected_by_size_walk(self):
+        from repro.crypto.encoding import SizeMemo
+
+        with pytest.raises(ProtocolError):
+            encoded_size((1, object()), SizeMemo())
+
+
+class TestSizeMemoProperty:
+    def test_size_equals_encode_length_on_generated_payloads(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.crypto.encoding import SizeMemo
+
+        leaves = st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(min_value=-(10**12), max_value=10**12),
+            st.floats(allow_nan=False),
+            st.text(max_size=8),
+            st.binary(max_size=8),
+            st.builds(PartyId, st.sampled_from("LR"), st.integers(0, 9)),
+        )
+        payloads = st.recursive(
+            leaves,
+            lambda inner: st.one_of(
+                st.lists(inner, max_size=4).map(tuple),
+                st.lists(inner, max_size=4),
+                st.dictionaries(
+                    st.text(max_size=4), inner, max_size=3
+                ),
+            ),
+            max_leaves=12,
+        )
+
+        memo = SizeMemo()
+
+        @given(payloads)
+        @settings(max_examples=150, deadline=None)
+        def check(payload):
+            assert encoded_size(payload) == len(encode(payload))
+            assert encoded_size(payload, memo) == len(encode(payload))
+
+        check()

@@ -223,3 +223,94 @@ class TestTheoryStatsOracle:
         from repro.conform.oracles import default_oracle_names
 
         assert "theory_stats" in default_oracle_names()
+
+
+class TestRankHistograms:
+    def _record(self, k, proposals, receiver_rank, scenario="s"):
+        from repro.experiment.records import RunRecord
+
+        return RunRecord(
+            scenario=scenario, family="bsm", k=k,
+            proposals=proposals, receiver_rank=receiver_rank,
+        )
+
+    def test_sink_bins_normalized_ranks(self):
+        from repro.ensembles import RankHistogramSink
+
+        sink = RankHistogramSink()
+        with sink:
+            # proposals/k: 0.125, 0.625 -> bins 0.00 and 0.50
+            # receiver_rank/k: 0.25, 0.875 -> bins 0.25 and 0.75
+            sink.write(self._record(8, 1, 2))
+            sink.write(self._record(8, 5, 7))
+        hists = sink.histograms()
+        assert {(h.n, h.metric) for h in hists} == {
+            (8, "proposer_rank"),
+            (8, "receiver_rank"),
+        }
+        by_metric = {h.metric: dict(h.counts) for h in hists}
+        assert by_metric["proposer_rank"] == {0.0: 1, 0.5: 1}
+        assert by_metric["receiver_rank"] == {0.25: 1, 0.75: 1}
+
+    def test_sink_groups_by_n_and_skips_k_zero(self):
+        from repro.ensembles import RankHistogramSink
+
+        sink = RankHistogramSink()
+        with sink:
+            sink.write(self._record(4, 1, 1))
+            sink.write(self._record(16, 4, 4))
+            sink.write(self._record(0, 0, 0))  # degenerate: not binned
+        hists = sink.histograms()
+        assert sorted({h.n for h in hists}) == [4, 16]
+        assert sum(c for h in hists for _, c in h.counts) == 4  # 2 records x 2 sides
+
+    def test_histograms_sorted_and_round_trip(self):
+        from repro.ensembles import RankHistogram, RankHistogramSink
+
+        sink = RankHistogramSink()
+        with sink:
+            sink.write(self._record(16, 3, 3))
+            sink.write(self._record(4, 1, 1))
+        hists = sink.histograms()
+        assert [h.n for h in hists] == sorted(h.n for h in hists)
+        for hist in hists:
+            assert isinstance(hist, RankHistogram)
+            data = hist.to_dict()
+            assert data["metric"] in ("proposer_rank", "receiver_rank")
+            assert data["bin_width"] == 0.25
+            assert sum(count for _, count in data["counts"]) == 1
+
+    def test_report_carries_histograms(self):
+        report = run_ensemble_check(ns=(16,), seeds=range(4), batch_size=2)
+        assert report.histograms
+        assert {h.metric for h in report.histograms} == {
+            "proposer_rank",
+            "receiver_rank",
+        }
+        # Every seed lands in exactly one bin per side.
+        for hist in report.histograms:
+            assert sum(count for _, count in hist.counts) == 4
+        data = report.to_dict()
+        assert len(data["histograms"]) == len(report.histograms)
+        assert data["histograms"][0]["n"] == 16
+
+    def test_spilling_run_still_collects_histograms(self, tmp_path):
+        report = run_ensemble_check(
+            ns=(16,), seeds=range(6), batch_size=2,
+            spill_threshold=2, spill_path=tmp_path / "spill.ndjson",
+        )
+        assert report.spilled == 6
+        assert report.histograms
+        assert all(
+            sum(count for _, count in hist.counts) == 6
+            for hist in report.histograms
+        )
+
+    def test_cli_prints_histogram_bars(self, capsys):
+        from repro.cli import main
+
+        assert main(["ensemble", "run", "--tier", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "proposer_rank" in out
+        assert "receiver_rank" in out
+        assert "#" in out

@@ -194,10 +194,25 @@ class TestExecutorSpec:
         assert ExecutorSpec.from_dict(spec.to_dict()) == spec
         assert ExecutorSpec.from_dict({"name": "serial"}) == ExecutorSpec()
 
+    def test_hosts_round_trip(self):
+        spec = ExecutorSpec(
+            name="hosts", hosts=("local", "ssh:user@box"), warm_cache=True
+        )
+        assert ExecutorSpec.from_dict(spec.to_dict()) == spec
+        assert spec.to_dict()["hosts"] == ["local", "ssh:user@box"]
+        # Absent hosts stays absent (and None) through the dict form.
+        assert "hosts" not in ExecutorSpec(name="serial").to_dict()
+        assert ExecutorSpec.from_dict({"name": "serial"}).hosts is None
+
     def test_session_accepts_executor_spec(self):
         session = Session(executor=ExecutorSpec(name="parallel", workers=3))
         assert session.engine.executor == "parallel"
         assert session.engine.workers == 3
+
+    def test_session_accepts_hosts_spec(self):
+        session = Session(executor=ExecutorSpec(name="hosts", hosts=("local",)))
+        assert session.engine.executor == "hosts"
+        assert session.engine.hosts == ("local",)
 
     def test_validation(self):
         with pytest.raises(SolvabilityError, match="unknown executor"):
@@ -208,6 +223,18 @@ class TestExecutorSpec:
             ExecutorSpec(name="serial", workers=2)
         with pytest.raises(SolvabilityError, match="warm_cache"):
             ExecutorSpec(name="batch", warm_cache=True)
+
+    def test_hosts_validation(self):
+        with pytest.raises(SolvabilityError, match="host endpoint"):
+            ExecutorSpec(name="hosts")
+        with pytest.raises(SolvabilityError, match="host endpoint"):
+            ExecutorSpec(name="hosts", hosts=())
+        with pytest.raises(SolvabilityError, match="non-empty"):
+            ExecutorSpec(name="hosts", hosts=("local", ""))
+        with pytest.raises(SolvabilityError, match="hosts"):
+            ExecutorSpec(name="parallel", hosts=("local",))
+        # warm_cache rides on hosts just like on parallel.
+        assert ExecutorSpec(name="hosts", hosts=("local",), warm_cache=True)
 
 
 class TestChunking:
@@ -320,6 +347,195 @@ def test_differential_sweep_executor_axis():
         specs, runtimes=("lockstep",), executors=("batch", "parallel")
     )
     assert violations == ()
+
+
+class TestHostsExecutor:
+    """The cross-host plane: byte-identity, stealing, error contracts.
+
+    Every test here uses localhost worker subprocesses ("local" /
+    "cmd:" endpoints) — the full protocol and reassembly path minus the
+    network.  One combined sweep per test keeps worker spawns (a python
+    interpreter each) off the per-spec hot path.
+    """
+
+    def test_hosts_byte_identical_across_sweeps(self):
+        sweep = (
+            SWEEPS["plain_grid"]
+            + SWEEPS["link_faults"]
+            + SWEEPS["tags_and_mutators"]
+            + SWEEPS["mixed_families"]
+        )
+        reference = SESSION.sweep(sweep)
+        candidate = SESSION.sweep(
+            sweep, executor=ExecutorSpec(name="hosts", hosts=("local", "local"))
+        )
+        assert candidate.to_json() == reference.to_json()
+        assert candidate.aggregate_json() == reference.aggregate_json()
+        assert candidate.executor == "hosts"
+        # Both workers report merged (persistent, cumulative) cache stats.
+        assert candidate.cache_stats["signatures"]["entries"] >= 0
+        assert 1 <= len(candidate.cache_stats["workers"]) <= 2
+
+    def test_hosts_warm_cache_is_transparent(self):
+        sweep = SWEEPS["plain_grid"] + SWEEPS["tags_and_mutators"]
+        cold = SESSION.sweep(sweep)
+        warm = SESSION.sweep(
+            sweep,
+            executor=ExecutorSpec(
+                name="hosts", hosts=("local", "local"), warm_cache=True
+            ),
+        )
+        assert warm.to_json() == cold.to_json()
+
+    def test_failed_host_work_is_stolen(self):
+        """A dead endpoint's chunks complete on the surviving host."""
+        sweep = SWEEPS["plain_grid"]
+        reference = SESSION.sweep(sweep)
+        candidate = SESSION.sweep(
+            sweep,
+            executor=ExecutorSpec(name="hosts", hosts=("local", "cmd:false")),
+        )
+        assert candidate.to_json() == reference.to_json()
+
+    def test_all_hosts_dead_raises(self):
+        from repro.errors import RemoteError
+
+        with pytest.raises(RemoteError):
+            SESSION.sweep(
+                SWEEPS["plain_grid"],
+                executor=ExecutorSpec(name="hosts", hosts=("cmd:false",)),
+            )
+
+    def test_hosts_reject_tracing(self):
+        with pytest.raises(SolvabilityError, match="structured tracing"):
+            SESSION.sweep(
+                SWEEPS["plain_grid"],
+                executor=ExecutorSpec(name="hosts", hosts=("local",)),
+                trace=TraceRecorder(),
+            )
+
+    def test_differential_sweep_hosts_axis(self):
+        from repro.conform.oracles import differential_sweep
+
+        specs = tuple(SWEEPS["tags_and_mutators"])
+        assert (
+            differential_sweep(specs, runtimes=("lockstep",), executors=("hosts",))
+            == ()
+        )
+
+    def test_executor_differential_oracle_covers_hosts(self):
+        from repro.conform.oracles import ExecutorDifferential, OracleContext
+
+        oracle = ExecutorDifferential(executors=("serial", "hosts"))
+        spec = ScenarioSpec(
+            topology="fully_connected",
+            authenticated=True,
+            k=2,
+            tL=1,
+            tR=0,
+            adversary=AdversarySpec(kind="silent"),
+        )
+        assert oracle.applies(spec)
+        assert oracle.check(spec, OracleContext()) == ()
+
+
+class TestWorkerProtocol:
+    """worker_main driven directly over in-memory streams (no process)."""
+
+    def _drive(self, lines):
+        import io
+        import json
+
+        from repro.runtime.remote import worker_main
+
+        stdout = io.StringIO()
+        code = worker_main(io.StringIO("".join(lines)), stdout)
+        assert code == 0
+        return [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+    def test_handshake_and_run(self):
+        import json
+
+        from repro.runtime.diskcache import cache_version
+
+        spec = ScenarioSpec(k=2, adversary=None)
+        replies = self._drive(
+            [json.dumps({"op": "run", "id": 7, "specs": [spec.to_dict()]}) + "\n"]
+        )
+        ready, reply = replies
+        assert ready == {"op": "ready", "version": cache_version()}
+        assert reply["id"] == 7
+        expected = [r.to_dict() for r in SESSION.sweep(Sweep.of(spec)).records]
+        assert reply["records"] == expected
+        assert reply["cache_stats"]["signatures"]["entries"] >= 0
+
+    def test_garbage_and_unknown_ops_are_survivable(self):
+        import json
+
+        replies = self._drive(
+            [
+                "not json\n",
+                "[1, 2]\n",
+                json.dumps({"op": "dance"}) + "\n",
+                json.dumps({"op": "run", "id": 1, "specs": [{"family": "nope"}]})
+                + "\n",
+            ]
+        )
+        assert replies[0]["op"] == "ready"
+        assert "error" in replies[1] and "error" in replies[2]
+        assert "unknown op" in replies[3]["error"]
+        assert replies[4]["id"] == 1 and "error" in replies[4]
+
+    def test_version_mismatch_refused(self, monkeypatch):
+        import repro.runtime.remote as remote
+
+        class FakeProcess:
+            def __init__(self):
+                import io
+
+                self.stdin = io.StringIO()
+                self.stdout = io.StringIO('{"op": "ready", "version": "stale"}\n')
+
+            def wait(self, timeout=None):
+                return 0
+
+            def kill(self):
+                pass
+
+        monkeypatch.setattr(
+            remote.subprocess, "Popen", lambda *a, **kw: FakeProcess()
+        )
+        from repro.errors import RemoteError
+
+        with pytest.raises(RemoteError, match="different code"):
+            remote._SubprocessHost("local", ["ignored"])
+
+    def test_unknown_endpoint_rejected(self):
+        from repro.errors import RemoteError
+        from repro.runtime.remote import _open_host
+
+        with pytest.raises(RemoteError, match="unknown host endpoint"):
+            _open_host("ftp://nope")
+        with pytest.raises(RemoteError, match="ssh host needs a target"):
+            _open_host("ssh:")
+        with pytest.raises(RemoteError, match="http host must look like"):
+            from repro.runtime.remote import _HttpHost
+
+            _HttpHost("http://noport")
+
+
+class TestHostsCli:
+    def test_cli_sweep_hosts_flags(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--preset", "smoke", "--hosts", "local", "--workers", "2"]) == 2
+        assert "--workers does not apply" in capsys.readouterr().err
+        assert main(["sweep", "--preset", "smoke", "--executor", "hosts"]) == 2
+        assert "needs --hosts" in capsys.readouterr().err
+        assert main(
+            ["sweep", "--preset", "smoke", "--executor", "serial", "--hosts", "local"]
+        ) == 2
+        assert "conflicts with --executor" in capsys.readouterr().err
 
 
 @settings(

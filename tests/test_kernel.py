@@ -469,3 +469,69 @@ class TestNativeLane:
         out = np.empty_like(rows)
         native.invert_rows(rows, 4, out)
         assert out.tolist() == [[1, 2, 0, 3], [3, 2, 1, 0]]
+
+
+class TestChunkedNativeLane:
+    """Beyond the 64 MiB word budget the native lane streams in chunks;
+    the chunk boundaries must be invisible in both output and rng state."""
+
+    def test_chunked_stream_identical_to_unchunked(self):
+        from repro.matching import _native
+        from repro.matching.kernel import _mt_shuffled_matrix
+
+        if _native.load() is None:
+            pytest.skip("no C compiler / numpy in this environment")
+        k, count = 97, 64
+        whole = _mt_shuffled_matrix(random.Random(3), k, count)
+        # A budget this small forces many chunks with leftover carry.
+        chunked = _mt_shuffled_matrix(random.Random(3), k, count, word_budget=4096)
+        assert whole is not None and chunked is not None
+        assert chunked.tolist() == whole.tolist()
+
+    @pytest.mark.parametrize("k,count,budget", ((64, 200, 4096), (257, 40, 8192)))
+    def test_chunked_rows_and_rng_state_match_pure_python(self, k, count, budget):
+        from repro.matching import _native
+        from repro.matching.kernel import _mt_shuffled_matrix, _shuffled_row
+
+        if _native.load() is None:
+            pytest.skip("no C compiler / numpy in this environment")
+        fast, slow = random.Random(23), random.Random(23)
+        matrix = _mt_shuffled_matrix(fast, k, count, word_budget=budget)
+        assert matrix is not None
+        getrandbits = slow.getrandbits
+        rows = [_shuffled_row(k, getrandbits) for _ in range(count)]
+        assert matrix.tolist() == rows
+        assert fast.getstate() == slow.getstate()
+        assert fast.random() == slow.random()
+
+    def test_k8192_exceeds_budget_and_matches_python(self):
+        from repro.matching import _native
+        from repro.matching.kernel import (
+            _WORD_BUDGET,
+            _expected_row_words,
+            _mt_shuffled_matrix,
+            _shuffled_row,
+        )
+
+        if _native.load() is None:
+            pytest.skip("no C compiler / numpy in this environment")
+        k, count = 8192, 8
+        # The point of the chunking: a full 2*k-row ensemble at this k
+        # does not fit the unchunked allocation.
+        assert _expected_row_words(k) * 2 * k > _WORD_BUDGET
+        # A 64k-word budget leaves room for ~2 rows per chunk at k=8192
+        # (the 4*k carry dominates), so this run crosses several chunk
+        # boundaries just like the full ensemble would.
+        budget = 1 << 16
+        assert (budget - 4 * k) / _expected_row_words(k) < count
+        fast, slow = random.Random(8192), random.Random(8192)
+        matrix = _mt_shuffled_matrix(fast, k, count, word_budget=budget)
+        assert matrix is not None
+        getrandbits = slow.getrandbits
+        rows = [_shuffled_row(k, getrandbits) for _ in range(count)]
+        assert matrix.tolist() == rows
+        assert fast.getstate() == slow.getstate()
+        # And the default budget gives the same rows (chunk layout is
+        # invisible in the output stream).
+        default = _mt_shuffled_matrix(random.Random(8192), k, count)
+        assert default.tolist() == rows
